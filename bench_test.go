@@ -1,0 +1,323 @@
+package parallex_test
+
+// One benchmark per experiment of the reproduction (DESIGN.md §4):
+// E1/E2 regenerate the paper's Figure 1 and §3.2 design-point table;
+// E3–E10 and A1–A4 exercise the model's quantitative claims. Each
+// benchmark reports the experiment's headline figure as a custom metric so
+// `go test -bench . -benchmem` regenerates the whole evaluation. The same
+// code paths print full tables via cmd/pxbench.
+
+import (
+	"testing"
+	"time"
+
+	parallex "repro"
+	"repro/internal/echo"
+	"repro/internal/experiments"
+	"repro/internal/gilgamesh"
+	"repro/internal/litlx"
+	"repro/internal/locality"
+	"repro/internal/parcel"
+	"repro/internal/workloads"
+)
+
+// BenchmarkE1Figure1Architecture regenerates Figure 1 from the model.
+func BenchmarkE1Figure1Architecture(b *testing.B) {
+	var fig string
+	for i := 0; i < b.N; i++ {
+		fig = experiments.RunE1()
+	}
+	b.ReportMetric(float64(len(fig)), "figure-bytes")
+}
+
+// BenchmarkE2DesignPoint recomputes and checks the §3.2 design point.
+func BenchmarkE2DesignPoint(b *testing.B) {
+	d := gilgamesh.Default2020()
+	ok := true
+	for i := 0; i < b.N; i++ {
+		for _, row := range d.Check() {
+			ok = ok && row.OK
+		}
+	}
+	if !ok {
+		b.Fatal("design point check failed")
+	}
+	dv := d.Derive()
+	b.ReportMetric(dv.SystemPeakFlops/1e18, "system-EF")
+	b.ReportMetric(dv.ChipPeakFlops/1e12, "chip-TF")
+}
+
+// BenchmarkE3LatencyHiding reports the CSP/ParalleX makespan ratio for
+// remote updates at 500µs latency.
+func BenchmarkE3LatencyHiding(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rs := experiments.RunE3([]time.Duration{500 * time.Microsecond}, 4, 40, nil)
+		ratio = float64(rs[0].CSP) / float64(rs[0].ParalleX)
+	}
+	b.ReportMetric(ratio, "csp/px")
+}
+
+// BenchmarkE4OverheadGranularity reports ParalleX efficiency at a 5ms
+// grain and the measured per-task overhead.
+func BenchmarkE4OverheadGranularity(b *testing.B) {
+	var rs []experiments.E4Result
+	for i := 0; i < b.N; i++ {
+		rs = experiments.RunE4([]time.Duration{5 * time.Millisecond}, 60, 4, 20*time.Microsecond)
+	}
+	b.ReportMetric(rs[0].PxEff, "px-efficiency")
+	b.ReportMetric(float64(rs[0].PxPerTaskOvh.Nanoseconds()), "ovh-ns/task")
+}
+
+// BenchmarkE5Starvation reports the static-partition slowdown on the
+// clustered N-body workload.
+func BenchmarkE5Starvation(b *testing.B) {
+	var rs []experiments.E5Result
+	for i := 0; i < b.N; i++ {
+		rs = experiments.RunE5([]float64{0.6}, 3000, 4, locality.FIFO, true)
+	}
+	b.ReportMetric(float64(rs[0].CSPTime)/float64(rs[0].PxTime), "csp/px")
+	b.ReportMetric(rs[0].CSPImbalance, "csp-imbalance")
+}
+
+// BenchmarkE6LCOvsBarrier reports the barrier/LCO makespan ratio on the
+// skewed phased computation.
+func BenchmarkE6LCOvsBarrier(b *testing.B) {
+	var rs []experiments.E6Result
+	for i := 0; i < b.N; i++ {
+		rs = experiments.RunE6([]float64{8}, 32, 10, 4, time.Millisecond)
+	}
+	b.ReportMetric(float64(rs[0].BarrierTime)/float64(rs[0].LCOTime), "barrier/lco")
+}
+
+// BenchmarkE7Percolation reports accelerator utilization with and without
+// prestaging on the Gilgamesh chip DES.
+func BenchmarkE7Percolation(b *testing.B) {
+	var rs []experiments.E7Result
+	for i := 0; i < b.N; i++ {
+		rs = experiments.RunE7([]float64{1.0}, []int{0, 4}, 500, 1000, 2)
+	}
+	b.ReportMetric(rs[0].Utilization, "util-demand")
+	b.ReportMetric(rs[1].Utilization, "util-percolated")
+	b.ReportMetric(rs[1].SpeedupVsDemand, "speedup")
+}
+
+// BenchmarkE8Echo reports the home-read vs echo-read cost ratio.
+func BenchmarkE8Echo(b *testing.B) {
+	var rs []experiments.E8Result
+	for i := 0; i < b.N; i++ {
+		rs = experiments.RunE8([]time.Duration{300 * time.Microsecond}, 4, 40)
+	}
+	b.ReportMetric(float64(rs[0].HomeTime)/float64(rs[0].EchoTime), "home/echo")
+}
+
+// BenchmarkE9Scaling reports ParalleX strong-scaling speedup for the tree
+// workload from 1 to 4 localities.
+func BenchmarkE9Scaling(b *testing.B) {
+	var rs []experiments.E9Result
+	for i := 0; i < b.N; i++ {
+		rs = experiments.RunE9([]int{1, 4}, 600, 400, 4000)
+	}
+	for _, r := range rs {
+		if r.Workload == "nbody" && r.P == 4 {
+			b.ReportMetric(r.PxSpeed, "nbody-px-speedup@4")
+		}
+		if r.Workload == "pic" && r.P == 4 {
+			b.ReportMetric(r.PxSpeed, "pic-px-speedup@4")
+		}
+	}
+}
+
+// BenchmarkE10Primitives reports the core primitive costs.
+func BenchmarkE10Primitives(b *testing.B) {
+	var rs []experiments.E10Result
+	for i := 0; i < b.N; i++ {
+		rs = experiments.RunE10(2000)
+	}
+	for _, r := range rs {
+		switch r.Name {
+		case "thread spawn+run":
+			b.ReportMetric(float64(r.PerOp.Nanoseconds()), "spawn-ns")
+		case "parcel local":
+			b.ReportMetric(float64(r.PerOp.Nanoseconds()), "parcel-local-ns")
+		case "parcel remote 1-way":
+			b.ReportMetric(float64(r.PerOp.Nanoseconds()), "parcel-remote-ns")
+		}
+	}
+}
+
+// BenchmarkA1NetworkAblation reports the E3 advantage on the Data Vortex.
+func BenchmarkA1NetworkAblation(b *testing.B) {
+	var rs []experiments.A1Result
+	for i := 0; i < b.N; i++ {
+		rs = experiments.RunA1(4, 25, 200*time.Microsecond)
+	}
+	for _, r := range rs {
+		if r.Network == "datavortex" {
+			b.ReportMetric(float64(r.E3.CSP)/float64(r.E3.ParalleX), "vortex-csp/px")
+		}
+	}
+}
+
+// BenchmarkA2ContinuationAblation reports the win of migrating control
+// over origin round trips for a 4-stage chain.
+func BenchmarkA2ContinuationAblation(b *testing.B) {
+	var rs []experiments.A2Result
+	for i := 0; i < b.N; i++ {
+		rs = experiments.RunA2([]int{4}, 4, 300*time.Microsecond, 3)
+	}
+	b.ReportMetric(rs[0].RoundTripWin, "without/with")
+}
+
+// BenchmarkA3SchedulerAblation reports FIFO+steal time on the skewed load.
+func BenchmarkA3SchedulerAblation(b *testing.B) {
+	var rs []experiments.A3Result
+	for i := 0; i < b.N; i++ {
+		rs = experiments.RunA3(2000, 4)
+	}
+	for _, r := range rs {
+		if r.Scheduler == "fifo+steal" {
+			b.ReportMetric(float64(r.PxTime.Milliseconds()), "steal-ms")
+		}
+	}
+}
+
+// --- micro-benchmarks of the public API, for -benchmem numbers ---
+
+// BenchmarkX1PIMvsLoadStore reports the in-memory-thread speedup at a
+// network/row ratio of 5 (the §3.2 MIND claim).
+func BenchmarkX1PIMvsLoadStore(b *testing.B) {
+	var rs []experiments.X1Result
+	for i := 0; i < b.N; i++ {
+		rs = experiments.RunX1([]float64{5}, 16, 256, 8, 30)
+	}
+	b.ReportMetric(rs[0].Speedup, "ls/pim")
+}
+
+// BenchmarkParcelEncodeDecode measures the wire codec.
+func BenchmarkParcelEncodeDecode(b *testing.B) {
+	p := parallex.NewParcel(
+		parallex.GID{Home: 1, Kind: parallex.KindData, Seq: 42},
+		"bench.action",
+		parallex.NewArgs().Int64(7).Float64(3.14).String("payload").Encode(),
+		parallex.Continuation{Target: parallex.GID{Home: 0, Kind: parallex.KindLCO, Seq: 9}, Action: parallex.ActionLCOSet},
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := p.Encode(nil)
+		if _, _, err := parcel.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFutureCycle measures future create/set/get.
+func BenchmarkFutureCycle(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := parallex.NewFuture()
+		f.Set(i)
+		f.Get()
+	}
+}
+
+// BenchmarkSpawnWaitLocal measures thread spawn through the runtime.
+func BenchmarkSpawnWaitLocal(b *testing.B) {
+	rt := parallex.New(parallex.Config{Localities: 1, WorkersPerLocality: 4})
+	defer rt.Shutdown()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Spawn(0, func(*parallex.Context) {})
+	}
+	rt.Wait()
+}
+
+// BenchmarkBHTreeBuild measures quadtree construction (the sequential
+// phase of the N-body workload).
+func BenchmarkBHTreeBuild(b *testing.B) {
+	bodies := workloads.GenerateClusteredBodies(2000, 0.4, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		workloads.BuildBHTree(bodies, 0.5)
+	}
+}
+
+// BenchmarkPICSequentialStep measures one deposit/solve/push cycle.
+func BenchmarkPICSequentialStep(b *testing.B) {
+	p := workloads.NewPIC(10000, 64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step(0.01)
+	}
+}
+
+// BenchmarkChipSimStream measures the Gilgamesh DES itself.
+func BenchmarkChipSimStream(b *testing.B) {
+	chip := gilgamesh.ChipSim{FetchCycles: 300, ComputeCycles: 100, FetchChannels: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chip.RunStream(1000, 4)
+	}
+}
+
+// BenchmarkAGASResolveCached measures the translation fast path.
+func BenchmarkAGASResolveCached(b *testing.B) {
+	rt := parallex.New(parallex.Config{Localities: 4})
+	defer rt.Shutdown()
+	g := rt.NewDataAt(2, "obj")
+	svc := rt.AGAS()
+	svc.ResolveCached(0, g) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.ResolveCached(0, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEchoLocalRead measures an echoed variable's read path.
+func BenchmarkEchoLocalRead(b *testing.B) {
+	rt := parallex.New(parallex.Config{Localities: 4})
+	defer rt.Shutdown()
+	echo.RegisterActions(rt)
+	v, err := echo.NewVar(rt, int64(1), []int{0, 1, 2, 3}, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := v.ReadAt(3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMINDSimPIM measures the MIND DES throughput.
+func BenchmarkMINDSimPIM(b *testing.B) {
+	m := gilgamesh.MINDSim{Banks: 16, NetCycles: 150, RowCycles: 30, ComputeCycles: 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RunPIM(256, 8)
+	}
+}
+
+// BenchmarkAtomicSection measures the LITL-X atomic section round trip.
+func BenchmarkAtomicSection(b *testing.B) {
+	rt := parallex.New(parallex.Config{Localities: 2})
+	defer rt.Shutdown()
+	litlx.RegisterActions(rt)
+	api := litlx.New(rt)
+	at := api.NewAtomic(1, int64(0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := at.Do(0, func(s any) (any, any, error) {
+			return s.(int64) + 1, nil, nil
+		}).Get(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+// Command designpoint regenerates the paper's Figure 1 (the Gilgamesh II
+// architecture diagram) and the §3.2 design-point table from the
+// architecture model, checking every derived figure against the values the
+// paper quotes. Exit status is nonzero if any check fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gilgamesh"
+)
+
+func main() {
+	chips := flag.Int("chips", 0, "override compute chip count (0 = paper value)")
+	flag.Parse()
+
+	d := gilgamesh.Default2020()
+	if *chips > 0 {
+		d.ComputeChips = *chips
+	}
+
+	fmt.Println(gilgamesh.RenderFigure1(d))
+	fmt.Println(d.Report())
+
+	for _, row := range d.Check() {
+		if !row.OK {
+			fmt.Fprintf(os.Stderr, "design point check failed: %s (paper %s, model %s)\n",
+				row.Name, row.Paper, row.Model)
+			os.Exit(1)
+		}
+	}
+}

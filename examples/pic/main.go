@@ -1,0 +1,52 @@
+// Command pic runs the two-stream plasma instability with the 1-D
+// particle-in-cell workload — the paper's "particle in cell" application —
+// under ParalleX dataflow phase coupling (deposit → reduce → solve → push,
+// no barriers) and prints the instability's field-energy growth, the
+// physical signature that the phases were coupled correctly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	parallex "repro"
+	"repro/internal/workloads"
+)
+
+func main() {
+	nPart := flag.Int("n", 20000, "macro-particles")
+	nx := flag.Int("nx", 64, "grid cells")
+	steps := flag.Int("steps", 400, "time steps")
+	dt := flag.Float64("dt", 0.05, "time step")
+	locs := flag.Int("p", 4, "localities")
+	flag.Parse()
+
+	rt := parallex.New(parallex.Config{Localities: *locs, WorkersPerLocality: 4})
+	defer rt.Shutdown()
+
+	p := workloads.NewPIC(*nPart, *nx, 7)
+	p.Deposit()
+	p.SolveField()
+	fe0 := p.FieldEnergy()
+
+	fmt.Printf("two-stream instability: %d particles, %d cells, %d steps, P=%d\n",
+		*nPart, *nx, *steps, *locs)
+	fmt.Printf("%8s %14s %14s\n", "step", "field energy", "kinetic energy")
+	fmt.Printf("%8d %14.6e %14.6e\n", 0, fe0, p.KineticEnergy())
+
+	start := time.Now()
+	for s := 1; s <= *steps; s++ {
+		workloads.PICStepParalleX(rt, p, *locs*8, *dt)
+		if s%(*steps/8) == 0 {
+			fmt.Printf("%8d %14.6e %14.6e\n", s, p.FieldEnergy(), p.KineticEnergy())
+		}
+	}
+	rt.Wait()
+	elapsed := time.Since(start)
+
+	growth := p.FieldEnergy() / fe0
+	fmt.Printf("\nfield energy grew %.0fx — the instability developed (phases coupled by dataflow LCOs, zero barriers)\n", growth)
+	fmt.Printf("wall time: %v (%v/step)\n", elapsed, elapsed/time.Duration(*steps))
+	fmt.Printf("runtime stats: %v\n", rt.SLOW())
+}

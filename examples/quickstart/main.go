@@ -1,0 +1,75 @@
+// Command quickstart demonstrates the ParalleX essentials in ~60 lines:
+// a machine of localities, a globally named data object, a remote action
+// invoked split-phase through a parcel, and a continuation chain that
+// migrates the locus of control across the machine without returning to
+// the caller in between.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	parallex "repro"
+)
+
+func main() {
+	// A 4-locality machine over a crossbar with realistic latencies.
+	rt := parallex.New(parallex.Config{
+		Localities:         4,
+		WorkersPerLocality: 4,
+		Net:                parallex.CrossbarNetwork(4, parallex.DefaultNetworkParams()),
+	})
+	defer rt.Shutdown()
+
+	// Actions are first-class named entities.
+	rt.MustRegisterAction("stats.sum", func(ctx *parallex.Context, target any, args *parallex.ArgsReader) (any, error) {
+		s := 0.0
+		for _, v := range target.([]float64) {
+			s += v
+		}
+		return s, nil
+	})
+	rt.MustRegisterAction("stats.scale", func(ctx *parallex.Context, target any, args *parallex.ArgsReader) (any, error) {
+		raw := args.Bytes()
+		if err := args.Err(); err != nil {
+			return nil, err
+		}
+		v, err := parallex.DecodeValue(raw)
+		if err != nil {
+			return nil, err
+		}
+		return v.(float64) * target.(float64), nil
+	})
+
+	// Data lives where it lives; work goes to it.
+	vector := rt.NewDataAt(2, []float64{1, 2, 3, 4, 5})
+	factor := rt.NewDataAt(3, 10.0)
+
+	// Split-phase remote call: the caller gets a future immediately.
+	start := time.Now()
+	fut := rt.CallFrom(0, vector, "stats.sum", nil)
+	fmt.Println("call issued; caller keeps working while the parcel travels...")
+	v, err := fut.Get()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sum = %v (split-phase round trip %v)\n", v, time.Since(start))
+
+	// Continuation chain: sum at L2, then scale at L3, then deliver to a
+	// future at L0 — control migrates L0→L2→L3→L0 with no intermediate
+	// round trips.
+	fgid, out := rt.NewFutureAt(0)
+	rt.SendFrom(0, parallex.NewParcel(vector, "stats.sum", nil,
+		parallex.Continuation{Target: factor, Action: "stats.scale"},
+		parallex.Continuation{Target: fgid, Action: parallex.ActionLCOSet},
+	))
+	v, err = out.Get()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sum scaled through continuation chain = %v\n", v)
+
+	rt.Wait()
+	fmt.Printf("runtime stats: %v\n", rt.SLOW())
+}

@@ -1,0 +1,91 @@
+package parallex_test
+
+// Smoke tests that build and run every example binary end to end with
+// small parameters. Skipped under -short (go run compiles each example).
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runExample(t *testing.T, dir string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", dir}, args...)...)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s failed: %v\n%s", dir, err, out)
+	}
+	return string(out)
+}
+
+func TestExampleQuickstart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke tests skipped in -short mode")
+	}
+	out := runExample(t, "./examples/quickstart")
+	if !strings.Contains(out, "sum = 15") || !strings.Contains(out, "= 150") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestExampleNBody(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke tests skipped in -short mode")
+	}
+	out := runExample(t, "./examples/nbody", "-n", "600", "-steps", "1", "-p", "2")
+	if !strings.Contains(out, "divergence: 0.00e+00") {
+		t.Fatalf("nbody drivers diverged:\n%s", out)
+	}
+}
+
+func TestExampleAMR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke tests skipped in -short mode")
+	}
+	out := runExample(t, "./examples/amr", "-p", "2")
+	if !strings.Contains(out, "abs error") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestExamplePIC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke tests skipped in -short mode")
+	}
+	out := runExample(t, "./examples/pic", "-n", "2000", "-steps", "80", "-p", "2")
+	if !strings.Contains(out, "field energy grew") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestExampleGraphQuery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke tests skipped in -short mode")
+	}
+	out := runExample(t, "./examples/graphquery", "-n", "2000", "-p", "2")
+	if !strings.Contains(out, "verified against sequential BFS") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestExampleProcRing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke tests skipped in -short mode")
+	}
+	out := runExample(t, "./examples/procring", "-p", "2")
+	if !strings.Contains(out, "match=true") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestCmdDesignpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke tests skipped in -short mode")
+	}
+	out := runExample(t, "./cmd/designpoint")
+	if !strings.Contains(out, "PASS") || strings.Contains(out, "FAIL") {
+		t.Fatalf("design point output:\n%s", out)
+	}
+}

@@ -1,0 +1,332 @@
+package agas
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestGIDEncodeDecodeRoundTrip(t *testing.T) {
+	g := GID{Home: 42, Kind: KindLCO, Seq: 987654321}
+	buf := g.Encode(nil)
+	if len(buf) != GIDSize {
+		t.Fatalf("encoded size = %d, want %d", len(buf), GIDSize)
+	}
+	got, rest, err := DecodeGID(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != g {
+		t.Fatalf("round trip = %v, want %v", got, g)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("leftover %d bytes", len(rest))
+	}
+}
+
+func TestPropertyGIDRoundTrip(t *testing.T) {
+	f := func(home uint32, kind uint8, seq uint64, tail []byte) bool {
+		g := GID{Home: home, Kind: Kind(kind % 7), Seq: seq}
+		buf := g.Encode(nil)
+		buf = append(buf, tail...)
+		got, rest, err := DecodeGID(buf)
+		return err == nil && got == g && len(rest) == len(tail)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeShortGID(t *testing.T) {
+	if _, _, err := DecodeGID(make([]byte, 7)); err == nil {
+		t.Fatal("short decode succeeded")
+	}
+}
+
+func TestNilGID(t *testing.T) {
+	if !Nil.IsNil() {
+		t.Fatal("Nil is not nil")
+	}
+	g := GID{Home: 1, Kind: KindData, Seq: 1}
+	if g.IsNil() {
+		t.Fatal("valid GID reported nil")
+	}
+	if Nil.String() != "gid(nil)" {
+		t.Fatalf("Nil string = %q", Nil.String())
+	}
+}
+
+func TestAllocDistinct(t *testing.T) {
+	s := NewService(4)
+	seen := make(map[GID]bool)
+	for i := 0; i < 1000; i++ {
+		g := s.Alloc(i%4, KindData)
+		if seen[g] {
+			t.Fatalf("duplicate GID %v", g)
+		}
+		seen[g] = true
+	}
+}
+
+func TestOwnerAfterAlloc(t *testing.T) {
+	s := NewService(4)
+	g := s.Alloc(2, KindData)
+	owner, err := s.Owner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner != 2 {
+		t.Fatalf("owner = %d, want 2", owner)
+	}
+}
+
+func TestOwnerUnknown(t *testing.T) {
+	s := NewService(2)
+	if _, err := s.Owner(GID{Home: 0, Kind: KindData, Seq: 999}); err == nil {
+		t.Fatal("unknown name resolved")
+	}
+	if _, err := s.Owner(Nil); err == nil {
+		t.Fatal("nil name resolved")
+	}
+	if _, err := s.Owner(GID{Home: 7, Kind: KindData, Seq: 1}); err == nil {
+		t.Fatal("out-of-machine home resolved")
+	}
+}
+
+func TestMigrationMovesOwnership(t *testing.T) {
+	s := NewService(4)
+	g := s.Alloc(0, KindData)
+	if err := s.Migrate(g, 3); err != nil {
+		t.Fatal(err)
+	}
+	owner, err := s.Owner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner != 3 {
+		t.Fatalf("owner after migrate = %d, want 3", owner)
+	}
+	gen, err := s.Generation(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 {
+		t.Fatalf("generation = %d, want 2", gen)
+	}
+}
+
+func TestCachedResolutionGoesStale(t *testing.T) {
+	s := NewService(4)
+	g := s.Alloc(0, KindData)
+	// Locality 1 resolves and caches.
+	owner, err := s.ResolveCached(1, g)
+	if err != nil || owner != 0 {
+		t.Fatalf("resolve = %d, %v", owner, err)
+	}
+	// Object migrates; cache is deliberately incoherent.
+	if err := s.Migrate(g, 2); err != nil {
+		t.Fatal(err)
+	}
+	stale, _ := s.ResolveCached(1, g)
+	if stale != 0 {
+		t.Fatalf("expected stale answer 0, got %d", stale)
+	}
+	// Forwarding repair: invalidate then re-resolve.
+	s.Invalidate(1, g)
+	fresh, _ := s.ResolveCached(1, g)
+	if fresh != 2 {
+		t.Fatalf("post-invalidate resolve = %d, want 2", fresh)
+	}
+	if s.Forwards.Load() != 1 {
+		t.Fatalf("forwards = %d, want 1", s.Forwards.Load())
+	}
+}
+
+func TestCacheHitAccounting(t *testing.T) {
+	s := NewService(2)
+	g := s.Alloc(0, KindData)
+	s.ResolveCached(1, g) // miss
+	s.ResolveCached(1, g) // hit
+	s.ResolveCached(1, g) // hit
+	if s.Resolutions.Load() != 1 {
+		t.Fatalf("resolutions = %d, want 1", s.Resolutions.Load())
+	}
+	if s.CacheHits.Load() != 2 {
+		t.Fatalf("hits = %d, want 2", s.CacheHits.Load())
+	}
+}
+
+func TestFreeRemovesName(t *testing.T) {
+	s := NewService(2)
+	g := s.Alloc(0, KindData)
+	s.Free(g)
+	if _, err := s.Owner(g); err == nil {
+		t.Fatal("freed name still resolves")
+	}
+	s.Free(g) // idempotent
+}
+
+func TestMigrateUnknown(t *testing.T) {
+	s := NewService(2)
+	if err := s.Migrate(GID{Home: 0, Kind: KindData, Seq: 12345}, 1); err == nil {
+		t.Fatal("migrating unknown name succeeded")
+	}
+}
+
+// Property: after an arbitrary sequence of migrations, the authoritative
+// owner is the last migration target, and invalidate+resolve from any
+// locality agrees with it.
+func TestPropertyMigrationConverges(t *testing.T) {
+	f := func(moves []uint8, viewer uint8) bool {
+		const n = 8
+		s := NewService(n)
+		g := s.Alloc(0, KindData)
+		last := 0
+		for _, m := range moves {
+			to := int(m) % n
+			if err := s.Migrate(g, to); err != nil {
+				return false
+			}
+			last = to
+		}
+		v := int(viewer) % n
+		s.ResolveCached(v, g) // may populate stale cache
+		s.Invalidate(v, g)
+		got, err := s.ResolveCached(v, g)
+		return err == nil && got == last
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAllocAndResolve(t *testing.T) {
+	s := NewService(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			var mine []GID
+			for i := 0; i < 200; i++ {
+				g := s.Alloc(w, KindData)
+				mine = append(mine, g)
+				probe := mine[rng.Intn(len(mine))]
+				if _, err := s.ResolveCached(w, probe); err != nil {
+					t.Errorf("resolve: %v", err)
+					return
+				}
+				if rng.Intn(4) == 0 {
+					s.Migrate(probe, rng.Intn(8))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestNamespaceBindLookup(t *testing.T) {
+	ns := NewNamespace()
+	g := GID{Home: 1, Kind: KindData, Seq: 7}
+	if err := ns.Bind("/app/mesh/block3", g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ns.Lookup("/app/mesh/block3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != g {
+		t.Fatalf("lookup = %v, want %v", got, g)
+	}
+}
+
+func TestNamespaceRejectsDoubleBind(t *testing.T) {
+	ns := NewNamespace()
+	g := GID{Home: 1, Kind: KindData, Seq: 7}
+	if err := ns.Bind("/x", g); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Bind("/x", g); err == nil {
+		t.Fatal("double bind succeeded")
+	}
+}
+
+func TestNamespaceValidation(t *testing.T) {
+	ns := NewNamespace()
+	g := GID{Home: 1, Kind: KindData, Seq: 7}
+	for _, bad := range []string{"relative/path", "", "/", "//x", "/a//b"} {
+		if err := ns.Bind(bad, g); err == nil {
+			t.Errorf("bind of %q succeeded", bad)
+		}
+	}
+	if err := ns.Bind("/ok", Nil); err == nil {
+		t.Error("bind of nil GID succeeded")
+	}
+}
+
+func TestNamespaceDirectoryIsNotAName(t *testing.T) {
+	ns := NewNamespace()
+	g := GID{Home: 1, Kind: KindData, Seq: 7}
+	ns.Bind("/a/b", g)
+	if _, err := ns.Lookup("/a"); err == nil {
+		t.Fatal("lookup of directory succeeded")
+	}
+}
+
+func TestNamespaceUnbind(t *testing.T) {
+	ns := NewNamespace()
+	g := GID{Home: 1, Kind: KindData, Seq: 7}
+	ns.Bind("/a/b", g)
+	if err := ns.Unbind("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ns.Lookup("/a/b"); err == nil {
+		t.Fatal("lookup after unbind succeeded")
+	}
+	if err := ns.Unbind("/a/b"); err == nil {
+		t.Fatal("double unbind succeeded")
+	}
+	// Rebinding after unbind is allowed.
+	if err := ns.Bind("/a/b", g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNamespaceList(t *testing.T) {
+	ns := NewNamespace()
+	g := GID{Home: 1, Kind: KindData, Seq: 7}
+	for _, p := range []string{"/app/a", "/app/b/c", "/sys/clock", "/app/b/d"} {
+		if err := ns.Bind(p, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := ns.List("/app")
+	want := []string{"/app/a", "/app/b/c", "/app/b/d"}
+	if len(got) != len(want) {
+		t.Fatalf("List = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("List = %v, want %v", got, want)
+		}
+	}
+	all := ns.List("/")
+	if len(all) != 4 {
+		t.Fatalf("List(/) = %v", all)
+	}
+	if ns.List("/nosuch") != nil {
+		t.Fatal("List of missing prefix should be nil")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindAction.String() != "action" {
+		t.Fatalf("KindAction = %q", KindAction)
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind empty")
+	}
+}

@@ -1,0 +1,87 @@
+// Package agas implements the ParalleX global name space: every first-class
+// object — data, actions, LCOs, processes, and even hardware resources — has
+// a global identifier that can be named from any locality. Objects move;
+// names do not. Translation uses a home-based directory per locality with
+// per-locality caches that may go stale (the model explicitly has no global
+// cache coherence), repaired by forwarding.
+package agas
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Kind types a global name. The paper makes actions and hardware resources
+// first-class nameable entities alongside data, so the kind is part of the
+// identifier.
+type Kind uint8
+
+// Name kinds.
+const (
+	KindInvalid Kind = iota
+	KindData
+	KindAction
+	KindLCO
+	KindProcess
+	KindThread
+	KindHardware
+)
+
+var kindNames = [...]string{"invalid", "data", "action", "lco", "process", "thread", "hardware"}
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// GID is a 128-bit global identifier. Home is the locality whose directory
+// is authoritative for the object (a routing hint, not its current
+// location). The zero GID is invalid.
+type GID struct {
+	Home uint32
+	Kind Kind
+	Seq  uint64
+}
+
+// Nil is the invalid zero GID.
+var Nil GID
+
+// IsNil reports whether g is the invalid zero GID.
+func (g GID) IsNil() bool { return g == Nil }
+
+// String renders the GID for logs: kind@home#seq.
+func (g GID) String() string {
+	if g.IsNil() {
+		return "gid(nil)"
+	}
+	return fmt.Sprintf("%s@%d#%d", g.Kind, g.Home, g.Seq)
+}
+
+// GIDSize is the encoded size of a GID in bytes.
+const GIDSize = 16
+
+// Encode appends the 16-byte wire form of g to dst.
+func (g GID) Encode(dst []byte) []byte {
+	var buf [GIDSize]byte
+	binary.LittleEndian.PutUint32(buf[0:4], g.Home)
+	buf[4] = byte(g.Kind)
+	// bytes 5..7 reserved, zero
+	binary.LittleEndian.PutUint64(buf[8:16], g.Seq)
+	return append(dst, buf[:]...)
+}
+
+// DecodeGID reads a GID from the front of src, returning the remainder.
+func DecodeGID(src []byte) (GID, []byte, error) {
+	if len(src) < GIDSize {
+		return Nil, src, fmt.Errorf("agas: short GID: %d bytes", len(src))
+	}
+	g := GID{
+		Home: binary.LittleEndian.Uint32(src[0:4]),
+		Kind: Kind(src[4]),
+		Seq:  binary.LittleEndian.Uint64(src[8:16]),
+	}
+	return g, src[GIDSize:], nil
+}

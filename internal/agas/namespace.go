@@ -1,0 +1,158 @@
+package agas
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Namespace is the hierarchical symbolic name tree: slash-separated paths
+// map to GIDs, mirroring the paper's "hierarchical naming structure".
+// It is safe for concurrent use.
+type Namespace struct {
+	mu   sync.RWMutex
+	root *nsNode
+}
+
+type nsNode struct {
+	children map[string]*nsNode
+	gid      GID
+	bound    bool
+}
+
+// NewNamespace returns an empty namespace.
+func NewNamespace() *Namespace {
+	return &Namespace{root: &nsNode{children: make(map[string]*nsNode)}}
+}
+
+// splitPath validates and splits a path like "/app/mesh/block3".
+func splitPath(path string) ([]string, error) {
+	if !strings.HasPrefix(path, "/") {
+		return nil, fmt.Errorf("agas: path %q must be absolute", path)
+	}
+	if path == "/" {
+		return nil, fmt.Errorf("agas: empty path")
+	}
+	parts := strings.Split(path[1:], "/")
+	for _, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("agas: path %q has empty component", path)
+		}
+	}
+	return parts, nil
+}
+
+// Bind associates path with g, creating intermediate directories. Binding
+// an already-bound path fails; names are stable once published.
+func (ns *Namespace) Bind(path string, g GID) error {
+	if g.IsNil() {
+		return fmt.Errorf("agas: bind of nil GID to %q", path)
+	}
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	node := ns.root
+	for _, p := range parts {
+		child, ok := node.children[p]
+		if !ok {
+			child = &nsNode{children: make(map[string]*nsNode)}
+			node.children[p] = child
+		}
+		node = child
+	}
+	if node.bound {
+		return fmt.Errorf("agas: %q already bound to %v", path, node.gid)
+	}
+	node.gid = g
+	node.bound = true
+	return nil
+}
+
+// Lookup resolves path to a GID.
+func (ns *Namespace) Lookup(path string) (GID, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return Nil, err
+	}
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	node := ns.root
+	for _, p := range parts {
+		child, ok := node.children[p]
+		if !ok {
+			return Nil, fmt.Errorf("agas: name %q not found", path)
+		}
+		node = child
+	}
+	if !node.bound {
+		return Nil, fmt.Errorf("agas: %q is a directory, not a name", path)
+	}
+	return node.gid, nil
+}
+
+// Unbind removes the binding at path, leaving intermediate directories.
+func (ns *Namespace) Unbind(path string) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	node := ns.root
+	for _, p := range parts {
+		child, ok := node.children[p]
+		if !ok {
+			return fmt.Errorf("agas: name %q not found", path)
+		}
+		node = child
+	}
+	if !node.bound {
+		return fmt.Errorf("agas: %q not bound", path)
+	}
+	node.bound = false
+	node.gid = Nil
+	return nil
+}
+
+// List returns the bound paths under prefix (inclusive), sorted.
+func (ns *Namespace) List(prefix string) []string {
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	start := ns.root
+	base := ""
+	if prefix != "" && prefix != "/" {
+		parts, err := splitPath(prefix)
+		if err != nil {
+			return nil
+		}
+		for _, p := range parts {
+			child, ok := start.children[p]
+			if !ok {
+				return nil
+			}
+			start = child
+		}
+		base = "/" + strings.Join(parts, "/")
+	}
+	var out []string
+	var walk func(node *nsNode, path string)
+	walk = func(node *nsNode, path string) {
+		if node.bound {
+			out = append(out, path)
+		}
+		for name, child := range node.children {
+			walk(child, path+"/"+name)
+		}
+	}
+	if base == "" {
+		walk(start, "")
+	} else {
+		walk(start, base)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,201 @@
+package agas
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// entry is one authoritative directory record.
+type entry struct {
+	owner int
+	gen   uint64
+}
+
+// directory is the authoritative GID→locality map for names homed at one
+// locality.
+type directory struct {
+	mu      sync.RWMutex
+	entries map[GID]entry
+}
+
+// cacheLine is one possibly-stale translation held by a locality.
+type cacheLine struct {
+	owner int
+	gen   uint64
+}
+
+// translationCache is a locality's private, incoherent translation cache.
+type translationCache struct {
+	mu sync.RWMutex
+	m  map[GID]cacheLine
+}
+
+// Service is the AGAS for one simulated machine: n localities, each with an
+// authoritative directory for the GIDs it allocated and a private
+// translation cache. The service also hosts the hierarchical symbolic
+// namespace.
+type Service struct {
+	n      int
+	seq    atomic.Uint64
+	dirs   []*directory
+	caches []*translationCache
+	ns     *Namespace
+
+	// Resolutions counts cache-miss directory consultations; CacheHits
+	// counts translations answered locally. The ratio is the address
+	// translation efficiency the paper's "efficient address translation"
+	// requirement refers to.
+	Resolutions atomic.Uint64
+	CacheHits   atomic.Uint64
+	Forwards    atomic.Uint64
+}
+
+// NewService creates an AGAS over n localities.
+func NewService(n int) *Service {
+	if n <= 0 {
+		panic("agas: locality count must be positive")
+	}
+	s := &Service{n: n, ns: NewNamespace()}
+	s.dirs = make([]*directory, n)
+	s.caches = make([]*translationCache, n)
+	for i := 0; i < n; i++ {
+		s.dirs[i] = &directory{entries: make(map[GID]entry)}
+		s.caches[i] = &translationCache{m: make(map[GID]cacheLine)}
+	}
+	return s
+}
+
+// Localities reports the number of localities the service spans.
+func (s *Service) Localities() int { return s.n }
+
+// Namespace returns the symbolic hierarchical namespace.
+func (s *Service) Namespace() *Namespace { return s.ns }
+
+// Alloc mints a fresh GID of the given kind homed (and initially owned) at
+// locality home.
+func (s *Service) Alloc(home int, kind Kind) GID {
+	s.checkLoc(home)
+	if kind == KindInvalid {
+		panic("agas: cannot allocate invalid kind")
+	}
+	g := GID{Home: uint32(home), Kind: kind, Seq: s.seq.Add(1)}
+	d := s.dirs[home]
+	d.mu.Lock()
+	d.entries[g] = entry{owner: home, gen: 1}
+	d.mu.Unlock()
+	return g
+}
+
+// Owner returns the authoritative current owner of g by consulting its home
+// directory. It reports an error for unknown names.
+func (s *Service) Owner(g GID) (int, error) {
+	if g.IsNil() {
+		return 0, fmt.Errorf("agas: resolve of nil GID")
+	}
+	home := int(g.Home)
+	if home >= s.n {
+		return 0, fmt.Errorf("agas: %v homed beyond machine (%d localities)", g, s.n)
+	}
+	d := s.dirs[home]
+	d.mu.RLock()
+	e, ok := d.entries[g]
+	d.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("agas: unknown name %v", g)
+	}
+	return e.owner, nil
+}
+
+// ResolveCached translates g from the perspective of locality from. It
+// prefers the locality's private cache and falls back to the home
+// directory, filling the cache. The answer may be stale if the object has
+// since migrated; callers discover staleness when the presumed owner
+// rejects the access, and should then call Invalidate and retry (the
+// forwarding path counted by Forwards).
+func (s *Service) ResolveCached(from int, g GID) (int, error) {
+	s.checkLoc(from)
+	c := s.caches[from]
+	c.mu.RLock()
+	line, ok := c.m[g]
+	c.mu.RUnlock()
+	if ok {
+		s.CacheHits.Add(1)
+		return line.owner, nil
+	}
+	owner, err := s.Owner(g)
+	if err != nil {
+		return 0, err
+	}
+	s.Resolutions.Add(1)
+	c.mu.Lock()
+	c.m[g] = cacheLine{owner: owner}
+	c.mu.Unlock()
+	return owner, nil
+}
+
+// Invalidate drops locality from's cached translation for g, forcing the
+// next ResolveCached to consult the home directory. It records a forward.
+func (s *Service) Invalidate(from int, g GID) {
+	s.checkLoc(from)
+	c := s.caches[from]
+	c.mu.Lock()
+	delete(c.m, g)
+	c.mu.Unlock()
+	s.Forwards.Add(1)
+}
+
+// Migrate atomically moves ownership of g to locality to, bumping the
+// generation. Caches elsewhere are deliberately left stale.
+func (s *Service) Migrate(g GID, to int) error {
+	s.checkLoc(to)
+	home := int(g.Home)
+	if home >= s.n {
+		return fmt.Errorf("agas: %v homed beyond machine", g)
+	}
+	d := s.dirs[home]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.entries[g]
+	if !ok {
+		return fmt.Errorf("agas: migrate of unknown name %v", g)
+	}
+	e.owner = to
+	e.gen++
+	d.entries[g] = e
+	return nil
+}
+
+// Free removes g from its home directory and is idempotent.
+func (s *Service) Free(g GID) {
+	home := int(g.Home)
+	if home >= s.n {
+		return
+	}
+	d := s.dirs[home]
+	d.mu.Lock()
+	delete(d.entries, g)
+	d.mu.Unlock()
+}
+
+// Generation reports the migration generation of g (1 when newly allocated).
+func (s *Service) Generation(g GID) (uint64, error) {
+	home := int(g.Home)
+	if home >= s.n {
+		return 0, fmt.Errorf("agas: %v homed beyond machine", g)
+	}
+	d := s.dirs[home]
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	e, ok := d.entries[g]
+	if !ok {
+		return 0, fmt.Errorf("agas: unknown name %v", g)
+	}
+	return e.gen, nil
+}
+
+func (s *Service) checkLoc(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("agas: locality %d out of range [0,%d)", i, s.n))
+	}
+}

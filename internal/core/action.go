@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/agas"
+	"repro/internal/lco"
+	"repro/internal/parcel"
+)
+
+// ActionFunc is the body applied when a parcel reaches its target object.
+// target is the object named by the parcel's destination GID (resolved from
+// the executing locality's store). The returned value feeds the parcel's
+// continuation, if any.
+type ActionFunc func(ctx *Context, target any, args *parcel.Reader) (any, error)
+
+// actionRegistry maps action names to bodies. Actions are first-class in
+// the model: their names travel in parcels and can be bound in the global
+// namespace.
+type actionRegistry struct {
+	mu sync.RWMutex
+	m  map[string]ActionFunc
+}
+
+func newActionRegistry() *actionRegistry {
+	return &actionRegistry{m: make(map[string]ActionFunc)}
+}
+
+func (a *actionRegistry) register(name string, fn ActionFunc) error {
+	if name == "" || fn == nil {
+		return fmt.Errorf("core: action needs a name and a body")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, dup := a.m[name]; dup {
+		return fmt.Errorf("core: action %q already registered", name)
+	}
+	a.m[name] = fn
+	return nil
+}
+
+func (a *actionRegistry) lookup(name string) (ActionFunc, bool) {
+	a.mu.RLock()
+	fn, ok := a.m[name]
+	a.mu.RUnlock()
+	return fn, ok
+}
+
+// RegisterAction installs a named action. Registration must happen before
+// parcels naming the action are sent; duplicate names are rejected.
+func (r *Runtime) RegisterAction(name string, fn ActionFunc) error {
+	return r.acts.register(name, fn)
+}
+
+// MustRegisterAction is RegisterAction that panics on error, for program
+// initialization.
+func (r *Runtime) MustRegisterAction(name string, fn ActionFunc) {
+	if err := r.RegisterAction(name, fn); err != nil {
+		panic(err)
+	}
+}
+
+// Built-in action names. The LCO actions let continuations target futures,
+// gates and reductions transparently.
+const (
+	// ActionLCOSet resolves a future target with the parcel's value.
+	ActionLCOSet = "px.lco.set"
+	// ActionLCOFail fails a future target with an error message argument.
+	ActionLCOFail = "px.lco.fail"
+	// ActionLCOSignal signals an AndGate or Metathread target.
+	ActionLCOSignal = "px.lco.signal"
+	// ActionLCOContribute contributes the parcel's value to a Reduce target.
+	ActionLCOContribute = "px.lco.contribute"
+	// ActionNop does nothing; useful for measuring pure parcel overhead.
+	ActionNop = "px.nop"
+)
+
+func registerBuiltins(a *actionRegistry) {
+	mustReg := func(name string, fn ActionFunc) {
+		if err := a.register(name, fn); err != nil {
+			panic(err)
+		}
+	}
+	mustReg(ActionLCOSet, func(ctx *Context, target any, args *parcel.Reader) (any, error) {
+		f, ok := target.(*lco.Future)
+		if !ok {
+			return nil, fmt.Errorf("core: %s on %T", ActionLCOSet, target)
+		}
+		v, err := decodeValueArg(args)
+		if err != nil {
+			return nil, err
+		}
+		if err := f.Set(v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	})
+	mustReg(ActionLCOFail, func(ctx *Context, target any, args *parcel.Reader) (any, error) {
+		f, ok := target.(*lco.Future)
+		if !ok {
+			return nil, fmt.Errorf("core: %s on %T", ActionLCOFail, target)
+		}
+		msg := args.String()
+		if err := args.Err(); err != nil {
+			return nil, err
+		}
+		failErr := fmt.Errorf("remote action failed: %s", msg)
+		if err := f.Fail(failErr); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	})
+	mustReg(ActionLCOSignal, func(ctx *Context, target any, args *parcel.Reader) (any, error) {
+		switch g := target.(type) {
+		case *lco.AndGate:
+			g.Signal()
+		case *lco.Metathread:
+			g.Signal()
+		default:
+			return nil, fmt.Errorf("core: %s on %T", ActionLCOSignal, target)
+		}
+		return nil, nil
+	})
+	mustReg(ActionLCOContribute, func(ctx *Context, target any, args *parcel.Reader) (any, error) {
+		red, ok := target.(*lco.Reduce)
+		if !ok {
+			return nil, fmt.Errorf("core: %s on %T", ActionLCOContribute, target)
+		}
+		v, err := decodeValueArg(args)
+		if err != nil {
+			return nil, err
+		}
+		if err := red.Contribute(v); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	})
+	mustReg(ActionNop, func(ctx *Context, target any, args *parcel.Reader) (any, error) {
+		return nil, nil
+	})
+}
+
+// decodeValueArg reads a single EncodeAny-encoded value from args.
+func decodeValueArg(args *parcel.Reader) (any, error) {
+	raw := args.Bytes()
+	if err := args.Err(); err != nil {
+		return nil, err
+	}
+	return parcel.DecodeAny(raw)
+}
+
+// encodeValueArg wraps an action result for a continuation parcel: the
+// value is EncodeAny'd then carried as a single bytes argument.
+func encodeValueArg(v any) ([]byte, error) {
+	raw, err := parcel.EncodeAny(v)
+	if err != nil {
+		return nil, err
+	}
+	return parcel.NewArgs().Bytes(raw).Encode(), nil
+}
+
+// Context is the view of the runtime an executing thread sees: which
+// locality it is on, and the operations the model allows — sending parcels,
+// spawning local threads, creating LCOs, and suspending on dependencies.
+type Context struct {
+	rt  *Runtime
+	loc int
+	th  interface{ Suspend() error }
+}
+
+// Locality reports the executing locality.
+func (c *Context) Locality() int { return c.loc }
+
+// Runtime exposes the owning runtime.
+func (c *Context) Runtime() *Runtime { return c.rt }
+
+// Send routes a parcel; the source locality is stamped automatically.
+func (c *Context) Send(p *parcel.Parcel) { c.rt.SendFrom(c.loc, p) }
+
+// Call invokes action on dest and returns a future (homed here) for the
+// result — split-phase remote invocation.
+func (c *Context) Call(dest agas.GID, action string, args []byte) *lco.Future {
+	return c.rt.CallFrom(c.loc, dest, action, args)
+}
+
+// Spawn starts a new local thread.
+func (c *Context) Spawn(fn func(*Context)) { c.rt.Spawn(c.loc, fn) }
+
+// SpawnAt starts a thread on another locality (implemented as a parcel to
+// that locality's hardware object would be; the runtime short-circuits).
+func (c *Context) SpawnAt(loc int, fn func(*Context)) { c.rt.Spawn(loc, fn) }
+
+// Await suspends the current thread on f: the execution slot is released
+// while blocked (the thread depletes into the future's wait list) and
+// re-acquired on resumption, exactly the paper's suspension semantics.
+func (c *Context) Await(f *lco.Future) (any, error) {
+	if v, err, ok := f.TryGet(); ok {
+		return v, err // dependency already satisfied: no suspension
+	}
+	c.rt.slow.Suspensions.Inc()
+	if c.th != nil {
+		c.th.Suspend()
+	}
+	var v any
+	var err error
+	start := now()
+	c.rt.locs[c.loc].Suspend(func() { v, err = f.Get() })
+	c.rt.slow.Waiting.ObserveDuration(now().Sub(start))
+	if t, ok := c.th.(interface{ Resume() error }); ok {
+		t.Resume()
+	}
+	return v, err
+}
+
+// NewFuture creates a future LCO homed at this locality with a global name.
+func (c *Context) NewFuture() (agas.GID, *lco.Future) { return c.rt.NewFutureAt(c.loc) }

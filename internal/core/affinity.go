@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/agas"
+	"repro/internal/lco"
+)
+
+// Affinity semantics (§2.1: "affinity semantics to establish relationships
+// that would lead to locality opportunities through both compile time and
+// runtime techniques"): objects and threads can be placed relative to an
+// anchor object rather than at an absolute locality, so related state
+// stays co-resident as the anchor migrates.
+
+// NewDataNear installs v co-located with the anchor object's current
+// owner. The affinity is a placement decision, not a binding: if the
+// anchor later migrates, the new object stays put unless migrated too
+// (use MigrateWith for the bound form).
+func (r *Runtime) NewDataNear(anchor agas.GID, v any) (agas.GID, error) {
+	owner, err := r.agas.Owner(anchor)
+	if err != nil {
+		return agas.Nil, fmt.Errorf("core: affinity anchor: %w", err)
+	}
+	return r.NewDataAt(owner, v), nil
+}
+
+// SpawnNear runs fn as a thread on the locality currently owning anchor —
+// the runtime form of moving work to the data without naming localities.
+func (r *Runtime) SpawnNear(anchor agas.GID, fn func(*Context)) error {
+	owner, err := r.agas.Owner(anchor)
+	if err != nil {
+		return fmt.Errorf("core: affinity anchor: %w", err)
+	}
+	r.Spawn(owner, fn)
+	return nil
+}
+
+// CallNear invokes action on dest with the reply future homed at dest's
+// current owner, keeping the continuation local to the data.
+func (r *Runtime) CallNear(dest agas.GID, action string, args []byte) (*lco.Future, error) {
+	owner, err := r.agas.Owner(dest)
+	if err != nil {
+		return nil, fmt.Errorf("core: affinity anchor: %w", err)
+	}
+	return r.CallFrom(owner, dest, action, args), nil
+}
+
+// MigrateWith moves the follower objects to wherever the anchor currently
+// lives, restoring co-residency after the anchor has migrated. It returns
+// the first error encountered but attempts every follower.
+func (r *Runtime) MigrateWith(anchor agas.GID, followers ...agas.GID) error {
+	owner, err := r.agas.Owner(anchor)
+	if err != nil {
+		return fmt.Errorf("core: affinity anchor: %w", err)
+	}
+	var first error
+	for _, f := range followers {
+		if err := r.Migrate(f, owner); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Colocated reports whether all the named objects currently share a
+// locality — the invariant affinity placement exists to maintain.
+func (r *Runtime) Colocated(gids ...agas.GID) (bool, error) {
+	if len(gids) == 0 {
+		return true, nil
+	}
+	ref, err := r.agas.Owner(gids[0])
+	if err != nil {
+		return false, err
+	}
+	for _, g := range gids[1:] {
+		owner, err := r.agas.Owner(g)
+		if err != nil {
+			return false, err
+		}
+		if owner != ref {
+			return false, nil
+		}
+	}
+	return true, nil
+}

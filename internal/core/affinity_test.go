@@ -1,0 +1,130 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/agas"
+)
+
+func TestNewDataNearColocates(t *testing.T) {
+	r := newTestRuntime(t, 4)
+	anchor := r.NewDataAt(2, "anchor")
+	follower, err := r.NewDataNear(anchor, "follower")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := r.Colocated(anchor, follower)
+	if err != nil || !ok {
+		t.Fatalf("not colocated: %v", err)
+	}
+	owner, _ := r.AGAS().Owner(follower)
+	if owner != 2 {
+		t.Fatalf("follower at L%d, want L2", owner)
+	}
+}
+
+func TestSpawnNearRunsAtOwner(t *testing.T) {
+	r := newTestRuntime(t, 4)
+	anchor := r.NewDataAt(3, "anchor")
+	var ran atomic.Int32
+	if err := r.SpawnNear(anchor, func(ctx *Context) {
+		ran.Store(int32(ctx.Locality()))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r.Wait()
+	if ran.Load() != 3 {
+		t.Fatalf("ran at L%d, want L3", ran.Load())
+	}
+}
+
+func TestSpawnNearFollowsMigration(t *testing.T) {
+	r := newTestRuntime(t, 4)
+	anchor := r.NewDataAt(0, "anchor")
+	if err := r.Migrate(anchor, 2); err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int32
+	r.SpawnNear(anchor, func(ctx *Context) { ran.Store(int32(ctx.Locality())) })
+	r.Wait()
+	if ran.Load() != 2 {
+		t.Fatalf("spawn did not follow migration: ran at L%d", ran.Load())
+	}
+}
+
+func TestMigrateWithRestoresColocation(t *testing.T) {
+	r := newTestRuntime(t, 4)
+	anchor := r.NewDataAt(0, "anchor")
+	f1, _ := r.NewDataNear(anchor, 1)
+	f2, _ := r.NewDataNear(anchor, 2)
+	if err := r.Migrate(anchor, 3); err != nil {
+		t.Fatal(err)
+	}
+	ok, _ := r.Colocated(anchor, f1, f2)
+	if ok {
+		t.Fatal("colocated before MigrateWith despite anchor move")
+	}
+	if err := r.MigrateWith(anchor, f1, f2); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := r.Colocated(anchor, f1, f2)
+	if err != nil || !ok {
+		t.Fatalf("MigrateWith failed to restore colocation: %v", err)
+	}
+}
+
+func TestAffinityUnknownAnchor(t *testing.T) {
+	r := newTestRuntime(t, 2)
+	bogus := agas.GID{Home: 0, Kind: agas.KindData, Seq: 424242}
+	if _, err := r.NewDataNear(bogus, 1); err == nil {
+		t.Fatal("NewDataNear accepted unknown anchor")
+	}
+	if err := r.SpawnNear(bogus, func(*Context) {}); err == nil {
+		t.Fatal("SpawnNear accepted unknown anchor")
+	}
+	if _, err := r.CallNear(bogus, ActionNop, nil); err == nil {
+		t.Fatal("CallNear accepted unknown anchor")
+	}
+	if err := r.MigrateWith(bogus); err == nil {
+		t.Fatal("MigrateWith accepted unknown anchor")
+	}
+}
+
+func TestColocatedEmptyAndSingle(t *testing.T) {
+	r := newTestRuntime(t, 2)
+	if ok, _ := r.Colocated(); !ok {
+		t.Fatal("empty set not trivially colocated")
+	}
+	g := r.NewDataAt(1, 1)
+	if ok, _ := r.Colocated(g); !ok {
+		t.Fatal("single object not colocated with itself")
+	}
+}
+
+// Property: after any sequence of anchor migrations followed by
+// MigrateWith, anchor and follower are colocated.
+func TestPropertyAffinityConvergence(t *testing.T) {
+	r := newTestRuntime(t, 4)
+	f := func(moves []uint8) bool {
+		anchor := r.NewDataAt(0, "a")
+		follower, err := r.NewDataNear(anchor, "f")
+		if err != nil {
+			return false
+		}
+		for _, m := range moves {
+			if err := r.Migrate(anchor, int(m)%4); err != nil {
+				return false
+			}
+		}
+		if err := r.MigrateWith(anchor, follower); err != nil {
+			return false
+		}
+		ok, err := r.Colocated(anchor, follower)
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

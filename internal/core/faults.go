@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Faults injects message-level failures into the parcel transport, for
+// testing the delivery semantics the model implies: parcels are at-most-
+// once by default (a lost parcel is lost; reliability is layered above),
+// and idempotent LCO protocols must tolerate duplication.
+type Faults struct {
+	// DropOneIn drops one in every n remote parcels (0 disables).
+	DropOneIn int
+	// DupOneIn duplicates one in every n remote parcels (0 disables).
+	DupOneIn int
+	// Seed makes the fault pattern reproducible.
+	Seed int64
+}
+
+// faultState is the runtime's fault injector.
+type faultState struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	cfg     Faults
+	dropped uint64
+	duped   uint64
+}
+
+func newFaultState(cfg Faults) *faultState {
+	if cfg.DropOneIn == 0 && cfg.DupOneIn == 0 {
+		return nil
+	}
+	return &faultState{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg}
+}
+
+// verdict decides one parcel's fate: deliver 0, 1, or 2 copies.
+func (f *faultState) verdict() (copies int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.cfg.DropOneIn > 0 && f.rng.Intn(f.cfg.DropOneIn) == 0 {
+		f.dropped++
+		return 0
+	}
+	if f.cfg.DupOneIn > 0 && f.rng.Intn(f.cfg.DupOneIn) == 0 {
+		f.duped++
+		return 2
+	}
+	return 1
+}
+
+// Dropped reports parcels destroyed by fault injection.
+func (r *Runtime) Dropped() uint64 {
+	if r.faults == nil {
+		return 0
+	}
+	r.faults.mu.Lock()
+	defer r.faults.mu.Unlock()
+	return r.faults.dropped
+}
+
+// Duplicated reports parcels delivered twice by fault injection.
+func (r *Runtime) Duplicated() uint64 {
+	if r.faults == nil {
+		return 0
+	}
+	r.faults.mu.Lock()
+	defer r.faults.mu.Unlock()
+	return r.faults.duped
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/parcel"
+)
+
+func TestDropFaultsLoseExactlyTheDroppedParcels(t *testing.T) {
+	r := New(Config{
+		Localities:         2,
+		WorkersPerLocality: 2,
+		Faults:             Faults{DropOneIn: 4, Seed: 7},
+	})
+	defer r.Shutdown()
+	var hits atomic.Int64
+	r.MustRegisterAction("fault.count", func(ctx *Context, target any, args *parcel.Reader) (any, error) {
+		hits.Add(1)
+		return nil, nil
+	})
+	obj := r.NewDataAt(1, struct{}{})
+	const n = 400
+	for i := 0; i < n; i++ {
+		r.SendFrom(0, parcel.New(obj, "fault.count", nil))
+	}
+	r.Wait()
+	dropped := int64(r.Dropped())
+	if dropped == 0 {
+		t.Fatal("fault injector dropped nothing at 1-in-4")
+	}
+	if hits.Load()+dropped != n {
+		t.Fatalf("conservation violated: %d delivered + %d dropped != %d",
+			hits.Load(), dropped, n)
+	}
+}
+
+func TestDuplicationFaultsAndIdempotentLCOs(t *testing.T) {
+	r := New(Config{
+		Localities:         2,
+		WorkersPerLocality: 2,
+		Faults:             Faults{DupOneIn: 3, Seed: 11},
+	})
+	defer r.Shutdown()
+	var hits atomic.Int64
+	r.MustRegisterAction("fault.count", func(ctx *Context, target any, args *parcel.Reader) (any, error) {
+		hits.Add(1)
+		return nil, nil
+	})
+	obj := r.NewDataAt(1, struct{}{})
+	const n = 300
+	for i := 0; i < n; i++ {
+		r.SendFrom(0, parcel.New(obj, "fault.count", nil))
+	}
+	r.Wait()
+	duped := int64(r.Duplicated())
+	if duped == 0 {
+		t.Fatal("fault injector duplicated nothing at 1-in-3")
+	}
+	if hits.Load() != n+duped {
+		t.Fatalf("delivered %d, want %d + %d duplicates", hits.Load(), n, duped)
+	}
+
+	// An AndGate tolerates duplicated signals: extra signals past zero are
+	// ignored, so a gate sized for n still fires exactly once.
+	ggid, gate := r.NewAndGateAt(0, n)
+	var fires atomic.Int64
+	gate.OnFire(func() { fires.Add(1) })
+	for i := 0; i < n; i++ {
+		r.SendFrom(1, parcel.New(ggid, ActionLCOSignal, nil))
+	}
+	r.Wait()
+	gate.Wait()
+	if fires.Load() != 1 {
+		t.Fatalf("gate fired %d times under duplication", fires.Load())
+	}
+}
+
+func TestDuplicatedFutureSetReportsSecondWrite(t *testing.T) {
+	// Futures are single-assignment: a duplicated set parcel must surface
+	// as an ErrAlreadySet runtime error, not silent corruption. Force
+	// duplication of every parcel.
+	r := New(Config{
+		Localities:         2,
+		WorkersPerLocality: 1,
+		Faults:             Faults{DupOneIn: 1, Seed: 3},
+	})
+	defer r.Shutdown()
+	fgid, fut := r.NewFutureAt(1)
+	val, _ := parcel.EncodeAny(int64(9))
+	r.SendFrom(0, parcel.New(fgid, ActionLCOSet, parcel.NewArgs().Bytes(val).Encode()))
+	r.Wait()
+	v, err := fut.Get()
+	if err != nil || v.(int64) != 9 {
+		t.Fatalf("first set lost: %v %v", v, err)
+	}
+	errs := r.Errors()
+	if len(errs) == 0 {
+		t.Fatal("duplicate set swallowed silently")
+	}
+}
+
+func TestNoFaultsByDefault(t *testing.T) {
+	r := New(Config{Localities: 2})
+	defer r.Shutdown()
+	if r.Dropped() != 0 || r.Duplicated() != 0 {
+		t.Fatal("fault counters nonzero without injection")
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/agas"
+	"repro/internal/lco"
+	"repro/internal/parcel"
+)
+
+// NewObjectAt installs v as a globally named object of the given kind on
+// locality loc and returns its GID.
+func (r *Runtime) NewObjectAt(loc int, kind agas.Kind, v any) agas.GID {
+	r.checkLoc(loc)
+	g := r.agas.Alloc(loc, kind)
+	r.locs[loc].Store().Put(g, v)
+	return g
+}
+
+// NewDataAt installs a data object.
+func (r *Runtime) NewDataAt(loc int, v any) agas.GID {
+	return r.NewObjectAt(loc, agas.KindData, v)
+}
+
+// NewFutureAt creates a future LCO homed at loc with a global name, so
+// remote parcels can target it as a continuation.
+func (r *Runtime) NewFutureAt(loc int) (agas.GID, *lco.Future) {
+	f := lco.NewFuture()
+	return r.NewObjectAt(loc, agas.KindLCO, f), f
+}
+
+// NewAndGateAt creates a named AndGate LCO at loc expecting n signals.
+func (r *Runtime) NewAndGateAt(loc, n int) (agas.GID, *lco.AndGate) {
+	g := lco.NewAndGate(n)
+	return r.NewObjectAt(loc, agas.KindLCO, g), g
+}
+
+// NewReduceAt creates a named Reduce LCO at loc.
+func (r *Runtime) NewReduceAt(loc, n int, init any, op func(acc, v any) any) (agas.GID, *lco.Reduce) {
+	red := lco.NewReduce(n, init, op)
+	return r.NewObjectAt(loc, agas.KindLCO, red), red
+}
+
+// LocalObject fetches an object from loc's store without any routing; it is
+// an instrumentation/test hook, not a model operation.
+func (r *Runtime) LocalObject(loc int, g agas.GID) (any, bool) {
+	r.checkLoc(loc)
+	return r.locs[loc].Store().Get(g)
+}
+
+// FreeObject removes g from the machine entirely.
+func (r *Runtime) FreeObject(g agas.GID) {
+	owner, err := r.agas.Owner(g)
+	if err != nil {
+		return
+	}
+	r.locs[owner].Store().Delete(g)
+	r.agas.Free(g)
+}
+
+var migrateMu sync.Mutex
+
+// Migrate moves the object named g to locality to, leaving its name valid.
+// In-flight parcels racing the move are repaired by forwarding. The
+// directory is updated before the object lands so the inconsistency window
+// resolves toward the new owner.
+func (r *Runtime) Migrate(g agas.GID, to int) error {
+	r.checkLoc(to)
+	migrateMu.Lock()
+	defer migrateMu.Unlock()
+	from, err := r.agas.Owner(g)
+	if err != nil {
+		return err
+	}
+	if from == to {
+		return nil
+	}
+	if err := r.agas.Migrate(g, to); err != nil {
+		return err
+	}
+	v, ok := r.locs[from].Store().Take(g)
+	if !ok {
+		// Roll back: the object was never resident (or already moving).
+		r.agas.Migrate(g, from)
+		return fmt.Errorf("core: migrate of %v: not resident at L%d", g, from)
+	}
+	// Model the data movement cost.
+	if lat := r.net.Latency(from, to, approxSize(v)); lat > 0 {
+		time.Sleep(lat)
+	}
+	r.locs[to].Store().Put(g, v)
+	r.slow.Migrations.Inc()
+	return nil
+}
+
+// approxSize estimates an object's wire size for migration cost modelling.
+func approxSize(v any) int {
+	switch x := v.(type) {
+	case []byte:
+		return len(x)
+	case []float64:
+		return 8 * len(x)
+	case []int64:
+		return 8 * len(x)
+	case string:
+		return len(x)
+	default:
+		return 64
+	}
+}
+
+// CallFrom invokes action on dest from locality src, returning a future
+// homed at src that resolves with the action's result. This is the
+// split-phase transaction at the heart of the model: the caller does not
+// block; the parcel carries a continuation naming the future.
+func (r *Runtime) CallFrom(src int, dest agas.GID, action string, args []byte) *lco.Future {
+	fgid, fut := r.NewFutureAt(src)
+	start := now()
+	fut.OnReady(func(any, error) {
+		r.slow.Latency.ObserveDuration(now().Sub(start))
+		// One-shot future: release its name once consumed.
+		r.FreeObject(fgid)
+	})
+	p := parcel.New(dest, action, args, parcel.Continuation{Target: fgid, Action: ActionLCOSet})
+	r.SendFrom(src, p)
+	return fut
+}
+
+// Broadcast sends the action to every locality's hardware object — used by
+// runtime services (echo invalidation waves, percolation prestaging).
+func (r *Runtime) Broadcast(src int, action string, args []byte) *lco.AndGate {
+	n := r.Localities()
+	ggid, gate := r.NewAndGateAt(src, n)
+	for i := 0; i < n; i++ {
+		p := parcel.New(r.hwGID[i], action, args, parcel.Continuation{Target: ggid, Action: ActionLCOSignal})
+		r.SendFrom(src, p)
+	}
+	return gate
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/parcel"
+	"repro/internal/trace"
+)
+
+// SendFrom routes p from locality src toward the owner of p.Dest. Delivery
+// is asynchronous: remote parcels experience the modelled network latency
+// and then execute as a new thread on the destination locality. Local
+// parcels bypass both serialization and the network, as the model's
+// locality semantics prescribe.
+func (r *Runtime) SendFrom(src int, p *parcel.Parcel) {
+	r.checkLoc(src)
+	if p.Dest.IsNil() {
+		panic("core: send to nil GID")
+	}
+	p.Src = src
+	r.addWork()
+	start := now()
+	r.route(src, p)
+	r.slow.Overhead.ObserveDuration(now().Sub(start))
+}
+
+// route resolves ownership and moves the parcel. The caller has already
+// charged one work unit for p; route (or the failure path) releases it via
+// the delivery task.
+func (r *Runtime) route(src int, p *parcel.Parcel) {
+	owner, err := r.agas.ResolveCached(src, p.Dest)
+	if err != nil {
+		r.deliverFailure(src, p, err)
+		return
+	}
+	if owner == src {
+		r.slow.ParcelsLocal.Inc()
+		if r.ring != nil {
+			r.ring.Emitf(trace.KindParcelSend, src, "local %s", p)
+		}
+		r.enqueue(owner, p)
+		return
+	}
+	r.slow.ParcelsSent.Inc()
+	if r.ring != nil {
+		r.ring.Emitf(trace.KindParcelSend, src, "to L%d %s", owner, p)
+	}
+	size := len(p.Args)
+	var wire []byte
+	if !r.cfg.DisableSerialization {
+		wire = p.Encode(nil)
+		size = len(wire)
+	}
+	copies := 1
+	if r.faults != nil {
+		copies = r.faults.verdict()
+	}
+	if copies == 0 {
+		// Lost in the network. Parcels are at-most-once; reliability, if
+		// needed, is layered above (acknowledging LCO protocols).
+		r.locs[src].Post(func() { r.doneWork() })
+		return
+	}
+	if copies == 2 {
+		r.addWork() // the duplicate carries its own work unit
+	}
+	lat := r.net.Latency(src, owner, size)
+	deliver := func(dp *parcel.Parcel) func() {
+		return func() {
+			if wire != nil {
+				decoded, _, derr := parcel.Decode(wire)
+				if derr != nil {
+					r.deliverFailure(src, dp, fmt.Errorf("core: wire corruption: %w", derr))
+					return
+				}
+				dp = decoded
+			}
+			if r.ring != nil {
+				r.ring.Emitf(trace.KindParcelRecv, owner, "%s", dp)
+			}
+			r.enqueue(owner, dp)
+		}
+	}
+	for c := 0; c < copies; c++ {
+		dp := p
+		if c > 0 && wire == nil {
+			// Duplicate of an unserialized parcel: clone so the two
+			// executions cannot race on the continuation stack.
+			clone := *p
+			clone.Cont = append([]parcel.Continuation(nil), p.Cont...)
+			dp = &clone
+		}
+		fn := deliver(dp)
+		if lat <= 0 {
+			fn()
+			continue
+		}
+		time.AfterFunc(lat, fn)
+	}
+}
+
+// enqueue schedules parcel execution on locality loc. The work unit charged
+// by SendFrom is released when the action (and its continuation sends) have
+// completed.
+func (r *Runtime) enqueue(loc int, p *parcel.Parcel) {
+	r.locs[loc].Post(func() {
+		defer r.doneWork()
+		r.execute(loc, p)
+	})
+}
+
+// execute runs the parcel's action as a fresh ephemeral thread on loc.
+func (r *Runtime) execute(loc int, p *parcel.Parcel) {
+	target, ok := r.locs[loc].Store().Get(p.Dest)
+	if !ok {
+		// The object is not here: our (or the sender's) translation was
+		// stale. Repair and forward.
+		r.forward(loc, p)
+		return
+	}
+	fn, ok := r.acts.lookup(p.Action)
+	if !ok {
+		r.failParcel(loc, p, fmt.Errorf("core: unknown action %q", p.Action))
+		return
+	}
+	th := r.reg.New(loc)
+	r.slow.ThreadsSpawned.Inc()
+	th.Start()
+	ctx := &Context{rt: r, loc: loc, th: th}
+	res, err := fn(ctx, target, parcel.NewReader(p.Args))
+	th.Terminate()
+	r.slow.TasksExecuted.Inc()
+	if err != nil {
+		r.failParcel(loc, p, err)
+		return
+	}
+	if cont, more := p.PopContinuation(); more {
+		args, encErr := encodeValueArg(res)
+		if encErr != nil {
+			r.failParcel(loc, p, encErr)
+			return
+		}
+		np := parcel.New(cont.Target, cont.Action, args, p.Cont...)
+		r.SendFrom(loc, np)
+	}
+}
+
+// forward re-resolves a stale destination and re-routes the parcel,
+// bounding the retry count. Re-delivery is slightly delayed so a migration
+// in progress can land.
+func (r *Runtime) forward(loc int, p *parcel.Parcel) {
+	p.Hops++
+	if p.Hops > r.cfg.MaxHops {
+		r.failParcel(loc, p, fmt.Errorf("core: %s exceeded %d forwarding hops", p, r.cfg.MaxHops))
+		return
+	}
+	r.agas.Invalidate(loc, p.Dest)
+	if r.ring != nil {
+		r.ring.Emitf(trace.KindMigration, loc, "forward hop %d %s", p.Hops, p)
+	}
+	r.addWork() // the new routing leg; our caller releases the old one
+	time.AfterFunc(time.Duration(p.Hops)*5*time.Microsecond, func() {
+		r.route(loc, p)
+	})
+}
+
+// failParcel delivers an action failure to the parcel's continuation, or
+// records it on the runtime when no continuation exists.
+func (r *Runtime) failParcel(loc int, p *parcel.Parcel, err error) {
+	cont, ok := p.PopContinuation()
+	if !ok {
+		r.recordError(fmt.Errorf("parcel %s at L%d: %w", p, loc, err))
+		return
+	}
+	args := parcel.NewArgs().String(err.Error()).Encode()
+	np := parcel.New(cont.Target, ActionLCOFail, args)
+	r.SendFrom(loc, np)
+}
+
+// deliverFailure handles routing errors for a parcel whose work unit is
+// charged but which cannot reach any locality.
+func (r *Runtime) deliverFailure(src int, p *parcel.Parcel, err error) {
+	// Release via a task so accounting stays uniform.
+	r.locs[src].Post(func() {
+		defer r.doneWork()
+		r.failParcel(src, p, err)
+	})
+}

@@ -1,0 +1,238 @@
+// Package core implements the ParalleX runtime: a set of localities joined
+// by a modelled network, a global address space, a registry of named
+// actions, and the parcel transport with continuation chaining. It is the
+// paper's execution model made concrete — message-driven multithreaded
+// split-phase computation that moves work to data.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/agas"
+	"repro/internal/locality"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/thread"
+	"repro/internal/trace"
+)
+
+// Config parameterizes a runtime.
+type Config struct {
+	// Localities is the number of execution domains. Default 1.
+	Localities int
+	// WorkersPerLocality bounds concurrently running threads per locality.
+	// Default 4.
+	WorkersPerLocality int
+	// Net models inter-locality latency. Default: ideal (zero latency).
+	Net network.Model
+	// Policy selects queue service order.
+	Policy locality.Policy
+	// Stealing enables idle localities to steal queued work.
+	Stealing bool
+	// Serialize forces parcels through the wire format even in-process so
+	// the encode/route/decode path is exercised. Local (same-locality)
+	// sends always bypass it, as the model prescribes. Default true; set
+	// DisableSerialization to turn off.
+	DisableSerialization bool
+	// MaxHops bounds forwarding retries for migrating objects. Default 64.
+	MaxHops int
+	// TraceCapacity sizes the event ring; 0 disables tracing.
+	TraceCapacity int
+	// Faults optionally injects parcel loss/duplication (tests only).
+	Faults Faults
+}
+
+func (c *Config) fill() {
+	if c.Localities <= 0 {
+		c.Localities = 1
+	}
+	if c.WorkersPerLocality <= 0 {
+		c.WorkersPerLocality = 4
+	}
+	if c.Net == nil {
+		c.Net = network.NewIdeal(c.Localities)
+	}
+	if c.MaxHops <= 0 {
+		c.MaxHops = 64
+	}
+}
+
+// Runtime is one ParalleX machine instance.
+type Runtime struct {
+	cfg    Config
+	locs   []*locality.Locality
+	agas   *agas.Service
+	net    network.Model
+	ring   *trace.Ring
+	slow   *metrics.SLOW
+	reg    *thread.Registry
+	acts   *actionRegistry
+	hwGID  []agas.GID // per-locality hardware names
+	faults *faultState
+
+	pending  atomic.Int64
+	quiet    sync.Mutex
+	quietC   *sync.Cond
+	errMu    sync.Mutex
+	errs     []error
+	shutdown atomic.Bool
+}
+
+// New builds and starts a runtime. Callers must Shutdown when done.
+func New(cfg Config) *Runtime {
+	cfg.fill()
+	if cfg.Net.Nodes() < cfg.Localities {
+		panic(fmt.Sprintf("core: network has %d endpoints for %d localities",
+			cfg.Net.Nodes(), cfg.Localities))
+	}
+	r := &Runtime{
+		cfg:    cfg,
+		agas:   agas.NewService(cfg.Localities),
+		net:    cfg.Net,
+		slow:   metrics.NewSLOW(),
+		reg:    thread.NewRegistry(),
+		acts:   newActionRegistry(),
+		faults: newFaultState(cfg.Faults),
+	}
+	r.quietC = sync.NewCond(&r.quiet)
+	if cfg.TraceCapacity > 0 {
+		r.ring = trace.NewRing(cfg.TraceCapacity)
+	}
+	r.locs = make([]*locality.Locality, cfg.Localities)
+	for i := range r.locs {
+		r.locs[i] = locality.New(i, locality.Config{
+			Workers:  cfg.WorkersPerLocality,
+			Policy:   cfg.Policy,
+			Stealing: cfg.Stealing,
+		})
+	}
+	if cfg.Stealing {
+		for _, l := range r.locs {
+			l.SetVictims(r.locs)
+		}
+	}
+	// Hardware resources are first-class named objects (typed names), per
+	// the paper's global name space.
+	r.hwGID = make([]agas.GID, cfg.Localities)
+	for i := range r.hwGID {
+		g := r.agas.Alloc(i, agas.KindHardware)
+		r.locs[i].Store().Put(g, r.locs[i])
+		r.hwGID[i] = g
+		r.agas.Namespace().Bind(fmt.Sprintf("/hw/locality/%d", i), g)
+	}
+	registerBuiltins(r.acts)
+	return r
+}
+
+// Localities reports the machine width.
+func (r *Runtime) Localities() int { return r.cfg.Localities }
+
+// AGAS exposes the global address space service.
+func (r *Runtime) AGAS() *agas.Service { return r.agas }
+
+// SLOW exposes the degradation-source instrumentation.
+func (r *Runtime) SLOW() *metrics.SLOW { return r.slow }
+
+// Threads exposes the thread registry.
+func (r *Runtime) Threads() *thread.Registry { return r.reg }
+
+// Trace returns the event ring, or nil if tracing is disabled.
+func (r *Runtime) Trace() *trace.Ring { return r.ring }
+
+// Network returns the installed network model.
+func (r *Runtime) Network() network.Model { return r.net }
+
+// LocalityGID returns the typed hardware name of locality i.
+func (r *Runtime) LocalityGID(i int) agas.GID { return r.hwGID[i] }
+
+// Locality returns the i-th locality (for instrumentation; applications
+// interact through parcels and actions).
+func (r *Runtime) Locality(i int) *locality.Locality { return r.locs[i] }
+
+// IdleFractions reports each locality's starvation fraction.
+func (r *Runtime) IdleFractions() []float64 {
+	out := make([]float64, len(r.locs))
+	for i, l := range r.locs {
+		out[i] = l.IdleFraction()
+	}
+	return out
+}
+
+// addWork notes one unit of outstanding work (queued task or in-flight
+// parcel). Quiescence is reached when the count returns to zero.
+func (r *Runtime) addWork() { r.pending.Add(1) }
+
+func (r *Runtime) doneWork() {
+	if r.pending.Add(-1) == 0 {
+		r.quiet.Lock()
+		r.quietC.Broadcast()
+		r.quiet.Unlock()
+	}
+}
+
+// Wait blocks until the runtime is quiescent: no queued tasks, running
+// threads, or in-flight parcels. Work injected while waiting extends the
+// wait. Tasks increment the counter for children before completing, so the
+// counter cannot reach zero while a task graph is still unfolding.
+func (r *Runtime) Wait() {
+	r.quiet.Lock()
+	for r.pending.Load() != 0 {
+		r.quietC.Wait()
+	}
+	r.quiet.Unlock()
+}
+
+// Shutdown waits for quiescence and stops all localities. The runtime is
+// unusable afterwards.
+func (r *Runtime) Shutdown() {
+	if !r.shutdown.CompareAndSwap(false, true) {
+		return
+	}
+	r.Wait()
+	for _, l := range r.locs {
+		l.Close()
+	}
+}
+
+// recordError collects an asynchronous runtime error (failed action with no
+// continuation to deliver the failure to).
+func (r *Runtime) recordError(err error) {
+	r.errMu.Lock()
+	r.errs = append(r.errs, err)
+	r.errMu.Unlock()
+}
+
+// Errors returns the asynchronous errors recorded so far.
+func (r *Runtime) Errors() []error {
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	return append([]error(nil), r.errs...)
+}
+
+// Spawn posts fn as a new thread on locality loc. It is the local (non-
+// parcel) way to start work; the fn receives a Context bound to loc.
+func (r *Runtime) Spawn(loc int, fn func(*Context)) {
+	r.checkLoc(loc)
+	r.addWork()
+	th := r.reg.New(loc)
+	r.slow.ThreadsSpawned.Inc()
+	r.locs[loc].Post(func() {
+		defer r.doneWork()
+		th.Start()
+		defer th.Terminate()
+		fn(&Context{rt: r, loc: loc, th: th})
+		r.slow.TasksExecuted.Inc()
+	})
+}
+
+func (r *Runtime) checkLoc(i int) {
+	if i < 0 || i >= len(r.locs) {
+		panic(fmt.Sprintf("core: locality %d out of range [0,%d)", i, len(r.locs)))
+	}
+}
+
+// now is indirected for deterministic tests.
+var now = time.Now

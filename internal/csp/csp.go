@@ -1,0 +1,314 @@
+// Package csp implements the baseline the paper positions ParalleX
+// against: the communicating-sequential-processes message-passing model
+// (MPI-style). A World of SPMD ranks exchanges two-sided messages over the
+// same network models the ParalleX runtime uses, with blocking receives,
+// global barriers, and tree-based collectives. Its purpose is comparative:
+// every experiment that claims a ParalleX advantage runs the same workload
+// here.
+package csp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/network"
+)
+
+// AnySource matches messages from any rank in Recv.
+const AnySource = -1
+
+// message is one in-flight two-sided message.
+type message struct {
+	from    int
+	tag     int
+	payload any
+}
+
+// Stats aggregates world-wide communication costs. RecvWait is the exposed
+// latency the paper's parcels are designed to hide.
+type Stats struct {
+	MessagesSent metrics.Counter
+	BytesSent    metrics.Counter
+	RecvWait     *metrics.Histogram
+	BarrierWait  *metrics.Histogram
+	Barriers     metrics.Counter
+}
+
+// World is an SPMD machine of n ranks over a network model.
+type World struct {
+	n     int
+	net   network.Model
+	ranks []*Rank
+	stats *Stats
+}
+
+// NewWorld creates a world of n ranks over net. The network must have at
+// least n endpoints.
+func NewWorld(n int, net network.Model) *World {
+	if n <= 0 {
+		panic("csp: world needs at least one rank")
+	}
+	if net.Nodes() < n {
+		panic(fmt.Sprintf("csp: network has %d endpoints for %d ranks", net.Nodes(), n))
+	}
+	w := &World{n: n, net: net, stats: &Stats{
+		RecvWait:    metrics.NewHistogram(0),
+		BarrierWait: metrics.NewHistogram(0),
+	}}
+	for i := 0; i < n; i++ {
+		r := &Rank{id: i, w: w}
+		r.cond = sync.NewCond(&r.mu)
+		w.ranks = append(w.ranks, r)
+	}
+	return w
+}
+
+// Size reports the number of ranks.
+func (w *World) Size() int { return w.n }
+
+// Stats returns the communication statistics.
+func (w *World) Stats() *Stats { return w.stats }
+
+// Run executes fn as every rank's program (SPMD) and waits for all ranks.
+// A panic in any rank is recovered and returned as an error.
+func (w *World) Run(fn func(r *Rank)) error {
+	var wg sync.WaitGroup
+	errs := make([]error, w.n)
+	for i := 0; i < w.n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[i] = fmt.Errorf("csp: rank %d panicked: %v", i, p)
+				}
+			}()
+			fn(w.ranks[i])
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rank is one SPMD process.
+type Rank struct {
+	id int
+	w  *World
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	inbox []message
+
+	collSeq int // collective sequence number; SPMD keeps ranks aligned
+}
+
+// ID reports this rank's index.
+func (r *Rank) ID() int { return r.id }
+
+// Size reports the world size.
+func (r *Rank) Size() int { return r.w.n }
+
+// payloadSize estimates wire size for the latency model.
+func payloadSize(v any) int {
+	switch x := v.(type) {
+	case nil:
+		return 0
+	case []byte:
+		return len(x)
+	case []float64:
+		return 8 * len(x)
+	case []int64:
+		return 8 * len(x)
+	case string:
+		return len(x)
+	default:
+		return 16
+	}
+}
+
+// Send delivers payload to rank to with the given tag. The call returns
+// after the injection cost; transit continues asynchronously (eager
+// protocol). Tags must be non-negative; negative tags are reserved for
+// collectives.
+func (r *Rank) Send(to, tag int, payload any) {
+	if tag < 0 {
+		panic("csp: negative tags are reserved")
+	}
+	r.send(to, tag, payload)
+}
+
+func (r *Rank) send(to, tag int, payload any) {
+	if to < 0 || to >= r.w.n {
+		panic(fmt.Sprintf("csp: send to rank %d of %d", to, r.w.n))
+	}
+	r.w.stats.MessagesSent.Inc()
+	size := payloadSize(payload)
+	r.w.stats.BytesSent.Add(int64(size))
+	lat := r.w.net.Latency(r.id, to, size)
+	msg := message{from: r.id, tag: tag, payload: payload}
+	deliver := func() {
+		dst := r.w.ranks[to]
+		dst.mu.Lock()
+		dst.inbox = append(dst.inbox, msg)
+		dst.cond.Broadcast()
+		dst.mu.Unlock()
+	}
+	if lat <= 0 {
+		deliver()
+		return
+	}
+	time.AfterFunc(lat, deliver)
+}
+
+// Recv blocks until a message matching (from, tag) arrives and returns its
+// payload. from may be AnySource. This blocking is precisely the exposed
+// latency ParalleX's message-driven execution avoids; the time spent here
+// is recorded in Stats.RecvWait.
+func (r *Rank) Recv(from, tag int) any {
+	start := time.Now()
+	r.mu.Lock()
+	for {
+		for i, m := range r.inbox {
+			if (from == AnySource || m.from == from) && m.tag == tag {
+				r.inbox = append(r.inbox[:i], r.inbox[i+1:]...)
+				r.mu.Unlock()
+				r.w.stats.RecvWait.ObserveDuration(time.Since(start))
+				return m.payload
+			}
+		}
+		r.cond.Wait()
+	}
+}
+
+// TryRecv is a non-blocking probe-and-receive.
+func (r *Rank) TryRecv(from, tag int) (any, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, m := range r.inbox {
+		if (from == AnySource || m.from == from) && m.tag == tag {
+			r.inbox = append(r.inbox[:i], r.inbox[i+1:]...)
+			return m.payload, true
+		}
+	}
+	return nil, false
+}
+
+// nextCollTag reserves a fresh negative tag for one collective instance.
+// SPMD programs call collectives in the same order on every rank, keeping
+// the sequence aligned.
+func (r *Rank) nextCollTag() int {
+	r.collSeq++
+	return -r.collSeq
+}
+
+// Barrier blocks until every rank has arrived — the construct LCOs are
+// designed to eliminate. Implemented as a gather-to-root plus broadcast
+// release, so it pays realistic latency on the installed network.
+func (r *Rank) Barrier() {
+	start := time.Now()
+	tag := r.nextCollTag()
+	if r.id == 0 {
+		for i := 1; i < r.w.n; i++ {
+			r.Recv(AnySource, tag)
+		}
+		for i := 1; i < r.w.n; i++ {
+			r.send(i, tag, nil)
+		}
+	} else {
+		r.send(0, tag, nil)
+		r.Recv(0, tag)
+	}
+	r.w.stats.Barriers.Inc()
+	r.w.stats.BarrierWait.ObserveDuration(time.Since(start))
+}
+
+// Bcast distributes root's value to all ranks along a binomial tree and
+// returns each rank's copy.
+func (r *Rank) Bcast(root int, v any) any {
+	tag := r.nextCollTag()
+	n := r.w.n
+	// Rotate so the root is virtual rank 0, then run the standard binomial
+	// tree: in round mask, virtual ranks < mask (which already hold the
+	// value) send to vid+mask, and ranks in [mask, 2*mask) receive.
+	vid := (r.id - root + n) % n
+	val := v
+	for mask := 1; mask < n; mask <<= 1 {
+		switch {
+		case vid < mask:
+			if peer := vid + mask; peer < n {
+				r.send((peer+root)%n, tag, val)
+			}
+		case vid < 2*mask:
+			val = r.Recv(AnySource, tag)
+		}
+	}
+	return val
+}
+
+// Reduce folds every rank's contribution to the root with op along a
+// binomial tree; non-root ranks return 0. Because partials for a round can
+// arrive in any order, op must be commutative as well as associative.
+func (r *Rank) Reduce(root int, v float64, op func(a, b float64) float64) float64 {
+	tag := r.nextCollTag()
+	n := r.w.n
+	vid := (r.id - root + n) % n
+	acc := v
+	for m := 1; m < n; m <<= 1 {
+		if vid&m != 0 {
+			r.send((vid-m+root)%n, tag, acc)
+			return 0
+		}
+		if vid+m < n {
+			acc = op(acc, r.Recv(AnySource, tag).(float64))
+		}
+	}
+	return acc
+}
+
+// AllReduce is Reduce to rank 0 followed by Bcast.
+func (r *Rank) AllReduce(v float64, op func(a, b float64) float64) float64 {
+	total := r.Reduce(0, v, op)
+	return r.Bcast(0, total).(float64)
+}
+
+// Gather collects every rank's value at the root, indexed by rank;
+// non-root ranks return nil.
+func (r *Rank) Gather(root int, v any) []any {
+	tag := r.nextCollTag()
+	if r.id == root {
+		out := make([]any, r.w.n)
+		out[root] = v
+		for i := 0; i < r.w.n-1; i++ {
+			// Receive from anyone; identify by sender.
+			m := r.recvAnyWithSender(tag)
+			out[m.from] = m.payload
+		}
+		return out
+	}
+	r.send(root, tag, v)
+	return nil
+}
+
+func (r *Rank) recvAnyWithSender(tag int) message {
+	start := time.Now()
+	r.mu.Lock()
+	for {
+		for i, m := range r.inbox {
+			if m.tag == tag {
+				r.inbox = append(r.inbox[:i], r.inbox[i+1:]...)
+				r.mu.Unlock()
+				r.w.stats.RecvWait.ObserveDuration(time.Since(start))
+				return m
+			}
+		}
+		r.cond.Wait()
+	}
+}

@@ -1,0 +1,348 @@
+package csp
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/network"
+)
+
+func world(n int) *World {
+	return NewWorld(n, network.NewIdeal(n))
+}
+
+func TestSendRecvPingPong(t *testing.T) {
+	w := world(2)
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 7, "ping")
+			if got := r.Recv(1, 7); got.(string) != "pong" {
+				t.Errorf("rank0 got %v", got)
+			}
+		} else {
+			if got := r.Recv(0, 7); got.(string) != "ping" {
+				t.Errorf("rank1 got %v", got)
+			}
+			r.Send(0, 7, "pong")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Stats().MessagesSent.Value() != 2 {
+		t.Fatalf("messages = %d", w.Stats().MessagesSent.Value())
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	w := world(2)
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 5, "five")
+			r.Send(1, 3, "three")
+		} else {
+			// Receive out of send order by tag.
+			if got := r.Recv(0, 3); got.(string) != "three" {
+				t.Errorf("tag 3 got %v", got)
+			}
+			if got := r.Recv(0, 5); got.(string) != "five" {
+				t.Errorf("tag 5 got %v", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnySource(t *testing.T) {
+	w := world(3)
+	err := w.Run(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			seen := map[int64]bool{}
+			for i := 0; i < 2; i++ {
+				seen[r.Recv(AnySource, 1).(int64)] = true
+			}
+			if !seen[1] || !seen[2] {
+				t.Errorf("any-source saw %v", seen)
+			}
+		default:
+			r.Send(0, 1, int64(r.ID()))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	w := world(2)
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			if _, ok := r.TryRecv(1, 1); ok {
+				t.Error("TryRecv found phantom message")
+			}
+			r.Send(1, 1, nil)
+			r.Recv(1, 2)
+		} else {
+			r.Recv(0, 1)
+			r.Send(0, 2, nil)
+			if v, ok := r.TryRecv(0, 9); ok {
+				t.Errorf("phantom %v", v)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const n = 6
+	w := world(n)
+	var phase [n]int32
+	err := w.Run(func(r *Rank) {
+		for p := int32(1); p <= 3; p++ {
+			atomic.StoreInt32(&phase[r.ID()], p)
+			r.Barrier()
+			for i := 0; i < n; i++ {
+				if atomic.LoadInt32(&phase[i]) < p {
+					t.Errorf("rank %d behind after barrier", i)
+					return
+				}
+			}
+			r.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Stats().Barriers.Value() != n*6 {
+		t.Fatalf("barrier count = %d", w.Stats().Barriers.Value())
+	}
+}
+
+func TestBcastFromEveryRoot(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		for root := 0; root < n; root++ {
+			w := world(n)
+			err := w.Run(func(r *Rank) {
+				var v any
+				if r.ID() == root {
+					v = int64(100 + root)
+				}
+				got := r.Bcast(root, v)
+				if got.(int64) != int64(100+root) {
+					t.Errorf("n=%d root=%d rank=%d got %v", n, root, r.ID(), got)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		w := world(n)
+		err := w.Run(func(r *Rank) {
+			got := r.Reduce(0, float64(r.ID()+1), func(a, b float64) float64 { return a + b })
+			if r.ID() == 0 {
+				want := float64(n*(n+1)) / 2
+				if got != want {
+					t.Errorf("n=%d reduce = %f, want %f", n, got, want)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAllReduceMax(t *testing.T) {
+	const n = 7
+	w := world(n)
+	err := w.Run(func(r *Rank) {
+		got := r.AllReduce(float64(r.ID()), func(a, b float64) float64 {
+			if a > b {
+				return a
+			}
+			return b
+		})
+		if got != n-1 {
+			t.Errorf("rank %d allreduce = %f", r.ID(), got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGather(t *testing.T) {
+	const n = 5
+	w := world(n)
+	err := w.Run(func(r *Rank) {
+		out := r.Gather(2, int64(r.ID()*r.ID()))
+		if r.ID() == 2 {
+			for i := 0; i < n; i++ {
+				if out[i].(int64) != int64(i*i) {
+					t.Errorf("gather[%d] = %v", i, out[i])
+				}
+			}
+		} else if out != nil {
+			t.Errorf("non-root got %v", out)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AllReduce(sum) agrees across all ranks for arbitrary inputs.
+func TestPropertyAllReduceConsistent(t *testing.T) {
+	f := func(vals []uint16) bool {
+		n := len(vals)
+		if n == 0 || n > 12 {
+			return true
+		}
+		w := world(n)
+		results := make([]float64, n)
+		err := w.Run(func(r *Rank) {
+			results[r.ID()] = r.AllReduce(float64(vals[r.ID()]), func(a, b float64) float64 { return a + b })
+		})
+		if err != nil {
+			return false
+		}
+		var want float64
+		for _, v := range vals {
+			want += float64(v)
+		}
+		for _, got := range results {
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvWaitRecordsExposedLatency(t *testing.T) {
+	net := network.NewCrossbar(2, network.Params{InjectionOverhead: 2 * time.Millisecond})
+	w := NewWorld(2, net)
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 1, nil)
+		} else {
+			r.Recv(0, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Stats().RecvWait.Mean() < float64(time.Millisecond) {
+		t.Fatalf("recv wait mean %.0fns does not reflect network latency", w.Stats().RecvWait.Mean())
+	}
+}
+
+func TestPanicInRankReported(t *testing.T) {
+	w := world(2)
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 1 {
+			panic("rank boom")
+		}
+	})
+	if err == nil {
+		t.Fatal("rank panic not reported")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero ranks", func() { NewWorld(0, network.NewIdeal(1)) })
+	mustPanic("small net", func() { NewWorld(8, network.NewIdeal(2)) })
+	// Rank-level misuse panics are recovered by Run and surfaced as errors.
+	if err := world(2).Run(func(r *Rank) { r.Send((r.ID()+1)%2, -5, nil) }); err == nil {
+		t.Error("negative tag not reported")
+	}
+	if err := world(2).Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(5, 1, nil)
+		}
+	}); err == nil {
+		t.Error("bad destination not reported")
+	}
+}
+
+func TestReduceVecElementwise(t *testing.T) {
+	const n = 5
+	w := world(n)
+	err := w.Run(func(r *Rank) {
+		v := []float64{float64(r.ID()), float64(r.ID() * 2), 1}
+		got := r.ReduceVec(0, v, func(a, b float64) float64 { return a + b })
+		if r.ID() == 0 {
+			want := []float64{10, 20, 5} // sums of 0..4, 0..8 step2, ones
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("reduce[%d] = %f, want %f", i, got[i], want[i])
+				}
+			}
+		} else if got != nil {
+			t.Errorf("non-root rank %d got %v", r.ID(), got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllReduceVecConsistent(t *testing.T) {
+	const n = 6
+	w := world(n)
+	results := make([][]float64, n)
+	err := w.Run(func(r *Rank) {
+		v := []float64{1, float64(r.ID())}
+		results[r.ID()] = r.AllReduceVec(v, func(a, b float64) float64 { return a + b })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if results[i][0] != n || results[i][1] != 15 {
+			t.Fatalf("rank %d allreducevec = %v", i, results[i])
+		}
+	}
+}
+
+func TestReduceVecDoesNotAliasInput(t *testing.T) {
+	const n = 2
+	w := world(n)
+	inputs := make([][]float64, n)
+	err := w.Run(func(r *Rank) {
+		v := []float64{1, 2}
+		inputs[r.ID()] = v
+		r.ReduceVec(0, v, func(a, b float64) float64 { return a + b })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range inputs {
+		if v[0] != 1 || v[1] != 2 {
+			t.Fatalf("rank %d input mutated: %v", i, v)
+		}
+	}
+}

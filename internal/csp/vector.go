@@ -1,0 +1,36 @@
+package csp
+
+// Vector collectives for grid-based workloads (PIC charge reduction).
+// They mirror the scalar collectives with elementwise operators.
+
+// ReduceVec folds equal-length vectors to the root elementwise with op;
+// non-root ranks return nil. op must be commutative and associative.
+func (r *Rank) ReduceVec(root int, v []float64, op func(a, b float64) float64) []float64 {
+	tag := r.nextCollTag()
+	n := r.w.n
+	vid := (r.id - root + n) % n
+	acc := append([]float64(nil), v...)
+	for m := 1; m < n; m <<= 1 {
+		if vid&m != 0 {
+			r.send((vid-m+root)%n, tag, acc)
+			return nil
+		}
+		if vid+m < n {
+			other := r.Recv(AnySource, tag).([]float64)
+			for i := range acc {
+				acc[i] = op(acc[i], other[i])
+			}
+		}
+	}
+	return acc
+}
+
+// AllReduceVec is ReduceVec to rank 0 followed by a broadcast.
+func (r *Rank) AllReduceVec(v []float64, op func(a, b float64) float64) []float64 {
+	total := r.ReduceVec(0, v, op)
+	var payload any
+	if r.id == 0 {
+		payload = total
+	}
+	return r.Bcast(0, payload).([]float64)
+}

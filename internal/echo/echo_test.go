@@ -1,0 +1,274 @@
+package echo
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/network"
+)
+
+func newMachine(t *testing.T, n int, latency time.Duration) *core.Runtime {
+	t.Helper()
+	rt := core.New(core.Config{
+		Localities:         n,
+		WorkersPerLocality: 4,
+		Net:                network.NewCrossbar(n, network.Params{InjectionOverhead: latency}),
+	})
+	t.Cleanup(rt.Shutdown)
+	RegisterActions(rt)
+	return rt
+}
+
+func allMembers(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+func TestInitialValueVisibleEverywhere(t *testing.T) {
+	rt := newMachine(t, 4, 0)
+	v, err := NewVar(rt, int64(7), allMembers(4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for loc := 0; loc < 4; loc++ {
+		got, gen, err := v.ReadAt(loc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.(int64) != 7 || gen != 0 {
+			t.Fatalf("L%d: %v gen %d", loc, got, gen)
+		}
+	}
+}
+
+func TestWritePropagatesToAllCopies(t *testing.T) {
+	rt := newMachine(t, 8, 50*time.Microsecond)
+	v, err := NewVar(rt, "old", allMembers(8), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fut, err := v.Write(3, "new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := fut.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.(uint64) != 1 {
+		t.Fatalf("generation = %v", gen)
+	}
+	rt.Wait()
+	for loc := 0; loc < 8; loc++ {
+		got, g, _ := v.ReadAt(loc)
+		if got.(string) != "new" || g != 1 {
+			t.Fatalf("L%d sees %v gen %d after ack", loc, got, g)
+		}
+	}
+}
+
+func TestSplitPhaseAllowsOverlap(t *testing.T) {
+	// The write future must not resolve before all copies update, but the
+	// writer can do work in between — we simply check the future is not
+	// resolved instantly with nonzero latency, then resolves.
+	rt := newMachine(t, 8, 300*time.Microsecond)
+	v, _ := NewVar(rt, int64(0), allMembers(8), 2)
+	fut, _ := v.Write(0, int64(1))
+	if _, _, ok := fut.TryGet(); ok {
+		t.Fatal("split-phase write resolved synchronously despite network latency")
+	}
+	if _, err := fut.Get(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLastWriterWinsEverywhere(t *testing.T) {
+	rt := newMachine(t, 6, 20*time.Microsecond)
+	v, _ := NewVar(rt, int64(0), allMembers(6), 3)
+	var futs []interface{ Get() (any, error) }
+	for i := 1; i <= 10; i++ {
+		f, err := v.Write(i%6, int64(i*100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, f)
+	}
+	for _, f := range futs {
+		if _, err := f.Get(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Wait()
+	// Generation 10 (value 1000) must have won at every copy.
+	for loc := 0; loc < 6; loc++ {
+		got, gen, _ := v.ReadAt(loc)
+		if gen != 10 || got.(int64) != 1000 {
+			t.Fatalf("L%d converged to %v gen %d", loc, got, gen)
+		}
+	}
+}
+
+func TestConcurrentWritersConverge(t *testing.T) {
+	rt := newMachine(t, 4, 10*time.Microsecond)
+	v, _ := NewVar(rt, int64(0), allMembers(4), 2)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f, err := v.Write(w%4, int64(w))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			f.Get()
+		}()
+	}
+	wg.Wait()
+	rt.Wait()
+	// All copies must agree on whichever generation won.
+	ref, refGen, _ := v.ReadAt(0)
+	for loc := 1; loc < 4; loc++ {
+		got, gen, _ := v.ReadAt(loc)
+		if gen != refGen || got.(int64) != ref.(int64) {
+			t.Fatalf("copies diverged: L0=(%v,%d) L%d=(%v,%d)", ref, refGen, loc, got, gen)
+		}
+	}
+	if refGen != 8 {
+		t.Fatalf("final generation %d, want 8", refGen)
+	}
+}
+
+func TestReadAtNonMember(t *testing.T) {
+	rt := newMachine(t, 4, 0)
+	v, _ := NewVar(rt, int64(0), []int{0, 1}, 2)
+	if _, _, err := v.ReadAt(3); err == nil {
+		t.Fatal("read from non-member succeeded")
+	}
+}
+
+func TestVarValidation(t *testing.T) {
+	rt := newMachine(t, 4, 0)
+	if _, err := NewVar(rt, 1, nil, 2); err == nil {
+		t.Fatal("empty members accepted")
+	}
+	if _, err := NewVar(rt, 1, []int{0}, 0); err == nil {
+		t.Fatal("fanout 0 accepted")
+	}
+	if _, err := NewVar(rt, 1, []int{0, 0}, 2); err == nil {
+		t.Fatal("duplicate members accepted")
+	}
+	if _, err := NewVar(rt, struct{ X int }{1}, []int{0}, 2); err == nil {
+		t.Fatal("unencodable init accepted")
+	}
+}
+
+func TestDepth(t *testing.T) {
+	rt := newMachine(t, 16, 0)
+	cases := []struct{ n, fanout, depth int }{
+		{1, 2, 1}, {3, 2, 2}, {7, 2, 3}, {15, 2, 4}, {16, 4, 3},
+	}
+	for _, c := range cases {
+		v, err := NewVar(rt, int64(0), allMembers(c.n), c.fanout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := v.Depth(); d != c.depth {
+			t.Errorf("n=%d fanout=%d depth=%d, want %d", c.n, c.fanout, d, c.depth)
+		}
+	}
+}
+
+// Property: for any member count, fanout, and write sequence, the highest
+// generation's value ends up at every copy.
+func TestPropertyEchoConvergence(t *testing.T) {
+	rt := newMachine(t, 8, 0)
+	f := func(n8, fan8 uint8, writes []int64) bool {
+		n := int(n8%8) + 1
+		fanout := int(fan8%3) + 1
+		v, err := NewVar(rt, int64(-1), allMembers(n), fanout)
+		if err != nil {
+			return false
+		}
+		last := int64(-1)
+		for _, w := range writes {
+			fut, err := v.Write(int(w&0x7)%n, w)
+			if err != nil {
+				return false
+			}
+			if _, err := fut.Get(); err != nil {
+				return false
+			}
+			last = w
+		}
+		rt.Wait()
+		for loc := 0; loc < n; loc++ {
+			got, _, err := v.ReadAt(loc)
+			if err != nil || got.(int64) != last {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHomeVarReadWrite(t *testing.T) {
+	rt := newMachine(t, 4, 20*time.Microsecond)
+	h, err := NewHomeVar(rt, 0, int64(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := h.ReadFrom(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int64) != 5 {
+		t.Fatalf("read %v", v)
+	}
+	wf, err := h.WriteFrom(2, int64(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wf.Get(); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = h.ReadFrom(1)
+	if v.(int64) != 9 {
+		t.Fatalf("read after write %v", v)
+	}
+}
+
+func TestEchoReadFasterThanHomeRead(t *testing.T) {
+	const lat = 500 * time.Microsecond
+	rt := newMachine(t, 4, lat)
+	ev, _ := NewVar(rt, int64(1), allMembers(4), 2)
+	hv, _ := NewHomeVar(rt, 0, int64(1))
+	const reads = 20
+	start := time.Now()
+	for i := 0; i < reads; i++ {
+		if _, _, err := ev.ReadAt(3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	echoTime := time.Since(start)
+	start = time.Now()
+	for i := 0; i < reads; i++ {
+		if _, err := hv.ReadFrom(3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	homeTime := time.Since(start)
+	if echoTime*10 > homeTime {
+		t.Fatalf("echo reads %v not ≫ faster than home reads %v", echoTime, homeTime)
+	}
+}

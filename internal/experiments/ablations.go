@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/agas"
+	"repro/internal/core"
+	"repro/internal/locality"
+	"repro/internal/network"
+	"repro/internal/parcel"
+)
+
+// A1 — network ablation: E3's latency-hiding result re-run over every
+// network model at a fixed hop latency, answering "does the ParalleX
+// advantage survive a poorer network?".
+type A1Result struct {
+	Network string
+	E3      E3Result
+}
+
+// RunA1 runs E3 at one latency across network models.
+func RunA1(locs, updates int, hop time.Duration) []A1Result {
+	models := []struct {
+		name string
+		mk   func(n int, lat time.Duration) network.Model
+	}{
+		{"ideal", func(n int, lat time.Duration) network.Model { return network.NewIdeal(n) }},
+		{"crossbar", func(n int, lat time.Duration) network.Model {
+			return network.NewCrossbar(n, network.Params{HopLatency: lat, InjectionOverhead: lat})
+		}},
+		{"torus2d", func(n int, lat time.Duration) network.Model {
+			return network.NewTorus2D(n, network.Params{HopLatency: lat, InjectionOverhead: lat})
+		}},
+		{"datavortex", func(n int, lat time.Duration) network.Model {
+			return network.NewDataVortex(n, network.Params{HopLatency: lat, InjectionOverhead: lat}, 0.2)
+		}},
+		{"fattree", func(n int, lat time.Duration) network.Model {
+			return network.NewFatTree(n, 4, network.Params{HopLatency: lat, InjectionOverhead: lat})
+		}},
+	}
+	var out []A1Result
+	for _, m := range models {
+		rs := RunE3([]time.Duration{hop}, locs, updates, m.mk)
+		out = append(out, A1Result{Network: m.name, E3: rs[0]})
+	}
+	return out
+}
+
+// TableA1 renders the results.
+func TableA1(results []A1Result) Table {
+	t := Table{
+		Title:   "A1 network ablation: E3 under each interconnect model",
+		Columns: []string{"network", "parallex", "csp", "csp/px"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			r.Network, fdur(r.E3.ParalleX), fdur(r.E3.CSP), fratio(r.E3.CSP, r.E3.ParalleX),
+		})
+	}
+	return t
+}
+
+// A2 — continuation ablation: a k-stage pipeline of remote actions. With
+// continuation specifiers the parcel chain flows one way through the
+// stages (k one-way latencies). Without them (plain active messages) the
+// origin must orchestrate every stage: k round trips. This is precisely
+// the parcels-vs-active-messages distinction the paper draws.
+type A2Result struct {
+	Stages       int
+	WithCont     time.Duration
+	WithoutCont  time.Duration
+	RoundTripWin float64
+}
+
+// ActionForward is a stage that just passes its input onward.
+const ActionForward = "exp.forward"
+
+// RegisterA2Actions installs the pipeline stage action.
+func RegisterA2Actions(rt *core.Runtime) {
+	rt.MustRegisterAction(ActionForward, func(ctx *core.Context, target any, args *parcel.Reader) (any, error) {
+		raw := args.Bytes()
+		if err := args.Err(); err != nil {
+			return nil, err
+		}
+		return parcel.DecodeAny(raw)
+	})
+}
+
+// RunA2 measures both styles over chains of each length.
+func RunA2(stageCounts []int, locs int, lat time.Duration, reps int) []A2Result {
+	var out []A2Result
+	for _, k := range stageCounts {
+		rt := core.New(core.Config{
+			Localities:         locs,
+			WorkersPerLocality: 4,
+			Net:                network.NewCrossbar(locs, network.Params{InjectionOverhead: lat}),
+		})
+		RegisterA2Actions(rt)
+		stages := make([]agas.GID, k)
+		for i := range stages {
+			stages[i] = rt.NewDataAt(1+(i%(locs-1)), fmt.Sprintf("stage%d", i))
+		}
+		seed, _ := parcel.EncodeAny(int64(7))
+		args := parcel.NewArgs().Bytes(seed).Encode()
+
+		// With continuations: one parcel carrying the chain.
+		start := time.Now()
+		for rep := 0; rep < reps; rep++ {
+			fgid, fut := rt.NewFutureAt(0)
+			conts := make([]parcel.Continuation, 0, k)
+			for i := 1; i < k; i++ {
+				conts = append(conts, parcel.Continuation{Target: stages[i], Action: ActionForward})
+			}
+			conts = append(conts, parcel.Continuation{Target: fgid, Action: core.ActionLCOSet})
+			rt.SendFrom(0, parcel.New(stages[0], ActionForward, args, conts...))
+			fut.Get()
+		}
+		withCont := time.Since(start) / time.Duration(reps)
+
+		// Without continuations: the origin round-trips per stage.
+		start = time.Now()
+		for rep := 0; rep < reps; rep++ {
+			cur := args
+			for i := 0; i < k; i++ {
+				fut := rt.CallFrom(0, stages[i], ActionForward, cur)
+				v, err := fut.Get()
+				if err != nil {
+					panic(err)
+				}
+				raw, _ := parcel.EncodeAny(v)
+				cur = parcel.NewArgs().Bytes(raw).Encode()
+			}
+		}
+		withoutCont := time.Since(start) / time.Duration(reps)
+		rt.Shutdown()
+
+		out = append(out, A2Result{
+			Stages: k, WithCont: withCont, WithoutCont: withoutCont,
+			RoundTripWin: float64(withoutCont) / float64(withCont),
+		})
+	}
+	return out
+}
+
+// TableA2 renders the results.
+func TableA2(results []A2Result) Table {
+	t := Table{
+		Title:   "A2 continuation ablation: migrating control vs origin-orchestrated round trips",
+		Columns: []string{"stages", "with continuations", "without", "without/with"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.Stages), fdur(r.WithCont), fdur(r.WithoutCont),
+			fmt.Sprintf("%.2fx", r.RoundTripWin),
+		})
+	}
+	return t
+}
+
+// A3 — scheduler ablation: E5's skewed workload under FIFO, LIFO, and
+// FIFO+stealing locality queues.
+type A3Result struct {
+	Scheduler string
+	PxTime    time.Duration
+}
+
+// RunA3 compares scheduling policies on the E5 workload.
+func RunA3(nBodies, locs int) []A3Result {
+	cases := []struct {
+		name     string
+		policy   locality.Policy
+		stealing bool
+	}{
+		{"fifo", locality.FIFO, false},
+		{"lifo", locality.LIFO, false},
+		{"fifo+steal", locality.FIFO, true},
+	}
+	var out []A3Result
+	for _, c := range cases {
+		rs := RunE5([]float64{0.6}, nBodies, locs, c.policy, c.stealing)
+		out = append(out, A3Result{Scheduler: c.name, PxTime: rs[0].PxTime})
+	}
+	return out
+}
+
+// TableA3 renders the results.
+func TableA3(results []A3Result) Table {
+	t := Table{
+		Title:   "A3 scheduler ablation: skewed N-body under locality queue policies",
+		Columns: []string{"scheduler", "parallex time"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{r.Scheduler, fdur(r.PxTime)})
+	}
+	return t
+}
+
+// Shared small formatters.
+func fmtFrac(f float64) string { return fmt.Sprintf("%.0f%%", f*100) }
+func fmtX(f float64) string    { return fmt.Sprintf("%.2fx", f) }

@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"repro/internal/gilgamesh"
+)
+
+// E1 — Figure 1: the Gilgamesh II architecture diagram regenerated from
+// the design-point model.
+func RunE1() string {
+	return gilgamesh.RenderFigure1(gilgamesh.Default2020())
+}
+
+// E2 — the §3.2 design-point table ("Table DP"): every quoted figure
+// derived from first principles and checked against the paper.
+func RunE2() (string, bool) {
+	d := gilgamesh.Default2020()
+	ok := true
+	for _, row := range d.Check() {
+		if !row.OK {
+			ok = false
+		}
+	}
+	return d.Report(), ok
+}

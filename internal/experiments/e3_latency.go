@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/agas"
+	"repro/internal/core"
+	"repro/internal/csp"
+	"repro/internal/network"
+	"repro/internal/parcel"
+)
+
+// E3 — latency hiding (§2.2 parcels: message-driven computing "largely
+// circumvents idle cycles due to blocking on remote access delays").
+//
+// Workload: P actors each apply K increments to remote counters in a
+// cyclic-shift pattern (actor i's k-th update goes to owner (i+k+1) mod P,
+// so every update is remote and traffic is uniform).
+//
+// ParalleX: all K·P updates travel as fire-and-forget parcels; the
+// makespan is time to quiescence. In-flight parcels overlap, hiding
+// latency. CSP: the canonical two-sided equivalent — each round, every
+// rank sends one request and blocks for the acknowledgement, exposing a
+// full round trip per update.
+type E3Result struct {
+	Latency    time.Duration
+	ParalleX   time.Duration
+	CSP        time.Duration
+	PxApplied  int64
+	CSPApplied int64
+}
+
+// ActionAdd increments a counter object.
+const ActionAdd = "exp.counter.add"
+
+// RegisterE3Actions installs the counter action.
+func RegisterE3Actions(rt *core.Runtime) {
+	rt.MustRegisterAction(ActionAdd, func(ctx *core.Context, target any, args *parcel.Reader) (any, error) {
+		target.(*atomic.Int64).Add(1)
+		return nil, nil
+	})
+}
+
+// RunE3 measures both runtimes at each latency. netFor builds the network
+// model for a given latency (the A1 ablation swaps this).
+func RunE3(latencies []time.Duration, locs, updatesPerActor int,
+	netFor func(n int, lat time.Duration) network.Model) []E3Result {
+	if netFor == nil {
+		netFor = func(n int, lat time.Duration) network.Model {
+			return network.NewCrossbar(n, network.Params{InjectionOverhead: lat})
+		}
+	}
+	out := make([]E3Result, 0, len(latencies))
+	for _, lat := range latencies {
+		res := E3Result{Latency: lat}
+
+		// ParalleX side.
+		rt := core.New(core.Config{
+			Localities:         locs,
+			WorkersPerLocality: 4,
+			Net:                netFor(locs, lat),
+		})
+		RegisterE3Actions(rt)
+		counters := make([]*atomic.Int64, locs)
+		gids := make([]agas.GID, locs)
+		for i := range counters {
+			counters[i] = &atomic.Int64{}
+			gids[i] = rt.NewDataAt(i, counters[i])
+		}
+		start := time.Now()
+		for i := 0; i < locs; i++ {
+			i := i
+			rt.Spawn(i, func(ctx *core.Context) {
+				for k := 0; k < updatesPerActor; k++ {
+					owner := (i + k + 1) % locs
+					ctx.Send(parcel.New(gids[owner], ActionAdd, nil))
+				}
+			})
+		}
+		rt.Wait()
+		res.ParalleX = time.Since(start)
+		for _, c := range counters {
+			res.PxApplied += c.Load()
+		}
+		rt.Shutdown()
+
+		// CSP side: request/ack per update.
+		w := csp.NewWorld(locs, netFor(locs, lat))
+		cspCounters := make([]atomic.Int64, locs)
+		start = time.Now()
+		w.Run(func(r *csp.Rank) {
+			const reqTag, ackTag = 1, 2
+			for k := 0; k < updatesPerActor; k++ {
+				owner := (r.ID() + k + 1) % locs
+				requester := ((r.ID()-k-1)%locs + locs) % locs
+				r.Send(owner, reqTag, nil)
+				// Serve the symmetric incoming request of this round, then
+				// collect the ack — the blocking receive exposes latency.
+				r.Recv(csp.AnySource, reqTag)
+				cspCounters[r.ID()].Add(1)
+				r.Send(requester, ackTag, nil)
+				r.Recv(csp.AnySource, ackTag)
+			}
+		})
+		res.CSP = time.Since(start)
+		for i := range cspCounters {
+			res.CSPApplied += cspCounters[i].Load()
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// TableE3 renders the results.
+func TableE3(results []E3Result) Table {
+	t := Table{
+		Title:   "E3 latency hiding: remote updates, ParalleX parcels vs CSP request/ack",
+		Columns: []string{"latency", "parallex", "csp", "csp/px", "px applied", "csp applied"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			r.Latency.String(), fdur(r.ParalleX), fdur(r.CSP),
+			fratio(r.CSP, r.ParalleX),
+			fmt.Sprintf("%d", r.PxApplied), fmt.Sprintf("%d", r.CSPApplied),
+		})
+	}
+	return t
+}

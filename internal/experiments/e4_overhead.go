@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/csp"
+	"repro/internal/network"
+)
+
+// E4 — overhead and minimum exploitable granularity (§2.1: "Overhead can
+// determine the scalability of a system and the minimum granularity of
+// program tasks that can be effectively exploited").
+//
+// T dynamic tasks of grain g are executed on P localities × W workers.
+// ParalleX spawns them as threads (cheap local enqueue + queue service).
+// The CSP equivalent of *dynamic* task parallelism is master–worker
+// dispatch: the master sends each task descriptor and collects each
+// result, paying two messages per task. Task execution is timed slot
+// occupancy (see virtualwork.go). Efficiency = ideal / measured; the
+// minimum exploitable grain is where efficiency crosses 50%.
+type E4Result struct {
+	Grain        time.Duration
+	Tasks        int
+	PxTime       time.Duration
+	PxEff        float64
+	CSPTime      time.Duration
+	CSPEff       float64
+	PxPerTaskOvh time.Duration
+}
+
+// RunE4 sweeps task grain.
+func RunE4(grains []time.Duration, tasks, locs int, lat time.Duration) []E4Result {
+	const workersPerLoc = 2
+	out := make([]E4Result, 0, len(grains))
+	for _, g := range grains {
+		res := E4Result{Grain: g, Tasks: tasks}
+
+		// ParalleX.
+		rt := core.New(core.Config{
+			Localities:         locs,
+			WorkersPerLocality: workersPerLoc,
+			Net:                network.NewCrossbar(locs, network.Params{InjectionOverhead: lat}),
+			Stealing:           true,
+		})
+		start := time.Now()
+		for i := 0; i < tasks; i++ {
+			rt.Spawn(i%locs, func(ctx *core.Context) { virtualWork(g) })
+		}
+		rt.Wait()
+		res.PxTime = time.Since(start)
+		rt.Shutdown()
+		workers := locs * workersPerLoc
+		ideal := time.Duration(int64(g) * int64(tasks) / int64(workers))
+		if ideal == 0 {
+			ideal = 1
+		}
+		res.PxEff = float64(ideal) / float64(res.PxTime)
+		res.PxPerTaskOvh = (res.PxTime - ideal) / time.Duration(tasks)
+		if res.PxPerTaskOvh < 0 {
+			res.PxPerTaskOvh = 0
+		}
+
+		// CSP master–worker: rank 0 dispatches task descriptors; workers
+		// execute and acknowledge. Worker count = locs-1 (the master is a
+		// dispatcher, as in classic MPI farm codes).
+		w := csp.NewWorld(locs, network.NewCrossbar(locs, network.Params{InjectionOverhead: lat}))
+		start = time.Now()
+		w.Run(func(r *csp.Rank) {
+			const taskTag, doneTag, stopTag = 1, 2, 3
+			if r.ID() == 0 {
+				outstanding := 0
+				next := 0
+				for p := 1; p < locs && next < tasks; p++ {
+					r.Send(p, taskTag, nil)
+					next++
+					outstanding++
+				}
+				for outstanding > 0 {
+					m := r.Recv(csp.AnySource, doneTag)
+					outstanding--
+					worker := int(m.(int64))
+					if next < tasks {
+						r.Send(worker, taskTag, nil)
+						next++
+						outstanding++
+					}
+				}
+				for p := 1; p < locs; p++ {
+					r.Send(p, stopTag, nil)
+				}
+				return
+			}
+			for {
+				if _, ok := r.TryRecv(csp.AnySource, stopTag); ok {
+					return
+				}
+				if _, ok := r.TryRecv(0, taskTag); ok {
+					virtualWork(g)
+					r.Send(0, doneTag, int64(r.ID()))
+					continue
+				}
+				time.Sleep(5 * time.Microsecond)
+			}
+		})
+		res.CSPTime = time.Since(start)
+		cspWorkers := locs - 1
+		if cspWorkers < 1 {
+			cspWorkers = 1
+		}
+		cspIdeal := time.Duration(int64(g) * int64(tasks) / int64(cspWorkers))
+		if cspIdeal == 0 {
+			cspIdeal = 1
+		}
+		res.CSPEff = float64(cspIdeal) / float64(res.CSPTime)
+		out = append(out, res)
+	}
+	return out
+}
+
+// MinExploitableGrain reports the smallest grain with efficiency >= 0.5,
+// or -1 if none qualifies.
+func MinExploitableGrain(results []E4Result, px bool) time.Duration {
+	for _, r := range results {
+		eff := r.CSPEff
+		if px {
+			eff = r.PxEff
+		}
+		if eff >= 0.5 {
+			return r.Grain
+		}
+	}
+	return -1
+}
+
+// TableE4 renders the results.
+func TableE4(results []E4Result) Table {
+	t := Table{
+		Title:   "E4 overhead vs granularity: dynamic tasks, ParalleX spawn vs CSP master-worker",
+		Columns: []string{"grain", "px time", "px eff", "px ovh/task", "csp time", "csp eff"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			r.Grain.String(), fdur(r.PxTime),
+			pct(r.PxEff), r.PxPerTaskOvh.String(),
+			fdur(r.CSPTime), pct(r.CSPEff),
+		})
+	}
+	return t
+}
+
+// pct renders an efficiency in [0,1] as a percentage, clamping rounding
+// artifacts above 100%.
+func pct(f float64) string {
+	if f > 1 {
+		f = 1
+	}
+	return fmt.Sprintf("%.1f%%", f*100)
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/csp"
+	"repro/internal/locality"
+	"repro/internal/network"
+	"repro/internal/workloads"
+)
+
+// E5 — starvation and load balance (§2.1: starvation is "idle cycles …
+// caused either due to inadequate program parallelism or due to poor load
+// balancing"; §2.2: message-driven computing lets localities operate "via
+// a work queue model").
+//
+// Workload: Barnes–Hut forces over a body set where clusterFrac of the
+// bodies sit in a dense cluster. Per-body cost is the *real* tree
+// traversal count; execution is timed slot occupancy scaled so the total
+// nominal work is totalWork. ParalleX splits the bodies into many fine
+// chunks served from work queues (optionally stealing); the CSP baseline
+// uses a conventional static domain decomposition (spatial stripes), so
+// the rank owning the dense cluster's stripe is the critical path.
+type E5Result struct {
+	ClusterFrac float64
+	PxTime      time.Duration
+	CSPTime     time.Duration
+	// CSPImbalance is max-rank-work / mean-rank-work: 1.0 is perfect.
+	CSPImbalance float64
+	// PxIdleMean is the mean locality starvation fraction under ParalleX.
+	PxIdleMean float64
+}
+
+// bodyCosts computes the per-body virtual cost from real tree traversals,
+// scaled so the costs sum to totalWork.
+func bodyCosts(bodies []workloads.Body, theta float64, totalWork time.Duration) []time.Duration {
+	tree := workloads.BuildBHTree(bodies, theta)
+	raw := make([]int, len(bodies))
+	sum := 0
+	for i := range bodies {
+		raw[i] = tree.TraversalCost(&bodies[i])
+		sum += raw[i]
+	}
+	costs := make([]time.Duration, len(bodies))
+	for i, r := range raw {
+		costs[i] = time.Duration(int64(totalWork) * int64(r) / int64(sum))
+	}
+	return costs
+}
+
+// RunE5 sweeps the skew fraction.
+func RunE5(fracs []float64, nBodies, locs int, policy locality.Policy, stealing bool) []E5Result {
+	const totalWork = 400 * time.Millisecond // nominal aggregate compute
+	out := make([]E5Result, 0, len(fracs))
+	for _, frac := range fracs {
+		res := E5Result{ClusterFrac: frac}
+		bodies := workloads.GenerateClusteredBodies(nBodies, frac, 11)
+		costs := bodyCosts(bodies, 0.3, totalWork)
+
+		// ParalleX: many fine chunks on work queues; chunk cost is the sum
+		// of its bodies' costs, held as one slot occupancy.
+		chunks := locs * 16
+		rt := core.New(core.Config{
+			Localities:         locs,
+			WorkersPerLocality: 1, // one worker per locality isolates balance effects
+			Policy:             policy,
+			Stealing:           stealing,
+		})
+		start := time.Now()
+		done := make(chan struct{}, chunks)
+		for c := 0; c < chunks; c++ {
+			lo := c * nBodies / chunks
+			hi := (c + 1) * nBodies / chunks
+			var cost time.Duration
+			for i := lo; i < hi; i++ {
+				cost += costs[i]
+			}
+			rt.Spawn(c%locs, func(ctx *core.Context) {
+				virtualWork(cost)
+				done <- struct{}{}
+			})
+		}
+		for c := 0; c < chunks; c++ {
+			<-done
+		}
+		res.PxTime = time.Since(start)
+		var idleSum float64
+		for _, f := range rt.IdleFractions() {
+			idleSum += f
+		}
+		res.PxIdleMean = idleSum / float64(locs)
+		rt.Shutdown()
+
+		// CSP static partition: conventional *domain decomposition* — rank
+		// r owns the spatial stripe x ∈ [r/P, (r+1)/P). The cluster's
+		// density lands almost entirely in one rank's domain, which is the
+		// load-balance failure mode the paper attributes to "explicit
+		// locality management".
+		w := csp.NewWorld(locs, network.NewIdeal(locs))
+		rankWork := make([]time.Duration, locs)
+		for i := range bodies {
+			r := int(bodies[i].X * float64(locs))
+			if r < 0 {
+				r = 0
+			}
+			if r >= locs {
+				r = locs - 1
+			}
+			rankWork[r] += costs[i]
+		}
+		start = time.Now()
+		w.Run(func(r *csp.Rank) {
+			virtualWork(rankWork[r.ID()])
+			r.Barrier()
+		})
+		res.CSPTime = time.Since(start)
+		var max, sum time.Duration
+		for _, b := range rankWork {
+			if b > max {
+				max = b
+			}
+			sum += b
+		}
+		if sum > 0 {
+			res.CSPImbalance = float64(max) * float64(locs) / float64(sum)
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// TableE5 renders the results.
+func TableE5(results []E5Result) Table {
+	t := Table{
+		Title:   "E5 starvation: skewed N-body, work-queue ParalleX vs static CSP partition",
+		Columns: []string{"cluster frac", "parallex", "csp", "csp/px", "csp imbalance", "px idle"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			fmtFrac(r.ClusterFrac), fdur(r.PxTime), fdur(r.CSPTime),
+			fratio(r.CSPTime, r.PxTime), fmtX(r.CSPImbalance), fmtFrac(r.PxIdleMean),
+		})
+	}
+	return t
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lco"
+)
+
+// E6 — LCOs vs global barriers (§2.2: "LCOs eliminate most uses of global
+// barriers greatly freeing the dynamic adaptive flexibility of parallel
+// processing and relaxing the over constraining operation imposed by
+// barriers").
+//
+// Workload: E elements × R phases, one element per execution slot so
+// synchronization — not scheduling — is the only variable. Element i's
+// phase-r task depends only on its neighborhood {i-1, i, i+1} at phase
+// r-1 (a stencil dependence). Task times vary pseudo-randomly per
+// (element, phase) with the given max/min skew, modelling the dynamic
+// imbalance (convergence rates, refinement, particle motion) that real
+// phased codes exhibit.
+//
+// Barrier discipline: every phase costs the *maximum* task time of that
+// phase — R × E[max of E draws]. LCO discipline: each task fires when its
+// three neighbors finish, so slack flows between elements and the makespan
+// approaches the heaviest dependence path, which concentrates near
+// R × mean. The gap is the cost of the barrier's over-constraint.
+type E6Result struct {
+	Skew         float64 // max/min task time ratio
+	BarrierTime  time.Duration
+	LCOTime      time.Duration
+	CriticalPath time.Duration // mean-cost path length (LCO's target)
+}
+
+// e6TaskTime is the deterministic pseudo-random task cost for (element,
+// phase): base × uniform[1, skew) from a hash of (e, r).
+func e6TaskTime(e, r int, skew float64, base time.Duration) time.Duration {
+	h := uint32(e)*2654435761 + uint32(r)*40503 + 12345
+	h ^= h >> 13
+	h *= 2246822519
+	h ^= h >> 16
+	u := float64(h%10000) / 10000.0
+	return time.Duration(float64(base) * (1 + (skew-1)*u))
+}
+
+// RunE6 compares the two disciplines at each skew. Worker counts are
+// sized so every element owns an execution slot: synchronization, not
+// scheduling, is the only variable.
+func RunE6(skews []float64, elements, phases, locs int, base time.Duration) []E6Result {
+	workers := elements / locs
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([]E6Result, 0, len(skews))
+	for _, skew := range skews {
+		res := E6Result{Skew: skew}
+
+		// Mean-cost path estimate: the average column sum, the scale the
+		// LCO schedule should approach.
+		var meanPath time.Duration
+		for e := 0; e < elements; e++ {
+			var col time.Duration
+			for r := 0; r < phases; r++ {
+				col += e6TaskTime(e, r, skew, base)
+			}
+			meanPath += col
+		}
+		res.CriticalPath = meanPath / time.Duration(elements)
+
+		// Barrier discipline.
+		rtB := core.New(core.Config{Localities: locs, WorkersPerLocality: workers})
+		bar := lco.NewBarrier(elements)
+		gateB := lco.NewAndGate(elements)
+		start := time.Now()
+		for e := 0; e < elements; e++ {
+			e := e
+			rtB.Spawn(e%locs, func(ctx *core.Context) {
+				for r := 0; r < phases; r++ {
+					virtualWork(e6TaskTime(e, r, skew, base))
+					barArrive(ctx, bar)
+				}
+				gateB.Signal()
+			})
+		}
+		gateB.Wait()
+		res.BarrierTime = time.Since(start)
+		rtB.Shutdown()
+
+		// LCO discipline: metathread per (element, phase) guarded by its
+		// three phase-(r-1) neighbors. Tasks run phases r = 0..phases-1,
+		// exactly matching the barrier version's work.
+		rtL := core.New(core.Config{Localities: locs, WorkersPerLocality: workers})
+		gates := make([][]*lco.AndGate, phases)
+		done := lco.NewAndGate(elements)
+		for r := 1; r < phases; r++ {
+			gates[r] = make([]*lco.AndGate, elements)
+			for e := 0; e < elements; e++ {
+				deps := neighborCount(e, elements)
+				gates[r][e] = lco.NewAndGate(deps)
+			}
+		}
+		var fire func(r, e int)
+		fire = func(r, e int) {
+			rtL.Spawn(e%locs, func(ctx *core.Context) {
+				virtualWork(e6TaskTime(e, r, skew, base))
+				if r == phases-1 {
+					done.Signal()
+					return
+				}
+				// Signal the phase-(r+1) gates of the neighborhood.
+				for _, ne := range neighborhood(e, elements) {
+					gates[r+1][ne].Signal()
+				}
+			})
+		}
+		// Arm metathread firing: when gate (r,e) fires, run task (r,e).
+		for r := 1; r < phases; r++ {
+			for e := 0; e < elements; e++ {
+				r, e := r, e
+				gates[r][e].OnFire(func() { fire(r, e) })
+			}
+		}
+		start = time.Now()
+		for e := 0; e < elements; e++ {
+			fire(0, e)
+		}
+		done.Wait()
+		res.LCOTime = time.Since(start)
+		rtL.Shutdown()
+
+		out = append(out, res)
+	}
+	return out
+}
+
+// barArrive suspends the thread's execution slot while blocked at the
+// barrier so other elements on the locality can proceed.
+func barArrive(ctx *core.Context, bar *lco.Barrier) {
+	fut := lco.NewFuture()
+	go func() {
+		bar.Arrive()
+		fut.Set(nil)
+	}()
+	ctx.Await(fut)
+}
+
+func neighborhood(e, n int) []int {
+	out := []int{e}
+	if e > 0 {
+		out = append(out, e-1)
+	}
+	if e < n-1 {
+		out = append(out, e+1)
+	}
+	return out
+}
+
+// neighborCount reports how many phase-(r-1) tasks signal element e's gate:
+// its own column plus existing neighbors.
+func neighborCount(e, n int) int {
+	return len(neighborhood(e, n))
+}
+
+// TableE6 renders the results.
+func TableE6(results []E6Result) Table {
+	t := Table{
+		Title:   "E6 dataflow LCOs vs global barriers: skewed phased computation",
+		Columns: []string{"skew", "barrier", "lco", "barrier/lco", "critical path"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0fx", r.Skew), fdur(r.BarrierTime), fdur(r.LCOTime),
+			fratio(r.BarrierTime, r.LCOTime), fdur(r.CriticalPath),
+		})
+	}
+	return t
+}

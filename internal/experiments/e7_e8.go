@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/echo"
+	"repro/internal/gilgamesh"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// E7 — percolation (§2.2: prestaging protects a precious resource from
+// exposed fetch latency). Runs on the Gilgamesh chip DES at cycle
+// resolution: a task stream whose operand blocks take fetchCycles to stage
+// against computeCycles of accelerator work, across percolation depths
+// (A4) and fetch/compute ratios.
+type E7Result struct {
+	FetchOverCompute float64
+	Depth            int
+	Makespan         sim.Time
+	Utilization      float64
+	SpeedupVsDemand  float64
+}
+
+// RunE7 sweeps ratio × depth on the chip simulator.
+func RunE7(ratios []float64, depths []int, nTasks int, computeCycles sim.Time, channels int) []E7Result {
+	var out []E7Result
+	for _, ratio := range ratios {
+		chip := gilgamesh.ChipSim{
+			FetchCycles:   sim.Time(float64(computeCycles) * ratio),
+			ComputeCycles: computeCycles,
+			FetchChannels: channels,
+		}
+		demand := chip.RunStream(nTasks, 0)
+		for _, d := range depths {
+			st := chip.RunStream(nTasks, d)
+			out = append(out, E7Result{
+				FetchOverCompute: ratio,
+				Depth:            d,
+				Makespan:         st.Makespan,
+				Utilization:      st.Utilization(),
+				SpeedupVsDemand:  float64(demand.Makespan) / float64(st.Makespan),
+			})
+		}
+	}
+	return out
+}
+
+// TableE7 renders the results.
+func TableE7(results []E7Result) Table {
+	t := Table{
+		Title:   "E7 percolation on the Gilgamesh chip DES: accelerator utilization vs prestage depth (A4)",
+		Columns: []string{"fetch/compute", "depth", "makespan(cyc)", "accel util", "speedup vs demand"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", r.FetchOverCompute), fmt.Sprintf("%d", r.Depth),
+			fmt.Sprintf("%d", r.Makespan), fmt.Sprintf("%.3f", r.Utilization),
+			fmt.Sprintf("%.2fx", r.SpeedupVsDemand),
+		})
+	}
+	return t
+}
+
+// E8 — echo copy semantics (§2.2: overlap of coherency verification with
+// continued computation; many readers of one writable variable). R reads
+// per locality against occasional writes: echo reads are local memory
+// accesses, home-variable reads pay a round trip each.
+type E8Result struct {
+	Latency      time.Duration
+	Readers      int
+	ReadsEach    int
+	EchoTime     time.Duration
+	HomeTime     time.Duration
+	EchoReadMean time.Duration
+	HomeReadMean time.Duration
+}
+
+// RunE8 measures both protocols.
+func RunE8(latencies []time.Duration, locs, readsEach int) []E8Result {
+	out := make([]E8Result, 0, len(latencies))
+	for _, lat := range latencies {
+		res := E8Result{Latency: lat, Readers: locs, ReadsEach: readsEach}
+		rt := core.New(core.Config{
+			Localities:         locs,
+			WorkersPerLocality: 4,
+			Net:                network.NewCrossbar(locs, network.Params{InjectionOverhead: lat}),
+		})
+		echo.RegisterActions(rt)
+		members := make([]int, locs)
+		for i := range members {
+			members[i] = i
+		}
+		ev, err := echo.NewVar(rt, int64(1), members, 2)
+		if err != nil {
+			panic(err)
+		}
+		// One write settles before the read storm (the steady-state
+		// many-reader interval the construct is for).
+		if f, err := ev.Write(0, int64(2)); err == nil {
+			f.Get()
+		}
+		start := time.Now()
+		gate := make(chan struct{}, locs)
+		for i := 0; i < locs; i++ {
+			i := i
+			rt.Spawn(i, func(ctx *core.Context) {
+				for k := 0; k < readsEach; k++ {
+					if _, _, err := ev.ReadAt(i); err != nil {
+						panic(err)
+					}
+				}
+				gate <- struct{}{}
+			})
+		}
+		for i := 0; i < locs; i++ {
+			<-gate
+		}
+		res.EchoTime = time.Since(start)
+		res.EchoReadMean = res.EchoTime / time.Duration(locs*readsEach)
+
+		hv, err := echo.NewHomeVar(rt, 0, int64(2))
+		if err != nil {
+			panic(err)
+		}
+		start = time.Now()
+		for i := 0; i < locs; i++ {
+			i := i
+			rt.Spawn(i, func(ctx *core.Context) {
+				for k := 0; k < readsEach; k++ {
+					if _, err := hv.ReadFrom(i); err != nil {
+						panic(err)
+					}
+				}
+				gate <- struct{}{}
+			})
+		}
+		for i := 0; i < locs; i++ {
+			<-gate
+		}
+		res.HomeTime = time.Since(start)
+		res.HomeReadMean = res.HomeTime / time.Duration(locs*readsEach)
+		rt.Shutdown()
+		out = append(out, res)
+	}
+	return out
+}
+
+// TableE8 renders the results.
+func TableE8(results []E8Result) Table {
+	t := Table{
+		Title:   "E8 echo copy semantics: local-copy reads vs home-node round trips",
+		Columns: []string{"latency", "echo total", "home total", "home/echo", "echo ns/read", "home ns/read"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			r.Latency.String(), fdur(r.EchoTime), fdur(r.HomeTime),
+			fratio(r.HomeTime, r.EchoTime),
+			fmt.Sprintf("%d", r.EchoReadMean.Nanoseconds()),
+			fmt.Sprintf("%d", r.HomeReadMean.Nanoseconds()),
+		})
+	}
+	return t
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/csp"
+	"repro/internal/network"
+	"repro/internal/workloads"
+)
+
+// E9 — scaling of the motivating workloads (§2.1: "direct support for
+// lightweight processing of irregular time-varying sparse data structure
+// parallelism": trees, directed graphs, particle in cell). Strong scaling
+// of Barnes–Hut forces, semantic-net BFS, and PIC under ParalleX vs the
+// CSP baseline across machine widths. Per-task costs come from the real
+// data structures (tree traversal counts, vertex visits, particle counts);
+// execution is timed slot occupancy so the scaling shape is measurable on
+// any host (see virtualwork.go).
+type E9Result struct {
+	Workload string
+	P        int
+	PxTime   time.Duration
+	CSPTime  time.Duration
+	PxSpeed  float64 // speedup vs P=widths[0] ParalleX
+	CSPSpeed float64
+}
+
+// RunE9 runs all three workloads at each width.
+func RunE9(widths []int, nBodies, nVerts, nParts int) []E9Result {
+	var out []E9Result
+	var basePx, baseCSP [3]time.Duration
+
+	const nbodyWork = 300 * time.Millisecond
+	bodies := workloads.GenerateClusteredBodies(nBodies, 0.4, 31)
+	costs := bodyCosts(bodies, 0.3, nbodyWork)
+
+	const visitCost = 200 * time.Microsecond
+	g := workloads.GenerateGraph(nVerts, 5, 32)
+
+	const picChunkWork = 150 * time.Millisecond // total deposit+push per step
+
+	for wi, P := range widths {
+		// --- Barnes–Hut (tree) ---
+		rt := core.New(core.Config{Localities: P, WorkersPerLocality: 1, Stealing: true})
+		chunks := P * 16
+		start := time.Now()
+		done := make(chan struct{}, chunks)
+		for c := 0; c < chunks; c++ {
+			lo := c * nBodies / chunks
+			hi := (c + 1) * nBodies / chunks
+			var cost time.Duration
+			for i := lo; i < hi; i++ {
+				cost += costs[i]
+			}
+			rt.Spawn(c%P, func(ctx *core.Context) {
+				virtualWork(cost)
+				done <- struct{}{}
+			})
+		}
+		for c := 0; c < chunks; c++ {
+			<-done
+		}
+		px := time.Since(start)
+		rt.Shutdown()
+
+		w := csp.NewWorld(P, network.NewIdeal(P))
+		rankWork := make([]time.Duration, P)
+		for r := 0; r < P; r++ {
+			lo := r * nBodies / P
+			hi := (r + 1) * nBodies / P
+			for i := lo; i < hi; i++ {
+				rankWork[r] += costs[i]
+			}
+		}
+		start = time.Now()
+		w.Run(func(r *csp.Rank) {
+			virtualWork(rankWork[r.ID()])
+			r.Barrier()
+		})
+		cs := time.Since(start)
+		if wi == 0 {
+			basePx[0], baseCSP[0] = px, cs
+		}
+		out = append(out, E9Result{"nbody", P, px, cs,
+			float64(basePx[0]) / float64(px), float64(baseCSP[0]) / float64(cs)})
+
+		// --- BFS (directed graph / semantic net) ---
+		rt = core.New(core.Config{Localities: P, WorkersPerLocality: 2})
+		workloads.RegisterGraphActions(rt)
+		dg := workloads.NewDistGraphWithCost(rt, g, visitCost)
+		start = time.Now()
+		dg.BFSParalleX(0)
+		px = time.Since(start)
+		rt.Shutdown()
+		w = csp.NewWorld(P, network.NewIdeal(P))
+		start = time.Now()
+		workloads.BFSCSPWithCost(w, g, 0, visitCost)
+		cs = time.Since(start)
+		if wi == 0 {
+			basePx[1], baseCSP[1] = px, cs
+		}
+		out = append(out, E9Result{"bfs", P, px, cs,
+			float64(basePx[1]) / float64(px), float64(baseCSP[1]) / float64(cs)})
+
+		// --- PIC (particle in cell) ---
+		// Deposit+push chunk costs scale with particle count; the field
+		// solve is the serial fraction at locality 0 (Amdahl term).
+		perParticle := picChunkWork / time.Duration(nParts)
+		solveCost := 5 * time.Millisecond
+		rt = core.New(core.Config{Localities: P, WorkersPerLocality: 1})
+		chunks = P * 8
+		gateN := 2 * chunks // deposit wave + push wave
+		start = time.Now()
+		doneC := make(chan struct{}, gateN)
+		depositDone := make(chan struct{}, chunks)
+		for c := 0; c < chunks; c++ {
+			lo := c * nParts / chunks
+			hi := (c + 1) * nParts / chunks
+			cost := perParticle * time.Duration(hi-lo) / 2
+			rt.Spawn(c%P, func(ctx *core.Context) {
+				virtualWork(cost)
+				depositDone <- struct{}{}
+				doneC <- struct{}{}
+			})
+		}
+		for c := 0; c < chunks; c++ {
+			<-depositDone
+		}
+		// Serial solve.
+		solveFin := make(chan struct{})
+		rt.Spawn(0, func(ctx *core.Context) {
+			virtualWork(solveCost)
+			close(solveFin)
+		})
+		<-solveFin
+		for c := 0; c < chunks; c++ {
+			lo := c * nParts / chunks
+			hi := (c + 1) * nParts / chunks
+			cost := perParticle * time.Duration(hi-lo) / 2
+			rt.Spawn(c%P, func(ctx *core.Context) {
+				virtualWork(cost)
+				doneC <- struct{}{}
+			})
+		}
+		for c := 0; c < gateN; c++ {
+			<-doneC
+		}
+		px = time.Since(start)
+		rt.Shutdown()
+
+		w = csp.NewWorld(P, network.NewIdeal(P))
+		start = time.Now()
+		w.Run(func(r *csp.Rank) {
+			lo := r.ID() * nParts / P
+			hi := (r.ID() + 1) * nParts / P
+			virtualWork(perParticle * time.Duration(hi-lo) / 2)
+			r.Barrier()
+			if r.ID() == 0 {
+				virtualWork(solveCost) // redundant solve serialized at root
+			}
+			r.Barrier()
+			virtualWork(perParticle * time.Duration(hi-lo) / 2)
+			r.Barrier()
+		})
+		cs = time.Since(start)
+		if wi == 0 {
+			basePx[2], baseCSP[2] = px, cs
+		}
+		out = append(out, E9Result{"pic", P, px, cs,
+			float64(basePx[2]) / float64(px), float64(baseCSP[2]) / float64(cs)})
+	}
+	return out
+}
+
+// TableE9 renders the results.
+func TableE9(results []E9Result) Table {
+	t := Table{
+		Title:   "E9 strong scaling of the motivating workloads (speedups vs each model's first width)",
+		Columns: []string{"workload", "P", "parallex", "px speedup", "csp", "csp speedup"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			r.Workload, fmt.Sprintf("%d", r.P),
+			fdur(r.PxTime), fmt.Sprintf("%.2fx", r.PxSpeed),
+			fdur(r.CSPTime), fmt.Sprintf("%.2fx", r.CSPSpeed),
+		})
+	}
+	return t
+}

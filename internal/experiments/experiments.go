@@ -1,0 +1,66 @@
+// Package experiments implements the paper-reproduction harness: one
+// function per experiment in DESIGN.md §4 (E1–E10 plus ablations A1–A4).
+// Each returns structured rows that cmd/pxbench renders as the paper-style
+// table and bench_test.go exercises as benchmarks. EXPERIMENTS.md records
+// the expected shapes.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table renders rows of label→value pairs with aligned columns.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// String renders the table.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+	}
+	b.WriteString("\n")
+	for i := range t.Columns {
+		b.WriteString(strings.Repeat("-", widths[i]) + "  ")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s  ", w, cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func fdur(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}
+
+func fratio(num, den time.Duration) string {
+	if den == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", float64(num)/float64(den))
+}

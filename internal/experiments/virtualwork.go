@@ -1,0 +1,24 @@
+package experiments
+
+import "time"
+
+// The wall-clock experiments model computation as timed occupancy of an
+// execution slot (time.Sleep while holding the slot) rather than CPU
+// spinning. On a many-core host the two are equivalent for scheduling
+// purposes; on a small or single-core CI host spinning serializes in the
+// OS and destroys every parallel effect, while timed occupancy preserves
+// exactly the phenomena the paper is about — exposed latency, queueing,
+// load imbalance, barrier tails. Per-task costs come from the real
+// workloads (tree traversal counts, particle counts), only their execution
+// is virtualized. EXPERIMENTS.md documents this substitution.
+
+// virtualWork occupies the caller's execution slot for d.
+func virtualWork(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// minSleep is the practical timer floor; per-task virtual costs are kept
+// comfortably above it so timer jitter stays second-order.
+const minSleep = 100 * time.Microsecond

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/gilgamesh"
+	"repro/internal/sim"
+)
+
+// X1 — MIND processor-in-memory vs conventional load/store (§3.2: at low
+// temporal locality "an advanced Processor in Memory architecture called
+// 'MIND' has been developed to provide short latencies and very high
+// memory bandwidth with in-memory threads"). An extension experiment over
+// the cycle-level MIND model: the speedup of moving threads into memory as
+// a function of how expensive the chip interconnect is relative to a DRAM
+// row access.
+type X1Result struct {
+	NetOverRow  float64
+	PIMMakespan sim.Time
+	LSMakespan  sim.Time
+	Speedup     float64
+	PIMBankBusy float64
+}
+
+// RunX1 sweeps the network/row cost ratio.
+func RunX1(ratios []float64, banks, txns, accesses int, rowCycles sim.Time) []X1Result {
+	out := make([]X1Result, 0, len(ratios))
+	for _, ratio := range ratios {
+		m := gilgamesh.MINDSim{
+			Banks:         banks,
+			NetCycles:     sim.Time(float64(rowCycles) * ratio),
+			RowCycles:     rowCycles,
+			ComputeCycles: rowCycles / 3,
+		}
+		pim := m.RunPIM(txns, accesses)
+		ls := m.RunLoadStore(txns, accesses)
+		out = append(out, X1Result{
+			NetOverRow:  ratio,
+			PIMMakespan: pim.Makespan,
+			LSMakespan:  ls.Makespan,
+			Speedup:     float64(ls.Makespan) / float64(pim.Makespan),
+			PIMBankBusy: pim.BankBusy,
+		})
+	}
+	return out
+}
+
+// TableX1 renders the results.
+func TableX1(results []X1Result) Table {
+	t := Table{
+		Title:   "X1 MIND in-memory threads vs load/store processor (cycle-level DES)",
+		Columns: []string{"net/row", "pim makespan", "load/store", "speedup", "pim bank busy"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.1f", r.NetOverRow),
+			fmt.Sprintf("%d", r.PIMMakespan), fmt.Sprintf("%d", r.LSMakespan),
+			fmt.Sprintf("%.2fx", r.Speedup), fmt.Sprintf("%.3f", r.PIMBankBusy),
+		})
+	}
+	return t
+}
+
+// X2 — hierarchical percolation across the §3 memory hierarchy: operands
+// start in the Penultimate Store and must traverse two staging levels
+// (system: PS → chip over the Data Vortex; chip: MIND → accelerator).
+// An extension experiment measuring how prestage depths compose.
+type X2Result struct {
+	PSDepth     int
+	ChipDepth   int
+	Makespan    sim.Time
+	Utilization float64
+	Speedup     float64 // vs fully-demand (0,0)
+}
+
+// RunX2 sweeps the two depths.
+func RunX2(psDepths, chipDepths []int, tasks int) []X2Result {
+	s := gilgamesh.SystemSim{
+		PSFetchCycles:   400,
+		ChipFetchCycles: 50,
+		ComputeCycles:   100,
+		PSChannels:      4,
+		ChipChannels:    2,
+	}
+	base := s.RunStream(tasks, 0, 0)
+	var out []X2Result
+	for _, d1 := range psDepths {
+		for _, d2 := range chipDepths {
+			st := s.RunStream(tasks, d1, d2)
+			out = append(out, X2Result{
+				PSDepth: d1, ChipDepth: d2,
+				Makespan:    st.Makespan,
+				Utilization: st.Utilization,
+				Speedup:     float64(base.Makespan) / float64(st.Makespan),
+			})
+		}
+	}
+	return out
+}
+
+// TableX2 renders the results.
+func TableX2(results []X2Result) Table {
+	t := Table{
+		Title:   "X2 hierarchical percolation: Penultimate Store -> chip -> accelerator",
+		Columns: []string{"ps depth", "chip depth", "makespan(cyc)", "accel util", "speedup"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.PSDepth), fmt.Sprintf("%d", r.ChipDepth),
+			fmt.Sprintf("%d", r.Makespan), fmt.Sprintf("%.3f", r.Utilization),
+			fmt.Sprintf("%.2fx", r.Speedup),
+		})
+	}
+	return t
+}

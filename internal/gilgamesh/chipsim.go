@@ -1,0 +1,133 @@
+package gilgamesh
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// ChipSim is a cycle-level discrete-event model of one Gilgamesh chip's
+// precious resource — the dataflow accelerator — fed from MIND memory over
+// an on-chip transfer engine. It measures what the paper's percolation
+// mechanism exists to fix: without prestaging, the accelerator idles for
+// the full fetch time of every task; with a percolation pipeline of depth
+// D, fetches overlap computation.
+type ChipSim struct {
+	// FetchCycles is the time to stage one task's operand block from MIND
+	// memory into the accelerator's staging buffer.
+	FetchCycles sim.Time
+	// ComputeCycles is the accelerator's execution time per task.
+	ComputeCycles sim.Time
+	// FetchChannels is the number of concurrent staging transfers the
+	// on-chip interconnect sustains.
+	FetchChannels int
+}
+
+// StreamStats summarizes one simulated task stream.
+type StreamStats struct {
+	Tasks        int
+	Makespan     sim.Time
+	AccelBusy    sim.Time
+	AccelStall   sim.Time // accelerator idle while tasks remained
+	FetchesTotal int
+}
+
+// Utilization is AccelBusy / Makespan.
+func (s StreamStats) Utilization() float64 {
+	if s.Makespan == 0 {
+		return 0
+	}
+	return float64(s.AccelBusy) / float64(s.Makespan)
+}
+
+// String renders the stats.
+func (s StreamStats) String() string {
+	return fmt.Sprintf("tasks=%d makespan=%d busy=%d stall=%d util=%.3f",
+		s.Tasks, s.Makespan, s.AccelBusy, s.AccelStall, s.Utilization())
+}
+
+// RunStream simulates nTasks through the accelerator with a percolation
+// pipeline of the given depth. Depth 0 is demand fetch: the accelerator
+// requests each operand block itself and waits for it (prefetch-by-the-
+// compute-element, paying the full exposed latency). Depth D >= 1 lets the
+// percolation controller keep up to D staged-or-in-flight blocks ahead.
+func (c ChipSim) RunStream(nTasks, depth int) StreamStats {
+	if nTasks <= 0 {
+		return StreamStats{}
+	}
+	if c.FetchChannels <= 0 {
+		c.FetchChannels = 1
+	}
+	if depth < 0 {
+		panic("gilgamesh: negative percolation depth")
+	}
+	eng := sim.NewEngine()
+	fetchEngine := sim.NewResource(eng, "staging", c.FetchChannels)
+
+	var st StreamStats
+	st.Tasks = nTasks
+
+	window := depth
+	if window == 0 {
+		window = 1 // demand fetch still needs one outstanding fetch
+	}
+
+	nextFetch := 0 // next task index to begin staging
+	staged := 0    // blocks sitting in the staging buffer
+	inflight := 0  // blocks being transferred
+	completed := 0 // tasks finished on the accelerator
+	busy := false  // accelerator executing
+	var lastAccelEnd sim.Time
+
+	var tryFetch, tryCompute func()
+	tryFetch = func() {
+		for nextFetch < nTasks && staged+inflight < window {
+			// Demand fetch: only request when the accelerator is idle and
+			// nothing is staged — the accelerator itself is doing the
+			// prefetching.
+			if depth == 0 && (busy || staged+inflight > 0) {
+				return
+			}
+			nextFetch++
+			inflight++
+			st.FetchesTotal++
+			fetchEngine.Submit(c.FetchCycles, func() {
+				inflight--
+				staged++
+				tryCompute()
+				tryFetch()
+			})
+		}
+	}
+	tryCompute = func() {
+		if busy || staged == 0 || completed >= nTasks {
+			return
+		}
+		staged--
+		busy = true
+		start := eng.Now()
+		if start > lastAccelEnd {
+			st.AccelStall += start - lastAccelEnd
+		}
+		eng.After(c.ComputeCycles, func() {
+			busy = false
+			completed++
+			st.AccelBusy += c.ComputeCycles
+			lastAccelEnd = eng.Now()
+			tryCompute()
+			tryFetch()
+		})
+	}
+	tryFetch()
+	st.Makespan = eng.Run()
+	return st
+}
+
+// SweepDepth runs the stream at each pipeline depth, for ablation A4.
+func (c ChipSim) SweepDepth(nTasks int, depths []int) []StreamStats {
+	out := make([]StreamStats, len(depths))
+	for i, d := range depths {
+		out[i] = c.RunStream(nTasks, d)
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+// Package gilgamesh models the Gilgamesh II point design: the ParalleX
+// processing architecture of the paper's §3. It provides (1) a design-point
+// calculator that derives every system-level figure the paper quotes from
+// first-principles parameters, (2) an ASCII rendering of the Figure 1
+// architecture hierarchy, and (3) a discrete-event chip simulator used by
+// the percolation experiment (E7) to measure precious-resource utilization.
+package gilgamesh
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DesignPoint holds the primitive technology parameters of the 2020 design
+// point. Defaults are calibrated so the derived values reproduce the
+// numbers quoted in §3.2: ~10 Teraflops per chip, >1 Exaflops at 100K
+// chips, 16 PIM modules × 32 MIND nodes per chip, and a 4 Petabyte
+// Penultimate Store on an additional 100K DRAM chips.
+type DesignPoint struct {
+	// TechnologyYear is the assumed target (the paper selects 2020).
+	TechnologyYear int
+
+	// ComputeChips is the number of Gilgamesh chips in the system.
+	ComputeChips int
+	// PIMModulesPerChip is the number of processor-in-memory modules.
+	PIMModulesPerChip int
+	// MINDNodesPerModule is the number of MIND nodes per PIM module.
+	MINDNodesPerModule int
+	// MINDClockHz is the MIND node clock.
+	MINDClockHz float64
+	// MINDFlopsPerCycle is per-node FLOPs per cycle.
+	MINDFlopsPerCycle int
+	// MINDMemoryPerNodeBytes is the on-chip memory co-located with each
+	// MIND node (the system's main memory).
+	MINDMemoryPerNodeBytes int64
+
+	// AccelALUs is the number of ALUs in the chip's dataflow accelerator.
+	AccelALUs int
+	// AccelClockHz is the accelerator clock.
+	AccelClockHz float64
+	// AccelFlopsPerALUPerCycle is per-ALU FLOPs per cycle.
+	AccelFlopsPerALUPerCycle int
+
+	// DRAMChips is the number of Penultimate Store chips.
+	DRAMChips int
+	// DRAMChipCapacityBytes is the capacity of each Penultimate Store chip.
+	DRAMChipCapacityBytes int64
+
+	// VortexDeflection is the assumed steady-state Data Vortex deflection
+	// probability used by network-derived figures.
+	VortexDeflection float64
+}
+
+// Default2020 returns the calibrated design point.
+func Default2020() DesignPoint {
+	return DesignPoint{
+		TechnologyYear:           2020,
+		ComputeChips:             100_000,
+		PIMModulesPerChip:        16,
+		MINDNodesPerModule:       32,
+		MINDClockHz:              1e9,
+		MINDFlopsPerCycle:        4,
+		MINDMemoryPerNodeBytes:   2 << 20, // 2 MiB per MIND node
+		AccelALUs:                1024,
+		AccelClockHz:             1e9,
+		AccelFlopsPerALUPerCycle: 8,
+		DRAMChips:                100_000,
+		DRAMChipCapacityBytes:    40e9, // 40 GB per Penultimate Store chip
+		VortexDeflection:         0.2,
+	}
+}
+
+// Derived holds every system-level figure computed from a DesignPoint.
+type Derived struct {
+	MINDNodesPerChip int
+	TotalMINDNodes   int64
+
+	ChipPIMFlops   float64
+	ChipAccelFlops float64
+	ChipPeakFlops  float64
+
+	SystemPeakFlops float64
+
+	MINDMemoryPerChipBytes int64
+	MINDMemoryTotalBytes   int64
+	PenultimateStoreBytes  int64
+
+	TotalChips int
+}
+
+// Derive computes the derived figures.
+func (d DesignPoint) Derive() Derived {
+	nodesPerChip := d.PIMModulesPerChip * d.MINDNodesPerModule
+	pimFlops := float64(nodesPerChip) * d.MINDClockHz * float64(d.MINDFlopsPerCycle)
+	accFlops := float64(d.AccelALUs) * d.AccelClockHz * float64(d.AccelFlopsPerALUPerCycle)
+	chip := pimFlops + accFlops
+	return Derived{
+		MINDNodesPerChip:       nodesPerChip,
+		TotalMINDNodes:         int64(nodesPerChip) * int64(d.ComputeChips),
+		ChipPIMFlops:           pimFlops,
+		ChipAccelFlops:         accFlops,
+		ChipPeakFlops:          chip,
+		SystemPeakFlops:        chip * float64(d.ComputeChips),
+		MINDMemoryPerChipBytes: int64(nodesPerChip) * d.MINDMemoryPerNodeBytes,
+		MINDMemoryTotalBytes:   int64(nodesPerChip) * d.MINDMemoryPerNodeBytes * int64(d.ComputeChips),
+		PenultimateStoreBytes:  int64(d.DRAMChips) * d.DRAMChipCapacityBytes,
+		TotalChips:             d.ComputeChips + d.DRAMChips,
+	}
+}
+
+// PaperTargets are the §3.2 figures the design point must reproduce.
+type PaperTargets struct {
+	MINDNodesPerChip      int     // 16 × 32 = 512
+	ChipPeakFlops         float64 // ≈ 10 Teraflops
+	SystemPeakFlops       float64 // ≥ 1 Exaflops at 100K chips
+	PenultimateStoreBytes int64   // 4 Petabytes on 100K chips
+	ComputeChips          int     // 100K
+	DRAMChips             int     // 100K
+}
+
+// Targets returns the paper's quoted values.
+func Targets() PaperTargets {
+	return PaperTargets{
+		MINDNodesPerChip:      512,
+		ChipPeakFlops:         10e12,
+		SystemPeakFlops:       1e18,
+		PenultimateStoreBytes: 4e15,
+		ComputeChips:          100_000,
+		DRAMChips:             100_000,
+	}
+}
+
+// CheckRow is one row of the design-point reproduction table.
+type CheckRow struct {
+	Name     string
+	Paper    string
+	Model    string
+	Relation string // how the model value must relate to the paper value
+	OK       bool
+}
+
+// Check compares the derived figures against the paper targets. All rows
+// must hold for the design point to reproduce §3.2.
+func (d DesignPoint) Check() []CheckRow {
+	dv := d.Derive()
+	tg := Targets()
+	approx := func(got, want, tol float64) bool {
+		return got >= want*(1-tol) && got <= want*(1+tol)
+	}
+	return []CheckRow{
+		{
+			Name: "compute chips", Paper: fmt.Sprintf("%d", tg.ComputeChips),
+			Model: fmt.Sprintf("%d", d.ComputeChips), Relation: "==",
+			OK: d.ComputeChips == tg.ComputeChips,
+		},
+		{
+			Name: "MIND nodes / chip (16 PIM × 32)", Paper: fmt.Sprintf("%d", tg.MINDNodesPerChip),
+			Model: fmt.Sprintf("%d", dv.MINDNodesPerChip), Relation: "==",
+			OK: dv.MINDNodesPerChip == tg.MINDNodesPerChip,
+		},
+		{
+			Name: "chip peak", Paper: "≈10 TF",
+			Model: FormatFlops(dv.ChipPeakFlops), Relation: "±20%",
+			OK: approx(dv.ChipPeakFlops, tg.ChipPeakFlops, 0.20),
+		},
+		{
+			Name: "system peak", Paper: ">1 EF",
+			Model: FormatFlops(dv.SystemPeakFlops), Relation: ">=",
+			OK: dv.SystemPeakFlops >= tg.SystemPeakFlops,
+		},
+		{
+			Name: "penultimate store", Paper: "4 PB",
+			Model: FormatBytes(dv.PenultimateStoreBytes), Relation: "==",
+			OK: dv.PenultimateStoreBytes == tg.PenultimateStoreBytes,
+		},
+		{
+			Name: "penultimate store chips", Paper: fmt.Sprintf("%d", tg.DRAMChips),
+			Model: fmt.Sprintf("%d", d.DRAMChips), Relation: "==",
+			OK: d.DRAMChips == tg.DRAMChips,
+		},
+	}
+}
+
+// Report renders the reproduction table.
+func (d DesignPoint) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Gilgamesh II design point (technology year %d)\n", d.TechnologyYear)
+	fmt.Fprintf(&b, "%-34s %-12s %-12s %-6s %s\n", "figure", "paper", "model", "rel", "ok")
+	for _, row := range d.Check() {
+		ok := "PASS"
+		if !row.OK {
+			ok = "FAIL"
+		}
+		fmt.Fprintf(&b, "%-34s %-12s %-12s %-6s %s\n", row.Name, row.Paper, row.Model, row.Relation, ok)
+	}
+	dv := d.Derive()
+	fmt.Fprintf(&b, "\nderived: %d MIND nodes/chip, %s MIND memory/chip, %s total MIND nodes, %s main memory\n",
+		dv.MINDNodesPerChip, FormatBytes(dv.MINDMemoryPerChipBytes),
+		FormatCount(float64(dv.TotalMINDNodes)), FormatBytes(dv.MINDMemoryTotalBytes))
+	return b.String()
+}
+
+// FormatFlops renders a FLOP/s figure with SI scaling.
+func FormatFlops(f float64) string { return FormatCount(f) + "F" }
+
+// FormatCount renders a count with SI scaling.
+func FormatCount(f float64) string {
+	switch {
+	case f >= 1e18:
+		return fmt.Sprintf("%.2fE", f/1e18)
+	case f >= 1e15:
+		return fmt.Sprintf("%.2fP", f/1e15)
+	case f >= 1e12:
+		return fmt.Sprintf("%.2fT", f/1e12)
+	case f >= 1e9:
+		return fmt.Sprintf("%.2fG", f/1e9)
+	case f >= 1e6:
+		return fmt.Sprintf("%.2fM", f/1e6)
+	case f >= 1e3:
+		return fmt.Sprintf("%.2fK", f/1e3)
+	default:
+		return fmt.Sprintf("%.0f", f)
+	}
+}
+
+// FormatBytes renders a byte figure with binary-free SI scaling (the paper
+// speaks in decimal petabytes).
+func FormatBytes(n int64) string { return FormatCount(float64(n)) + "B" }

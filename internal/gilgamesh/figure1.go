@@ -1,0 +1,51 @@
+package gilgamesh
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderFigure1 regenerates the paper's Figure 1 — the Gilgamesh II
+// architecture block diagram — as ASCII, with every block annotated from
+// the design-point model rather than hard-coded. The heterogeneous chip
+// pairs a dataflow accelerator (high temporal locality modality) with PIM
+// modules of MIND nodes (low temporal locality modality), backed by the
+// Penultimate Store and joined by the Data Vortex network.
+func RenderFigure1(d DesignPoint) string {
+	dv := d.Derive()
+	var b strings.Builder
+	line := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	line("Figure 1. Gilgamesh II: A New ParalleX Processing Architecture")
+	line("")
+	line("  +--------------------------- system (%s chips total) ---------------------------+", FormatCount(float64(dv.TotalChips)))
+	line("  |                                                                                |")
+	line("  |    +====================  Data Vortex interconnection  ====================+   |")
+	line("  |    |        (hierarchical deflection network, deflection p=%.2f)           |   |", d.VortexDeflection)
+	line("  |    +==========================================================================+")
+	line("  |      |                         |                                  |            |")
+	line("  |      v                         v                                  v            |")
+	line("  |  +-- Gilgamesh chip x%s --------------------------+   +- Penultimate Store -+", FormatCount(float64(d.ComputeChips)))
+	line("  |  |  heterogeneous multicore, %s peak            |   |  DRAM backing store  |", FormatFlops(dv.ChipPeakFlops))
+	line("  |  |                                                  |   |  %s chips x %s |", FormatCount(float64(d.DRAMChips)), FormatBytes(d.DRAMChipCapacityBytes))
+	line("  |  |  +------------------------------------------+    |   |  = %s total      |", FormatBytes(dv.PenultimateStoreBytes))
+	line("  |  |  | dataflow accelerator (high temporal      |    |   +----------------------+")
+	line("  |  |  | locality): %d ALUs via local registers  |    |", d.AccelALUs)
+	line("  |  |  | + 4-way multiplexers, %s              |    |", FormatFlops(dv.ChipAccelFlops))
+	line("  |  |  +------------------------------------------+    |")
+	line("  |  |                                                  |")
+	line("  |  |  +-- PIM modules x%d ------------------------+   |", d.PIMModulesPerChip)
+	line("  |  |  |  each: %d MIND nodes (low temporal       |   |", d.MINDNodesPerModule)
+	line("  |  |  |  locality; in-memory threads, %s/node) |   |", FormatBytes(d.MINDMemoryPerNodeBytes))
+	line("  |  |  |  chip PIM total: %d nodes, %s         |   |", dv.MINDNodesPerChip, FormatFlops(dv.ChipPIMFlops))
+	line("  |  |  +-------------------------------------------+   |")
+	line("  |  |                                                  |")
+	line("  |  |  hardware: AGAS address translation, no cache    |")
+	line("  |  |  coherence, Echo copy semantics support          |")
+	line("  |  +--------------------------------------------------+")
+	line("  |                                                                                |")
+	line("  |  system peak: %s   main memory: %s   MIND nodes: %s       |",
+		FormatFlops(dv.SystemPeakFlops), FormatBytes(dv.MINDMemoryTotalBytes), FormatCount(float64(dv.TotalMINDNodes)))
+	line("  +--------------------------------------------------------------------------------+")
+	return b.String()
+}

@@ -1,0 +1,210 @@
+package gilgamesh
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestDesignPointReproducesPaperFigures(t *testing.T) {
+	d := Default2020()
+	for _, row := range d.Check() {
+		if !row.OK {
+			t.Errorf("design point row %q: paper %s model %s (%s) FAILED",
+				row.Name, row.Paper, row.Model, row.Relation)
+		}
+	}
+}
+
+func TestDerivedArithmetic(t *testing.T) {
+	d := Default2020()
+	dv := d.Derive()
+	if dv.MINDNodesPerChip != 16*32 {
+		t.Fatalf("MIND nodes/chip = %d", dv.MINDNodesPerChip)
+	}
+	if dv.TotalMINDNodes != int64(512)*100_000 {
+		t.Fatalf("total MIND nodes = %d", dv.TotalMINDNodes)
+	}
+	// 512 nodes × 1 GHz × 4 flops = 2.048 TF PIM per chip.
+	if dv.ChipPIMFlops != 512*1e9*4 {
+		t.Fatalf("chip PIM flops = %e", dv.ChipPIMFlops)
+	}
+	// 1024 ALUs × 1 GHz × 8 = 8.192 TF accelerator per chip.
+	if dv.ChipAccelFlops != 1024*1e9*8 {
+		t.Fatalf("chip accel flops = %e", dv.ChipAccelFlops)
+	}
+	// ≈10.24 TF per chip and ≥1 EF system.
+	if dv.ChipPeakFlops < 10e12*0.8 || dv.ChipPeakFlops > 10e12*1.2 {
+		t.Fatalf("chip peak %e not ≈10 TF", dv.ChipPeakFlops)
+	}
+	if dv.SystemPeakFlops < 1e18 {
+		t.Fatalf("system peak %e < 1 EF", dv.SystemPeakFlops)
+	}
+	if dv.PenultimateStoreBytes != 4e15 {
+		t.Fatalf("penultimate store = %d", dv.PenultimateStoreBytes)
+	}
+}
+
+func TestCheckDetectsDeviation(t *testing.T) {
+	d := Default2020()
+	d.ComputeChips = 50_000 // halves system peak below 1 EF
+	bad := 0
+	for _, row := range d.Check() {
+		if !row.OK {
+			bad++
+		}
+	}
+	if bad == 0 {
+		t.Fatal("halved machine still passes all checks")
+	}
+}
+
+func TestReportMentionsEveryTarget(t *testing.T) {
+	rep := Default2020().Report()
+	for _, want := range []string{"chip peak", "system peak", "penultimate store", "PASS"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	if strings.Contains(rep, "FAIL") {
+		t.Errorf("default design point reports FAIL:\n%s", rep)
+	}
+}
+
+func TestFigure1RenderedFromModel(t *testing.T) {
+	fig := RenderFigure1(Default2020())
+	for _, want := range []string{
+		"Data Vortex", "dataflow accelerator", "PIM modules x16",
+		"32 MIND nodes", "Penultimate Store", "10.24TF", "1.02EF", "4.00PB",
+	} {
+		if !strings.Contains(fig, want) {
+			t.Errorf("figure missing %q", want)
+		}
+	}
+	// The figure must be derived from the model: changing the model must
+	// change the rendering.
+	small := Default2020()
+	small.PIMModulesPerChip = 8
+	if RenderFigure1(small) == fig {
+		t.Error("figure does not depend on the design point")
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{1.024e18, "1.02E"}, {4e15, "4.00P"}, {10.24e12, "10.24T"},
+		{2e9, "2.00G"}, {3e6, "3.00M"}, {5e3, "5.00K"}, {7, "7"},
+	}
+	for _, c := range cases {
+		if got := FormatCount(c.in); got != c.want {
+			t.Errorf("FormatCount(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if FormatFlops(1e12) != "1.00TF" {
+		t.Errorf("FormatFlops = %q", FormatFlops(1e12))
+	}
+	if FormatBytes(1e12) != "1.00TB" {
+		t.Errorf("FormatBytes = %q", FormatBytes(1e12))
+	}
+}
+
+func TestDemandFetchSerializes(t *testing.T) {
+	c := ChipSim{FetchCycles: 100, ComputeCycles: 100}
+	st := c.RunStream(10, 0)
+	// Serial: makespan = n*(fetch+compute).
+	if st.Makespan != 10*(100+100) {
+		t.Fatalf("demand makespan = %d, want 2000", st.Makespan)
+	}
+	if u := st.Utilization(); u < 0.49 || u > 0.51 {
+		t.Fatalf("demand utilization = %f, want 0.5", u)
+	}
+}
+
+func TestPercolationPipelines(t *testing.T) {
+	c := ChipSim{FetchCycles: 100, ComputeCycles: 100}
+	st := c.RunStream(10, 2)
+	// Pipelined: makespan ≈ fetch + n*compute.
+	want := sim.Time(100 + 10*100)
+	if st.Makespan != want {
+		t.Fatalf("percolated makespan = %d, want %d", st.Makespan, want)
+	}
+	if u := st.Utilization(); u < 0.9 {
+		t.Fatalf("percolated utilization = %f", u)
+	}
+}
+
+func TestPercolationWithSlowFetches(t *testing.T) {
+	// Fetch 3× compute: single channel pipeline is fetch-bound; more
+	// channels restore accelerator utilization.
+	c1 := ChipSim{FetchCycles: 300, ComputeCycles: 100, FetchChannels: 1}
+	c4 := ChipSim{FetchCycles: 300, ComputeCycles: 100, FetchChannels: 4}
+	s1 := c1.RunStream(20, 4)
+	s4 := c4.RunStream(20, 4)
+	if s4.Makespan >= s1.Makespan {
+		t.Fatalf("extra fetch channels did not help: %d vs %d", s4.Makespan, s1.Makespan)
+	}
+	if s4.Utilization() <= s1.Utilization() {
+		t.Fatalf("utilization did not improve: %f vs %f", s4.Utilization(), s1.Utilization())
+	}
+}
+
+func TestDepthSweepMonotone(t *testing.T) {
+	c := ChipSim{FetchCycles: 200, ComputeCycles: 100, FetchChannels: 2}
+	stats := c.SweepDepth(30, []int{0, 1, 2, 4, 8})
+	for i := 1; i < len(stats); i++ {
+		if stats[i].Makespan > stats[i-1].Makespan {
+			t.Fatalf("depth %d slower than depth %d: %d > %d",
+				i, i-1, stats[i].Makespan, stats[i-1].Makespan)
+		}
+	}
+	if stats[0].Utilization() >= stats[len(stats)-1].Utilization() {
+		t.Fatal("deep pipeline no better than demand fetch")
+	}
+}
+
+// Property: percolated makespan never exceeds demand-fetch makespan, and
+// all tasks complete with conserved busy time.
+func TestPropertyPercolationNeverHurts(t *testing.T) {
+	f := func(f8, c8, n8, d8 uint8) bool {
+		fetch := sim.Time(f8%200) + 1
+		comp := sim.Time(c8%200) + 1
+		n := int(n8%30) + 1
+		depth := int(d8 % 8)
+		sim0 := ChipSim{FetchCycles: fetch, ComputeCycles: comp}
+		demand := sim0.RunStream(n, 0)
+		perc := sim0.RunStream(n, depth)
+		if perc.Makespan > demand.Makespan {
+			return false
+		}
+		// Busy time is exactly n*compute in both disciplines.
+		return demand.AccelBusy == sim.Time(n)*comp && perc.AccelBusy == sim.Time(n)*comp
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	c := ChipSim{FetchCycles: 1, ComputeCycles: 1}
+	st := c.RunStream(0, 4)
+	if st.Makespan != 0 || st.Tasks != 0 {
+		t.Fatalf("empty stream stats: %+v", st)
+	}
+	if st.Utilization() != 0 {
+		t.Fatal("empty stream utilization nonzero")
+	}
+}
+
+func TestNegativeDepthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative depth did not panic")
+		}
+	}()
+	ChipSim{FetchCycles: 1, ComputeCycles: 1}.RunStream(1, -1)
+}

@@ -1,0 +1,147 @@
+package gilgamesh
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// MINDSim is a cycle-level model of the §3.2 claim for the MIND
+// processor-in-memory modules: executing threads *inside* the memory
+// ("in-memory threads") provides short latencies and high memory bandwidth
+// compared with a conventional processor issuing loads and stores across
+// the chip interconnect.
+//
+// A workload is a stream of transactions; each touches Accesses memory
+// rows resident on one of Banks memory banks and performs ComputeCycles of
+// arithmetic per access.
+//
+//   - PIM discipline: the transaction travels once to its bank's MIND node
+//     (NetCycles transit) and then runs entirely locally: every access
+//     costs RowCycles + ComputeCycles at the bank.
+//   - Load/store discipline: a processor with the same aggregate compute
+//     throughput (one lane per bank) keeps the data in place and fetches
+//     each row over the interconnect: every access costs a round trip
+//     (2 × NetCycles) + RowCycles + ComputeCycles.
+//
+// The comparison isolates exactly what PIM buys: network transits per
+// access versus per transaction.
+type MINDSim struct {
+	Banks         int
+	NetCycles     sim.Time // one-way chip interconnect transit
+	RowCycles     sim.Time // DRAM row access at the bank
+	ComputeCycles sim.Time // arithmetic per access
+}
+
+// MINDStats reports one simulated run.
+type MINDStats struct {
+	Transactions int
+	Makespan     sim.Time
+	BankBusy     float64 // mean bank utilization
+}
+
+// String renders the stats.
+func (s MINDStats) String() string {
+	return fmt.Sprintf("txns=%d makespan=%d bankbusy=%.3f", s.Transactions, s.Makespan, s.BankBusy)
+}
+
+func (m MINDSim) validate() {
+	if m.Banks <= 0 {
+		panic("gilgamesh: MINDSim needs at least one bank")
+	}
+	if m.NetCycles < 0 || m.RowCycles < 0 || m.ComputeCycles < 0 {
+		panic("gilgamesh: negative cycle counts")
+	}
+}
+
+// RunPIM executes nTxns transactions of accessesEach row touches using
+// in-memory MIND threads: one transit, then local service at the bank.
+func (m MINDSim) RunPIM(nTxns, accessesEach int) MINDStats {
+	m.validate()
+	eng := sim.NewEngine()
+	banks := make([]*sim.Resource, m.Banks)
+	for i := range banks {
+		banks[i] = sim.NewResource(eng, fmt.Sprintf("bank%d", i), 1)
+	}
+	service := sim.Time(accessesEach) * (m.RowCycles + m.ComputeCycles)
+	for t := 0; t < nTxns; t++ {
+		bank := banks[t%m.Banks]
+		// The parcel arrives at the bank after one transit; transits
+		// pipeline, so each transaction's arrival is independent.
+		eng.At(m.NetCycles, func() {
+			bank.Submit(service, nil)
+		})
+	}
+	makespan := eng.Run()
+	return m.stats(nTxns, makespan, banks)
+}
+
+// RunLoadStore executes the same workload with a conventional processor:
+// one compute lane per bank, each access paying a blocking round trip to
+// its bank plus the row access.
+func (m MINDSim) RunLoadStore(nTxns, accessesEach int) MINDStats {
+	m.validate()
+	eng := sim.NewEngine()
+	banks := make([]*sim.Resource, m.Banks)
+	for i := range banks {
+		banks[i] = sim.NewResource(eng, fmt.Sprintf("bank%d", i), 1)
+	}
+	// One CPU lane per bank; lane l serially executes its transactions,
+	// each access: request transit + row at bank + reply transit + compute.
+	var runTxn func(lane, remaining, access int)
+	runTxn = func(lane, remaining, access int) {
+		if remaining == 0 {
+			return
+		}
+		if access == accessesEach {
+			runTxn(lane, remaining-1, 0)
+			return
+		}
+		bank := banks[lane]
+		// Request transit.
+		eng.After(m.NetCycles, func() {
+			// Row access at the bank (contended resource).
+			bank.Submit(m.RowCycles, func() {
+				// Reply transit, then compute on the lane.
+				eng.After(m.NetCycles+m.ComputeCycles, func() {
+					runTxn(lane, remaining, access+1)
+				})
+			})
+		})
+	}
+	perLane := (nTxns + m.Banks - 1) / m.Banks
+	for lane := 0; lane < m.Banks; lane++ {
+		count := perLane
+		if lane == m.Banks-1 {
+			count = nTxns - perLane*(m.Banks-1)
+			if count < 0 {
+				count = 0
+			}
+		}
+		runTxn(lane, count, 0)
+	}
+	makespan := eng.Run()
+	return m.stats(nTxns, makespan, banks)
+}
+
+func (m MINDSim) stats(nTxns int, makespan sim.Time, banks []*sim.Resource) MINDStats {
+	var busy float64
+	for _, b := range banks {
+		busy += b.Utilization()
+	}
+	return MINDStats{
+		Transactions: nTxns,
+		Makespan:     makespan,
+		BankBusy:     busy / float64(len(banks)),
+	}
+}
+
+// PIMSpeedup reports the load-store/PIM makespan ratio for the workload.
+func (m MINDSim) PIMSpeedup(nTxns, accessesEach int) float64 {
+	pim := m.RunPIM(nTxns, accessesEach)
+	ls := m.RunLoadStore(nTxns, accessesEach)
+	if pim.Makespan == 0 {
+		return 0
+	}
+	return float64(ls.Makespan) / float64(pim.Makespan)
+}

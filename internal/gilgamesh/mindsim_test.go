@@ -1,0 +1,88 @@
+package gilgamesh
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestPIMServiceArithmetic(t *testing.T) {
+	m := MINDSim{Banks: 4, NetCycles: 100, RowCycles: 30, ComputeCycles: 10}
+	// 4 txns on 4 banks, 5 accesses each: arrival at 100, service 5*40.
+	st := m.RunPIM(4, 5)
+	if st.Makespan != 100+5*40 {
+		t.Fatalf("PIM makespan = %d, want 300", st.Makespan)
+	}
+}
+
+func TestLoadStoreArithmetic(t *testing.T) {
+	m := MINDSim{Banks: 4, NetCycles: 100, RowCycles: 30, ComputeCycles: 10}
+	// 4 txns on 4 lanes, 5 accesses each: per access 100+30+100+10 = 240.
+	st := m.RunLoadStore(4, 5)
+	if st.Makespan != 5*240 {
+		t.Fatalf("load/store makespan = %d, want 1200", st.Makespan)
+	}
+}
+
+func TestPIMWinsWhenNetworkDominates(t *testing.T) {
+	m := MINDSim{Banks: 8, NetCycles: 200, RowCycles: 30, ComputeCycles: 10}
+	speedup := m.PIMSpeedup(64, 8)
+	// Per access: PIM 40 cycles vs load/store 440 → ~11x asymptotically.
+	if speedup < 5 {
+		t.Fatalf("PIM speedup %.1fx, want >= 5x with net >> row", speedup)
+	}
+}
+
+func TestPIMAdvantageShrinksWithCheapNetwork(t *testing.T) {
+	near := MINDSim{Banks: 4, NetCycles: 1, RowCycles: 30, ComputeCycles: 10}
+	far := MINDSim{Banks: 4, NetCycles: 300, RowCycles: 30, ComputeCycles: 10}
+	sNear := near.PIMSpeedup(32, 4)
+	sFar := far.PIMSpeedup(32, 4)
+	if sFar <= sNear {
+		t.Fatalf("advantage did not grow with network cost: %.2fx vs %.2fx", sNear, sFar)
+	}
+	if sNear > 1.5 {
+		t.Fatalf("near-memory network should nearly equalize: %.2fx", sNear)
+	}
+}
+
+// Property: PIM is never slower than load/store (it strictly removes
+// per-access transits), and both finish all work.
+func TestPropertyPIMNeverLoses(t *testing.T) {
+	f := func(banks8, txns8, acc8, net8, row8 uint8) bool {
+		m := MINDSim{
+			Banks:         int(banks8%8) + 1,
+			NetCycles:     sim.Time(net8 % 100),
+			RowCycles:     sim.Time(row8%50) + 1,
+			ComputeCycles: 5,
+		}
+		nTxns := int(txns8%32) + 1
+		acc := int(acc8%8) + 1
+		pim := m.RunPIM(nTxns, acc)
+		ls := m.RunLoadStore(nTxns, acc)
+		return pim.Makespan <= ls.Makespan && pim.Transactions == nTxns && ls.Transactions == nTxns
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMINDValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero banks", func() { MINDSim{Banks: 0}.RunPIM(1, 1) })
+	mustPanic("negative net", func() { MINDSim{Banks: 1, NetCycles: -1}.RunPIM(1, 1) })
+}
+
+func TestMINDStatsString(t *testing.T) {
+	if (MINDStats{Transactions: 1, Makespan: 2}).String() == "" {
+		t.Fatal("empty stats string")
+	}
+}

@@ -1,0 +1,139 @@
+package gilgamesh
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// SystemSim extends the chip model to the full §3 memory hierarchy: task
+// operands start in the Penultimate Store (off-chip DRAM reached over the
+// Data Vortex), must be staged into a chip's MIND memory, and from there
+// into the accelerator's staging buffer. Percolation therefore operates at
+// two levels — system (PS → chip) and chip (MIND → accelerator) — and the
+// model measures how the two prestage depths compose.
+type SystemSim struct {
+	// PSFetchCycles is Penultimate-Store access + Data Vortex transit.
+	PSFetchCycles sim.Time
+	// ChipFetchCycles is MIND memory → accelerator staging.
+	ChipFetchCycles sim.Time
+	// ComputeCycles is accelerator execution per task.
+	ComputeCycles sim.Time
+	// PSChannels and ChipChannels bound concurrent transfers per level.
+	PSChannels   int
+	ChipChannels int
+}
+
+// SystemStats summarizes one run.
+type SystemStats struct {
+	Tasks       int
+	Makespan    sim.Time
+	AccelBusy   sim.Time
+	Utilization float64
+}
+
+// String renders the stats.
+func (s SystemStats) String() string {
+	return fmt.Sprintf("tasks=%d makespan=%d busy=%d util=%.3f",
+		s.Tasks, s.Makespan, s.AccelBusy, s.Utilization)
+}
+
+// RunStream simulates nTasks through the two-level staging hierarchy with
+// the given prestage depths. Depth 0 at a level means demand fetch at that
+// level (the consumer requests and waits). The accelerator is the precious
+// resource whose utilization the hierarchy protects.
+func (s SystemSim) RunStream(nTasks, psDepth, chipDepth int) SystemStats {
+	if nTasks <= 0 {
+		return SystemStats{}
+	}
+	if psDepth < 0 || chipDepth < 0 {
+		panic("gilgamesh: negative prestage depth")
+	}
+	psCh, chipCh := s.PSChannels, s.ChipChannels
+	if psCh <= 0 {
+		psCh = 1
+	}
+	if chipCh <= 0 {
+		chipCh = 1
+	}
+	eng := sim.NewEngine()
+	psEngine := sim.NewResource(eng, "vortex", psCh)
+	chipEngine := sim.NewResource(eng, "chipstage", chipCh)
+
+	psWindow := psDepth
+	if psWindow == 0 {
+		psWindow = 1
+	}
+	chipWindow := chipDepth
+	if chipWindow == 0 {
+		chipWindow = 1
+	}
+
+	var st SystemStats
+	st.Tasks = nTasks
+
+	// Level-1 state: PS → chip MIND memory.
+	nextPS := 0
+	inChip := 0     // blocks resident in MIND memory, not yet staged onward
+	psInflight := 0 // PS transfers in progress
+	// Level-2 state: MIND → accelerator staging buffer.
+	staged := 0
+	chipInflight := 0
+	// Accelerator.
+	busy := false
+	completed := 0
+
+	var tryPS, tryChip, tryCompute func()
+	tryPS = func() {
+		for nextPS < nTasks && inChip+psInflight+staged+chipInflight < psWindow {
+			if psDepth == 0 && (busy || inChip+psInflight+staged+chipInflight > 0) {
+				return
+			}
+			nextPS++
+			psInflight++
+			psEngine.Submit(s.PSFetchCycles, func() {
+				psInflight--
+				inChip++
+				tryChip()
+				tryPS()
+			})
+		}
+	}
+	tryChip = func() {
+		for inChip > 0 && staged+chipInflight < chipWindow {
+			if chipDepth == 0 && (busy || staged+chipInflight > 0) {
+				return
+			}
+			inChip--
+			chipInflight++
+			chipEngine.Submit(s.ChipFetchCycles, func() {
+				chipInflight--
+				staged++
+				tryCompute()
+				tryChip()
+				tryPS()
+			})
+		}
+	}
+	tryCompute = func() {
+		if busy || staged == 0 || completed >= nTasks {
+			return
+		}
+		staged--
+		busy = true
+		eng.After(s.ComputeCycles, func() {
+			busy = false
+			completed++
+			st.AccelBusy += s.ComputeCycles
+			tryCompute()
+			tryChip()
+			tryPS()
+		})
+	}
+	tryPS()
+	st.Makespan = eng.Run()
+	if st.Makespan > 0 {
+		st.Utilization = float64(st.AccelBusy) / float64(st.Makespan)
+	}
+	return st
+}

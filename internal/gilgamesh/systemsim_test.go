@@ -1,0 +1,85 @@
+package gilgamesh
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func sysFixture() SystemSim {
+	return SystemSim{
+		PSFetchCycles:   400, // off-chip: Penultimate Store over the vortex
+		ChipFetchCycles: 50,  // on-chip staging
+		ComputeCycles:   100,
+		PSChannels:      4,
+		ChipChannels:    2,
+	}
+}
+
+func TestSystemDemandFetchSerializesLevels(t *testing.T) {
+	s := sysFixture()
+	st := s.RunStream(10, 0, 0)
+	// Fully serial: each task pays PS + chip + compute.
+	want := sim.Time(10 * (400 + 50 + 100))
+	if st.Makespan != want {
+		t.Fatalf("demand makespan = %d, want %d", st.Makespan, want)
+	}
+}
+
+func TestSystemDeepPipelinesApproachComputeBound(t *testing.T) {
+	s := sysFixture()
+	st := s.RunStream(50, 8, 4)
+	// Compute-bound steady state: makespan ≈ PS + chip + n*compute.
+	bound := sim.Time(400 + 50 + 50*100)
+	if st.Makespan > bound+sim.Time(50*20) {
+		t.Fatalf("pipelined makespan = %d, want ≈%d", st.Makespan, bound)
+	}
+	if st.Utilization < 0.85 {
+		t.Fatalf("utilization = %.3f", st.Utilization)
+	}
+}
+
+func TestSystemBothLevelsMatter(t *testing.T) {
+	s := sysFixture()
+	none := s.RunStream(30, 0, 0)
+	psOnly := s.RunStream(30, 8, 0)
+	both := s.RunStream(30, 8, 4)
+	if !(both.Makespan < psOnly.Makespan && psOnly.Makespan < none.Makespan) {
+		t.Fatalf("hierarchy not monotone: none=%d psOnly=%d both=%d",
+			none.Makespan, psOnly.Makespan, both.Makespan)
+	}
+}
+
+// Property: deeper prestaging at either level never increases makespan,
+// and accelerator busy time is always exactly n×compute.
+func TestPropertySystemMonotoneInDepth(t *testing.T) {
+	f := func(ps8, chip8, n8 uint8) bool {
+		s := sysFixture()
+		n := int(n8%20) + 1
+		d1 := int(ps8 % 6)
+		d2 := int(chip8 % 6)
+		a := s.RunStream(n, d1, d2)
+		b := s.RunStream(n, d1+1, d2+1)
+		if b.Makespan > a.Makespan {
+			return false
+		}
+		return a.AccelBusy == sim.Time(n)*s.ComputeCycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemEmptyAndValidation(t *testing.T) {
+	s := sysFixture()
+	if st := s.RunStream(0, 1, 1); st.Makespan != 0 || st.Tasks != 0 {
+		t.Fatalf("empty stream: %+v", st)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative depth did not panic")
+		}
+	}()
+	s.RunStream(1, -1, 0)
+}

@@ -1,0 +1,93 @@
+package lco
+
+import "fmt"
+
+// Future combinators: compositions the paper's dataflow style implies —
+// join on all inputs (an and-gate over futures) and race to the first
+// (an or-gate over futures). Both are themselves futures, so combinators
+// nest.
+
+// WhenAll returns a future resolving with the values of all inputs, in
+// order, once every input has resolved. If any input fails, the result
+// fails with the first error (by input order of resolution).
+func WhenAll(futures ...*Future) *Future {
+	out := NewFuture()
+	n := len(futures)
+	if n == 0 {
+		out.Set([]any{})
+		return out
+	}
+	values := make([]any, n)
+	gate := NewAndGate(n)
+	for i, f := range futures {
+		i, f := i, f
+		f.OnReady(func(v any, err error) {
+			if err != nil {
+				out.Fail(fmt.Errorf("lco: input %d: %w", i, err))
+				// Still signal so the gate cannot leak waiters.
+				gate.Signal()
+				return
+			}
+			values[i] = v
+			gate.Signal()
+		})
+	}
+	gate.OnFire(func() {
+		out.Set(values) // no-op (ErrAlreadySet) if a failure won the race
+	})
+	return out
+}
+
+// WhenAny returns a future resolving with the index and value of the
+// first input to resolve successfully. It fails only if every input
+// fails, with the last error observed.
+func WhenAny(futures ...*Future) *Future {
+	out := NewFuture()
+	n := len(futures)
+	if n == 0 {
+		out.Fail(fmt.Errorf("lco: WhenAny of nothing"))
+		return out
+	}
+	fails := NewAndGate(n)
+	var lastErr error
+	for i, f := range futures {
+		i, f := i, f
+		f.OnReady(func(v any, err error) {
+			if err != nil {
+				lastErr = err
+				fails.Signal()
+				return
+			}
+			out.Set(AnyResult{Index: i, Value: v})
+		})
+	}
+	fails.OnFire(func() {
+		out.Fail(fmt.Errorf("lco: all inputs failed: %w", lastErr))
+	})
+	return out
+}
+
+// AnyResult is WhenAny's resolution value.
+type AnyResult struct {
+	Index int
+	Value any
+}
+
+// Then chains a transformation onto a future, returning a future for the
+// transformed value — continuation-passing in LCO form.
+func Then(f *Future, fn func(v any) (any, error)) *Future {
+	out := NewFuture()
+	f.OnReady(func(v any, err error) {
+		if err != nil {
+			out.Fail(err)
+			return
+		}
+		nv, nerr := fn(v)
+		if nerr != nil {
+			out.Fail(nerr)
+			return
+		}
+		out.Set(nv)
+	})
+	return out
+}

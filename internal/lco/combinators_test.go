@@ -1,0 +1,156 @@
+package lco
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestWhenAllCollectsInOrder(t *testing.T) {
+	a, b, c := NewFuture(), NewFuture(), NewFuture()
+	out := WhenAll(a, b, c)
+	// Resolve out of order.
+	c.Set(30)
+	a.Set(10)
+	if out.Resolved() {
+		t.Fatal("resolved early")
+	}
+	b.Set(20)
+	v, err := out.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := v.([]any)
+	if vals[0].(int) != 10 || vals[1].(int) != 20 || vals[2].(int) != 30 {
+		t.Fatalf("values = %v", vals)
+	}
+}
+
+func TestWhenAllEmpty(t *testing.T) {
+	v, err := WhenAll().Get()
+	if err != nil || len(v.([]any)) != 0 {
+		t.Fatalf("empty WhenAll = %v, %v", v, err)
+	}
+}
+
+func TestWhenAllPropagatesFailure(t *testing.T) {
+	a, b := NewFuture(), NewFuture()
+	out := WhenAll(a, b)
+	a.Set(1)
+	b.Fail(errors.New("boom"))
+	if _, err := out.Get(); err == nil {
+		t.Fatal("failure swallowed")
+	}
+}
+
+func TestWhenAnyFirstWins(t *testing.T) {
+	a, b := NewFuture(), NewFuture()
+	out := WhenAny(a, b)
+	b.Set("fast")
+	v, err := out.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := v.(AnyResult)
+	if res.Index != 1 || res.Value.(string) != "fast" {
+		t.Fatalf("any = %+v", res)
+	}
+	a.Set("slow") // late resolution is harmless
+}
+
+func TestWhenAnySkipsFailures(t *testing.T) {
+	a, b := NewFuture(), NewFuture()
+	out := WhenAny(a, b)
+	a.Fail(errors.New("a broke"))
+	b.Set(42)
+	v, err := out.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(AnyResult).Value.(int) != 42 {
+		t.Fatalf("any = %v", v)
+	}
+}
+
+func TestWhenAnyAllFail(t *testing.T) {
+	a, b := NewFuture(), NewFuture()
+	out := WhenAny(a, b)
+	a.Fail(errors.New("a"))
+	b.Fail(errors.New("b"))
+	if _, err := out.Get(); err == nil {
+		t.Fatal("all-fail not reported")
+	}
+}
+
+func TestWhenAnyEmpty(t *testing.T) {
+	if _, err := WhenAny().Get(); err == nil {
+		t.Fatal("empty WhenAny resolved")
+	}
+}
+
+func TestThenChains(t *testing.T) {
+	f := NewFuture()
+	out := Then(Then(f, func(v any) (any, error) {
+		return v.(int) * 2, nil
+	}), func(v any) (any, error) {
+		return v.(int) + 1, nil
+	})
+	f.Set(20)
+	v, err := out.Get()
+	if err != nil || v.(int) != 41 {
+		t.Fatalf("then chain = %v, %v", v, err)
+	}
+}
+
+func TestThenPropagatesErrors(t *testing.T) {
+	f := NewFuture()
+	out := Then(f, func(v any) (any, error) { return nil, errors.New("fn broke") })
+	f.Set(1)
+	if _, err := out.Get(); err == nil {
+		t.Fatal("fn error swallowed")
+	}
+	g := NewFuture()
+	out2 := Then(g, func(v any) (any, error) { t.Error("fn ran on failed input"); return v, nil })
+	g.Fail(errors.New("input broke"))
+	if _, err := out2.Get(); err == nil {
+		t.Fatal("input error swallowed")
+	}
+}
+
+// Property: WhenAll over n futures resolved concurrently in arbitrary
+// order always yields all n values in slot order.
+func TestPropertyWhenAllOrderIndependent(t *testing.T) {
+	f := func(n8 uint8, seed int64) bool {
+		n := int(n8%8) + 1
+		futs := make([]*Future, n)
+		for i := range futs {
+			futs[i] = NewFuture()
+		}
+		out := WhenAll(futs...)
+		var wg sync.WaitGroup
+		for i := range futs {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				futs[i].Set(i * 100)
+			}()
+		}
+		wg.Wait()
+		v, err := out.Get()
+		if err != nil {
+			return false
+		}
+		vals := v.([]any)
+		for i := range vals {
+			if vals[i].(int) != i*100 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

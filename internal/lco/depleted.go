@@ -1,0 +1,85 @@
+package lco
+
+import (
+	"sync"
+)
+
+// DepletedThread stores the state of a suspended thread as an LCO — the
+// paper's "depleted threads provide a kind of temporary state storage for
+// suspended threads". When the dependency it suspended on is satisfied,
+// Trigger hands the saved continuation to a scheduler for resumption on the
+// thread's home locality. It fires exactly once.
+type DepletedThread struct {
+	mu       sync.Mutex
+	fired    bool
+	resume   func(v any)
+	schedule func(func())
+}
+
+// NewDepletedThread captures a suspended thread. schedule enqueues work on
+// the home locality (must not be nil); resume is the saved continuation.
+func NewDepletedThread(schedule func(func()), resume func(v any)) *DepletedThread {
+	if schedule == nil {
+		panic("lco: depleted thread needs a scheduler")
+	}
+	if resume == nil {
+		panic("lco: depleted thread needs a continuation")
+	}
+	return &DepletedThread{resume: resume, schedule: schedule}
+}
+
+// Trigger satisfies the dependency with value v, scheduling the resumption.
+// Only the first trigger acts; it reports whether this call resumed the
+// thread.
+func (d *DepletedThread) Trigger(v any) bool {
+	d.mu.Lock()
+	if d.fired {
+		d.mu.Unlock()
+		return false
+	}
+	d.fired = true
+	resume := d.resume
+	d.resume = nil
+	d.mu.Unlock()
+	d.schedule(func() { resume(v) })
+	return true
+}
+
+// Fired reports whether the thread has been resumed.
+func (d *DepletedThread) Fired() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.fired
+}
+
+// Metathread instantiates a thread body when all of its n dependencies have
+// been signalled — a thread template guarded by a join counter, one of the
+// LCO kinds the paper lists. The body is handed to the scheduler exactly
+// once, on the goroutine delivering the last dependency.
+type Metathread struct {
+	gate     *AndGate
+	schedule func(func())
+	body     func()
+	once     sync.Once
+}
+
+// NewMetathread creates a template with n >= 1 dependencies.
+func NewMetathread(n int, schedule func(func()), body func()) *Metathread {
+	if schedule == nil {
+		panic("lco: metathread needs a scheduler")
+	}
+	if body == nil {
+		panic("lco: metathread needs a body")
+	}
+	m := &Metathread{gate: NewAndGate(n), schedule: schedule, body: body}
+	m.gate.OnFire(func() {
+		m.once.Do(func() { m.schedule(m.body) })
+	})
+	return m
+}
+
+// Signal delivers one dependency.
+func (m *Metathread) Signal() { m.gate.Signal() }
+
+// Pending reports unsatisfied dependencies.
+func (m *Metathread) Pending() int { return m.gate.Remaining() }

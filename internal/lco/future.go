@@ -1,0 +1,225 @@
+// Package lco implements ParalleX Local Control Objects: the lightweight
+// synchronization primitives that replace global barriers. Futures provide
+// anonymous producer–consumer coupling, dataflow templates provide
+// compile-time value-oriented flow control, depleted threads store the
+// state of suspended threads, and metathreads instantiate new threads when
+// their dependencies fire. All LCOs are safe for concurrent use and fire
+// exactly once unless documented otherwise.
+package lco
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrAlreadySet is returned when a single-assignment LCO is set twice.
+var ErrAlreadySet = errors.New("lco: already set")
+
+// Future is a single-assignment value with blocking and callback-style
+// consumers. The zero value is not usable; create with NewFuture.
+type Future struct {
+	mu   sync.Mutex
+	done chan struct{}
+	set  bool
+	val  any
+	err  error
+	cbs  []func(any, error)
+}
+
+// NewFuture returns an empty future.
+func NewFuture() *Future {
+	return &Future{done: make(chan struct{})}
+}
+
+// Set delivers the value, waking all waiters and running registered
+// callbacks (synchronously, in registration order). Setting twice returns
+// ErrAlreadySet.
+func (f *Future) Set(v any) error { return f.resolve(v, nil) }
+
+// Fail delivers an error instead of a value.
+func (f *Future) Fail(err error) error {
+	if err == nil {
+		err = errors.New("lco: future failed with nil error")
+	}
+	return f.resolve(nil, err)
+}
+
+func (f *Future) resolve(v any, err error) error {
+	f.mu.Lock()
+	if f.set {
+		f.mu.Unlock()
+		return ErrAlreadySet
+	}
+	f.set = true
+	f.val, f.err = v, err
+	cbs := f.cbs
+	f.cbs = nil
+	close(f.done)
+	f.mu.Unlock()
+	for _, cb := range cbs {
+		cb(v, err)
+	}
+	return nil
+}
+
+// Get blocks until the future resolves and returns its value or error.
+// This is the "suspend the consumer thread" path; in the runtime the
+// blocked goroutine is exactly the paper's depleted thread.
+func (f *Future) Get() (any, error) {
+	<-f.done
+	return f.val, f.err
+}
+
+// TryGet reports the value without blocking; ok is false while unresolved.
+func (f *Future) TryGet() (v any, err error, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.set {
+		return nil, nil, false
+	}
+	return f.val, f.err, true
+}
+
+// Done returns a channel closed on resolution, for use in select.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// OnReady registers cb to run when the future resolves; if it already has,
+// cb runs immediately on the calling goroutine. This is the parcel
+// continuation hook: the runtime attaches "send result onward" callbacks.
+func (f *Future) OnReady(cb func(v any, err error)) {
+	f.mu.Lock()
+	if f.set {
+		v, err := f.val, f.err
+		f.mu.Unlock()
+		cb(v, err)
+		return
+	}
+	f.cbs = append(f.cbs, cb)
+	f.mu.Unlock()
+}
+
+// Resolved reports whether the future has been set or failed.
+func (f *Future) Resolved() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.set
+}
+
+// Dataflow is an n-input dataflow template: when every input slot has been
+// supplied, fn fires exactly once with the inputs in slot order and its
+// result resolves Out. This is the paper's "dataflow synchronization …
+// true asynchronous value oriented flow control".
+type Dataflow struct {
+	mu        sync.Mutex
+	slots     []any
+	filled    []bool
+	remaining int
+	fired     bool
+	fn        func([]any) (any, error)
+	out       *Future
+}
+
+// NewDataflow creates a template with n >= 1 inputs.
+func NewDataflow(n int, fn func(inputs []any) (any, error)) *Dataflow {
+	if n < 1 {
+		panic(fmt.Sprintf("lco: dataflow needs at least 1 input, got %d", n))
+	}
+	if fn == nil {
+		panic("lco: dataflow with nil function")
+	}
+	return &Dataflow{
+		slots:     make([]any, n),
+		filled:    make([]bool, n),
+		remaining: n,
+		fn:        fn,
+		out:       NewFuture(),
+	}
+}
+
+// Supply fills input slot i. Supplying a slot twice or out of range is an
+// error. The firing happens on the goroutine that supplies the last input.
+func (d *Dataflow) Supply(i int, v any) error {
+	d.mu.Lock()
+	if i < 0 || i >= len(d.slots) {
+		d.mu.Unlock()
+		return fmt.Errorf("lco: dataflow slot %d out of range [0,%d)", i, len(d.slots))
+	}
+	if d.filled[i] {
+		d.mu.Unlock()
+		return fmt.Errorf("lco: dataflow slot %d already supplied", i)
+	}
+	d.filled[i] = true
+	d.slots[i] = v
+	d.remaining--
+	ready := d.remaining == 0 && !d.fired
+	if ready {
+		d.fired = true
+	}
+	inputs := d.slots
+	d.mu.Unlock()
+	if ready {
+		v, err := d.fn(inputs)
+		if err != nil {
+			d.out.Fail(err)
+		} else {
+			d.out.Set(v)
+		}
+	}
+	return nil
+}
+
+// Out returns the future resolved by the firing.
+func (d *Dataflow) Out() *Future { return d.out }
+
+// Pending reports how many inputs remain unsupplied.
+func (d *Dataflow) Pending() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.remaining
+}
+
+// Reduce accumulates n contributions with an associative operator and
+// resolves Out with the final accumulation. Contributions may arrive from
+// any goroutine in any order.
+type Reduce struct {
+	mu        sync.Mutex
+	acc       any
+	remaining int
+	op        func(acc, v any) any
+	out       *Future
+}
+
+// NewReduce creates a reduction expecting n >= 1 contributions starting
+// from init.
+func NewReduce(n int, init any, op func(acc, v any) any) *Reduce {
+	if n < 1 {
+		panic(fmt.Sprintf("lco: reduce needs at least 1 contribution, got %d", n))
+	}
+	if op == nil {
+		panic("lco: reduce with nil operator")
+	}
+	return &Reduce{acc: init, remaining: n, op: op, out: NewFuture()}
+}
+
+// Contribute folds v into the accumulator; the n-th contribution resolves
+// Out. Contributing more than n times returns ErrAlreadySet.
+func (r *Reduce) Contribute(v any) error {
+	r.mu.Lock()
+	if r.remaining == 0 {
+		r.mu.Unlock()
+		return ErrAlreadySet
+	}
+	r.acc = r.op(r.acc, v)
+	r.remaining--
+	done := r.remaining == 0
+	acc := r.acc
+	r.mu.Unlock()
+	if done {
+		r.out.Set(acc)
+	}
+	return nil
+}
+
+// Out returns the future resolved with the final accumulation.
+func (r *Reduce) Out() *Future { return r.out }

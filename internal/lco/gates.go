@@ -1,0 +1,267 @@
+package lco
+
+import (
+	"fmt"
+	"sync"
+)
+
+// AndGate fires once after n signals. It generalizes join counters; the
+// runtime uses it to detect quiescence of task fan-outs without a barrier.
+type AndGate struct {
+	mu        sync.Mutex
+	remaining int
+	done      chan struct{}
+	cbs       []func()
+}
+
+// NewAndGate returns a gate expecting n >= 1 signals.
+func NewAndGate(n int) *AndGate {
+	if n < 1 {
+		panic(fmt.Sprintf("lco: and-gate needs at least 1 signal, got %d", n))
+	}
+	return &AndGate{remaining: n, done: make(chan struct{})}
+}
+
+// Signal delivers one arrival; the n-th fires the gate. Extra signals are
+// ignored (idempotent completion).
+func (g *AndGate) Signal() {
+	g.mu.Lock()
+	if g.remaining == 0 {
+		g.mu.Unlock()
+		return
+	}
+	g.remaining--
+	fire := g.remaining == 0
+	var cbs []func()
+	if fire {
+		cbs = g.cbs
+		g.cbs = nil
+		close(g.done)
+	}
+	g.mu.Unlock()
+	for _, cb := range cbs {
+		cb()
+	}
+}
+
+// Wait blocks until the gate fires.
+func (g *AndGate) Wait() { <-g.done }
+
+// Done returns a channel closed when the gate fires.
+func (g *AndGate) Done() <-chan struct{} { return g.done }
+
+// OnFire registers cb to run at firing; if already fired, cb runs now.
+func (g *AndGate) OnFire(cb func()) {
+	g.mu.Lock()
+	if g.remaining == 0 {
+		g.mu.Unlock()
+		cb()
+		return
+	}
+	g.cbs = append(g.cbs, cb)
+	g.mu.Unlock()
+}
+
+// Remaining reports outstanding signals.
+func (g *AndGate) Remaining() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.remaining
+}
+
+// OrGate fires on the first of n possible signals, recording which input
+// won. Later signals are ignored.
+type OrGate struct {
+	mu     sync.Mutex
+	fired  bool
+	winner int
+	val    any
+	done   chan struct{}
+}
+
+// NewOrGate returns an unfired or-gate.
+func NewOrGate() *OrGate {
+	return &OrGate{done: make(chan struct{})}
+}
+
+// Signal fires the gate with the given input index and value; only the
+// first call wins. It reports whether this call was the winner.
+func (g *OrGate) Signal(input int, v any) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.fired {
+		return false
+	}
+	g.fired = true
+	g.winner = input
+	g.val = v
+	close(g.done)
+	return true
+}
+
+// Wait blocks until the gate fires, returning the winning input and value.
+func (g *OrGate) Wait() (int, any) {
+	<-g.done
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.winner, g.val
+}
+
+// Done returns a channel closed when the gate fires.
+func (g *OrGate) Done() <-chan struct{} { return g.done }
+
+// Semaphore is a counting semaphore LCO.
+type Semaphore struct {
+	slots chan struct{}
+}
+
+// NewSemaphore returns a semaphore with n permits available.
+func NewSemaphore(n int) *Semaphore {
+	if n < 1 {
+		panic(fmt.Sprintf("lco: semaphore needs at least 1 permit, got %d", n))
+	}
+	s := &Semaphore{slots: make(chan struct{}, n)}
+	for i := 0; i < n; i++ {
+		s.slots <- struct{}{}
+	}
+	return s
+}
+
+// Acquire blocks until a permit is available.
+func (s *Semaphore) Acquire() { <-s.slots }
+
+// TryAcquire takes a permit without blocking, reporting success.
+func (s *Semaphore) TryAcquire() bool {
+	select {
+	case <-s.slots:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a permit. Releasing more permits than the semaphore was
+// created with panics: it always indicates an acquire/release imbalance.
+func (s *Semaphore) Release() {
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		panic("lco: semaphore over-release")
+	}
+}
+
+// Available reports the current number of free permits.
+func (s *Semaphore) Available() int { return len(s.slots) }
+
+// Gate is an open/close latch: Pass blocks while closed. Unlike AndGate it
+// is reusable and level-triggered; the runtime uses it for flow control.
+type Gate struct {
+	mu   sync.Mutex
+	open chan struct{} // closed channel == gate open
+}
+
+// NewGate returns a gate in the given initial state.
+func NewGate(open bool) *Gate {
+	g := &Gate{open: make(chan struct{})}
+	if open {
+		close(g.open)
+	}
+	return g
+}
+
+// Open releases all current and future passers until Close.
+func (g *Gate) Open() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case <-g.open:
+	default:
+		close(g.open)
+	}
+}
+
+// Close makes subsequent Pass calls block.
+func (g *Gate) Close() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case <-g.open:
+		g.open = make(chan struct{})
+	default:
+	}
+}
+
+// Pass blocks until the gate is open.
+func (g *Gate) Pass() {
+	g.mu.Lock()
+	ch := g.open
+	g.mu.Unlock()
+	<-ch
+}
+
+// IsOpen reports the gate state.
+func (g *Gate) IsOpen() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case <-g.open:
+		return true
+	default:
+		return false
+	}
+}
+
+// Barrier is the classic reusable global barrier, implemented for the CSP
+// baseline and for the LCO-vs-barrier experiment (E6). ParalleX programs
+// should prefer dataflow LCOs; this type exists to measure why.
+type Barrier struct {
+	mu      sync.Mutex
+	n       int
+	arrived int
+	gen     uint64
+	release chan struct{}
+
+	// Waits counts total arrivals, for overhead accounting.
+	waits uint64
+}
+
+// NewBarrier returns a barrier for n >= 1 participants.
+func NewBarrier(n int) *Barrier {
+	if n < 1 {
+		panic(fmt.Sprintf("lco: barrier needs at least 1 participant, got %d", n))
+	}
+	return &Barrier{n: n, release: make(chan struct{})}
+}
+
+// Arrive blocks until all n participants have arrived, then all are
+// released and the barrier resets for the next phase.
+func (b *Barrier) Arrive() {
+	b.mu.Lock()
+	b.waits++
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+		close(b.release)
+		b.release = make(chan struct{})
+		b.mu.Unlock()
+		return
+	}
+	ch := b.release
+	b.mu.Unlock()
+	<-ch
+}
+
+// Generation reports how many phases have completed.
+func (b *Barrier) Generation() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.gen
+}
+
+// Waits reports total arrivals across all phases.
+func (b *Barrier) Waits() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.waits
+}

@@ -1,0 +1,188 @@
+// Package litlx implements LITL-X ("little-X"), the paper's prototype
+// programming API: a subset of ParalleX exposed as programmer-facing
+// constructs for latency tolerance and overhead management. It extends a
+// TNT-style coarse-grain thread layer with (1) asynchronous calls in the
+// EARTH/Cilk style, (2) percolation directives, (3) dataflow-style
+// synchronization, and (4) atomic sections over a weak (location
+// consistency) memory model. LITL-X is a testbed API, not an end-user
+// language — exactly as the paper positions it.
+package litlx
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/agas"
+	"repro/internal/core"
+	"repro/internal/lco"
+	"repro/internal/parcel"
+)
+
+// API is a LITL-X view over a ParalleX runtime.
+type API struct {
+	rt *core.Runtime
+}
+
+// New wraps rt with the LITL-X constructs.
+func New(rt *core.Runtime) *API {
+	return &API{rt: rt}
+}
+
+// Runtime exposes the underlying ParalleX runtime.
+func (a *API) Runtime() *core.Runtime { return a.rt }
+
+// Thread starts a TNT-style coarse-grain thread on the given locality.
+func (a *API) Thread(loc int, fn func(*core.Context)) {
+	a.rt.Spawn(loc, fn)
+}
+
+// Async launches fn as an asynchronous call on locality loc and returns a
+// future for its result — the EARTH "launch and manage asynchronous calls"
+// construct. The caller keeps running; Await (or Future.Get) joins.
+func (a *API) Async(loc int, fn func() (any, error)) *lco.Future {
+	fut := lco.NewFuture()
+	a.rt.Spawn(loc, func(ctx *core.Context) {
+		v, err := fn()
+		if err != nil {
+			fut.Fail(err)
+			return
+		}
+		fut.Set(v)
+	})
+	return fut
+}
+
+// SyncSlot is the EARTH-style synchronization counter: initialized to a
+// count, decremented by Signal, firing a continuation at zero.
+type SyncSlot struct {
+	gate *lco.AndGate
+}
+
+// NewSyncSlot returns a slot expecting n signals.
+func (a *API) NewSyncSlot(n int) *SyncSlot {
+	return &SyncSlot{gate: lco.NewAndGate(n)}
+}
+
+// Signal decrements the slot.
+func (s *SyncSlot) Signal() { s.gate.Signal() }
+
+// Wait blocks until the count reaches zero.
+func (s *SyncSlot) Wait() { s.gate.Wait() }
+
+// Then registers a continuation to run when the count reaches zero.
+func (s *SyncSlot) Then(fn func()) { s.gate.OnFire(fn) }
+
+// Dataflow builds an n-input dataflow construct whose body runs as a thread
+// on the given locality when all inputs arrive, resolving the returned
+// future — "synchronization constructs for data-flow style operations".
+func (a *API) Dataflow(loc, n int, body func(inputs []any) (any, error)) (*lco.Dataflow, *lco.Future) {
+	out := lco.NewFuture()
+	df := lco.NewDataflow(n, func(inputs []any) (any, error) {
+		// Defer the body to a scheduled thread so firing never runs user
+		// code on the supplier's stack.
+		a.rt.Spawn(loc, func(*core.Context) {
+			v, err := body(inputs)
+			if err != nil {
+				out.Fail(err)
+				return
+			}
+			out.Set(v)
+		})
+		return nil, nil
+	})
+	return df, out
+}
+
+// Percolate stages a remote data object's value at locality loc ahead of
+// its use: the returned future resolves with a *local* GID naming the
+// staged copy. Computations scheduled after the future resolves never wait
+// on the remote fetch — the LITL-X percolation directive.
+func (a *API) Percolate(loc int, data agas.GID) *lco.Future {
+	staged := lco.NewFuture()
+	fut := a.rt.CallFrom(loc, data, ActionRead, nil)
+	fut.OnReady(func(v any, err error) {
+		if err != nil {
+			staged.Fail(err)
+			return
+		}
+		staged.Set(a.rt.NewDataAt(loc, v))
+	})
+	return staged
+}
+
+// ActionRead returns a data object's value (shared with the percolation
+// engine's read action name so only one is registered per runtime).
+const ActionRead = "px.litlx.read"
+
+// RegisterActions installs LITL-X actions; call once per runtime.
+func RegisterActions(rt *core.Runtime) {
+	rt.MustRegisterAction(ActionRead, func(ctx *core.Context, target any, args *parcel.Reader) (any, error) {
+		return target, nil
+	})
+}
+
+// Atomic is a LITL-X atomic section over a piece of state with location
+// consistency: the state lives at one locality, sections execute there
+// serially, and there is no coherence obligation elsewhere — observers see
+// state only through sections. Do is split-phase: the caller gets a future
+// and may overlap its own work with the section's execution.
+type Atomic struct {
+	api   *API
+	loc   int
+	mu    sync.Mutex
+	st    any
+	gid   agas.GID
+	execd uint64
+}
+
+// NewAtomic creates state owned by locality loc.
+func (a *API) NewAtomic(loc int, initial any) *Atomic {
+	at := &Atomic{api: a, loc: loc, st: initial}
+	at.gid = a.rt.NewObjectAt(loc, agas.KindData, at)
+	return at
+}
+
+// GID returns the state's global name.
+func (at *Atomic) GID() agas.GID { return at.gid }
+
+// Do schedules section fn at the owner locality; fn receives the current
+// state and returns the new state plus a result that resolves the future.
+// Sections from any locality serialize at the owner.
+func (at *Atomic) Do(from int, fn func(state any) (newState, result any, err error)) *lco.Future {
+	out := lco.NewFuture()
+	at.api.rt.Spawn(at.loc, func(ctx *core.Context) {
+		at.mu.Lock()
+		ns, res, err := fn(at.st)
+		if err == nil {
+			at.st = ns
+			at.execd++
+		}
+		at.mu.Unlock()
+		if err != nil {
+			out.Fail(err)
+			return
+		}
+		out.Set(res)
+	})
+	_ = from // the origin matters for accounting only; scheduling is owner-side
+	return out
+}
+
+// Read runs a read-only section and returns its view of the state.
+func (at *Atomic) Read(from int) *lco.Future {
+	return at.Do(from, func(state any) (any, any, error) {
+		return state, state, nil
+	})
+}
+
+// Executed reports how many sections have committed.
+func (at *Atomic) Executed() uint64 {
+	at.mu.Lock()
+	defer at.mu.Unlock()
+	return at.execd
+}
+
+// String renders the atomic for debugging.
+func (at *Atomic) String() string {
+	return fmt.Sprintf("atomic@L%d(%v)", at.loc, at.gid)
+}

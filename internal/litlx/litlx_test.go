@@ -1,0 +1,207 @@
+package litlx
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/agas"
+	"repro/internal/core"
+	"repro/internal/network"
+)
+
+func newAPI(t *testing.T, n int) *API {
+	t.Helper()
+	rt := core.New(core.Config{Localities: n, WorkersPerLocality: 4})
+	t.Cleanup(rt.Shutdown)
+	RegisterActions(rt)
+	return New(rt)
+}
+
+func TestAsyncReturnsValue(t *testing.T) {
+	a := newAPI(t, 2)
+	fut := a.Async(1, func() (any, error) { return int64(21 * 2), nil })
+	v, err := fut.Get()
+	if err != nil || v.(int64) != 42 {
+		t.Fatalf("async = %v, %v", v, err)
+	}
+}
+
+func TestAsyncPropagatesError(t *testing.T) {
+	a := newAPI(t, 1)
+	want := errors.New("async broke")
+	fut := a.Async(0, func() (any, error) { return nil, want })
+	if _, err := fut.Get(); err != want {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAsyncOverlapsWithCaller(t *testing.T) {
+	a := newAPI(t, 2)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	fut := a.Async(1, func() (any, error) {
+		close(started)
+		<-release
+		return "done", nil
+	})
+	<-started
+	// The caller is demonstrably running while the async call is blocked.
+	close(release)
+	if v, _ := fut.Get(); v.(string) != "done" {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestThreadRunsOnLocality(t *testing.T) {
+	a := newAPI(t, 4)
+	var loc atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(1)
+	a.Thread(3, func(ctx *core.Context) {
+		loc.Store(int32(ctx.Locality()))
+		wg.Done()
+	})
+	wg.Wait()
+	if loc.Load() != 3 {
+		t.Fatalf("thread ran on L%d", loc.Load())
+	}
+}
+
+func TestSyncSlot(t *testing.T) {
+	a := newAPI(t, 1)
+	s := a.NewSyncSlot(3)
+	var fired atomic.Bool
+	s.Then(func() { fired.Store(true) })
+	s.Signal()
+	s.Signal()
+	if fired.Load() {
+		t.Fatal("slot fired early")
+	}
+	s.Signal()
+	s.Wait()
+	if !fired.Load() {
+		t.Fatal("slot never fired")
+	}
+}
+
+func TestDataflowFiresBodyOnLocality(t *testing.T) {
+	a := newAPI(t, 2)
+	df, out := a.Dataflow(1, 2, func(in []any) (any, error) {
+		return in[0].(int64) * in[1].(int64), nil
+	})
+	df.Supply(0, int64(6))
+	df.Supply(1, int64(7))
+	v, err := out.Get()
+	if err != nil || v.(int64) != 42 {
+		t.Fatalf("dataflow = %v, %v", v, err)
+	}
+}
+
+func TestDataflowBodyError(t *testing.T) {
+	a := newAPI(t, 1)
+	df, out := a.Dataflow(0, 1, func(in []any) (any, error) {
+		return nil, errors.New("body failed")
+	})
+	df.Supply(0, nil)
+	if _, err := out.Get(); err == nil {
+		t.Fatal("body error lost")
+	}
+}
+
+func TestPercolateStagesLocalCopy(t *testing.T) {
+	net := network.NewCrossbar(2, network.Params{InjectionOverhead: 100 * time.Microsecond})
+	rt := core.New(core.Config{Localities: 2, Net: net})
+	t.Cleanup(rt.Shutdown)
+	RegisterActions(rt)
+	a := New(rt)
+	remote := rt.NewDataAt(1, []float64{1, 2, 3})
+	fut := a.Percolate(0, remote)
+	v, err := fut.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gid := v.(agas.GID)
+	if gid.IsNil() {
+		t.Fatal("staged GID is nil")
+	}
+	// The staged copy is resident at locality 0 with the remote's value.
+	staged, ok := rt.LocalObject(0, gid)
+	if !ok {
+		t.Fatal("staged copy not resident at L0")
+	}
+	got := staged.([]float64)
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("staged value = %v", got)
+	}
+	owner, _ := rt.AGAS().Owner(gid)
+	if owner != 0 {
+		t.Fatalf("staged copy owned by L%d", owner)
+	}
+}
+
+func TestAtomicSectionsSerialize(t *testing.T) {
+	a := newAPI(t, 4)
+	at := a.NewAtomic(0, int64(0))
+	const n = 200
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fut := at.Do(1, func(state any) (any, any, error) {
+				// Non-atomic read-modify-write made safe only by section
+				// serialization.
+				v := state.(int64)
+				return v + 1, v, nil
+			})
+			fut.Get()
+		}()
+	}
+	wg.Wait()
+	final, err := at.Read(2).Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.(int64) != n {
+		t.Fatalf("atomic counter = %v, want %d (lost updates)", final, n)
+	}
+	if at.Executed() != n+1 { // +1 for the Read section
+		t.Fatalf("executed = %d", at.Executed())
+	}
+}
+
+func TestAtomicSectionErrorLeavesState(t *testing.T) {
+	a := newAPI(t, 1)
+	at := a.NewAtomic(0, "initial")
+	fut := at.Do(0, func(state any) (any, any, error) {
+		return "clobbered", nil, errors.New("abort")
+	})
+	if _, err := fut.Get(); err == nil {
+		t.Fatal("error swallowed")
+	}
+	v, _ := at.Read(0).Get()
+	if v.(string) != "initial" {
+		t.Fatalf("failed section mutated state to %v", v)
+	}
+}
+
+func TestAtomicSplitPhase(t *testing.T) {
+	a := newAPI(t, 2)
+	at := a.NewAtomic(1, int64(0))
+	// Do returns immediately; the caller can overlap.
+	futs := make([]any, 0, 10)
+	for i := 0; i < 10; i++ {
+		futs = append(futs, at.Do(0, func(state any) (any, any, error) {
+			return state.(int64) + 1, nil, nil
+		}))
+	}
+	a.Runtime().Wait()
+	v, _ := at.Read(0).Get()
+	if v.(int64) != 10 {
+		t.Fatalf("state = %v", v)
+	}
+	_ = futs
+}

@@ -1,0 +1,277 @@
+// Package locality implements the ParalleX locality: the physical domain
+// that executes threads. A locality owns an object store, a message-driven
+// work queue, and a bounded set of execution slots. Threads that suspend
+// release their slot (becoming, in the paper's terms, depleted threads held
+// by an LCO), so a locality's workers are never blocked by waiting work —
+// the property behind the model's latency hiding.
+package locality
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Policy selects the order the work queue is served in.
+type Policy int
+
+// Queue service policies.
+const (
+	// FIFO serves oldest work first: fair, breadth-first.
+	FIFO Policy = iota
+	// LIFO serves newest work first: depth-first, cache-friendly.
+	LIFO
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case LIFO:
+		return "lifo"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Config parameterizes a locality.
+type Config struct {
+	// Workers bounds concurrently running (non-suspended) threads.
+	Workers int
+	// Policy selects queue order. FIFO is the default.
+	Policy Policy
+	// Stealing lets an idle locality take work from victims' queue fronts.
+	Stealing bool
+}
+
+// Locality is one execution domain.
+type Locality struct {
+	id    int
+	cfg   Config
+	store *Store
+
+	mu     sync.Mutex
+	queue  []func()
+	closed bool
+	notify chan struct{}
+
+	slots   chan struct{}
+	victims []*Locality
+
+	dispatcherDone chan struct{}
+	running        sync.WaitGroup
+
+	tasksRun  atomic.Uint64
+	stolen    atomic.Uint64
+	suspends  atomic.Uint64
+	idle      *metrics.IdleTracker
+	queuePeak atomic.Int64
+}
+
+// New creates and starts a locality with the given id.
+func New(id int, cfg Config) *Locality {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	l := &Locality{
+		id:             id,
+		cfg:            cfg,
+		store:          NewStore(),
+		notify:         make(chan struct{}, 1),
+		slots:          make(chan struct{}, cfg.Workers),
+		dispatcherDone: make(chan struct{}),
+		idle:           metrics.NewIdleTracker(),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		l.slots <- struct{}{}
+	}
+	go l.dispatch()
+	return l
+}
+
+// ID reports the locality's index.
+func (l *Locality) ID() int { return l.id }
+
+// Store returns the locality's object store.
+func (l *Locality) Store() *Store { return l.store }
+
+// SetVictims installs the steal set; only meaningful with Stealing enabled.
+func (l *Locality) SetVictims(vs []*Locality) {
+	l.mu.Lock()
+	l.victims = vs
+	l.mu.Unlock()
+}
+
+func (l *Locality) victimSet() []*Locality {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.victims
+}
+
+// Post enqueues fn for execution. Posting to a closed locality panics: the
+// runtime must quiesce before shutdown, so a late post is always a bug.
+func (l *Locality) Post(fn func()) {
+	if fn == nil {
+		panic("locality: post of nil task")
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		panic(fmt.Sprintf("locality %d: post after close", l.id))
+	}
+	l.queue = append(l.queue, fn)
+	if n := int64(len(l.queue)); n > l.queuePeak.Load() {
+		l.queuePeak.Store(n)
+	}
+	l.mu.Unlock()
+	select {
+	case l.notify <- struct{}{}:
+	default:
+	}
+}
+
+// pop removes one task per the service policy.
+func (l *Locality) pop() (func(), bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := len(l.queue)
+	if n == 0 {
+		return nil, false
+	}
+	var fn func()
+	if l.cfg.Policy == LIFO {
+		fn = l.queue[n-1]
+		l.queue[n-1] = nil
+		l.queue = l.queue[:n-1]
+	} else {
+		fn = l.queue[0]
+		l.queue = l.queue[1:]
+	}
+	return fn, true
+}
+
+// stealFrom removes the oldest task from v's queue (FIFO side), the
+// conventional steal end.
+func (l *Locality) stealFrom(v *Locality) (func(), bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.queue) == 0 {
+		return nil, false
+	}
+	fn := v.queue[0]
+	v.queue = v.queue[1:]
+	return fn, true
+}
+
+func (l *Locality) dispatch() {
+	defer close(l.dispatcherDone)
+	for {
+		fn, ok := l.pop()
+		if !ok && l.cfg.Stealing {
+			for _, v := range l.victimSet() {
+				if v == l {
+					continue
+				}
+				if fn, ok = l.stealFrom(v); ok {
+					l.stolen.Add(1)
+					break
+				}
+			}
+		}
+		if !ok {
+			l.mu.Lock()
+			closed := l.closed
+			empty := len(l.queue) == 0
+			l.mu.Unlock()
+			if closed && empty {
+				return
+			}
+			l.idle.MarkIdle()
+			if l.cfg.Stealing {
+				// Poll: victims can gain work without notifying us.
+				select {
+				case <-l.notify:
+				case <-time.After(50 * time.Microsecond):
+				}
+			} else {
+				<-l.notify
+			}
+			l.idle.MarkBusy()
+			continue
+		}
+		<-l.slots // acquire an execution slot
+		l.running.Add(1)
+		go func() {
+			defer func() {
+				l.slots <- struct{}{}
+				l.running.Done()
+			}()
+			fn()
+			l.tasksRun.Add(1)
+		}()
+	}
+}
+
+// Suspend releases the caller's execution slot around blocking work,
+// modelling thread depletion: wait runs with the slot released and the
+// thread re-competes for a slot before continuing. Every task posted to
+// this locality that blocks must wrap the blocking call in Suspend.
+func (l *Locality) Suspend(wait func()) {
+	l.suspends.Add(1)
+	l.slots <- struct{}{} // give the slot back
+	wait()
+	<-l.slots // re-acquire before resuming
+}
+
+// Close stops the locality after draining queued and running work.
+// It is an error to Post during or after Close.
+func (l *Locality) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		<-l.dispatcherDone
+		l.running.Wait()
+		return
+	}
+	l.closed = true
+	l.mu.Unlock()
+	// Wake the dispatcher so it can observe the close.
+	for {
+		select {
+		case l.notify <- struct{}{}:
+		default:
+		}
+		select {
+		case <-l.dispatcherDone:
+			l.running.Wait()
+			return
+		case <-time.After(100 * time.Microsecond):
+		}
+	}
+}
+
+// QueueLen reports current queue depth.
+func (l *Locality) QueueLen() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.queue)
+}
+
+// QueuePeak reports the high-water queue depth.
+func (l *Locality) QueuePeak() int { return int(l.queuePeak.Load()) }
+
+// TasksRun reports completed tasks.
+func (l *Locality) TasksRun() uint64 { return l.tasksRun.Load() }
+
+// Stolen reports tasks this locality stole from victims.
+func (l *Locality) Stolen() uint64 { return l.stolen.Load() }
+
+// Suspensions reports slot releases by suspending threads.
+func (l *Locality) Suspensions() uint64 { return l.suspends.Load() }
+
+// IdleFraction reports the dispatcher's starvation fraction so far.
+func (l *Locality) IdleFraction() float64 { return l.idle.IdleFraction() }

@@ -1,0 +1,308 @@
+package locality
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/agas"
+	"repro/internal/lco"
+)
+
+func TestPostAndRun(t *testing.T) {
+	l := New(0, Config{Workers: 2})
+	var n atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		l.Post(func() { n.Add(1); wg.Done() })
+	}
+	wg.Wait()
+	l.Close()
+	if n.Load() != 100 {
+		t.Fatalf("ran %d tasks", n.Load())
+	}
+	if l.TasksRun() != 100 {
+		t.Fatalf("TasksRun = %d", l.TasksRun())
+	}
+}
+
+func TestWorkerBoundRespected(t *testing.T) {
+	const workers = 3
+	l := New(0, Config{Workers: workers})
+	var cur, peak atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		l.Post(func() {
+			defer wg.Done()
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+		})
+	}
+	wg.Wait()
+	l.Close()
+	if peak.Load() > workers {
+		t.Fatalf("peak concurrency %d > %d workers", peak.Load(), workers)
+	}
+}
+
+func TestSuspendReleasesSlot(t *testing.T) {
+	// One worker; the first task suspends on a future that only the second
+	// task resolves. Without slot release this deadlocks.
+	l := New(0, Config{Workers: 1})
+	f := lco.NewFuture()
+	done := make(chan int, 2)
+	l.Post(func() {
+		l.Suspend(func() { f.Get() })
+		done <- 1
+	})
+	l.Post(func() {
+		f.Set(nil)
+		done <- 2
+	})
+	timeout := time.After(5 * time.Second)
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-timeout:
+			t.Fatal("deadlock: suspension did not release execution slot")
+		}
+	}
+	l.Close()
+	if l.Suspensions() != 1 {
+		t.Fatalf("suspensions = %d", l.Suspensions())
+	}
+}
+
+func TestLIFOOrdering(t *testing.T) {
+	l := New(0, Config{Workers: 1, Policy: LIFO})
+	var mu sync.Mutex
+	var order []int
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(4)
+	// Block the single worker so the queue builds up.
+	l.Post(func() { <-gate; wg.Done() })
+	time.Sleep(10 * time.Millisecond)
+	for i := 1; i <= 3; i++ {
+		i := i
+		l.Post(func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			wg.Done()
+		})
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	l.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 3 || order[0] != 3 || order[2] != 1 {
+		t.Fatalf("LIFO order = %v, want [3 2 1]", order)
+	}
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	l := New(0, Config{Workers: 1, Policy: FIFO})
+	var mu sync.Mutex
+	var order []int
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(4)
+	l.Post(func() { <-gate; wg.Done() })
+	time.Sleep(10 * time.Millisecond)
+	for i := 1; i <= 3; i++ {
+		i := i
+		l.Post(func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			wg.Done()
+		})
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	l.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 3 || order[0] != 1 || order[2] != 3 {
+		t.Fatalf("FIFO order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestStealingBalancesLoad(t *testing.T) {
+	victim := New(0, Config{Workers: 1})
+	thief := New(1, Config{Workers: 1, Stealing: true})
+	thief.SetVictims([]*Locality{victim})
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	// Jam the victim's single worker, then pile work on its queue.
+	victim.Post(func() { <-gate; wg.Done() })
+	time.Sleep(5 * time.Millisecond)
+	const n = 20
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		victim.Post(func() {
+			time.Sleep(time.Millisecond)
+			wg.Done()
+		})
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if thief.Stolen() == 0 {
+		t.Fatal("thief stole nothing from overloaded victim")
+	}
+	victim.Close()
+	thief.Close()
+}
+
+func TestCloseDrainsQueue(t *testing.T) {
+	l := New(0, Config{Workers: 2})
+	var n atomic.Int32
+	for i := 0; i < 200; i++ {
+		l.Post(func() { n.Add(1) })
+	}
+	l.Close()
+	if n.Load() != 200 {
+		t.Fatalf("close dropped tasks: ran %d/200", n.Load())
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	l := New(0, Config{Workers: 1})
+	l.Close()
+	l.Close()
+}
+
+func TestPostAfterClosePanics(t *testing.T) {
+	l := New(0, Config{Workers: 1})
+	l.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("post after close did not panic")
+		}
+	}()
+	l.Post(func() {})
+}
+
+func TestPostNilPanics(t *testing.T) {
+	l := New(0, Config{Workers: 1})
+	defer l.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("nil post did not panic")
+		}
+	}()
+	l.Post(nil)
+}
+
+func TestQueueStats(t *testing.T) {
+	l := New(0, Config{Workers: 1})
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	l.Post(func() { <-gate; wg.Done() })
+	time.Sleep(5 * time.Millisecond)
+	wg.Add(5)
+	for i := 0; i < 5; i++ {
+		l.Post(func() { wg.Done() })
+	}
+	if l.QueueLen() == 0 {
+		t.Fatal("queue empty while worker jammed")
+	}
+	close(gate)
+	wg.Wait()
+	l.Close()
+	if l.QueuePeak() < 5 {
+		t.Fatalf("queue peak = %d, want >= 5", l.QueuePeak())
+	}
+}
+
+func TestIdleFractionReflectsStarvation(t *testing.T) {
+	l := New(0, Config{Workers: 1})
+	time.Sleep(30 * time.Millisecond) // no work: starved
+	if f := l.IdleFraction(); f < 0.5 {
+		t.Fatalf("idle fraction %f for empty locality, want high", f)
+	}
+	l.Close()
+}
+
+func TestStoreBasics(t *testing.T) {
+	s := NewStore()
+	g := agas.GID{Home: 0, Kind: agas.KindData, Seq: 1}
+	s.Put(g, 42)
+	v, ok := s.Get(g)
+	if !ok || v.(int) != 42 {
+		t.Fatalf("get = %v %v", v, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	v, ok = s.Take(g)
+	if !ok || v.(int) != 42 {
+		t.Fatalf("take = %v %v", v, ok)
+	}
+	if _, ok = s.Get(g); ok {
+		t.Fatal("object present after take")
+	}
+	s.Put(g, 1)
+	s.Delete(g)
+	if s.Len() != 0 {
+		t.Fatal("delete failed")
+	}
+	s.Delete(g) // idempotent
+}
+
+func TestStoreNilGIDPanics(t *testing.T) {
+	s := NewStore()
+	defer func() {
+		if recover() == nil {
+			t.Error("nil GID put did not panic")
+		}
+	}()
+	s.Put(agas.Nil, 1)
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				g := agas.GID{Home: uint32(w), Kind: agas.KindData, Seq: uint64(i)}
+				s.Put(g, i)
+				if v, ok := s.Get(g); !ok || v.(int) != i {
+					t.Errorf("lost write %v", g)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 8*200 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FIFO.String() != "fifo" || LIFO.String() != "lifo" {
+		t.Fatal("policy names wrong")
+	}
+}

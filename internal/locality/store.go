@@ -1,0 +1,69 @@
+package locality
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/agas"
+)
+
+// Store is a locality's object store: the local half of the global address
+// space. Objects live in exactly one store at a time; migration moves them
+// between stores while their GID stays fixed.
+type Store struct {
+	mu sync.RWMutex
+	m  map[agas.GID]any
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{m: make(map[agas.GID]any)}
+}
+
+// Put installs v under g, replacing any previous value.
+func (s *Store) Put(g agas.GID, v any) {
+	if g.IsNil() {
+		panic("locality: store put with nil GID")
+	}
+	s.mu.Lock()
+	s.m[g] = v
+	s.mu.Unlock()
+}
+
+// Get returns the object named g, if present.
+func (s *Store) Get(g agas.GID) (any, bool) {
+	s.mu.RLock()
+	v, ok := s.m[g]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// Take removes and returns the object named g, for migration.
+func (s *Store) Take(g agas.GID) (any, bool) {
+	s.mu.Lock()
+	v, ok := s.m[g]
+	if ok {
+		delete(s.m, g)
+	}
+	s.mu.Unlock()
+	return v, ok
+}
+
+// Delete removes g; deleting an absent name is a no-op.
+func (s *Store) Delete(g agas.GID) {
+	s.mu.Lock()
+	delete(s.m, g)
+	s.mu.Unlock()
+}
+
+// Len reports the number of resident objects.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// String summarizes the store for debugging.
+func (s *Store) String() string {
+	return fmt.Sprintf("store(%d objects)", s.Len())
+}

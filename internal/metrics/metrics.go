@@ -1,0 +1,237 @@
+// Package metrics provides the instrumentation used across the runtime to
+// quantify the four sources of performance degradation the paper targets:
+// Starvation, Latency, Overhead, and Waiting for contention (SLOW).
+// Counters and histograms are safe for concurrent use and cheap enough to
+// leave enabled inside benchmark inner loops.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing concurrent counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a concurrent instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates duration samples with fixed log-spaced buckets and
+// retains exact samples up to a cap for quantile estimation.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	samples []float64
+	cap     int
+}
+
+// NewHistogram returns a histogram retaining at most maxSamples exact
+// samples (older samples are dropped reservoir-free: the first maxSamples
+// are kept, which is adequate for the steady-state benchmarks here).
+func NewHistogram(maxSamples int) *Histogram {
+	if maxSamples <= 0 {
+		maxSamples = 4096
+	}
+	return &Histogram{min: math.Inf(1), max: math.Inf(-1), cap: maxSamples}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	if len(h.samples) < h.cap {
+		h.samples = append(h.samples, v)
+	}
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a time.Duration sample in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(float64(d)) }
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the mean of all observed samples (0 if none).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest sample (0 if none).
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample (0 if none).
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns the q-quantile (0<=q<=1) estimated from retained samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	s := make([]float64, len(h.samples))
+	copy(s, h.samples)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	idx := q * float64(len(s)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := idx - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// SLOW aggregates the paper's four degradation sources for one run.
+// All durations are in nanoseconds of wall-clock (or virtual ticks when
+// produced by the DES models).
+type SLOW struct {
+	Starvation *Histogram // idle interval lengths per execution site
+	Latency    *Histogram // remote access round-trip times
+	Overhead   *Histogram // runtime critical-path management cost per task
+	Waiting    *Histogram // time blocked on contended shared resources
+
+	TasksExecuted  Counter
+	ParcelsSent    Counter
+	ParcelsLocal   Counter // parcels short-circuited to the local queue
+	ThreadsSpawned Counter
+	Suspensions    Counter
+	Migrations     Counter
+}
+
+// NewSLOW returns a SLOW record with all histograms allocated.
+func NewSLOW() *SLOW {
+	return &SLOW{
+		Starvation: NewHistogram(0),
+		Latency:    NewHistogram(0),
+		Overhead:   NewHistogram(0),
+		Waiting:    NewHistogram(0),
+	}
+}
+
+// String renders a compact one-line summary.
+func (s *SLOW) String() string {
+	return fmt.Sprintf(
+		"tasks=%d parcels=%d(+%d local) threads=%d susp=%d | starve(mean)=%.0f lat(mean)=%.0f ovh(mean)=%.0f wait(mean)=%.0f",
+		s.TasksExecuted.Value(), s.ParcelsSent.Value(), s.ParcelsLocal.Value(),
+		s.ThreadsSpawned.Value(), s.Suspensions.Value(),
+		s.Starvation.Mean(), s.Latency.Mean(), s.Overhead.Mean(), s.Waiting.Mean())
+}
+
+// IdleTracker measures starvation on one execution site: the fraction of
+// time the site had no work. It is driven by the site's scheduler loop.
+type IdleTracker struct {
+	mu        sync.Mutex
+	idleSince time.Time
+	idleTotal time.Duration
+	started   time.Time
+	idle      bool
+}
+
+// NewIdleTracker starts tracking from now, in the busy state.
+func NewIdleTracker() *IdleTracker {
+	return &IdleTracker{started: time.Now()}
+}
+
+// MarkIdle records the transition to having no work.
+func (t *IdleTracker) MarkIdle() {
+	t.mu.Lock()
+	if !t.idle {
+		t.idle = true
+		t.idleSince = time.Now()
+	}
+	t.mu.Unlock()
+}
+
+// MarkBusy records the transition back to having work.
+func (t *IdleTracker) MarkBusy() {
+	t.mu.Lock()
+	if t.idle {
+		t.idle = false
+		t.idleTotal += time.Since(t.idleSince)
+	}
+	t.mu.Unlock()
+}
+
+// IdleFraction reports the fraction of elapsed time spent idle, in [0,1].
+func (t *IdleTracker) IdleFraction() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idle := t.idleTotal
+	if t.idle {
+		idle += time.Since(t.idleSince)
+	}
+	elapsed := time.Since(t.started)
+	if elapsed <= 0 {
+		return 0
+	}
+	f := float64(idle) / float64(elapsed)
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}

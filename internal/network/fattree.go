@@ -1,0 +1,51 @@
+package network
+
+import "fmt"
+
+// FatTree models a k-ary fat-tree (folded Clos): endpoints are leaves and
+// a message climbs to the lowest common ancestor switch and back down, so
+// the hop count is twice the ancestor level. Fat trees are the common
+// counterpoint to direct networks like the torus and to the Data Vortex;
+// the A1 ablation uses it as an additional topology.
+type FatTree struct {
+	base
+	arity int
+}
+
+// NewFatTree builds a fat tree with the given switch arity (>= 2).
+func NewFatTree(nodes, arity int, p Params) *FatTree {
+	mustNodes(nodes)
+	if arity < 2 {
+		panic(fmt.Sprintf("network: fat-tree arity %d < 2", arity))
+	}
+	t := &FatTree{arity: arity}
+	t.base = base{name: "fattree", nodes: nodes, p: p, hops: t.treeHops}
+	return t
+}
+
+// Arity reports the switch arity.
+func (t *FatTree) Arity() int { return t.arity }
+
+// Levels reports the tree height needed to span all endpoints.
+func (t *FatTree) Levels() int {
+	l, span := 0, 1
+	for span < t.nodes {
+		span *= t.arity
+		l++
+	}
+	if l == 0 {
+		l = 1
+	}
+	return l
+}
+
+func (t *FatTree) treeHops(src, dst int) int {
+	level, span := 0, 1
+	for {
+		level++
+		span *= t.arity
+		if src/span == dst/span {
+			return 2 * level
+		}
+	}
+}

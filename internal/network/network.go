@@ -1,0 +1,204 @@
+// Package network provides interconnect latency models for the simulated
+// machine. The paper's Gilgamesh II design point assumes the Data Vortex
+// hierarchical deflection network; experiments compare it against ideal,
+// crossbar, and 2-D torus models (ablation A1 in DESIGN.md).
+//
+// A model maps (source locality, destination locality, message size) to a
+// deterministic latency. The runtime uses the latency in wall-clock mode by
+// delaying parcel delivery; the DES architecture model uses the same hop
+// counts scaled to cycles.
+package network
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Params holds the physical constants of a network model.
+type Params struct {
+	// HopLatency is the per-hop switch traversal time.
+	HopLatency time.Duration
+	// InjectionOverhead is the fixed cost to enter and exit the network.
+	InjectionOverhead time.Duration
+	// Bandwidth is the per-link payload bandwidth in bytes/second.
+	// Zero means infinite bandwidth (no serialization term).
+	Bandwidth float64
+}
+
+// DefaultParams are loosely calibrated to a 2007-era MPP interconnect:
+// 50ns per hop, 500ns injection, 2 GB/s links. Absolute values do not
+// matter for the experiments; ratios between models do.
+func DefaultParams() Params {
+	return Params{
+		HopLatency:        50 * time.Nanosecond,
+		InjectionOverhead: 500 * time.Nanosecond,
+		Bandwidth:         2e9,
+	}
+}
+
+// Model computes message latency between localities.
+type Model interface {
+	// Name identifies the model in reports.
+	Name() string
+	// Nodes reports the number of endpoints the model was built for.
+	Nodes() int
+	// Hops reports the switch hops between two endpoints. Hops(i,i) is 0.
+	Hops(src, dst int) int
+	// Latency reports the end-to-end delivery time for a message of the
+	// given payload size. Latency(i,i,·) is 0: local delivery bypasses the
+	// network entirely (the paper's "locality" boundary).
+	Latency(src, dst int, bytes int) time.Duration
+}
+
+// base implements the shared latency arithmetic over a Hops function.
+type base struct {
+	name  string
+	nodes int
+	p     Params
+	hops  func(src, dst int) int
+}
+
+func (b *base) Name() string { return b.name }
+func (b *base) Nodes() int   { return b.nodes }
+func (b *base) Hops(src, dst int) int {
+	b.check(src, dst)
+	if src == dst {
+		return 0
+	}
+	return b.hops(src, dst)
+}
+
+func (b *base) Latency(src, dst int, bytes int) time.Duration {
+	b.check(src, dst)
+	if src == dst {
+		return 0
+	}
+	lat := b.p.InjectionOverhead + time.Duration(b.hops(src, dst))*b.p.HopLatency
+	if b.p.Bandwidth > 0 && bytes > 0 {
+		lat += time.Duration(float64(bytes) / b.p.Bandwidth * float64(time.Second))
+	}
+	return lat
+}
+
+func (b *base) check(src, dst int) {
+	if src < 0 || src >= b.nodes || dst < 0 || dst >= b.nodes {
+		panic(fmt.Sprintf("network: endpoint out of range: src=%d dst=%d nodes=%d", src, dst, b.nodes))
+	}
+}
+
+// NewIdeal returns a zero-latency network: remote delivery costs nothing.
+// It isolates algorithmic effects from communication effects.
+func NewIdeal(nodes int) Model {
+	mustNodes(nodes)
+	return &base{name: "ideal", nodes: nodes, hops: func(int, int) int { return 0 },
+		p: Params{}}
+}
+
+// NewCrossbar returns a full crossbar: every remote pair is exactly two
+// hops (in, out) regardless of placement.
+func NewCrossbar(nodes int, p Params) Model {
+	mustNodes(nodes)
+	return &base{name: "crossbar", nodes: nodes, p: p,
+		hops: func(src, dst int) int { return 2 }}
+}
+
+// Torus2D is a w×h wraparound mesh; locality i sits at (i%w, i/w).
+type Torus2D struct {
+	base
+	w, h int
+}
+
+// NewTorus2D returns a 2-D torus over nodes endpoints arranged in the most
+// square factorization of nodes.
+func NewTorus2D(nodes int, p Params) *Torus2D {
+	mustNodes(nodes)
+	w, h := squarest(nodes)
+	t := &Torus2D{w: w, h: h}
+	t.base = base{name: "torus2d", nodes: nodes, p: p, hops: t.torusHops}
+	return t
+}
+
+// Dims reports the torus dimensions.
+func (t *Torus2D) Dims() (w, h int) { return t.w, t.h }
+
+func (t *Torus2D) torusHops(src, dst int) int {
+	sx, sy := src%t.w, src/t.w
+	dx, dy := dst%t.w, dst/t.w
+	return ringDist(sx, dx, t.w) + ringDist(sy, dy, t.h)
+}
+
+func ringDist(a, b, n int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if n-d < d {
+		d = n - d
+	}
+	return d
+}
+
+// squarest returns the factorization w*h = n with w >= h and w-h minimal.
+func squarest(n int) (w, h int) {
+	h = int(math.Sqrt(float64(n)))
+	for h > 1 && n%h != 0 {
+		h--
+	}
+	return n / h, h
+}
+
+// DataVortex models the hierarchical multi-level deflection network of the
+// Gilgamesh II design point. Packets enter at the top cylinder and descend
+// log2(angles) levels; contention causes deflections that add whole orbits.
+// We model the expected deflection count deterministically from a load
+// factor, keeping runs reproducible:
+//
+//	hops = levels + ceil(levels * deflection/(1-deflection))
+//
+// which captures the qualitative behaviour reported for the Data Vortex:
+// logarithmic diameter with graceful degradation under load.
+type DataVortex struct {
+	base
+	levels     int
+	deflection float64
+}
+
+// NewDataVortex builds a vortex over nodes endpoints with the given steady
+// state deflection probability in [0, 0.9].
+func NewDataVortex(nodes int, p Params, deflection float64) *DataVortex {
+	mustNodes(nodes)
+	if deflection < 0 || deflection > 0.9 {
+		panic(fmt.Sprintf("network: deflection %f out of [0,0.9]", deflection))
+	}
+	levels := bitsFor(nodes)
+	v := &DataVortex{levels: levels, deflection: deflection}
+	v.base = base{name: "datavortex", nodes: nodes, p: p, hops: v.vortexHops}
+	return v
+}
+
+// Levels reports the number of cylinder levels.
+func (v *DataVortex) Levels() int { return v.levels }
+
+func (v *DataVortex) vortexHops(src, dst int) int {
+	extra := 0
+	if v.deflection > 0 {
+		extra = int(math.Ceil(float64(v.levels) * v.deflection / (1 - v.deflection)))
+	}
+	return v.levels + extra
+}
+
+// bitsFor returns ceil(log2(n)) with a minimum of 1.
+func bitsFor(n int) int {
+	b := 1
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+func mustNodes(n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("network: node count %d must be positive", n))
+	}
+}

@@ -1,0 +1,239 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestIdealIsFree(t *testing.T) {
+	m := NewIdeal(8)
+	if m.Latency(0, 7, 1<<20) != 0 {
+		t.Fatal("ideal network charged latency")
+	}
+	if m.Hops(0, 7) != 0 {
+		t.Fatal("ideal network has hops")
+	}
+}
+
+func TestLocalDeliveryIsFree(t *testing.T) {
+	for _, m := range allModels(16) {
+		if m.Latency(5, 5, 4096) != 0 {
+			t.Errorf("%s: local latency nonzero", m.Name())
+		}
+		if m.Hops(5, 5) != 0 {
+			t.Errorf("%s: local hops nonzero", m.Name())
+		}
+	}
+}
+
+func TestCrossbarUniform(t *testing.T) {
+	m := NewCrossbar(16, DefaultParams())
+	ref := m.Latency(0, 1, 64)
+	for d := 2; d < 16; d++ {
+		if m.Latency(0, d, 64) != ref {
+			t.Fatalf("crossbar latency not uniform: dst=%d", d)
+		}
+	}
+	if m.Hops(3, 9) != 2 {
+		t.Fatalf("crossbar hops = %d, want 2", m.Hops(3, 9))
+	}
+}
+
+func TestTorusDims(t *testing.T) {
+	cases := []struct{ n, w, h int }{
+		{16, 4, 4}, {12, 4, 3}, {7, 7, 1}, {64, 8, 8}, {20, 5, 4},
+	}
+	for _, c := range cases {
+		tor := NewTorus2D(c.n, DefaultParams())
+		w, h := tor.Dims()
+		if w != c.w || h != c.h {
+			t.Errorf("n=%d dims=(%d,%d), want (%d,%d)", c.n, w, h, c.w, c.h)
+		}
+	}
+}
+
+func TestTorusNeighborOneHop(t *testing.T) {
+	tor := NewTorus2D(16, DefaultParams()) // 4x4
+	if got := tor.Hops(0, 1); got != 1 {
+		t.Fatalf("adjacent hops = %d", got)
+	}
+	if got := tor.Hops(0, 4); got != 1 {
+		t.Fatalf("vertical neighbor hops = %d", got)
+	}
+	// Wraparound: 0 and 3 on a width-4 ring are 1 apart.
+	if got := tor.Hops(0, 3); got != 1 {
+		t.Fatalf("wraparound hops = %d", got)
+	}
+	// Opposite corner of 4x4 torus: 2+2.
+	if got := tor.Hops(0, 10); got != 4 {
+		t.Fatalf("diagonal hops = %d, want 4", got)
+	}
+}
+
+func TestTorusSymmetry(t *testing.T) {
+	tor := NewTorus2D(24, DefaultParams())
+	for s := 0; s < 24; s++ {
+		for d := 0; d < 24; d++ {
+			if tor.Hops(s, d) != tor.Hops(d, s) {
+				t.Fatalf("asymmetric hops %d<->%d", s, d)
+			}
+		}
+	}
+}
+
+// Property: torus hop distance satisfies the triangle inequality and is
+// bounded by w/2 + h/2.
+func TestPropertyTorusMetric(t *testing.T) {
+	tor := NewTorus2D(36, DefaultParams())
+	w, h := tor.Dims()
+	f := func(a, b, c uint8) bool {
+		x, y, z := int(a)%36, int(b)%36, int(c)%36
+		dxy, dyz, dxz := tor.Hops(x, y), tor.Hops(y, z), tor.Hops(x, z)
+		if dxz > dxy+dyz {
+			return false
+		}
+		return dxy <= w/2+h/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataVortexLevels(t *testing.T) {
+	cases := []struct{ n, levels int }{
+		{2, 1}, {4, 2}, {8, 3}, {9, 4}, {1024, 10},
+	}
+	for _, c := range cases {
+		v := NewDataVortex(c.n, DefaultParams(), 0)
+		if v.Levels() != c.levels {
+			t.Errorf("n=%d levels=%d, want %d", c.n, v.Levels(), c.levels)
+		}
+	}
+}
+
+func TestDataVortexDeflectionAddsHops(t *testing.T) {
+	quiet := NewDataVortex(64, DefaultParams(), 0)
+	loaded := NewDataVortex(64, DefaultParams(), 0.5)
+	if quiet.Hops(0, 1) != 6 {
+		t.Fatalf("quiet vortex hops = %d, want 6", quiet.Hops(0, 1))
+	}
+	if loaded.Hops(0, 1) <= quiet.Hops(0, 1) {
+		t.Fatal("deflection did not add hops")
+	}
+}
+
+func TestDataVortexBadDeflectionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("deflection 0.95 did not panic")
+		}
+	}()
+	NewDataVortex(8, DefaultParams(), 0.95)
+}
+
+func TestBandwidthTerm(t *testing.T) {
+	p := Params{HopLatency: 0, InjectionOverhead: 0, Bandwidth: 1e9}
+	m := NewCrossbar(4, p)
+	// 1000 bytes at 1 GB/s = 1 microsecond.
+	if got := m.Latency(0, 1, 1000); got != time.Microsecond {
+		t.Fatalf("bandwidth term = %v, want 1µs", got)
+	}
+}
+
+func TestLatencyMonotoneInSize(t *testing.T) {
+	for _, m := range []Model{
+		NewCrossbar(8, DefaultParams()),
+		NewTorus2D(8, DefaultParams()),
+		NewDataVortex(8, DefaultParams(), 0.2),
+	} {
+		small := m.Latency(0, 5, 64)
+		big := m.Latency(0, 5, 1<<20)
+		if big <= small {
+			t.Errorf("%s: latency not monotone in size", m.Name())
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := NewCrossbar(4, DefaultParams())
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range endpoint did not panic")
+		}
+	}()
+	m.Latency(0, 4, 1)
+}
+
+func TestZeroNodesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero nodes did not panic")
+		}
+	}()
+	NewIdeal(0)
+}
+
+// Property: the vortex diameter grows logarithmically — doubling nodes adds
+// exactly one level.
+func TestPropertyVortexLogDiameter(t *testing.T) {
+	for n := 2; n <= 1<<16; n *= 2 {
+		v := NewDataVortex(n, DefaultParams(), 0)
+		v2 := NewDataVortex(2*n, DefaultParams(), 0)
+		if v2.Levels() != v.Levels()+1 {
+			t.Fatalf("levels(%d)=%d levels(%d)=%d", n, v.Levels(), 2*n, v2.Levels())
+		}
+	}
+}
+
+func allModels(n int) []Model {
+	return []Model{
+		NewIdeal(n),
+		NewCrossbar(n, DefaultParams()),
+		NewTorus2D(n, DefaultParams()),
+		NewDataVortex(n, DefaultParams(), 0.1),
+	}
+}
+
+func TestFatTreeHops(t *testing.T) {
+	ft := NewFatTree(16, 4, DefaultParams())
+	// Same quad: common ancestor at level 1 -> 2 hops.
+	if got := ft.Hops(0, 3); got != 2 {
+		t.Fatalf("same-quad hops = %d, want 2", got)
+	}
+	// Different quads: ancestor at level 2 -> 4 hops.
+	if got := ft.Hops(0, 5); got != 4 {
+		t.Fatalf("cross-quad hops = %d, want 4", got)
+	}
+	if ft.Hops(7, 7) != 0 {
+		t.Fatal("self hops nonzero")
+	}
+	if ft.Arity() != 4 || ft.Levels() != 2 {
+		t.Fatalf("arity=%d levels=%d", ft.Arity(), ft.Levels())
+	}
+}
+
+func TestFatTreeSymmetricAndBounded(t *testing.T) {
+	ft := NewFatTree(27, 3, DefaultParams())
+	maxHops := 2 * ft.Levels()
+	for s := 0; s < 27; s++ {
+		for d := 0; d < 27; d++ {
+			h := ft.Hops(s, d)
+			if h != ft.Hops(d, s) {
+				t.Fatalf("asymmetric %d<->%d", s, d)
+			}
+			if h > maxHops {
+				t.Fatalf("hops %d exceed diameter %d", h, maxHops)
+			}
+		}
+	}
+}
+
+func TestFatTreeBadArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("arity 1 did not panic")
+		}
+	}()
+	NewFatTree(8, 1, DefaultParams())
+}

@@ -1,0 +1,78 @@
+package parcel
+
+import (
+	"fmt"
+
+	"repro/internal/agas"
+)
+
+// EncodeAny encodes a single dynamically-typed value using the argument
+// codec. It supports the codec's value set: nil, bool, int/int64, uint64,
+// float64, string, []byte, []float64, []int64, and agas.GID. Action results
+// travel through this when forwarded to a continuation.
+func EncodeAny(v any) ([]byte, error) {
+	a := NewArgs()
+	switch x := v.(type) {
+	case nil:
+		return a.Bool(false).Encode(), nil // nil travels as a false bool sentinel record
+	case bool:
+		return a.Bool(x).Encode(), nil
+	case int:
+		return a.Int64(int64(x)).Encode(), nil
+	case int64:
+		return a.Int64(x).Encode(), nil
+	case uint64:
+		return a.Uint64(x).Encode(), nil
+	case float64:
+		return a.Float64(x).Encode(), nil
+	case string:
+		return a.String(x).Encode(), nil
+	case []byte:
+		return a.Bytes(x).Encode(), nil
+	case []float64:
+		return a.Float64s(x).Encode(), nil
+	case []int64:
+		return a.Int64s(x).Encode(), nil
+	case agas.GID:
+		return a.GID(x).Encode(), nil
+	default:
+		return nil, fmt.Errorf("parcel: cannot encode %T as parcel value", v)
+	}
+}
+
+// DecodeAny decodes a value produced by EncodeAny by dispatching on the
+// leading type tag. Integers come back as int64 and byte/float/int vectors
+// as their slice types.
+func DecodeAny(buf []byte) (any, error) {
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("parcel: empty value record")
+	}
+	r := NewReader(buf)
+	var v any
+	switch buf[0] {
+	case tagBool:
+		v = r.Bool()
+	case tagInt64:
+		v = r.Int64()
+	case tagUint64:
+		v = r.Uint64()
+	case tagFloat64:
+		v = r.Float64()
+	case tagString:
+		v = r.String()
+	case tagBytes:
+		v = r.Bytes()
+	case tagFloat64s:
+		v = r.Float64s()
+	case tagInt64s:
+		v = r.Int64s()
+	case tagGID:
+		v = r.GID()
+	default:
+		return nil, fmt.Errorf("parcel: unknown value tag %d", buf[0])
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}

@@ -1,0 +1,171 @@
+// Package parcel implements the ParalleX parcel: the message-driven unit of
+// work movement. A parcel names a destination object (by GID), an action to
+// apply to it, argument values, and — the feature distinguishing parcels
+// from plain active messages — a continuation specifier describing what
+// happens after the action completes. Continuations let the locus of
+// control migrate across the machine instead of returning to the sender.
+package parcel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/agas"
+)
+
+// Continuation names an LCO (or other object) to be triggered with the
+// action's result, and the action to apply there. A chain of continuations
+// forms a migrating locus of control.
+type Continuation struct {
+	Target agas.GID
+	Action string
+}
+
+// Parcel is one message-driven task descriptor.
+type Parcel struct {
+	// ID is unique within a runtime, for tracing and deduplication.
+	ID uint64
+	// Dest is the global name of the target object. The runtime routes the
+	// parcel to the locality currently owning Dest.
+	Dest agas.GID
+	// Action is the registered action name to invoke on the target.
+	Action string
+	// Args is the encoded argument record (see Args/Reader).
+	Args []byte
+	// Cont is the continuation stack; element 0 is applied first.
+	Cont []Continuation
+	// Src is the sending locality, for accounting.
+	Src int
+	// Hops counts owner-forwarding retries (stale AGAS caches).
+	Hops int
+}
+
+var idCounter atomic.Uint64
+
+// NextID mints a process-unique parcel ID.
+func NextID() uint64 { return idCounter.Add(1) }
+
+// New builds a parcel with a fresh ID.
+func New(dest agas.GID, action string, args []byte, cont ...Continuation) *Parcel {
+	return &Parcel{ID: NextID(), Dest: dest, Action: action, Args: args, Cont: cont}
+}
+
+// PushContinuation prepends c so it runs before existing continuations.
+func (p *Parcel) PushContinuation(c Continuation) {
+	p.Cont = append([]Continuation{c}, p.Cont...)
+}
+
+// PopContinuation removes and returns the first continuation; ok is false
+// when none remain.
+func (p *Parcel) PopContinuation() (Continuation, bool) {
+	if len(p.Cont) == 0 {
+		return Continuation{}, false
+	}
+	c := p.Cont[0]
+	p.Cont = p.Cont[1:]
+	return c, true
+}
+
+// String renders the parcel for logs.
+func (p *Parcel) String() string {
+	return fmt.Sprintf("parcel#%d %s->%v args=%dB cont=%d", p.ID, p.Action, p.Dest, len(p.Args), len(p.Cont))
+}
+
+// Wire format:
+//
+//	u64 id | gid dest | str action | u32 nargs bytes | args |
+//	u16 ncont | ncont × (gid target, str action) | u32 src | u32 hops
+//
+// Strings are u16 length-prefixed UTF-8. All integers little-endian.
+
+// Encode appends the wire form of p to dst.
+func (p *Parcel) Encode(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, p.ID)
+	dst = p.Dest.Encode(dst)
+	dst = appendString(dst, p.Action)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(p.Args)))
+	dst = append(dst, p.Args...)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(p.Cont)))
+	for _, c := range p.Cont {
+		dst = c.Target.Encode(dst)
+		dst = appendString(dst, c.Action)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(p.Src))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(p.Hops))
+	return dst
+}
+
+// Decode parses a parcel from the front of src, returning the remainder.
+func Decode(src []byte) (*Parcel, []byte, error) {
+	p := &Parcel{}
+	if len(src) < 8 {
+		return nil, src, fmt.Errorf("parcel: short ID")
+	}
+	p.ID = binary.LittleEndian.Uint64(src)
+	src = src[8:]
+	var err error
+	p.Dest, src, err = agas.DecodeGID(src)
+	if err != nil {
+		return nil, src, fmt.Errorf("parcel: dest: %w", err)
+	}
+	p.Action, src, err = readString(src)
+	if err != nil {
+		return nil, src, fmt.Errorf("parcel: action: %w", err)
+	}
+	if len(src) < 4 {
+		return nil, src, fmt.Errorf("parcel: short args length")
+	}
+	argLen := int(binary.LittleEndian.Uint32(src))
+	src = src[4:]
+	if len(src) < argLen {
+		return nil, src, fmt.Errorf("parcel: args truncated: want %d have %d", argLen, len(src))
+	}
+	if argLen > 0 {
+		p.Args = append([]byte(nil), src[:argLen]...)
+	}
+	src = src[argLen:]
+	if len(src) < 2 {
+		return nil, src, fmt.Errorf("parcel: short continuation count")
+	}
+	ncont := int(binary.LittleEndian.Uint16(src))
+	src = src[2:]
+	for i := 0; i < ncont; i++ {
+		var c Continuation
+		c.Target, src, err = agas.DecodeGID(src)
+		if err != nil {
+			return nil, src, fmt.Errorf("parcel: cont %d target: %w", i, err)
+		}
+		c.Action, src, err = readString(src)
+		if err != nil {
+			return nil, src, fmt.Errorf("parcel: cont %d action: %w", i, err)
+		}
+		p.Cont = append(p.Cont, c)
+	}
+	if len(src) < 8 {
+		return nil, src, fmt.Errorf("parcel: short trailer")
+	}
+	p.Src = int(binary.LittleEndian.Uint32(src))
+	p.Hops = int(binary.LittleEndian.Uint32(src[4:]))
+	return p, src[8:], nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	if len(s) > 1<<16-1 {
+		panic(fmt.Sprintf("parcel: string too long: %d", len(s)))
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+func readString(src []byte) (string, []byte, error) {
+	if len(src) < 2 {
+		return "", src, fmt.Errorf("short string length")
+	}
+	n := int(binary.LittleEndian.Uint16(src))
+	src = src[2:]
+	if len(src) < n {
+		return "", src, fmt.Errorf("string truncated: want %d have %d", n, len(src))
+	}
+	return string(src[:n]), src[n:], nil
+}

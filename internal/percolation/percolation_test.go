@@ -1,0 +1,134 @@
+package percolation
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/agas"
+	"repro/internal/core"
+	"repro/internal/network"
+)
+
+// testMachine builds a runtime whose remote fetches cost ~latency, with
+// data objects spread over the non-resource localities.
+func testMachine(t *testing.T, latency time.Duration, nData int) (*core.Runtime, []Task) {
+	t.Helper()
+	net := network.NewCrossbar(4, network.Params{InjectionOverhead: latency})
+	rt := core.New(core.Config{Localities: 4, WorkersPerLocality: 4, Net: net})
+	t.Cleanup(rt.Shutdown)
+	RegisterActions(rt)
+	tasks := make([]Task, nData)
+	for i := range tasks {
+		data := make([]float64, 64)
+		for j := range data {
+			data[j] = float64(i + j)
+		}
+		gid := rt.NewDataAt(1+i%3, data)
+		tasks[i] = Task{Data: gid, Compute: func(v any) any {
+			s := 0.0
+			for _, x := range v.([]float64) {
+				s += x
+			}
+			// Simulated kernel time comparable to the fetch latency.
+			time.Sleep(latency)
+			return s
+		}}
+	}
+	return rt, tasks
+}
+
+func TestDemandFetchCompletesAllTasks(t *testing.T) {
+	rt, tasks := testMachine(t, 200*time.Microsecond, 8)
+	p := New(rt, 0, 0)
+	st, err := p.RunDemandFetch(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tasks != 8 {
+		t.Fatalf("completed %d tasks", st.Tasks)
+	}
+	if st.StallTime == 0 {
+		t.Fatal("demand fetch shows no stall despite network latency")
+	}
+}
+
+func TestPercolationCompletesAllTasks(t *testing.T) {
+	rt, tasks := testMachine(t, 200*time.Microsecond, 8)
+	p := New(rt, 0, 2)
+	st, err := p.Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tasks != 8 {
+		t.Fatalf("completed %d tasks", st.Tasks)
+	}
+}
+
+func TestPercolationBeatsDemandFetch(t *testing.T) {
+	const lat = 500 * time.Microsecond
+	rtA, tasksA := testMachine(t, lat, 12)
+	demand, err := New(rtA, 0, 0).RunDemandFetch(tasksA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtB, tasksB := testMachine(t, lat, 12)
+	perc, err := New(rtB, 0, 3).Run(tasksB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With kernel time ~ latency, percolation should roughly halve the
+	// makespan; require at least a 25% win to keep the test robust.
+	if float64(perc.Elapsed) > 0.75*float64(demand.Elapsed) {
+		t.Fatalf("percolation %v not faster than demand %v", perc.Elapsed, demand.Elapsed)
+	}
+	if perc.Utilization() <= demand.Utilization() {
+		t.Fatalf("percolation util %.2f <= demand util %.2f",
+			perc.Utilization(), demand.Utilization())
+	}
+}
+
+func TestDepthZeroEqualsDemandFetch(t *testing.T) {
+	rt, tasks := testMachine(t, 100*time.Microsecond, 4)
+	st, err := New(rt, 0, 0).Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tasks != 4 {
+		t.Fatalf("completed %d", st.Tasks)
+	}
+}
+
+func TestFetchErrorPropagates(t *testing.T) {
+	rt, _ := testMachine(t, time.Microsecond, 1)
+	bad := Task{
+		Data:    agas.GID{Home: 1, Kind: agas.KindData, Seq: 999999},
+		Compute: func(v any) any { return nil },
+	}
+	if _, err := New(rt, 0, 1).Run([]Task{bad}); err == nil {
+		t.Fatal("unknown data GID did not error")
+	}
+}
+
+func TestNegativeDepthPanics(t *testing.T) {
+	rt, _ := testMachine(t, time.Microsecond, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative depth did not panic")
+		}
+	}()
+	New(rt, 0, -1)
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	var s Stats
+	if s.Utilization() != 0 {
+		t.Fatal("zero stats utilization nonzero")
+	}
+	s = Stats{Elapsed: time.Second, ComputeBusy: 2 * time.Second}
+	if s.Utilization() != 1 {
+		t.Fatal("utilization not clamped to 1")
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}

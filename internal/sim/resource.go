@@ -1,0 +1,109 @@
+package sim
+
+// Resource models a server with fixed capacity and a FIFO queue, the basic
+// building block for modelling execution units (MIND nodes, the dataflow
+// accelerator, network links) in the architecture study. Jobs acquire a
+// slot, hold it for a service time, and release it; contention (the W in
+// SLOW) shows up as queueing delay, which the resource tracks.
+type Resource struct {
+	eng      *Engine
+	name     string
+	capacity int
+	inUse    int
+	queue    []*job
+
+	// statistics
+	served      uint64
+	busyTicks   Time
+	waitTicks   Time
+	lastChange  Time
+	maxQueueLen int
+}
+
+type job struct {
+	enq     Time
+	service Time
+	done    func()
+}
+
+// NewResource creates a resource with the given concurrent capacity.
+// Capacity must be positive.
+func NewResource(eng *Engine, name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{eng: eng, name: name, capacity: capacity}
+}
+
+// Name returns the resource's name.
+func (r *Resource) Name() string { return r.name }
+
+// Submit enqueues a job needing the given service time; done (may be nil)
+// runs when service completes. Jobs are served FIFO as capacity frees up.
+func (r *Resource) Submit(service Time, done func()) {
+	if service < 0 {
+		panic("sim: negative service time")
+	}
+	j := &job{enq: r.eng.Now(), service: service, done: done}
+	r.queue = append(r.queue, j)
+	if len(r.queue) > r.maxQueueLen {
+		r.maxQueueLen = len(r.queue)
+	}
+	r.dispatch()
+}
+
+func (r *Resource) dispatch() {
+	for r.inUse < r.capacity && len(r.queue) > 0 {
+		j := r.queue[0]
+		r.queue = r.queue[1:]
+		r.accountBusy()
+		r.inUse++
+		r.waitTicks += r.eng.Now() - j.enq
+		r.eng.After(j.service, func() {
+			r.accountBusy()
+			r.inUse--
+			r.served++
+			if j.done != nil {
+				j.done()
+			}
+			r.dispatch()
+		})
+	}
+}
+
+func (r *Resource) accountBusy() {
+	now := r.eng.Now()
+	r.busyTicks += Time(r.inUse) * (now - r.lastChange)
+	r.lastChange = now
+}
+
+// Served reports the number of completed jobs.
+func (r *Resource) Served() uint64 { return r.served }
+
+// QueueLen reports the current number of waiting jobs.
+func (r *Resource) QueueLen() int { return r.queue2len() }
+
+func (r *Resource) queue2len() int { return len(r.queue) }
+
+// MaxQueueLen reports the high-water mark of the wait queue.
+func (r *Resource) MaxQueueLen() int { return r.maxQueueLen }
+
+// Utilization reports the time-averaged fraction of capacity in use since
+// the simulation began, in [0,1].
+func (r *Resource) Utilization() float64 {
+	r.accountBusy()
+	total := Time(r.capacity) * r.eng.Now()
+	if total == 0 {
+		return 0
+	}
+	return float64(r.busyTicks) / float64(total)
+}
+
+// MeanWait reports the mean ticks jobs spent queued before service.
+func (r *Resource) MeanWait() float64 {
+	if r.served == 0 && r.inUse == 0 {
+		return 0
+	}
+	n := r.served + uint64(r.inUse)
+	return float64(r.waitTicks) / float64(n)
+}

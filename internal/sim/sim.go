@@ -1,0 +1,174 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// used by the virtual-time experiments (the Gilgamesh II architecture
+// study and the percolation experiment E7). Events execute in strict
+// timestamp order; ties are broken by scheduling order, which makes every
+// run reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual time measured in ticks. The meaning of a tick is chosen
+// by the model (the Gilgamesh model uses one tick = one clock cycle).
+type Time int64
+
+// Infinity is a sentinel time later than any schedulable event.
+const Infinity Time = 1<<63 - 1
+
+// Handler is a callback executed when an event fires.
+type Handler func()
+
+type event struct {
+	at   Time
+	seq  uint64
+	fn   Handler
+	dead bool
+	idx  int
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; models built on it run entirely inside event handlers.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	running bool
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports the number of scheduled, uncancelled events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it would violate causality and always indicates a model bug.
+func (e *Engine) At(t Time, fn Handler) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return EventID{ev}
+}
+
+// After schedules fn to run d ticks from now. Negative delays panic.
+func (e *Engine) After(d Time, fn Handler) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an event that
+// has already fired (or was already cancelled) is a no-op and reports false.
+func (e *Engine) Cancel(id EventID) bool {
+	if id.ev == nil || id.ev.dead || id.ev.idx < 0 {
+		return false
+	}
+	id.ev.dead = true
+	return true
+}
+
+// Stop makes Run return after the current event handler completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until no events remain or Stop is
+// called. It returns the final virtual time.
+func (e *Engine) Run() Time {
+	return e.RunUntil(Infinity)
+}
+
+// RunUntil executes events with timestamps <= limit. The clock is left at
+// the time of the last executed event (or limit if it advanced past events).
+func (e *Engine) RunUntil(limit Time) Time {
+	if e.running {
+		panic("sim: Run called reentrantly")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+	for len(e.events) > 0 && !e.stopped {
+		ev := e.events[0]
+		if ev.at > limit {
+			break
+		}
+		heap.Pop(&e.events)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+	}
+	return e.now
+}
+
+// Step executes exactly one event (skipping cancelled ones) and reports
+// whether an event was executed.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}

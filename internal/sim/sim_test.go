@@ -1,0 +1,374 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("new engine at %d, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("new engine has %d pending events", e.Pending())
+	}
+}
+
+func TestEventsFireInTimestampOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, at := range []Time{30, 10, 20, 10, 5} {
+		at := at
+		e.At(at, func() { got = append(got, at) })
+	}
+	e.Run()
+	want := []Time{5, 10, 10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(7, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestAfterAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.After(100, func() {
+		e.After(50, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 150 {
+		t.Fatalf("nested After fired at %d, want 150", at)
+	}
+	if e.Now() != 150 {
+		t.Fatalf("clock at %d, want 150", e.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	id := e.At(10, func() { fired = true })
+	if !e.Cancel(id) {
+		t.Fatal("Cancel reported false for live event")
+	}
+	if e.Cancel(id) {
+		t.Fatal("second Cancel reported true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", count)
+	}
+	// Run can resume afterwards.
+	e.Run()
+	if count != 10 {
+		t.Fatalf("resume ran to %d events, want 10", count)
+	}
+}
+
+func TestRunUntilRespectsLimit(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(12)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(12) fired %v", fired)
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("resumed run fired %v", fired)
+	}
+}
+
+func TestStepExecutesOneEvent(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.At(1, func() { n++ })
+	e.At(2, func() { n++ })
+	if !e.Step() || n != 1 {
+		t.Fatalf("first Step: n=%d", n)
+	}
+	if !e.Step() || n != 2 {
+		t.Fatalf("second Step: n=%d", n)
+	}
+	if e.Step() {
+		t.Fatal("Step on empty engine returned true")
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.At(Time(i), func() {})
+	}
+	id := e.At(99, func() {})
+	e.Cancel(id)
+	e.Run()
+	if e.Fired() != 5 {
+		t.Fatalf("Fired() = %d, want 5", e.Fired())
+	}
+}
+
+// Property: for any multiset of timestamps, execution order is the sorted
+// order of the timestamps.
+func TestPropertyExecutionIsSorted(t *testing.T) {
+	f := func(stamps []uint16) bool {
+		e := NewEngine()
+		var got []Time
+		for _, s := range stamps {
+			at := Time(s)
+			e.At(at, func() { got = append(got, at) })
+		}
+		e.Run()
+		want := make([]Time, len(stamps))
+		for i, s := range stamps {
+			want[i] = Time(s)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceServesFIFO(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "alu", 1)
+	var order []int
+	var times []Time
+	for i := 0; i < 3; i++ {
+		i := i
+		r.Submit(10, func() {
+			order = append(order, i)
+			times = append(times, e.Now())
+		})
+	}
+	e.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("service order %v", order)
+	}
+	want := []Time{10, 20, 30}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("completion times %v, want %v", times, want)
+		}
+	}
+}
+
+func TestResourceCapacityParallelism(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "alu", 4)
+	done := 0
+	for i := 0; i < 4; i++ {
+		r.Submit(10, func() { done++ })
+	}
+	end := e.Run()
+	if end != 10 {
+		t.Fatalf("4 jobs on capacity-4 resource finished at %d, want 10", end)
+	}
+	if done != 4 {
+		t.Fatalf("done=%d", done)
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "alu", 2)
+	r.Submit(10, nil)
+	// Pad simulation to t=20 with an idle marker event.
+	e.At(20, func() {})
+	e.Run()
+	// One slot busy for 10 ticks out of 2 slots * 20 ticks = 0.25.
+	if u := r.Utilization(); u < 0.24 || u > 0.26 {
+		t.Fatalf("utilization %f, want 0.25", u)
+	}
+}
+
+func TestResourceMeanWait(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "alu", 1)
+	for i := 0; i < 3; i++ {
+		r.Submit(10, nil)
+	}
+	e.Run()
+	// Waits are 0, 10, 20 -> mean 10.
+	if w := r.MeanWait(); w != 10 {
+		t.Fatalf("mean wait %f, want 10", w)
+	}
+	if r.Served() != 3 {
+		t.Fatalf("served %d, want 3", r.Served())
+	}
+	// The first job enters service immediately, so at most two jobs wait.
+	if r.MaxQueueLen() != 2 {
+		t.Fatalf("max queue len %d, want 2", r.MaxQueueLen())
+	}
+}
+
+func TestResourceZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero capacity did not panic")
+		}
+	}()
+	NewResource(NewEngine(), "bad", 0)
+}
+
+// Property: with capacity c and n identical jobs of length L, the makespan
+// is ceil(n/c)*L.
+func TestPropertyResourceMakespan(t *testing.T) {
+	f := func(n8, c8, l8 uint8) bool {
+		n := int(n8%50) + 1
+		c := int(c8%8) + 1
+		l := Time(l8%100) + 1
+		e := NewEngine()
+		r := NewResource(e, "r", c)
+		for i := 0; i < n; i++ {
+			r.Submit(l, nil)
+		}
+		end := e.Run()
+		waves := Time((n + c - 1) / c)
+		return end == waves*l
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyRandomEventsTerminate(t *testing.T) {
+	e := NewEngine()
+	rng := rand.New(rand.NewSource(42))
+	remaining := 5000
+	var spawn func()
+	spawn = func() {
+		if remaining == 0 {
+			return
+		}
+		remaining--
+		e.After(Time(rng.Intn(100)), spawn)
+	}
+	for i := 0; i < 10; i++ {
+		spawn()
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("%d events still pending", e.Pending())
+	}
+}
+
+func TestCancelFromWithinHandler(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	id := e.At(10, func() { fired = true })
+	e.At(5, func() {
+		if !e.Cancel(id) {
+			t.Error("in-handler cancel failed")
+		}
+	})
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired anyway")
+	}
+}
+
+func TestRunUntilBeforeFirstEvent(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(100, func() { fired = true })
+	e.RunUntil(50)
+	if fired {
+		t.Fatal("event beyond limit fired")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+}
+
+func TestSelfRescheduling(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			e.After(10, tick)
+		}
+	}
+	e.After(10, tick)
+	end := e.Run()
+	if count != 5 || end != 50 {
+		t.Fatalf("count=%d end=%d", count, end)
+	}
+}

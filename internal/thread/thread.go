@@ -1,0 +1,142 @@
+// Package thread tracks ParalleX thread identities and life cycles. In this
+// runtime a thread's execution vehicle is a goroutine, but the model-level
+// facts — threads are ephemeral, serve a single locality, may suspend into
+// an LCO, or terminate into a parcel — are recorded here so tests and
+// experiments can observe them.
+package thread
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// State is a thread's life-cycle state.
+type State int32
+
+// Thread states. Legal transitions are Pending→Running,
+// Running→Suspended→Running, and Running→Terminated.
+const (
+	Pending State = iota
+	Running
+	Suspended
+	Terminated
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Running:
+		return "running"
+	case Suspended:
+		return "suspended"
+	case Terminated:
+		return "terminated"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// Thread is one ephemeral thread identity.
+type Thread struct {
+	id    uint64
+	home  int
+	state atomic.Int32
+	reg   *Registry
+}
+
+// ID reports the thread's unique id.
+func (t *Thread) ID() uint64 { return t.id }
+
+// Home reports the locality the thread serves. A ParalleX thread never
+// migrates; work moves by terminating into a parcel instead.
+func (t *Thread) Home() int { return t.home }
+
+// State reports the current life-cycle state.
+func (t *Thread) State() State { return State(t.state.Load()) }
+
+func (t *Thread) transition(from, to State) error {
+	if t.state.CompareAndSwap(int32(from), int32(to)) {
+		return nil
+	}
+	return fmt.Errorf("thread %d: illegal transition %v->%v (state %v)", t.id, from, to, t.State())
+}
+
+// Start moves Pending→Running.
+func (t *Thread) Start() error {
+	if err := t.transition(Pending, Running); err != nil {
+		return err
+	}
+	t.reg.live.Add(1)
+	t.reg.notePeak()
+	return nil
+}
+
+// Suspend moves Running→Suspended; the thread's continuation now lives in
+// an LCO (a depleted thread).
+func (t *Thread) Suspend() error {
+	if err := t.transition(Running, Suspended); err != nil {
+		return err
+	}
+	t.reg.suspensions.Add(1)
+	return nil
+}
+
+// Resume moves Suspended→Running.
+func (t *Thread) Resume() error {
+	return t.transition(Suspended, Running)
+}
+
+// Terminate moves Running→Terminated. Ephemerality: a terminated thread is
+// gone; any follow-on work travels as a parcel.
+func (t *Thread) Terminate() error {
+	if err := t.transition(Running, Terminated); err != nil {
+		return err
+	}
+	t.reg.live.Add(-1)
+	t.reg.terminated.Add(1)
+	return nil
+}
+
+// Registry mints thread identities and aggregates life-cycle statistics.
+type Registry struct {
+	counter     atomic.Uint64
+	live        atomic.Int64
+	peak        atomic.Int64
+	suspensions atomic.Uint64
+	terminated  atomic.Uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// New mints a Pending thread homed at the given locality.
+func (r *Registry) New(home int) *Thread {
+	return &Thread{id: r.counter.Add(1), home: home, reg: r}
+}
+
+func (r *Registry) notePeak() {
+	for {
+		live := r.live.Load()
+		peak := r.peak.Load()
+		if live <= peak || r.peak.CompareAndSwap(peak, live) {
+			return
+		}
+	}
+}
+
+// Spawned reports total threads minted.
+func (r *Registry) Spawned() uint64 { return r.counter.Load() }
+
+// Live reports currently running or suspended threads.
+func (r *Registry) Live() int64 { return r.live.Load() }
+
+// Peak reports the maximum simultaneous live threads observed.
+func (r *Registry) Peak() int64 { return r.peak.Load() }
+
+// Suspensions reports total suspension events.
+func (r *Registry) Suspensions() uint64 { return r.suspensions.Load() }
+
+// Terminated reports completed threads.
+func (r *Registry) Terminated() uint64 { return r.terminated.Load() }

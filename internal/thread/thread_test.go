@@ -1,0 +1,118 @@
+package thread
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLifecycle(t *testing.T) {
+	r := NewRegistry()
+	th := r.New(3)
+	if th.Home() != 3 {
+		t.Fatalf("home = %d", th.Home())
+	}
+	if th.State() != Pending {
+		t.Fatalf("state = %v", th.State())
+	}
+	if err := th.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Suspend(); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Terminate(); err != nil {
+		t.Fatal(err)
+	}
+	if th.State() != Terminated {
+		t.Fatalf("final state = %v", th.State())
+	}
+}
+
+func TestIllegalTransitions(t *testing.T) {
+	r := NewRegistry()
+	th := r.New(0)
+	if err := th.Suspend(); err == nil {
+		t.Fatal("suspend of pending thread allowed")
+	}
+	if err := th.Terminate(); err == nil {
+		t.Fatal("terminate of pending thread allowed")
+	}
+	th.Start()
+	if err := th.Start(); err == nil {
+		t.Fatal("double start allowed")
+	}
+	if err := th.Resume(); err == nil {
+		t.Fatal("resume of running thread allowed")
+	}
+	th.Terminate()
+	if err := th.Suspend(); err == nil {
+		t.Fatal("suspend after terminate allowed")
+	}
+}
+
+func TestRegistryCounts(t *testing.T) {
+	r := NewRegistry()
+	a, b := r.New(0), r.New(1)
+	a.Start()
+	b.Start()
+	if r.Live() != 2 || r.Peak() != 2 {
+		t.Fatalf("live=%d peak=%d", r.Live(), r.Peak())
+	}
+	a.Suspend()
+	if r.Suspensions() != 1 {
+		t.Fatalf("suspensions = %d", r.Suspensions())
+	}
+	a.Resume()
+	a.Terminate()
+	if r.Live() != 1 || r.Terminated() != 1 {
+		t.Fatalf("live=%d terminated=%d", r.Live(), r.Terminated())
+	}
+	b.Terminate()
+	if r.Live() != 0 || r.Peak() != 2 || r.Spawned() != 2 {
+		t.Fatalf("final live=%d peak=%d spawned=%d", r.Live(), r.Peak(), r.Spawned())
+	}
+}
+
+func TestUniqueIDsConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var mu sync.Mutex
+	seen := make(map[uint64]bool)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				th := r.New(0)
+				mu.Lock()
+				if seen[th.ID()] {
+					t.Errorf("duplicate thread id %d", th.ID())
+					mu.Unlock()
+					return
+				}
+				seen[th.ID()] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Spawned() != 4000 {
+		t.Fatalf("spawned = %d", r.Spawned())
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		Pending: "pending", Running: "running", Suspended: "suspended", Terminated: "terminated",
+	} {
+		if s.String() != want {
+			t.Errorf("%v != %s", s, want)
+		}
+	}
+	if State(42).String() == "" {
+		t.Error("unknown state renders empty")
+	}
+}

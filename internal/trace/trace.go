@@ -1,0 +1,162 @@
+// Package trace records bounded, low-overhead event traces of runtime
+// activity (parcel sends, thread lifecycle, LCO triggers). Traces are kept
+// in a fixed-size ring so tracing can stay enabled during benchmarks, and
+// can be dumped for debugging scheduling pathologies.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind classifies a trace event.
+type Kind uint8
+
+// Event kinds emitted by the runtime.
+const (
+	KindParcelSend Kind = iota
+	KindParcelRecv
+	KindThreadStart
+	KindThreadEnd
+	KindThreadSuspend
+	KindThreadResume
+	KindLCOTrigger
+	KindMigration
+	KindPercolate
+	KindEchoUpdate
+	KindUser
+)
+
+var kindNames = [...]string{
+	"parcel.send", "parcel.recv", "thread.start", "thread.end",
+	"thread.suspend", "thread.resume", "lco.trigger", "migration",
+	"percolate", "echo.update", "user",
+}
+
+// String returns the event kind's name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one trace record.
+type Event struct {
+	When     time.Time
+	Kind     Kind
+	Locality int
+	Detail   string
+}
+
+// Ring is a fixed-capacity concurrent trace buffer. The zero value is
+// unusable; create one with NewRing.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	wrapped bool
+	dropped uint64
+	enabled bool
+}
+
+// NewRing returns a ring holding up to capacity events, enabled.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Ring{buf: make([]Event, capacity), enabled: true}
+}
+
+// SetEnabled turns recording on or off.
+func (r *Ring) SetEnabled(on bool) {
+	r.mu.Lock()
+	r.enabled = on
+	r.mu.Unlock()
+}
+
+// Emit records an event if tracing is enabled.
+func (r *Ring) Emit(kind Kind, locality int, detail string) {
+	r.mu.Lock()
+	if !r.enabled {
+		r.mu.Unlock()
+		return
+	}
+	if r.wrapped {
+		r.dropped++
+	}
+	r.buf[r.next] = Event{When: time.Now(), Kind: kind, Locality: locality, Detail: detail}
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapped = true
+	}
+	r.mu.Unlock()
+}
+
+// Emitf records a formatted event if tracing is enabled.
+func (r *Ring) Emitf(kind Kind, locality int, format string, args ...any) {
+	r.mu.Lock()
+	on := r.enabled
+	r.mu.Unlock()
+	if !on {
+		return
+	}
+	r.Emit(kind, locality, fmt.Sprintf(format, args...))
+}
+
+// Len reports the number of retained events.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.wrapped {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Dropped reports how many events were overwritten after the ring filled.
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Snapshot returns retained events in chronological order.
+func (r *Ring) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrapped {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dump renders retained events, one per line.
+func (r *Ring) Dump() string {
+	events := r.Snapshot()
+	var b strings.Builder
+	for _, ev := range events {
+		fmt.Fprintf(&b, "%s L%d %s %s\n",
+			ev.When.Format("15:04:05.000000"), ev.Locality, ev.Kind, ev.Detail)
+	}
+	return b.String()
+}
+
+// CountKind reports how many retained events have the given kind.
+func (r *Ring) CountKind(kind Kind) int {
+	n := 0
+	for _, ev := range r.Snapshot() {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

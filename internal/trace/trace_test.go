@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRingRecordsInOrder(t *testing.T) {
+	r := NewRing(10)
+	for i := 0; i < 5; i++ {
+		r.Emit(KindUser, i, fmt.Sprintf("e%d", i))
+	}
+	got := r.Snapshot()
+	if len(got) != 5 {
+		t.Fatalf("len = %d, want 5", len(got))
+	}
+	for i, ev := range got {
+		if ev.Detail != fmt.Sprintf("e%d", i) {
+			t.Fatalf("event %d = %q", i, ev.Detail)
+		}
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(KindUser, 0, fmt.Sprintf("e%d", i))
+	}
+	got := r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("len = %d, want 4", len(got))
+	}
+	want := []string{"e6", "e7", "e8", "e9"}
+	for i := range want {
+		if got[i].Detail != want[i] {
+			t.Fatalf("wrapped snapshot %v", got)
+		}
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", r.Dropped())
+	}
+}
+
+func TestRingDisable(t *testing.T) {
+	r := NewRing(4)
+	r.SetEnabled(false)
+	r.Emit(KindUser, 0, "hidden")
+	r.Emitf(KindUser, 0, "hidden %d", 1)
+	if r.Len() != 0 {
+		t.Fatalf("disabled ring recorded %d events", r.Len())
+	}
+	r.SetEnabled(true)
+	r.Emit(KindUser, 0, "visible")
+	if r.Len() != 1 {
+		t.Fatalf("re-enabled ring has %d events", r.Len())
+	}
+}
+
+func TestRingConcurrentEmit(t *testing.T) {
+	r := NewRing(1 << 14)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Emit(KindParcelSend, 1, "x")
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("len = %d, want 800", r.Len())
+	}
+	if r.CountKind(KindParcelSend) != 800 {
+		t.Fatalf("CountKind = %d", r.CountKind(KindParcelSend))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindParcelSend.String() != "parcel.send" {
+		t.Fatalf("KindParcelSend = %q", KindParcelSend.String())
+	}
+	if !strings.HasPrefix(Kind(200).String(), "kind(") {
+		t.Fatalf("unknown kind = %q", Kind(200).String())
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	r := NewRing(8)
+	r.Emit(KindThreadStart, 3, "tid=9")
+	out := r.Dump()
+	if !strings.Contains(out, "L3 thread.start tid=9") {
+		t.Fatalf("dump = %q", out)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 2000; i++ {
+		r.Emit(KindUser, 0, "")
+	}
+	if r.Len() != 1024 {
+		t.Fatalf("default capacity ring len = %d, want 1024", r.Len())
+	}
+}

@@ -1,0 +1,129 @@
+package workloads
+
+import (
+	"math"
+)
+
+// AMR models structured adaptive mesh refinement on [0,1]: patches refine
+// where a curvature-based error indicator exceeds tol, producing the
+// irregular, time-varying tree of patches the paper cites ("directed
+// graphs — adaptive mesh refinement"). Work concentrates where the
+// refined function is rough, making the leaf set naturally imbalanced.
+
+// Patch is one AMR patch (an interval at a refinement level).
+type Patch struct {
+	Lo, Hi   float64
+	Level    int
+	Children []*Patch
+}
+
+// IsLeaf reports whether the patch has no refined children.
+func (p *Patch) IsLeaf() bool { return len(p.Children) == 0 }
+
+// errIndicator estimates local curvature of f over [lo,hi] by a second
+// difference, scaled by the interval width.
+func errIndicator(f func(float64) float64, lo, hi float64) float64 {
+	mid := (lo + hi) / 2
+	h := hi - lo
+	second := f(lo) - 2*f(mid) + f(hi)
+	return math.Abs(second) * h
+}
+
+// BuildAMR refines [0,1] under the error indicator until every leaf is
+// below tol or at maxLevel. The result is a binary patch tree.
+func BuildAMR(f func(float64) float64, tol float64, maxLevel int) *Patch {
+	root := &Patch{Lo: 0, Hi: 1, Level: 0}
+	var refine func(p *Patch)
+	refine = func(p *Patch) {
+		if p.Level >= maxLevel {
+			return
+		}
+		if errIndicator(f, p.Lo, p.Hi) <= tol {
+			return
+		}
+		mid := (p.Lo + p.Hi) / 2
+		p.Children = []*Patch{
+			{Lo: p.Lo, Hi: mid, Level: p.Level + 1},
+			{Lo: mid, Hi: p.Hi, Level: p.Level + 1},
+		}
+		for _, c := range p.Children {
+			refine(c)
+		}
+	}
+	refine(root)
+	return root
+}
+
+// Leaves returns the leaf patches left to right.
+func (p *Patch) Leaves() []*Patch {
+	if p.IsLeaf() {
+		return []*Patch{p}
+	}
+	var out []*Patch
+	for _, c := range p.Children {
+		out = append(out, c.Leaves()...)
+	}
+	return out
+}
+
+// Depth returns the maximum refinement level in the tree.
+func (p *Patch) Depth() int {
+	d := p.Level
+	for _, c := range p.Children {
+		if cd := c.Depth(); cd > d {
+			d = cd
+		}
+	}
+	return d
+}
+
+// CountPatches returns the total number of patches in the tree.
+func (p *Patch) CountPatches() int {
+	n := 1
+	for _, c := range p.Children {
+		n += c.CountPatches()
+	}
+	return n
+}
+
+// IntegrateLeaf integrates f over one leaf patch with Simpson's rule at a
+// resolution proportional to the refinement level — deeper patches do more
+// work, which is the irregularity the experiments exploit.
+func IntegrateLeaf(f func(float64) float64, p *Patch) float64 {
+	// Subintervals scale with depth so refined regions cost more per leaf.
+	n := 8 << uint(p.Level)
+	if n > 1<<16 {
+		n = 1 << 16
+	}
+	h := (p.Hi - p.Lo) / float64(n)
+	sum := f(p.Lo) + f(p.Hi)
+	for i := 1; i < n; i++ {
+		x := p.Lo + float64(i)*h
+		if i%2 == 1 {
+			sum += 4 * f(x)
+		} else {
+			sum += 2 * f(x)
+		}
+	}
+	return sum * h / 3
+}
+
+// IntegrateAMR integrates f over the whole domain by summing leaves — the
+// sequential reference for the parallel drivers.
+func IntegrateAMR(f func(float64) float64, root *Patch) float64 {
+	var sum float64
+	for _, leaf := range root.Leaves() {
+		sum += IntegrateLeaf(f, leaf)
+	}
+	return sum
+}
+
+// SpikyFunction is the canonical AMR test function: smooth over most of
+// the domain with a sharp feature near x0 of width w, forcing localized
+// deep refinement.
+func SpikyFunction(x0, w float64) func(float64) float64 {
+	return func(x float64) float64 {
+		d := (x - x0) / w
+		return math.Sin(3*math.Pi*x) + 5*math.Exp(-d*d)
+	}
+}

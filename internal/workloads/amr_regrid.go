@@ -1,0 +1,81 @@
+package workloads
+
+// Time-varying AMR: the paper's motivation speaks of "irregular
+// time-varying sparse data structure parallelism". A moving feature forces
+// the mesh to regrid every step — patches refine ahead of the feature and
+// coarsen behind it — so the work distribution shifts continuously, which
+// is precisely what defeats static decompositions.
+
+// AMRSimulation tracks a refined mesh following a moving feature.
+type AMRSimulation struct {
+	Tol      float64
+	MaxLevel int
+	Width    float64 // feature width
+	X0       float64 // feature position in [0,1), advances per step
+	Speed    float64 // position advance per step (wraps around)
+	Root     *Patch
+}
+
+// NewAMRSimulation builds the initial mesh around the feature at x0.
+func NewAMRSimulation(x0, width, speed, tol float64, maxLevel int) *AMRSimulation {
+	s := &AMRSimulation{Tol: tol, MaxLevel: maxLevel, Width: width, X0: x0, Speed: speed}
+	s.Root = BuildAMR(s.Field(), tol, maxLevel)
+	return s
+}
+
+// Field returns the current field function (feature at the current X0).
+func (s *AMRSimulation) Field() func(float64) float64 {
+	return SpikyFunction(s.X0, s.Width)
+}
+
+// Step advances the feature and regrids: the entire tree is rebuilt
+// against the new field (the standard Berger–Oliger full-regrid
+// simplification). It returns how many leaves changed endpoint sets —
+// a measure of how time-varying the structure is.
+func (s *AMRSimulation) Step() (changed int) {
+	before := leafSet(s.Root)
+	s.X0 += s.Speed
+	if s.X0 >= 1 {
+		s.X0 -= 1
+	}
+	s.Root = BuildAMR(s.Field(), s.Tol, s.MaxLevel)
+	after := leafSet(s.Root)
+	for k := range after {
+		if !before[k] {
+			changed++
+		}
+	}
+	for k := range before {
+		if !after[k] {
+			changed++
+		}
+	}
+	return changed
+}
+
+// leafSet keys leaves by their interval for regrid diffing.
+func leafSet(root *Patch) map[[2]float64]bool {
+	out := make(map[[2]float64]bool)
+	for _, l := range root.Leaves() {
+		out[[2]float64{l.Lo, l.Hi}] = true
+	}
+	return out
+}
+
+// DeepLeafCenter returns the mean center of the deepest-level leaves —
+// tests use it to verify refinement tracks the feature.
+func (s *AMRSimulation) DeepLeafCenter() float64 {
+	depth := s.Root.Depth()
+	var sum float64
+	var n int
+	for _, l := range s.Root.Leaves() {
+		if l.Level == depth {
+			sum += (l.Lo + l.Hi) / 2
+			n++
+		}
+	}
+	if n == 0 {
+		return -1
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,250 @@
+// Package workloads implements the application kernels the paper's
+// introduction motivates as the targets of ParalleX: irregular
+// time-varying sparse-data-structure parallelism — trees (N-body codes),
+// directed graphs (adaptive mesh refinement, semantic nets), and particle
+// in cell — plus a regular stencil as the control. Each workload has a
+// sequential reference implementation used to verify the parallel drivers.
+package workloads
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Body is one gravitating particle in the 2-D Barnes–Hut N-body kernel.
+type Body struct {
+	X, Y   float64
+	VX, VY float64
+	Mass   float64
+}
+
+// bhNode is one quadtree node.
+type bhNode struct {
+	cx, cy, half float64 // square cell: center and half-width
+	mass         float64 // total mass in the cell
+	comX, comY   float64 // center of mass
+	children     [4]*bhNode
+	body         *Body // set for leaf cells holding exactly one body
+	count        int
+}
+
+// BHTree is a Barnes–Hut quadtree over a set of bodies.
+type BHTree struct {
+	root  *bhNode
+	Theta float64 // opening angle; 0 = exact O(n²)
+}
+
+// quadrant returns the child index of (x,y) within node n.
+func (n *bhNode) quadrant(x, y float64) int {
+	q := 0
+	if x >= n.cx {
+		q |= 1
+	}
+	if y >= n.cy {
+		q |= 2
+	}
+	return q
+}
+
+func (n *bhNode) childCell(q int) (cx, cy, half float64) {
+	half = n.half / 2
+	cx = n.cx - half
+	if q&1 != 0 {
+		cx = n.cx + half
+	}
+	cy = n.cy - half
+	if q&2 != 0 {
+		cy = n.cy + half
+	}
+	return
+}
+
+// insert adds body b below node n.
+func (n *bhNode) insert(b *Body) {
+	if n.count == 0 {
+		n.body = b
+		n.count = 1
+		return
+	}
+	if n.count == 1 {
+		// Split: push the resident body down. Guard against coincident
+		// points by capping recursion via cell size.
+		old := n.body
+		n.body = nil
+		if n.half < 1e-12 {
+			// Degenerate cell: aggregate without splitting further.
+			n.count++
+			return
+		}
+		n.pushDown(old)
+	}
+	n.count++
+	n.pushDown(b)
+}
+
+func (n *bhNode) pushDown(b *Body) {
+	q := n.quadrant(b.X, b.Y)
+	if n.children[q] == nil {
+		cx, cy, half := n.childCell(q)
+		n.children[q] = &bhNode{cx: cx, cy: cy, half: half}
+	}
+	n.children[q].insert(b)
+}
+
+// summarize computes mass and center of mass bottom-up.
+func (n *bhNode) summarize(bodies []Body) {
+	if n.count == 1 && n.body != nil {
+		n.mass = n.body.Mass
+		n.comX, n.comY = n.body.X, n.body.Y
+		return
+	}
+	n.mass, n.comX, n.comY = 0, 0, 0
+	for _, c := range n.children {
+		if c == nil {
+			continue
+		}
+		c.summarize(bodies)
+		n.mass += c.mass
+		n.comX += c.comX * c.mass
+		n.comY += c.comY * c.mass
+	}
+	if n.mass > 0 {
+		n.comX /= n.mass
+		n.comY /= n.mass
+	}
+}
+
+// BuildBHTree constructs the quadtree for the bodies with the given opening
+// angle.
+func BuildBHTree(bodies []Body, theta float64) *BHTree {
+	if len(bodies) == 0 {
+		return &BHTree{root: &bhNode{half: 1}, Theta: theta}
+	}
+	minX, maxX := bodies[0].X, bodies[0].X
+	minY, maxY := bodies[0].Y, bodies[0].Y
+	for _, b := range bodies[1:] {
+		minX = math.Min(minX, b.X)
+		maxX = math.Max(maxX, b.X)
+		minY = math.Min(minY, b.Y)
+		maxY = math.Max(maxY, b.Y)
+	}
+	half := math.Max(maxX-minX, maxY-minY)/2 + 1e-9
+	root := &bhNode{cx: (minX + maxX) / 2, cy: (minY + maxY) / 2, half: half}
+	for i := range bodies {
+		root.insert(&bodies[i])
+	}
+	root.summarize(bodies)
+	return &BHTree{root: root, Theta: theta}
+}
+
+// gravitational softening avoids singularities for close encounters.
+const softening = 1e-4
+
+// ForceOn computes the gravitational acceleration on body b (G = 1).
+func (t *BHTree) ForceOn(b *Body) (ax, ay float64) {
+	return t.force(t.root, b)
+}
+
+func (t *BHTree) force(n *bhNode, b *Body) (ax, ay float64) {
+	if n == nil || n.count == 0 {
+		return 0, 0
+	}
+	dx := n.comX - b.X
+	dy := n.comY - b.Y
+	dist2 := dx*dx + dy*dy + softening
+	if n.count == 1 || (n.half*2)/math.Sqrt(dist2) < t.Theta {
+		if n.count == 1 && n.body == b {
+			return 0, 0
+		}
+		inv := n.mass / (dist2 * math.Sqrt(dist2))
+		return dx * inv, dy * inv
+	}
+	for _, c := range n.children {
+		if c == nil {
+			continue
+		}
+		cax, cay := t.force(c, b)
+		ax += cax
+		ay += cay
+	}
+	return ax, ay
+}
+
+// TraversalCost counts the tree nodes touched computing the force on b —
+// the per-body work estimate the virtual-time experiments use. Bodies in
+// dense regions open many more cells, which is exactly the irregularity
+// the starvation experiment needs.
+func (t *BHTree) TraversalCost(b *Body) int {
+	return t.costWalk(t.root, b)
+}
+
+func (t *BHTree) costWalk(n *bhNode, b *Body) int {
+	if n == nil || n.count == 0 {
+		return 0
+	}
+	dx := n.comX - b.X
+	dy := n.comY - b.Y
+	dist2 := dx*dx + dy*dy + softening
+	if n.count == 1 || (n.half*2)/math.Sqrt(dist2) < t.Theta {
+		return 1
+	}
+	cost := 1
+	for _, c := range n.children {
+		if c != nil {
+			cost += t.costWalk(c, b)
+		}
+	}
+	return cost
+}
+
+// NBodyStep advances bodies one leapfrog step of size dt using the tree.
+// The returned accelerations allow energy diagnostics.
+func NBodyStep(bodies []Body, theta, dt float64) {
+	tree := BuildBHTree(bodies, theta)
+	for i := range bodies {
+		ax, ay := tree.ForceOn(&bodies[i])
+		bodies[i].VX += ax * dt
+		bodies[i].VY += ay * dt
+	}
+	for i := range bodies {
+		bodies[i].X += bodies[i].VX * dt
+		bodies[i].Y += bodies[i].VY * dt
+	}
+}
+
+// GenerateClusteredBodies produces a deliberately skewed mass distribution:
+// clusterFrac of the bodies are packed into a dense cluster (deep, costly
+// tree region) and the rest spread uniformly. The skew drives the
+// starvation/load-balance experiment (E5).
+func GenerateClusteredBodies(n int, clusterFrac float64, seed int64) []Body {
+	rng := rand.New(rand.NewSource(seed))
+	bodies := make([]Body, n)
+	nCluster := int(float64(n) * clusterFrac)
+	for i := range bodies {
+		if i < nCluster {
+			// Dense Gaussian cluster near (0.8, 0.8).
+			bodies[i] = Body{
+				X:    0.8 + rng.NormFloat64()*0.01,
+				Y:    0.8 + rng.NormFloat64()*0.01,
+				Mass: 1.0 / float64(n),
+			}
+		} else {
+			bodies[i] = Body{
+				X:    rng.Float64(),
+				Y:    rng.Float64(),
+				Mass: 1.0 / float64(n),
+			}
+		}
+	}
+	return bodies
+}
+
+// TotalMomentum returns the aggregate momentum (a conserved quantity under
+// symmetric pairwise forces when theta=0).
+func TotalMomentum(bodies []Body) (px, py float64) {
+	for _, b := range bodies {
+		px += b.VX * b.Mass
+		py += b.VY * b.Mass
+	}
+	return px, py
+}

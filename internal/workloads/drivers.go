@@ -1,0 +1,385 @@
+package workloads
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/agas"
+	"repro/internal/core"
+	"repro/internal/csp"
+	"repro/internal/lco"
+	"repro/internal/parcel"
+)
+
+// This file holds the parallel drivers: each workload runs under the
+// ParalleX runtime (message-driven tasks, LCO completion, work stealing if
+// enabled) and under the CSP baseline (static SPMD partitions, barriers,
+// collectives). Both are verified against the sequential references in
+// tests; the experiments compare their makespans and idle fractions.
+
+// ---------- Barnes–Hut N-body ----------
+
+// NBodyForcesSeq computes accelerations for all bodies sequentially.
+func NBodyForcesSeq(bodies []Body, theta float64) (ax, ay []float64) {
+	tree := BuildBHTree(bodies, theta)
+	ax = make([]float64, len(bodies))
+	ay = make([]float64, len(bodies))
+	for i := range bodies {
+		ax[i], ay[i] = tree.ForceOn(&bodies[i])
+	}
+	return ax, ay
+}
+
+// NBodyForcesParalleX computes accelerations with the tree shared
+// read-only and the body range split into `chunks` fine-grained tasks
+// scattered round-robin over localities. With stealing enabled the
+// message-driven work queue rebalances the skewed per-body costs.
+func NBodyForcesParalleX(rt *core.Runtime, bodies []Body, theta float64, chunks int) (ax, ay []float64) {
+	tree := BuildBHTree(bodies, theta)
+	ax = make([]float64, len(bodies))
+	ay = make([]float64, len(bodies))
+	if chunks < 1 {
+		chunks = 1
+	}
+	n := len(bodies)
+	P := rt.Localities()
+	gate := lco.NewAndGate(chunks)
+	for c := 0; c < chunks; c++ {
+		lo := c * n / chunks
+		hi := (c + 1) * n / chunks
+		rt.Spawn(c%P, func(ctx *core.Context) {
+			for i := lo; i < hi; i++ {
+				ax[i], ay[i] = tree.ForceOn(&bodies[i])
+			}
+			gate.Signal()
+		})
+	}
+	gate.Wait()
+	return ax, ay
+}
+
+// NBodyForcesCSP computes accelerations with one static contiguous block
+// per rank and a closing barrier — the conventional SPMD decomposition
+// whose imbalance E5 measures.
+func NBodyForcesCSP(w *csp.World, bodies []Body, theta float64) (ax, ay []float64) {
+	tree := BuildBHTree(bodies, theta)
+	n := len(bodies)
+	ax = make([]float64, n)
+	ay = make([]float64, n)
+	w.Run(func(r *csp.Rank) {
+		lo := r.ID() * n / r.Size()
+		hi := (r.ID() + 1) * n / r.Size()
+		for i := lo; i < hi; i++ {
+			ax[i], ay[i] = tree.ForceOn(&bodies[i])
+		}
+		r.Barrier()
+	})
+	return ax, ay
+}
+
+// ---------- Graph BFS (semantic net traversal) ----------
+
+// ActionVisit is the BFS parcel action: settle a vertex's distance and
+// expand its out-edges by sending parcels to the owners of the targets —
+// work moves to the data.
+const ActionVisit = "wl.graph.visit"
+
+// graphShard is the per-locality partition of a distributed graph.
+type graphShard struct {
+	g    *Graph
+	dist []int32 // shared across shards; vertices settled via CAS
+	// visitCost models per-vertex semantic-net work (inference, matching)
+	// as timed slot occupancy; zero means pure traversal.
+	visitCost time.Duration
+}
+
+// RegisterGraphActions installs the BFS action; once per runtime.
+func RegisterGraphActions(rt *core.Runtime) {
+	rt.MustRegisterAction(ActionVisit, func(ctx *core.Context, target any, args *parcel.Reader) (any, error) {
+		sh, ok := target.(*graphShard)
+		if !ok {
+			return nil, fmt.Errorf("workloads: %s on %T", ActionVisit, target)
+		}
+		v := args.Int64()
+		d := args.Int64()
+		if err := args.Err(); err != nil {
+			return nil, err
+		}
+		// Asynchronous BFS is label-correcting: with no level barrier a
+		// longer path can arrive first, so improve monotonically (atomic
+		// min) and re-expand on improvement. At quiescence every label is
+		// the true shortest distance — chaotic relaxation converges.
+		for {
+			cur := atomic.LoadInt32(&sh.dist[v])
+			if cur != -1 && cur <= int32(d) {
+				return nil, nil
+			}
+			if atomic.CompareAndSwapInt32(&sh.dist[v], cur, int32(d)) {
+				break
+			}
+		}
+		if sh.visitCost > 0 {
+			time.Sleep(sh.visitCost)
+		}
+		shards := shardsOf(ctx.Runtime())
+		for _, wv := range sh.g.Adj[v] {
+			owner := int(wv) % ctx.Runtime().Localities()
+			ctx.Send(parcel.New(shards[owner], ActionVisit,
+				parcel.NewArgs().Int64(int64(wv)).Int64(d+1).Encode()))
+		}
+		return nil, nil
+	})
+}
+
+// DistGraph is a graph partitioned over all localities of a runtime
+// (vertex v lives at locality v mod P).
+type DistGraph struct {
+	rt     *core.Runtime
+	g      *Graph
+	shards []agas.GID
+	dist   []int32
+}
+
+// shardRegistry remembers each runtime's shard GIDs so the visit action
+// can route expansions without carrying the table in every parcel.
+var shardRegistry sync.Map // *core.Runtime -> []agas.GID
+
+func shardsOf(rt *core.Runtime) []agas.GID {
+	v, _ := shardRegistry.Load(rt)
+	return v.([]agas.GID)
+}
+
+// NewDistGraph partitions g over the runtime's localities (vertex v lives
+// at locality v mod P).
+func NewDistGraph(rt *core.Runtime, g *Graph) *DistGraph {
+	return NewDistGraphWithCost(rt, g, 0)
+}
+
+// NewDistGraphWithCost partitions g with per-vertex visit work modelled as
+// timed slot occupancy (used by the scaling experiment E9).
+func NewDistGraphWithCost(rt *core.Runtime, g *Graph, visitCost time.Duration) *DistGraph {
+	dist := make([]int32, g.N)
+	dg := &DistGraph{rt: rt, g: g, dist: dist}
+	for loc := 0; loc < rt.Localities(); loc++ {
+		sh := &graphShard{g: g, dist: dist, visitCost: visitCost}
+		dg.shards = append(dg.shards, rt.NewDataAt(loc, sh))
+	}
+	shardRegistry.Store(rt, dg.shards)
+	return dg
+}
+
+// BFSParalleX runs asynchronous message-driven BFS from root: no levels,
+// no barriers — termination is runtime quiescence, and the label-
+// correcting visit action guarantees final distances equal the sequential
+// BFS result.
+func (dg *DistGraph) BFSParalleX(root int) []int32 {
+	for i := range dg.dist {
+		dg.dist[i] = -1
+	}
+	owner := root % dg.rt.Localities()
+	dg.rt.SendFrom(owner, parcel.New(dg.shards[owner], ActionVisit,
+		parcel.NewArgs().Int64(int64(root)).Int64(0).Encode()))
+	dg.rt.Wait()
+	return dg.dist
+}
+
+// BFSCSP runs level-synchronous BFS over the CSP world: each level, ranks
+// exchange frontier vertices destined for other owners, then barrier, then
+// an all-reduce decides termination — the bulk-synchronous pattern.
+func BFSCSP(w *csp.World, g *Graph, root int) []int32 {
+	return BFSCSPWithCost(w, g, root, 0)
+}
+
+// BFSCSPWithCost is BFSCSP with per-vertex visit work modelled as timed
+// slot occupancy, matching NewDistGraphWithCost.
+func BFSCSPWithCost(w *csp.World, g *Graph, root int, visitCost time.Duration) []int32 {
+	P := w.Size()
+	dist := make([]int32, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	var mu sync.Mutex
+	w.Run(func(r *csp.Rank) {
+		const frontierTag = 1
+		var frontier []int32
+		if root%P == r.ID() {
+			mu.Lock()
+			dist[root] = 0
+			mu.Unlock()
+			frontier = append(frontier, int32(root))
+		}
+		for level := int32(0); ; level++ {
+			// Expand local frontier, bucketing remote targets by owner.
+			buckets := make([][]int64, P)
+			for _, v := range frontier {
+				for _, wv := range g.Adj[v] {
+					buckets[int(wv)%P] = append(buckets[int(wv)%P], int64(wv))
+				}
+			}
+			// Exchange buckets all-to-all (including self).
+			for p := 0; p < P; p++ {
+				r.Send((r.ID()+p)%P, frontierTag, buckets[(r.ID()+p)%P])
+			}
+			var next []int32
+			for p := 0; p < P; p++ {
+				incoming := r.Recv(csp.AnySource, frontierTag).([]int64)
+				for _, wv64 := range incoming {
+					wv := int32(wv64)
+					mu.Lock()
+					if dist[wv] == -1 {
+						dist[wv] = level + 1
+						next = append(next, wv)
+					}
+					mu.Unlock()
+				}
+			}
+			frontier = next
+			// Per-vertex work for this level's settlements, done serially
+			// by the owning rank inside the level (bulk-synchronous).
+			if visitCost > 0 && len(next) > 0 {
+				time.Sleep(visitCost * time.Duration(len(next)))
+			}
+			// Global termination: any rank still expanding?
+			active := r.AllReduce(float64(len(frontier)), func(a, b float64) float64 { return a + b })
+			if active == 0 {
+				return
+			}
+		}
+	})
+	return dist
+}
+
+// ---------- Particle in cell ----------
+
+// PICStepParalleX advances p one step using dataflow LCO phase coupling:
+// chunked deposits feed a reduction LCO; the field solve fires when the
+// reduction resolves; pushes fire when the solve resolves. No barrier
+// anywhere — exactly the paper's "LCOs eliminate most uses of global
+// barriers".
+func PICStepParalleX(rt *core.Runtime, p *PIC, chunks int, dt float64) {
+	if chunks < 1 {
+		chunks = 1
+	}
+	n := len(p.Particles)
+	P := rt.Localities()
+
+	// Reduction LCO: sums private deposit grids.
+	red := lco.NewReduce(chunks, make([]float64, p.Nx), func(acc, v any) any {
+		a := acc.([]float64)
+		for i, x := range v.([]float64) {
+			a[i] += x
+		}
+		return a
+	})
+	for c := 0; c < chunks; c++ {
+		lo := c * n / chunks
+		hi := (c + 1) * n / chunks
+		rt.Spawn(c%P, func(ctx *core.Context) {
+			grid := make([]float64, p.Nx)
+			p.DepositRange(lo, hi, grid)
+			red.Contribute(grid)
+		})
+	}
+
+	solved := lco.NewFuture()
+	red.Out().OnReady(func(v any, err error) {
+		rt.Spawn(0, func(ctx *core.Context) {
+			copy(p.Rho, v.([]float64))
+			background := -p.Qp * float64(n) / p.L
+			for i := range p.Rho {
+				p.Rho[i] += background
+			}
+			p.SolveField()
+			solved.Set(nil)
+		})
+	})
+
+	gate := lco.NewAndGate(chunks)
+	solved.OnReady(func(any, error) {
+		for c := 0; c < chunks; c++ {
+			lo := c * n / chunks
+			hi := (c + 1) * n / chunks
+			rt.Spawn(c%P, func(ctx *core.Context) {
+				p.PushRange(lo, hi, dt)
+				gate.Signal()
+			})
+		}
+	})
+	gate.Wait()
+}
+
+// PICStepCSP advances p one step in the bulk-synchronous style: every rank
+// deposits its block into a private grid, an AllReduceVec forms the global
+// density, every rank solves redundantly, then pushes its block between
+// barriers.
+func PICStepCSP(w *csp.World, p *PIC, dt float64) {
+	n := len(p.Particles)
+	var once sync.Once
+	w.Run(func(r *csp.Rank) {
+		lo := r.ID() * n / r.Size()
+		hi := (r.ID() + 1) * n / r.Size()
+		grid := make([]float64, p.Nx)
+		p.DepositRange(lo, hi, grid)
+		total := r.AllReduceVec(grid, func(a, b float64) float64 { return a + b })
+		r.Barrier()
+		once.Do(func() {
+			copy(p.Rho, total)
+			background := -p.Qp * float64(n) / p.L
+			for i := range p.Rho {
+				p.Rho[i] += background
+			}
+			p.SolveField()
+		})
+		r.Barrier()
+		p.PushRange(lo, hi, dt)
+		r.Barrier()
+	})
+}
+
+// ---------- AMR integration ----------
+
+// IntegrateAMRParalleX integrates f over the AMR leaves as one task per
+// leaf feeding a sum-reduction LCO.
+func IntegrateAMRParalleX(rt *core.Runtime, f func(float64) float64, root *Patch) float64 {
+	leaves := root.Leaves()
+	if len(leaves) == 0 {
+		return 0
+	}
+	P := rt.Localities()
+	red := lco.NewReduce(len(leaves), 0.0, func(acc, v any) any {
+		return acc.(float64) + v.(float64)
+	})
+	for i, leaf := range leaves {
+		leaf := leaf
+		rt.Spawn(i%P, func(ctx *core.Context) {
+			red.Contribute(IntegrateLeaf(f, leaf))
+		})
+	}
+	v, _ := red.Out().Get()
+	return v.(float64)
+}
+
+// IntegrateAMRCSP integrates with one contiguous static block of leaves
+// per rank and a reduction — refined regions pile into few ranks.
+func IntegrateAMRCSP(w *csp.World, f func(float64) float64, root *Patch) float64 {
+	leaves := root.Leaves()
+	var result float64
+	var mu sync.Mutex
+	w.Run(func(r *csp.Rank) {
+		lo := r.ID() * len(leaves) / r.Size()
+		hi := (r.ID() + 1) * len(leaves) / r.Size()
+		var local float64
+		for _, leaf := range leaves[lo:hi] {
+			local += IntegrateLeaf(f, leaf)
+		}
+		total := r.Reduce(0, local, func(a, b float64) float64 { return a + b })
+		if r.ID() == 0 {
+			mu.Lock()
+			result = total
+			mu.Unlock()
+		}
+	})
+	return result
+}

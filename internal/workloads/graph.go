@@ -1,0 +1,83 @@
+package workloads
+
+import (
+	"math/rand"
+)
+
+// Graph is a directed graph in adjacency-list form — the "semantic net"
+// workload. Vertices are partitioned across localities by the parallel
+// drivers; traversal follows edges by sending parcels to the data, the
+// canonical move-work-to-data pattern.
+type Graph struct {
+	N   int
+	Adj [][]int32
+}
+
+// GenerateGraph builds a directed graph with a skewed (preferential
+// attachment flavored) degree distribution: each vertex draws avgDeg
+// targets, biased toward low-numbered hub vertices.
+func GenerateGraph(n, avgDeg int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := &Graph{N: n, Adj: make([][]int32, n)}
+	for v := 0; v < n; v++ {
+		deg := 1 + rng.Intn(2*avgDeg)
+		seen := make(map[int32]bool, deg)
+		for k := 0; k < deg; k++ {
+			// Square the uniform sample to bias toward hubs.
+			u := rng.Float64()
+			t := int32(u * u * float64(n))
+			if t == int32(v) || int(t) >= n || seen[t] {
+				continue
+			}
+			seen[t] = true
+			g.Adj[v] = append(g.Adj[v], t)
+		}
+	}
+	// Ring edges guarantee connectivity so BFS reaches every vertex.
+	for v := 0; v < n; v++ {
+		g.Adj[v] = append(g.Adj[v], int32((v+1)%n))
+	}
+	return g
+}
+
+// Edges reports the total directed edge count.
+func (g *Graph) Edges() int {
+	e := 0
+	for _, a := range g.Adj {
+		e += len(a)
+	}
+	return e
+}
+
+// BFS computes hop distances from root sequentially — the reference
+// implementation. Unreachable vertices get -1.
+func (g *Graph) BFS(root int) []int32 {
+	dist := make([]int32, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[root] = 0
+	queue := []int32{int32(root)}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Adj[v] {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// MaxDist returns the eccentricity (max finite distance) of a BFS result.
+func MaxDist(dist []int32) int32 {
+	var m int32
+	for _, d := range dist {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

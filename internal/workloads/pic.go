@@ -1,0 +1,170 @@
+package workloads
+
+import (
+	"math"
+	"math/rand"
+)
+
+// PIC is a 1-D electrostatic particle-in-cell plasma model on a periodic
+// domain — the paper's "particle in cell (magneto hydro dynamics)"
+// motivating workload, reduced to its electrostatic core. Each step has
+// three phases: charge deposit (particles → grid), field solve (grid), and
+// particle push (grid → particles). The phase structure is what the
+// LCO-vs-barrier experiment exercises.
+
+// Particle is one charged macro-particle.
+type Particle struct {
+	X float64 // position in [0, L)
+	V float64 // velocity
+}
+
+// PIC holds one plasma system.
+type PIC struct {
+	L         float64 // domain length
+	Nx        int     // grid cells
+	Dx        float64
+	Qp        float64 // charge per macro-particle (negative: electrons)
+	Particles []Particle
+	Rho       []float64 // charge density per cell (includes neutralizing background)
+	E         []float64 // electric field at cell centers
+}
+
+// NewPIC builds a two-stream-instability initial condition: two counter-
+// streaming electron beams with a small sinusoidal position perturbation.
+func NewPIC(nParticles, nx int, seed int64) *PIC {
+	p := &PIC{
+		L:  1.0,
+		Nx: nx,
+		Qp: -1.0 / float64(nParticles),
+	}
+	p.Dx = p.L / float64(nx)
+	p.Rho = make([]float64, nx)
+	p.E = make([]float64, nx)
+	rng := rand.New(rand.NewSource(seed))
+	p.Particles = make([]Particle, nParticles)
+	for i := range p.Particles {
+		x := (float64(i) + 0.5) / float64(nParticles)
+		x += 0.001 * math.Sin(2*math.Pi*x)
+		// Beam speed chosen so the seeded k=2π mode satisfies k·v0 < ωp
+		// (ωp ≈ 1 in these units): the two-stream instability is active.
+		v := 0.1
+		if i%2 == 1 {
+			v = -0.1
+		}
+		v += 0.005 * rng.NormFloat64()
+		p.Particles[i] = Particle{X: wrap(x, p.L), V: v}
+	}
+	return p
+}
+
+func wrap(x, l float64) float64 {
+	x = math.Mod(x, l)
+	if x < 0 {
+		x += l
+	}
+	return x
+}
+
+// DepositRange accumulates charge from particles [lo,hi) into out (length
+// Nx) using cloud-in-cell weighting. Out is cleared first. Exposed so
+// parallel drivers can deposit disjoint particle ranges into private grids
+// and reduce.
+func (p *PIC) DepositRange(lo, hi int, out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
+	for _, pt := range p.Particles[lo:hi] {
+		xg := pt.X / p.Dx
+		i0 := int(xg)
+		frac := xg - float64(i0)
+		i0 = i0 % p.Nx
+		i1 := (i0 + 1) % p.Nx
+		out[i0] += p.Qp * (1 - frac) / p.Dx
+		out[i1] += p.Qp * frac / p.Dx
+	}
+}
+
+// Deposit computes the full charge density including the neutralizing ion
+// background (total charge zero).
+func (p *PIC) Deposit() {
+	p.DepositRange(0, len(p.Particles), p.Rho)
+	// Uniform neutralizing background: total particle charge spread evenly.
+	background := -p.Qp * float64(len(p.Particles)) / p.L
+	for i := range p.Rho {
+		p.Rho[i] += background
+	}
+}
+
+// SolveField integrates Gauss's law dE/dx = rho on the periodic grid,
+// fixing the gauge so the mean field vanishes.
+func (p *PIC) SolveField() {
+	acc := 0.0
+	for i := 0; i < p.Nx; i++ {
+		acc += p.Rho[i] * p.Dx
+		p.E[i] = acc
+	}
+	mean := 0.0
+	for _, e := range p.E {
+		mean += e
+	}
+	mean /= float64(p.Nx)
+	for i := range p.E {
+		p.E[i] -= mean
+	}
+}
+
+// fieldAt interpolates E at position x (linear between cell centers).
+func (p *PIC) fieldAt(x float64) float64 {
+	xg := x/p.Dx - 0.5
+	i0 := int(math.Floor(xg))
+	frac := xg - float64(i0)
+	i0 = ((i0 % p.Nx) + p.Nx) % p.Nx
+	i1 := (i0 + 1) % p.Nx
+	return p.E[i0]*(1-frac) + p.E[i1]*frac
+}
+
+// PushRange advances particles [lo,hi) one leapfrog step. Charge-to-mass
+// ratio is -1 (electrons).
+func (p *PIC) PushRange(lo, hi int, dt float64) {
+	for i := lo; i < hi; i++ {
+		pt := &p.Particles[i]
+		pt.V += -p.fieldAt(pt.X) * dt
+		pt.X = wrap(pt.X+pt.V*dt, p.L)
+	}
+}
+
+// Step advances the system one full deposit/solve/push cycle — the
+// sequential reference.
+func (p *PIC) Step(dt float64) {
+	p.Deposit()
+	p.SolveField()
+	p.PushRange(0, len(p.Particles), dt)
+}
+
+// TotalCharge sums rho over the grid; with the neutralizing background it
+// must stay ~0 — a conservation invariant for tests.
+func (p *PIC) TotalCharge() float64 {
+	var q float64
+	for _, r := range p.Rho {
+		q += r * p.Dx
+	}
+	return q
+}
+
+// KineticEnergy returns the particles' kinetic energy.
+func (p *PIC) KineticEnergy() float64 {
+	var ke float64
+	for _, pt := range p.Particles {
+		ke += 0.5 * pt.V * pt.V
+	}
+	return ke / float64(len(p.Particles))
+}
+
+// FieldEnergy returns the electrostatic field energy.
+func (p *PIC) FieldEnergy() float64 {
+	var fe float64
+	for _, e := range p.E {
+		fe += 0.5 * e * e * p.Dx
+	}
+	return fe
+}

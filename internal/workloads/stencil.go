@@ -1,0 +1,51 @@
+package workloads
+
+import "math"
+
+// Stencil is the regular control workload: 1-D Jacobi relaxation of the
+// heat equation with fixed boundary values. Regular data access and
+// uniform cost make it the case where conventional SPMD message passing
+// is expected to do well — experiments include it to show where ParalleX's
+// advantage does and does not appear.
+
+// JacobiStep relaxes src into dst (both length n, boundaries preserved).
+func JacobiStep(dst, src []float64) {
+	n := len(src)
+	dst[0] = src[0]
+	dst[n-1] = src[n-1]
+	for i := 1; i < n-1; i++ {
+		dst[i] = 0.5 * (src[i-1] + src[i+1])
+	}
+}
+
+// JacobiRun iterates steps Jacobi sweeps and returns the final field —
+// the sequential reference.
+func JacobiRun(initial []float64, steps int) []float64 {
+	a := append([]float64(nil), initial...)
+	b := make([]float64, len(initial))
+	for s := 0; s < steps; s++ {
+		JacobiStep(b, a)
+		a, b = b, a
+	}
+	return a
+}
+
+// JacobiInitial builds the standard test case: zero interior with hot
+// left boundary and cold right boundary.
+func JacobiInitial(n int) []float64 {
+	f := make([]float64, n)
+	f[0] = 1.0
+	return f
+}
+
+// JacobiResidual measures max |f - analytic steady state| where the steady
+// state is the linear profile between the boundaries.
+func JacobiResidual(f []float64) float64 {
+	n := len(f)
+	var worst float64
+	for i := 0; i < n; i++ {
+		want := f[0] + (f[n-1]-f[0])*float64(i)/float64(n-1)
+		worst = math.Max(worst, math.Abs(f[i]-want))
+	}
+	return worst
+}

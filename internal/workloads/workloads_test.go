@@ -1,0 +1,418 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// ---------- Barnes–Hut ----------
+
+func TestBHTreeMassConservation(t *testing.T) {
+	bodies := GenerateClusteredBodies(500, 0.3, 1)
+	tree := BuildBHTree(bodies, 0.5)
+	var want float64
+	for _, b := range bodies {
+		want += b.Mass
+	}
+	if math.Abs(tree.root.mass-want) > 1e-9 {
+		t.Fatalf("tree mass %f, bodies mass %f", tree.root.mass, want)
+	}
+}
+
+func TestBHExactMatchesDirectSum(t *testing.T) {
+	bodies := GenerateClusteredBodies(60, 0.2, 2)
+	// theta=0 forces full traversal: must equal the O(n²) direct sum.
+	tree := BuildBHTree(bodies, 0)
+	for i := range bodies {
+		ax, ay := tree.ForceOn(&bodies[i])
+		var wx, wy float64
+		for j := range bodies {
+			if i == j {
+				continue
+			}
+			dx := bodies[j].X - bodies[i].X
+			dy := bodies[j].Y - bodies[i].Y
+			d2 := dx*dx + dy*dy + softening
+			inv := bodies[j].Mass / (d2 * math.Sqrt(d2))
+			wx += dx * inv
+			wy += dy * inv
+		}
+		if math.Abs(ax-wx) > 1e-6 || math.Abs(ay-wy) > 1e-6 {
+			t.Fatalf("body %d: tree (%g,%g) direct (%g,%g)", i, ax, ay, wx, wy)
+		}
+	}
+}
+
+func TestBHApproximationErrorSmall(t *testing.T) {
+	bodies := GenerateClusteredBodies(300, 0.3, 3)
+	exact := BuildBHTree(bodies, 0)
+	approx := BuildBHTree(bodies, 0.5)
+	var sumRel, worst float64
+	var counted int
+	for i := range bodies {
+		ex, ey := exact.ForceOn(&bodies[i])
+		ax, ay := approx.ForceOn(&bodies[i])
+		mag := math.Hypot(ex, ey)
+		if mag < 1e-12 {
+			continue
+		}
+		rel := math.Hypot(ax-ex, ay-ey) / mag
+		sumRel += rel
+		worst = math.Max(worst, rel)
+		counted++
+	}
+	// Individual bodies near force cancellation can show large relative
+	// error; the aggregate approximation must stay tight.
+	if mean := sumRel / float64(counted); mean > 0.05 {
+		t.Fatalf("theta=0.5 mean relative force error %f > 5%%", mean)
+	}
+	if worst > 0.5 {
+		t.Fatalf("theta=0.5 worst relative force error %f > 50%%", worst)
+	}
+}
+
+func TestNBodyStepMovesBodies(t *testing.T) {
+	bodies := GenerateClusteredBodies(100, 0.3, 4)
+	before := append([]Body(nil), bodies...)
+	NBodyStep(bodies, 0.5, 1e-3)
+	moved := 0
+	for i := range bodies {
+		if bodies[i].X != before[i].X || bodies[i].Y != before[i].Y {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no body moved")
+	}
+}
+
+func TestMomentumNearConserved(t *testing.T) {
+	bodies := GenerateClusteredBodies(200, 0.3, 5)
+	px0, py0 := TotalMomentum(bodies)
+	for s := 0; s < 5; s++ {
+		NBodyStep(bodies, 0, 1e-4) // exact forces: antisymmetric pairs
+	}
+	px1, py1 := TotalMomentum(bodies)
+	if math.Abs(px1-px0) > 1e-8 || math.Abs(py1-py0) > 1e-8 {
+		t.Fatalf("momentum drift (%g,%g) -> (%g,%g)", px0, py0, px1, py1)
+	}
+}
+
+func TestClusteredDistributionIsSkewed(t *testing.T) {
+	bodies := GenerateClusteredBodies(1000, 0.5, 6)
+	inCluster := 0
+	for _, b := range bodies {
+		if math.Hypot(b.X-0.8, b.Y-0.8) < 0.05 {
+			inCluster++
+		}
+	}
+	if inCluster < 400 {
+		t.Fatalf("only %d/1000 bodies in cluster", inCluster)
+	}
+}
+
+func TestEmptyBodies(t *testing.T) {
+	tree := BuildBHTree(nil, 0.5)
+	b := Body{X: 0.5, Y: 0.5, Mass: 1}
+	ax, ay := tree.ForceOn(&b)
+	if ax != 0 || ay != 0 {
+		t.Fatal("empty tree exerts force")
+	}
+}
+
+func TestCoincidentBodiesDoNotRecurseForever(t *testing.T) {
+	bodies := []Body{
+		{X: 0.5, Y: 0.5, Mass: 1},
+		{X: 0.5, Y: 0.5, Mass: 1},
+		{X: 0.5, Y: 0.5, Mass: 1},
+	}
+	tree := BuildBHTree(bodies, 0.5)
+	if tree.root.mass == 0 {
+		t.Fatal("degenerate tree lost mass entirely")
+	}
+}
+
+// ---------- AMR ----------
+
+func TestAMRRefinesAtSpike(t *testing.T) {
+	f := SpikyFunction(0.3, 0.01)
+	root := BuildAMR(f, 1e-4, 12)
+	leaves := root.Leaves()
+	if len(leaves) < 8 {
+		t.Fatalf("only %d leaves", len(leaves))
+	}
+	// The deepest leaves must sit near the spike.
+	maxLevel := root.Depth()
+	if maxLevel < 5 {
+		t.Fatalf("max level %d; refinement did not trigger", maxLevel)
+	}
+	for _, leaf := range leaves {
+		if leaf.Level == maxLevel {
+			center := (leaf.Lo + leaf.Hi) / 2
+			if math.Abs(center-0.3) > 0.2 {
+				t.Fatalf("deepest leaf at %f, spike at 0.3", center)
+			}
+		}
+	}
+}
+
+func TestAMRLeavesTileDomain(t *testing.T) {
+	f := SpikyFunction(0.7, 0.02)
+	root := BuildAMR(f, 1e-3, 10)
+	leaves := root.Leaves()
+	prev := 0.0
+	for _, leaf := range leaves {
+		if math.Abs(leaf.Lo-prev) > 1e-12 {
+			t.Fatalf("gap or overlap at %f (leaf starts %f)", prev, leaf.Lo)
+		}
+		prev = leaf.Hi
+	}
+	if math.Abs(prev-1.0) > 1e-12 {
+		t.Fatalf("domain ends at %f", prev)
+	}
+}
+
+func TestAMRIntegralAccuracy(t *testing.T) {
+	// Integral of sin(3πx) over [0,1] is 2/(3π); the Gaussian adds
+	// 5·w·sqrt(π) (w≪1 so tails are negligible).
+	w := 0.01
+	f := SpikyFunction(0.5, w)
+	root := BuildAMR(f, 1e-5, 14)
+	got := IntegrateAMR(f, root)
+	want := 2.0/(3.0*math.Pi) + 5.0*w*math.Sqrt(math.Pi)
+	if math.Abs(got-want) > 1e-3 {
+		t.Fatalf("integral %f, want %f", got, want)
+	}
+}
+
+func TestAMRRespectsMaxLevel(t *testing.T) {
+	f := SpikyFunction(0.5, 1e-6) // needle the tolerance can never satisfy
+	root := BuildAMR(f, 1e-12, 6)
+	if d := root.Depth(); d > 6 {
+		t.Fatalf("depth %d exceeds max level", d)
+	}
+}
+
+func TestAMRPatchCounts(t *testing.T) {
+	f := SpikyFunction(0.25, 0.02)
+	root := BuildAMR(f, 1e-3, 10)
+	total := root.CountPatches()
+	leaves := len(root.Leaves())
+	// Binary tree: total = 2*leaves - 1 when fully binary from the root.
+	if total != 2*leaves-1 {
+		t.Fatalf("patches %d, leaves %d", total, leaves)
+	}
+}
+
+// ---------- PIC ----------
+
+func TestPICChargeNeutral(t *testing.T) {
+	p := NewPIC(2000, 64, 7)
+	p.Deposit()
+	if q := p.TotalCharge(); math.Abs(q) > 1e-9 {
+		t.Fatalf("net charge %g", q)
+	}
+}
+
+func TestPICDepositRangeSumsToFull(t *testing.T) {
+	p := NewPIC(1000, 32, 8)
+	full := make([]float64, p.Nx)
+	p.DepositRange(0, 1000, full)
+	a := make([]float64, p.Nx)
+	b := make([]float64, p.Nx)
+	p.DepositRange(0, 500, a)
+	p.DepositRange(500, 1000, b)
+	for i := range full {
+		if math.Abs(full[i]-(a[i]+b[i])) > 1e-9 {
+			t.Fatalf("cell %d: %g vs %g", i, full[i], a[i]+b[i])
+		}
+	}
+}
+
+func TestPICFieldZeroMean(t *testing.T) {
+	p := NewPIC(1000, 64, 9)
+	p.Deposit()
+	p.SolveField()
+	var mean float64
+	for _, e := range p.E {
+		mean += e
+	}
+	if math.Abs(mean/float64(p.Nx)) > 1e-12 {
+		t.Fatalf("field mean %g", mean)
+	}
+}
+
+func TestPICParticlesStayInDomain(t *testing.T) {
+	p := NewPIC(500, 32, 10)
+	for s := 0; s < 50; s++ {
+		p.Step(0.01)
+	}
+	for i, pt := range p.Particles {
+		if pt.X < 0 || pt.X >= p.L {
+			t.Fatalf("particle %d escaped to %f", i, pt.X)
+		}
+	}
+}
+
+func TestPICTwoStreamInstabilityGrowsField(t *testing.T) {
+	p := NewPIC(4000, 64, 11)
+	p.Deposit()
+	p.SolveField()
+	fe0 := p.FieldEnergy()
+	for s := 0; s < 400; s++ {
+		p.Step(0.05)
+	}
+	fe1 := p.FieldEnergy()
+	if fe1 < 10*fe0 {
+		t.Fatalf("two-stream field energy did not grow: %g -> %g", fe0, fe1)
+	}
+}
+
+// Property: deposit conserves total particle charge for any particle set.
+func TestPropertyDepositConservesCharge(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		p := NewPIC(len(xs), 16, 1)
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0.5
+			}
+			p.Particles[i].X = wrap(math.Abs(x), p.L)
+		}
+		grid := make([]float64, p.Nx)
+		p.DepositRange(0, len(xs), grid)
+		var q float64
+		for _, r := range grid {
+			q += r * p.Dx
+		}
+		want := p.Qp * float64(len(xs))
+		return math.Abs(q-want) < 1e-9*math.Max(1, math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---------- Graph ----------
+
+func TestGraphConnectivity(t *testing.T) {
+	g := GenerateGraph(500, 4, 12)
+	dist := g.BFS(0)
+	for v, d := range dist {
+		if d < 0 {
+			t.Fatalf("vertex %d unreachable", v)
+		}
+	}
+}
+
+func TestGraphDegreeSkew(t *testing.T) {
+	g := GenerateGraph(2000, 4, 13)
+	indeg := make([]int, g.N)
+	for _, adj := range g.Adj {
+		for _, w := range adj {
+			indeg[w]++
+		}
+	}
+	// Hubs (low vertex ids) should collect far more in-edges than the tail.
+	lowSum, highSum := 0, 0
+	for v := 0; v < 100; v++ {
+		lowSum += indeg[v]
+	}
+	for v := g.N - 100; v < g.N; v++ {
+		highSum += indeg[v]
+	}
+	if lowSum <= 2*highSum {
+		t.Fatalf("degree distribution not skewed: low=%d high=%d", lowSum, highSum)
+	}
+}
+
+func TestBFSDistancesAreShortest(t *testing.T) {
+	g := GenerateGraph(300, 3, 14)
+	dist := g.BFS(5)
+	// Triangle check: for every edge (u,v), dist[v] <= dist[u]+1.
+	for u, adj := range g.Adj {
+		for _, v := range adj {
+			if dist[v] > dist[u]+1 {
+				t.Fatalf("edge (%d,%d): dist %d -> %d", u, v, dist[u], dist[v])
+			}
+		}
+	}
+	if dist[5] != 0 {
+		t.Fatalf("root distance %d", dist[5])
+	}
+}
+
+// ---------- Stencil ----------
+
+func TestJacobiConvergesToLinearProfile(t *testing.T) {
+	f := JacobiInitial(33)
+	got := JacobiRun(f, 20000)
+	if r := JacobiResidual(got); r > 1e-3 {
+		t.Fatalf("residual %g after relaxation", r)
+	}
+}
+
+func TestJacobiPreservesBoundaries(t *testing.T) {
+	f := JacobiInitial(17)
+	got := JacobiRun(f, 100)
+	if got[0] != 1.0 || got[16] != 0.0 {
+		t.Fatalf("boundaries drifted: %f %f", got[0], got[16])
+	}
+}
+
+func TestJacobiMaxPrinciple(t *testing.T) {
+	f := JacobiInitial(65)
+	got := JacobiRun(f, 500)
+	for i, v := range got {
+		if v < 0 || v > 1 {
+			t.Fatalf("cell %d = %f violates max principle", i, v)
+		}
+	}
+}
+
+func TestAMRRegridTracksMovingFeature(t *testing.T) {
+	s := NewAMRSimulation(0.2, 0.01, 0.05, 1e-4, 12)
+	if c := s.DeepLeafCenter(); math.Abs(c-0.2) > 0.1 {
+		t.Fatalf("initial refinement at %f, feature at 0.2", c)
+	}
+	totalChanged := 0
+	for step := 0; step < 8; step++ {
+		totalChanged += s.Step()
+	}
+	// Feature moved to 0.2 + 8*0.05 = 0.6; refinement must have followed.
+	if c := s.DeepLeafCenter(); math.Abs(c-0.6) > 0.1 {
+		t.Fatalf("refinement at %f, feature at 0.6", c)
+	}
+	if totalChanged == 0 {
+		t.Fatal("mesh never changed despite moving feature")
+	}
+}
+
+func TestAMRRegridWrapsDomain(t *testing.T) {
+	s := NewAMRSimulation(0.9, 0.01, 0.2, 1e-4, 10)
+	s.Step() // 0.9 -> 1.1 -> wraps to 0.1
+	if s.X0 < 0 || s.X0 >= 1 {
+		t.Fatalf("feature position %f escaped domain", s.X0)
+	}
+	if c := s.DeepLeafCenter(); math.Abs(c-s.X0) > 0.15 {
+		t.Fatalf("refinement at %f, feature at %f", c, s.X0)
+	}
+}
+
+func TestAMRRegridIntegralStaysAccurate(t *testing.T) {
+	// The integral of the field is invariant under feature position
+	// (periodic-ish: sin part integrates the same, Gaussian mass moves but
+	// is conserved while away from boundaries).
+	s := NewAMRSimulation(0.3, 0.01, 0.04, 1e-5, 14)
+	want := IntegrateAMR(s.Field(), s.Root)
+	for step := 0; step < 5; step++ {
+		s.Step()
+		got := IntegrateAMR(s.Field(), s.Root)
+		if math.Abs(got-want) > 5e-3 {
+			t.Fatalf("step %d: integral drifted %f -> %f", step, want, got)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package parallex
+
+import (
+	"time"
+
+	"repro/internal/agas"
+	"repro/internal/core"
+	"repro/internal/lco"
+	"repro/internal/locality"
+	"repro/internal/network"
+	"repro/internal/parcel"
+)
+
+// Core runtime types, re-exported as the public API surface.
+type (
+	// Runtime is one ParalleX machine instance.
+	Runtime = core.Runtime
+	// Config parameterizes a runtime.
+	Config = core.Config
+	// Context is an executing thread's view of the runtime.
+	Context = core.Context
+	// ActionFunc is a parcel action body.
+	ActionFunc = core.ActionFunc
+	// Faults configures parcel-level fault injection for tests.
+	Faults = core.Faults
+
+	// GID is a global identifier in the ParalleX name space.
+	GID = agas.GID
+	// Kind types a global name.
+	Kind = agas.Kind
+
+	// Parcel is the message-driven unit of work movement.
+	Parcel = parcel.Parcel
+	// Continuation names what happens after a parcel's action completes.
+	Continuation = parcel.Continuation
+	// Args builds an encoded argument record.
+	Args = parcel.Args
+	// ArgsReader decodes an argument record.
+	ArgsReader = parcel.Reader
+
+	// Future is a single-assignment LCO.
+	Future = lco.Future
+	// Dataflow is an n-input dataflow template LCO.
+	Dataflow = lco.Dataflow
+	// AndGate fires after n signals.
+	AndGate = lco.AndGate
+	// OrGate fires on the first of several signals.
+	OrGate = lco.OrGate
+	// Reduce accumulates n contributions with an associative operator.
+	Reduce = lco.Reduce
+	// Semaphore is a counting semaphore LCO.
+	Semaphore = lco.Semaphore
+	// Barrier is the conventional global barrier (provided for
+	// comparison; prefer dataflow LCOs).
+	Barrier = lco.Barrier
+	// DepletedThread stores a suspended thread's continuation.
+	DepletedThread = lco.DepletedThread
+	// Metathread instantiates a thread when its dependencies fire.
+	Metathread = lco.Metathread
+
+	// NetworkModel computes message latencies between localities.
+	NetworkModel = network.Model
+	// NetworkParams holds a network model's physical constants.
+	NetworkParams = network.Params
+
+	// SchedulingPolicy selects locality queue order.
+	SchedulingPolicy = locality.Policy
+)
+
+// Name kinds.
+const (
+	KindData     = agas.KindData
+	KindAction   = agas.KindAction
+	KindLCO      = agas.KindLCO
+	KindProcess  = agas.KindProcess
+	KindHardware = agas.KindHardware
+)
+
+// Scheduling policies.
+const (
+	FIFO = locality.FIFO
+	LIFO = locality.LIFO
+)
+
+// Built-in actions usable as continuation targets.
+const (
+	ActionLCOSet        = core.ActionLCOSet
+	ActionLCOFail       = core.ActionLCOFail
+	ActionLCOSignal     = core.ActionLCOSignal
+	ActionLCOContribute = core.ActionLCOContribute
+	ActionNop           = core.ActionNop
+)
+
+// New builds and starts a runtime. Callers must Shutdown when done.
+func New(cfg Config) *Runtime { return core.New(cfg) }
+
+// NewParcel builds a parcel with a fresh ID.
+func NewParcel(dest GID, action string, args []byte, cont ...Continuation) *Parcel {
+	return parcel.New(dest, action, args, cont...)
+}
+
+// NewArgs starts an argument record.
+func NewArgs() *Args { return parcel.NewArgs() }
+
+// ReadArgs decodes an argument record.
+func ReadArgs(buf []byte) *ArgsReader { return parcel.NewReader(buf) }
+
+// NewFuture creates an unresolved future LCO (unnamed; use
+// Runtime.NewFutureAt for a globally named one).
+func NewFuture() *Future { return lco.NewFuture() }
+
+// NewDataflow creates an n-input dataflow template.
+func NewDataflow(n int, fn func(inputs []any) (any, error)) *Dataflow {
+	return lco.NewDataflow(n, fn)
+}
+
+// NewAndGate creates a gate expecting n signals.
+func NewAndGate(n int) *AndGate { return lco.NewAndGate(n) }
+
+// NewReduce creates a reduction LCO.
+func NewReduce(n int, init any, op func(acc, v any) any) *Reduce {
+	return lco.NewReduce(n, init, op)
+}
+
+// WhenAll joins futures: the result resolves with all values in order.
+func WhenAll(futures ...*Future) *Future { return lco.WhenAll(futures...) }
+
+// WhenAny races futures: the result resolves with the first success.
+func WhenAny(futures ...*Future) *Future { return lco.WhenAny(futures...) }
+
+// Then chains a transformation onto a future.
+func Then(f *Future, fn func(v any) (any, error)) *Future { return lco.Then(f, fn) }
+
+// NewSemaphore creates a counting semaphore with n permits.
+func NewSemaphore(n int) *Semaphore { return lco.NewSemaphore(n) }
+
+// NewBarrier creates a conventional reusable barrier for n participants.
+func NewBarrier(n int) *Barrier { return lco.NewBarrier(n) }
+
+// DefaultNetworkParams returns the baseline interconnect constants.
+func DefaultNetworkParams() NetworkParams { return network.DefaultParams() }
+
+// IdealNetwork returns a zero-latency network over n localities.
+func IdealNetwork(n int) NetworkModel { return network.NewIdeal(n) }
+
+// CrossbarNetwork returns a uniform two-hop crossbar.
+func CrossbarNetwork(n int, p NetworkParams) NetworkModel { return network.NewCrossbar(n, p) }
+
+// TorusNetwork returns a 2-D torus.
+func TorusNetwork(n int, p NetworkParams) NetworkModel { return network.NewTorus2D(n, p) }
+
+// DataVortexNetwork returns the Gilgamesh II Data-Vortex-style network.
+func DataVortexNetwork(n int, p NetworkParams, deflection float64) NetworkModel {
+	return network.NewDataVortex(n, p, deflection)
+}
+
+// FatTreeNetwork returns a k-ary fat tree (folded Clos).
+func FatTreeNetwork(n, arity int, p NetworkParams) NetworkModel {
+	return network.NewFatTree(n, arity, p)
+}
+
+// EncodeValue encodes a dynamically-typed value for parcel transport.
+func EncodeValue(v any) ([]byte, error) { return parcel.EncodeAny(v) }
+
+// DecodeValue decodes a value encoded by EncodeValue.
+func DecodeValue(buf []byte) (any, error) { return parcel.DecodeAny(buf) }
+
+// Latency is a convenience alias for durations in configs.
+type Latency = time.Duration

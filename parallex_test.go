@@ -1,0 +1,147 @@
+package parallex_test
+
+import (
+	"testing"
+	"time"
+
+	parallex "repro"
+)
+
+// These tests exercise the public facade exactly as a downstream user
+// would, including the quickstart from the package documentation.
+
+func TestQuickstartFromDocs(t *testing.T) {
+	rt := parallex.New(parallex.Config{Localities: 4})
+	defer rt.Shutdown()
+	rt.MustRegisterAction("sum", func(ctx *parallex.Context, target any, args *parallex.ArgsReader) (any, error) {
+		vec := target.([]float64)
+		s := 0.0
+		for _, v := range vec {
+			s += v
+		}
+		return s, nil
+	})
+	data := rt.NewDataAt(2, []float64{1, 2, 3})
+	fut := rt.CallFrom(0, data, "sum", nil)
+	v, err := fut.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(float64) != 6 {
+		t.Fatalf("sum = %v", v)
+	}
+}
+
+func TestFacadeNetworkConstructors(t *testing.T) {
+	p := parallex.DefaultNetworkParams()
+	for _, net := range []parallex.NetworkModel{
+		parallex.IdealNetwork(8),
+		parallex.CrossbarNetwork(8, p),
+		parallex.TorusNetwork(8, p),
+		parallex.DataVortexNetwork(8, p, 0.1),
+	} {
+		rt := parallex.New(parallex.Config{Localities: 8, Net: net})
+		done := parallex.NewAndGate(8)
+		for i := 0; i < 8; i++ {
+			rt.Spawn(i, func(ctx *parallex.Context) { done.Signal() })
+		}
+		done.Wait()
+		rt.Shutdown()
+	}
+}
+
+func TestFacadeParcelWithContinuationChain(t *testing.T) {
+	rt := parallex.New(parallex.Config{Localities: 3})
+	defer rt.Shutdown()
+	rt.MustRegisterAction("inc", func(ctx *parallex.Context, target any, args *parallex.ArgsReader) (any, error) {
+		raw := args.Bytes()
+		if err := args.Err(); err != nil {
+			return nil, err
+		}
+		v, err := parallex.DecodeValue(raw)
+		if err != nil {
+			return nil, err
+		}
+		return v.(int64) + 1, nil
+	})
+	a := rt.NewDataAt(1, "a")
+	b := rt.NewDataAt(2, "b")
+	fgid, fut := rt.NewFutureAt(0)
+	seed, _ := parallex.EncodeValue(int64(0))
+	rt.SendFrom(0, parallex.NewParcel(a, "inc", parallex.NewArgs().Bytes(seed).Encode(),
+		parallex.Continuation{Target: b, Action: "inc"},
+		parallex.Continuation{Target: fgid, Action: parallex.ActionLCOSet},
+	))
+	v, err := fut.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int64) != 2 {
+		t.Fatalf("chain = %v", v)
+	}
+}
+
+func TestFacadeLCOConstructors(t *testing.T) {
+	f := parallex.NewFuture()
+	f.Set(1)
+	df := parallex.NewDataflow(1, func(in []any) (any, error) { return in[0], nil })
+	df.Supply(0, 2)
+	if v, _ := df.Out().Get(); v.(int) != 2 {
+		t.Fatal("dataflow broken through facade")
+	}
+	r := parallex.NewReduce(2, 0, func(a, v any) any { return a.(int) + v.(int) })
+	r.Contribute(3)
+	r.Contribute(4)
+	if v, _ := r.Out().Get(); v.(int) != 7 {
+		t.Fatal("reduce broken through facade")
+	}
+	s := parallex.NewSemaphore(1)
+	s.Acquire()
+	s.Release()
+	b := parallex.NewBarrier(1)
+	b.Arrive()
+	g := parallex.NewAndGate(1)
+	g.Signal()
+	g.Wait()
+}
+
+func TestFacadeValueCodec(t *testing.T) {
+	for _, v := range []any{int64(5), 3.14, "str", true, []float64{1, 2}} {
+		buf, err := parallex.EncodeValue(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := parallex.DecodeValue(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch x := v.(type) {
+		case []float64:
+			g := got.([]float64)
+			if len(g) != len(x) {
+				t.Fatalf("vec mismatch")
+			}
+		default:
+			if got != v {
+				t.Fatalf("%v != %v", got, v)
+			}
+		}
+	}
+}
+
+func TestFacadeLatencyVisibleToUser(t *testing.T) {
+	net := parallex.CrossbarNetwork(2, parallex.NetworkParams{
+		InjectionOverhead: 2 * time.Millisecond,
+	})
+	rt := parallex.New(parallex.Config{Localities: 2, Net: net})
+	defer rt.Shutdown()
+	obj := rt.NewDataAt(1, struct{}{})
+	start := time.Now()
+	fut := rt.CallFrom(0, obj, parallex.ActionNop, nil)
+	if _, err := fut.Get(); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 4*time.Millisecond {
+		t.Fatal("round trip faster than the configured network allows")
+	}
+}
