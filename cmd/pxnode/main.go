@@ -1,0 +1,239 @@
+// Command pxnode starts one node of a multi-process ParalleX machine and
+// runs a named distributed workload. Each node hosts a contiguous range of
+// localities; parcels cross between nodes as length-framed streams over
+// TCP. Node 0 drives the workload, the others serve parcels until the
+// driver broadcasts a halt.
+//
+// A three-node machine on one host:
+//
+//	pxnode -node 0 -peers 127.0.0.1:9400,127.0.0.1:9401,127.0.0.1:9402 -localities 2,2,2 -workload ring &
+//	pxnode -node 1 -peers 127.0.0.1:9400,127.0.0.1:9401,127.0.0.1:9402 -localities 2,2,2 &
+//	pxnode -node 2 -peers 127.0.0.1:9400,127.0.0.1:9401,127.0.0.1:9402 -localities 2,2,2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	parallex "repro"
+)
+
+func main() {
+	node := flag.Int("node", 0, "this process's node ID")
+	peers := flag.String("peers", "", "comma-separated host:port of every node, in node order")
+	locs := flag.String("localities", "", "comma-separated locality count per node, e.g. 2,2,2")
+	listen := flag.String("listen", "", "listen address (default: the -peers entry for this node)")
+	workload := flag.String("workload", "", "ping | ring | reduce (node 0 only; empty = serve until halt)")
+	iters := flag.Int("n", 100, "workload iterations")
+	workers := flag.Int("workers", 4, "workers per locality")
+	flag.Parse()
+
+	peerList := strings.Split(*peers, ",")
+	if *peers == "" || len(peerList) < 2 {
+		log.Fatal("pxnode: -peers needs at least two comma-separated addresses")
+	}
+	ranges, err := parseLocalities(*locs, len(peerList))
+	if err != nil {
+		log.Fatalf("pxnode: %v", err)
+	}
+	if *node < 0 || *node >= len(peerList) {
+		log.Fatalf("pxnode: -node %d outside machine [0,%d)", *node, len(peerList))
+	}
+	addr := *listen
+	if addr == "" {
+		addr = peerList[*node]
+	}
+
+	hsRanges := make([][2]int, len(ranges))
+	for i, rg := range ranges {
+		hsRanges[i] = [2]int{rg.Lo, rg.Hi}
+	}
+	tr, err := parallex.NewTCPTransport(parallex.TCPTransportConfig{
+		Self:   *node,
+		Listen: addr,
+		Peers:  peerList,
+		Ranges: hsRanges,
+	})
+	if err != nil {
+		log.Fatalf("pxnode: %v", err)
+	}
+
+	rt := parallex.New(parallex.Config{
+		Transport:          tr,
+		NodeID:             *node,
+		NodeLocalities:     ranges,
+		WorkersPerLocality: *workers,
+		// Actions must exist before the transport starts delivering: a
+		// peer's parcel can name them the instant the node is reachable.
+		Register: registerDistActions,
+	})
+	home := ranges[*node].Lo
+	fmt.Printf("pxnode: node %d up, localities %v of %d, listening on %s\n",
+		*node, ranges[*node], rt.Localities(), addr)
+
+	if *node != 0 {
+		if *workload != "" {
+			log.Fatal("pxnode: only node 0 drives a workload")
+		}
+		<-rt.HaltRequested()
+		fmt.Printf("pxnode: node %d halt received, draining\n", *node)
+		rt.Shutdown()
+		return
+	}
+
+	start := time.Now()
+	switch *workload {
+	case "ping":
+		runPing(rt, home, *iters)
+	case "ring":
+		runRing(rt, home, *iters)
+	case "reduce":
+		runReduce(rt, home, *iters)
+	case "":
+		// Serve-only driver: useful when another process injects work.
+	default:
+		log.Fatalf("pxnode: unknown workload %q", *workload)
+	}
+	rt.Wait()
+	fmt.Printf("pxnode: machine quiescent after %v\n", time.Since(start))
+	fmt.Printf("pxnode: stats %v\n", rt.SLOW())
+	if errs := rt.Errors(); len(errs) > 0 {
+		die(rt, "pxnode: %d runtime errors, first: %v", len(errs), errs[0])
+	}
+	rt.RequestHalt()
+	rt.Shutdown()
+}
+
+// die reports a driver failure but still broadcasts the halt first, so
+// worker nodes do not wait forever on a machine whose driver is gone.
+func die(rt *parallex.Runtime, format string, args ...any) {
+	rt.RequestHalt()
+	log.Fatalf(format, args...)
+}
+
+// parseLocalities turns "2,2,2" into contiguous per-node ranges.
+func parseLocalities(spec string, nodes int) ([]parallex.LocalityRange, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("-localities is required (e.g. 2,2,2)")
+	}
+	parts := strings.Split(spec, ",")
+	if len(parts) != nodes {
+		return nil, fmt.Errorf("-localities has %d entries for %d nodes", len(parts), nodes)
+	}
+	ranges := make([]parallex.LocalityRange, len(parts))
+	lo := 0
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad locality count %q", p)
+		}
+		ranges[i] = parallex.LocalityRange{Lo: lo, Hi: lo + n}
+		lo += n
+	}
+	return ranges, nil
+}
+
+// registerDistActions installs the workload actions on this node. Every
+// node registers everything: action names travel in parcels and any
+// locality may be asked to execute one.
+func registerDistActions(rt *parallex.Runtime) {
+	// pxnode.rank answers with the executing locality's index.
+	rt.MustRegisterAction("pxnode.rank", func(ctx *parallex.Context, target any, args *parallex.ArgsReader) (any, error) {
+		return int64(ctx.Locality()), nil
+	})
+	// pxnode.incr takes the continuation value record and passes it on,
+	// incremented — the hop counter of the ring workload.
+	rt.MustRegisterAction("pxnode.incr", func(ctx *parallex.Context, target any, args *parallex.ArgsReader) (any, error) {
+		raw := args.Bytes()
+		if err := args.Err(); err != nil {
+			return nil, err
+		}
+		v, err := parallex.DecodeValue(raw)
+		if err != nil {
+			return nil, err
+		}
+		n, ok := v.(int64)
+		if !ok {
+			return nil, fmt.Errorf("pxnode.incr got %T", v)
+		}
+		return n + 1, nil
+	})
+}
+
+// runPing round-trips a split-phase no-op call to every locality in turn,
+// reporting the mean latency per (mostly cross-node) call.
+func runPing(rt *parallex.Runtime, home, iters int) {
+	start := time.Now()
+	calls := 0
+	for i := 0; i < iters; i++ {
+		for loc := 0; loc < rt.Localities(); loc++ {
+			fut := rt.CallFrom(home, rt.LocalityGID(loc), parallex.ActionNop, nil)
+			if _, err := fut.Get(); err != nil {
+				die(rt, "pxnode: ping locality %d: %v", loc, err)
+			}
+			calls++
+		}
+	}
+	fmt.Printf("pxnode: ping %d calls, %.1fµs mean round trip\n",
+		calls, float64(time.Since(start).Microseconds())/float64(calls))
+}
+
+// runRing sends one parcel whose continuation chain visits every locality
+// in order before resolving a future back home — the locus of control
+// migrates around the machine without ever returning to the sender
+// mid-chain.
+func runRing(rt *parallex.Runtime, home, iters int) {
+	for i := 0; i < iters; i++ {
+		zero, err := parallex.EncodeValue(int64(0))
+		if err != nil {
+			die(rt, "pxnode: %v", err)
+		}
+		fgid, fut := rt.NewFutureAt(home)
+		cont := make([]parallex.Continuation, 0, rt.Localities())
+		for loc := 1; loc < rt.Localities(); loc++ {
+			cont = append(cont, parallex.Continuation{Target: rt.LocalityGID(loc), Action: "pxnode.incr"})
+		}
+		cont = append(cont, parallex.Continuation{Target: fgid, Action: parallex.ActionLCOSet})
+		p := parallex.NewParcel(rt.LocalityGID(0), "pxnode.incr",
+			parallex.NewArgs().Bytes(zero).Encode(), cont...)
+		rt.SendFrom(home, p)
+		v, err := fut.Get()
+		if err != nil {
+			die(rt, "pxnode: ring lap %d: %v", i, err)
+		}
+		if got := v.(int64); got != int64(rt.Localities()) {
+			die(rt, "pxnode: ring lap %d counted %d hops, want %d", i, got, rt.Localities())
+		}
+	}
+	fmt.Printf("pxnode: ring %d laps of %d hops each\n", iters, rt.Localities())
+}
+
+// runReduce fans a rank query out to every locality, funnelling the
+// answers into one Reduce LCO — a machine-wide all-to-one collective.
+func runReduce(rt *parallex.Runtime, home, iters int) {
+	n := rt.Localities()
+	want := int64(n * (n - 1) / 2)
+	for i := 0; i < iters; i++ {
+		rgid, red := rt.NewReduceAt(home, n, int64(0), func(acc, v any) any {
+			return acc.(int64) + v.(int64)
+		})
+		for loc := 0; loc < n; loc++ {
+			p := parallex.NewParcel(rt.LocalityGID(loc), "pxnode.rank", nil,
+				parallex.Continuation{Target: rgid, Action: parallex.ActionLCOContribute})
+			rt.SendFrom(home, p)
+		}
+		v, err := red.Out().Get()
+		if err != nil {
+			die(rt, "pxnode: reduce round %d: %v", i, err)
+		}
+		if got := v.(int64); got != want {
+			die(rt, "pxnode: reduce round %d = %d, want %d", i, got, want)
+		}
+		rt.FreeObject(rgid)
+	}
+	fmt.Printf("pxnode: reduce %d rounds over %d localities (rank sum %d)\n", iters, n, want)
+}

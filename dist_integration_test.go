@@ -1,0 +1,211 @@
+package parallex_test
+
+// Multi-node integration tests: one logical ParalleX machine spanning
+// several runtime instances ("nodes") joined by a transport — the in-process
+// loopback fabric and real TCP streams over 127.0.0.1. Each node hosts a
+// contiguous range of localities; parcels for non-resident localities cross
+// the transport in wire form, and Wait/Shutdown drain the whole machine.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	parallex "repro"
+	"repro/internal/transport"
+)
+
+// distRanges partitions six localities across three nodes.
+var distRanges = []parallex.LocalityRange{{Lo: 0, Hi: 2}, {Lo: 2, Hi: 4}, {Lo: 4, Hi: 6}}
+
+// startMachine builds a three-node machine over the given per-node
+// transports and registers the shared test actions on every node.
+func startMachine(t *testing.T, trs []parallex.Transport) []*parallex.Runtime {
+	t.Helper()
+	rts := make([]*parallex.Runtime, len(trs))
+	for i, tr := range trs {
+		rts[i] = parallex.New(parallex.Config{
+			Transport:          tr,
+			NodeID:             i,
+			NodeLocalities:     distRanges,
+			WorkersPerLocality: 2,
+			Register:           registerTestActions,
+		})
+	}
+	return rts
+}
+
+func registerTestActions(rt *parallex.Runtime) {
+	rt.MustRegisterAction("dist.sum", func(ctx *parallex.Context, target any, args *parallex.ArgsReader) (any, error) {
+		vec, ok := target.([]float64)
+		if !ok {
+			return nil, fmt.Errorf("dist.sum on %T", target)
+		}
+		s := 0.0
+		for _, v := range vec {
+			s += v
+		}
+		return s, nil
+	})
+	// dist.shift receives the previous action's result (the standard
+	// continuation value record) and adds the target object's offset,
+	// passing the new value down the continuation chain.
+	rt.MustRegisterAction("dist.shift", func(ctx *parallex.Context, target any, args *parallex.ArgsReader) (any, error) {
+		offset, ok := target.(float64)
+		if !ok {
+			return nil, fmt.Errorf("dist.shift on %T", target)
+		}
+		raw := args.Bytes()
+		if err := args.Err(); err != nil {
+			return nil, err
+		}
+		v, err := parallex.DecodeValue(raw)
+		if err != nil {
+			return nil, err
+		}
+		f, ok := v.(float64)
+		if !ok {
+			return nil, fmt.Errorf("dist.shift got %T", v)
+		}
+		return f + offset, nil
+	})
+}
+
+// exerciseMachine runs the cross-node scenarios on a started machine:
+// a remote CallFrom, a continuation chain touching a third node, and a
+// reverse-direction call, then drains and shuts down every node.
+func exerciseMachine(t *testing.T, rts []*parallex.Runtime) {
+	t.Helper()
+	// Node 1 hosts the data (locality 2), node 2 hosts the relay
+	// (locality 4), node 0 drives from locality 0.
+	data := rts[1].NewDataAt(2, []float64{1, 2, 3})
+	relay := rts[2].NewDataAt(4, 10.5)
+
+	// Cross-node split-phase call: locality 0 (node 0) -> locality 2
+	// (node 1), continuation back to the future homed at locality 0.
+	fut := rts[0].CallFrom(0, data, "dist.sum", nil)
+	v, err := fut.Get()
+	if err != nil {
+		t.Fatalf("remote CallFrom: %v", err)
+	}
+	if got := v.(float64); got != 6 {
+		t.Fatalf("remote sum = %v, want 6", got)
+	}
+
+	// Continuation chain across three nodes: the locus of control moves
+	// node 0 -> node 1 (sum) -> node 2 (shift by the relay's offset) ->
+	// node 0 (resolve the future). No hop returns to the sender.
+	fgid, fut2 := rts[0].NewFutureAt(1) // future on locality 1, still node 0
+	p := parallex.NewParcel(data, "dist.sum", nil,
+		parallex.Continuation{Target: relay, Action: "dist.shift"},
+		parallex.Continuation{Target: fgid, Action: parallex.ActionLCOSet},
+	)
+	rts[0].SendFrom(0, p)
+	v, err = fut2.Get()
+	if err != nil {
+		t.Fatalf("continuation chain: %v", err)
+	}
+	if got := v.(float64); got != 16.5 {
+		t.Fatalf("chained result = %v, want 16.5", got)
+	}
+
+	// Reverse direction: node 2 calls into node 0's locality 1.
+	back := rts[0].NewDataAt(1, []float64{4, 4})
+	fut3 := rts[2].CallFrom(5, back, "dist.sum", nil)
+	if v, err = fut3.Get(); err != nil || v.(float64) != 8 {
+		t.Fatalf("reverse call = %v, %v; want 8", v, err)
+	}
+
+	// Freeing a name homed on another node is a safe no-op from here:
+	// names are freed by their owning node.
+	rts[0].FreeObject(data)
+	if _, ok := rts[1].LocalObject(2, data); !ok {
+		t.Fatal("cross-node FreeObject must not remove the remote object")
+	}
+
+	// Affinity against a remotely owned anchor is an error, not a panic,
+	// and Colocated refuses to guess about remote owners.
+	if err := rts[0].SpawnNear(data, func(*parallex.Context) {}); err == nil {
+		t.Fatal("SpawnNear with a remote anchor must error")
+	}
+	if _, err := rts[0].NewDataNear(data, 1.0); err == nil {
+		t.Fatal("NewDataNear with a remote anchor must error")
+	}
+	if _, err := rts[0].Colocated(data, relay); err == nil {
+		t.Fatal("Colocated over remote names must error")
+	}
+	if ok, err := rts[1].Colocated(data, data); err != nil || !ok {
+		t.Fatalf("Colocated on the owning node = %v, %v", ok, err)
+	}
+
+	// Global quiescence from the driving node, then an orderly shutdown of
+	// every node (each later node drains against the departure records of
+	// the earlier ones).
+	rts[0].Wait()
+	for i, rt := range rts {
+		rt.Shutdown()
+		if errs := rt.Errors(); len(errs) != 0 {
+			t.Fatalf("node %d recorded errors: %v", i, errs)
+		}
+	}
+}
+
+// waitGoroutines polls until the goroutine count returns to the baseline
+// (plus slack for runtime-internal helpers), failing the test on leaks.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d now vs %d at start\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestDistributedMachineInproc(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	fabric := parallex.NewLoopbackFabric(3)
+	trs := make([]parallex.Transport, 3)
+	for i := range trs {
+		trs[i] = fabric.Node(i)
+	}
+	exerciseMachine(t, startMachine(t, trs))
+	waitGoroutines(t, baseline)
+}
+
+func TestDistributedMachineTCP(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	ranges := make([][2]int, len(distRanges))
+	for i, rg := range distRanges {
+		ranges[i] = [2]int{rg.Lo, rg.Hi}
+	}
+	tcps := make([]*transport.TCP, 3)
+	addrs := make([]string, 3)
+	for i := range tcps {
+		tr, err := parallex.NewTCPTransport(parallex.TCPTransportConfig{
+			Self:   i,
+			Listen: "127.0.0.1:0",
+			Peers:  make([]string, 3),
+			Ranges: ranges,
+		})
+		if err != nil {
+			t.Fatalf("tcp node %d: %v", i, err)
+		}
+		tcps[i] = tr
+		addrs[i] = tr.Addr().String()
+	}
+	trs := make([]parallex.Transport, 3)
+	for i, tr := range tcps {
+		tr.SetPeers(addrs)
+		trs[i] = tr
+	}
+	exerciseMachine(t, startMachine(t, trs))
+	waitGoroutines(t, baseline)
+}

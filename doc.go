@@ -26,6 +26,12 @@
 //     coherence (package internal/echo).
 //   - Parallel processes: first-class processes spanning localities
 //     (package internal/process).
+//   - Multi-node machines: one logical machine spanning OS processes,
+//     each hosting a contiguous locality range, joined by a frame
+//     transport (package internal/transport; Config.Transport). Parcels
+//     for non-resident localities cross the wire in the parcel wire
+//     format, and Wait extends quiescence detection across nodes. The
+//     cmd/pxnode binary starts one node from flags.
 //
 // A quickstart:
 //

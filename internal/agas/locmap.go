@@ -1,0 +1,82 @@
+package agas
+
+import "fmt"
+
+// Range is a half-open contiguous span of locality indices [Lo, Hi).
+type Range struct {
+	Lo, Hi int
+}
+
+// Contains reports whether loc falls inside the range.
+func (r Range) Contains(loc int) bool { return loc >= r.Lo && loc < r.Hi }
+
+// Count reports the number of localities in the range.
+func (r Range) Count() int { return r.Hi - r.Lo }
+
+// String renders the range for logs and flags.
+func (r Range) String() string { return fmt.Sprintf("[%d,%d)", r.Lo, r.Hi) }
+
+// LocalityMap records which node of a multi-process machine hosts each
+// locality. Node i hosts the contiguous range ranges[i]; together the
+// ranges partition [0, Localities()). The map is immutable after
+// construction — localities do not migrate between nodes — so lookups are
+// lock-free.
+type LocalityMap struct {
+	ranges []Range
+	node   []int // locality -> node, precomputed
+}
+
+// NewLocalityMap validates that ranges is a contiguous partition starting
+// at locality 0 and builds the map. Node i owns ranges[i].
+func NewLocalityMap(ranges []Range) (*LocalityMap, error) {
+	if len(ranges) == 0 {
+		return nil, fmt.Errorf("agas: locality map needs at least one node")
+	}
+	next := 0
+	total := 0
+	for i, rg := range ranges {
+		if rg.Lo != next || rg.Hi <= rg.Lo {
+			return nil, fmt.Errorf("agas: node %d range %v does not continue partition at %d", i, rg, next)
+		}
+		next = rg.Hi
+		total = rg.Hi
+	}
+	m := &LocalityMap{ranges: append([]Range(nil), ranges...), node: make([]int, total)}
+	for i, rg := range ranges {
+		for loc := rg.Lo; loc < rg.Hi; loc++ {
+			m.node[loc] = i
+		}
+	}
+	return m, nil
+}
+
+// MustLocalityMap is NewLocalityMap that panics on error.
+func MustLocalityMap(ranges []Range) *LocalityMap {
+	m, err := NewLocalityMap(ranges)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Nodes reports the number of nodes.
+func (m *LocalityMap) Nodes() int { return len(m.ranges) }
+
+// Localities reports the global locality count.
+func (m *LocalityMap) Localities() int { return len(m.node) }
+
+// NodeOf reports the node hosting locality loc.
+func (m *LocalityMap) NodeOf(loc int) int {
+	if loc < 0 || loc >= len(m.node) {
+		panic(fmt.Sprintf("agas: locality %d outside map [0,%d)", loc, len(m.node)))
+	}
+	return m.node[loc]
+}
+
+// NodeRange reports the locality range hosted by node n.
+func (m *LocalityMap) NodeRange(n int) Range {
+	if n < 0 || n >= len(m.ranges) {
+		panic(fmt.Sprintf("agas: node %d outside map [0,%d)", n, len(m.ranges)))
+	}
+	return m.ranges[n]
+}

@@ -1,0 +1,84 @@
+package agas
+
+import "testing"
+
+func TestLocalityMapPartition(t *testing.T) {
+	m, err := NewLocalityMap([]Range{{0, 2}, {2, 5}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Nodes() != 3 || m.Localities() != 6 {
+		t.Fatalf("got %d nodes, %d localities", m.Nodes(), m.Localities())
+	}
+	wantNode := []int{0, 0, 1, 1, 1, 2}
+	for loc, want := range wantNode {
+		if got := m.NodeOf(loc); got != want {
+			t.Errorf("NodeOf(%d) = %d, want %d", loc, got, want)
+		}
+	}
+	if rg := m.NodeRange(1); rg != (Range{2, 5}) {
+		t.Errorf("NodeRange(1) = %v", rg)
+	}
+
+	for _, bad := range [][]Range{
+		{},               // empty
+		{{1, 3}},         // does not start at 0
+		{{0, 2}, {3, 4}}, // gap
+		{{0, 2}, {1, 4}}, // overlap
+		{{0, 2}, {2, 2}}, // empty node
+	} {
+		if _, err := NewLocalityMap(bad); err == nil {
+			t.Errorf("partition %v accepted", bad)
+		}
+	}
+}
+
+func TestDistributedResolutionRoutesToHomeNode(t *testing.T) {
+	m := MustLocalityMap([]Range{{0, 2}, {2, 4}})
+	s := NewService(4)
+	s.SetDistribution(m, 0)
+
+	// A resident name resolves from the authoritative directory.
+	g := s.Alloc(1, KindData)
+	if owner, err := s.Owner(g); err != nil || owner != 1 {
+		t.Fatalf("resident owner = %d, %v", owner, err)
+	}
+	// A name homed on the other node resolves to its home locality: the
+	// owning node finishes resolution there.
+	remote := GID{Home: 3, Kind: KindData, Seq: 77}
+	if owner, err := s.Owner(remote); err != nil || owner != 3 {
+		t.Fatalf("remote owner = %d, %v", owner, err)
+	}
+	// Allocation homed off-node is a programming error.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("off-node alloc did not panic")
+			}
+		}()
+		s.Alloc(2, KindData)
+	}()
+	// Cross-node migration is rejected.
+	if err := s.Migrate(g, 2); err == nil {
+		t.Error("cross-node migrate accepted")
+	}
+}
+
+func TestHardwareGIDDeterministic(t *testing.T) {
+	if HardwareGID(3) != HardwareGID(3) {
+		t.Fatal("hardware GID not deterministic")
+	}
+	s := NewService(2)
+	g := s.AllocHardware(1)
+	if g != HardwareGID(1) {
+		t.Fatalf("AllocHardware = %v, want %v", g, HardwareGID(1))
+	}
+	if owner, err := s.Owner(g); err != nil || owner != 1 {
+		t.Fatalf("hardware owner = %d, %v", owner, err)
+	}
+	// The reserved sequence cannot collide with allocated names.
+	d := s.Alloc(1, KindHardware)
+	if d == g {
+		t.Fatal("allocated name collided with reserved hardware name")
+	}
+}

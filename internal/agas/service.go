@@ -42,6 +42,13 @@ type Service struct {
 	caches []*translationCache
 	ns     *Namespace
 
+	// lmap/selfNode are set when the service is one node of a multi-process
+	// machine. Directories for localities hosted by other nodes are then
+	// never authoritative here: resolution routes toward the home locality
+	// and the owning node answers from its own directory.
+	lmap     *LocalityMap
+	selfNode int
+
 	// Resolutions counts cache-miss directory consultations; CacheHits
 	// counts translations answered locally. The ratio is the address
 	// translation efficiency the paper's "efficient address translation"
@@ -66,6 +73,26 @@ func NewService(n int) *Service {
 	return s
 }
 
+// SetDistribution marks this service as node selfNode of a multi-process
+// machine partitioned by m. It must be called before any allocation and m
+// must span exactly the service's locality count.
+func (s *Service) SetDistribution(m *LocalityMap, selfNode int) {
+	if m.Localities() != s.n {
+		panic(fmt.Sprintf("agas: locality map spans %d localities, service %d", m.Localities(), s.n))
+	}
+	if selfNode < 0 || selfNode >= m.Nodes() {
+		panic(fmt.Sprintf("agas: node %d outside map of %d nodes", selfNode, m.Nodes()))
+	}
+	s.lmap = m
+	s.selfNode = selfNode
+}
+
+// resident reports whether locality loc is hosted by this node (always
+// true for a single-process machine).
+func (s *Service) resident(loc int) bool {
+	return s.lmap == nil || s.lmap.NodeOf(loc) == s.selfNode
+}
+
 // Localities reports the number of localities the service spans.
 func (s *Service) Localities() int { return s.n }
 
@@ -79,6 +106,10 @@ func (s *Service) Alloc(home int, kind Kind) GID {
 	if kind == KindInvalid {
 		panic("agas: cannot allocate invalid kind")
 	}
+	if !s.resident(home) {
+		panic(fmt.Sprintf("agas: alloc homed at locality %d, hosted by node %d not node %d",
+			home, s.lmap.NodeOf(home), s.selfNode))
+	}
 	g := GID{Home: uint32(home), Kind: kind, Seq: s.seq.Add(1)}
 	d := s.dirs[home]
 	d.mu.Lock()
@@ -87,8 +118,39 @@ func (s *Service) Alloc(home int, kind Kind) GID {
 	return g
 }
 
+// hardwareSeq is the reserved sequence number of locality hardware names.
+// It sits at the top of the sequence space, unreachable by Alloc, so every
+// node of a distributed machine can compute any locality's hardware GID
+// without consulting that locality's directory.
+const hardwareSeq = ^uint64(0)
+
+// HardwareGID returns the well-known typed name of locality loc's hardware
+// object. The name is deterministic: it does not consume a sequence number
+// and is identical on every node.
+func HardwareGID(loc int) GID {
+	return GID{Home: uint32(loc), Kind: KindHardware, Seq: hardwareSeq}
+}
+
+// AllocHardware registers the well-known hardware name for resident
+// locality home in its directory and returns it.
+func (s *Service) AllocHardware(home int) GID {
+	s.checkLoc(home)
+	if !s.resident(home) {
+		panic(fmt.Sprintf("agas: hardware name for locality %d registered off its node", home))
+	}
+	g := HardwareGID(home)
+	d := s.dirs[home]
+	d.mu.Lock()
+	d.entries[g] = entry{owner: home, gen: 1}
+	d.mu.Unlock()
+	return g
+}
+
 // Owner returns the authoritative current owner of g by consulting its home
-// directory. It reports an error for unknown names.
+// directory. For names homed at a locality hosted by another node, the home
+// locality itself is returned: the parcel layer routes toward it and the
+// owning node completes resolution from its authoritative directory.
+// It reports an error for unknown names.
 func (s *Service) Owner(g GID) (int, error) {
 	if g.IsNil() {
 		return 0, fmt.Errorf("agas: resolve of nil GID")
@@ -96,6 +158,9 @@ func (s *Service) Owner(g GID) (int, error) {
 	home := int(g.Home)
 	if home >= s.n {
 		return 0, fmt.Errorf("agas: %v homed beyond machine (%d localities)", g, s.n)
+	}
+	if !s.resident(home) {
+		return home, nil
 	}
 	d := s.dirs[home]
 	d.mu.RLock()
@@ -153,6 +218,9 @@ func (s *Service) Migrate(g GID, to int) error {
 	if home >= s.n {
 		return fmt.Errorf("agas: %v homed beyond machine", g)
 	}
+	if !s.resident(home) || !s.resident(to) {
+		return fmt.Errorf("agas: cross-node migration of %v is not supported", g)
+	}
 	d := s.dirs[home]
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -166,10 +234,11 @@ func (s *Service) Migrate(g GID, to int) error {
 	return nil
 }
 
-// Free removes g from its home directory and is idempotent.
+// Free removes g from its home directory and is idempotent. Names homed on
+// other nodes are left to their owning node.
 func (s *Service) Free(g GID) {
 	home := int(g.Home)
-	if home >= s.n {
+	if home >= s.n || !s.resident(home) {
 		return
 	}
 	d := s.dirs[home]
@@ -183,6 +252,9 @@ func (s *Service) Generation(g GID) (uint64, error) {
 	home := int(g.Home)
 	if home >= s.n {
 		return 0, fmt.Errorf("agas: %v homed beyond machine", g)
+	}
+	if !s.resident(home) {
+		return 0, fmt.Errorf("agas: generation of %v only known to its home node", g)
 	}
 	d := s.dirs[home]
 	d.mu.RLock()

@@ -13,14 +13,29 @@ import (
 // anchor object rather than at an absolute locality, so related state
 // stays co-resident as the anchor migrates.
 
+// residentAnchorOwner resolves the anchor's current owner and requires it
+// to execute in this process: affinity placement is a local act, and an
+// anchor owned by another node cannot be placed against from here.
+func (r *Runtime) residentAnchorOwner(anchor agas.GID) (int, error) {
+	owner, err := r.agas.Owner(anchor)
+	if err != nil {
+		return 0, fmt.Errorf("core: affinity anchor: %w", err)
+	}
+	if r.locs[owner] == nil {
+		return 0, fmt.Errorf("core: affinity anchor %v is owned by node %d, not this node %d",
+			anchor, r.dist.lmap.NodeOf(owner), r.dist.node)
+	}
+	return owner, nil
+}
+
 // NewDataNear installs v co-located with the anchor object's current
 // owner. The affinity is a placement decision, not a binding: if the
 // anchor later migrates, the new object stays put unless migrated too
 // (use MigrateWith for the bound form).
 func (r *Runtime) NewDataNear(anchor agas.GID, v any) (agas.GID, error) {
-	owner, err := r.agas.Owner(anchor)
+	owner, err := r.residentAnchorOwner(anchor)
 	if err != nil {
-		return agas.Nil, fmt.Errorf("core: affinity anchor: %w", err)
+		return agas.Nil, err
 	}
 	return r.NewDataAt(owner, v), nil
 }
@@ -28,9 +43,9 @@ func (r *Runtime) NewDataNear(anchor agas.GID, v any) (agas.GID, error) {
 // SpawnNear runs fn as a thread on the locality currently owning anchor —
 // the runtime form of moving work to the data without naming localities.
 func (r *Runtime) SpawnNear(anchor agas.GID, fn func(*Context)) error {
-	owner, err := r.agas.Owner(anchor)
+	owner, err := r.residentAnchorOwner(anchor)
 	if err != nil {
-		return fmt.Errorf("core: affinity anchor: %w", err)
+		return err
 	}
 	r.Spawn(owner, fn)
 	return nil
@@ -39,9 +54,9 @@ func (r *Runtime) SpawnNear(anchor agas.GID, fn func(*Context)) error {
 // CallNear invokes action on dest with the reply future homed at dest's
 // current owner, keeping the continuation local to the data.
 func (r *Runtime) CallNear(dest agas.GID, action string, args []byte) (*lco.Future, error) {
-	owner, err := r.agas.Owner(dest)
+	owner, err := r.residentAnchorOwner(dest)
 	if err != nil {
-		return nil, fmt.Errorf("core: affinity anchor: %w", err)
+		return nil, err
 	}
 	return r.CallFrom(owner, dest, action, args), nil
 }
@@ -50,9 +65,9 @@ func (r *Runtime) CallNear(dest agas.GID, action string, args []byte) (*lco.Futu
 // lives, restoring co-residency after the anchor has migrated. It returns
 // the first error encountered but attempts every follower.
 func (r *Runtime) MigrateWith(anchor agas.GID, followers ...agas.GID) error {
-	owner, err := r.agas.Owner(anchor)
+	owner, err := r.residentAnchorOwner(anchor)
 	if err != nil {
-		return fmt.Errorf("core: affinity anchor: %w", err)
+		return err
 	}
 	var first error
 	for _, f := range followers {
@@ -64,17 +79,30 @@ func (r *Runtime) MigrateWith(anchor agas.GID, followers ...agas.GID) error {
 }
 
 // Colocated reports whether all the named objects currently share a
-// locality — the invariant affinity placement exists to maintain.
+// locality — the invariant affinity placement exists to maintain. Names
+// homed on other nodes cannot be answered authoritatively from here
+// (local resolution only knows their home, not their current owner) and
+// report an error rather than a possibly wrong boolean.
 func (r *Runtime) Colocated(gids ...agas.GID) (bool, error) {
 	if len(gids) == 0 {
 		return true, nil
 	}
-	ref, err := r.agas.Owner(gids[0])
+	ownerOf := func(g agas.GID) (int, error) {
+		owner, err := r.agas.Owner(g)
+		if err != nil {
+			return 0, err
+		}
+		if home := int(g.Home); home < len(r.locs) && r.locs[home] == nil {
+			return 0, fmt.Errorf("core: current owner of %v is only known to its home node", g)
+		}
+		return owner, nil
+	}
+	ref, err := ownerOf(gids[0])
 	if err != nil {
 		return false, err
 	}
 	for _, g := range gids[1:] {
-		owner, err := r.agas.Owner(g)
+		owner, err := ownerOf(g)
 		if err != nil {
 			return false, err
 		}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/agas"
+	"repro/internal/parcel"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// Distributed frame types. Every transport frame begins with one type byte.
+const (
+	fParcel     = byte(1) // encoded parcel
+	fAck        = byte(2) // per-parcel receipt; releases the sender's work unit
+	fDrain      = byte(3) // quiescence probe: u64 seq
+	fDrainReply = byte(4) // probe answer: u64 seq | i64 pending | u64 sent | u64 recv
+	fGoodbye    = byte(5) // node departure: u64 final sent | u64 final recv
+	fHalt       = byte(6) // cooperative machine-wide halt request
+)
+
+// distState is the runtime's view of the multi-node machine: the frame
+// transport, the locality→node map, and the cross-node accounting that
+// extends quiescence detection over the wire.
+//
+// Accounting model: a parcel leaving this node keeps its local work unit
+// charged until the receiving node acknowledges the frame; the receiver
+// charges its own unit before acknowledging, so an in-flight parcel is
+// counted by at least one node at every instant. Global quiescence is then
+// detected with a Mattern-style two-wave probe: all nodes report zero
+// pending work and identical, balanced send/receive totals across two
+// consecutive waves.
+type distState struct {
+	rt   *Runtime
+	tr   transport.Transport
+	node int
+	lmap *agas.LocalityMap
+	home int // first resident locality; anchors failure accounting
+
+	sent atomic.Int64 // fParcel frames sent (successfully handed to the transport)
+	recv atomic.Int64 // fParcel frames received
+
+	drainMu  sync.Mutex
+	drainSeq uint64
+	drains   map[uint64]chan drainReply
+	departed map[int]drainReply // final totals of nodes that said goodbye
+
+	haltOnce sync.Once
+	halt     chan struct{}
+}
+
+type drainReply struct {
+	node       int
+	pending    int64
+	sent, recv uint64
+}
+
+func newDistState(r *Runtime, tr transport.Transport, node int, lmap *agas.LocalityMap) *distState {
+	return &distState{
+		rt:       r,
+		tr:       tr,
+		node:     node,
+		lmap:     lmap,
+		home:     lmap.NodeRange(node).Lo,
+		drains:   make(map[uint64]chan drainReply),
+		departed: make(map[int]drainReply),
+		halt:     make(chan struct{}),
+	}
+}
+
+// onFrame is the transport receive handler. It runs on transport
+// goroutines; everything it does is either non-blocking or a bounded send.
+func (d *distState) onFrame(from int, frame []byte) {
+	if len(frame) == 0 {
+		d.rt.recordError(fmt.Errorf("core: empty frame from node %d", from))
+		return
+	}
+	switch frame[0] {
+	case fParcel:
+		d.onParcel(from, frame[1:])
+	case fAck:
+		d.rt.doneWork()
+	case fDrain:
+		if len(frame) < 9 {
+			return
+		}
+		d.replyDrain(from, binary.LittleEndian.Uint64(frame[1:9]))
+	case fDrainReply:
+		d.onDrainReply(from, frame[1:])
+	case fGoodbye:
+		if len(frame) < 17 {
+			return
+		}
+		d.drainMu.Lock()
+		d.departed[from] = drainReply{
+			node: from,
+			sent: binary.LittleEndian.Uint64(frame[1:9]),
+			recv: binary.LittleEndian.Uint64(frame[9:17]),
+		}
+		d.drainMu.Unlock()
+	case fHalt:
+		d.haltOnce.Do(func() { close(d.halt) })
+	default:
+		d.rt.recordError(fmt.Errorf("core: unknown frame type %d from node %d", frame[0], from))
+	}
+}
+
+// onParcel decodes and delivers one cross-node parcel. The work unit is
+// charged before the acknowledgement goes out so the parcel is never
+// uncounted.
+func (d *distState) onParcel(from int, body []byte) {
+	d.recv.Add(1)
+	p, rest, err := parcel.Decode(body)
+	if err == nil && len(rest) != 0 {
+		err = fmt.Errorf("core: %d trailing bytes after parcel", len(rest))
+	}
+	if err == nil {
+		d.rt.addWork()
+	}
+	d.ack(from)
+	if err != nil {
+		d.rt.recordError(fmt.Errorf("core: bad parcel frame from node %d: %w", from, err))
+		return
+	}
+	if d.rt.ring != nil {
+		d.rt.ring.Emitf(trace.KindParcelRecv, d.home, "from N%d %s", from, p)
+	}
+	d.deliver(p)
+}
+
+// deliver routes a received parcel to its resident locality, or — when
+// this node's view was stale — repairs and re-routes it through the
+// standard forwarding path (hop-bounded, traced, delayed). Runs with one
+// work unit charged; every path releases it exactly once.
+func (d *distState) deliver(p *parcel.Parcel) {
+	r := d.rt
+	owner, err := r.agas.ResolveCached(d.home, p.Dest)
+	if err != nil {
+		r.deliverFailure(d.home, p, err)
+		return
+	}
+	if node := d.lmap.NodeOf(owner); node != d.node {
+		r.forward(d.home, p) // charges the new routing leg...
+		r.doneWork()         // ...so this one is released here
+		return
+	}
+	r.enqueue(owner, p)
+}
+
+// sendRetry delivers a frame, retrying once: a Send error means
+// non-delivery, and the second attempt redials a connection that went
+// stale since its last use, so a single transient break cannot lose a
+// frame between two healthy nodes.
+func (d *distState) sendRetry(node int, frame []byte) error {
+	err := d.tr.Send(node, frame)
+	if err != nil {
+		err = d.tr.Send(node, frame)
+	}
+	return err
+}
+
+func (d *distState) ack(node int) {
+	if err := d.sendRetry(node, []byte{fAck}); err != nil {
+		// The sender stays unreachable: its work unit for this parcel
+		// leaks and its Wait will block until the operator intervenes —
+		// parcels are not fault tolerant. Record for diagnosis.
+		d.rt.recordError(fmt.Errorf("core: ack to node %d: %w", node, err))
+	}
+}
+
+// sendParcel ships p to node. The caller's work unit for p stays charged
+// until the peer acknowledges; on transport failure the parcel fails
+// locally (parcels are at-most-once, as on the modelled network).
+func (d *distState) sendParcel(node, src int, p *parcel.Parcel) {
+	frame := p.Encode([]byte{fParcel})
+	d.sent.Add(1)
+	if err := d.sendRetry(node, frame); err != nil {
+		d.sent.Add(-1)
+		d.rt.deliverFailure(src, p, fmt.Errorf("core: transport to node %d: %w", node, err))
+		return
+	}
+	d.rt.slow.ParcelsSent.Inc()
+}
+
+// replyDrain answers a quiescence probe with this node's instantaneous
+// accounting snapshot.
+func (d *distState) replyDrain(to int, seq uint64) {
+	buf := make([]byte, 0, 33)
+	buf = append(buf, fDrainReply)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(d.rt.pending.Load()))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(d.sent.Load()))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(d.recv.Load()))
+	if err := d.sendRetry(to, buf); err != nil {
+		d.rt.recordError(fmt.Errorf("core: drain reply to node %d: %w", to, err))
+	}
+}
+
+func (d *distState) onDrainReply(from int, body []byte) {
+	if len(body) < 32 {
+		return
+	}
+	rep := drainReply{
+		node:    from,
+		pending: int64(binary.LittleEndian.Uint64(body[8:16])),
+		sent:    binary.LittleEndian.Uint64(body[16:24]),
+		recv:    binary.LittleEndian.Uint64(body[24:32]),
+	}
+	seq := binary.LittleEndian.Uint64(body[0:8])
+	d.drainMu.Lock()
+	ch, ok := d.drains[seq]
+	d.drainMu.Unlock()
+	if ok {
+		select {
+		case ch <- rep:
+		default: // probe already abandoned
+		}
+	}
+}
+
+// probe runs one drain wave: ask every live peer for its snapshot and
+// combine with our own. ok is false when a peer could not be reached or
+// did not answer in time (the wave is then retried).
+func (d *distState) probe() (allZero bool, sent, recv uint64, ok bool) {
+	d.drainMu.Lock()
+	d.drainSeq++
+	seq := d.drainSeq
+	ch := make(chan drainReply, d.tr.Nodes())
+	d.drains[seq] = ch
+	gone := make(map[int]drainReply, len(d.departed))
+	for n, rep := range d.departed {
+		gone[n] = rep
+	}
+	d.drainMu.Unlock()
+	defer func() {
+		d.drainMu.Lock()
+		delete(d.drains, seq)
+		d.drainMu.Unlock()
+	}()
+
+	probeFrame := make([]byte, 0, 9)
+	probeFrame = append(probeFrame, fDrain)
+	probeFrame = binary.LittleEndian.AppendUint64(probeFrame, seq)
+
+	allZero = d.rt.pending.Load() == 0
+	sent, recv = uint64(d.sent.Load()), uint64(d.recv.Load())
+	need := make(map[int]bool)
+	ok = true
+	for n := 0; n < d.tr.Nodes(); n++ {
+		if n == d.node {
+			continue
+		}
+		if rep, departed := gone[n]; departed {
+			sent += rep.sent
+			recv += rep.recv
+			continue
+		}
+		if err := d.sendRetry(n, probeFrame); err != nil {
+			ok = false
+			continue
+		}
+		need[n] = true
+	}
+	// Collect one answer per probed peer. A peer that departs mid-probe
+	// never answers; its goodbye record stands in for the reply.
+	timeout := time.After(500 * time.Millisecond)
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for len(need) > 0 {
+		select {
+		case rep := <-ch:
+			if !need[rep.node] {
+				continue // duplicate or stale
+			}
+			delete(need, rep.node)
+			if rep.pending != 0 {
+				allZero = false
+			}
+			sent += rep.sent
+			recv += rep.recv
+		case <-tick.C:
+			d.drainMu.Lock()
+			for n := range need {
+				if rep, departed := d.departed[n]; departed {
+					delete(need, n)
+					sent += rep.sent
+					recv += rep.recv
+				}
+			}
+			d.drainMu.Unlock()
+		case <-timeout:
+			return false, 0, 0, false
+		}
+	}
+	return allZero, sent, recv, ok
+}
+
+// waitGlobal blocks until the whole machine is quiescent: this node is
+// locally quiet and two consecutive probe waves observe every node with
+// zero pending work and unchanged, balanced cross-node totals (Mattern's
+// four-counter method, collapsed to machine-wide sums).
+func (d *distState) waitGlobal() {
+	var prevSent, prevRecv uint64
+	stable := false
+	backoff := 100 * time.Microsecond
+	for {
+		d.rt.waitLocal()
+		allZero, sent, recv, ok := d.probe()
+		if ok && allZero && sent == recv {
+			if stable && sent == prevSent && recv == prevRecv {
+				return
+			}
+			stable, prevSent, prevRecv = true, sent, recv
+			continue // immediately run the confirming wave
+		}
+		stable = false
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 10*time.Millisecond {
+			backoff = 10 * time.Millisecond
+		}
+	}
+}
+
+// goodbye announces this node's departure with its final totals so peers
+// can complete quiescence detection without it. Peers that already said
+// goodbye themselves are skipped — retrying into their closed listeners
+// would burn the whole dial budget for nothing.
+func (d *distState) goodbye() {
+	buf := make([]byte, 0, 17)
+	buf = append(buf, fGoodbye)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(d.sent.Load()))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(d.recv.Load()))
+	d.drainMu.Lock()
+	gone := make(map[int]bool, len(d.departed))
+	for n := range d.departed {
+		gone[n] = true
+	}
+	d.drainMu.Unlock()
+	for n := 0; n < d.tr.Nodes(); n++ {
+		if n != d.node && !gone[n] {
+			d.sendRetry(n, buf) // best effort: the peer may be gone anyway
+		}
+	}
+}
+
+// requestHalt broadcasts a cooperative halt and trips the local halt
+// channel. A halt that cannot be delivered leaves that peer running — it
+// is recorded, but only the operator can free an unreachable node.
+func (d *distState) requestHalt() {
+	for n := 0; n < d.tr.Nodes(); n++ {
+		if n != d.node {
+			if err := d.sendRetry(n, []byte{fHalt}); err != nil {
+				d.rt.recordError(fmt.Errorf("core: halt to node %d: %w", n, err))
+			}
+		}
+	}
+	d.haltOnce.Do(func() { close(d.halt) })
+}

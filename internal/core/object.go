@@ -11,9 +11,10 @@ import (
 )
 
 // NewObjectAt installs v as a globally named object of the given kind on
-// locality loc and returns its GID.
+// locality loc and returns its GID. loc must be resident on this node;
+// objects on other nodes are created by those nodes and reached by parcel.
 func (r *Runtime) NewObjectAt(loc int, kind agas.Kind, v any) agas.GID {
-	r.checkLoc(loc)
+	r.checkResident(loc)
 	g := r.agas.Alloc(loc, kind)
 	r.locs[loc].Store().Put(g, v)
 	return g
@@ -47,13 +48,20 @@ func (r *Runtime) NewReduceAt(loc, n int, init any, op func(acc, v any) any) (ag
 // an instrumentation/test hook, not a model operation.
 func (r *Runtime) LocalObject(loc int, g agas.GID) (any, bool) {
 	r.checkLoc(loc)
+	if r.locs[loc] == nil {
+		return nil, false
+	}
 	return r.locs[loc].Store().Get(g)
 }
 
-// FreeObject removes g from the machine entirely.
+// FreeObject removes g from the machine entirely. Names homed on other
+// nodes are left to their owning node (freeing is not routed).
 func (r *Runtime) FreeObject(g agas.GID) {
 	owner, err := r.agas.Owner(g)
 	if err != nil {
+		return
+	}
+	if r.locs[owner] == nil {
 		return
 	}
 	r.locs[owner].Store().Delete(g)
@@ -67,7 +75,7 @@ var migrateMu sync.Mutex
 // directory is updated before the object lands so the inconsistency window
 // resolves toward the new owner.
 func (r *Runtime) Migrate(g agas.GID, to int) error {
-	r.checkLoc(to)
+	r.checkResident(to)
 	migrateMu.Lock()
 	defer migrateMu.Unlock()
 	from, err := r.agas.Owner(g)
@@ -76,6 +84,9 @@ func (r *Runtime) Migrate(g agas.GID, to int) error {
 	}
 	if from == to {
 		return nil
+	}
+	if !r.Resident(from) {
+		return fmt.Errorf("core: migrate of %v: cross-node migration is not supported", g)
 	}
 	if err := r.agas.Migrate(g, to); err != nil {
 		return err

@@ -14,7 +14,7 @@ import (
 // parcels bypass both serialization and the network, as the model's
 // locality semantics prescribe.
 func (r *Runtime) SendFrom(src int, p *parcel.Parcel) {
-	r.checkLoc(src)
+	r.checkResident(src)
 	if p.Dest.IsNil() {
 		panic("core: send to nil GID")
 	}
@@ -41,6 +41,18 @@ func (r *Runtime) route(src int, p *parcel.Parcel) {
 		}
 		r.enqueue(owner, p)
 		return
+	}
+	if r.dist != nil {
+		if node := r.dist.lmap.NodeOf(owner); node != r.dist.node {
+			// The owner lives in another process: the parcel crosses the
+			// real network in wire form. The work unit charged by SendFrom
+			// stays held until the peer acknowledges the frame.
+			if r.ring != nil {
+				r.ring.Emitf(trace.KindParcelSend, src, "to node %d %s", node, p)
+			}
+			r.dist.sendParcel(node, src, p)
+			return
+		}
 	}
 	r.slow.ParcelsSent.Inc()
 	if r.ring != nil {

@@ -17,6 +17,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/thread"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // Config parameterizes a runtime.
@@ -41,8 +42,27 @@ type Config struct {
 	MaxHops int
 	// TraceCapacity sizes the event ring; 0 disables tracing.
 	TraceCapacity int
-	// Faults optionally injects parcel loss/duplication (tests only).
+	// Faults optionally injects parcel loss/duplication (tests only; the
+	// modelled network path — cross-node parcels are not subject to it).
 	Faults Faults
+
+	// Transport, when set, makes this runtime one node of a multi-process
+	// machine: parcels for localities hosted elsewhere travel over it in
+	// the parcel wire format, and quiescence detection extends across
+	// nodes. NodeID and NodeLocalities are then required.
+	Transport transport.Transport
+	// NodeID is this process's node index; it must match Transport.Self.
+	NodeID int
+	// NodeLocalities partitions the global locality space: entry i is the
+	// contiguous range hosted by node i. Localities, if nonzero, must equal
+	// the partition total.
+	NodeLocalities []agas.Range
+	// Register, when set, is called with the new runtime before the
+	// transport begins delivering parcels. On a multi-node machine actions
+	// must be registered here: a peer's parcel can arrive the instant the
+	// transport starts, and an action registered after New returns races
+	// that delivery.
+	Register func(*Runtime)
 }
 
 func (c *Config) fill() {
@@ -72,6 +92,7 @@ type Runtime struct {
 	acts   *actionRegistry
 	hwGID  []agas.GID // per-locality hardware names
 	faults *faultState
+	dist   *distState // nil for a single-process machine
 
 	pending  atomic.Int64
 	quiet    sync.Mutex
@@ -83,6 +104,24 @@ type Runtime struct {
 
 // New builds and starts a runtime. Callers must Shutdown when done.
 func New(cfg Config) *Runtime {
+	var lmap *agas.LocalityMap
+	if cfg.Transport != nil {
+		m, err := agas.NewLocalityMap(cfg.NodeLocalities)
+		if err != nil {
+			panic(fmt.Sprintf("core: %v", err))
+		}
+		lmap = m
+		if cfg.NodeID != cfg.Transport.Self() {
+			panic(fmt.Sprintf("core: NodeID %d but transport is node %d", cfg.NodeID, cfg.Transport.Self()))
+		}
+		if lmap.Nodes() != cfg.Transport.Nodes() {
+			panic(fmt.Sprintf("core: %d locality ranges for a %d-node transport", lmap.Nodes(), cfg.Transport.Nodes()))
+		}
+		if cfg.Localities != 0 && cfg.Localities != lmap.Localities() {
+			panic(fmt.Sprintf("core: Localities %d but node ranges span %d", cfg.Localities, lmap.Localities()))
+		}
+		cfg.Localities = lmap.Localities()
+	}
 	cfg.fill()
 	if cfg.Net.Nodes() < cfg.Localities {
 		panic(fmt.Sprintf("core: network has %d endpoints for %d localities",
@@ -97,12 +136,19 @@ func New(cfg Config) *Runtime {
 		acts:   newActionRegistry(),
 		faults: newFaultState(cfg.Faults),
 	}
+	resident := agas.Range{Lo: 0, Hi: cfg.Localities}
+	if lmap != nil {
+		r.agas.SetDistribution(lmap, cfg.NodeID)
+		resident = lmap.NodeRange(cfg.NodeID)
+	}
 	r.quietC = sync.NewCond(&r.quiet)
 	if cfg.TraceCapacity > 0 {
 		r.ring = trace.NewRing(cfg.TraceCapacity)
 	}
+	// Only resident localities get execution machinery; entries for
+	// localities hosted by other nodes stay nil and are reached by parcel.
 	r.locs = make([]*locality.Locality, cfg.Localities)
-	for i := range r.locs {
+	for i := resident.Lo; i < resident.Hi; i++ {
 		r.locs[i] = locality.New(i, locality.Config{
 			Workers:  cfg.WorkersPerLocality,
 			Policy:   cfg.Policy,
@@ -110,25 +156,77 @@ func New(cfg Config) *Runtime {
 		})
 	}
 	if cfg.Stealing {
-		for _, l := range r.locs {
-			l.SetVictims(r.locs)
+		victims := r.locs[resident.Lo:resident.Hi]
+		for _, l := range victims {
+			l.SetVictims(victims)
 		}
 	}
 	// Hardware resources are first-class named objects (typed names), per
-	// the paper's global name space.
+	// the paper's global name space. Hardware names are deterministic so
+	// every node can address any locality without a directory consult.
 	r.hwGID = make([]agas.GID, cfg.Localities)
 	for i := range r.hwGID {
-		g := r.agas.Alloc(i, agas.KindHardware)
-		r.locs[i].Store().Put(g, r.locs[i])
-		r.hwGID[i] = g
-		r.agas.Namespace().Bind(fmt.Sprintf("/hw/locality/%d", i), g)
+		r.hwGID[i] = agas.HardwareGID(i)
+		if r.locs[i] != nil {
+			r.agas.AllocHardware(i)
+			r.locs[i].Store().Put(r.hwGID[i], r.locs[i])
+		}
+		r.agas.Namespace().Bind(fmt.Sprintf("/hw/locality/%d", i), r.hwGID[i])
 	}
 	registerBuiltins(r.acts)
+	// The distributed state must exist before the Register callback runs —
+	// the callback sees a fully assembled runtime — but the transport only
+	// starts delivering afterwards, so registrations cannot race arriving
+	// parcels.
+	if cfg.Transport != nil {
+		r.dist = newDistState(r, cfg.Transport, cfg.NodeID, lmap)
+		cfg.Transport.SetHandler(r.dist.onFrame)
+	}
+	if cfg.Register != nil {
+		cfg.Register(r)
+	}
+	if cfg.Transport != nil {
+		if err := cfg.Transport.Start(); err != nil {
+			panic(fmt.Sprintf("core: transport start: %v", err))
+		}
+	}
 	return r
 }
 
-// Localities reports the machine width.
+// Localities reports the machine width (global, across all nodes).
 func (r *Runtime) Localities() int { return r.cfg.Localities }
+
+// NodeID reports this process's node index (0 on a single-process machine).
+func (r *Runtime) NodeID() int {
+	if r.dist == nil {
+		return 0
+	}
+	return r.dist.node
+}
+
+// Resident reports whether locality loc executes in this process.
+func (r *Runtime) Resident(loc int) bool {
+	r.checkLoc(loc)
+	return r.locs[loc] != nil
+}
+
+// RequestHalt asks every node of the machine (including this one) to stop
+// cooperatively: each node's HaltRequested channel closes. On a
+// single-process machine it is a no-op.
+func (r *Runtime) RequestHalt() {
+	if r.dist != nil {
+		r.dist.requestHalt()
+	}
+}
+
+// HaltRequested returns a channel closed when any node broadcasts a halt
+// request, or nil on a single-process machine.
+func (r *Runtime) HaltRequested() <-chan struct{} {
+	if r.dist == nil {
+		return nil
+	}
+	return r.dist.halt
+}
 
 // AGAS exposes the global address space service.
 func (r *Runtime) AGAS() *agas.Service { return r.agas }
@@ -149,14 +247,18 @@ func (r *Runtime) Network() network.Model { return r.net }
 func (r *Runtime) LocalityGID(i int) agas.GID { return r.hwGID[i] }
 
 // Locality returns the i-th locality (for instrumentation; applications
-// interact through parcels and actions).
+// interact through parcels and actions). It is nil for localities hosted
+// by other nodes.
 func (r *Runtime) Locality(i int) *locality.Locality { return r.locs[i] }
 
-// IdleFractions reports each locality's starvation fraction.
+// IdleFractions reports each resident locality's starvation fraction
+// (zero for localities hosted by other nodes).
 func (r *Runtime) IdleFractions() []float64 {
 	out := make([]float64, len(r.locs))
 	for i, l := range r.locs {
-		out[i] = l.IdleFraction()
+		if l != nil {
+			out[i] = l.IdleFraction()
+		}
 	}
 	return out
 }
@@ -173,11 +275,23 @@ func (r *Runtime) doneWork() {
 	}
 }
 
-// Wait blocks until the runtime is quiescent: no queued tasks, running
+// Wait blocks until the machine is quiescent: no queued tasks, running
 // threads, or in-flight parcels. Work injected while waiting extends the
 // wait. Tasks increment the counter for children before completing, so the
-// counter cannot reach zero while a task graph is still unfolding.
+// counter cannot reach zero while a task graph is still unfolding. On a
+// multi-node machine Wait additionally drains the other nodes with a
+// cross-node probe, so it returns only at global quiescence (every node
+// must be reachable).
 func (r *Runtime) Wait() {
+	if r.dist != nil {
+		r.dist.waitGlobal()
+		return
+	}
+	r.waitLocal()
+}
+
+// waitLocal blocks until this node's own work counter reaches zero.
+func (r *Runtime) waitLocal() {
 	r.quiet.Lock()
 	for r.pending.Load() != 0 {
 		r.quietC.Wait()
@@ -185,15 +299,22 @@ func (r *Runtime) Wait() {
 	r.quiet.Unlock()
 }
 
-// Shutdown waits for quiescence and stops all localities. The runtime is
+// Shutdown waits for quiescence and stops all localities (announcing the
+// departure to peer nodes first on a multi-node machine). The runtime is
 // unusable afterwards.
 func (r *Runtime) Shutdown() {
 	if !r.shutdown.CompareAndSwap(false, true) {
 		return
 	}
 	r.Wait()
+	if r.dist != nil {
+		r.dist.goodbye()
+		r.dist.tr.Close()
+	}
 	for _, l := range r.locs {
-		l.Close()
+		if l != nil {
+			l.Close()
+		}
 	}
 }
 
@@ -215,7 +336,7 @@ func (r *Runtime) Errors() []error {
 // Spawn posts fn as a new thread on locality loc. It is the local (non-
 // parcel) way to start work; the fn receives a Context bound to loc.
 func (r *Runtime) Spawn(loc int, fn func(*Context)) {
-	r.checkLoc(loc)
+	r.checkResident(loc)
 	r.addWork()
 	th := r.reg.New(loc)
 	r.slow.ThreadsSpawned.Inc()
@@ -231,6 +352,17 @@ func (r *Runtime) Spawn(loc int, fn func(*Context)) {
 func (r *Runtime) checkLoc(i int) {
 	if i < 0 || i >= len(r.locs) {
 		panic(fmt.Sprintf("core: locality %d out of range [0,%d)", i, len(r.locs)))
+	}
+}
+
+// checkResident panics unless locality i executes in this process.
+// Operations that run code or install objects need a resident locality;
+// remote localities are reached only by parcel.
+func (r *Runtime) checkResident(i int) {
+	r.checkLoc(i)
+	if r.locs[i] == nil {
+		panic(fmt.Sprintf("core: locality %d is hosted by node %d, not this node %d",
+			i, r.dist.lmap.NodeOf(i), r.dist.node))
 	}
 }
 

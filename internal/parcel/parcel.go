@@ -78,9 +78,33 @@ func (p *Parcel) String() string {
 //	u16 ncont | ncont × (gid target, str action) | u32 src | u32 hops
 //
 // Strings are u16 length-prefixed UTF-8. All integers little-endian.
+//
+// The format imposes hard limits: action names (and continuation action
+// names) are at most MaxString bytes, the continuation stack holds at most
+// MaxContinuations entries, and the argument record at most MaxArgs bytes.
+// Encode panics when a parcel exceeds them — the limits are generous and a
+// violation is a program bug, not a runtime condition; truncating silently
+// on a network-facing wire would be far worse.
 
-// Encode appends the wire form of p to dst.
+// Wire format limits enforced by Encode.
+const (
+	// MaxString bounds action-name length (u16 length prefix).
+	MaxString = 1<<16 - 1
+	// MaxContinuations bounds the continuation stack (u16 count).
+	MaxContinuations = 1<<16 - 1
+	// MaxArgs bounds the encoded argument record (u32 length prefix).
+	MaxArgs = 1<<32 - 1
+)
+
+// Encode appends the wire form of p to dst. It panics if p exceeds the
+// wire format limits (see MaxString, MaxContinuations, MaxArgs).
 func (p *Parcel) Encode(dst []byte) []byte {
+	if len(p.Cont) > MaxContinuations {
+		panic(fmt.Sprintf("parcel: %d continuations exceed wire limit %d", len(p.Cont), MaxContinuations))
+	}
+	if uint64(len(p.Args)) > MaxArgs {
+		panic(fmt.Sprintf("parcel: %d argument bytes exceed wire limit %d", len(p.Args), uint64(MaxArgs)))
+	}
 	dst = binary.LittleEndian.AppendUint64(dst, p.ID)
 	dst = p.Dest.Encode(dst)
 	dst = appendString(dst, p.Action)
@@ -151,8 +175,8 @@ func Decode(src []byte) (*Parcel, []byte, error) {
 }
 
 func appendString(dst []byte, s string) []byte {
-	if len(s) > 1<<16-1 {
-		panic(fmt.Sprintf("parcel: string too long: %d", len(s)))
+	if len(s) > MaxString {
+		panic(fmt.Sprintf("parcel: string too long: %d exceeds wire limit %d", len(s), MaxString))
 	}
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
 	return append(dst, s...)

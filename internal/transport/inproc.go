@@ -1,0 +1,153 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Fabric is an in-process loopback interconnect: n endpoints that deliver
+// frames to each other through unbounded per-endpoint queues. Each
+// endpoint's frames are delivered by a single goroutine, so delivery order
+// matches send order for every node pair, mirroring a TCP stream without
+// sockets. It exists for deterministic multi-node tests.
+type Fabric struct {
+	eps []*inprocEndpoint
+}
+
+// NewFabric creates a fabric of n endpoints.
+func NewFabric(n int) *Fabric {
+	if n <= 0 {
+		panic("transport: fabric needs at least one node")
+	}
+	f := &Fabric{eps: make([]*inprocEndpoint, n)}
+	for i := range f.eps {
+		f.eps[i] = &inprocEndpoint{fab: f, self: i, notify: make(chan struct{}, 1), done: make(chan struct{})}
+	}
+	return f
+}
+
+// Node returns endpoint i of the fabric.
+func (f *Fabric) Node(i int) Transport {
+	if i < 0 || i >= len(f.eps) {
+		panic(fmt.Sprintf("transport: fabric node %d outside [0,%d)", i, len(f.eps)))
+	}
+	return f.eps[i]
+}
+
+type inprocFrame struct {
+	from  int
+	frame []byte
+}
+
+type inprocEndpoint struct {
+	fab  *Fabric
+	self int
+
+	mu      sync.Mutex
+	queue   []inprocFrame
+	handler Handler
+	started bool
+	closed  bool
+
+	notify chan struct{}
+	done   chan struct{}
+}
+
+func (e *inprocEndpoint) Self() int  { return e.self }
+func (e *inprocEndpoint) Nodes() int { return len(e.fab.eps) }
+
+func (e *inprocEndpoint) SetHandler(h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.handler != nil {
+		panic("transport: handler already set")
+	}
+	e.handler = h
+}
+
+func (e *inprocEndpoint) Start() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.handler == nil {
+		return fmt.Errorf("transport: node %d started without a handler", e.self)
+	}
+	if e.closed {
+		return ErrClosed
+	}
+	if e.started {
+		return nil
+	}
+	e.started = true
+	go e.deliver()
+	return nil
+}
+
+func (e *inprocEndpoint) Send(node int, frame []byte) error {
+	if err := checkNode(e, node); err != nil {
+		return err
+	}
+	if len(frame) > MaxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit %d", len(frame), MaxFrame)
+	}
+	dst := e.fab.eps[node]
+	// The receiver owns its copy; the sender may reuse frame immediately,
+	// exactly as with a socket write.
+	cp := append([]byte(nil), frame...)
+	dst.mu.Lock()
+	if dst.closed || !dst.started {
+		dst.mu.Unlock()
+		return fmt.Errorf("transport: node %d unreachable", node)
+	}
+	dst.queue = append(dst.queue, inprocFrame{from: e.self, frame: cp})
+	dst.mu.Unlock()
+	select {
+	case dst.notify <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+func (e *inprocEndpoint) deliver() {
+	defer close(e.done)
+	for {
+		e.mu.Lock()
+		if len(e.queue) == 0 {
+			closed := e.closed
+			e.mu.Unlock()
+			if closed {
+				return
+			}
+			<-e.notify
+			continue
+		}
+		it := e.queue[0]
+		e.queue = e.queue[1:]
+		h := e.handler
+		e.mu.Unlock()
+		h(it.from, it.frame)
+	}
+}
+
+func (e *inprocEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		started := e.started
+		e.mu.Unlock()
+		if started {
+			<-e.done
+		}
+		return nil
+	}
+	e.closed = true
+	e.queue = nil
+	started := e.started
+	e.mu.Unlock()
+	select {
+	case e.notify <- struct{}{}:
+	default:
+	}
+	if started {
+		<-e.done
+	}
+	return nil
+}

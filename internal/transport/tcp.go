@@ -1,0 +1,420 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPConfig parameterizes one node's TCP transport.
+type TCPConfig struct {
+	// Self is this node's ID.
+	Self int
+	// Listen is the address this node accepts peer connections on, e.g.
+	// "127.0.0.1:0". The bound address is available from Addr.
+	Listen string
+	// Peers maps node ID to dial address. Peers[Self] is ignored. It may be
+	// left nil at construction and supplied via SetPeers before Start when
+	// dynamic ports are in play.
+	Peers []string
+	// Ranges optionally maps node ID to its hosted locality range
+	// {lo, hi} (half-open). When set, the handshake cross-checks each
+	// peer's announced range and rejects mismatched machines.
+	Ranges [][2]int
+	// DialAttempts bounds connection attempts per Send; peers commonly
+	// start in arbitrary order, so dialing retries. Default 40.
+	DialAttempts int
+	// DialBackoff is the initial retry delay, doubling per attempt up to
+	// 500ms. Default 25ms.
+	DialBackoff time.Duration
+	// HandshakeTimeout bounds the handshake exchange. Default 5s.
+	HandshakeTimeout time.Duration
+}
+
+func (c *TCPConfig) fill() {
+	if c.DialAttempts <= 0 {
+		c.DialAttempts = 40
+	}
+	if c.DialBackoff <= 0 {
+		c.DialBackoff = 25 * time.Millisecond
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = 5 * time.Second
+	}
+}
+
+// TCP carries frames between nodes as length-prefixed records on TCP
+// streams. Each node listens for its peers and lazily dials one outbound
+// (send-only) connection per peer, so connection establishment order never
+// matters; a failed dial retries with exponential backoff a bounded number
+// of times. Writes are buffered and flushed once per frame.
+type TCP struct {
+	cfg TCPConfig
+	ln  net.Listener
+
+	mu      sync.Mutex
+	handler Handler
+	started bool
+	closed  bool
+	inbound map[net.Conn]struct{}
+
+	peers []*tcpPeer
+	wg    sync.WaitGroup
+}
+
+type tcpPeer struct {
+	mu        sync.Mutex
+	conn      net.Conn
+	bw        *bufio.Writer
+	connected bool // a connection has succeeded at least once
+}
+
+// NewTCP binds the node's listen address and returns the transport.
+// Receiving begins at Start.
+func NewTCP(cfg TCPConfig) (*TCP, error) {
+	cfg.fill()
+	n := len(cfg.Peers)
+	if n == 0 && cfg.Ranges != nil {
+		n = len(cfg.Ranges)
+	}
+	if cfg.Self < 0 || (n > 0 && cfg.Self >= n) {
+		return nil, fmt.Errorf("transport: node %d outside machine [0,%d)", cfg.Self, n)
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Listen, err)
+	}
+	t := &TCP{cfg: cfg, ln: ln, inbound: make(map[net.Conn]struct{})}
+	t.setPeerCount(n)
+	return t, nil
+}
+
+func (t *TCP) setPeerCount(n int) {
+	t.peers = make([]*tcpPeer, n)
+	for i := range t.peers {
+		t.peers[i] = &tcpPeer{}
+	}
+}
+
+// Addr reports the bound listen address (useful with "127.0.0.1:0").
+func (t *TCP) Addr() net.Addr { return t.ln.Addr() }
+
+// SetPeers installs the node→address table; required before Start when the
+// table was not known at construction.
+func (t *TCP) SetPeers(peers []string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.started {
+		panic("transport: SetPeers after Start")
+	}
+	t.cfg.Peers = peers
+	if len(t.peers) != len(peers) {
+		t.setPeerCount(len(peers))
+	}
+}
+
+func (t *TCP) Self() int { return t.cfg.Self }
+
+func (t *TCP) Nodes() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.peers)
+}
+
+func (t *TCP) SetHandler(h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.handler != nil {
+		panic("transport: handler already set")
+	}
+	t.handler = h
+}
+
+// Start begins accepting peer connections.
+func (t *TCP) Start() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	if t.handler == nil {
+		return fmt.Errorf("transport: node %d started without a handler", t.cfg.Self)
+	}
+	if len(t.cfg.Peers) == 0 {
+		return fmt.Errorf("transport: node %d started without a peer table", t.cfg.Self)
+	}
+	if t.started {
+		return nil
+	}
+	t.started = true
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return nil
+}
+
+// Handshake wire form: magic | version | node ID | locality range lo, hi.
+const (
+	hsMagic   = 0x50585450 // "PXTP"
+	hsVersion = 1
+	hsSize    = 4 + 2 + 4 + 4 + 4
+)
+
+func (t *TCP) handshakeBytes() []byte {
+	var lo, hi uint32
+	if t.cfg.Ranges != nil {
+		lo = uint32(t.cfg.Ranges[t.cfg.Self][0])
+		hi = uint32(t.cfg.Ranges[t.cfg.Self][1])
+	}
+	buf := make([]byte, 0, hsSize)
+	buf = binary.LittleEndian.AppendUint32(buf, hsMagic)
+	buf = binary.LittleEndian.AppendUint16(buf, hsVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.cfg.Self))
+	buf = binary.LittleEndian.AppendUint32(buf, lo)
+	buf = binary.LittleEndian.AppendUint32(buf, hi)
+	return buf
+}
+
+// readHandshake parses and validates a peer header, returning the peer's
+// node ID.
+func (t *TCP) readHandshake(r io.Reader) (int, error) {
+	var buf [hsSize]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("transport: handshake read: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(buf[0:4]); m != hsMagic {
+		return 0, fmt.Errorf("transport: bad handshake magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint16(buf[4:6]); v != hsVersion {
+		return 0, fmt.Errorf("transport: handshake version %d, want %d", v, hsVersion)
+	}
+	node := int(binary.LittleEndian.Uint32(buf[6:10]))
+	if node < 0 || node >= len(t.peers) || node == t.cfg.Self {
+		return 0, fmt.Errorf("transport: handshake from invalid node %d", node)
+	}
+	if t.cfg.Ranges != nil {
+		lo := int(binary.LittleEndian.Uint32(buf[10:14]))
+		hi := int(binary.LittleEndian.Uint32(buf[14:18]))
+		if want := t.cfg.Ranges[node]; lo != want[0] || hi != want[1] {
+			return 0, fmt.Errorf("transport: node %d announced localities [%d,%d), want [%d,%d)",
+				node, lo, hi, want[0], want[1])
+		}
+	}
+	return node, nil
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			t.mu.Lock()
+			closed := t.closed
+			t.mu.Unlock()
+			if closed {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.inbound[conn] = struct{}{}
+		t.wg.Add(1)
+		t.mu.Unlock()
+		go t.serveConn(conn)
+	}
+}
+
+// serveConn handles one inbound (receive-only) connection: handshake
+// exchange, then a frame-read loop feeding the handler.
+func (t *TCP) serveConn(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	deadline := time.Now().Add(t.cfg.HandshakeTimeout)
+	conn.SetDeadline(deadline)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	from, err := t.readHandshake(br)
+	if err != nil {
+		return
+	}
+	if _, err := conn.Write(t.handshakeBytes()); err != nil {
+		return
+	}
+	conn.SetDeadline(time.Time{})
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n > MaxFrame {
+			return // corrupt stream; drop the connection
+		}
+		frame := make([]byte, n)
+		if _, err := io.ReadFull(br, frame); err != nil {
+			return
+		}
+		t.mu.Lock()
+		h, closed := t.handler, t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		h(from, frame)
+	}
+}
+
+// Send delivers frame to node, dialing (with bounded retries) on first use
+// or after a connection failure.
+func (t *TCP) Send(node int, frame []byte) error {
+	if err := checkNode(t, node); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	p := t.peers[node]
+	addr := ""
+	if node < len(t.cfg.Peers) {
+		addr = t.cfg.Peers[node]
+	}
+	t.mu.Unlock()
+	if addr == "" {
+		return fmt.Errorf("transport: no address for node %d", node)
+	}
+	if len(frame) > MaxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit %d", len(frame), MaxFrame)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn == nil {
+		if err := t.dialLocked(p, node, addr); err != nil {
+			return err
+		}
+	}
+	// Prefix and payload go through the buffered writer separately: one
+	// flush per frame, no intermediate copy of the payload.
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(frame)))
+	_, err := p.bw.Write(lenBuf[:])
+	if err == nil {
+		_, err = p.bw.Write(frame)
+	}
+	if err == nil {
+		err = p.bw.Flush()
+	}
+	if err == nil {
+		return nil
+	}
+	// A TCP write error means the stream truncated mid-frame (Go's Write
+	// returns an error only with a partial write), so after the close the
+	// peer's frame read fails and the frame is never handled — the Send
+	// contract's guarantee that an error implies non-delivery.
+	p.conn.Close()
+	p.conn, p.bw = nil, nil
+	return fmt.Errorf("transport: send to node %d: %w", node, err)
+}
+
+// dialLocked establishes p's outbound connection to node at addr,
+// retrying with exponential backoff so peers may start in any order. The
+// full retry budget is startup grace for a first connection; reconnects
+// after a break get only a couple of attempts, because Send is called
+// from latency-sensitive paths (acks, drain probes on transport
+// goroutines) that must not stall for minutes on a dead peer.
+func (t *TCP) dialLocked(p *tcpPeer, node int, addr string) error {
+	attempts := t.cfg.DialAttempts
+	if p.connected && attempts > 2 {
+		attempts = 2
+	}
+	backoff := t.cfg.DialBackoff
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		t.mu.Lock()
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return ErrClosed
+		}
+		conn, err := net.DialTimeout("tcp", addr, t.cfg.HandshakeTimeout)
+		if err == nil {
+			if err = t.completeDial(conn, node); err == nil {
+				p.conn = conn
+				p.bw = bufio.NewWriterSize(conn, 64<<10)
+				p.connected = true
+				return nil
+			}
+			conn.Close()
+		}
+		lastErr = err
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 500*time.Millisecond {
+			backoff = 500 * time.Millisecond
+		}
+	}
+	return fmt.Errorf("transport: dial node %d at %s: %w", node, addr, lastErr)
+}
+
+// completeDial runs the client half of the handshake and verifies the
+// answering node is the one we meant to reach.
+func (t *TCP) completeDial(conn net.Conn, node int) error {
+	conn.SetDeadline(time.Now().Add(t.cfg.HandshakeTimeout))
+	defer conn.SetDeadline(time.Time{})
+	if _, err := conn.Write(t.handshakeBytes()); err != nil {
+		return err
+	}
+	got, err := t.readHandshake(conn)
+	if err != nil {
+		return err
+	}
+	if got != node {
+		return fmt.Errorf("transport: dialed node %d but node %d answered", node, got)
+	}
+	return nil
+}
+
+// Close shuts the listener and every connection, then waits for the accept
+// and read goroutines to drain.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		t.wg.Wait()
+		return nil
+	}
+	t.closed = true
+	conns := make([]net.Conn, 0, len(t.inbound))
+	for c := range t.inbound {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+	t.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, p := range t.peers {
+		p.mu.Lock()
+		if p.conn != nil {
+			p.bw.Flush()
+			p.conn.Close()
+			p.conn, p.bw = nil, nil
+		}
+		p.mu.Unlock()
+	}
+	t.wg.Wait()
+	return nil
+}

@@ -1,0 +1,60 @@
+// Package transport moves opaque frames between the nodes of a
+// multi-process ParalleX machine. A node is one OS process hosting a
+// contiguous range of localities; the runtime layers parcel routing and
+// distributed quiescence on top of the frame service defined here.
+//
+// Two implementations are provided: an in-process loopback fabric for
+// deterministic tests (NewFabric) and a TCP transport carrying
+// length-framed streams with a locality-range handshake (NewTCP).
+package transport
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Handler consumes one received frame. from is the sending node's ID. The
+// frame slice is owned by the handler; transports never reuse it.
+// Handlers run on transport goroutines and must not block indefinitely.
+type Handler func(from int, frame []byte)
+
+// Transport is the frame service joining the nodes of one machine.
+type Transport interface {
+	// Self reports this node's ID.
+	Self() int
+	// Nodes reports the machine's node count.
+	Nodes() int
+	// SetHandler installs the receive handler. It must be called exactly
+	// once, before Start.
+	SetHandler(h Handler)
+	// Start begins receiving. Sends before Start may fail.
+	Start() error
+	// Send delivers frame to the given node. Delivery is asynchronous,
+	// ordered per node pair, and at-most-once: an error means the frame
+	// will NOT reach the peer's handler. Implementations must uphold this
+	// by dropping the connection mid-frame on a failed write rather than
+	// ever completing a frame after reporting failure — the runtime's
+	// quiescence accounting releases a parcel's work unit on Send failure
+	// and would double-release if the peer acknowledged it anyway.
+	Send(node int, frame []byte) error
+	// Close releases the transport. In-flight frames may be dropped.
+	// Close is idempotent; after it returns no handler calls are made.
+	Close() error
+}
+
+// ErrClosed is returned by Send on a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// MaxFrame bounds a frame's encoded size; a peer announcing a larger frame
+// is treated as corrupt and disconnected.
+const MaxFrame = 16 << 20
+
+func checkNode(t Transport, node int) error {
+	if node < 0 || node >= t.Nodes() {
+		return fmt.Errorf("transport: node %d outside machine [0,%d)", node, t.Nodes())
+	}
+	if node == t.Self() {
+		return fmt.Errorf("transport: node %d sending to itself", node)
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collector is a Handler that records frames in arrival order.
+type collector struct {
+	mu     sync.Mutex
+	frames []struct {
+		from int
+		data string
+	}
+}
+
+func (c *collector) handle(from int, frame []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.frames = append(c.frames, struct {
+		from int
+		data string
+	}{from, string(frame)})
+}
+
+func (c *collector) wait(t *testing.T, n int) []struct {
+	from int
+	data string
+} {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.mu.Lock()
+		got := len(c.frames)
+		if got >= n {
+			out := append(c.frames[:0:0], c.frames...)
+			c.mu.Unlock()
+			return out
+		}
+		c.mu.Unlock()
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d frames, have %d", n, got)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// exerciseTransport runs the shared conformance checks over three nodes of
+// any Transport implementation.
+func exerciseTransport(t *testing.T, nodes []Transport, cols []*collector) {
+	t.Helper()
+	// Ordered delivery per pair.
+	for i := 0; i < 10; i++ {
+		if err := nodes[0].Send(1, []byte(fmt.Sprintf("a%d", i))); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	frames := cols[1].wait(t, 10)
+	for i, f := range frames {
+		if f.from != 0 || f.data != fmt.Sprintf("a%d", i) {
+			t.Fatalf("frame %d: got from=%d data=%q", i, f.from, f.data)
+		}
+	}
+	// All-pairs connectivity.
+	for i := range nodes {
+		for j := range nodes {
+			if i == j {
+				continue
+			}
+			if err := nodes[i].Send(j, []byte(fmt.Sprintf("%d->%d", i, j))); err != nil {
+				t.Fatalf("send %d->%d: %v", i, j, err)
+			}
+		}
+	}
+	for j := range nodes {
+		want := len(nodes) - 1
+		if j == 1 {
+			want += 10
+		}
+		cols[j].wait(t, want)
+	}
+	// Self and out-of-range sends are rejected.
+	if err := nodes[0].Send(0, []byte("self")); err == nil {
+		t.Fatal("send to self succeeded")
+	}
+	if err := nodes[0].Send(len(nodes), []byte("beyond")); err == nil {
+		t.Fatal("send beyond machine succeeded")
+	}
+}
+
+func TestInprocFabric(t *testing.T) {
+	f := NewFabric(3)
+	nodes := make([]Transport, 3)
+	cols := make([]*collector, 3)
+	for i := range nodes {
+		nodes[i] = f.Node(i)
+		cols[i] = &collector{}
+		nodes[i].SetHandler(cols[i].handle)
+		if err := nodes[i].Start(); err != nil {
+			t.Fatalf("start %d: %v", i, err)
+		}
+	}
+	exerciseTransport(t, nodes, cols)
+	for _, n := range nodes {
+		if err := n.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	}
+	if err := nodes[0].Send(1, []byte("late")); err == nil {
+		t.Fatal("send after close succeeded")
+	}
+}
+
+func newTCPTrio(t *testing.T, ranges [][2]int) ([]Transport, []*collector) {
+	t.Helper()
+	tcps := make([]*TCP, 3)
+	addrs := make([]string, 3)
+	for i := range tcps {
+		tt, err := NewTCP(TCPConfig{Self: i, Listen: "127.0.0.1:0", Ranges: ranges,
+			Peers: make([]string, 3)})
+		if err != nil {
+			t.Fatalf("new tcp %d: %v", i, err)
+		}
+		tcps[i] = tt
+		addrs[i] = tt.Addr().String()
+	}
+	nodes := make([]Transport, 3)
+	cols := make([]*collector, 3)
+	for i, tt := range tcps {
+		tt.SetPeers(addrs)
+		cols[i] = &collector{}
+		tt.SetHandler(cols[i].handle)
+		if err := tt.Start(); err != nil {
+			t.Fatalf("start %d: %v", i, err)
+		}
+		nodes[i] = tt
+	}
+	return nodes, cols
+}
+
+func TestTCPTransport(t *testing.T) {
+	nodes, cols := newTCPTrio(t, [][2]int{{0, 2}, {2, 4}, {4, 6}})
+	exerciseTransport(t, nodes, cols)
+	for _, n := range nodes {
+		if err := n.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	}
+}
+
+func TestTCPDialRetry(t *testing.T) {
+	// Node 1 does not exist yet when node 0's first Send begins dialing:
+	// the bounded retry loop must absorb connection-refused failures until
+	// the peer comes up.
+	reserve, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr1 := reserve.Addr().String()
+	reserve.Close()
+
+	t0, err := NewTCP(TCPConfig{Self: 0, Listen: "127.0.0.1:0", Peers: make([]string, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t0.Close()
+	c0 := &collector{}
+	t0.SetHandler(c0.handle)
+	addrs := []string{t0.Addr().String(), addr1}
+	t0.SetPeers(addrs)
+	if err := t0.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- t0.Send(1, []byte("early")) }()
+	time.Sleep(150 * time.Millisecond) // several dial attempts fail: nothing listens yet
+
+	t1, err := NewTCP(TCPConfig{Self: 1, Listen: addr1, Peers: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+	c1 := &collector{}
+	t1.SetHandler(c1.handle)
+	if err := t1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("send with delayed peer: %v", err)
+	}
+	got := c1.wait(t, 1)
+	if got[0].data != "early" || got[0].from != 0 {
+		t.Fatalf("got %+v", got[0])
+	}
+}
+
+func TestTCPHandshakeRejectsWrongRanges(t *testing.T) {
+	// Two nodes configured with conflicting locality partitions must not
+	// exchange frames.
+	ta, err := NewTCP(TCPConfig{Self: 0, Listen: "127.0.0.1:0",
+		Ranges: [][2]int{{0, 2}, {2, 4}}, Peers: make([]string, 2),
+		DialAttempts: 2, DialBackoff: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ta.Close()
+	tb, err := NewTCP(TCPConfig{Self: 1, Listen: "127.0.0.1:0",
+		Ranges: [][2]int{{0, 3}, {3, 4}}, Peers: make([]string, 2),
+		DialAttempts: 2, DialBackoff: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	addrs := []string{ta.Addr().String(), tb.Addr().String()}
+	ta.SetPeers(addrs)
+	tb.SetPeers(addrs)
+	ca, cb := &collector{}, &collector{}
+	ta.SetHandler(ca.handle)
+	tb.SetHandler(cb.handle)
+	if err := ta.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.Send(1, []byte("mismatched")); err == nil {
+		t.Fatal("send across mismatched partitions succeeded")
+	}
+}

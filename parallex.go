@@ -9,6 +9,7 @@ import (
 	"repro/internal/locality"
 	"repro/internal/network"
 	"repro/internal/parcel"
+	"repro/internal/transport"
 )
 
 // Core runtime types, re-exported as the public API surface.
@@ -65,6 +66,14 @@ type (
 
 	// SchedulingPolicy selects locality queue order.
 	SchedulingPolicy = locality.Policy
+
+	// Transport moves parcels between the nodes of a multi-process machine.
+	Transport = transport.Transport
+	// TCPTransportConfig parameterizes one node's TCP transport.
+	TCPTransportConfig = transport.TCPConfig
+	// LocalityRange is a half-open range of locality indices hosted by one
+	// node.
+	LocalityRange = agas.Range
 )
 
 // Name kinds.
@@ -158,6 +167,16 @@ func DataVortexNetwork(n int, p NetworkParams, deflection float64) NetworkModel 
 func FatTreeNetwork(n, arity int, p NetworkParams) NetworkModel {
 	return network.NewFatTree(n, arity, p)
 }
+
+// NewTCPTransport binds a TCP transport for one node of a multi-process
+// machine (see Config.Transport).
+func NewTCPTransport(cfg TCPTransportConfig) (*transport.TCP, error) {
+	return transport.NewTCP(cfg)
+}
+
+// NewLoopbackFabric creates an in-process n-node interconnect for
+// deterministic multi-node tests; Node(i) yields node i's Transport.
+func NewLoopbackFabric(n int) *transport.Fabric { return transport.NewFabric(n) }
 
 // EncodeValue encodes a dynamically-typed value for parcel transport.
 func EncodeValue(v any) ([]byte, error) { return parcel.EncodeAny(v) }
