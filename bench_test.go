@@ -18,8 +18,50 @@ import (
 	"repro/internal/litlx"
 	"repro/internal/locality"
 	"repro/internal/parcel"
+	"repro/internal/schedbench"
 	"repro/internal/workloads"
 )
+
+// --- scheduler and wire microbenchmarks (bodies in internal/schedbench,
+// shared with cmd/pxbench -sched; CI gates on these via cmd/benchdiff) ---
+
+// BenchmarkSchedPostDispatchMutex is the retired single-mutex scheduler
+// under an 8-producer flood on 8 workers: the baseline the deque scheduler
+// is required to beat by >= 2x.
+func BenchmarkSchedPostDispatchMutex(b *testing.B) {
+	schedbench.PostDispatchMutex(b, 8, 8)
+}
+
+// BenchmarkSchedPostDispatchDeques is the same flood on the per-worker
+// stealing deque scheduler.
+func BenchmarkSchedPostDispatchDeques(b *testing.B) {
+	schedbench.PostDispatchDeques(b, 8, 8)
+}
+
+// BenchmarkSchedPingPong bounces one task chain between two one-worker
+// localities: post-to-dispatch latency with no parallelism to hide it.
+func BenchmarkSchedPingPong(b *testing.B) {
+	schedbench.PingPong(b)
+}
+
+// BenchmarkSchedStealImbalance floods one locality while three idle
+// localities steal from it.
+func BenchmarkSchedStealImbalance(b *testing.B) {
+	schedbench.StealImbalance(b, 3)
+}
+
+// BenchmarkSchedFanOutFanIn forks 64 threads across 4 localities and
+// joins them through an LCO AndGate, per iteration.
+func BenchmarkSchedFanOutFanIn(b *testing.B) {
+	schedbench.FanOutFanIn(b, 64)
+}
+
+// BenchmarkTCPRing3 runs one continuation-chain lap around a 3-node TCP
+// machine on loopback per iteration, exercising parcel batching end to
+// end.
+func BenchmarkTCPRing3(b *testing.B) {
+	schedbench.TCPRing3(b)
+}
 
 // BenchmarkE1Figure1Architecture regenerates Figure 1 from the model.
 func BenchmarkE1Figure1Architecture(b *testing.B) {

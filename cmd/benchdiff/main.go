@@ -1,0 +1,155 @@
+// Command benchdiff turns `go test -bench` output into the repo's
+// machine-readable BENCH_<date>.json record and gates CI on it: it fails
+// (exit 1) when any benchmark regresses more than -threshold against a
+// committed baseline suite, or when a required speedup ratio between two
+// benchmarks in the current run is not met.
+//
+// Typical CI use:
+//
+//	go test -bench . -benchtime 200ms -count 3 -run '^$' | tee bench.txt
+//	go run ./cmd/benchdiff -parse bench.txt -out BENCH_$(date -u +%F).json \
+//	    -baseline BENCH_baseline.json -threshold 0.25 \
+//	    -speedup base=SchedPostDispatchMutex,opt=SchedPostDispatchDeques,min=2
+//
+// Absolute ns/op baselines are machine-class dependent: refresh
+// BENCH_baseline.json (commit the -out file) whenever the CI runner class
+// changes. The -speedup gate compares two benchmarks from the same run, so
+// it is machine-independent.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/benchio"
+)
+
+func main() {
+	parse := flag.String("parse", "", "go test -bench output file to parse ('-' for stdin)")
+	out := flag.String("out", "", "write the parsed suite as BENCH json to this path")
+	baseline := flag.String("baseline", "", "baseline BENCH json to compare against")
+	threshold := flag.Float64("threshold", 0.25, "allowed ns/op regression fraction vs baseline")
+	speedup := flag.String("speedup", "", "required ratio, e.g. base=NameA,opt=NameB,min=2: ns/op(A) >= min*ns/op(B)")
+	flag.Parse()
+
+	if *parse == "" {
+		fatal("benchdiff: -parse is required")
+	}
+	in := os.Stdin
+	if *parse != "-" {
+		f, err := os.Open(*parse)
+		if err != nil {
+			fatal("benchdiff: %v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	suite, err := benchio.ParseGoBench(in)
+	if err != nil {
+		fatal("benchdiff: parse: %v", err)
+	}
+	if len(suite.Benchmarks) == 0 {
+		fatal("benchdiff: no benchmark lines found in %s", *parse)
+	}
+	fmt.Printf("benchdiff: parsed %d benchmarks (%s, %d cpus)\n",
+		len(suite.Benchmarks), suite.GoVersion, suite.CPUs)
+
+	if *out != "" {
+		if err := suite.WriteFile(*out); err != nil {
+			fatal("benchdiff: write %s: %v", *out, err)
+		}
+		fmt.Printf("benchdiff: wrote %s\n", *out)
+	}
+
+	failed := false
+	if *baseline != "" {
+		base, err := benchio.ReadFile(*baseline)
+		if err != nil {
+			fatal("benchdiff: baseline: %v", err)
+		}
+		regs, missing := benchio.Compare(base, suite, *threshold)
+		// A benchmark that vanished from the run is a gate failure on any
+		// machine: it means a rename or a silent drop, and the baseline
+		// must be refreshed deliberately.
+		for _, name := range missing {
+			fmt.Printf("benchdiff: MISSING %s is in %s but not in this run\n", name, *baseline)
+			failed = true
+		}
+		switch {
+		case !benchio.SameMachineClass(base, suite):
+			// Absolute ns/op across machine classes is noise; the
+			// machine-independent -speedup gate below still applies.
+			fmt.Printf("benchdiff: baseline %s is from a different machine class (%s/%d cpus vs %s/%d cpus); "+
+				"absolute regression check skipped — refresh BENCH_baseline.json from this run's artifact\n",
+				*baseline, base.GoVersion, base.CPUs, suite.GoVersion, suite.CPUs)
+		case len(regs) > 0:
+			for _, r := range regs {
+				fmt.Printf("benchdiff: REGRESSION %-36s %10.1f -> %10.1f ns/op (%.2fx, limit %.2fx)\n",
+					r.Name, r.Baseline, r.Current, r.Ratio, 1+*threshold)
+				failed = true
+			}
+		default:
+			fmt.Printf("benchdiff: no regressions beyond %+.0f%% vs %s\n", *threshold*100, *baseline)
+		}
+	}
+
+	if *speedup != "" {
+		baseName, optName, min, err := parseSpeedup(*speedup)
+		if err != nil {
+			fatal("benchdiff: %v", err)
+		}
+		b, okB := suite.Find(baseName)
+		o, okO := suite.Find(optName)
+		switch {
+		case !okB || !okO:
+			fmt.Printf("benchdiff: SPEEDUP GATE missing benchmarks %q/%q in this run\n", baseName, optName)
+			failed = true
+		case o.NsPerOp <= 0 || b.NsPerOp/o.NsPerOp < min:
+			fmt.Printf("benchdiff: SPEEDUP GATE %s/%s = %.2fx, want >= %.2fx\n",
+				baseName, optName, b.NsPerOp/o.NsPerOp, min)
+			failed = true
+		default:
+			fmt.Printf("benchdiff: speedup %s/%s = %.2fx (>= %.2fx ok)\n",
+				baseName, optName, b.NsPerOp/o.NsPerOp, min)
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// parseSpeedup decodes "base=A,opt=B,min=2.0".
+func parseSpeedup(s string) (base, opt string, min float64, err error) {
+	min = 1
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return "", "", 0, fmt.Errorf("bad -speedup element %q", part)
+		}
+		switch k {
+		case "base":
+			base = v
+		case "opt":
+			opt = v
+		case "min":
+			if min, err = strconv.ParseFloat(v, 64); err != nil {
+				return "", "", 0, fmt.Errorf("bad -speedup min %q", v)
+			}
+		default:
+			return "", "", 0, fmt.Errorf("unknown -speedup key %q", k)
+		}
+	}
+	if base == "" || opt == "" {
+		return "", "", 0, fmt.Errorf("-speedup needs base= and opt=")
+	}
+	return base, opt, min, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,199 @@
+// Package benchio defines the machine-readable benchmark record the repo
+// standardizes on (BENCH_<date>.json), with a parser for `go test -bench`
+// text output and comparison helpers. cmd/benchdiff uses it to gate CI on
+// regressions against a committed baseline; cmd/pxbench -sched uses it to
+// emit the same schema from in-process runs, so every producer and
+// consumer of benchmark numbers speaks one format.
+package benchio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Schema identifies the file format version.
+const Schema = "px-bench/v1"
+
+// Record is one benchmark's aggregated result.
+type Record struct {
+	Name        string             `json:"name"`
+	Iters       int                `json:"iters"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Suite is the BENCH_<date>.json document.
+type Suite struct {
+	Schema     string    `json:"schema"`
+	Date       time.Time `json:"date"`
+	GoVersion  string    `json:"go"`
+	CPUs       int       `json:"cpus"`
+	Benchmarks []Record  `json:"benchmarks"`
+}
+
+// NewSuite stamps an empty suite with the current environment.
+func NewSuite() *Suite {
+	return &Suite{
+		Schema:    Schema,
+		Date:      time.Now().UTC(),
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+	}
+}
+
+// Add appends a record, keeping the suite sorted by name.
+func (s *Suite) Add(r Record) {
+	s.Benchmarks = append(s.Benchmarks, r)
+	sort.Slice(s.Benchmarks, func(i, j int) bool {
+		return s.Benchmarks[i].Name < s.Benchmarks[j].Name
+	})
+}
+
+// Find returns the record with the given name.
+func (s *Suite) Find(name string) (Record, bool) {
+	for _, r := range s.Benchmarks {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Record{}, false
+}
+
+// WriteFile writes the suite as indented JSON.
+func (s *Suite) WriteFile(path string) error {
+	buf, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// ReadFile loads a suite, validating the schema tag.
+func ReadFile(path string) (*Suite, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Suite
+	if err := json.Unmarshal(buf, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if s.Schema != Schema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, s.Schema, Schema)
+	}
+	return &s, nil
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkSchedPingPong-8   12345   987.6 ns/op   12 B/op   1 allocs/op   3.14 laps/s
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// ParseGoBench reads `go test -bench` text output. Repeated runs of one
+// benchmark (-count > 1) aggregate to the minimum ns/op — the least-noise
+// estimate — with the other fields taken from that fastest run.
+func ParseGoBench(r io.Reader) (*Suite, error) {
+	s := NewSuite()
+	best := map[string]Record{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		rec := Record{Name: strings.TrimPrefix(m[1], "Benchmark")}
+		rec.Iters, _ = strconv.Atoi(m[2])
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				rec.NsPerOp = v
+			case "B/op":
+				rec.BytesPerOp = v
+			case "allocs/op":
+				rec.AllocsPerOp = v
+			default:
+				if rec.Extra == nil {
+					rec.Extra = map[string]float64{}
+				}
+				rec.Extra[fields[i+1]] = v
+			}
+		}
+		if rec.NsPerOp == 0 {
+			continue
+		}
+		if prev, ok := best[rec.Name]; !ok || rec.NsPerOp < prev.NsPerOp {
+			best[rec.Name] = rec
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, rec := range best {
+		s.Add(rec)
+	}
+	return s, nil
+}
+
+// Regression is one benchmark that slowed beyond the allowed threshold.
+type Regression struct {
+	Name     string
+	Baseline float64 // ns/op
+	Current  float64 // ns/op
+	Ratio    float64 // Current / Baseline
+}
+
+// Compare reports benchmarks present in both suites whose current ns/op
+// exceeds baseline by more than threshold (0.25 = +25%), plus the names
+// of baseline benchmarks absent from the current run — a renamed or
+// silently-dropped benchmark must fail the gate, not slip through it.
+func Compare(baseline, current *Suite, threshold float64) (regs []Regression, missing []string) {
+	for _, cur := range current.Benchmarks {
+		base, ok := baseline.Find(cur.Name)
+		if !ok || base.NsPerOp == 0 {
+			continue
+		}
+		ratio := cur.NsPerOp / base.NsPerOp
+		if ratio > 1+threshold {
+			regs = append(regs, Regression{Name: cur.Name, Baseline: base.NsPerOp, Current: cur.NsPerOp, Ratio: ratio})
+		}
+	}
+	for _, base := range baseline.Benchmarks {
+		if _, ok := current.Find(base.Name); !ok {
+			missing = append(missing, base.Name)
+		}
+	}
+	return regs, missing
+}
+
+// SameMachineClass reports whether two suites' absolute ns/op numbers are
+// comparable: same CPU count and same Go release. Cross-class absolute
+// comparison is noise, not signal.
+func SameMachineClass(a, b *Suite) bool {
+	return a.CPUs == b.CPUs && goRelease(a.GoVersion) == goRelease(b.GoVersion)
+}
+
+// goRelease trims "go1.23.4" to "go1.23".
+func goRelease(v string) string {
+	parts := strings.SplitN(v, ".", 3)
+	if len(parts) < 2 {
+		return v
+	}
+	return parts[0] + "." + parts[1]
+}

@@ -1,0 +1,120 @@
+package benchio
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSchedPostDispatchMutex-8   	  385599	       635.5 ns/op	   1573575 tasks/s
+BenchmarkSchedPostDispatchMutex-8   	  400000	       601.2 ns/op	   1663340 tasks/s
+BenchmarkSchedPostDispatchDeques    	 1000000	       300.3 ns/op	   3330021 tasks/s
+BenchmarkParcelEncodeDecode-8       	  500000	      2100 ns/op	     712 B/op	      11 allocs/op
+PASS
+ok  	repro	3.092s
+`
+
+func parseSample(t *testing.T) *Suite {
+	t.Helper()
+	s, err := ParseGoBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParseGoBench(t *testing.T) {
+	s := parseSample(t)
+	if len(s.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(s.Benchmarks))
+	}
+	// Repeated runs keep the fastest.
+	r, ok := s.Find("SchedPostDispatchMutex")
+	if !ok || r.NsPerOp != 601.2 || r.Iters != 400000 {
+		t.Fatalf("mutex record = %+v, %v", r, ok)
+	}
+	if r.Extra["tasks/s"] != 1663340 {
+		t.Fatalf("extra metric = %v", r.Extra)
+	}
+	// Suffix-free names (GOMAXPROCS=1) parse too.
+	if _, ok := s.Find("SchedPostDispatchDeques"); !ok {
+		t.Fatal("missing suffix-free benchmark")
+	}
+	// Memory columns land in their own fields.
+	r, _ = s.Find("ParcelEncodeDecode")
+	if r.BytesPerOp != 712 || r.AllocsPerOp != 11 {
+		t.Fatalf("mem fields = %+v", r)
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := parseSample(t)
+	cur := parseSample(t)
+	for i := range cur.Benchmarks {
+		if cur.Benchmarks[i].Name == "SchedPostDispatchDeques" {
+			cur.Benchmarks[i].NsPerOp *= 1.5
+		}
+	}
+	regs, missing := Compare(base, cur, 0.25)
+	if len(regs) != 1 || regs[0].Name != "SchedPostDispatchDeques" {
+		t.Fatalf("regressions = %+v", regs)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("missing = %v", missing)
+	}
+	if regs[0].Ratio < 1.49 || regs[0].Ratio > 1.51 {
+		t.Fatalf("ratio = %v", regs[0].Ratio)
+	}
+	if got, _ := Compare(base, parseSample(t), 0.25); len(got) != 0 {
+		t.Fatalf("clean compare produced %+v", got)
+	}
+	// A benchmark that disappears from the current run is flagged.
+	short := parseSample(t)
+	short.Benchmarks = short.Benchmarks[:1]
+	if _, miss := Compare(base, short, 0.25); len(miss) != 2 {
+		t.Fatalf("missing = %v, want 2 names", miss)
+	}
+}
+
+func TestSameMachineClass(t *testing.T) {
+	a, b := parseSample(t), parseSample(t)
+	if !SameMachineClass(a, b) {
+		t.Fatal("identical suites reported as different classes")
+	}
+	b.CPUs++
+	if SameMachineClass(a, b) {
+		t.Fatal("cpu-count difference not detected")
+	}
+	b.CPUs = a.CPUs
+	b.GoVersion = "go1.19.5"
+	if SameMachineClass(a, b) {
+		t.Fatal("go release difference not detected")
+	}
+	b.GoVersion = a.GoVersion + ".9"
+	if !SameMachineClass(a, b) && goRelease(a.GoVersion) == goRelease(b.GoVersion) {
+		t.Fatal("patch-level difference should not split classes")
+	}
+}
+
+func TestSuiteRoundTrip(t *testing.T) {
+	s := parseSample(t)
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Benchmarks) != len(s.Benchmarks) || back.Schema != Schema {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	r, ok := back.Find("SchedPostDispatchMutex")
+	if !ok || r.NsPerOp != 601.2 {
+		t.Fatalf("round-tripped record = %+v, %v", r, ok)
+	}
+}

@@ -71,7 +71,7 @@ func (r *Runtime) route(src int, p *parcel.Parcel) {
 	if copies == 0 {
 		// Lost in the network. Parcels are at-most-once; reliability, if
 		// needed, is layered above (acknowledging LCO protocols).
-		r.locs[src].Post(func() { r.doneWork() })
+		mustPost(r.locs[src].Post(func() { r.doneWork() }))
 		return
 	}
 	if copies == 2 {
@@ -114,12 +114,23 @@ func (r *Runtime) route(src int, p *parcel.Parcel) {
 
 // enqueue schedules parcel execution on locality loc. The work unit charged
 // by SendFrom is released when the action (and its continuation sends) have
-// completed.
+// completed. The destination object's name is the placement hint: parcels
+// for one object land on one worker's deque, preserving its cache affinity
+// and keeping the deque lock uncontended for hot objects.
 func (r *Runtime) enqueue(loc int, p *parcel.Parcel) {
-	r.locs[loc].Post(func() {
+	mustPost(r.locs[loc].PostTo(int(p.Dest.Seq), func() {
 		defer r.doneWork()
 		r.execute(loc, p)
-	})
+	}))
+}
+
+// mustPost converts a locality post failure into a panic: the runtime
+// quiesces before closing its localities, so a rejected post means work
+// was injected after Shutdown — always a caller bug.
+func mustPost(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("core: %v (work injected after shutdown)", err))
+	}
 }
 
 // execute runs the parcel's action as a fresh ephemeral thread on loc.
@@ -194,8 +205,8 @@ func (r *Runtime) failParcel(loc int, p *parcel.Parcel, err error) {
 // charged but which cannot reach any locality.
 func (r *Runtime) deliverFailure(src int, p *parcel.Parcel, err error) {
 	// Release via a task so accounting stays uniform.
-	r.locs[src].Post(func() {
+	mustPost(r.locs[src].Post(func() {
 		defer r.doneWork()
 		r.failParcel(src, p, err)
-	})
+	}))
 }

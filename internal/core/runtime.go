@@ -340,13 +340,13 @@ func (r *Runtime) Spawn(loc int, fn func(*Context)) {
 	r.addWork()
 	th := r.reg.New(loc)
 	r.slow.ThreadsSpawned.Inc()
-	r.locs[loc].Post(func() {
+	mustPost(r.locs[loc].Post(func() {
 		defer r.doneWork()
 		th.Start()
 		defer th.Terminate()
 		fn(&Context{rt: r, loc: loc, th: th})
 		r.slow.TasksExecuted.Inc()
-	})
+	}))
 }
 
 func (r *Runtime) checkLoc(i int) {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -40,7 +41,20 @@ func TestPropertyRandomProgramsQuiesce(t *testing.T) {
 			objs[i] = r.NewDataAt(i, struct{}{})
 		}
 
+		// build tasks run concurrently across localities; rand.Rand is not
+		// concurrency-safe, so destination picks go through a lock.
 		rng := rand.New(rand.NewSource(seed))
+		var rngMu sync.Mutex
+		pick := func() agas.GID {
+			rngMu.Lock()
+			defer rngMu.Unlock()
+			return objs[rng.Intn(locs)]
+		}
+		pickLoc := func() int {
+			rngMu.Lock()
+			defer rngMu.Unlock()
+			return rng.Intn(locs)
+		}
 		var expect int64
 		// Each tree node spawns fan children down to depth, and each node
 		// issues one remote call (action execution) plus a 2-hop chain.
@@ -62,16 +76,15 @@ func TestPropertyRandomProgramsQuiesce(t *testing.T) {
 		var build func(ctx *Context, d int)
 		build = func(ctx *Context, d int) {
 			// Remote call with reply.
-			dest := objs[rng.Intn(locs)]
-			fut := ctx.Call(dest, "stress.touch", nil)
+			fut := ctx.Call(pick(), "stress.touch", nil)
 			// Continuation chain: touch two more objects in sequence.
-			a, b := objs[rng.Intn(locs)], objs[rng.Intn(locs)]
+			a, b := pick(), pick()
 			ctx.Send(parcel.New(a, "stress.touch", nil,
 				parcel.Continuation{Target: b, Action: "stress.touch"}))
 			futs <- fut
 			if d > 0 {
 				for i := 0; i < fan; i++ {
-					ctx.SpawnAt(rng.Intn(locs), func(c *Context) { build(c, d-1) })
+					ctx.SpawnAt(pickLoc(), func(c *Context) { build(c, d-1) })
 				}
 			}
 		}

@@ -1,0 +1,169 @@
+package locality
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// deque is one worker's bounded task queue. The owner pushes new work at
+// the bottom and, under LIFO policy, pops it back from the bottom
+// (depth-first, cache-warm); thieves — sibling workers, spare workers
+// covering a suspension, and cross-locality stealers — always take the
+// oldest task from the top, so stolen work is the work least likely to be
+// in the owner's cache. A full deque overflows into the locality's shared
+// inject queue, keeping the common path bounded and allocation-free.
+//
+// The deque is a mutex-guarded ring: with one lock per worker instead of
+// one per locality, producers sharded across deques contend only when two
+// land on the same worker, and the steal path never blocks the owner for
+// longer than one ring operation. The size mirror lets scanners skip empty
+// deques without touching the lock at all.
+type deque struct {
+	mu   sync.Mutex
+	buf  []func()
+	head int // ring index of the oldest task (the steal end)
+	n    int // occupied slots
+	size atomic.Int32
+}
+
+func newDeque(capacity int) *deque {
+	return &deque{buf: make([]func(), capacity)}
+}
+
+// pushBottom appends fn at the newest end; false means the ring is full
+// and the task must overflow to the inject queue.
+func (d *deque) pushBottom(fn func()) bool {
+	d.mu.Lock()
+	if d.n == len(d.buf) {
+		d.mu.Unlock()
+		return false
+	}
+	d.buf[(d.head+d.n)%len(d.buf)] = fn
+	d.n++
+	d.size.Store(int32(d.n))
+	d.mu.Unlock()
+	return true
+}
+
+// popBottom removes the newest task (owner, LIFO policy).
+func (d *deque) popBottom() (func(), bool) {
+	if d.size.Load() == 0 {
+		return nil, false
+	}
+	d.mu.Lock()
+	if d.n == 0 {
+		d.mu.Unlock()
+		return nil, false
+	}
+	d.n--
+	i := (d.head + d.n) % len(d.buf)
+	fn := d.buf[i]
+	d.buf[i] = nil
+	d.size.Store(int32(d.n))
+	d.mu.Unlock()
+	return fn, true
+}
+
+// popTop removes the oldest task (owner under FIFO policy, and every
+// thief).
+func (d *deque) popTop() (func(), bool) {
+	if d.size.Load() == 0 {
+		return nil, false
+	}
+	d.mu.Lock()
+	if d.n == 0 {
+		d.mu.Unlock()
+		return nil, false
+	}
+	fn := d.buf[d.head]
+	d.buf[d.head] = nil
+	d.head = (d.head + 1) % len(d.buf)
+	d.n--
+	d.size.Store(int32(d.n))
+	d.mu.Unlock()
+	return fn, true
+}
+
+// injectq is the locality's shared overflow and injection queue: the
+// landing zone for deque overflow and the first place every searcher looks
+// after its own deque. FIFO, unbounded, mutex-guarded — it is off the
+// common path by construction, so simplicity wins over cleverness here.
+type injectq struct {
+	mu   sync.Mutex
+	buf  []func()
+	head int
+	size atomic.Int32
+}
+
+func (q *injectq) push(fn func()) {
+	q.mu.Lock()
+	q.buf = append(q.buf, fn)
+	q.size.Store(int32(len(q.buf) - q.head))
+	q.mu.Unlock()
+}
+
+func (q *injectq) pop() (func(), bool) {
+	if q.size.Load() == 0 {
+		return nil, false
+	}
+	q.mu.Lock()
+	if q.head == len(q.buf) {
+		q.mu.Unlock()
+		return nil, false
+	}
+	fn := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	q.size.Store(int32(len(q.buf) - q.head))
+	q.mu.Unlock()
+	return fn, true
+}
+
+// widthGate is the execution-width semaphore: free permits start at
+// Workers and never grow — Suspend returns the caller's permit and resume
+// takes one back, so concurrently running (non-suspended) threads can
+// never exceed the configured width, whichever goroutines host them.
+//
+// The counter registers waiters atomically (state < 0 means -state
+// goroutines are parked), so a release with waiters present must hand its
+// permit to one of them: resumed threads cannot be barged past by a
+// stream of fresh tasks, matching the old slot channel's fairness. The
+// huge channel capacity costs nothing: buffered channels of zero-size
+// elements allocate no backing array.
+type widthGate struct {
+	state atomic.Int64
+	sema  chan struct{}
+}
+
+func (g *widthGate) init(n int) {
+	g.state.Store(int64(n))
+	g.sema = make(chan struct{}, 1<<30)
+}
+
+func (g *widthGate) acquire() {
+	if g.state.Add(-1) >= 0 {
+		return
+	}
+	<-g.sema
+}
+
+func (g *widthGate) release() {
+	if g.state.Add(1) <= 0 {
+		g.sema <- struct{}{}
+	}
+}
+
+// xorshift is the thieves' cheap per-worker PRNG: victim selection must
+// not synchronize workers with each other, so each carries its own state.
+func xorshift(s *uint64) uint64 {
+	x := *s
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*s = x
+	return x
+}

@@ -1,13 +1,29 @@
 // Package locality implements the ParalleX locality: the physical domain
 // that executes threads. A locality owns an object store, a message-driven
-// work queue, and a bounded set of execution slots. Threads that suspend
-// release their slot (becoming, in the paper's terms, depleted threads held
-// by an LCO), so a locality's workers are never blocked by waiting work —
-// the property behind the model's latency hiding.
+// work pool, and a bounded set of execution workers. Threads that suspend
+// release their worker (becoming, in the paper's terms, depleted threads
+// held by an LCO), so a locality's workers are never blocked by waiting
+// work — the property behind the model's latency hiding.
+//
+// Execution engine: each worker owns a bounded deque. Work posted from
+// outside is sharded across the deques (round-robin, or by caller-supplied
+// affinity hint via PostTo), overflowing to a shared inject queue when a
+// deque is full. The owner serves its deque from the bottom under LIFO
+// policy and from the top under FIFO; idle workers steal the oldest task
+// from a random sibling, and — with Stealing enabled — from random victim
+// localities. There is no global queue lock: the only shared mutable state
+// on the post path is the chosen deque's own lock and two counters.
+//
+// Knobs: Config.Workers bounds concurrently running threads,
+// Config.DequeSize bounds each worker's private ring before overflow
+// (default 256), Config.Policy picks FIFO/LIFO service, Config.Stealing
+// enables cross-locality theft.
 package locality
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,7 +62,21 @@ type Config struct {
 	Policy Policy
 	// Stealing lets an idle locality take work from victims' queue fronts.
 	Stealing bool
+	// DequeSize bounds each worker's private deque; a full deque overflows
+	// to the shared inject queue. Default 256.
+	DequeSize int
 }
+
+// ErrClosed is returned by Post and PostTo on a closed locality. The
+// runtime quiesces before shutdown, so at the runtime layer a late post is
+// still a bug — but the locality records and reports it instead of
+// dropping the task on the floor.
+var ErrClosed = errors.New("locality: closed")
+
+// stealPoll bounds how stale an idle stealer's view of its victims (and a
+// spare's view of the reclaim channel) may get: victims gain work without
+// notifying foreign localities, so stealers poll.
+const stealPoll = 50 * time.Microsecond
 
 // Locality is one execution domain.
 type Locality struct {
@@ -54,22 +84,53 @@ type Locality struct {
 	cfg   Config
 	store *Store
 
-	mu     sync.Mutex
-	queue  []func()
-	closed bool
-	notify chan struct{}
+	workers []*worker
+	inject  injectq
 
-	slots   chan struct{}
-	victims []*Locality
+	closed  atomic.Bool
+	closeCh chan struct{}
 
-	dispatcherDone chan struct{}
-	running        sync.WaitGroup
+	// width gates task execution at Workers concurrent threads. Every
+	// runner — worker or spare — holds a permit while a task executes;
+	// Suspend releases the permit around the blocking wait and re-acquires
+	// it before resuming, which is exactly the paper's depleted-thread
+	// rule: a suspended thread consumes no execution resources and
+	// re-competes for one when its dependency fires.
+	width widthGate
 
-	tasksRun  atomic.Uint64
-	stolen    atomic.Uint64
-	suspends  atomic.Uint64
-	idle      *metrics.IdleTracker
+	// suspOut tracks threads currently depleted; spares exist to use the
+	// permits those threads released, and retire when spares outnumber it.
+	suspOut    atomic.Int64
+	spares     atomic.Int64
+	idleSpares atomic.Int64
+
+	victims atomic.Pointer[[]*Locality]
+
+	queued    atomic.Int64
 	queuePeak atomic.Int64
+	nparked   atomic.Int32
+	rr        atomic.Uint32
+
+	wg      sync.WaitGroup
+	spareWG sync.WaitGroup
+
+	tasksRun    atomic.Uint64
+	stolen      atomic.Uint64
+	stolenLocal atomic.Uint64
+	suspends    atomic.Uint64
+	dropped     atomic.Uint64
+}
+
+// worker is one execution slot: a goroutine, its private deque, its parker
+// and its steal PRNG.
+type worker struct {
+	l      *Locality
+	dq     *deque
+	park   chan struct{}
+	parked atomic.Bool
+	rng    uint64
+	idle   *metrics.IdleTracker
+	timer  *time.Timer
 }
 
 // New creates and starts a locality with the given id.
@@ -77,19 +138,33 @@ func New(id int, cfg Config) *Locality {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
+	if cfg.DequeSize <= 0 {
+		cfg.DequeSize = 256
+	}
 	l := &Locality{
-		id:             id,
-		cfg:            cfg,
-		store:          NewStore(),
-		notify:         make(chan struct{}, 1),
-		slots:          make(chan struct{}, cfg.Workers),
-		dispatcherDone: make(chan struct{}),
-		idle:           metrics.NewIdleTracker(),
+		id:      id,
+		cfg:     cfg,
+		store:   NewStore(),
+		closeCh: make(chan struct{}),
 	}
-	for i := 0; i < cfg.Workers; i++ {
-		l.slots <- struct{}{}
+	l.width.init(cfg.Workers)
+	l.workers = make([]*worker, cfg.Workers)
+	for i := range l.workers {
+		t := time.NewTimer(time.Hour)
+		t.Stop()
+		l.workers[i] = &worker{
+			l:     l,
+			dq:    newDeque(cfg.DequeSize),
+			park:  make(chan struct{}, 1),
+			rng:   (uint64(id)*2654435761 + uint64(i)*40503 + 0x9e3779b9) | 1,
+			idle:  metrics.NewIdleTracker(),
+			timer: t,
+		}
 	}
-	go l.dispatch()
+	l.wg.Add(cfg.Workers)
+	for _, w := range l.workers {
+		go w.run()
+	}
 	return l
 }
 
@@ -101,118 +176,251 @@ func (l *Locality) Store() *Store { return l.store }
 
 // SetVictims installs the steal set; only meaningful with Stealing enabled.
 func (l *Locality) SetVictims(vs []*Locality) {
-	l.mu.Lock()
-	l.victims = vs
-	l.mu.Unlock()
+	l.victims.Store(&vs)
 }
 
-func (l *Locality) victimSet() []*Locality {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.victims
+// Post enqueues fn for execution, sharding across worker deques
+// round-robin. Posting to a closed locality returns ErrClosed (and counts
+// toward Dropped); the runtime must quiesce before shutdown, so callers
+// that cannot tolerate a late post should treat the error as fatal.
+func (l *Locality) Post(fn func()) error {
+	return l.PostTo(int(l.rr.Add(1)), fn)
 }
 
-// Post enqueues fn for execution. Posting to a closed locality panics: the
-// runtime must quiesce before shutdown, so a late post is always a bug.
-func (l *Locality) Post(fn func()) {
+// PostTo enqueues fn with a placement hint: equal hints land on the same
+// worker's deque, so related tasks (parcels for one object, a thread's
+// children) keep their cache affinity and take their deque lock
+// uncontended. The hint is only a preference — a full deque overflows to
+// the shared inject queue, and idle siblings steal regardless.
+func (l *Locality) PostTo(hint int, fn func()) error {
 	if fn == nil {
 		panic("locality: post of nil task")
 	}
-	l.mu.Lock()
-	if l.closed {
-		l.mu.Unlock()
-		panic(fmt.Sprintf("locality %d: post after close", l.id))
+	if l.closed.Load() {
+		l.dropped.Add(1)
+		return fmt.Errorf("locality %d: %w", l.id, ErrClosed)
 	}
-	l.queue = append(l.queue, fn)
-	if n := int64(len(l.queue)); n > l.queuePeak.Load() {
-		l.queuePeak.Store(n)
+	// The count rises before the push so the drain at Close cannot observe
+	// empty queues while a racing post is between count and push: workers
+	// exit only at closed && queued == 0, and this post already holds the
+	// count up.
+	n := l.queued.Add(1)
+	w := l.workers[uint(hint)%uint(len(l.workers))]
+	if !w.dq.pushBottom(fn) {
+		l.inject.push(fn)
 	}
-	l.mu.Unlock()
-	select {
-	case l.notify <- struct{}{}:
-	default:
+	if l.closed.Load() {
+		// Close landed between the entry check and the count: the workers
+		// may all have seen empty queues and exited. Drain in their stead
+		// so the task is executed, not stranded — a post that races Close
+		// linearizes before it either way.
+		l.drainLate()
+		return nil
 	}
-}
-
-// pop removes one task per the service policy.
-func (l *Locality) pop() (func(), bool) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	n := len(l.queue)
-	if n == 0 {
-		return nil, false
-	}
-	var fn func()
-	if l.cfg.Policy == LIFO {
-		fn = l.queue[n-1]
-		l.queue[n-1] = nil
-		l.queue = l.queue[:n-1]
-	} else {
-		fn = l.queue[0]
-		l.queue = l.queue[1:]
-	}
-	return fn, true
-}
-
-// stealFrom removes the oldest task from v's queue (FIFO side), the
-// conventional steal end.
-func (l *Locality) stealFrom(v *Locality) (func(), bool) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if len(v.queue) == 0 {
-		return nil, false
-	}
-	fn := v.queue[0]
-	v.queue = v.queue[1:]
-	return fn, true
-}
-
-func (l *Locality) dispatch() {
-	defer close(l.dispatcherDone)
 	for {
-		fn, ok := l.pop()
-		if !ok && l.cfg.Stealing {
-			for _, v := range l.victimSet() {
-				if v == l {
-					continue
-				}
-				if fn, ok = l.stealFrom(v); ok {
-					l.stolen.Add(1)
-					break
-				}
-			}
+		p := l.queuePeak.Load()
+		if n <= p || l.queuePeak.CompareAndSwap(p, n) {
+			break
 		}
-		if !ok {
-			l.mu.Lock()
-			closed := l.closed
-			empty := len(l.queue) == 0
-			l.mu.Unlock()
-			if closed && empty {
-				return
-			}
-			l.idle.MarkIdle()
-			if l.cfg.Stealing {
-				// Poll: victims can gain work without notifying us.
-				select {
-				case <-l.notify:
-				case <-time.After(50 * time.Microsecond):
-				}
-			} else {
-				<-l.notify
-			}
-			l.idle.MarkBusy()
+	}
+	l.wake(w)
+	return nil
+}
+
+// drainLate runs queued work on the caller's goroutine until none
+// remains. It backstops posts that race Close: surviving workers may
+// drain concurrently (pops are synchronized), and a task count held up by
+// another mid-push poster resolves when that poster lands and drains too.
+func (l *Locality) drainLate() {
+	rng := (spareSeq.Add(1)*2654435761 + 0x9e3779b9) | 1
+	for l.queued.Load() > 0 {
+		if fn, ok := l.findAny(&rng); ok {
+			l.runTask(fn)
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// wake unparks one worker, preferring the deque owner the task landed on.
+func (l *Locality) wake(preferred *worker) {
+	if l.nparked.Load() == 0 {
+		return
+	}
+	if preferred.parked.CompareAndSwap(true, false) {
+		l.nparked.Add(-1)
+		preferred.park <- struct{}{}
+		return
+	}
+	for _, w := range l.workers {
+		if w.parked.CompareAndSwap(true, false) {
+			l.nparked.Add(-1)
+			w.park <- struct{}{}
+			return
+		}
+	}
+}
+
+func (w *worker) run() {
+	defer w.l.wg.Done()
+	l := w.l
+	for {
+		if fn, ok := w.find(); ok {
+			l.runTask(fn)
 			continue
 		}
-		<-l.slots // acquire an execution slot
-		l.running.Add(1)
-		go func() {
-			defer func() {
-				l.slots <- struct{}{}
-				l.running.Done()
-			}()
-			fn()
-			l.tasksRun.Add(1)
-		}()
+		if l.closed.Load() {
+			if l.queued.Load() == 0 {
+				return
+			}
+			// Siblings still hold queued tasks; help drain them.
+			runtime.Gosched()
+			continue
+		}
+		w.parkWait()
+	}
+}
+
+// runTask executes one task under a width permit.
+func (l *Locality) runTask(fn func()) {
+	l.width.acquire()
+	fn()
+	l.width.release()
+	l.tasksRun.Add(1)
+}
+
+// find locates the next task: own deque (per policy), the shared inject
+// queue, a random sibling's deque top, then — with Stealing — a random
+// victim locality.
+func (w *worker) find() (func(), bool) {
+	l := w.l
+	var fn func()
+	var ok bool
+	if l.cfg.Policy == LIFO {
+		fn, ok = w.dq.popBottom()
+	} else {
+		fn, ok = w.dq.popTop()
+	}
+	if ok {
+		l.queued.Add(-1)
+		return fn, true
+	}
+	if fn, ok = l.inject.pop(); ok {
+		l.queued.Add(-1)
+		return fn, true
+	}
+	if len(l.workers) > 1 {
+		off := int(xorshift(&w.rng) % uint64(len(l.workers)))
+		for i := 0; i < len(l.workers); i++ {
+			v := l.workers[(off+i)%len(l.workers)]
+			if v == w {
+				continue
+			}
+			if fn, ok = v.dq.popTop(); ok {
+				l.stolenLocal.Add(1)
+				l.queued.Add(-1)
+				return fn, true
+			}
+		}
+	}
+	if l.cfg.Stealing {
+		return l.stealRemote(&w.rng)
+	}
+	return nil, false
+}
+
+// stealRemote takes one task from a random victim locality.
+func (l *Locality) stealRemote(rng *uint64) (func(), bool) {
+	vsp := l.victims.Load()
+	if vsp == nil || len(*vsp) == 0 {
+		return nil, false
+	}
+	vs := *vsp
+	off := int(xorshift(rng) % uint64(len(vs)))
+	for i := range vs {
+		v := vs[(off+i)%len(vs)]
+		if v == l {
+			continue
+		}
+		if fn, ok := v.stealOne(rng); ok {
+			l.stolen.Add(1)
+			return fn, true
+		}
+	}
+	return nil, false
+}
+
+// stealOne removes one task from this locality on behalf of a thief: the
+// inject queue first (nobody's affinity is lost there), then deque tops.
+func (l *Locality) stealOne(rng *uint64) (func(), bool) {
+	if l.queued.Load() == 0 {
+		return nil, false
+	}
+	if fn, ok := l.inject.pop(); ok {
+		l.queued.Add(-1)
+		return fn, true
+	}
+	off := int(xorshift(rng) % uint64(len(l.workers)))
+	for i := range l.workers {
+		if fn, ok := l.workers[(off+i)%len(l.workers)].dq.popTop(); ok {
+			l.queued.Add(-1)
+			return fn, true
+		}
+	}
+	return nil, false
+}
+
+// parkWait blocks the worker until new work may exist. Stealing workers
+// poll: victims gain work without notifying foreign localities.
+func (w *worker) parkWait() {
+	l := w.l
+	w.parked.Store(true)
+	l.nparked.Add(1)
+	// Recheck after publishing the parked flag: a post racing our failed
+	// find would otherwise be missed forever.
+	if l.queued.Load() > 0 || l.closed.Load() {
+		w.unpark()
+		return
+	}
+	w.idle.MarkIdle()
+	if l.cfg.Stealing {
+		w.timer.Reset(stealPoll)
+		select {
+		case <-w.park:
+			w.stopTimer()
+		case <-l.closeCh:
+			w.stopTimer()
+			w.unpark()
+		case <-w.timer.C:
+			w.unpark()
+		}
+	} else {
+		select {
+		case <-w.park:
+		case <-l.closeCh:
+			w.unpark()
+		}
+	}
+	w.idle.MarkBusy()
+}
+
+// unpark clears the worker's own parked flag; if a waker won the race for
+// it, the waker's token is already in flight and must be consumed so the
+// channel is clean for the next cycle.
+func (w *worker) unpark() {
+	if w.parked.CompareAndSwap(true, false) {
+		w.l.nparked.Add(-1)
+		return
+	}
+	<-w.park
+}
+
+func (w *worker) stopTimer() {
+	if !w.timer.Stop() {
+		select {
+		case <-w.timer.C:
+		default:
+		}
 	}
 }
 
@@ -220,46 +428,91 @@ func (l *Locality) dispatch() {
 // modelling thread depletion: wait runs with the slot released and the
 // thread re-competes for a slot before continuing. Every task posted to
 // this locality that blocks must wrap the blocking call in Suspend.
+//
+// Mechanically, Suspend returns the caller's width permit to the pool and
+// makes sure a spare worker exists to use it, so the locality's execution
+// width stays at Workers while the thread is depleted; the resume
+// re-acquires a permit, and the surplus spare retires once no suspensions
+// remain outstanding.
 func (l *Locality) Suspend(wait func()) {
 	l.suspends.Add(1)
-	l.slots <- struct{}{} // give the slot back
+	l.suspOut.Add(1)
+	l.width.release()
+	if l.idleSpares.Load() == 0 {
+		l.spares.Add(1)
+		l.spareWG.Add(1)
+		go l.spare()
+	}
 	wait()
-	<-l.slots // re-acquire before resuming
+	l.width.acquire()
+	l.suspOut.Add(-1)
+}
+
+// spare covers for suspended threads: it runs queued work (steal-only — it
+// has no deque of its own) while suspensions are outstanding, and retires
+// as soon as spares outnumber them.
+func (l *Locality) spare() {
+	defer l.spareWG.Done()
+	rng := (spareSeq.Add(1)*2654435761 + 0x9e3779b9) | 1
+	for {
+		if s := l.spares.Load(); s > l.suspOut.Load() {
+			if l.spares.CompareAndSwap(s, s-1) {
+				return
+			}
+			continue
+		}
+		if fn, ok := l.findAny(&rng); ok {
+			l.runTask(fn)
+			continue
+		}
+		if l.closed.Load() && l.queued.Load() == 0 {
+			l.spares.Add(-1)
+			return
+		}
+		// Idle: poll. Suspensions resolve through LCOs at their own pace,
+		// so a timed poll is the simplest race-free parking here.
+		l.idleSpares.Add(1)
+		time.Sleep(stealPoll)
+		l.idleSpares.Add(-1)
+	}
+}
+
+// spareSeq feeds spare-worker PRNG seeds; spares are transient so a shared
+// counter is fine.
+var spareSeq atomic.Uint64
+
+// findAny is the steal-only task search used by spare workers.
+func (l *Locality) findAny(rng *uint64) (func(), bool) {
+	if fn, ok := l.inject.pop(); ok {
+		l.queued.Add(-1)
+		return fn, true
+	}
+	off := int(xorshift(rng) % uint64(len(l.workers)))
+	for i := range l.workers {
+		if fn, ok := l.workers[(off+i)%len(l.workers)].dq.popTop(); ok {
+			l.queued.Add(-1)
+			return fn, true
+		}
+	}
+	if l.cfg.Stealing {
+		return l.stealRemote(rng)
+	}
+	return nil, false
 }
 
 // Close stops the locality after draining queued and running work.
-// It is an error to Post during or after Close.
+// Posting during or after Close returns ErrClosed.
 func (l *Locality) Close() {
-	l.mu.Lock()
-	if l.closed {
-		l.mu.Unlock()
-		<-l.dispatcherDone
-		l.running.Wait()
-		return
+	if l.closed.CompareAndSwap(false, true) {
+		close(l.closeCh)
 	}
-	l.closed = true
-	l.mu.Unlock()
-	// Wake the dispatcher so it can observe the close.
-	for {
-		select {
-		case l.notify <- struct{}{}:
-		default:
-		}
-		select {
-		case <-l.dispatcherDone:
-			l.running.Wait()
-			return
-		case <-time.After(100 * time.Microsecond):
-		}
-	}
+	l.wg.Wait()
+	l.spareWG.Wait()
 }
 
-// QueueLen reports current queue depth.
-func (l *Locality) QueueLen() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.queue)
-}
+// QueueLen reports current queue depth across all deques and the inject
+// queue.
+func (l *Locality) QueueLen() int { return int(l.queued.Load()) }
 
 // QueuePeak reports the high-water queue depth.
 func (l *Locality) QueuePeak() int { return int(l.queuePeak.Load()) }
@@ -267,11 +520,23 @@ func (l *Locality) QueuePeak() int { return int(l.queuePeak.Load()) }
 // TasksRun reports completed tasks.
 func (l *Locality) TasksRun() uint64 { return l.tasksRun.Load() }
 
-// Stolen reports tasks this locality stole from victims.
+// Stolen reports tasks this locality stole from victim localities.
 func (l *Locality) Stolen() uint64 { return l.stolen.Load() }
+
+// StolenLocal reports intra-locality steals between sibling workers.
+func (l *Locality) StolenLocal() uint64 { return l.stolenLocal.Load() }
+
+// Dropped reports posts rejected because the locality was closed.
+func (l *Locality) Dropped() uint64 { return l.dropped.Load() }
 
 // Suspensions reports slot releases by suspending threads.
 func (l *Locality) Suspensions() uint64 { return l.suspends.Load() }
 
-// IdleFraction reports the dispatcher's starvation fraction so far.
-func (l *Locality) IdleFraction() float64 { return l.idle.IdleFraction() }
+// IdleFraction reports the mean starvation fraction across workers so far.
+func (l *Locality) IdleFraction() float64 {
+	var s float64
+	for _, w := range l.workers {
+		s += w.idle.IdleFraction()
+	}
+	return s / float64(len(l.workers))
+}

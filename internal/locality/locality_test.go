@@ -1,6 +1,7 @@
 package locality
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -188,15 +189,137 @@ func TestCloseIdempotent(t *testing.T) {
 	l.Close()
 }
 
-func TestPostAfterClosePanics(t *testing.T) {
+func TestPostAfterCloseErrors(t *testing.T) {
 	l := New(0, Config{Workers: 1})
 	l.Close()
-	defer func() {
-		if recover() == nil {
-			t.Error("post after close did not panic")
+	err := l.Post(func() { t.Error("task ran after close") })
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("post after close: err = %v, want ErrClosed", err)
+	}
+	if l.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", l.Dropped())
+	}
+	if err := l.PostTo(3, func() {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("PostTo after close: err = %v, want ErrClosed", err)
+	}
+	if l.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", l.Dropped())
+	}
+}
+
+// TestStealingStress floods one locality from many producers while idle
+// victims steal, asserting every task runs exactly once.
+func TestStealingStress(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 2000
+		thieves   = 3
+	)
+	victim := New(0, Config{Workers: 2, DequeSize: 64})
+	all := []*Locality{victim}
+	for i := 0; i < thieves; i++ {
+		th := New(1+i, Config{Workers: 2, Stealing: true, DequeSize: 64})
+		all = append(all, th)
+	}
+	for _, l := range all {
+		l.SetVictims(all)
+	}
+	counts := make([]atomic.Int32, producers*perProd)
+	var wg sync.WaitGroup
+	wg.Add(producers * perProd)
+	var pwg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		pwg.Add(1)
+		go func() {
+			defer pwg.Done()
+			for i := 0; i < perProd; i++ {
+				id := p*perProd + i
+				if err := victim.Post(func() {
+					counts[id].Add(1)
+					wg.Done()
+				}); err != nil {
+					t.Errorf("post %d: %v", id, err)
+					wg.Done()
+				}
+			}
+		}()
+	}
+	pwg.Wait()
+	wg.Wait()
+	for i := range counts {
+		if n := counts[i].Load(); n != 1 {
+			t.Fatalf("task %d ran %d times", i, n)
 		}
-	}()
-	l.Post(func() {})
+	}
+	// Counters settle only once the workers have joined: TasksRun is
+	// incremented after the task body, so it can trail wg.Wait.
+	for _, l := range all {
+		l.Close()
+	}
+	var stolen, ran uint64
+	for _, l := range all {
+		stolen += l.Stolen()
+		ran += l.TasksRun()
+	}
+	if ran != producers*perProd {
+		t.Fatalf("tasks run = %d, want %d", ran, producers*perProd)
+	}
+	if stolen == 0 {
+		t.Error("no cross-locality steals under an 8-producer flood with 3 idle thieves")
+	}
+	if victim.QueuePeak() == 0 {
+		t.Error("queue peak stayed zero under flood")
+	}
+}
+
+// TestSiblingStealing checks intra-locality balancing: a hint pinning all
+// work to one worker's deque must not leave the siblings idle.
+func TestSiblingStealing(t *testing.T) {
+	l := New(0, Config{Workers: 4})
+	var wg sync.WaitGroup
+	const n = 200
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		l.PostTo(0, func() {
+			time.Sleep(200 * time.Microsecond)
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	if l.StolenLocal() == 0 {
+		t.Error("no sibling steals though all posts targeted one deque")
+	}
+	l.Close()
+	if l.TasksRun() != n {
+		t.Fatalf("TasksRun = %d, want %d", l.TasksRun(), n)
+	}
+}
+
+// TestDequeOverflow posts far more than DequeSize while the lone worker is
+// jammed; overflow must land in the inject queue and nothing may be lost.
+func TestDequeOverflow(t *testing.T) {
+	l := New(0, Config{Workers: 1, DequeSize: 8})
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	l.Post(func() { <-gate; wg.Done() })
+	time.Sleep(5 * time.Millisecond)
+	const n = 500
+	var ran atomic.Int32
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		l.Post(func() { ran.Add(1); wg.Done() })
+	}
+	if peak := l.QueuePeak(); peak < n {
+		t.Fatalf("queue peak %d with %d queued", peak, n)
+	}
+	close(gate)
+	wg.Wait()
+	l.Close()
+	if ran.Load() != n {
+		t.Fatalf("ran %d/%d overflow tasks", ran.Load(), n)
+	}
 }
 
 func TestPostNilPanics(t *testing.T) {

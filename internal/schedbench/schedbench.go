@@ -1,0 +1,322 @@
+// Package schedbench holds the scheduler and wire microbenchmark bodies
+// shared by the root bench_test.go (go test -bench) and cmd/pxbench
+// -sched (programmatic runs emitting BENCH_<date>.json). Keeping the
+// bodies in one place guarantees CI's regression gate and the
+// command-line harness measure the same code.
+//
+// The package also preserves the pre-deque scheduler (MutexQueue) —
+// one mutex-guarded slice served by a dispatcher that spawns a goroutine
+// per task, gated by a slot channel — as the baseline the per-worker
+// stealing deques are judged against. The headline comparison is
+// PostDispatchMutex vs PostDispatchDeques on 8 workers.
+package schedbench
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	parallex "repro"
+	"repro/internal/locality"
+)
+
+// MutexQueue is the retired single-lock locality scheduler, kept verbatim
+// (minus store/steal/metrics) so benchmarks compare against real history
+// rather than a strawman.
+type MutexQueue struct {
+	mu     sync.Mutex
+	queue  []func()
+	closed bool
+	notify chan struct{}
+	slots  chan struct{}
+
+	done    chan struct{}
+	running sync.WaitGroup
+}
+
+// NewMutexQueue starts a baseline scheduler with the given worker bound.
+func NewMutexQueue(workers int) *MutexQueue {
+	q := &MutexQueue{
+		notify: make(chan struct{}, 1),
+		slots:  make(chan struct{}, workers),
+		done:   make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		q.slots <- struct{}{}
+	}
+	go q.dispatch()
+	return q
+}
+
+// Post enqueues fn, as the old Locality.Post did.
+func (q *MutexQueue) Post(fn func()) {
+	q.mu.Lock()
+	q.queue = append(q.queue, fn)
+	q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (q *MutexQueue) pop() (func(), bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.queue) == 0 {
+		return nil, false
+	}
+	fn := q.queue[0]
+	q.queue = q.queue[1:]
+	return fn, true
+}
+
+func (q *MutexQueue) dispatch() {
+	defer close(q.done)
+	for {
+		fn, ok := q.pop()
+		if !ok {
+			q.mu.Lock()
+			closed := q.closed
+			empty := len(q.queue) == 0
+			q.mu.Unlock()
+			if closed && empty {
+				return
+			}
+			<-q.notify
+			continue
+		}
+		<-q.slots
+		q.running.Add(1)
+		go func() {
+			defer func() {
+				q.slots <- struct{}{}
+				q.running.Done()
+			}()
+			fn()
+		}()
+	}
+}
+
+// Close drains and stops the baseline scheduler.
+func (q *MutexQueue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+	<-q.done
+	q.running.Wait()
+}
+
+// postDispatch measures multi-producer post + dispatch throughput: b.N
+// trivial tasks posted from `producers` goroutines, timed to full
+// completion.
+func postDispatch(b *testing.B, producers int, post func(func())) {
+	var wg sync.WaitGroup
+	wg.Add(b.N)
+	task := func() { wg.Done() }
+	b.ResetTimer()
+	var pwg sync.WaitGroup
+	base, rem := b.N/producers, b.N%producers
+	for p := 0; p < producers; p++ {
+		n := base
+		if p < rem {
+			n++
+		}
+		pwg.Add(1)
+		go func(n int) {
+			defer pwg.Done()
+			for i := 0; i < n; i++ {
+				post(task)
+			}
+		}(n)
+	}
+	pwg.Wait()
+	wg.Wait()
+	b.StopTimer()
+	reportTaskRate(b, b.N)
+}
+
+func reportTaskRate(b *testing.B, tasks int) {
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(tasks)/sec, "tasks/s")
+	}
+}
+
+// PostDispatchMutex is the baseline: the single-mutex scheduler under a
+// multi-producer flood.
+func PostDispatchMutex(b *testing.B, workers, producers int) {
+	q := NewMutexQueue(workers)
+	postDispatch(b, producers, q.Post)
+	q.Close()
+}
+
+// PostDispatchDeques is the same flood on the per-worker stealing deque
+// scheduler.
+func PostDispatchDeques(b *testing.B, workers, producers int) {
+	l := locality.New(0, locality.Config{Workers: workers})
+	postDispatch(b, producers, func(fn func()) {
+		if err := l.Post(fn); err != nil {
+			b.Error(err)
+		}
+	})
+	l.Close()
+}
+
+// PingPong bounces a single task chain between two one-worker localities:
+// pure scheduler latency, no batching to hide behind.
+func PingPong(b *testing.B) {
+	a := locality.New(0, locality.Config{Workers: 1})
+	c := locality.New(1, locality.Config{Workers: 1})
+	done := make(chan struct{})
+	locs := [2]*locality.Locality{a, c}
+	var hop func(remaining, at int)
+	hop = func(remaining, at int) {
+		if remaining == 0 {
+			close(done)
+			return
+		}
+		next := 1 - at
+		if err := locs[next].Post(func() { hop(remaining-1, next) }); err != nil {
+			b.Error(err)
+			close(done)
+		}
+	}
+	b.ResetTimer()
+	hop(2*b.N, 1) // b.N round trips
+	<-done
+	b.StopTimer()
+	a.Close()
+	c.Close()
+}
+
+// StealImbalance floods one victim locality from one producer while idle
+// stealing localities drain it: steady-state steal throughput.
+func StealImbalance(b *testing.B, thieves int) {
+	all := make([]*locality.Locality, 1+thieves)
+	all[0] = locality.New(0, locality.Config{Workers: 1, Stealing: true})
+	for i := 1; i < len(all); i++ {
+		all[i] = locality.New(i, locality.Config{Workers: 1, Stealing: true})
+	}
+	for _, l := range all {
+		l.SetVictims(all)
+	}
+	var wg sync.WaitGroup
+	wg.Add(b.N)
+	task := func() { wg.Done() }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := all[0].Post(task); err != nil {
+			b.Fatal(err)
+		}
+	}
+	wg.Wait()
+	b.StopTimer()
+	reportTaskRate(b, b.N)
+	var stolen uint64
+	for _, l := range all {
+		stolen += l.Stolen()
+	}
+	b.ReportMetric(float64(stolen)/float64(b.N), "stolen-frac")
+	for _, l := range all {
+		l.Close()
+	}
+}
+
+// FanOutFanIn spawns width threads across four localities per iteration
+// and collects them through an LCO AndGate — the split-phase fork/join the
+// paper replaces barriers with.
+func FanOutFanIn(b *testing.B, width int) {
+	rt := parallex.New(parallex.Config{Localities: 4, WorkersPerLocality: 2})
+	defer rt.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := parallex.NewAndGate(width)
+		for j := 0; j < width; j++ {
+			rt.Spawn(j%4, func(*parallex.Context) { g.Signal() })
+		}
+		g.Wait()
+	}
+	b.StopTimer()
+	reportTaskRate(b, b.N*width)
+}
+
+// TCPRing3 drives one continuation-chain lap around a three-node TCP
+// machine on loopback per iteration: the full stack — scheduler, parcel
+// codec, batched wire — under the distributed quiescence protocol.
+func TCPRing3(b *testing.B) {
+	ranges := []parallex.LocalityRange{{Lo: 0, Hi: 2}, {Lo: 2, Hi: 4}, {Lo: 4, Hi: 6}}
+	tcps := make([]*parallex.TCPTransport, 3)
+	addrs := make([]string, 3)
+	for i := range tcps {
+		tr, err := parallex.NewTCPTransport(parallex.TCPTransportConfig{
+			Self: i, Listen: "127.0.0.1:0", Peers: make([]string, 3),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tcps[i] = tr
+		addrs[i] = tr.Addr().String()
+	}
+	register := func(rt *parallex.Runtime) {
+		rt.MustRegisterAction("schedbench.incr", func(ctx *parallex.Context, target any, args *parallex.ArgsReader) (any, error) {
+			raw := args.Bytes()
+			if err := args.Err(); err != nil {
+				return nil, err
+			}
+			v, err := parallex.DecodeValue(raw)
+			if err != nil {
+				return nil, err
+			}
+			n, ok := v.(int64)
+			if !ok {
+				return nil, fmt.Errorf("schedbench.incr got %T", v)
+			}
+			return n + 1, nil
+		})
+	}
+	rts := make([]*parallex.Runtime, 3)
+	for i, tr := range tcps {
+		tr.SetPeers(addrs)
+		rts[i] = parallex.New(parallex.Config{
+			Transport:          tr,
+			NodeID:             i,
+			NodeLocalities:     ranges,
+			WorkersPerLocality: 2,
+			Register:           register,
+		})
+	}
+	zero, err := parallex.EncodeValue(int64(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fgid, fut := rts[0].NewFutureAt(0)
+		cont := make([]parallex.Continuation, 0, 6)
+		for loc := 1; loc < rts[0].Localities(); loc++ {
+			cont = append(cont, parallex.Continuation{Target: rts[0].LocalityGID(loc), Action: "schedbench.incr"})
+		}
+		cont = append(cont, parallex.Continuation{Target: fgid, Action: parallex.ActionLCOSet})
+		p := parallex.NewParcel(rts[0].LocalityGID(0), "schedbench.incr",
+			parallex.NewArgs().Bytes(zero).Encode(), cont...)
+		rts[0].SendFrom(0, p)
+		v, err := fut.Get()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := v.(int64); got != int64(rts[0].Localities()) {
+			b.Fatalf("lap %d counted %d hops, want %d", i, got, rts[0].Localities())
+		}
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N*rts[0].Localities())/sec, "hops/s")
+	}
+	rts[0].Wait()
+	for _, rt := range rts {
+		rt.Shutdown()
+	}
+}

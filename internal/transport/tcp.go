@@ -33,6 +33,16 @@ type TCPConfig struct {
 	DialBackoff time.Duration
 	// HandshakeTimeout bounds the handshake exchange. Default 5s.
 	HandshakeTimeout time.Duration
+	// BatchWindow, when positive, lets a flush linger up to this long so
+	// more frames coalesce into one write. Zero (the default) still
+	// batches by group commit: frames posted while a write syscall is in
+	// flight are coalesced into the next one, so batching costs idle
+	// senders no latency at all.
+	BatchWindow time.Duration
+	// BatchBytes is the buffered-byte level at which a window-delayed
+	// flush stops waiting and writes immediately. Default 64KB. Ignored
+	// when BatchWindow is zero.
+	BatchBytes int
 }
 
 func (c *TCPConfig) fill() {
@@ -45,13 +55,23 @@ func (c *TCPConfig) fill() {
 	if c.HandshakeTimeout <= 0 {
 		c.HandshakeTimeout = 5 * time.Second
 	}
+	if c.BatchBytes <= 0 {
+		c.BatchBytes = 64 << 10
+	}
 }
 
 // TCP carries frames between nodes as length-prefixed records on TCP
 // streams. Each node listens for its peers and lazily dials one outbound
 // (send-only) connection per peer, so connection establishment order never
 // matters; a failed dial retries with exponential backoff a bounded number
-// of times. Writes are buffered and flushed once per frame.
+// of times.
+//
+// Sends batch by group commit: the first sender to a peer becomes the
+// flush leader and writes whatever is buffered; senders arriving while the
+// leader's syscall is in flight append to the next batch and wait for its
+// result, so concurrent parcel streams coalesce into a fraction of the
+// syscalls with no added latency when traffic is sparse. BatchWindow adds
+// an optional time budget for throughput-biased deployments.
 type TCP struct {
 	cfg TCPConfig
 	ln  net.Listener
@@ -69,8 +89,37 @@ type TCP struct {
 type tcpPeer struct {
 	mu        sync.Mutex
 	conn      net.Conn
-	bw        *bufio.Writer
-	connected bool // a connection has succeeded at least once
+	buf       []byte      // frames accumulated for the next write
+	spare     []byte      // recycled batch buffer
+	waiters   []tcpWaiter // senders whose frames sit in buf
+	flushing  bool        // a leader is running flush rounds
+	connected bool        // a connection has succeeded at least once
+}
+
+// tcpWaiter is one follower's claim on a batch: the byte offset its frame
+// ends at and the channel its delivery verdict arrives on.
+type tcpWaiter struct {
+	end int
+	ch  chan error
+}
+
+// flushResult is the outcome of one batch write: the error, if any, and
+// how many bytes the kernel accepted before it. Frames wholly inside the
+// accepted prefix were sent exactly as a successful unbatched write would
+// have sent them; frames at or past the cut were torn or never written, so
+// the mid-frame connection drop guarantees the peer discards them — the
+// Send contract that an error implies non-delivery, preserved per frame.
+type flushResult struct {
+	err     error
+	okBytes int
+}
+
+// verdict resolves one frame's Send result from its batch's outcome.
+func (r flushResult) verdict(end, node int) error {
+	if r.err == nil || end <= r.okBytes {
+		return nil
+	}
+	return fmt.Errorf("transport: send to node %d: %w", node, r.err)
 }
 
 // NewTCP binds the node's listen address and returns the transport.
@@ -278,7 +327,10 @@ func (t *TCP) serveConn(conn net.Conn) {
 }
 
 // Send delivers frame to node, dialing (with bounded retries) on first use
-// or after a connection failure.
+// or after a connection failure. Concurrent sends to one peer batch: the
+// frame is appended to the peer's pending buffer, and either this call
+// becomes the flush leader — writing batches until the buffer drains — or
+// it waits for the leader to report its batch's fate.
 func (t *TCP) Send(node int, frame []byte) error {
 	if err := checkNode(t, node); err != nil {
 		return err
@@ -300,63 +352,113 @@ func (t *TCP) Send(node int, frame []byte) error {
 	if len(frame) > MaxFrame {
 		return fmt.Errorf("transport: frame of %d bytes exceeds limit %d", len(frame), MaxFrame)
 	}
+
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.conn == nil {
-		if err := t.dialLocked(p, node, addr); err != nil {
-			return err
-		}
-	}
-	// Prefix and payload go through the buffered writer separately: one
-	// flush per frame, no intermediate copy of the payload.
 	var lenBuf [4]byte
 	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(frame)))
-	_, err := p.bw.Write(lenBuf[:])
-	if err == nil {
-		_, err = p.bw.Write(frame)
+	p.buf = append(p.buf, lenBuf[:]...)
+	p.buf = append(p.buf, frame...)
+	myEnd := len(p.buf)
+	if p.flushing {
+		// Follower: a leader's write is in flight; our frame rides the
+		// next batch. Wait for that batch's verdict.
+		ch := make(chan error, 1)
+		p.waiters = append(p.waiters, tcpWaiter{end: myEnd, ch: ch})
+		p.mu.Unlock()
+		return <-ch
 	}
-	if err == nil {
-		err = p.bw.Flush()
+	p.flushing = true
+	myErr := error(nil)
+	for round := 0; len(p.buf) > 0; round++ {
+		if t.cfg.BatchWindow > 0 && p.conn != nil && len(p.buf) < t.cfg.BatchBytes {
+			// Throughput bias: linger once per batch so more frames join.
+			p.mu.Unlock()
+			time.Sleep(t.cfg.BatchWindow)
+			p.mu.Lock()
+		}
+		batch := p.buf
+		waiters := p.waiters
+		conn := p.conn
+		reconnect := p.connected
+		p.buf = p.spare[:0]
+		p.spare = nil
+		p.waiters = nil
+		p.mu.Unlock()
+
+		var res flushResult
+		if t.isClosed() {
+			res.err = ErrClosed
+		} else if conn == nil {
+			c, err := t.dial(node, addr, reconnect)
+			if err != nil {
+				res.err = err
+			} else {
+				conn = c
+			}
+		}
+		if res.err == nil {
+			n, err := conn.Write(batch)
+			res.okBytes = n
+			if err != nil {
+				res.err = err
+				// Drop the stream mid-frame so the peer discards every
+				// frame past the accepted prefix.
+				conn.Close()
+				conn = nil
+			}
+		}
+		for _, w := range waiters {
+			w.ch <- res.verdict(w.end, node)
+		}
+		if round == 0 {
+			myErr = res.verdict(myEnd, node)
+		}
+
+		if conn != nil && t.isClosed() {
+			// Close swept the peers while our write was in flight; don't
+			// re-install a connection nobody will close again.
+			conn.Close()
+			conn = nil
+		}
+		p.mu.Lock()
+		p.conn = conn
+		if conn != nil {
+			p.connected = true
+		}
+		p.spare = batch[:0]
 	}
-	if err == nil {
-		return nil
-	}
-	// A TCP write error means the stream truncated mid-frame (Go's Write
-	// returns an error only with a partial write), so after the close the
-	// peer's frame read fails and the frame is never handled — the Send
-	// contract's guarantee that an error implies non-delivery.
-	p.conn.Close()
-	p.conn, p.bw = nil, nil
-	return fmt.Errorf("transport: send to node %d: %w", node, err)
+	p.flushing = false
+	p.mu.Unlock()
+	return myErr
 }
 
-// dialLocked establishes p's outbound connection to node at addr,
-// retrying with exponential backoff so peers may start in any order. The
-// full retry budget is startup grace for a first connection; reconnects
-// after a break get only a couple of attempts, because Send is called
-// from latency-sensitive paths (acks, drain probes on transport
-// goroutines) that must not stall for minutes on a dead peer.
-func (t *TCP) dialLocked(p *tcpPeer, node int, addr string) error {
+func (t *TCP) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+// dial establishes an outbound connection to node at addr, retrying with
+// exponential backoff so peers may start in any order. The full retry
+// budget is startup grace for a first connection; reconnects after a break
+// get only a couple of attempts, because Send is called from
+// latency-sensitive paths (acks, drain probes on transport goroutines)
+// that must not stall for minutes on a dead peer.
+func (t *TCP) dial(node int, addr string, reconnect bool) (net.Conn, error) {
 	attempts := t.cfg.DialAttempts
-	if p.connected && attempts > 2 {
+	if reconnect && attempts > 2 {
 		attempts = 2
 	}
 	backoff := t.cfg.DialBackoff
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
-		t.mu.Lock()
-		closed := t.closed
-		t.mu.Unlock()
-		if closed {
-			return ErrClosed
+		if t.isClosed() {
+			return nil, ErrClosed
 		}
 		conn, err := net.DialTimeout("tcp", addr, t.cfg.HandshakeTimeout)
 		if err == nil {
 			if err = t.completeDial(conn, node); err == nil {
-				p.conn = conn
-				p.bw = bufio.NewWriterSize(conn, 64<<10)
-				p.connected = true
-				return nil
+				return conn, nil
 			}
 			conn.Close()
 		}
@@ -366,7 +468,7 @@ func (t *TCP) dialLocked(p *tcpPeer, node int, addr string) error {
 			backoff = 500 * time.Millisecond
 		}
 	}
-	return fmt.Errorf("transport: dial node %d at %s: %w", node, addr, lastErr)
+	return nil, fmt.Errorf("transport: dial node %d at %s: %w", node, addr, lastErr)
 }
 
 // completeDial runs the client half of the handshake and verifies the
@@ -409,9 +511,11 @@ func (t *TCP) Close() error {
 	for _, p := range t.peers {
 		p.mu.Lock()
 		if p.conn != nil {
-			p.bw.Flush()
+			// Pending batches are abandoned: the leader's next round sees
+			// the closed transport and fails its waiters, upholding
+			// Close's "in-flight frames may be dropped".
 			p.conn.Close()
-			p.conn, p.bw = nil, nil
+			p.conn = nil
 		}
 		p.mu.Unlock()
 	}

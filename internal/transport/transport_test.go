@@ -198,6 +198,110 @@ func TestTCPDialRetry(t *testing.T) {
 	}
 }
 
+// newTCPPair builds a connected two-node TCP transport with the given
+// extra config applied to both ends.
+func newTCPPair(t *testing.T, tune func(*TCPConfig)) ([]Transport, []*collector) {
+	t.Helper()
+	tcps := make([]*TCP, 2)
+	addrs := make([]string, 2)
+	for i := range tcps {
+		cfg := TCPConfig{Self: i, Listen: "127.0.0.1:0", Peers: make([]string, 2)}
+		if tune != nil {
+			tune(&cfg)
+		}
+		tt, err := NewTCP(cfg)
+		if err != nil {
+			t.Fatalf("new tcp %d: %v", i, err)
+		}
+		tcps[i] = tt
+		addrs[i] = tt.Addr().String()
+	}
+	nodes := make([]Transport, 2)
+	cols := make([]*collector, 2)
+	for i, tt := range tcps {
+		tt.SetPeers(addrs)
+		cols[i] = &collector{}
+		tt.SetHandler(cols[i].handle)
+		if err := tt.Start(); err != nil {
+			t.Fatalf("start %d: %v", i, err)
+		}
+		nodes[i] = tt
+	}
+	return nodes, cols
+}
+
+// checkBatchedFlood drives many concurrent senders at node 1 and verifies
+// every frame arrives intact and in per-sender order despite batching.
+func checkBatchedFlood(t *testing.T, nodes []Transport, cols []*collector) {
+	t.Helper()
+	const senders, perSender = 8, 200
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				if err := nodes[0].Send(1, []byte(fmt.Sprintf("s%d.%d", s, i))); err != nil {
+					t.Errorf("send s%d.%d: %v", s, i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	frames := cols[1].wait(t, senders*perSender)
+	next := make([]int, senders)
+	for _, f := range frames {
+		var s, i int
+		if _, err := fmt.Sscanf(f.data, "s%d.%d", &s, &i); err != nil || f.from != 0 {
+			t.Fatalf("corrupt frame %q from %d", f.data, f.from)
+		}
+		if i != next[s] {
+			t.Fatalf("sender %d: frame %d arrived after %d sent", s, i, next[s])
+		}
+		next[s]++
+	}
+}
+
+// TestTCPGroupCommitBatching floods one peer connection from many
+// goroutines with the default zero batch window: batching must come purely
+// from group commit, with no lost, torn, or reordered frames.
+func TestTCPGroupCommitBatching(t *testing.T) {
+	nodes, cols := newTCPPair(t, nil)
+	checkBatchedFlood(t, nodes, cols)
+	for _, n := range nodes {
+		n.Close()
+	}
+}
+
+// TestTCPBatchWindow does the same under a positive linger window, which
+// exercises the delayed-flush path and the BatchBytes early-out.
+func TestTCPBatchWindow(t *testing.T) {
+	nodes, cols := newTCPPair(t, func(c *TCPConfig) {
+		c.BatchWindow = 200 * time.Microsecond
+		c.BatchBytes = 4 << 10
+	})
+	checkBatchedFlood(t, nodes, cols)
+	for _, n := range nodes {
+		n.Close()
+	}
+}
+
+// TestTCPSendAfterCloseErrors pins the ErrClosed path with batching in
+// place.
+func TestTCPSendAfterCloseErrors(t *testing.T) {
+	nodes, _ := newTCPPair(t, nil)
+	if err := nodes[0].Send(1, []byte("pre")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	nodes[0].Close()
+	if err := nodes[0].Send(1, []byte("post")); err == nil {
+		t.Fatal("send on closed transport succeeded")
+	}
+	nodes[1].Close()
+}
+
 func TestTCPHandshakeRejectsWrongRanges(t *testing.T) {
 	// Two nodes configured with conflicting locality partitions must not
 	// exchange frames.

@@ -69,6 +69,9 @@ type (
 
 	// Transport moves parcels between the nodes of a multi-process machine.
 	Transport = transport.Transport
+	// TCPTransport is the frame transport over real TCP streams, with
+	// group-commit parcel batching on the wire.
+	TCPTransport = transport.TCP
 	// TCPTransportConfig parameterizes one node's TCP transport.
 	TCPTransportConfig = transport.TCPConfig
 	// LocalityRange is a half-open range of locality indices hosted by one
