@@ -63,6 +63,13 @@ func BenchmarkTCPRing3(b *testing.B) {
 	schedbench.TCPRing3(b)
 }
 
+// BenchmarkSchedMigrate bounces one object between two localities with
+// four chasing call streams: the cost of a live migration under fire
+// (fence quiesce, parking, directory commit, cache repoint).
+func BenchmarkSchedMigrate(b *testing.B) {
+	schedbench.Migrate(b, 4)
+}
+
 // BenchmarkE1Figure1Architecture regenerates Figure 1 from the model.
 func BenchmarkE1Figure1Architecture(b *testing.B) {
 	var fig string

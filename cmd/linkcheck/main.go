@@ -1,0 +1,102 @@
+// Command linkcheck validates intra-repository links in markdown files.
+// It extracts inline links and images ([text](target)), resolves every
+// non-external target relative to the containing file, and fails if any
+// points at a file that does not exist. External schemes (http, https,
+// mailto) and pure in-page fragments (#section) are skipped — the CI
+// docs job is about the repo's own documents never dangling, not about
+// the internet being up.
+//
+// Usage:
+//
+//	go run ./cmd/linkcheck README.md ARCHITECTURE.md EXPERIMENTS.md
+//	go run ./cmd/linkcheck            # defaults to every *.md in cwd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links and images: [text](target) and
+// ![alt](target). Nested brackets and multi-line targets are out of
+// scope — the repo's docs do not use them.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// external reports whether target leaves the repository.
+func external(target string) bool {
+	for _, scheme := range []string{"http://", "https://", "mailto:", "ftp://"} {
+		if strings.HasPrefix(target, scheme) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFile returns one message per broken intra-repo link in path.
+func checkFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var broken []string
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if external(target) || strings.HasPrefix(target, "#") {
+				continue
+			}
+			// Drop a trailing fragment; the file half must still exist.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				broken = append(broken, fmt.Sprintf("%s:%d: broken link %q (%s)", path, lineNo+1, m[1], resolved))
+			}
+		}
+	}
+	return broken, nil
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: linkcheck [file.md ...]\nChecks intra-repo markdown links; defaults to *.md in the current directory.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	files := flag.Args()
+	if len(files) == 0 {
+		var err error
+		files, err = filepath.Glob("*.md")
+		if err != nil || len(files) == 0 {
+			fmt.Fprintln(os.Stderr, "linkcheck: no markdown files found")
+			os.Exit(2)
+		}
+	}
+	failed := false
+	checked := 0
+	for _, f := range files {
+		broken, err := checkFile(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			failed = true
+			continue
+		}
+		checked++
+		for _, msg := range broken {
+			fmt.Fprintln(os.Stderr, "linkcheck: "+msg)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("linkcheck: %d files clean\n", checked)
+}

@@ -36,6 +36,7 @@ func runSched(jsonPath string) {
 		{"SchedPingPong", schedbench.PingPong},
 		{"SchedStealImbalance", func(b *testing.B) { schedbench.StealImbalance(b, 3) }},
 		{"SchedFanOutFanIn", func(b *testing.B) { schedbench.FanOutFanIn(b, 64) }},
+		{"SchedMigrate", func(b *testing.B) { schedbench.Migrate(b, 4) }},
 		{"TCPRing3", schedbench.TCPRing3},
 	}
 	fmt.Printf("%-28s %12s %14s  extras\n", "benchmark", "iters", "ns/op")

@@ -4,6 +4,16 @@
 // TCP. Node 0 drives the workload, the others serve parcels until the
 // driver broadcasts a halt.
 //
+// Workloads (driven by node 0): ping round-trips a no-op call to every
+// locality; ring sends one parcel whose continuation chain visits every
+// locality before resolving a future back home; reduce fans a rank query
+// out and funnels the answers into one Reduce LCO; migrate rebalances a
+// ring of vector objects skewed onto node 0 by live-migrating them
+// across the machine, comparing the burst latency before and after.
+//
+// The -localities flag gives the locality count per node in node order
+// ("2,2,2" = three nodes hosting localities [0,2), [2,4), [4,6)).
+//
 // A three-node machine on one host:
 //
 //	pxnode -node 0 -peers 127.0.0.1:9400,127.0.0.1:9401,127.0.0.1:9402 -localities 2,2,2 -workload ring &
@@ -25,9 +35,9 @@ import (
 func main() {
 	node := flag.Int("node", 0, "this process's node ID")
 	peers := flag.String("peers", "", "comma-separated host:port of every node, in node order")
-	locs := flag.String("localities", "", "comma-separated locality count per node, e.g. 2,2,2")
+	locs := flag.String("localities", "", "locality count per node in node order, e.g. 2,2,2 = nodes hosting [0,2) [2,4) [4,6)")
 	listen := flag.String("listen", "", "listen address (default: the -peers entry for this node)")
-	workload := flag.String("workload", "", "ping | ring | reduce (node 0 only; empty = serve until halt)")
+	workload := flag.String("workload", "", "ping | ring | reduce | migrate (node 0 only; empty = serve until halt)")
 	iters := flag.Int("n", 100, "workload iterations")
 	workers := flag.Int("workers", 4, "workers per locality")
 	flag.Parse()
@@ -93,6 +103,8 @@ func main() {
 		runRing(rt, home, *iters)
 	case "reduce":
 		runReduce(rt, home, *iters)
+	case "migrate":
+		runMigrate(rt, home, *iters)
 	case "":
 		// Serve-only driver: useful when another process injects work.
 	default:
@@ -144,6 +156,19 @@ func registerDistActions(rt *parallex.Runtime) {
 	// pxnode.rank answers with the executing locality's index.
 	rt.MustRegisterAction("pxnode.rank", func(ctx *parallex.Context, target any, args *parallex.ArgsReader) (any, error) {
 		return int64(ctx.Locality()), nil
+	})
+	// pxnode.sum reduces a float vector — the compute kernel of the
+	// migrate workload.
+	rt.MustRegisterAction("pxnode.sum", func(ctx *parallex.Context, target any, args *parallex.ArgsReader) (any, error) {
+		vec, ok := target.([]float64)
+		if !ok {
+			return nil, fmt.Errorf("pxnode.sum on %T", target)
+		}
+		s := 0.0
+		for _, v := range vec {
+			s += v
+		}
+		return s, nil
 	})
 	// pxnode.incr takes the continuation value record and passes it on,
 	// incremented — the hop counter of the ring workload.
@@ -210,6 +235,61 @@ func runRing(rt *parallex.Runtime, home, iters int) {
 		}
 	}
 	fmt.Printf("pxnode: ring %d laps of %d hops each\n", iters, rt.Localities())
+}
+
+// runMigrate rebalances a skewed ring with live migration: one vector
+// object per locality, all initially crammed onto the driver's home
+// locality, hammered by concurrent split-phase sum calls. After measuring
+// the skewed burst the driver migrates each object to its own locality —
+// crossing nodes, with parcels in flight — and measures the same burst
+// against the balanced placement.
+func runMigrate(rt *parallex.Runtime, home, iters int) {
+	n := rt.Localities()
+	objs := make([]parallex.GID, n)
+	var want float64
+	for i := range objs {
+		vec := make([]float64, 1<<14)
+		for j := range vec {
+			vec[j] = float64(j % 7)
+		}
+		if i == 0 {
+			for _, v := range vec {
+				want += v
+			}
+		}
+		objs[i] = rt.NewDataAt(home, vec) // skew: everything on one locality
+	}
+	burst := func(tag string) {
+		start := time.Now()
+		for it := 0; it < iters; it++ {
+			futs := make([]*parallex.Future, n)
+			for k, obj := range objs {
+				futs[k] = rt.CallFrom(home, obj, "pxnode.sum", nil)
+			}
+			for k, fut := range futs {
+				v, err := fut.Get()
+				if err != nil {
+					die(rt, "pxnode: migrate burst %s call %d: %v", tag, k, err)
+				}
+				if got := v.(float64); got != want {
+					die(rt, "pxnode: migrate burst %s object %d sum %v, want %v", tag, k, got, want)
+				}
+			}
+		}
+		calls := iters * n
+		fmt.Printf("pxnode: migrate burst %-9s %d calls, %.1fµs mean\n",
+			tag, calls, float64(time.Since(start).Microseconds())/float64(calls))
+	}
+	burst("skewed")
+	migStart := time.Now()
+	for k, obj := range objs {
+		if err := rt.Migrate(obj, k); err != nil {
+			die(rt, "pxnode: migrate object %d to L%d: %v", k, k, err)
+		}
+	}
+	fmt.Printf("pxnode: rebalanced %d objects across %d localities in %v\n",
+		n, n, time.Since(migStart))
+	burst("balanced")
 }
 
 // runReduce fans a rank query out to every locality, funnelling the

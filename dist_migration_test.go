@@ -1,0 +1,219 @@
+package parallex_test
+
+// Live-migration tests over a multi-node machine: an object's payload
+// crosses nodes while its global name stays valid, in-flight parcels chase
+// at most one forwarded hop, and stale senders learn the new owner from
+// the "moved" verdict piggybacked on delivery acknowledgements.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	parallex "repro"
+)
+
+// startMigrationMachine builds a three-node loopback machine with the
+// shared counter action registered on every node.
+func startMigrationMachine(t *testing.T) []*parallex.Runtime {
+	t.Helper()
+	fabric := parallex.NewLoopbackFabric(3)
+	trs := make([]parallex.Transport, 3)
+	for i := range trs {
+		trs[i] = fabric.Node(i)
+	}
+	rts := make([]*parallex.Runtime, 3)
+	for i, tr := range trs {
+		rts[i] = parallex.New(parallex.Config{
+			Transport:          tr,
+			NodeID:             i,
+			NodeLocalities:     distRanges,
+			WorkersPerLocality: 2,
+			Register: func(rt *parallex.Runtime) {
+				// mig.bump increments the counter object and answers with
+				// the post-increment value.
+				rt.MustRegisterAction("mig.bump", func(ctx *parallex.Context, target any, args *parallex.ArgsReader) (any, error) {
+					v, ok := target.([]int64)
+					if !ok || len(v) == 0 {
+						return nil, fmt.Errorf("mig.bump on %T", target)
+					}
+					v[0]++
+					return v[0], nil
+				})
+			},
+		})
+	}
+	return rts
+}
+
+// forwardsTotal sums the stale-translation repairs every node performed.
+func forwardsTotal(rts []*parallex.Runtime) uint64 {
+	var n uint64
+	for _, rt := range rts {
+		n += rt.AGAS().Forwards.Load()
+	}
+	return n
+}
+
+func shutdownAll(t *testing.T, rts []*parallex.Runtime) {
+	t.Helper()
+	rts[0].Wait()
+	for i, rt := range rts {
+		rt.Shutdown()
+		if errs := rt.Errors(); len(errs) != 0 {
+			t.Errorf("node %d recorded errors: %v", i, errs)
+		}
+	}
+}
+
+// TestCrossNodeMigrationRoundTrip moves one object around all three nodes
+// and back, checking payload residency, directory state, and that calls
+// reach it at every stop.
+func TestCrossNodeMigrationRoundTrip(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	rts := startMigrationMachine(t)
+	obj := rts[0].NewDataAt(1, []int64{0})
+
+	expect := int64(0)
+	call := func(rt *parallex.Runtime, src int) {
+		t.Helper()
+		expect++
+		fut := rt.CallFrom(src, obj, "mig.bump", nil)
+		if got, err := fut.Get(); err != nil || got.(int64) != expect {
+			t.Fatalf("call via L%d = %v, %v; want %d", src, got, err, expect)
+		}
+	}
+	call(rts[0], 0)
+
+	// Node 0 pushes the object to node 1; the home directory stays on
+	// node 0 but names the new owner.
+	if err := rts[0].Migrate(obj, 3); err != nil {
+		t.Fatalf("migrate to L3: %v", err)
+	}
+	if _, ok := rts[1].LocalObject(3, obj); !ok {
+		t.Fatal("payload not installed at L3 on node 1")
+	}
+	if _, ok := rts[0].LocalObject(1, obj); ok {
+		t.Fatal("payload still present at L1 on node 0")
+	}
+	if owner, err := rts[0].AGAS().Owner(obj); err != nil || owner != 3 {
+		t.Fatalf("home directory owner = %d, %v; want 3", owner, err)
+	}
+	call(rts[0], 0) // stale sender: forwarded once, then repointed
+	call(rts[1], 2) // owning node: local
+	call(rts[2], 4) // third party routes toward home, chases once
+
+	// Node 1 pushes it on to node 2: the initiator is neither the home
+	// node nor the destination, so this exercises the remote directory
+	// commit and the forwarding pointer left at node 1.
+	if err := rts[1].Migrate(obj, 5); err != nil {
+		t.Fatalf("migrate to L5: %v", err)
+	}
+	if _, ok := rts[2].LocalObject(5, obj); !ok {
+		t.Fatal("payload not installed at L5 on node 2")
+	}
+	if owner, err := rts[0].AGAS().Owner(obj); err != nil || owner != 5 {
+		t.Fatalf("home directory owner = %d, %v; want 5", owner, err)
+	}
+	if to, _, ok := rts[1].AGAS().Forward(obj); !ok || to != 5 {
+		t.Fatalf("node 1 forwarding pointer = %d, %v; want 5", to, ok)
+	}
+	call(rts[0], 1)
+	call(rts[1], 3)
+	call(rts[2], 5)
+
+	// And home again: the forwarding chain collapses once the object is
+	// back where its directory lives.
+	if err := rts[2].Migrate(obj, 0); err != nil {
+		t.Fatalf("migrate home: %v", err)
+	}
+	call(rts[2], 4)
+	call(rts[0], 0)
+	if v, ok := rts[0].LocalObject(0, obj); !ok || v.([]int64)[0] != expect {
+		t.Fatalf("final payload = %v (present %v), want [%d]", v, ok, expect)
+	}
+
+	shutdownAll(t, rts)
+	waitGoroutines(t, baseline)
+}
+
+// TestMigrationStress3Node is the acceptance stress: concurrent
+// split-phase calls hammer one object from every node while it migrates
+// twice across nodes. No call may be lost or duplicated, Wait must return
+// only at true global quiescence, and once the dust settles each stale
+// sender observes at most one forwarded hop before resolving the new home
+// directly.
+func TestMigrationStress3Node(t *testing.T) {
+	rts := startMigrationMachine(t)
+	obj := rts[0].NewDataAt(0, []int64{0})
+
+	const calls = 50
+	senders := []struct {
+		node int
+		src  int
+	}{{0, 1}, {1, 2}, {2, 4}}
+
+	var wg sync.WaitGroup
+	for _, s := range senders {
+		wg.Add(1)
+		go func(rt *parallex.Runtime, src int) {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				fut := rt.CallFrom(src, obj, "mig.bump", nil)
+				if _, err := fut.Get(); err != nil {
+					t.Errorf("call from L%d: %v", src, err)
+					return
+				}
+			}
+		}(rts[s.node], s.src)
+	}
+
+	// Two cross-node moves while the calls are in flight: node 0 → node 1,
+	// then node 1 → node 2, each initiated on the current owner.
+	time.Sleep(3 * time.Millisecond)
+	if err := rts[0].Migrate(obj, 2); err != nil {
+		t.Fatalf("first migration: %v", err)
+	}
+	time.Sleep(3 * time.Millisecond)
+	if err := rts[1].Migrate(obj, 4); err != nil {
+		t.Fatalf("second migration: %v", err)
+	}
+
+	wg.Wait()
+	rts[0].Wait()
+
+	// Every call executed exactly once: the counter saw each increment.
+	total := int64(len(senders) * calls)
+	v, ok := rts[2].LocalObject(4, obj)
+	if !ok {
+		t.Fatal("object not resident at its final home")
+	}
+	if got := v.([]int64)[0]; got != total {
+		t.Fatalf("counter = %d, want %d: parcels lost or duplicated", got, total)
+	}
+	for i, rt := range rts {
+		if errs := rt.Errors(); len(errs) != 0 {
+			t.Fatalf("node %d recorded errors: %v", i, errs)
+		}
+	}
+
+	// Post-migration senders resolve the new home with at most one
+	// forwarded hop each: a stale first call may chase once (and is
+	// repointed by the piggybacked verdict); everything after goes direct.
+	before := forwardsTotal(rts)
+	for _, s := range senders {
+		for i := 0; i < 3; i++ {
+			fut := rts[s.node].CallFrom(s.src, obj, "mig.bump", nil)
+			if _, err := fut.Get(); err != nil {
+				t.Fatalf("settled call from L%d: %v", s.src, err)
+			}
+		}
+	}
+	if hops := forwardsTotal(rts) - before; hops > uint64(len(senders)) {
+		t.Fatalf("settled senders took %d forwarded hops, want <= %d", hops, len(senders))
+	}
+
+	shutdownAll(t, rts)
+}

@@ -11,9 +11,15 @@
 //
 //   - Localities: execution domains with object stores and message-driven
 //     work queues (see Runtime, Config).
-//   - Global name space: every first-class object — data, actions, LCOs,
-//     processes, hardware — has a GID resolvable from anywhere; objects
-//     migrate, names do not.
+//   - Active global address space: every first-class object — data,
+//     actions, LCOs, processes, hardware — has a GID resolvable from
+//     anywhere; objects migrate, names do not. Runtime.Migrate moves a
+//     live object to any locality on any node: the object is quiesced
+//     behind a migration fence (arriving parcels park, then re-route),
+//     the payload crosses the wire in the parcel value codec, the home
+//     directory commits a new generation, and a forwarding pointer plus
+//     piggybacked "moved" verdicts bound stale senders to one forwarded
+//     hop (see ErrMoved, MovedError).
 //   - Parcels: message-driven work movement with continuation specifiers,
 //     so the locus of control migrates instead of bouncing back to the
 //     sender (see NewParcel, Runtime.SendFrom, Runtime.CallFrom).
@@ -28,10 +34,16 @@
 //     (package internal/process).
 //   - Multi-node machines: one logical machine spanning OS processes,
 //     each hosting a contiguous locality range, joined by a frame
-//     transport (package internal/transport; Config.Transport). Parcels
-//     for non-resident localities cross the wire in the parcel wire
-//     format, and Wait extends quiescence detection across nodes. The
-//     cmd/pxnode binary starts one node from flags.
+//     transport (package internal/transport). Configure one node by
+//     setting Config.Transport together with Config.NodeID and
+//     Config.NodeLocalities (the per-node locality ranges), and register
+//     actions in Config.Register — a peer's parcel can arrive the
+//     instant the transport starts. Parcels for non-resident localities
+//     cross the wire in the parcel wire format, Wait extends quiescence
+//     detection across nodes (counting parked and forwarded parcels),
+//     and Migrate moves objects between nodes. The cmd/pxnode binary
+//     starts one node from flags; see ARCHITECTURE.md for how each
+//     paper concept maps onto these packages.
 //
 // A quickstart:
 //

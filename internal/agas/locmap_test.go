@@ -1,6 +1,9 @@
 package agas
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
 
 func TestLocalityMapPartition(t *testing.T) {
 	m, err := NewLocalityMap([]Range{{0, 2}, {2, 5}, {5, 6}})
@@ -25,11 +28,40 @@ func TestLocalityMapPartition(t *testing.T) {
 		{{1, 3}},         // does not start at 0
 		{{0, 2}, {3, 4}}, // gap
 		{{0, 2}, {1, 4}}, // overlap
+		{{0, 3}, {2, 4}}, // overlap inside the previous range
 		{{0, 2}, {2, 2}}, // empty node
+		{{2, 0}},         // inverted range
 	} {
 		if _, err := NewLocalityMap(bad); err == nil {
 			t.Errorf("partition %v accepted", bad)
 		}
+	}
+}
+
+// mustPanic runs fn and fails the test unless it panics.
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestLocalityMapOutOfRangeLookups(t *testing.T) {
+	m := MustLocalityMap([]Range{{0, 2}, {2, 4}})
+	// A locality not in any node range is a hard error, not node 0: a
+	// silent default would route parcels to the wrong process.
+	mustPanic(t, "NodeOf(-1)", func() { m.NodeOf(-1) })
+	mustPanic(t, "NodeOf(4)", func() { m.NodeOf(4) })
+	mustPanic(t, "NodeRange(-1)", func() { m.NodeRange(-1) })
+	mustPanic(t, "NodeRange(2)", func() { m.NodeRange(2) })
+	if !((Range{0, 2}).Contains(1)) || (Range{0, 2}).Contains(2) {
+		t.Error("Range.Contains is not half-open")
+	}
+	if (Range{3, 7}).Count() != 4 {
+		t.Error("Range.Count wrong")
 	}
 }
 
@@ -50,17 +82,118 @@ func TestDistributedResolutionRoutesToHomeNode(t *testing.T) {
 		t.Fatalf("remote owner = %d, %v", owner, err)
 	}
 	// Allocation homed off-node is a programming error.
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("off-node alloc did not panic")
-			}
-		}()
-		s.Alloc(2, KindData)
-	}()
-	// Cross-node migration is rejected.
-	if err := s.Migrate(g, 2); err == nil {
-		t.Error("cross-node migrate accepted")
+	mustPanic(t, "off-node alloc", func() { s.Alloc(2, KindData) })
+	// The home directory accepts a migration to a locality hosted by the
+	// other node: ownership is global, only the directory is local.
+	if err := s.Migrate(g, 2); err != nil {
+		t.Errorf("cross-node migrate rejected: %v", err)
+	}
+	if owner, err := s.Owner(g); err != nil || owner != 2 {
+		t.Errorf("after cross-node migrate owner = %d, %v; want 2", owner, err)
+	}
+	// Committing into a directory homed on the other node is refused: the
+	// commit must be routed to the home node instead.
+	remoteHomed := GID{Home: 3, Kind: KindData, Seq: 42}
+	if err := s.Migrate(remoteHomed, 0); err == nil {
+		t.Error("migrate commit accepted for a remotely homed directory entry")
+	}
+	if err := s.CommitMigration(remoteHomed, 0, 2); err == nil {
+		t.Error("CommitMigration accepted for a remotely homed directory entry")
+	}
+}
+
+func TestImportAndForwardResolution(t *testing.T) {
+	m := MustLocalityMap([]Range{{0, 2}, {2, 4}})
+	s := NewService(4)
+	s.SetDistribution(m, 0) // this node hosts localities 0,1
+
+	// An object homed on the other node but imported here resolves to its
+	// local hosting locality, not back toward home.
+	g := GID{Home: 3, Kind: KindData, Seq: 9}
+	s.SetImport(g, 1, 2)
+	if owner, gen, err := s.OwnerGen(g); err != nil || owner != 1 || gen != 2 {
+		t.Fatalf("imported OwnerGen = %d gen %d, %v; want 1 gen 2", owner, gen, err)
+	}
+	if gen, err := s.Generation(g); err != nil || gen != 2 {
+		t.Fatalf("imported Generation = %d, %v; want 2", gen, err)
+	}
+
+	// After it departs, a forwarding pointer answers with ErrMoved naming
+	// the next hop.
+	s.DropImport(g)
+	s.SetForward(g, 3, 3)
+	owner, gen, err := s.OwnerGen(g)
+	if !errors.Is(err, ErrMoved) {
+		t.Fatalf("departed OwnerGen err = %v; want ErrMoved", err)
+	}
+	var mv *MovedError
+	if !errors.As(err, &mv) || mv.To != 3 || mv.Gen != 3 || owner != 3 || gen != 3 {
+		t.Fatalf("forwarding verdict = %d gen %d (%v)", owner, gen, err)
+	}
+	// Owner folds the verdict into a plain next hop.
+	if o, err := s.Owner(g); err != nil || o != 3 {
+		t.Fatalf("Owner over forward = %d, %v", o, err)
+	}
+	// A stale forward (older generation) never overwrites a newer one.
+	s.SetForward(g, 2, 1)
+	if to, fgen, ok := s.Forward(g); !ok || to != 3 || fgen != 3 {
+		t.Fatalf("stale SetForward overwrote: to=%d gen=%d ok=%v", to, fgen, ok)
+	}
+	// Free clears every trace of the name on this node.
+	s.Free(g)
+	if _, _, ok := s.Forward(g); ok {
+		t.Fatal("Free left a forwarding pointer")
+	}
+	if o, _, err := s.OwnerGen(g); err != nil || o != 3 {
+		t.Fatalf("after Free resolution should fall back to home: %d, %v", o, err)
+	}
+}
+
+func TestStaleCacheResolutionAfterMigration(t *testing.T) {
+	s := NewService(4)
+	g := s.Alloc(0, KindData)
+
+	// Locality 2 caches the original owner.
+	if owner, err := s.ResolveCached(2, g); err != nil || owner != 0 {
+		t.Fatalf("initial resolve = %d, %v", owner, err)
+	}
+	if err := s.Migrate(g, 3); err != nil {
+		t.Fatal(err)
+	}
+	// The cache is deliberately stale (no coherence) ...
+	if stale, _ := s.ResolveCached(2, g); stale != 0 {
+		t.Fatalf("expected stale cache to answer 0, got %d", stale)
+	}
+	// ... a Repoint verdict at the migration generation repairs it in
+	// place ...
+	gen, err := s.Generation(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Repoint(g, 3, gen)
+	if fresh, _ := s.ResolveCached(2, g); fresh != 3 {
+		t.Fatalf("repointed cache = %d, want 3", fresh)
+	}
+	// ... and an older (replayed) verdict cannot roll it back.
+	s.Repoint(g, 0, gen-1)
+	if held, _ := s.ResolveCached(2, g); held != 3 {
+		t.Fatalf("stale verdict rolled cache back to %d", held)
+	}
+	// Repoint never creates lines: locality 1 has no cached translation
+	// and must still consult the directory on first use.
+	before := s.Resolutions.Load()
+	if owner, _ := s.ResolveCached(1, g); owner != 3 {
+		t.Fatalf("cold resolve after migration = %d, want 3", owner)
+	}
+	if s.Resolutions.Load() != before+1 {
+		t.Fatal("cold locality did not consult the directory")
+	}
+	// A replayed CommitMigration at an older generation is a no-op.
+	if err := s.CommitMigration(g, 1, gen-1); err != nil {
+		t.Fatal(err)
+	}
+	if owner, err := s.Owner(g); err != nil || owner != 3 {
+		t.Fatalf("stale commit moved ownership: %d, %v", owner, err)
 	}
 }
 

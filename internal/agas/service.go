@@ -1,12 +1,16 @@
 package agas
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 )
 
-// entry is one authoritative directory record.
+// entry is one versioned ownership record: the locality currently owning
+// the object and the migration generation, which increases by one per
+// migration. Generations order the knowledge different nodes hold about a
+// name, so a stale "moved" verdict can never overwrite a newer one.
 type entry struct {
 	owner int
 	gen   uint64
@@ -19,7 +23,9 @@ type directory struct {
 	entries map[GID]entry
 }
 
-// cacheLine is one possibly-stale translation held by a locality.
+// cacheLine is one possibly-stale translation held by a locality, tagged
+// with the migration generation it was learned at (0 when the translation
+// is an unversioned route-toward-home guess).
 type cacheLine struct {
 	owner int
 	gen   uint64
@@ -31,16 +37,63 @@ type translationCache struct {
 	m  map[GID]cacheLine
 }
 
+// ErrMoved reports that an object is no longer where the resolver last
+// knew it: a forwarding pointer, left by a departed migration, answered
+// instead of an authoritative directory. Resolutions wrapping ErrMoved
+// (see MovedError) still carry a usable next hop; the parcel layer
+// re-routes toward it and piggybacks the verdict back to the sender.
+var ErrMoved = errors.New("agas: object moved")
+
+// MovedError is the resolution outcome for an object that migrated away
+// from this node: To is where the departing migration pushed it (possibly
+// itself stale by now) and Gen the generation of that move. It wraps
+// ErrMoved so callers can test with errors.Is/errors.As.
+type MovedError struct {
+	GID GID
+	To  int
+	Gen uint64
+}
+
+// Error renders the forwarding verdict.
+func (e *MovedError) Error() string {
+	return fmt.Sprintf("agas: %v moved to locality %d (gen %d)", e.GID, e.To, e.Gen)
+}
+
+// Unwrap ties MovedError to the ErrMoved sentinel.
+func (e *MovedError) Unwrap() error { return ErrMoved }
+
 // Service is the AGAS for one simulated machine: n localities, each with an
 // authoritative directory for the GIDs it allocated and a private
 // translation cache. The service also hosts the hierarchical symbolic
 // namespace.
+//
+// On a multi-node machine three structures cooperate to keep migrated
+// names resolvable from anywhere without global coherence:
+//
+//   - the home directory (on the node hosting GID.Home) is authoritative
+//     and versioned — every migration bumps the entry's generation;
+//   - imports record objects hosted on this node whose home directory
+//     lives elsewhere, so arriving parcels resolve locally;
+//   - forwarding pointers record objects that migrated away from this
+//     node, so in-flight parcels chase at most one hop instead of
+//     bouncing through the home directory.
 type Service struct {
 	n      int
 	seq    atomic.Uint64
 	dirs   []*directory
 	caches []*translationCache
 	ns     *Namespace
+
+	// imports: objects hosted by this node whose home locality is on
+	// another node (installed by an inbound migration).
+	impMu   sync.RWMutex
+	imports map[GID]entry
+
+	// forwards: objects that migrated away from this node while their home
+	// directory lives elsewhere. The entry names where the departing
+	// migration pushed them.
+	fwdMu    sync.RWMutex
+	forwards map[GID]entry
 
 	// lmap/selfNode are set when the service is one node of a multi-process
 	// machine. Directories for localities hosted by other nodes are then
@@ -52,7 +105,8 @@ type Service struct {
 	// Resolutions counts cache-miss directory consultations; CacheHits
 	// counts translations answered locally. The ratio is the address
 	// translation efficiency the paper's "efficient address translation"
-	// requirement refers to.
+	// requirement refers to. Forwards counts stale-translation repairs
+	// (each Invalidate), so it bounds how many forwarded hops parcels took.
 	Resolutions atomic.Uint64
 	CacheHits   atomic.Uint64
 	Forwards    atomic.Uint64
@@ -63,7 +117,12 @@ func NewService(n int) *Service {
 	if n <= 0 {
 		panic("agas: locality count must be positive")
 	}
-	s := &Service{n: n, ns: NewNamespace()}
+	s := &Service{
+		n:        n,
+		ns:       NewNamespace(),
+		imports:  make(map[GID]entry),
+		forwards: make(map[GID]entry),
+	}
 	s.dirs = make([]*directory, n)
 	s.caches = make([]*translationCache, n)
 	for i := 0; i < n; i++ {
@@ -146,38 +205,71 @@ func (s *Service) AllocHardware(home int) GID {
 	return g
 }
 
-// Owner returns the authoritative current owner of g by consulting its home
-// directory. For names homed at a locality hosted by another node, the home
-// locality itself is returned: the parcel layer routes toward it and the
-// owning node completes resolution from its authoritative directory.
-// It reports an error for unknown names.
+// Owner returns the best current owner of g known to this node. It prefers,
+// in order: the import table (the object lives here), the authoritative
+// home directory (when the home locality is hosted here), a forwarding
+// pointer (the object lived here once and departed), and finally the home
+// locality itself — the parcel layer then routes toward it and the owning
+// node completes resolution. It reports an error for unknown names; a
+// forwarding-pointer answer is folded into a plain owner (use OwnerGen to
+// observe the ErrMoved verdict).
 func (s *Service) Owner(g GID) (int, error) {
+	owner, _, err := s.Locate(g)
+	return owner, err
+}
+
+// Locate is OwnerGen with any forwarding verdict already folded into a
+// plain next hop — the form routing callers want. Use OwnerGen to
+// observe whether resolution crossed a forwarding pointer (ErrMoved).
+func (s *Service) Locate(g GID) (int, uint64, error) {
+	owner, gen, err := s.OwnerGen(g)
+	var mv *MovedError
+	if errors.As(err, &mv) {
+		return mv.To, mv.Gen, nil
+	}
+	return owner, gen, err
+}
+
+// OwnerGen is Owner with the migration generation of the answer (0 for an
+// unversioned route-toward-home guess). When the answer comes from a
+// forwarding pointer — the object migrated away from this node — the owner
+// and generation are returned alongside a *MovedError wrapping ErrMoved,
+// so the parcel layer can re-route the access and piggyback the "moved"
+// verdict back to the stale sender.
+func (s *Service) OwnerGen(g GID) (int, uint64, error) {
 	if g.IsNil() {
-		return 0, fmt.Errorf("agas: resolve of nil GID")
+		return 0, 0, fmt.Errorf("agas: resolve of nil GID")
 	}
 	home := int(g.Home)
 	if home >= s.n {
-		return 0, fmt.Errorf("agas: %v homed beyond machine (%d localities)", g, s.n)
+		return 0, 0, fmt.Errorf("agas: %v homed beyond machine (%d localities)", g, s.n)
+	}
+	if e, ok := s.importOf(g); ok {
+		return e.owner, e.gen, nil
 	}
 	if !s.resident(home) {
-		return home, nil
+		if e, ok := s.forwardOf(g); ok {
+			return e.owner, e.gen, &MovedError{GID: g, To: e.owner, Gen: e.gen}
+		}
+		return home, 0, nil
 	}
 	d := s.dirs[home]
 	d.mu.RLock()
 	e, ok := d.entries[g]
 	d.mu.RUnlock()
 	if !ok {
-		return 0, fmt.Errorf("agas: unknown name %v", g)
+		return 0, 0, fmt.Errorf("agas: unknown name %v", g)
 	}
-	return e.owner, nil
+	return e.owner, e.gen, nil
 }
 
 // ResolveCached translates g from the perspective of locality from. It
-// prefers the locality's private cache and falls back to the home
-// directory, filling the cache. The answer may be stale if the object has
+// prefers the locality's private cache and falls back to OwnerGen, filling
+// the cache (forwarding-pointer answers are absorbed: the caller gets the
+// next hop as a plain owner). The answer may be stale if the object has
 // since migrated; callers discover staleness when the presumed owner
-// rejects the access, and should then call Invalidate and retry (the
-// forwarding path counted by Forwards).
+// misses the access, and then Invalidate and retry — the forwarding path
+// counted by Forwards.
 func (s *Service) ResolveCached(from int, g GID) (int, error) {
 	s.checkLoc(from)
 	c := s.caches[from]
@@ -188,15 +280,37 @@ func (s *Service) ResolveCached(from int, g GID) (int, error) {
 		s.CacheHits.Add(1)
 		return line.owner, nil
 	}
-	owner, err := s.Owner(g)
+	owner, gen, err := s.Locate(g)
 	if err != nil {
 		return 0, err
 	}
 	s.Resolutions.Add(1)
 	c.mu.Lock()
-	c.m[g] = cacheLine{owner: owner}
+	c.m[g] = cacheLine{owner: owner, gen: gen}
 	c.mu.Unlock()
 	return owner, nil
+}
+
+// ResolveAuthoritative translates g for locality from directly against
+// this node's authoritative knowledge — never the private cache, because
+// the answer may back a "moved" verdict taught to a remote sender. The
+// consult is counted as a Resolution (it is a directory consult, keeping
+// the translation-efficiency ratio comparable with the cached path) and
+// warms from's cache in place so subsequent local sends go direct.
+func (s *Service) ResolveAuthoritative(from int, g GID) (int, uint64, error) {
+	s.checkLoc(from)
+	owner, gen, err := s.Locate(g)
+	if err != nil {
+		return 0, 0, err
+	}
+	s.Resolutions.Add(1)
+	c := s.caches[from]
+	c.mu.Lock()
+	if line, ok := c.m[g]; !ok || line.gen < gen {
+		c.m[g] = cacheLine{owner: owner, gen: gen}
+	}
+	c.mu.Unlock()
+	return owner, gen, nil
 }
 
 // Invalidate drops locality from's cached translation for g, forcing the
@@ -210,16 +324,35 @@ func (s *Service) Invalidate(from int, g GID) {
 	s.Forwards.Add(1)
 }
 
-// Migrate atomically moves ownership of g to locality to, bumping the
-// generation. Caches elsewhere are deliberately left stale.
+// Repoint applies a "moved" verdict: every resident locality whose cache
+// holds a translation for g older than gen is updated to the new owner in
+// place. Lines are never created — caches fill on demand — and a verdict
+// older than what a cache already knows is ignored, so racing verdicts
+// from interleaved migrations converge on the newest generation.
+func (s *Service) Repoint(g GID, owner int, gen uint64) {
+	for _, c := range s.caches {
+		c.mu.Lock()
+		if line, ok := c.m[g]; ok && line.gen < gen {
+			c.m[g] = cacheLine{owner: owner, gen: gen}
+		}
+		c.mu.Unlock()
+	}
+}
+
+// Migrate atomically moves ownership of g to locality to in its home
+// directory, bumping the generation. The home locality must be hosted by
+// this node (the directory is authoritative only there); the destination
+// may be any locality of the machine, including one hosted elsewhere.
+// Caches are deliberately left stale — staleness is repaired by
+// forwarding and Repoint verdicts, not coherence.
 func (s *Service) Migrate(g GID, to int) error {
 	s.checkLoc(to)
 	home := int(g.Home)
 	if home >= s.n {
 		return fmt.Errorf("agas: %v homed beyond machine", g)
 	}
-	if !s.resident(home) || !s.resident(to) {
-		return fmt.Errorf("agas: cross-node migration of %v is not supported", g)
+	if !s.resident(home) {
+		return fmt.Errorf("agas: directory for %v is on node %d; commit the migration there", g, s.lmap.NodeOf(home))
 	}
 	d := s.dirs[home]
 	d.mu.Lock()
@@ -234,9 +367,98 @@ func (s *Service) Migrate(g GID, to int) error {
 	return nil
 }
 
-// Free removes g from its home directory and is idempotent. Names homed on
-// other nodes are left to their owning node.
+// CommitMigration records in g's home directory that the object now lives
+// at locality to with the given generation. It is the directory half of a
+// cross-node migration (the payload travels separately) and is monotonic:
+// a commit not newer than the directory's current generation is a no-op,
+// so replayed or reordered commits cannot roll ownership back.
+func (s *Service) CommitMigration(g GID, to int, gen uint64) error {
+	s.checkLoc(to)
+	home := int(g.Home)
+	if home >= s.n {
+		return fmt.Errorf("agas: %v homed beyond machine", g)
+	}
+	if !s.resident(home) {
+		return fmt.Errorf("agas: directory for %v is on node %d; commit the migration there", g, s.lmap.NodeOf(home))
+	}
+	d := s.dirs[home]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.entries[g]
+	if !ok {
+		return fmt.Errorf("agas: migration commit for unknown name %v", g)
+	}
+	if gen > e.gen {
+		d.entries[g] = entry{owner: to, gen: gen}
+	}
+	return nil
+}
+
+// SetImport records that g — homed on another node — now lives at resident
+// locality loc with the given generation. Arriving parcels then resolve to
+// loc locally instead of bouncing back toward the home directory.
+func (s *Service) SetImport(g GID, loc int, gen uint64) {
+	s.checkLoc(loc)
+	s.impMu.Lock()
+	s.imports[g] = entry{owner: loc, gen: gen}
+	s.impMu.Unlock()
+}
+
+// DropImport removes the import record for g (the object migrated away or
+// was freed). It is idempotent.
+func (s *Service) DropImport(g GID) {
+	s.impMu.Lock()
+	delete(s.imports, g)
+	s.impMu.Unlock()
+}
+
+func (s *Service) importOf(g GID) (entry, bool) {
+	s.impMu.RLock()
+	e, ok := s.imports[g]
+	s.impMu.RUnlock()
+	return e, ok
+}
+
+// SetForward leaves a forwarding pointer: g migrated away from this node
+// to locality `to` at the given generation. Subsequent resolutions here
+// answer with a MovedError naming `to`, so in-flight parcels chase one
+// hop instead of detouring through the home directory.
+func (s *Service) SetForward(g GID, to int, gen uint64) {
+	s.checkLoc(to)
+	s.fwdMu.Lock()
+	if e, ok := s.forwards[g]; !ok || e.gen < gen {
+		s.forwards[g] = entry{owner: to, gen: gen}
+	}
+	s.fwdMu.Unlock()
+}
+
+// Forward reports the forwarding pointer for g, if this node left one.
+func (s *Service) Forward(g GID) (to int, gen uint64, ok bool) {
+	e, ok := s.forwardOf(g)
+	return e.owner, e.gen, ok
+}
+
+// DropForward removes the forwarding pointer for g (the object came back,
+// or was freed machine-wide). It is idempotent.
+func (s *Service) DropForward(g GID) {
+	s.fwdMu.Lock()
+	delete(s.forwards, g)
+	s.fwdMu.Unlock()
+}
+
+func (s *Service) forwardOf(g GID) (entry, bool) {
+	s.fwdMu.RLock()
+	e, ok := s.forwards[g]
+	s.fwdMu.RUnlock()
+	return e, ok
+}
+
+// Free removes g from its home directory, import table, and forwarding
+// table, and is idempotent. Directory entries homed on other nodes are
+// left to their owning node.
 func (s *Service) Free(g GID) {
+	s.DropImport(g)
+	s.DropForward(g)
 	home := int(g.Home)
 	if home >= s.n || !s.resident(home) {
 		return
@@ -247,13 +469,19 @@ func (s *Service) Free(g GID) {
 	d.mu.Unlock()
 }
 
-// Generation reports the migration generation of g (1 when newly allocated).
+// Generation reports the migration generation of g (1 when newly
+// allocated) from this node's most authoritative source: the home
+// directory when hosted here, otherwise the import record of a locally
+// hosted object.
 func (s *Service) Generation(g GID) (uint64, error) {
 	home := int(g.Home)
 	if home >= s.n {
 		return 0, fmt.Errorf("agas: %v homed beyond machine", g)
 	}
 	if !s.resident(home) {
+		if e, ok := s.importOf(g); ok {
+			return e.gen, nil
+		}
 		return 0, fmt.Errorf("agas: generation of %v only known to its home node", g)
 	}
 	d := s.dirs[home]

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -13,14 +14,22 @@ import (
 	"repro/internal/transport"
 )
 
-// Distributed frame types. Every transport frame begins with one type byte.
+// Distributed frame types. Every transport frame begins with one type
+// byte. All kinds — including migration payloads — ride the transport's
+// group-commit batching: a MIGRATE frame posted while a parcel batch's
+// write is in flight simply joins the next batch.
 const (
-	fParcel     = byte(1) // encoded parcel
-	fAck        = byte(2) // per-parcel receipt; releases the sender's work unit
-	fDrain      = byte(3) // quiescence probe: u64 seq
-	fDrainReply = byte(4) // probe answer: u64 seq | i64 pending | u64 sent | u64 recv
-	fGoodbye    = byte(5) // node departure: u64 final sent | u64 final recv
-	fHalt       = byte(6) // cooperative machine-wide halt request
+	fParcel     = byte(1)  // encoded parcel
+	fAck        = byte(2)  // per-parcel receipt; releases the sender's work unit
+	fDrain      = byte(3)  // quiescence probe: u64 seq
+	fDrainReply = byte(4)  // probe answer: u64 seq | i64 pending | u64 sent | u64 recv
+	fGoodbye    = byte(5)  // node departure: u64 final sent | u64 final recv
+	fHalt       = byte(6)  // cooperative machine-wide halt request
+	fAckMoved   = byte(7)  // receipt + moved verdict: gid | u32 owner | u64 gen
+	fMigrate    = byte(8)  // object payload push: u64 xid | gid | u32 to | u64 gen | value record
+	fMigrateOK  = byte(9)  // migrate push outcome: u64 xid | u8 ok | str error
+	fDirUpdate  = byte(10) // home-directory commit request: u64 xid | gid | u32 owner | u64 gen
+	fDirOK      = byte(11) // commit outcome: u64 xid | u8 ok | str error
 )
 
 // distState is the runtime's view of the multi-node machine: the frame
@@ -49,8 +58,22 @@ type distState struct {
 	drains   map[uint64]chan drainReply
 	departed map[int]drainReply // final totals of nodes that said goodbye
 
+	// rpc holds the waiters for this node's outstanding migration
+	// exchanges, keyed by exchange ID. The ID — not the GID — matches a
+	// reply to its request, so a reply straggling in after its exchange
+	// timed out can never resolve a later exchange for the same object.
+	rpcMu  sync.Mutex
+	rpcSeq uint64
+	rpc    map[uint64]chan rpcReply
+
 	haltOnce sync.Once
 	halt     chan struct{}
+}
+
+// rpcReply is the outcome of one migration frame exchange.
+type rpcReply struct {
+	ok  bool
+	msg string
 }
 
 type drainReply struct {
@@ -68,6 +91,7 @@ func newDistState(r *Runtime, tr transport.Transport, node int, lmap *agas.Local
 		home:     lmap.NodeRange(node).Lo,
 		drains:   make(map[uint64]chan drainReply),
 		departed: make(map[int]drainReply),
+		rpc:      make(map[uint64]chan rpcReply),
 		halt:     make(chan struct{}),
 	}
 }
@@ -84,6 +108,15 @@ func (d *distState) onFrame(from int, frame []byte) {
 		d.onParcel(from, frame[1:])
 	case fAck:
 		d.rt.doneWork()
+	case fAckMoved:
+		d.rt.doneWork()
+		d.onMovedVerdict(frame[1:])
+	case fMigrate:
+		d.onMigrate(from, frame[1:])
+	case fMigrateOK, fDirOK:
+		d.onRPCReply(frame[1:])
+	case fDirUpdate:
+		d.onDirUpdate(from, frame[1:])
 	case fDrain:
 		if len(frame) < 9 {
 			return
@@ -111,17 +144,26 @@ func (d *distState) onFrame(from int, frame []byte) {
 
 // onParcel decodes and delivers one cross-node parcel. The work unit is
 // charged before the acknowledgement goes out so the parcel is never
-// uncounted.
+// uncounted. When this node knows the destination object lives elsewhere
+// — it departed by migration, or the home directory here names another
+// node — the acknowledgement carries a piggybacked "moved" verdict so the
+// stale sender repoints its caches before its next parcel.
 func (d *distState) onParcel(from int, body []byte) {
 	d.recv.Add(1)
 	p, rest, err := parcel.Decode(body)
 	if err == nil && len(rest) != 0 {
 		err = fmt.Errorf("core: %d trailing bytes after parcel", len(rest))
 	}
+	var owner int
+	var gen uint64
+	var g agas.GID
+	rerr := err
 	if err == nil {
+		g = p.Dest
 		d.rt.addWork()
+		owner, gen, rerr = d.resolveHere(g)
 	}
-	d.ack(from)
+	d.ackParcel(from, p != nil, g, owner, gen, rerr)
 	if err != nil {
 		d.rt.recordError(fmt.Errorf("core: bad parcel frame from node %d: %w", from, err))
 		return
@@ -129,16 +171,27 @@ func (d *distState) onParcel(from int, body []byte) {
 	if d.rt.ring != nil {
 		d.rt.ring.Emitf(trace.KindParcelRecv, d.home, "from N%d %s", from, p)
 	}
-	d.deliver(p)
+	d.deliver(p, owner, rerr)
 }
 
-// deliver routes a received parcel to its resident locality, or — when
-// this node's view was stale — repairs and re-routes it through the
-// standard forwarding path (hop-bounded, traced, delayed). Runs with one
-// work unit charged; every path releases it exactly once.
-func (d *distState) deliver(p *parcel.Parcel) {
+// resolveHere reports this node's authoritative knowledge of a
+// destination — the owning locality and its generation, with any
+// forwarding verdict folded into the next hop. The consult counts as an
+// AGAS resolution and warms the home locality's cache; it deliberately
+// never reads that cache, since a stale line must not back a "moved"
+// verdict. Unknown names report the error.
+func (d *distState) resolveHere(g agas.GID) (owner int, gen uint64, err error) {
+	return d.rt.agas.ResolveAuthoritative(d.home, g)
+}
+
+// deliver routes a received parcel — already resolved by onParcel to
+// (owner, err) — to its resident locality, or, when the object is not
+// hosted here, re-routes it through the standard forwarding path
+// (hop-bounded, traced, delayed); a forwarding pointer or the home
+// directory makes the chase a single hop. Runs with one work unit
+// charged; every path releases it exactly once.
+func (d *distState) deliver(p *parcel.Parcel, owner int, err error) {
 	r := d.rt
-	owner, err := r.agas.ResolveCached(d.home, p.Dest)
 	if err != nil {
 		r.deliverFailure(d.home, p, err)
 		return
@@ -163,13 +216,44 @@ func (d *distState) sendRetry(node int, frame []byte) error {
 	return err
 }
 
-func (d *distState) ack(node int) {
-	if err := d.sendRetry(node, []byte{fAck}); err != nil {
+// ackParcel acknowledges one parcel frame, piggybacking a "moved" verdict
+// when this node's authoritative knowledge (directory, import table, or
+// forwarding pointer) places the destination on another node — the sender
+// repoints its caches and reaches the new owner directly next time.
+// resolved is false for an undecodable frame, which gets a plain receipt;
+// (owner, gen, err) is onParcel's single resolution of destination g.
+func (d *distState) ackParcel(node int, resolved bool, g agas.GID, owner int, gen uint64, err error) {
+	frame := []byte{fAck}
+	// gen 0 is an unversioned route-toward-home guess, not knowledge
+	// worth teaching the sender.
+	if resolved && err == nil && gen > 0 && d.lmap.NodeOf(owner) != d.node {
+		frame = make([]byte, 0, 1+agas.GIDSize+12)
+		frame = append(frame, fAckMoved)
+		frame = g.Encode(frame)
+		frame = binary.LittleEndian.AppendUint32(frame, uint32(owner))
+		frame = binary.LittleEndian.AppendUint64(frame, gen)
+	}
+	if err := d.sendRetry(node, frame); err != nil {
 		// The sender stays unreachable: its work unit for this parcel
 		// leaks and its Wait will block until the operator intervenes —
 		// parcels are not fault tolerant. Record for diagnosis.
 		d.rt.recordError(fmt.Errorf("core: ack to node %d: %w", node, err))
 	}
+}
+
+// onMovedVerdict applies a piggybacked migration verdict to this node's
+// translation caches.
+func (d *distState) onMovedVerdict(body []byte) {
+	g, rest, err := agas.DecodeGID(body)
+	if err != nil || len(rest) < 12 {
+		return
+	}
+	owner := int(binary.LittleEndian.Uint32(rest[0:4]))
+	gen := binary.LittleEndian.Uint64(rest[4:12])
+	if owner < 0 || owner >= d.rt.Localities() {
+		return
+	}
+	d.rt.agas.Repoint(g, owner, gen)
 }
 
 // sendParcel ships p to node. The caller's work unit for p stays charged
@@ -184,6 +268,194 @@ func (d *distState) sendParcel(node, src int, p *parcel.Parcel) {
 		return
 	}
 	d.rt.slow.ParcelsSent.Inc()
+}
+
+// migrateRPCTimeout bounds how long a migration waits for a peer's
+// confirmation before declaring the exchange ambiguous.
+const migrateRPCTimeout = 10 * time.Second
+
+// errMigrateUnacked marks a migration exchange whose frame was handed to
+// the transport but never confirmed: the peer may or may not have applied
+// it, so the caller must not assume either way.
+var errMigrateUnacked = errors.New("migration unconfirmed by peer")
+
+// rpcCall sends one migration frame (whose first 8 body bytes are the
+// exchange ID xid) to node and waits for the matching fMigrateOK/fDirOK.
+// delivered reports whether the peer may have applied the frame: false
+// only when the transport guaranteed non-delivery or the peer rejected
+// it, so the caller can safely roll back.
+func (d *distState) rpcCall(node int, xid uint64, g agas.GID, frame []byte) (delivered bool, err error) {
+	ch := make(chan rpcReply, 1)
+	d.rpcMu.Lock()
+	d.rpc[xid] = ch
+	d.rpcMu.Unlock()
+	defer func() {
+		d.rpcMu.Lock()
+		delete(d.rpc, xid)
+		d.rpcMu.Unlock()
+	}()
+	if err := d.sendRetry(node, frame); err != nil {
+		return false, fmt.Errorf("core: migration frame to node %d: %w", node, err)
+	}
+	select {
+	case rep := <-ch:
+		if !rep.ok {
+			// The peer rejected the frame and provably did not apply it.
+			return false, fmt.Errorf("core: node %d rejected migration of %v: %s", node, g, rep.msg)
+		}
+		return true, nil
+	case <-time.After(migrateRPCTimeout):
+		return true, fmt.Errorf("core: node %d: %w for %v", node, errMigrateUnacked, g)
+	}
+}
+
+// nextXID mints an exchange ID for one migration frame round trip.
+func (d *distState) nextXID() uint64 {
+	d.rpcMu.Lock()
+	d.rpcSeq++
+	xid := d.rpcSeq
+	d.rpcMu.Unlock()
+	return xid
+}
+
+// encodeMigHeader builds the shared migration frame header:
+// kind | u64 xid | gid | u32 loc | u64 gen.
+func encodeMigHeader(kind byte, xid uint64, g agas.GID, loc int, gen uint64, extra int) []byte {
+	frame := make([]byte, 0, 9+agas.GIDSize+12+extra)
+	frame = append(frame, kind)
+	frame = binary.LittleEndian.AppendUint64(frame, xid)
+	frame = g.Encode(frame)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(loc))
+	frame = binary.LittleEndian.AppendUint64(frame, gen)
+	return frame
+}
+
+// decodeMigHeader parses the header written by encodeMigHeader (minus the
+// kind byte, consumed by onFrame), returning any trailing payload.
+func decodeMigHeader(body []byte) (xid uint64, g agas.GID, loc int, gen uint64, rest []byte, ok bool) {
+	if len(body) < 8 {
+		return 0, agas.Nil, 0, 0, nil, false
+	}
+	xid = binary.LittleEndian.Uint64(body[0:8])
+	g, rest, err := agas.DecodeGID(body[8:])
+	if err != nil || len(rest) < 12 {
+		return 0, agas.Nil, 0, 0, nil, false
+	}
+	loc = int(binary.LittleEndian.Uint32(rest[0:4]))
+	gen = binary.LittleEndian.Uint64(rest[4:12])
+	return xid, g, loc, gen, rest[12:], true
+}
+
+// migrateTo pushes g's wire-encoded payload to node for installation at
+// locality to under generation gen, and waits for the peer's verdict.
+func (d *distState) migrateTo(node int, g agas.GID, to int, gen uint64, payload []byte) (delivered bool, err error) {
+	xid := d.nextXID()
+	frame := append(encodeMigHeader(fMigrate, xid, g, to, gen, len(payload)), payload...)
+	return d.rpcCall(node, xid, g, frame)
+}
+
+// commitDir asks g's home node to commit the migrated owner in its
+// authoritative directory.
+func (d *distState) commitDir(node int, g agas.GID, to int, gen uint64) error {
+	xid := d.nextXID()
+	_, err := d.rpcCall(node, xid, g, encodeMigHeader(fDirUpdate, xid, g, to, gen, 0))
+	return err
+}
+
+// replyOutcome answers migration exchange xid with its ok/error verdict.
+func (d *distState) replyOutcome(node int, kind byte, xid uint64, opErr error) {
+	frame := make([]byte, 0, 12)
+	frame = append(frame, kind)
+	frame = binary.LittleEndian.AppendUint64(frame, xid)
+	if opErr == nil {
+		frame = append(frame, 1, 0, 0)
+	} else {
+		msg := opErr.Error()
+		if len(msg) > 1<<15 {
+			msg = msg[:1<<15]
+		}
+		frame = append(frame, 0)
+		frame = binary.LittleEndian.AppendUint16(frame, uint16(len(msg)))
+		frame = append(frame, msg...)
+	}
+	if err := d.sendRetry(node, frame); err != nil {
+		d.rt.recordError(fmt.Errorf("core: migration verdict to node %d: %w", node, err))
+	}
+}
+
+// onMigrate installs an inbound migrated object: decode the payload, put
+// it in the destination locality's store, and record the import (plus a
+// cache repoint) so parcels already routed here resolve to it at once.
+func (d *distState) onMigrate(from int, body []byte) {
+	xid, g, to, gen, payload, ok := decodeMigHeader(body)
+	if !ok {
+		d.rt.recordError(fmt.Errorf("core: bad migrate frame from node %d", from))
+		return
+	}
+	install := func() error {
+		if to < 0 || to >= d.rt.Localities() || !d.rt.Resident(to) {
+			return fmt.Errorf("locality %d is not hosted by node %d", to, d.node)
+		}
+		v, err := parcel.DecodeAny(payload)
+		if err != nil {
+			return fmt.Errorf("payload: %w", err)
+		}
+		d.rt.locs[to].Store().Put(g, v)
+		d.rt.agas.DropForward(g)
+		d.rt.agas.SetImport(g, to, gen)
+		d.rt.agas.Repoint(g, to, gen)
+		if d.rt.ring != nil {
+			d.rt.ring.Emitf(trace.KindMigration, to, "installed %v gen %d from N%d", g, gen, from)
+		}
+		return nil
+	}
+	d.replyOutcome(from, fMigrateOK, xid, install())
+}
+
+// onDirUpdate commits a remote owner's migration in this node's
+// authoritative home directory and repoints local caches.
+func (d *distState) onDirUpdate(from int, body []byte) {
+	xid, g, to, gen, _, ok := decodeMigHeader(body)
+	if !ok {
+		d.rt.recordError(fmt.Errorf("core: bad directory update from node %d", from))
+		return
+	}
+	commit := func() error {
+		if to < 0 || to >= d.rt.Localities() {
+			return fmt.Errorf("locality %d outside machine", to)
+		}
+		if err := d.rt.agas.CommitMigration(g, to, gen); err != nil {
+			return err
+		}
+		d.rt.agas.Repoint(g, to, gen)
+		return nil
+	}
+	d.replyOutcome(from, fDirOK, xid, commit())
+}
+
+// onRPCReply resolves the waiter for a migration exchange verdict.
+func (d *distState) onRPCReply(body []byte) {
+	if len(body) < 9 {
+		return
+	}
+	xid := binary.LittleEndian.Uint64(body[0:8])
+	rest := body[8:]
+	rep := rpcReply{ok: rest[0] == 1}
+	if !rep.ok && len(rest) >= 3 {
+		n := int(binary.LittleEndian.Uint16(rest[1:3]))
+		if n <= len(rest)-3 {
+			rep.msg = string(rest[3 : 3+n])
+		}
+	}
+	d.rpcMu.Lock()
+	ch, ok := d.rpc[xid]
+	d.rpcMu.Unlock()
+	if ok {
+		select {
+		case ch <- rep:
+		default: // a duplicate reply
+		}
+	}
 }
 
 // replyDrain answers a quiescence probe with this node's instantaneous

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/agas"
+	"repro/internal/parcel"
+)
+
+// The migration fence must quiesce the object: an action observed running
+// when the fence closes completes before the payload moves, and parcels
+// arriving mid-move park (with their work units charged, so Wait counts
+// them) and re-execute against the new location afterwards.
+func TestMigrationFenceParksAndReplays(t *testing.T) {
+	r := New(Config{Localities: 3, WorkersPerLocality: 2})
+	defer r.Shutdown()
+
+	inAction := make(chan struct{})
+	release := make(chan struct{})
+	var sum atomic.Int64
+	r.MustRegisterAction("fence.add", func(ctx *Context, target any, args *parcel.Reader) (any, error) {
+		v := args.Int64()
+		if err := args.Err(); err != nil {
+			return nil, err
+		}
+		if v == 1 { // the slow first parcel holds the object busy
+			close(inAction)
+			<-release
+		}
+		sum.Add(v)
+		return nil, nil
+	})
+	obj := r.NewDataAt(0, struct{}{})
+
+	// Occupy the object, then start a migration that must wait for it.
+	r.SendFrom(0, parcel.New(obj, "fence.add", parcel.NewArgs().Int64(1).Encode()))
+	<-inAction
+	migDone := make(chan error, 1)
+	go func() { migDone <- r.Migrate(obj, 2) }()
+
+	// Wait until the migration has observably closed the fence — only
+	// then is parking guaranteed for the chasers below.
+	waitFenceClosed(t, r, obj)
+	deadline := time.Now().Add(5 * time.Second)
+
+	// The fence is closed: parcels sent now must park — neither running
+	// at the vanishing old location nor getting lost. An idle sibling
+	// worker drains them into the fence while the first action blocks.
+	for i := 0; i < 8; i++ {
+		r.SendFrom(1, parcel.New(obj, "fence.add", parcel.NewArgs().Int64(10).Encode()))
+	}
+	for r.slow.Parked.Value() < 8 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of 8 chasers parked", r.slow.Parked.Value())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	select {
+	case err := <-migDone:
+		t.Fatalf("migration completed while an action was running: %v", err)
+	default:
+	}
+	close(release)
+	if err := <-migDone; err != nil {
+		t.Fatal(err)
+	}
+	r.Wait()
+	if got := sum.Load(); got != 81 {
+		t.Fatalf("sum = %d, want 81 (1 + 8×10): parcels lost or duplicated across the move", got)
+	}
+	if owner, err := r.AGAS().Owner(obj); err != nil || owner != 2 {
+		t.Fatalf("owner after migration = %d, %v", owner, err)
+	}
+	if _, ok := r.LocalObject(2, obj); !ok {
+		t.Fatal("payload not at the new locality")
+	}
+	if r.SLOW().Parked.Value() == 0 {
+		t.Fatal("no parcel was parked despite the held fence")
+	}
+	if errs := r.Errors(); len(errs) != 0 {
+		t.Fatalf("runtime errors: %v", errs)
+	}
+}
+
+// waitFenceClosed polls until a migration has closed g's fence.
+func waitFenceClosed(t *testing.T, r *Runtime, g agas.GID) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := r.fences.shard(g)
+		s.mu.Lock()
+		f := s.m[g]
+		closed := f != nil && f.migrating
+		s.mu.Unlock()
+		if closed {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("migration never closed the fence")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// An action migrating a second object while its own target is being
+// quiesced must not deadlock: migrations lock per object, never
+// runtime-wide, so the fence waiting on this action cannot block the
+// action's own (unrelated) migration.
+func TestMigrateFromActionDuringOwnMigration(t *testing.T) {
+	r := New(Config{Localities: 3, WorkersPerLocality: 2})
+	defer r.Shutdown()
+	other := r.NewDataAt(1, []int64{1})
+	inAction := make(chan struct{})
+	proceed := make(chan struct{})
+	r.MustRegisterAction("abba.move", func(ctx *Context, target any, args *parcel.Reader) (any, error) {
+		close(inAction)
+		<-proceed
+		return nil, ctx.Runtime().Migrate(other, 2)
+	})
+	obj := r.NewDataAt(0, struct{}{})
+	r.SendFrom(0, parcel.New(obj, "abba.move", nil))
+	<-inAction
+	migDone := make(chan error, 1)
+	go func() { migDone <- r.Migrate(obj, 1) }()
+	waitFenceClosed(t, r, obj) // obj's migration now waits on the action...
+	close(proceed)             // ...which itself migrates `other`
+	if err := <-migDone; err != nil {
+		t.Fatal(err)
+	}
+	r.Wait()
+	if owner, err := r.AGAS().Owner(obj); err != nil || owner != 1 {
+		t.Fatalf("obj owner = %d, %v; want 1", owner, err)
+	}
+	if owner, err := r.AGAS().Owner(other); err != nil || owner != 2 {
+		t.Fatalf("other owner = %d, %v; want 2", owner, err)
+	}
+	if errs := r.Errors(); len(errs) != 0 {
+		t.Fatalf("runtime errors: %v", errs)
+	}
+}
+
+// Hardware names anchor broadcast and spawn routing and must never move.
+func TestMigrateHardwareRejected(t *testing.T) {
+	r := New(Config{Localities: 2})
+	defer r.Shutdown()
+	if err := r.Migrate(r.LocalityGID(0), 1); err == nil {
+		t.Fatal("hardware migration accepted")
+	}
+}
+
+// Generation must advance once per migration so stale verdicts order
+// correctly, and repeated migration keeps exactly one copy live.
+func TestMigrationGenerationsAdvance(t *testing.T) {
+	r := New(Config{Localities: 4})
+	defer r.Shutdown()
+	obj := r.NewDataAt(0, []int64{7})
+	for i, to := range []int{1, 3, 2, 0} {
+		if err := r.Migrate(obj, to); err != nil {
+			t.Fatalf("move %d: %v", i, err)
+		}
+		gen, err := r.AGAS().Generation(obj)
+		if err != nil || gen != uint64(i)+2 {
+			t.Fatalf("after move %d generation = %d, %v; want %d", i, gen, err, i+2)
+		}
+		copies := 0
+		for loc := 0; loc < 4; loc++ {
+			if _, ok := r.LocalObject(loc, obj); ok {
+				copies++
+			}
+		}
+		if copies != 1 {
+			t.Fatalf("after move %d found %d copies", i, copies)
+		}
+	}
+}
+
+// A migration racing a stream of split-phase calls must resolve every
+// future exactly once — the single-process half of the distributed
+// stress guarantee.
+func TestMigrationUnderConcurrentCalls(t *testing.T) {
+	r := New(Config{Localities: 4, WorkersPerLocality: 2})
+	defer r.Shutdown()
+	r.MustRegisterAction("mig.incr", func(ctx *Context, target any, args *parcel.Reader) (any, error) {
+		c := target.(*int64)
+		*c++
+		return *c, nil
+	})
+	var count int64
+	obj := r.NewObjectAt(0, agas.KindData, &count)
+
+	const senders, calls = 4, 40
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				fut := r.CallFrom(src, obj, "mig.incr", nil)
+				if _, err := fut.Get(); err != nil {
+					t.Errorf("call from L%d: %v", src, err)
+					return
+				}
+			}
+		}(s)
+	}
+	for _, to := range []int{2, 3, 1} {
+		time.Sleep(2 * time.Millisecond)
+		if err := r.Migrate(obj, to); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	r.Wait()
+	if count != senders*calls {
+		t.Fatalf("count = %d, want %d", count, senders*calls)
+	}
+	if errs := r.Errors(); len(errs) != 0 {
+		t.Fatalf("runtime errors: %v", errs)
+	}
+}

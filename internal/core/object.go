@@ -2,12 +2,12 @@ package core
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/agas"
 	"repro/internal/lco"
 	"repro/internal/parcel"
+	"repro/internal/trace"
 )
 
 // NewObjectAt installs v as a globally named object of the given kind on
@@ -68,17 +68,35 @@ func (r *Runtime) FreeObject(g agas.GID) {
 	r.agas.Free(g)
 }
 
-var migrateMu sync.Mutex
-
-// Migrate moves the object named g to locality to, leaving its name valid.
-// In-flight parcels racing the move are repaired by forwarding. The
-// directory is updated before the object lands so the inconsistency window
-// resolves toward the new owner.
+// Migrate moves the object named g to locality to — on this node or any
+// other — leaving its global name valid. The move is live: the object is
+// first quiesced (the migration fence waits for any running action and
+// parks later arrivals with their work units still charged, so Wait counts
+// them), then the payload travels — wire-encoded via the parcel value
+// codec when the destination is on another node — the home directory
+// commits the new owner under a bumped generation, and a forwarding
+// pointer is left behind so in-flight parcels chase at most one hop.
+// Senders with stale translations learn the new owner from a "moved"
+// verdict piggybacked on their next delivery acknowledgement.
+//
+// Migration is initiated on the node currently owning the object, and for
+// a cross-node destination the payload must be encodable by the parcel
+// value codec. An action may migrate other objects, but must not migrate
+// its own target (the fence would wait on the caller), and two actions
+// mutually migrating each other's targets deadlock the same way.
 func (r *Runtime) Migrate(g agas.GID, to int) error {
-	r.checkResident(to)
-	migrateMu.Lock()
-	defer migrateMu.Unlock()
-	from, err := r.agas.Owner(g)
+	r.checkLoc(to)
+	if g.Kind == agas.KindHardware {
+		return fmt.Errorf("core: migrate of %v: hardware names are immovable", g)
+	}
+	r.lockMigration(g)
+	defer r.unlockMigration(g)
+	// The move itself is outstanding work: Wait must not declare the
+	// machine quiescent while a payload is in transit between stores.
+	r.addWork()
+	defer r.doneWork()
+
+	from, gen, err := r.agas.Locate(g)
 	if err != nil {
 		return err
 	}
@@ -86,24 +104,120 @@ func (r *Runtime) Migrate(g agas.GID, to int) error {
 		return nil
 	}
 	if !r.Resident(from) {
-		return fmt.Errorf("core: migrate of %v: cross-node migration is not supported", g)
+		return fmt.Errorf("core: migrate of %v: owned by node %d; migration is initiated on the owning node",
+			g, r.dist.lmap.NodeOf(from))
 	}
-	if err := r.agas.Migrate(g, to); err != nil {
-		return err
+
+	// Quiesce: running actions on g drain, later arrivals park until the
+	// move commits, then re-route toward the new owner. A park does not
+	// consume the MaxHops forwarding budget: it is the migration holding
+	// the parcel, not a mis-route, and each re-park requires another
+	// in-flight migration, which bounds the cycle on its own.
+	r.fences.close(g)
+	err = r.migrateLocked(g, from, to, gen+1)
+	for _, pk := range r.fences.open(g) {
+		if r.ring != nil {
+			r.ring.Emitf(trace.KindMigration, pk.loc, "unpark %s", pk.p)
+		}
+		r.route(pk.loc, pk.p)
 	}
+	return err
+}
+
+// migrateLocked performs the fenced move of g from resident locality
+// `from` to locality `to` at generation newGen: payload transfer, then
+// directory commit, then local routing state (imports, forwarding
+// pointer, cache repoint).
+func (r *Runtime) migrateLocked(g agas.GID, from, to int, newGen uint64) error {
 	v, ok := r.locs[from].Store().Take(g)
 	if !ok {
-		// Roll back: the object was never resident (or already moving).
-		r.agas.Migrate(g, from)
 		return fmt.Errorf("core: migrate of %v: not resident at L%d", g, from)
 	}
-	// Model the data movement cost.
-	if lat := r.net.Latency(from, to, approxSize(v)); lat > 0 {
-		time.Sleep(lat)
+	destNode := r.nodeOf(to)
+	if destNode == r.NodeID() {
+		// Model the data movement cost on the intra-node network.
+		if lat := r.net.Latency(from, to, approxSize(v)); lat > 0 {
+			time.Sleep(lat)
+		}
+		r.locs[to].Store().Put(g, v)
+	} else {
+		payload, err := parcel.EncodeAny(v)
+		if err != nil {
+			r.locs[from].Store().Put(g, v)
+			return fmt.Errorf("core: migrate of %v: payload not wire-encodable: %w", g, err)
+		}
+		delivered, err := r.dist.migrateTo(destNode, g, to, newGen, payload)
+		if err != nil && !delivered {
+			// The peer provably does not have the object: reinstall.
+			r.locs[from].Store().Put(g, v)
+			return err
+		}
+		if err != nil {
+			// Ambiguous (unconfirmed push): the peer may hold the object, so
+			// reinstalling could duplicate it. Commit forward and record —
+			// the same stance the transport takes on an unreachable acker.
+			r.recordError(fmt.Errorf("core: migrate of %v: %w", g, err))
+		}
 	}
-	r.locs[to].Store().Put(g, v)
+	// Commit the new owner in the home directory, wherever it lives. On
+	// commit failure the object HAS still moved — only the directory
+	// lags (unreachable home node, or the name was freed mid-move) — so
+	// the routing state below is installed regardless: forwarding
+	// pointers and repointed caches keep the name resolvable either way.
+	var commitErr error
+	if homeNode := r.nodeOf(int(g.Home)); homeNode == r.NodeID() {
+		commitErr = r.agas.CommitMigration(g, to, newGen)
+	} else if err := r.dist.commitDir(homeNode, g, to, newGen); err != nil {
+		r.recordError(fmt.Errorf("core: migrate of %v: directory commit: %w", g, err))
+	}
+	r.agas.DropImport(g)
+	if destNode == r.NodeID() {
+		if !r.Resident(int(g.Home)) {
+			r.agas.SetImport(g, to, newGen)
+		}
+	} else if !r.Resident(int(g.Home)) {
+		r.agas.SetForward(g, to, newGen)
+	}
+	r.agas.Repoint(g, to, newGen)
+	if r.ring != nil {
+		r.ring.Emitf(trace.KindMigration, from, "%v -> L%d gen %d", g, to, newGen)
+	}
 	r.slow.Migrations.Inc()
-	return nil
+	return commitErr
+}
+
+// nodeOf reports which node hosts locality loc (0 on a single-process
+// machine).
+func (r *Runtime) nodeOf(loc int) int {
+	if r.dist == nil {
+		return 0
+	}
+	return r.dist.lmap.NodeOf(loc)
+}
+
+// lockMigration claims the per-object migration slot for g, waiting for
+// any in-flight move of the same object to finish first.
+func (r *Runtime) lockMigration(g agas.GID) {
+	for {
+		r.migMu.Lock()
+		ch, busy := r.migrations[g]
+		if !busy {
+			r.migrations[g] = make(chan struct{})
+			r.migMu.Unlock()
+			return
+		}
+		r.migMu.Unlock()
+		<-ch
+	}
+}
+
+// unlockMigration releases g's migration slot and wakes any waiter.
+func (r *Runtime) unlockMigration(g agas.GID) {
+	r.migMu.Lock()
+	ch := r.migrations[g]
+	delete(r.migrations, g)
+	r.migMu.Unlock()
+	close(ch)
 }
 
 // approxSize estimates an object's wire size for migration cost modelling.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/agas"
 	"repro/internal/parcel"
 	"repro/internal/trace"
 )
@@ -134,16 +135,40 @@ func mustPost(err error) {
 }
 
 // execute runs the parcel's action as a fresh ephemeral thread on loc.
+// Non-hardware targets pass through the migration fence: the execution is
+// registered so a migration can quiesce the object, and if a migration is
+// in progress the parcel parks (keeping a work unit charged) until the
+// move commits and the fence re-routes it.
 func (r *Runtime) execute(loc int, p *parcel.Parcel) {
+	fenced := p.Dest.Kind != agas.KindHardware
+	if fenced {
+		if !r.fences.enter(p.Dest, loc, p) {
+			// Parked. The fence holds the parcel; charge the parked leg
+			// before this delivery's unit is released by our caller.
+			r.addWork()
+			r.slow.Parked.Inc()
+			if r.ring != nil {
+				r.ring.Emitf(trace.KindMigration, loc, "parked %s", p)
+			}
+			return
+		}
+	}
 	target, ok := r.locs[loc].Store().Get(p.Dest)
 	if !ok {
+		if fenced {
+			r.fences.exit(p.Dest)
+		}
 		// The object is not here: our (or the sender's) translation was
-		// stale. Repair and forward.
+		// stale — an ErrMoved resolution will name the forwarding target.
+		// Repair and re-route.
 		r.forward(loc, p)
 		return
 	}
 	fn, ok := r.acts.lookup(p.Action)
 	if !ok {
+		if fenced {
+			r.fences.exit(p.Dest)
+		}
 		r.failParcel(loc, p, fmt.Errorf("core: unknown action %q", p.Action))
 		return
 	}
@@ -153,6 +178,9 @@ func (r *Runtime) execute(loc int, p *parcel.Parcel) {
 	ctx := &Context{rt: r, loc: loc, th: th}
 	res, err := fn(ctx, target, parcel.NewReader(p.Args))
 	th.Terminate()
+	if fenced {
+		r.fences.exit(p.Dest)
+	}
 	r.slow.TasksExecuted.Inc()
 	if err != nil {
 		r.failParcel(loc, p, err)

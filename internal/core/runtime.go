@@ -93,6 +93,15 @@ type Runtime struct {
 	hwGID  []agas.GID // per-locality hardware names
 	faults *faultState
 	dist   *distState // nil for a single-process machine
+	fences *fenceTable
+
+	// migrations serializes moves per object: each GID has at most one
+	// migration in flight from this node (the fence's single-closer
+	// invariant), while moves of different objects proceed concurrently —
+	// a runtime-wide lock here would deadlock an action that migrates a
+	// second object while its own target is being quiesced.
+	migMu      sync.Mutex
+	migrations map[agas.GID]chan struct{}
 
 	pending  atomic.Int64
 	quiet    sync.Mutex
@@ -128,13 +137,15 @@ func New(cfg Config) *Runtime {
 			cfg.Net.Nodes(), cfg.Localities))
 	}
 	r := &Runtime{
-		cfg:    cfg,
-		agas:   agas.NewService(cfg.Localities),
-		net:    cfg.Net,
-		slow:   metrics.NewSLOW(),
-		reg:    thread.NewRegistry(),
-		acts:   newActionRegistry(),
-		faults: newFaultState(cfg.Faults),
+		cfg:        cfg,
+		agas:       agas.NewService(cfg.Localities),
+		net:        cfg.Net,
+		slow:       metrics.NewSLOW(),
+		reg:        thread.NewRegistry(),
+		acts:       newActionRegistry(),
+		faults:     newFaultState(cfg.Faults),
+		fences:     newFenceTable(),
+		migrations: make(map[agas.GID]chan struct{}),
 	}
 	resident := agas.Range{Lo: 0, Hi: cfg.Localities}
 	if lmap != nil {

@@ -158,6 +158,7 @@ type SLOW struct {
 	ThreadsSpawned Counter
 	Suspensions    Counter
 	Migrations     Counter
+	Parked         Counter // parcels held by a migration fence until the move committed
 }
 
 // NewSLOW returns a SLOW record with all histograms allocated.
@@ -173,9 +174,10 @@ func NewSLOW() *SLOW {
 // String renders a compact one-line summary.
 func (s *SLOW) String() string {
 	return fmt.Sprintf(
-		"tasks=%d parcels=%d(+%d local) threads=%d susp=%d | starve(mean)=%.0f lat(mean)=%.0f ovh(mean)=%.0f wait(mean)=%.0f",
+		"tasks=%d parcels=%d(+%d local) threads=%d susp=%d mig=%d(park %d) | starve(mean)=%.0f lat(mean)=%.0f ovh(mean)=%.0f wait(mean)=%.0f",
 		s.TasksExecuted.Value(), s.ParcelsSent.Value(), s.ParcelsLocal.Value(),
 		s.ThreadsSpawned.Value(), s.Suspensions.Value(),
+		s.Migrations.Value(), s.Parked.Value(),
 		s.Starvation.Mean(), s.Latency.Mean(), s.Overhead.Mean(), s.Waiting.Mean())
 }
 

@@ -130,6 +130,66 @@ func (p *Percolator) RunDemandFetch(tasks []Task) (Stats, error) {
 	return st, nil
 }
 
+// RunMigrated executes tasks with migration prestaging: instead of pulling
+// a copy of each task's data to the resource (Run), the object itself is
+// live-migrated to the resource locality ahead of the predicted parcel
+// burst, up to Depth objects ahead of the computation. After the burst the
+// data lives with the resource — follow-up accesses are local — which is
+// the AGAS-v2 flavor of percolation: the runtime moves data toward work
+// exactly as parcels move work toward data. With Depth == 0 it degenerates
+// to demand fetch.
+//
+// The objects must be owned by this node and wire-encodable when the
+// resource locality is hosted elsewhere (see Runtime.Migrate).
+func (p *Percolator) RunMigrated(tasks []Task) (Stats, error) {
+	if p.Depth == 0 {
+		return p.RunDemandFetch(tasks)
+	}
+	var st Stats
+	start := time.Now()
+	staged := make([]chan error, len(tasks))
+	for i := range staged {
+		staged[i] = make(chan error, 1)
+	}
+	// The ancillary mover: migrates task data toward the resource, at most
+	// Depth objects ahead of the consumer. window permits are released as
+	// the consumer retires tasks; done stops the mover when the consumer
+	// bails out early, so an error cannot leak the goroutine (or keep it
+	// migrating objects nobody will compute on).
+	window := make(chan struct{}, p.Depth)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for i := range tasks {
+			select {
+			case window <- struct{}{}:
+			case <-done:
+				return
+			}
+			staged[i] <- p.rt.Migrate(tasks[i].Data, p.Resource) // buffered: never blocks
+		}
+	}()
+	for i := range tasks {
+		fetchStart := time.Now()
+		if err := <-staged[i]; err != nil {
+			return st, err
+		}
+		// The object now lives here: the read resolves locally.
+		v := <-p.fetch(tasks[i])
+		<-window
+		if err, bad := v.(error); bad {
+			return st, err
+		}
+		st.StallTime += time.Since(fetchStart)
+		computeStart := time.Now()
+		tasks[i].Compute(v)
+		st.ComputeBusy += time.Since(computeStart)
+		st.Tasks++
+	}
+	st.Elapsed = time.Since(start)
+	return st, nil
+}
+
 // Run executes tasks with percolation: a staging pipeline keeps up to Depth
 // fetches in flight ahead of the computation, so transfer of task k+1..k+D
 // overlaps compute of task k. With Depth == 0 it behaves like demand fetch.

@@ -87,6 +87,47 @@ func TestPercolationBeatsDemandFetch(t *testing.T) {
 	}
 }
 
+func TestMigratedPrestageCompletesAndRelocates(t *testing.T) {
+	rt, tasks := testMachine(t, 200*time.Microsecond, 8)
+	p := New(rt, 0, 2)
+	st, err := p.RunMigrated(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tasks != 8 {
+		t.Fatalf("completed %d tasks", st.Tasks)
+	}
+	rt.Wait()
+	// Prestaging by migration leaves every object resident with the
+	// resource: the burst's data moved toward the work for good.
+	for i, task := range tasks {
+		owner, err := rt.AGAS().Owner(task.Data)
+		if err != nil || owner != 0 {
+			t.Fatalf("task %d data at L%d (%v), want resource L0", i, owner, err)
+		}
+		if _, ok := rt.LocalObject(0, task.Data); !ok {
+			t.Fatalf("task %d payload missing from the resource store", i)
+		}
+	}
+}
+
+func TestMigratedPrestageBeatsDemandFetch(t *testing.T) {
+	const lat = 500 * time.Microsecond
+	rtA, tasksA := testMachine(t, lat, 12)
+	demand, err := New(rtA, 0, 0).RunDemandFetch(tasksA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtB, tasksB := testMachine(t, lat, 12)
+	mig, err := New(rtB, 0, 3).RunMigrated(tasksB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(mig.Elapsed) > 0.9*float64(demand.Elapsed) {
+		t.Fatalf("migrated prestage %v not faster than demand %v", mig.Elapsed, demand.Elapsed)
+	}
+}
+
 func TestDepthZeroEqualsDemandFetch(t *testing.T) {
 	rt, tasks := testMachine(t, 100*time.Microsecond, 4)
 	st, err := New(rt, 0, 0).Run(tasks)
@@ -105,6 +146,17 @@ func TestFetchErrorPropagates(t *testing.T) {
 		Compute: func(v any) any { return nil },
 	}
 	if _, err := New(rt, 0, 1).Run([]Task{bad}); err == nil {
+		t.Fatal("unknown data GID did not error")
+	}
+}
+
+func TestMigratedPrestageErrorStopsMover(t *testing.T) {
+	rt, tasks := testMachine(t, time.Microsecond, 6)
+	// An unknown GID mid-stream errors the run; the mover goroutine must
+	// stop rather than leak (the runtime shutdown in t.Cleanup would
+	// deadlock against a leaked mover still issuing migrations).
+	tasks[2].Data = agas.GID{Home: 1, Kind: agas.KindData, Seq: 999999}
+	if _, err := New(rt, 0, 2).RunMigrated(tasks); err == nil {
 		t.Fatal("unknown data GID did not error")
 	}
 }

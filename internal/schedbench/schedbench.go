@@ -243,6 +243,54 @@ func FanOutFanIn(b *testing.B, width int) {
 	reportTaskRate(b, b.N*width)
 }
 
+// Migrate measures the live-migration round trip: one vector object
+// bounced between two localities b.N times while a chasing stream of
+// split-phase calls keeps the object busy, so every move pays the full
+// AGAS-v2 protocol — fence quiesce, parcel parking, directory commit,
+// cache repoint, and the forwarded hops of the chasers.
+func Migrate(b *testing.B, chasers int) {
+	rt := parallex.New(parallex.Config{Localities: 2, WorkersPerLocality: 2})
+	defer rt.Shutdown()
+	rt.MustRegisterAction("schedbench.touch", func(ctx *parallex.Context, target any, args *parallex.ArgsReader) (any, error) {
+		return int64(len(target.([]float64))), nil
+	})
+	obj := rt.NewDataAt(0, make([]float64, 128))
+	stop := make(chan struct{})
+	var chased sync.WaitGroup
+	for c := 0; c < chasers; c++ {
+		chased.Add(1)
+		go func(src int) {
+			defer chased.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				fut := rt.CallFrom(src, obj, "schedbench.touch", nil)
+				if _, err := fut.Get(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c % 2)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rt.Migrate(obj, 1-i%2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	chased.Wait()
+	rt.Wait()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "moves/s")
+	}
+	b.ReportMetric(float64(rt.SLOW().Parked.Value())/float64(b.N), "parked/move")
+}
+
 // TCPRing3 drives one continuation-chain lap around a three-node TCP
 // machine on loopback per iteration: the full stack — scheduler, parcel
 // codec, batched wire — under the distributed quiescence protocol.

@@ -1,7 +1,12 @@
 // Package transport moves opaque frames between the nodes of a
 // multi-process ParalleX machine. A node is one OS process hosting a
-// contiguous range of localities; the runtime layers parcel routing and
-// distributed quiescence on top of the frame service defined here.
+// contiguous range of localities; the runtime layers parcel routing,
+// distributed quiescence, and live object migration on top of the frame
+// service defined here. Frames are opaque — the runtime's kinds (parcels,
+// acks with piggybacked migration verdicts, MIGRATE payload pushes,
+// directory commits, drain probes) all ride the same service, so a
+// migration payload coalesces into the TCP transport's group-commit
+// batches exactly as parcels do.
 //
 // Two implementations are provided: an in-process loopback fabric for
 // deterministic tests (NewFabric) and a TCP transport carrying

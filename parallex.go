@@ -29,6 +29,9 @@ type (
 	GID = agas.GID
 	// Kind types a global name.
 	Kind = agas.Kind
+	// MovedError is a resolution verdict naming where a migrated object
+	// went; it wraps ErrMoved. See Runtime.Migrate.
+	MovedError = agas.MovedError
 
 	// Parcel is the message-driven unit of work movement.
 	Parcel = parcel.Parcel
@@ -103,7 +106,19 @@ const (
 	ActionNop           = core.ActionNop
 )
 
+// ErrMoved is the sentinel wrapped by MovedError: an object is no longer
+// where a resolver last knew it, and a forwarding pointer names the next
+// hop. The runtime re-routes parcels on it transparently; it surfaces
+// only to code inspecting AGAS resolution directly (Service.OwnerGen).
+var ErrMoved = agas.ErrMoved
+
 // New builds and starts a runtime. Callers must Shutdown when done.
+//
+// The returned Runtime exposes the full execution model: registering
+// actions (RegisterAction), installing named objects (NewDataAt and
+// friends), split-phase calls (CallFrom), live object migration to any
+// locality on any node (Migrate), affinity placement (NewDataNear,
+// MigrateWith), and machine-wide quiescence (Wait).
 func New(cfg Config) *Runtime { return core.New(cfg) }
 
 // NewParcel builds a parcel with a fresh ID.
