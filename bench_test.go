@@ -56,6 +56,27 @@ func BenchmarkSchedFanOutFanIn(b *testing.B) {
 	schedbench.FanOutFanIn(b, 64)
 }
 
+// BenchmarkSchedParcelFlood floods nop parcels across two localities
+// through the full post/route/encode/decode/dispatch path. Its allocs/op
+// is CI-gated: the pooled hot path must stay at least 50% below the
+// committed baseline (cmd/benchdiff -allocdrop).
+func BenchmarkSchedParcelFlood(b *testing.B) {
+	schedbench.ParcelFlood(b, 4)
+}
+
+// BenchmarkSchedParcelPingPong bounces one parcel rally between two
+// localities: per-parcel latency and allocation with nothing to hide it.
+// Also allocs/op-gated in CI.
+func BenchmarkSchedParcelPingPong(b *testing.B) {
+	schedbench.ParcelPingPong(b)
+}
+
+// BenchmarkWireRoundTrip isolates the parcel wire codec round trip as the
+// runtime drives it (reusable buffers, pooled parcels).
+func BenchmarkWireRoundTrip(b *testing.B) {
+	schedbench.WireRoundTrip(b)
+}
+
 // BenchmarkTCPRing3 runs one continuation-chain lap around a 3-node TCP
 // machine on loopback per iteration, exercising parcel batching end to
 // end.

@@ -6,15 +6,18 @@
 //
 // Typical CI use:
 //
-//	go test -bench . -benchtime 200ms -count 3 -run '^$' | tee bench.txt
+//	go test -bench . -benchmem -benchtime 200ms -count 3 -run '^$' | tee bench.txt
 //	go run ./cmd/benchdiff -parse bench.txt -out BENCH_$(date -u +%F).json \
 //	    -baseline BENCH_baseline.json -threshold 0.25 \
-//	    -speedup base=SchedPostDispatchMutex,opt=SchedPostDispatchDeques,min=2
+//	    -speedup base=SchedPostDispatchMutex,opt=SchedPostDispatchDeques,min=2 \
+//	    -allocdrop SchedParcelFlood=0.5,SchedParcelPingPong=0.5
 //
 // Absolute ns/op baselines are machine-class dependent: refresh
 // BENCH_baseline.json (commit the -out file) whenever the CI runner class
 // changes. The -speedup gate compares two benchmarks from the same run, so
-// it is machine-independent.
+// it is machine-independent — and so is -allocdrop: allocs/op is a
+// deterministic property of the code, so the allocation gates hold across
+// machine classes where the ns/op check would be noise.
 package main
 
 import (
@@ -33,6 +36,7 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline BENCH json to compare against")
 	threshold := flag.Float64("threshold", 0.25, "allowed ns/op regression fraction vs baseline")
 	speedup := flag.String("speedup", "", "required ratio, e.g. base=NameA,opt=NameB,min=2: ns/op(A) >= min*ns/op(B)")
+	allocdrop := flag.String("allocdrop", "", "required allocs/op drops vs baseline, e.g. NameA=0.5,NameB=0.5: allocs(NameA) <= 0.5*baseline")
 	flag.Parse()
 
 	if *parse == "" {
@@ -117,9 +121,88 @@ func main() {
 		}
 	}
 
+	if *allocdrop != "" {
+		if *baseline == "" {
+			fatal("benchdiff: -allocdrop needs -baseline")
+		}
+		base, err := benchio.ReadFile(*baseline)
+		if err != nil {
+			fatal("benchdiff: baseline: %v", err)
+		}
+		gates, err := parseAllocDrop(*allocdrop)
+		if err != nil {
+			fatal("benchdiff: %v", err)
+		}
+		for _, gate := range gates {
+			b, okB := base.Find(gate.name)
+			cur, okC := suite.Find(gate.name)
+			switch {
+			case !okB:
+				fmt.Printf("benchdiff: ALLOC GATE %s missing from %s — refresh the baseline\n",
+					gate.name, *baseline)
+				failed = true
+			case !okC:
+				fmt.Printf("benchdiff: ALLOC GATE %s missing from this run\n", gate.name)
+				failed = true
+			case !cur.AllocsMeasured:
+				// 0-because-unmeasured must not pass as 0-allocations.
+				fmt.Printf("benchdiff: ALLOC GATE %s has no allocs/op in this run — is -benchmem missing?\n",
+					gate.name)
+				failed = true
+			case b.AllocsPerOp <= 0:
+				// A zero-alloc baseline (the JSON omits the field for 0 —
+				// indistinguishable from an un-measured one) tightens the
+				// gate to its fixed point: the current run must also be
+				// allocation-free. This keeps "refresh the baseline from
+				// the CI artifact" safe after the pooled path hits zero.
+				if cur.AllocsPerOp > 0 {
+					fmt.Printf("benchdiff: ALLOC GATE %-28s baseline is 0 allocs/op, this run has %.1f\n",
+						gate.name, cur.AllocsPerOp)
+					failed = true
+				} else {
+					fmt.Printf("benchdiff: alloc drop %-28s 0 allocs/op held\n", gate.name)
+				}
+			case cur.AllocsPerOp > gate.frac*b.AllocsPerOp:
+				fmt.Printf("benchdiff: ALLOC GATE %-28s %6.1f -> %6.1f allocs/op, want <= %.1f (%.0f%% of baseline)\n",
+					gate.name, b.AllocsPerOp, cur.AllocsPerOp, gate.frac*b.AllocsPerOp, gate.frac*100)
+				failed = true
+			default:
+				fmt.Printf("benchdiff: alloc drop %-28s %6.1f -> %6.1f allocs/op (<= %.0f%% of baseline ok)\n",
+					gate.name, b.AllocsPerOp, cur.AllocsPerOp, gate.frac*100)
+			}
+		}
+	}
+
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// allocGate is one -allocdrop requirement: the named benchmark's current
+// allocs/op must not exceed frac of its baseline allocs/op.
+type allocGate struct {
+	name string
+	frac float64
+}
+
+// parseAllocDrop decodes "NameA=0.5,NameB=0.25".
+func parseAllocDrop(s string) ([]allocGate, error) {
+	var gates []allocGate
+	for _, part := range strings.Split(s, ",") {
+		name, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad -allocdrop element %q", part)
+		}
+		frac, err := strconv.ParseFloat(v, 64)
+		if err != nil || frac <= 0 || frac > 1 {
+			return nil, fmt.Errorf("bad -allocdrop fraction %q (want (0,1])", v)
+		}
+		gates = append(gates, allocGate{name: name, frac: frac})
+	}
+	if len(gates) == 0 {
+		return nil, fmt.Errorf("-allocdrop given but empty")
+	}
+	return gates, nil
 }
 
 // parseSpeedup decodes "base=A,opt=B,min=2.0".

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"strings"
 	"testing"
@@ -20,6 +21,7 @@ import (
 
 	"repro/internal/benchio"
 	"repro/internal/experiments"
+	"repro/internal/pprofserve"
 	"repro/internal/schedbench"
 )
 
@@ -37,6 +39,9 @@ func runSched(jsonPath string) {
 		{"SchedStealImbalance", func(b *testing.B) { schedbench.StealImbalance(b, 3) }},
 		{"SchedFanOutFanIn", func(b *testing.B) { schedbench.FanOutFanIn(b, 64) }},
 		{"SchedMigrate", func(b *testing.B) { schedbench.Migrate(b, 4) }},
+		{"SchedParcelFlood", func(b *testing.B) { schedbench.ParcelFlood(b, 4) }},
+		{"SchedParcelPingPong", schedbench.ParcelPingPong},
+		{"WireRoundTrip", schedbench.WireRoundTrip},
 		{"TCPRing3", schedbench.TCPRing3},
 	}
 	fmt.Printf("%-28s %12s %14s  extras\n", "benchmark", "iters", "ns/op")
@@ -50,9 +55,12 @@ func runSched(jsonPath string) {
 			os.Exit(1)
 		}
 		rec := benchio.Record{
-			Name:    bm.name,
-			Iters:   r.N,
-			NsPerOp: float64(r.T.Nanoseconds()) / float64(r.N),
+			Name:           bm.name,
+			Iters:          r.N,
+			NsPerOp:        float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:     float64(r.AllocedBytesPerOp()),
+			AllocsPerOp:    float64(r.AllocsPerOp()),
+			AllocsMeasured: true,
 		}
 		extras := make([]string, 0, len(r.Extra))
 		for unit, v := range r.Extra {
@@ -85,7 +93,10 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller parameters for a fast pass")
 	sched := flag.Bool("sched", false, "run the scheduler/wire microbenchmark suite instead of the experiments")
 	jsonOut := flag.String("json", "", "with -sched: also write results to this path (default BENCH_<date>.json)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = off")
 	flag.Parse()
+
+	pprofserve.Start(*pprofAddr, log.Printf)
 
 	if *sched {
 		path := *jsonOut

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	parallex "repro"
+	"repro/internal/pprofserve"
 )
 
 func main() {
@@ -40,7 +41,10 @@ func main() {
 	workload := flag.String("workload", "", "ping | ring | reduce | migrate (node 0 only; empty = serve until halt)")
 	iters := flag.Int("n", 100, "workload iterations")
 	workers := flag.Int("workers", 4, "workers per locality")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = off")
 	flag.Parse()
+
+	pprofserve.Start(*pprofAddr, log.Printf)
 
 	peerList := strings.Split(*peers, ",")
 	if *peers == "" || len(peerList) < 2 {

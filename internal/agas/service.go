@@ -11,30 +11,82 @@ import (
 // the object and the migration generation, which increases by one per
 // migration. Generations order the knowledge different nodes hold about a
 // name, so a stale "moved" verdict can never overwrite a newer one.
+// Entries are immutable once published — updates replace the pointer —
+// so lock-free readers never observe a half-written record.
 type entry struct {
 	owner int
 	gen   uint64
 }
 
 // directory is the authoritative GID→locality map for names homed at one
-// locality.
+// locality. Reads (the per-parcel resolve path) are lock-free sync.Map
+// loads of immutable *entry values; read-modify-write updates (migration
+// commits) serialize on mu, which plain inserts (Alloc) do not need.
 type directory struct {
-	mu      sync.RWMutex
-	entries map[GID]entry
+	mu      sync.Mutex // serializes Migrate/CommitMigration read-modify-writes
+	entries sync.Map   // GID -> *entry
+}
+
+// load is the lock-free read side.
+func (d *directory) load(g GID) (entry, bool) {
+	v, ok := d.entries.Load(g)
+	if !ok {
+		return entry{}, false
+	}
+	e := v.(*entry)
+	return *e, true
 }
 
 // cacheLine is one possibly-stale translation held by a locality, tagged
 // with the migration generation it was learned at (0 when the translation
-// is an unversioned route-toward-home guess).
+// is an unversioned route-toward-home guess). Immutable once published.
 type cacheLine struct {
 	owner int
 	gen   uint64
 }
 
 // translationCache is a locality's private, incoherent translation cache.
+// The hit path — one Load of an immutable *cacheLine — touches no locks;
+// fills happen once per (locality, name) and repair writes
+// (Invalidate/Repoint) ride sync.Map's compare-and-swap.
 type translationCache struct {
-	mu sync.RWMutex
-	m  map[GID]cacheLine
+	m sync.Map // GID -> *cacheLine
+}
+
+// cowEntries is a small read-mostly GID→entry table (the import and
+// forwarding tables): reads load an immutable map snapshot with no lock,
+// writes — migration-rate events — take the mutex, copy, and publish a
+// new snapshot.
+type cowEntries struct {
+	mu sync.Mutex
+	m  atomic.Pointer[map[GID]entry]
+}
+
+func newCOWEntries() *cowEntries {
+	c := &cowEntries{}
+	empty := map[GID]entry{}
+	c.m.Store(&empty)
+	return c
+}
+
+func (c *cowEntries) get(g GID) (entry, bool) {
+	m := *c.m.Load()
+	e, ok := m[g]
+	return e, ok
+}
+
+// mutate publishes a new snapshot produced by applying fn to a copy of
+// the current map.
+func (c *cowEntries) mutate(fn func(m map[GID]entry)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := *c.m.Load()
+	next := make(map[GID]entry, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	fn(next)
+	c.m.Store(&next)
 }
 
 // ErrMoved reports that an object is no longer where the resolver last
@@ -85,15 +137,14 @@ type Service struct {
 	ns     *Namespace
 
 	// imports: objects hosted by this node whose home locality is on
-	// another node (installed by an inbound migration).
-	impMu   sync.RWMutex
-	imports map[GID]entry
+	// another node (installed by an inbound migration). Copy-on-write:
+	// the per-parcel resolve path reads it lock-free.
+	imports *cowEntries
 
 	// forwards: objects that migrated away from this node while their home
 	// directory lives elsewhere. The entry names where the departing
-	// migration pushed them.
-	fwdMu    sync.RWMutex
-	forwards map[GID]entry
+	// migration pushed them. Copy-on-write like imports.
+	forwards *cowEntries
 
 	// lmap/selfNode are set when the service is one node of a multi-process
 	// machine. Directories for localities hosted by other nodes are then
@@ -120,14 +171,14 @@ func NewService(n int) *Service {
 	s := &Service{
 		n:        n,
 		ns:       NewNamespace(),
-		imports:  make(map[GID]entry),
-		forwards: make(map[GID]entry),
+		imports:  newCOWEntries(),
+		forwards: newCOWEntries(),
 	}
 	s.dirs = make([]*directory, n)
 	s.caches = make([]*translationCache, n)
 	for i := 0; i < n; i++ {
-		s.dirs[i] = &directory{entries: make(map[GID]entry)}
-		s.caches[i] = &translationCache{m: make(map[GID]cacheLine)}
+		s.dirs[i] = &directory{}
+		s.caches[i] = &translationCache{}
 	}
 	return s
 }
@@ -170,10 +221,7 @@ func (s *Service) Alloc(home int, kind Kind) GID {
 			home, s.lmap.NodeOf(home), s.selfNode))
 	}
 	g := GID{Home: uint32(home), Kind: kind, Seq: s.seq.Add(1)}
-	d := s.dirs[home]
-	d.mu.Lock()
-	d.entries[g] = entry{owner: home, gen: 1}
-	d.mu.Unlock()
+	s.dirs[home].entries.Store(g, &entry{owner: home, gen: 1})
 	return g
 }
 
@@ -198,10 +246,7 @@ func (s *Service) AllocHardware(home int) GID {
 		panic(fmt.Sprintf("agas: hardware name for locality %d registered off its node", home))
 	}
 	g := HardwareGID(home)
-	d := s.dirs[home]
-	d.mu.Lock()
-	d.entries[g] = entry{owner: home, gen: 1}
-	d.mu.Unlock()
+	s.dirs[home].entries.Store(g, &entry{owner: home, gen: 1})
 	return g
 }
 
@@ -244,19 +289,16 @@ func (s *Service) OwnerGen(g GID) (int, uint64, error) {
 	if home >= s.n {
 		return 0, 0, fmt.Errorf("agas: %v homed beyond machine (%d localities)", g, s.n)
 	}
-	if e, ok := s.importOf(g); ok {
+	if e, ok := s.imports.get(g); ok {
 		return e.owner, e.gen, nil
 	}
 	if !s.resident(home) {
-		if e, ok := s.forwardOf(g); ok {
+		if e, ok := s.forwards.get(g); ok {
 			return e.owner, e.gen, &MovedError{GID: g, To: e.owner, Gen: e.gen}
 		}
 		return home, 0, nil
 	}
-	d := s.dirs[home]
-	d.mu.RLock()
-	e, ok := d.entries[g]
-	d.mu.RUnlock()
+	e, ok := s.dirs[home].load(g)
 	if !ok {
 		return 0, 0, fmt.Errorf("agas: unknown name %v", g)
 	}
@@ -269,26 +311,42 @@ func (s *Service) OwnerGen(g GID) (int, uint64, error) {
 // next hop as a plain owner). The answer may be stale if the object has
 // since migrated; callers discover staleness when the presumed owner
 // misses the access, and then Invalidate and retry — the forwarding path
-// counted by Forwards.
+// counted by Forwards. A cache hit — the steady state of every parcel
+// send — is one lock-free load of an immutable line.
 func (s *Service) ResolveCached(from int, g GID) (int, error) {
 	s.checkLoc(from)
 	c := s.caches[from]
-	c.mu.RLock()
-	line, ok := c.m[g]
-	c.mu.RUnlock()
-	if ok {
+	if v, ok := c.m.Load(g); ok {
 		s.CacheHits.Add(1)
-		return line.owner, nil
+		return v.(*cacheLine).owner, nil
 	}
 	owner, gen, err := s.Locate(g)
 	if err != nil {
 		return 0, err
 	}
 	s.Resolutions.Add(1)
-	c.mu.Lock()
-	c.m[g] = cacheLine{owner: owner, gen: gen}
-	c.mu.Unlock()
+	c.store(g, owner, gen)
 	return owner, nil
+}
+
+// store publishes a translation, keeping the newest generation when lines
+// race: a concurrent writer with a newer verdict must not be overwritten
+// by this older answer.
+func (c *translationCache) store(g GID, owner int, gen uint64) {
+	line := &cacheLine{owner: owner, gen: gen}
+	for {
+		old, loaded := c.m.LoadOrStore(g, line)
+		if !loaded {
+			return
+		}
+		o := old.(*cacheLine)
+		if o.gen >= gen {
+			return
+		}
+		if c.m.CompareAndSwap(g, old, line) {
+			return
+		}
+	}
 }
 
 // ResolveAuthoritative translates g for locality from directly against
@@ -304,12 +362,7 @@ func (s *Service) ResolveAuthoritative(from int, g GID) (int, uint64, error) {
 		return 0, 0, err
 	}
 	s.Resolutions.Add(1)
-	c := s.caches[from]
-	c.mu.Lock()
-	if line, ok := c.m[g]; !ok || line.gen < gen {
-		c.m[g] = cacheLine{owner: owner, gen: gen}
-	}
-	c.mu.Unlock()
+	s.caches[from].store(g, owner, gen)
 	return owner, gen, nil
 }
 
@@ -317,10 +370,7 @@ func (s *Service) ResolveAuthoritative(from int, g GID) (int, uint64, error) {
 // next ResolveCached to consult the home directory. It records a forward.
 func (s *Service) Invalidate(from int, g GID) {
 	s.checkLoc(from)
-	c := s.caches[from]
-	c.mu.Lock()
-	delete(c.m, g)
-	c.mu.Unlock()
+	s.caches[from].m.Delete(g)
 	s.Forwards.Add(1)
 }
 
@@ -331,11 +381,15 @@ func (s *Service) Invalidate(from int, g GID) {
 // from interleaved migrations converge on the newest generation.
 func (s *Service) Repoint(g GID, owner int, gen uint64) {
 	for _, c := range s.caches {
-		c.mu.Lock()
-		if line, ok := c.m[g]; ok && line.gen < gen {
-			c.m[g] = cacheLine{owner: owner, gen: gen}
+		for {
+			old, ok := c.m.Load(g)
+			if !ok || old.(*cacheLine).gen >= gen {
+				break
+			}
+			if c.m.CompareAndSwap(g, old, &cacheLine{owner: owner, gen: gen}) {
+				break
+			}
 		}
-		c.mu.Unlock()
 	}
 }
 
@@ -357,13 +411,11 @@ func (s *Service) Migrate(g GID, to int) error {
 	d := s.dirs[home]
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	e, ok := d.entries[g]
+	e, ok := d.load(g)
 	if !ok {
 		return fmt.Errorf("agas: migrate of unknown name %v", g)
 	}
-	e.owner = to
-	e.gen++
-	d.entries[g] = e
+	d.entries.Store(g, &entry{owner: to, gen: e.gen + 1})
 	return nil
 }
 
@@ -384,12 +436,12 @@ func (s *Service) CommitMigration(g GID, to int, gen uint64) error {
 	d := s.dirs[home]
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	e, ok := d.entries[g]
+	e, ok := d.load(g)
 	if !ok {
 		return fmt.Errorf("agas: migration commit for unknown name %v", g)
 	}
 	if gen > e.gen {
-		d.entries[g] = entry{owner: to, gen: gen}
+		d.entries.Store(g, &entry{owner: to, gen: gen})
 	}
 	return nil
 }
@@ -399,24 +451,22 @@ func (s *Service) CommitMigration(g GID, to int, gen uint64) error {
 // loc locally instead of bouncing back toward the home directory.
 func (s *Service) SetImport(g GID, loc int, gen uint64) {
 	s.checkLoc(loc)
-	s.impMu.Lock()
-	s.imports[g] = entry{owner: loc, gen: gen}
-	s.impMu.Unlock()
+	s.imports.mutate(func(m map[GID]entry) {
+		m[g] = entry{owner: loc, gen: gen}
+	})
 }
 
 // DropImport removes the import record for g (the object migrated away or
-// was freed). It is idempotent.
+// was freed). It is idempotent, and free for names never imported — the
+// overwhelmingly common case (every consumed call future is freed) skips
+// the copy-on-write publish on a lock-free miss.
 func (s *Service) DropImport(g GID) {
-	s.impMu.Lock()
-	delete(s.imports, g)
-	s.impMu.Unlock()
-}
-
-func (s *Service) importOf(g GID) (entry, bool) {
-	s.impMu.RLock()
-	e, ok := s.imports[g]
-	s.impMu.RUnlock()
-	return e, ok
+	if _, ok := s.imports.get(g); !ok {
+		return
+	}
+	s.imports.mutate(func(m map[GID]entry) {
+		delete(m, g)
+	})
 }
 
 // SetForward leaves a forwarding pointer: g migrated away from this node
@@ -425,32 +475,29 @@ func (s *Service) importOf(g GID) (entry, bool) {
 // hop instead of detouring through the home directory.
 func (s *Service) SetForward(g GID, to int, gen uint64) {
 	s.checkLoc(to)
-	s.fwdMu.Lock()
-	if e, ok := s.forwards[g]; !ok || e.gen < gen {
-		s.forwards[g] = entry{owner: to, gen: gen}
-	}
-	s.fwdMu.Unlock()
+	s.forwards.mutate(func(m map[GID]entry) {
+		if e, ok := m[g]; !ok || e.gen < gen {
+			m[g] = entry{owner: to, gen: gen}
+		}
+	})
 }
 
 // Forward reports the forwarding pointer for g, if this node left one.
 func (s *Service) Forward(g GID) (to int, gen uint64, ok bool) {
-	e, ok := s.forwardOf(g)
+	e, ok := s.forwards.get(g)
 	return e.owner, e.gen, ok
 }
 
 // DropForward removes the forwarding pointer for g (the object came back,
-// or was freed machine-wide). It is idempotent.
+// or was freed machine-wide). It is idempotent; like DropImport, a
+// lock-free miss skips the copy-on-write publish.
 func (s *Service) DropForward(g GID) {
-	s.fwdMu.Lock()
-	delete(s.forwards, g)
-	s.fwdMu.Unlock()
-}
-
-func (s *Service) forwardOf(g GID) (entry, bool) {
-	s.fwdMu.RLock()
-	e, ok := s.forwards[g]
-	s.fwdMu.RUnlock()
-	return e, ok
+	if _, ok := s.forwards.get(g); !ok {
+		return
+	}
+	s.forwards.mutate(func(m map[GID]entry) {
+		delete(m, g)
+	})
 }
 
 // Free removes g from its home directory, import table, and forwarding
@@ -463,9 +510,13 @@ func (s *Service) Free(g GID) {
 	if home >= s.n || !s.resident(home) {
 		return
 	}
+	// The delete serializes with Migrate/CommitMigration's read-modify-
+	// write on the same mutex: otherwise a concurrent migration that
+	// loaded the entry before this free could re-publish it afterwards,
+	// resurrecting the freed name in the directory.
 	d := s.dirs[home]
 	d.mu.Lock()
-	delete(d.entries, g)
+	d.entries.Delete(g)
 	d.mu.Unlock()
 }
 
@@ -479,15 +530,12 @@ func (s *Service) Generation(g GID) (uint64, error) {
 		return 0, fmt.Errorf("agas: %v homed beyond machine", g)
 	}
 	if !s.resident(home) {
-		if e, ok := s.importOf(g); ok {
+		if e, ok := s.imports.get(g); ok {
 			return e.gen, nil
 		}
 		return 0, fmt.Errorf("agas: generation of %v only known to its home node", g)
 	}
-	d := s.dirs[home]
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	e, ok := d.entries[g]
+	e, ok := s.dirs[home].load(g)
 	if !ok {
 		return 0, fmt.Errorf("agas: unknown name %v", g)
 	}

@@ -31,6 +31,13 @@ type Record struct {
 	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
 	Extra       map[string]float64 `json:"extra,omitempty"`
+
+	// AllocsMeasured records whether an allocs/op figure was present at
+	// all (the JSON field omits zeros, so AllocsPerOp==0 alone cannot
+	// distinguish "zero allocations" from "not run with -benchmem").
+	// Set by ParseGoBench and in-process producers; never serialized, so
+	// it is false on records loaded from a baseline file.
+	AllocsMeasured bool `json:"-"`
 }
 
 // Suite is the BENCH_<date>.json document.
@@ -128,6 +135,7 @@ func ParseGoBench(r io.Reader) (*Suite, error) {
 				rec.BytesPerOp = v
 			case "allocs/op":
 				rec.AllocsPerOp = v
+				rec.AllocsMeasured = true
 			default:
 				if rec.Extra == nil {
 					rec.Extra = map[string]float64{}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/agas"
 	"repro/internal/lco"
@@ -13,38 +14,115 @@ import (
 // target is the object named by the parcel's destination GID (resolved from
 // the executing locality's store). The returned value feeds the parcel's
 // continuation, if any.
+//
+// ctx and args are pooled dispatch scratch: they are valid only until the
+// action returns and must not be retained (by a spawned goroutine, a
+// stored closure, or an LCO). Anything an action wants to keep it copies
+// out — args.Bytes and friends already return copies — and follow-on work
+// travels as a parcel or via ctx.Spawn, per the model.
 type ActionFunc func(ctx *Context, target any, args *parcel.Reader) (any, error)
+
+// actionSet is one immutable snapshot of the registry: dense 1-based IDs
+// in registration order, so dispatch is a slice index and the ID order is
+// identical on every node that registers the same actions in the same
+// order (the multi-node contract: registration happens in Config.Register
+// before the transport starts).
+type actionSet struct {
+	byName map[string]uint32 // name -> 1-based dense ID
+	fns    []ActionFunc      // fns[id-1]
+	names  []string          // names[id-1], the canonical interned strings
+}
 
 // actionRegistry maps action names to bodies. Actions are first-class in
 // the model: their names travel in parcels and can be bound in the global
-// namespace.
+// namespace. Reads are lock-free — the per-parcel dispatch path loads an
+// immutable copy-on-write snapshot — while registration (a startup-time
+// operation) serializes on a mutex and publishes a new snapshot.
 type actionRegistry struct {
-	mu sync.RWMutex
-	m  map[string]ActionFunc
+	mu  sync.Mutex // serializes register; never taken by readers
+	set atomic.Pointer[actionSet]
 }
 
 func newActionRegistry() *actionRegistry {
-	return &actionRegistry{m: make(map[string]ActionFunc)}
+	a := &actionRegistry{}
+	a.set.Store(&actionSet{byName: map[string]uint32{}})
+	return a
 }
 
 func (a *actionRegistry) register(name string, fn ActionFunc) error {
 	if name == "" || fn == nil {
 		return fmt.Errorf("core: action needs a name and a body")
 	}
+	if len(name) > parcel.MaxInternString {
+		return fmt.Errorf("core: action name of %d bytes exceeds wire limit %d", len(name), parcel.MaxInternString)
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if _, dup := a.m[name]; dup {
+	old := a.set.Load()
+	if _, dup := old.byName[name]; dup {
 		return fmt.Errorf("core: action %q already registered", name)
 	}
-	a.m[name] = fn
+	next := &actionSet{
+		byName: make(map[string]uint32, len(old.byName)+1),
+		fns:    append(append([]ActionFunc(nil), old.fns...), fn),
+		names:  append(append([]string(nil), old.names...), name),
+	}
+	for k, v := range old.byName {
+		next.byName[k] = v
+	}
+	next.byName[name] = uint32(len(next.fns)) // 1-based
+	a.set.Store(next)
 	return nil
 }
 
-func (a *actionRegistry) lookup(name string) (ActionFunc, bool) {
-	a.mu.RLock()
-	fn, ok := a.m[name]
-	a.mu.RUnlock()
-	return fn, ok
+// lookup resolves an action name to its body and dense ID, lock-free.
+func (a *actionRegistry) lookup(name string) (ActionFunc, uint32, bool) {
+	s := a.set.Load()
+	id, ok := s.byName[name]
+	if !ok {
+		return nil, parcel.NoAID, false
+	}
+	return s.fns[id-1], id, true
+}
+
+// byID resolves a dense action ID to its body, lock-free. IDs come from
+// lookup or an interned wire decode, so an in-range ID is always valid.
+func (a *actionRegistry) byID(id uint32) (ActionFunc, bool) {
+	s := a.set.Load()
+	if id == parcel.NoAID || int(id) > len(s.fns) {
+		return nil, false
+	}
+	return s.fns[id-1], true
+}
+
+// snapshot returns the current immutable action set; names are in dense
+// ID order (names[i] has ID i+1). The distributed layer announces this
+// prefix to peers as its interning table.
+func (a *actionRegistry) snapshot() *actionSet { return a.set.Load() }
+
+// actionSet implements parcel.Table for the in-process serialized path:
+// encoder and decoder share the registry, so wire positions are simply
+// dense IDs shifted to 0-based. Snapshots are append-only — a position
+// interned against an older snapshot resolves identically against every
+// later one — so encode and decode may legally observe different
+// snapshots of one registry.
+
+// IDOf reports the 0-based wire position of a registered action name.
+func (s *actionSet) IDOf(name string) (uint32, bool) {
+	id, ok := s.byName[name]
+	if !ok {
+		return 0, false
+	}
+	return id - 1, true
+}
+
+// ActionOf resolves a 0-based wire position to the interned name and its
+// 1-based dense dispatch ID.
+func (s *actionSet) ActionOf(id uint32) (string, uint32, bool) {
+	if int(id) >= len(s.names) {
+		return "", parcel.NoAID, false
+	}
+	return s.names[id], id + 1, true
 }
 
 // RegisterAction installs a named action. Registration must happen before

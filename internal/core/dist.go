@@ -30,6 +30,7 @@ const (
 	fMigrateOK  = byte(9)  // migrate push outcome: u64 xid | u8 ok | str error
 	fDirUpdate  = byte(10) // home-directory commit request: u64 xid | gid | u32 owner | u64 gen
 	fDirOK      = byte(11) // commit outcome: u64 xid | u8 ok | str error
+	fParcelI    = byte(12) // parcel in the interned-action wire form (see intern.go)
 )
 
 // distState is the runtime's view of the multi-node machine: the frame
@@ -50,8 +51,15 @@ type distState struct {
 	lmap *agas.LocalityMap
 	home int // first resident locality; anchors failure accounting
 
-	sent atomic.Int64 // fParcel frames sent (successfully handed to the transport)
-	recv atomic.Int64 // fParcel frames received
+	sent atomic.Int64 // parcel frames sent (successfully handed to the transport)
+	recv atomic.Int64 // parcel frames received
+
+	// intern carries the per-peer action tables; internedSent/internedRecv
+	// count fParcelI traffic (observability, and the mixed-mode tests'
+	// assertion that interning actually engaged).
+	intern       *internState
+	internedSent atomic.Uint64
+	internedRecv atomic.Uint64
 
 	drainMu  sync.Mutex
 	drainSeq uint64
@@ -69,6 +77,11 @@ type distState struct {
 	haltOnce sync.Once
 	halt     chan struct{}
 }
+
+// ackFrame is the plain per-parcel receipt, shared across sends — both
+// transports copy frames before Send returns, so the receive path acks
+// without allocating.
+var ackFrame = []byte{fAck}
 
 // rpcReply is the outcome of one migration frame exchange.
 type rpcReply struct {
@@ -89,6 +102,7 @@ func newDistState(r *Runtime, tr transport.Transport, node int, lmap *agas.Local
 		node:     node,
 		lmap:     lmap,
 		home:     lmap.NodeRange(node).Lo,
+		intern:   newInternState(tr.Nodes()),
 		drains:   make(map[uint64]chan drainReply),
 		departed: make(map[int]drainReply),
 		rpc:      make(map[uint64]chan rpcReply),
@@ -105,7 +119,10 @@ func (d *distState) onFrame(from int, frame []byte) {
 	}
 	switch frame[0] {
 	case fParcel:
-		d.onParcel(from, frame[1:])
+		d.onParcel(from, frame[1:], false)
+	case fParcelI:
+		d.internedRecv.Add(1)
+		d.onParcel(from, frame[1:], true)
 	case fAck:
 		d.rt.doneWork()
 	case fAckMoved:
@@ -148,9 +165,20 @@ func (d *distState) onFrame(from int, frame []byte) {
 // — it departed by migration, or the home directory here names another
 // node — the acknowledgement carries a piggybacked "moved" verdict so the
 // stale sender repoints its caches before its next parcel.
-func (d *distState) onParcel(from int, body []byte) {
+//
+// The parcel decodes into a pooled value that owns its bytes (body is the
+// transport's reused read buffer); ownership then flows down the delivery
+// path, which releases it when dispatch completes.
+func (d *distState) onParcel(from int, body []byte, interned bool) {
 	d.recv.Add(1)
-	p, rest, err := parcel.Decode(body)
+	var p *parcel.Parcel
+	var rest []byte
+	var err error
+	if interned {
+		p, rest, err = parcel.DecodePooledInterned(body, d.decodeTableFor(from))
+	} else {
+		p, rest, err = parcel.DecodePooled(body)
+	}
 	if err == nil && len(rest) != 0 {
 		err = fmt.Errorf("core: %d trailing bytes after parcel", len(rest))
 	}
@@ -165,6 +193,7 @@ func (d *distState) onParcel(from int, body []byte) {
 	}
 	d.ackParcel(from, p != nil, g, owner, gen, rerr)
 	if err != nil {
+		parcel.Release(p)
 		d.rt.recordError(fmt.Errorf("core: bad parcel frame from node %d: %w", from, err))
 		return
 	}
@@ -223,7 +252,9 @@ func (d *distState) sendRetry(node int, frame []byte) error {
 // resolved is false for an undecodable frame, which gets a plain receipt;
 // (owner, gen, err) is onParcel's single resolution of destination g.
 func (d *distState) ackParcel(node int, resolved bool, g agas.GID, owner int, gen uint64, err error) {
-	frame := []byte{fAck}
+	// Transports copy the frame synchronously, so the plain receipt is a
+	// shared constant — no allocation per received parcel.
+	frame := ackFrame
 	// gen 0 is an unversioned route-toward-home guess, not knowledge
 	// worth teaching the sender.
 	if resolved && err == nil && gen > 0 && d.lmap.NodeOf(owner) != d.node {
@@ -241,32 +272,56 @@ func (d *distState) ackParcel(node int, resolved bool, g agas.GID, owner int, ge
 	}
 }
 
+// decodeMovedVerdict parses the body of an fAckMoved frame:
+// gid | u32 owner | u64 gen.
+func decodeMovedVerdict(body []byte) (g agas.GID, owner int, gen uint64, ok bool) {
+	g, rest, err := agas.DecodeGID(body)
+	if err != nil || len(rest) != 12 {
+		return agas.Nil, 0, 0, false
+	}
+	owner = int(int32(binary.LittleEndian.Uint32(rest[0:4])))
+	gen = binary.LittleEndian.Uint64(rest[4:12])
+	return g, owner, gen, true
+}
+
 // onMovedVerdict applies a piggybacked migration verdict to this node's
 // translation caches.
 func (d *distState) onMovedVerdict(body []byte) {
-	g, rest, err := agas.DecodeGID(body)
-	if err != nil || len(rest) < 12 {
-		return
-	}
-	owner := int(binary.LittleEndian.Uint32(rest[0:4]))
-	gen := binary.LittleEndian.Uint64(rest[4:12])
-	if owner < 0 || owner >= d.rt.Localities() {
+	g, owner, gen, ok := decodeMovedVerdict(body)
+	if !ok || owner < 0 || owner >= d.rt.Localities() {
 		return
 	}
 	d.rt.agas.Repoint(g, owner, gen)
 }
 
-// sendParcel ships p to node. The caller's work unit for p stays charged
-// until the peer acknowledges; on transport failure the parcel fails
-// locally (parcels are at-most-once, as on the modelled network).
+// sendParcel ships p to node, interned when the peer understands it. The
+// caller's work unit for p stays charged until the peer acknowledges; on
+// transport failure the parcel fails locally (parcels are at-most-once,
+// as on the modelled network). sendParcel consumes p: the encode buffer
+// returns to its pool once the transport has taken the bytes, and the
+// parcel itself is released unless it was recycled into the failure path.
 func (d *distState) sendParcel(node, src int, p *parcel.Parcel) {
-	frame := p.Encode([]byte{fParcel})
+	w := parcel.GetWire()
+	// A name too long for the interned form (necessarily unregistered —
+	// the peer will fail the parcel gracefully) rides the plain format,
+	// which every node understands.
+	if t := d.encodeTableFor(node); t != nil && p.InternEncodable() {
+		w.B = append(w.B, fParcelI)
+		w.B = p.EncodeInterned(w.B, t)
+		d.internedSent.Add(1)
+	} else {
+		w.B = append(w.B, fParcel)
+		w.B = p.Encode(w.B)
+	}
 	d.sent.Add(1)
-	if err := d.sendRetry(node, frame); err != nil {
+	err := d.sendRetry(node, w.B)
+	parcel.PutWire(w) // Send has copied the bytes (batch buffer or socket)
+	if err != nil {
 		d.sent.Add(-1)
 		d.rt.deliverFailure(src, p, fmt.Errorf("core: transport to node %d: %w", node, err))
 		return
 	}
+	parcel.Release(p)
 	d.rt.slow.ParcelsSent.Inc()
 }
 
@@ -433,19 +488,29 @@ func (d *distState) onDirUpdate(from int, body []byte) {
 	d.replyOutcome(from, fDirOK, xid, commit())
 }
 
-// onRPCReply resolves the waiter for a migration exchange verdict.
-func (d *distState) onRPCReply(body []byte) {
+// decodeOutcome parses the body of an fMigrateOK/fDirOK frame:
+// u64 xid | u8 ok | (when not ok) u16 len | error message.
+func decodeOutcome(body []byte) (xid uint64, rep rpcReply, ok bool) {
 	if len(body) < 9 {
-		return
+		return 0, rpcReply{}, false
 	}
-	xid := binary.LittleEndian.Uint64(body[0:8])
+	xid = binary.LittleEndian.Uint64(body[0:8])
 	rest := body[8:]
-	rep := rpcReply{ok: rest[0] == 1}
+	rep.ok = rest[0] == 1
 	if !rep.ok && len(rest) >= 3 {
 		n := int(binary.LittleEndian.Uint16(rest[1:3]))
 		if n <= len(rest)-3 {
 			rep.msg = string(rest[3 : 3+n])
 		}
+	}
+	return xid, rep, true
+}
+
+// onRPCReply resolves the waiter for a migration exchange verdict.
+func (d *distState) onRPCReply(body []byte) {
+	xid, rep, valid := decodeOutcome(body)
+	if !valid {
+		return
 	}
 	d.rpcMu.Lock()
 	ch, ok := d.rpc[xid]
@@ -472,17 +537,25 @@ func (d *distState) replyDrain(to int, seq uint64) {
 	}
 }
 
-func (d *distState) onDrainReply(from int, body []byte) {
+// decodeDrainReply parses the body of an fDrainReply frame:
+// u64 seq | i64 pending | u64 sent | u64 recv.
+func decodeDrainReply(from int, body []byte) (seq uint64, rep drainReply, ok bool) {
 	if len(body) < 32 {
-		return
+		return 0, drainReply{}, false
 	}
-	rep := drainReply{
+	return binary.LittleEndian.Uint64(body[0:8]), drainReply{
 		node:    from,
 		pending: int64(binary.LittleEndian.Uint64(body[8:16])),
 		sent:    binary.LittleEndian.Uint64(body[16:24]),
 		recv:    binary.LittleEndian.Uint64(body[24:32]),
+	}, true
+}
+
+func (d *distState) onDrainReply(from int, body []byte) {
+	seq, rep, valid := decodeDrainReply(from, body)
+	if !valid {
+		return
 	}
-	seq := binary.LittleEndian.Uint64(body[0:8])
 	d.drainMu.Lock()
 	ch, ok := d.drains[seq]
 	d.drainMu.Unlock()

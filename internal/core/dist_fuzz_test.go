@@ -1,0 +1,47 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/agas"
+)
+
+// FuzzDistControlDecoders feeds the distributed layer's hand-rolled
+// binary decoders — the migration frame header, moved verdicts, RPC
+// outcomes, drain replies, and handshake hellos — arbitrary bytes. They
+// consume untrusted socket data, so they must never panic, and any
+// accepted input must re-encode to a form that decodes identically.
+func FuzzDistControlDecoders(f *testing.F) {
+	g := agas.GID{Home: 3, Kind: agas.KindData, Seq: 99}
+	f.Add(encodeMigHeader(fMigrate, 7, g, 2, 5, 0))
+	f.Add(append(encodeMigHeader(fDirUpdate, 1, g, 0, 1, 4), 0xde, 0xad, 0xbe, 0xef))
+	f.Add(internHello([]string{"px.lco.set", "app.frob"}))
+	f.Add(internHello(nil))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Add(bytes.Repeat([]byte{0x00}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Migration header: accepted inputs must survive a re-encode.
+		if xid, g, loc, gen, rest, ok := decodeMigHeader(data); ok {
+			re := append(encodeMigHeader(fMigrate, xid, g, loc, gen, len(rest)), rest...)
+			xid2, g2, loc2, gen2, rest2, ok2 := decodeMigHeader(re[1:])
+			if !ok2 || xid2 != xid || g2 != g || loc2 != loc || gen2 != gen || !bytes.Equal(rest2, rest) {
+				t.Fatalf("migration header did not round trip: %v %v %d %d", g, g2, loc, loc2)
+			}
+		}
+		// The remaining decoders just must not panic or over-read.
+		decodeMovedVerdict(data)
+		if xid, rep, ok := decodeOutcome(data); ok && !rep.ok && len(rep.msg) > len(data) {
+			t.Fatalf("outcome %d message longer than input", xid)
+		}
+		decodeDrainReply(1, data)
+		if names, can, err := parseHello(data); err == nil && can {
+			// Accepted hellos re-encode canonically.
+			names2, can2, err2 := parseHello(internHello(names))
+			if err2 != nil || !can2 || len(names2) != len(names) {
+				t.Fatalf("hello did not round trip: %v vs %v (%v)", names, names2, err2)
+			}
+		}
+	})
+}

@@ -42,8 +42,34 @@ type objFence struct {
 }
 
 type fenceShard struct {
-	mu sync.Mutex
-	m  map[agas.GID]*objFence
+	mu   sync.Mutex
+	m    map[agas.GID]*objFence
+	free []*objFence // recycled fences: enter/exit churns one per dispatch
+}
+
+// get reuses a recycled fence or allocates one; callers hold the shard
+// lock.
+func (s *fenceShard) get() *objFence {
+	if n := len(s.free); n > 0 {
+		f := s.free[n-1]
+		s.free = s.free[:n-1]
+		return f
+	}
+	return &objFence{}
+}
+
+// put recycles an idle fence; callers hold the shard lock. The freelist is
+// bounded: steady state needs about one fence per concurrently executing
+// parcel per shard.
+func (s *fenceShard) put(f *objFence) {
+	if len(s.free) >= 64 {
+		return
+	}
+	f.active = 0
+	f.migrating = false
+	f.parked = f.parked[:0]
+	f.idle = nil
+	s.free = append(s.free, f)
 }
 
 // fenceTable is the per-runtime set of object fences. Entries exist only
@@ -75,7 +101,7 @@ func (t *fenceTable) enter(g agas.GID, loc int, p *parcel.Parcel) bool {
 	defer s.mu.Unlock()
 	f := s.m[g]
 	if f == nil {
-		f = &objFence{}
+		f = s.get()
 		s.m[g] = f
 	}
 	if f.migrating {
@@ -100,6 +126,7 @@ func (t *fenceTable) exit(g agas.GID) {
 			}
 		} else {
 			delete(s.m, g)
+			s.put(f)
 		}
 	}
 	s.mu.Unlock()
@@ -114,7 +141,7 @@ func (t *fenceTable) close(g agas.GID) {
 	s.mu.Lock()
 	f := s.m[g]
 	if f == nil {
-		f = &objFence{}
+		f = s.get()
 		s.m[g] = f
 	}
 	f.migrating = true

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/parcel"
+	"repro/internal/transport"
+)
+
+// Cross-node action interning. Spelling action names out on the wire
+// costs a string allocation per parcel (plus one per continuation) on
+// every receive. Instead, each interning-capable node announces its dense
+// action table — the registry snapshot taken when the transport starts —
+// inside the transport handshake hello. Because the hello precedes every
+// frame on a connection and is re-announced on reconnect, a receiver
+// always holds the sender's table before the first interned frame
+// arrives, with no extra round trips or ordering protocol.
+//
+// A node sends interned frames (fParcelI) only to peers whose hello
+// announced the interning capability; everyone else — including nodes
+// running with Config.DisableActionInterning, which announce an empty
+// hello and ignore the ones they receive — is spoken to in the plain
+// string form, so mixed-mode machines interoperate. Actions registered
+// after the transport started fall outside the announced prefix and are
+// spelled out inside interned frames (the codec degrades per reference,
+// see parcel.EncodeInterned).
+
+// Hello payload wire form: u8 version | u8 flags | u32 count |
+// count × (u16 len | name bytes).
+const (
+	helloVersion    = 1
+	helloFlagIntern = 1 << 0
+
+	// maxInternActions bounds the announced table by entry count, and
+	// helloPrefix additionally bounds it by encoded bytes (the transport
+	// caps handshake payloads at transport.MaxHello). Both are enforced
+	// at announce time — announce freezes exactly the prefix internHello
+	// encodes, so sender and receiver always agree — and the count is
+	// checked symmetrically in parseHello. Actions past either cap simply
+	// travel in string form; interning is an optimization, never a
+	// startup failure.
+	maxInternActions = 1 << 16
+)
+
+// helloPrefix reports how many of names (in order) fit the announced
+// table's count and byte budgets.
+func helloPrefix(names []string) int {
+	n := len(names)
+	if n > maxInternActions {
+		n = maxInternActions
+	}
+	size := 6
+	for i := 0; i < n; i++ {
+		size += 2 + len(names[i])
+		if size > transport.MaxHello {
+			return i
+		}
+	}
+	return n
+}
+
+// internHello encodes this node's announcement of the given action names
+// (in dense ID order), truncated to the helloPrefix budgets.
+func internHello(names []string) []byte {
+	names = names[:helloPrefix(names)]
+	size := 6
+	for _, n := range names {
+		size += 2 + len(n)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, helloVersion, helloFlagIntern)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(names)))
+	for _, n := range names {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(n)))
+		buf = append(buf, n...)
+	}
+	return buf
+}
+
+// parseHello decodes a peer announcement. An empty payload — a node
+// without interning, or a transport without hello support — is valid and
+// means "strings only". Unknown future versions are tolerated the same
+// way rather than rejected: the capability is an optimization, not a
+// correctness requirement.
+func parseHello(payload []byte) (names []string, canIntern bool, err error) {
+	if len(payload) == 0 {
+		return nil, false, nil
+	}
+	if len(payload) > transport.MaxHello {
+		// Defense in depth: transports already cap handshake payloads, so
+		// anything larger is corrupt. Bounding here also keeps accepted
+		// hellos inside the same byte budget internHello encodes to.
+		return nil, false, fmt.Errorf("core: %d-byte hello exceeds limit %d", len(payload), transport.MaxHello)
+	}
+	if payload[0] != helloVersion {
+		return nil, false, nil
+	}
+	if len(payload) < 6 {
+		return nil, false, fmt.Errorf("core: short hello payload (%d bytes)", len(payload))
+	}
+	flags := payload[1]
+	count := int(binary.LittleEndian.Uint32(payload[2:6]))
+	src := payload[6:]
+	if count > maxInternActions {
+		return nil, false, fmt.Errorf("core: hello announces %d actions, limit %d", count, maxInternActions)
+	}
+	names = make([]string, 0, count)
+	for i := 0; i < count; i++ {
+		if len(src) < 2 {
+			return nil, false, fmt.Errorf("core: hello truncated at action %d", i)
+		}
+		n := int(binary.LittleEndian.Uint16(src))
+		src = src[2:]
+		if len(src) < n {
+			return nil, false, fmt.Errorf("core: hello action %d truncated", i)
+		}
+		names = append(names, string(src[:n]))
+		src = src[n:]
+	}
+	if len(src) != 0 {
+		return nil, false, fmt.Errorf("core: %d trailing hello bytes", len(src))
+	}
+	return names, flags&helloFlagIntern != 0, nil
+}
+
+// senderTable is the parcel.Table used when encoding toward a peer: it
+// covers exactly the prefix of the local registry this node announced at
+// transport start, so a position is meaningful to every peer that heard
+// the announcement.
+type senderTable struct {
+	set *actionSet
+	n   int
+}
+
+// IDOf reports the 0-based wire position of name within the announced
+// prefix.
+func (t *senderTable) IDOf(name string) (uint32, bool) {
+	id, ok := t.set.byName[name] // 1-based dense ID
+	if !ok || int(id) > t.n {
+		return 0, false
+	}
+	return id - 1, true
+}
+
+// ActionOf is the decode half, unused on the sender side.
+func (t *senderTable) ActionOf(uint32) (string, uint32, bool) { return "", parcel.NoAID, false }
+
+// recvTable is the parcel.Table used when decoding a peer's interned
+// frames: position → the peer's announced name, pre-resolved to the local
+// dense ID where the action is registered here too. Immutable once
+// published, so decodes read it without locks.
+type recvTable struct {
+	names []string
+	aids  []uint32
+}
+
+// IDOf is the encode half, unused on the receiver side.
+func (t *recvTable) IDOf(string) (uint32, bool) { return 0, false }
+
+// ActionOf resolves a received wire position.
+func (t *recvTable) ActionOf(id uint32) (string, uint32, bool) {
+	if int(id) >= len(t.names) {
+		return "", parcel.NoAID, false
+	}
+	return t.names[id], t.aids[id], true
+}
+
+// internState is the distributed layer's interning view: the table we
+// announced and, per peer, the table they announced to us.
+type internState struct {
+	our   atomic.Pointer[senderTable]
+	peers []atomic.Pointer[recvTable]
+}
+
+func newInternState(nodes int) *internState {
+	return &internState{peers: make([]atomic.Pointer[recvTable], nodes)}
+}
+
+// announce freezes the prefix of the registry snapshot this node tells
+// its peers about — the same helloPrefix-capped prefix internHello
+// encodes, so a position this node ever puts on the wire is always inside
+// every peer's copy of the table.
+func (s *internState) announce(set *actionSet) {
+	s.our.Store(&senderTable{set: set, n: helloPrefix(set.names)})
+}
+
+// onHello installs a peer's announcement, resolving each announced name
+// against the local registry once so per-parcel decodes are pure slice
+// reads. Handshakes repeat on reconnection; the last table wins, which is
+// correct because a peer's announcement never changes within one process
+// lifetime.
+func (d *distState) onHello(from int, payload []byte) {
+	if from < 0 || from >= len(d.intern.peers) {
+		return
+	}
+	names, can, err := parseHello(payload)
+	if err != nil {
+		d.rt.recordError(fmt.Errorf("core: bad hello from node %d: %w", from, err))
+		return
+	}
+	if !can {
+		d.intern.peers[from].Store(nil)
+		return
+	}
+	t := &recvTable{names: names, aids: make([]uint32, len(names))}
+	for i, nm := range names {
+		if _, aid, ok := d.rt.acts.lookup(nm); ok {
+			t.aids[i] = aid
+		} else {
+			t.aids[i] = parcel.NoAID
+		}
+	}
+	d.intern.peers[from].Store(t)
+}
+
+// encodeTableFor returns the table to encode with when sending to node:
+// our announced table if the peer declared the interning capability, nil
+// (plain string frames) otherwise.
+func (d *distState) encodeTableFor(node int) parcel.Table {
+	if node < 0 || node >= len(d.intern.peers) {
+		return nil
+	}
+	if d.intern.peers[node].Load() == nil {
+		return nil
+	}
+	if t := d.intern.our.Load(); t != nil {
+		return t
+	}
+	return nil
+}
+
+// decodeTableFor returns the table an interned frame from node decodes
+// against, or nil when the peer never announced one (a protocol
+// violation for fParcelI frames, handled by the caller).
+func (d *distState) decodeTableFor(node int) parcel.Table {
+	if node < 0 || node >= len(d.intern.peers) {
+		return nil
+	}
+	if t := d.intern.peers[node].Load(); t != nil {
+		return t
+	}
+	return nil
+}

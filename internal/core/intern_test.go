@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/agas"
+	"repro/internal/parcel"
+	"repro/internal/transport"
+)
+
+func TestHelloRoundTrip(t *testing.T) {
+	names := []string{"px.lco.set", "app.frob", "", "x"}
+	got, can, err := parseHello(internHello(names))
+	if err != nil || !can {
+		t.Fatalf("parseHello: can=%v err=%v", can, err)
+	}
+	if len(got) != len(names) {
+		t.Fatalf("got %d names, want %d", len(got), len(names))
+	}
+	for i := range names {
+		if got[i] != names[i] {
+			t.Fatalf("name %d: %q != %q", i, got[i], names[i])
+		}
+	}
+	// Empty and unknown-version payloads mean "strings only", not an error.
+	if _, can, err := parseHello(nil); can || err != nil {
+		t.Fatalf("empty hello: can=%v err=%v", can, err)
+	}
+	if _, can, err := parseHello([]byte{99, 0, 0, 0, 0, 0}); can || err != nil {
+		t.Fatalf("future-version hello: can=%v err=%v", can, err)
+	}
+	// Truncated payloads are rejected.
+	if _, _, err := parseHello(internHello(names)[:8]); err == nil {
+		t.Fatal("truncated hello accepted")
+	}
+}
+
+// TestHelloPrefixBudgets: the announced table prefix respects both the
+// entry-count and the transport byte budget, so a huge registry degrades
+// to partial interning instead of a SetHello panic at startup.
+func TestHelloPrefixBudgets(t *testing.T) {
+	small := []string{"a", "b", "c"}
+	if got := helloPrefix(small); got != 3 {
+		t.Fatalf("helloPrefix(small) = %d, want 3", got)
+	}
+	big := make([]string, 40)
+	for i := range big {
+		big[i] = string(make([]byte, 60000)) // 40 × 60KB >> transport.MaxHello
+	}
+	n := helloPrefix(big)
+	if n >= len(big) || n == 0 {
+		t.Fatalf("helloPrefix(big) = %d, want a proper nonzero prefix of %d", n, len(big))
+	}
+	payload := internHello(big)
+	if len(payload) > transport.MaxHello {
+		t.Fatalf("internHello encoded %d bytes, over the %d transport budget", len(payload), transport.MaxHello)
+	}
+	names, can, err := parseHello(payload)
+	if err != nil || !can || len(names) != n {
+		t.Fatalf("truncated hello: %d names can=%v err=%v, want %d", len(names), can, err, n)
+	}
+}
+
+// TestOversizedActionNameFailsGracefully: a 65535-byte action name fits
+// only the plain wire form and can never be registered; sending it must
+// produce the normal unknown-action failure, not an encoder panic.
+func TestOversizedActionNameFailsGracefully(t *testing.T) {
+	rt := New(Config{Localities: 2})
+	defer rt.Shutdown()
+	g := rt.NewDataAt(1, int64(1))
+	long := string(make([]byte, parcel.MaxString))
+	rt.SendFrom(0, parcel.New(g, long, nil))
+	rt.Wait()
+	errs := rt.Errors()
+	if len(errs) != 1 {
+		t.Fatalf("got %d errors, want the one unknown-action failure: %v", len(errs), errs)
+	}
+}
+
+// internRanges partitions four localities across two nodes.
+var internRanges = []agas.Range{{Lo: 0, Hi: 2}, {Lo: 2, Hi: 4}}
+
+// startInternPair builds a two-node machine over the given transports.
+// Node 1 registers a decoy action first, so the two nodes' dense action
+// IDs for the shared action differ — the peer-table position mapping must
+// reconcile them.
+func startInternPair(t *testing.T, trs [2]transport.Transport, disable [2]bool) [2]*Runtime {
+	t.Helper()
+	var rts [2]*Runtime
+	for i := 0; i < 2; i++ {
+		i := i
+		rts[i] = New(Config{
+			Transport:              trs[i],
+			NodeID:                 i,
+			NodeLocalities:         internRanges,
+			WorkersPerLocality:     2,
+			DisableActionInterning: disable[i],
+			Register: func(rt *Runtime) {
+				if i == 1 {
+					rt.MustRegisterAction("intern.decoy", func(ctx *Context, target any, args *parcel.Reader) (any, error) {
+						return nil, nil
+					})
+				}
+				rt.MustRegisterAction("intern.echo", func(ctx *Context, target any, args *parcel.Reader) (any, error) {
+					n, ok := target.(int64)
+					if !ok {
+						return nil, fmt.Errorf("intern.echo on %T", target)
+					}
+					return n, nil
+				})
+			},
+		})
+	}
+	return rts
+}
+
+// exerciseInternPair drives calls in both directions and checks results.
+func exerciseInternPair(t *testing.T, rts [2]*Runtime) {
+	t.Helper()
+	a := rts[0].NewDataAt(0, int64(7))
+	b := rts[1].NewDataAt(2, int64(42))
+	for round := 0; round < 3; round++ {
+		v, err := rts[0].CallFrom(0, b, "intern.echo", nil).Get()
+		if err != nil || v.(int64) != 42 {
+			t.Fatalf("round %d: 0->1 call: %v %v", round, v, err)
+		}
+		v, err = rts[1].CallFrom(2, a, "intern.echo", nil).Get()
+		if err != nil || v.(int64) != 7 {
+			t.Fatalf("round %d: 1->0 call: %v %v", round, v, err)
+		}
+	}
+	for _, rt := range rts {
+		rt.Wait()
+		for _, err := range rt.Errors() {
+			t.Errorf("runtime error: %v", err)
+		}
+	}
+}
+
+// TestInterningEngagesBetweenCapablePeers: two interning nodes end up
+// speaking fParcelI in both directions, with differing dense IDs mapped
+// through the exchanged tables.
+func TestInterningEngagesBetweenCapablePeers(t *testing.T) {
+	fab := transport.NewFabric(2)
+	rts := startInternPair(t, [2]transport.Transport{fab.Node(0), fab.Node(1)}, [2]bool{false, false})
+	exerciseInternPair(t, rts)
+	sent0, recv0 := rts[0].dist.internedSent.Load(), rts[0].dist.internedRecv.Load()
+	sent1, recv1 := rts[1].dist.internedSent.Load(), rts[1].dist.internedRecv.Load()
+	for _, rt := range rts {
+		rt.Shutdown()
+	}
+	if sent0 == 0 || sent1 == 0 {
+		t.Fatalf("interning never engaged: node0 sent %d, node1 sent %d interned frames", sent0, sent1)
+	}
+	if recv0 != sent1 || recv1 != sent0 {
+		t.Fatalf("interned frame accounting skewed: sent %d/%d recv %d/%d", sent0, sent1, recv0, recv1)
+	}
+}
+
+// TestMixedModeInterningCompat: an interning node interoperates with a
+// string-only node (DisableActionInterning) — every frame between them
+// stays in the plain string form and all calls succeed.
+func TestMixedModeInterningCompat(t *testing.T) {
+	fab := transport.NewFabric(2)
+	rts := startInternPair(t, [2]transport.Transport{fab.Node(0), fab.Node(1)}, [2]bool{false, true})
+	exerciseInternPair(t, rts)
+	sent0 := rts[0].dist.internedSent.Load()
+	sent1 := rts[1].dist.internedSent.Load()
+	for _, rt := range rts {
+		rt.Shutdown()
+	}
+	if sent0 != 0 || sent1 != 0 {
+		t.Fatalf("interned frames crossed a mixed-mode pair: %d from node0, %d from node1", sent0, sent1)
+	}
+}
+
+// TestMixedModeInterningCompatTCP is the mixed-mode contract over real
+// TCP: the interning node's table rides the handshake hello, the
+// string-only node ignores it, and both directions interoperate in the
+// string wire form.
+func TestMixedModeInterningCompatTCP(t *testing.T) {
+	var tcps [2]*transport.TCP
+	addrs := make([]string, 2)
+	for i := range tcps {
+		tr, err := transport.NewTCP(transport.TCPConfig{
+			Self: i, Listen: "127.0.0.1:0", Peers: make([]string, 2),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tcps[i] = tr
+		addrs[i] = tr.Addr().String()
+	}
+	for _, tr := range tcps {
+		tr.SetPeers(addrs)
+	}
+	rts := startInternPair(t, [2]transport.Transport{tcps[0], tcps[1]}, [2]bool{false, true})
+	exerciseInternPair(t, rts)
+	sent0 := rts[0].dist.internedSent.Load()
+	sent1 := rts[1].dist.internedSent.Load()
+	for _, rt := range rts {
+		rt.Shutdown()
+	}
+	if sent0 != 0 || sent1 != 0 {
+		t.Fatalf("interned frames crossed a mixed-mode TCP pair: %d/%d", sent0, sent1)
+	}
+}
+
+// TestInterningTCPEngages: over TCP, capable peers converge on interned
+// frames once the handshake hellos have crossed.
+func TestInterningTCPEngages(t *testing.T) {
+	var tcps [2]*transport.TCP
+	addrs := make([]string, 2)
+	for i := range tcps {
+		tr, err := transport.NewTCP(transport.TCPConfig{
+			Self: i, Listen: "127.0.0.1:0", Peers: make([]string, 2),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tcps[i] = tr
+		addrs[i] = tr.Addr().String()
+	}
+	for _, tr := range tcps {
+		tr.SetPeers(addrs)
+	}
+	rts := startInternPair(t, [2]transport.Transport{tcps[0], tcps[1]}, [2]bool{false, false})
+	exerciseInternPair(t, rts)
+	// The first parcel in each direction may precede the peer's hello
+	// (string fallback); by the end of three rounds interning must have
+	// engaged somewhere.
+	total := rts[0].dist.internedSent.Load() + rts[1].dist.internedSent.Load()
+	for _, rt := range rts {
+		rt.Shutdown()
+	}
+	if total == 0 {
+		t.Fatal("interning never engaged over TCP")
+	}
+}
+
+// TestLateRegisteredActionFallsBackToString: an action registered after
+// the transport started sits outside the announced table prefix; parcels
+// naming it are spelled out inside interned frames and still dispatch.
+func TestLateRegisteredActionFallsBackToString(t *testing.T) {
+	fab := transport.NewFabric(2)
+	rts := startInternPair(t, [2]transport.Transport{fab.Node(0), fab.Node(1)}, [2]bool{false, false})
+	for _, rt := range rts {
+		rt.MustRegisterAction("intern.late", func(ctx *Context, target any, args *parcel.Reader) (any, error) {
+			return target.(int64) * 2, nil
+		})
+	}
+	b := rts[1].NewDataAt(2, int64(21))
+	// Warm the hello exchange with an interned-capable call first.
+	if v, err := rts[0].CallFrom(0, b, "intern.echo", nil).Get(); err != nil || v.(int64) != 21 {
+		t.Fatalf("warm call: %v %v", v, err)
+	}
+	v, err := rts[0].CallFrom(0, b, "intern.late", nil).Get()
+	if err != nil || v.(int64) != 42 {
+		t.Fatalf("late-action call: %v %v", v, err)
+	}
+	for _, rt := range rts {
+		rt.Shutdown()
+	}
+}

@@ -248,7 +248,7 @@ func (r *Runtime) CallFrom(src int, dest agas.GID, action string, args []byte) *
 		// One-shot future: release its name once consumed.
 		r.FreeObject(fgid)
 	})
-	p := parcel.New(dest, action, args, parcel.Continuation{Target: fgid, Action: ActionLCOSet})
+	p := parcel.Acquire(dest, action, args, parcel.Continuation{Target: fgid, Action: ActionLCOSet})
 	r.SendFrom(src, p)
 	return fut
 }
@@ -259,7 +259,7 @@ func (r *Runtime) Broadcast(src int, action string, args []byte) *lco.AndGate {
 	n := r.Localities()
 	ggid, gate := r.NewAndGateAt(src, n)
 	for i := 0; i < n; i++ {
-		p := parcel.New(r.hwGID[i], action, args, parcel.Continuation{Target: ggid, Action: ActionLCOSignal})
+		p := parcel.Acquire(r.hwGID[i], action, args, parcel.Continuation{Target: ggid, Action: ActionLCOSignal})
 		r.SendFrom(src, p)
 	}
 	return gate

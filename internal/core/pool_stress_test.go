@@ -1,0 +1,155 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/agas"
+	"repro/internal/parcel"
+	"repro/internal/transport"
+)
+
+// TestPooledHotPathOwnership floods the full pooled parcel path — post,
+// AGAS resolve, interned encode into recycled buffers, pooled decode,
+// dispatch, continuation chaining, failure delivery — with pool poisoning
+// enabled. A parcel or buffer observed after release shows up as a
+// poisoned action name ("px.poisoned…" → unknown-action error), a nil
+// destination (send panic), or shredded args (decode/type error); run
+// under -race it also catches two holders touching one pooled value.
+func TestPooledHotPathOwnership(t *testing.T) {
+	parcel.SetPoolDebug(true)
+	defer parcel.SetPoolDebug(false)
+
+	rt := New(Config{Localities: 4, WorkersPerLocality: 2})
+	defer rt.Shutdown()
+	rt.MustRegisterAction("pool.add", func(ctx *Context, target any, args *parcel.Reader) (any, error) {
+		n := args.Int64()
+		if err := args.Err(); err != nil {
+			return nil, err
+		}
+		return target.(int64) + n, nil
+	})
+	objs := make([]agas.GID, 4)
+	for i := range objs {
+		objs[i] = rt.NewDataAt(i, int64(i))
+	}
+
+	const callers = 8
+	const calls = 300
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			src := c % 4
+			args := parcel.NewArgs().Int64(int64(c)).Encode()
+			for i := 0; i < calls; i++ {
+				dst := objs[(c+i)%4]
+				v, err := rt.CallFrom(src, dst, "pool.add", args).Get()
+				if err != nil {
+					t.Errorf("caller %d call %d: %v", c, i, err)
+					return
+				}
+				if got, want := v.(int64), int64((c+i)%4+c); got != want {
+					t.Errorf("caller %d call %d: got %d want %d (pooled value corrupted?)", c, i, got, want)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	rt.Wait()
+	for _, err := range rt.Errors() {
+		t.Errorf("runtime error: %v", err)
+	}
+}
+
+// TestPooledCrossNodeOwnership is the same discipline check across the
+// transport: pooled parcels encode into pooled frames, ship over the
+// fabric, decode into pooled parcels on the peer, and chase a live
+// migration — with poisoning on, a frame flushed after its buffer was
+// recycled or a parcel touched after dispatch fails loudly.
+func TestPooledCrossNodeOwnership(t *testing.T) {
+	parcel.SetPoolDebug(true)
+	defer parcel.SetPoolDebug(false)
+
+	fab := transport.NewFabric(2)
+	ranges := []agas.Range{{Lo: 0, Hi: 2}, {Lo: 2, Hi: 4}}
+	reg := func(rt *Runtime) {
+		rt.MustRegisterAction("pool.len", func(ctx *Context, target any, args *parcel.Reader) (any, error) {
+			return int64(len(target.([]float64))), nil
+		})
+	}
+	var rts [2]*Runtime
+	for i := 0; i < 2; i++ {
+		rts[i] = New(Config{
+			Transport: fab.Node(i), NodeID: i, NodeLocalities: ranges,
+			WorkersPerLocality: 2, Register: reg,
+		})
+	}
+	obj := rts[0].NewDataAt(0, make([]float64, 32))
+
+	const callers = 6
+	const calls = 200
+	var callerWG, moverWG sync.WaitGroup
+	stop := make(chan struct{})
+	// A migration ping-pongs the object between the nodes while remote
+	// callers chase it through forwarding pointers and moved verdicts.
+	// Migration is initiated on the owning node, so the mover tracks where
+	// it last pushed the object.
+	moverWG.Add(1)
+	go func() {
+		defer moverWG.Done()
+		at := 0
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			next := (at + 1) % 4
+			owner := rts[0]
+			if at >= 2 {
+				owner = rts[1]
+			}
+			if err := owner.Migrate(obj, next); err != nil {
+				t.Errorf("migrate %d (L%d->L%d): %v", i, at, next, err)
+				return
+			}
+			at = next
+		}
+	}()
+	for c := 0; c < callers; c++ {
+		callerWG.Add(1)
+		go func(c int) {
+			defer callerWG.Done()
+			node := rts[c%2]
+			src := 2 * (c % 2)
+			for i := 0; i < calls; i++ {
+				v, err := node.CallFrom(src, obj, "pool.len", nil).Get()
+				if err != nil {
+					t.Errorf("caller %d call %d: %v", c, i, err)
+					return
+				}
+				if v.(int64) != 32 {
+					t.Errorf("caller %d call %d: got %d want 32", c, i, v)
+					return
+				}
+			}
+		}(c)
+	}
+	callerWG.Wait()
+	close(stop)
+	moverWG.Wait()
+	for _, rt := range rts {
+		rt.Wait()
+	}
+	for i, rt := range rts {
+		for _, err := range rt.Errors() {
+			t.Errorf("node %d runtime error: %v", i, err)
+		}
+	}
+	for _, rt := range rts {
+		rt.Shutdown()
+	}
+}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/agas"
@@ -60,10 +62,23 @@ func (r *Runtime) route(src int, p *parcel.Parcel) {
 		r.ring.Emitf(trace.KindParcelSend, src, "to L%d %s", owner, p)
 	}
 	size := len(p.Args)
-	var wire []byte
+	var w *parcel.WireBuf
+	var tbl *actionSet
 	if !r.cfg.DisableSerialization {
-		wire = p.Encode(nil)
-		size = len(wire)
+		w = parcel.GetWire()
+		if p.InternEncodable() {
+			// The in-process wire interns against the local registry: both
+			// ends share it, and snapshots are append-only, so positions
+			// resolve across concurrent registrations.
+			tbl = r.acts.snapshot()
+			w.B = p.EncodeInterned(w.B, tbl)
+		} else {
+			// An action name only the plain format can carry (it can never
+			// be registered, so dispatch will fail it gracefully); tbl nil
+			// routes the decode side to the plain codec.
+			w.B = p.Encode(w.B)
+		}
+		size = len(w.B)
 	}
 	copies := 1
 	if r.faults != nil {
@@ -72,6 +87,10 @@ func (r *Runtime) route(src int, p *parcel.Parcel) {
 	if copies == 0 {
 		// Lost in the network. Parcels are at-most-once; reliability, if
 		// needed, is layered above (acknowledging LCO protocols).
+		if w != nil {
+			parcel.PutWire(w)
+		}
+		parcel.Release(p)
 		mustPost(r.locs[src].Post(func() { r.doneWork() }))
 		return
 	}
@@ -79,38 +98,155 @@ func (r *Runtime) route(src int, p *parcel.Parcel) {
 		r.addWork() // the duplicate carries its own work unit
 	}
 	lat := r.net.Latency(src, owner, size)
-	deliver := func(dp *parcel.Parcel) func() {
-		return func() {
-			if wire != nil {
-				decoded, _, derr := parcel.Decode(wire)
-				if derr != nil {
-					r.deliverFailure(src, dp, fmt.Errorf("core: wire corruption: %w", derr))
-					return
-				}
-				dp = decoded
+	if w != nil && copies == 1 && lat <= 0 {
+		// The steady-state leg: serialize, decode into a pooled parcel,
+		// dispatch — no closures, no timers, no allocation.
+		r.deliverWire(src, owner, p, w, tbl)
+		return
+	}
+	if w != nil {
+		// Latency-modelled or duplicated wire delivery: the original
+		// parcel and the encode buffer stay alive until the last copy has
+		// decoded, then return to their pools.
+		d := &wireDelivery{r: r, src: src, owner: owner, p: p, w: w, tbl: tbl}
+		d.left.Store(int32(copies))
+		for c := 0; c < copies; c++ {
+			if lat <= 0 {
+				d.deliverOne()
+				continue
 			}
-			if r.ring != nil {
-				r.ring.Emitf(trace.KindParcelRecv, owner, "%s", dp)
-			}
-			r.enqueue(owner, dp)
+			time.AfterFunc(lat, d.deliverOne)
 		}
+		return
+	}
+	// Duplicates of an unserialized parcel: deep-clone BEFORE the original
+	// is dispatched — a pooled original can be executed, released, and
+	// recycled the moment deliverDirect hands it over, so copying its
+	// fields afterwards would read another parcel's data. Each clone is
+	// plain garbage-collected memory (Release ignores it) with its own
+	// continuation stack, so the executions cannot race on one.
+	dups := make([]*parcel.Parcel, copies-1)
+	for i := range dups {
+		dups[i] = &parcel.Parcel{ID: p.ID, Dest: p.Dest, Action: p.Action, AID: p.AID,
+			Args: append([]byte(nil), p.Args...),
+			Cont: append([]parcel.Continuation(nil), p.Cont...),
+			Src:  p.Src, Hops: p.Hops}
 	}
 	for c := 0; c < copies; c++ {
 		dp := p
-		if c > 0 && wire == nil {
-			// Duplicate of an unserialized parcel: clone so the two
-			// executions cannot race on the continuation stack.
-			clone := *p
-			clone.Cont = append([]parcel.Continuation(nil), p.Cont...)
-			dp = &clone
+		if c > 0 {
+			dp = dups[c-1]
 		}
-		fn := deliver(dp)
 		if lat <= 0 {
-			fn()
+			r.deliverDirect(owner, dp)
 			continue
 		}
-		time.AfterFunc(lat, fn)
+		time.AfterFunc(lat, func() { r.deliverDirect(owner, dp) })
 	}
+}
+
+// deliverWire decodes the serialized form of p out of w into a pooled
+// parcel and dispatches it, recycling the buffer and the original parcel.
+// A nil tbl means the parcel was encoded in the plain format (see route).
+func (r *Runtime) deliverWire(src, owner int, p *parcel.Parcel, w *parcel.WireBuf, tbl *actionSet) {
+	var dp *parcel.Parcel
+	var derr error
+	if tbl != nil {
+		dp, _, derr = parcel.DecodePooledInterned(w.B, tbl)
+	} else {
+		dp, _, derr = parcel.DecodePooled(w.B)
+	}
+	parcel.PutWire(w)
+	if derr != nil {
+		r.deliverFailure(src, p, fmt.Errorf("core: wire corruption: %w", derr))
+		return
+	}
+	parcel.Release(p)
+	r.deliverDirect(owner, dp)
+}
+
+// deliverDirect hands an owned parcel to its destination locality.
+func (r *Runtime) deliverDirect(owner int, dp *parcel.Parcel) {
+	if r.ring != nil {
+		r.ring.Emitf(trace.KindParcelRecv, owner, "%s", dp)
+	}
+	r.enqueue(owner, dp)
+}
+
+// wireDelivery is the latency-modelled (or fault-duplicated) wire leg:
+// each copy decodes its own pooled parcel from the shared encode buffer;
+// the last one done returns the buffer and the original parcel.
+type wireDelivery struct {
+	r          *Runtime
+	src, owner int
+	p          *parcel.Parcel
+	w          *parcel.WireBuf
+	tbl        *actionSet
+	left       atomic.Int32
+	failed     atomic.Bool
+}
+
+func (d *wireDelivery) deliverOne() {
+	var dp *parcel.Parcel
+	var derr error
+	if d.tbl != nil {
+		dp, _, derr = parcel.DecodePooledInterned(d.w.B, d.tbl)
+	} else {
+		dp, _, derr = parcel.DecodePooled(d.w.B)
+	}
+	last := d.left.Add(-1) == 0
+	if last {
+		parcel.PutWire(d.w)
+	}
+	if derr != nil {
+		// Copies decode the same bytes, so either every copy fails here or
+		// none does; success and failure paths never race on p. The first
+		// failing copy consumes p for failure delivery, the rest only
+		// release their work units.
+		if d.failed.CompareAndSwap(false, true) {
+			d.r.deliverFailure(d.src, d.p, fmt.Errorf("core: wire corruption: %w", derr))
+			return
+		}
+		mustPost(d.r.locs[d.src].Post(func() { d.r.doneWork() }))
+		return
+	}
+	if last {
+		parcel.Release(d.p)
+	}
+	d.r.deliverDirect(d.owner, dp)
+}
+
+// execTask is the pooled unit posted to a locality for one parcel
+// dispatch. Its run closure is bound to the task once, at pool birth, so
+// the steady-state enqueue allocates neither a closure nor a task; the
+// embedded Reader is likewise reset per dispatch instead of allocated.
+type execTask struct {
+	r   *Runtime
+	loc int
+	p   *parcel.Parcel
+	rd  parcel.Reader
+	ctx Context
+	run func()
+}
+
+var execTaskPool sync.Pool
+
+func init() {
+	execTaskPool.New = func() any {
+		t := &execTask{}
+		t.run = t.fire
+		return t
+	}
+}
+
+func (t *execTask) fire() {
+	r, loc, p := t.r, t.loc, t.p
+	t.r, t.p = nil, nil
+	r.execute(loc, p, &t.rd, &t.ctx)
+	t.rd.Reset(nil)
+	t.ctx = Context{}
+	execTaskPool.Put(t)
+	r.doneWork()
 }
 
 // enqueue schedules parcel execution on locality loc. The work unit charged
@@ -119,10 +255,9 @@ func (r *Runtime) route(src int, p *parcel.Parcel) {
 // for one object land on one worker's deque, preserving its cache affinity
 // and keeping the deque lock uncontended for hot objects.
 func (r *Runtime) enqueue(loc int, p *parcel.Parcel) {
-	mustPost(r.locs[loc].PostTo(int(p.Dest.Seq), func() {
-		defer r.doneWork()
-		r.execute(loc, p)
-	}))
+	t := execTaskPool.Get().(*execTask)
+	t.r, t.loc, t.p = r, loc, p
+	mustPost(r.locs[loc].PostTo(int(p.Dest.Seq), t.run))
 }
 
 // mustPost converts a locality post failure into a panic: the runtime
@@ -139,7 +274,14 @@ func mustPost(err error) {
 // registered so a migration can quiesce the object, and if a migration is
 // in progress the parcel parks (keeping a work unit charged) until the
 // move commits and the fence re-routes it.
-func (r *Runtime) execute(loc int, p *parcel.Parcel) {
+//
+// execute consumes p: dispatch (successful or failed) ends with the
+// parcel released to its pool; the park and forward paths instead pass
+// ownership on (to the fence and the re-route, respectively). rd and ctx
+// are the caller's pooled scratch, valid only for this dispatch — the
+// ActionFunc contract forbids retaining either beyond the action's
+// return.
+func (r *Runtime) execute(loc int, p *parcel.Parcel, rd *parcel.Reader, ctx *Context) {
 	fenced := p.Dest.Kind != agas.KindHardware
 	if fenced {
 		if !r.fences.enter(p.Dest, loc, p) {
@@ -164,7 +306,16 @@ func (r *Runtime) execute(loc int, p *parcel.Parcel) {
 		r.forward(loc, p)
 		return
 	}
-	fn, ok := r.acts.lookup(p.Action)
+	// An interned wire decode (or a previous dispatch of this parcel) has
+	// already resolved the dense action ID: indexing the snapshot slice is
+	// the whole lookup. Parcels carrying only a name resolve it once here.
+	fn, ok := r.acts.byID(p.AID)
+	if !ok {
+		var aid uint32
+		if fn, aid, ok = r.acts.lookup(p.Action); ok {
+			p.AID = aid
+		}
+	}
 	if !ok {
 		if fenced {
 			r.fences.exit(p.Dest)
@@ -175,9 +326,11 @@ func (r *Runtime) execute(loc int, p *parcel.Parcel) {
 	th := r.reg.New(loc)
 	r.slow.ThreadsSpawned.Inc()
 	th.Start()
-	ctx := &Context{rt: r, loc: loc, th: th}
-	res, err := fn(ctx, target, parcel.NewReader(p.Args))
+	ctx.rt, ctx.loc, ctx.th = r, loc, th
+	rd.Reset(p.Args)
+	res, err := fn(ctx, target, rd)
 	th.Terminate()
+	r.reg.Recycle(th)
 	if fenced {
 		r.fences.exit(p.Dest)
 	}
@@ -192,9 +345,12 @@ func (r *Runtime) execute(loc int, p *parcel.Parcel) {
 			r.failParcel(loc, p, encErr)
 			return
 		}
-		np := parcel.New(cont.Target, cont.Action, args, p.Cont...)
+		np := parcel.Acquire(cont.Target, cont.Action, args, p.Cont...)
+		parcel.Release(p) // after Acquire copied the continuation tail
 		r.SendFrom(loc, np)
+		return
 	}
+	parcel.Release(p)
 }
 
 // forward re-resolves a stale destination and re-routes the parcel,
@@ -217,15 +373,17 @@ func (r *Runtime) forward(loc int, p *parcel.Parcel) {
 }
 
 // failParcel delivers an action failure to the parcel's continuation, or
-// records it on the runtime when no continuation exists.
+// records it on the runtime when no continuation exists. It consumes p.
 func (r *Runtime) failParcel(loc int, p *parcel.Parcel, err error) {
 	cont, ok := p.PopContinuation()
 	if !ok {
 		r.recordError(fmt.Errorf("parcel %s at L%d: %w", p, loc, err))
+		parcel.Release(p)
 		return
 	}
 	args := parcel.NewArgs().String(err.Error()).Encode()
-	np := parcel.New(cont.Target, ActionLCOFail, args)
+	np := parcel.Acquire(cont.Target, ActionLCOFail, args)
+	parcel.Release(p)
 	r.SendFrom(loc, np)
 }
 

@@ -63,6 +63,13 @@ type Config struct {
 	// transport starts, and an action registered after New returns races
 	// that delivery.
 	Register func(*Runtime)
+	// DisableActionInterning keeps this node on the plain string wire form:
+	// it announces no action table and ignores the ones peers announce.
+	// Peers fall back to spelling action names out toward it, so a machine
+	// may freely mix interning and non-interning nodes. The default
+	// (interning on, when the transport supports handshake hellos) removes
+	// the per-parcel action-string allocation from the receive path.
+	DisableActionInterning bool
 }
 
 func (c *Config) fill() {
@@ -197,6 +204,17 @@ func New(cfg Config) *Runtime {
 		cfg.Register(r)
 	}
 	if cfg.Transport != nil {
+		// Announce the action-interning table after Register has run (the
+		// snapshot must cover the application's actions) and before Start
+		// (the hello rides every connection handshake). Transports without
+		// hello support, and nodes that disabled interning, announce
+		// nothing and speak plain strings.
+		if ht, ok := cfg.Transport.(transport.HelloTransport); ok && !cfg.DisableActionInterning {
+			set := r.acts.snapshot()
+			r.dist.intern.announce(set)
+			ht.SetHello(internHello(set.names))
+			ht.SetHelloHandler(r.dist.onHello)
+		}
 		if err := cfg.Transport.Start(); err != nil {
 			panic(fmt.Sprintf("core: transport start: %v", err))
 		}
@@ -354,9 +372,10 @@ func (r *Runtime) Spawn(loc int, fn func(*Context)) {
 	mustPost(r.locs[loc].Post(func() {
 		defer r.doneWork()
 		th.Start()
-		defer th.Terminate()
 		fn(&Context{rt: r, loc: loc, th: th})
 		r.slow.TasksExecuted.Inc()
+		th.Terminate()
+		r.reg.Recycle(th)
 	}))
 }
 

@@ -118,6 +118,15 @@ type Reader struct {
 // NewReader reads the record produced by Args.
 func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
 
+// Reset repoints the reader at a new record, clearing position and error
+// state, so one Reader value can serve many dispatches without
+// reallocating.
+func (r *Reader) Reset(buf []byte) {
+	r.buf = buf
+	r.pos = 0
+	r.err = nil
+}
+
 // Err returns the first decode error, if any.
 func (r *Reader) Err() error { return r.err }
 

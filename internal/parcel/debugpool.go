@@ -1,0 +1,9 @@
+//go:build debugpool
+
+package parcel
+
+// Building with -tags debugpool turns pool poisoning on for the whole
+// binary: released parcels and wire buffers are shredded on put and a
+// double release panics. Use it to chase ownership bugs in the pooled
+// hot path; the default build keeps the checks off the steady state.
+func init() { SetPoolDebug(true) }

@@ -55,6 +55,42 @@ func FuzzParcelDecode(f *testing.F) {
 	})
 }
 
+// FuzzParcelDecodeInterned feeds the interned-form decoder arbitrary
+// bytes against a small table: it must never panic, and any accepted
+// input must re-encode and re-decode identically. The interned decoder
+// consumes the same untrusted socket bytes the plain one does.
+func FuzzParcelDecodeInterned(f *testing.F) {
+	tbl := testTable{"nop", "px.lco.set", "relay"}
+	for _, p := range fuzzSeeds() {
+		f.Add(p.EncodeInterned(nil, tbl))
+		f.Add(p.EncodeInterned(nil, nil))
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, rest, err := DecodePooledInterned(data, tbl)
+		if err != nil {
+			return
+		}
+		if len(rest) > len(data) {
+			t.Fatalf("remainder grew: %d bytes from %d input", len(rest), len(data))
+		}
+		re := p.EncodeInterned(nil, tbl)
+		q, tail, err := DecodePooledInterned(re, tbl)
+		if err != nil {
+			t.Fatalf("re-decode of accepted parcel failed: %v", err)
+		}
+		if len(tail) != 0 {
+			t.Fatalf("re-decode left %d trailing bytes", len(tail))
+		}
+		if !parcelEqual(p, q) {
+			t.Fatalf("round trip mismatch:\n first %+v\nsecond %+v", p, q)
+		}
+		Release(q)
+		Release(p)
+	})
+}
+
 func TestParcelEncodeDecodeRoundTrip(t *testing.T) {
 	for _, p := range fuzzSeeds() {
 		wire := p.Encode(nil)

@@ -1,0 +1,123 @@
+package parcel
+
+import (
+	"bytes"
+	"testing"
+)
+
+// testTable is a fixed parcel.Table: position = index into names.
+type testTable []string
+
+func (t testTable) IDOf(name string) (uint32, bool) {
+	for i, n := range t {
+		if n == name {
+			return uint32(i), true
+		}
+	}
+	return 0, false
+}
+
+func (t testTable) ActionOf(id uint32) (string, uint32, bool) {
+	if int(id) >= len(t) {
+		return "", NoAID, false
+	}
+	return t[id], id + 1, true // dispatch ID: position + 1, like the registry
+}
+
+func internSample() *Parcel {
+	return New(sampleGID(9), "known.a",
+		NewArgs().Int64(7).String("payload").Encode(),
+		Continuation{Target: sampleGID(1), Action: "known.b"},
+		Continuation{Target: sampleGID(2), Action: "unknown.c"},
+	)
+}
+
+// TestInternedRoundTrip: interned encode/decode preserves every field,
+// interning known actions and spelling out unknown ones in one parcel.
+func TestInternedRoundTrip(t *testing.T) {
+	tbl := testTable{"known.a", "known.b"}
+	p := internSample()
+	p.Src, p.Hops = 3, 2
+	wire := p.EncodeInterned(nil, tbl)
+	// The known action names must not appear as strings on the wire.
+	if bytes.Contains(wire, []byte("known.a")) || bytes.Contains(wire, []byte("known.b")) {
+		t.Fatal("interned encode spelled out a table action")
+	}
+	if !bytes.Contains(wire, []byte("unknown.c")) {
+		t.Fatal("non-table action missing from the wire")
+	}
+	q, rest, err := DecodePooledInterned(wire, tbl)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode: %v (%d trailing)", err, len(rest))
+	}
+	if q.ID != p.ID || q.Dest != p.Dest || q.Action != p.Action ||
+		q.Src != p.Src || q.Hops != p.Hops || !bytes.Equal(q.Args, p.Args) {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", q, p)
+	}
+	if q.AID != 1 { // "known.a" is table position 0 → dispatch ID 1
+		t.Fatalf("decoded AID %d, want 1", q.AID)
+	}
+	if len(q.Cont) != 2 || q.Cont[0] != p.Cont[0] || q.Cont[1] != p.Cont[1] {
+		t.Fatalf("continuations mismatch: %v", q.Cont)
+	}
+	Release(q)
+}
+
+// TestInternedDecodeNeedsTable: an interned reference without a table is
+// a decode error, not a panic or a silent misdispatch.
+func TestInternedDecodeNeedsTable(t *testing.T) {
+	tbl := testTable{"known.a", "known.b"}
+	wire := internSample().EncodeInterned(nil, tbl)
+	if _, _, err := DecodePooledInterned(wire, nil); err == nil {
+		t.Fatal("interned decode without a table succeeded")
+	}
+	// A table too small for the announced position is likewise an error.
+	if _, _, err := DecodePooledInterned(wire, testTable{"known.a"}); err == nil {
+		t.Fatal("interned decode past the table succeeded")
+	}
+}
+
+// TestInternedNilTableStringForm: encoding with no table degrades to
+// all-string references, decodable by the interned decoder with any (or
+// no) table.
+func TestInternedNilTableStringForm(t *testing.T) {
+	p := internSample()
+	wire := p.EncodeInterned(nil, nil)
+	q, rest, err := DecodePooledInterned(wire, nil)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode: %v (%d trailing)", err, len(rest))
+	}
+	if q.Action != p.Action || q.AID != NoAID || len(q.Cont) != 2 {
+		t.Fatalf("string-form roundtrip mismatch: %+v", q)
+	}
+	Release(q)
+}
+
+// TestInternedSteadyStateAllocs: the pooled interned round trip is
+// allocation-free once the pools are warm.
+func TestInternedSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector randomizes sync.Pool reuse; exact alloc counts only hold without -race")
+	}
+	// Convert to the interface once: a slice-typed Table boxes (allocates)
+	// at every implicit conversion, which is the test harness's cost, not
+	// the codec's — the runtime passes pointer-typed tables.
+	var tbl Table = testTable{"known.a", "known.b"}
+	args := NewArgs().Int64(7).Encode()
+	run := func() {
+		p := Acquire(sampleGID(9), "known.a", args, Continuation{Target: sampleGID(1), Action: "known.b"})
+		w := GetWire()
+		w.B = p.EncodeInterned(w.B, tbl)
+		Release(p)
+		q, _, err := DecodePooledInterned(w.B, tbl)
+		PutWire(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Release(q)
+	}
+	run() // warm the pools
+	if allocs := testing.AllocsPerRun(100, run); allocs > 0 {
+		t.Fatalf("interned round trip allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -22,6 +22,12 @@ type Continuation struct {
 	Action string
 }
 
+// NoAID marks a parcel whose action has not been resolved to a dense
+// registered ID; dispatch then falls back to the name lookup. Action IDs
+// are 1-based so the zero value of Parcel (and of AID after a wire decode
+// with no table) is safely unresolved.
+const NoAID = uint32(0)
+
 // Parcel is one message-driven task descriptor.
 type Parcel struct {
 	// ID is unique within a runtime, for tracing and deduplication.
@@ -31,6 +37,11 @@ type Parcel struct {
 	Dest agas.GID
 	// Action is the registered action name to invoke on the target.
 	Action string
+	// AID caches the executing runtime's dense ID for Action (see the core
+	// action registry), letting dispatch index a slice instead of hashing
+	// the name. NoAID means unresolved. It is runtime-local: the interned
+	// wire form carries table positions negotiated per peer, never AID.
+	AID uint32
 	// Args is the encoded argument record (see Args/Reader).
 	Args []byte
 	// Cont is the continuation stack; element 0 is applied first.
@@ -39,6 +50,20 @@ type Parcel struct {
 	Src int
 	// Hops counts owner-forwarding retries (stale AGAS caches).
 	Hops int
+
+	// argsBuf is the parcel-owned backing store DecodeInto copies argument
+	// bytes into; it survives pool recycles so steady-state decodes do not
+	// allocate.
+	argsBuf []byte
+	// pooled marks parcels from the pool (Acquire/DecodeInto); Release
+	// ignores the rest.
+	pooled bool
+	// released guards double-release when pool debugging is on.
+	released bool
+	// ownsCont marks a continuation stack backed by parcel-owned storage:
+	// pooled parcels copy theirs in, but New aliases the caller's variadic
+	// slice, which in-place mutation must not scribble on.
+	ownsCont bool
 }
 
 var idCounter atomic.Uint64
@@ -52,8 +77,24 @@ func New(dest agas.GID, action string, args []byte, cont ...Continuation) *Parce
 }
 
 // PushContinuation prepends c so it runs before existing continuations.
+// The stack is shifted in place, reusing spare capacity: pushing is
+// amortized O(1) allocations (a push allocates only when the stack grows
+// past its high-water capacity), not one fresh slice per push. A stack
+// still aliasing the caller's slice (New stores the variadic argument
+// as-is) is copied once before the first in-place shift, so the caller's
+// backing array is never mutated.
 func (p *Parcel) PushContinuation(c Continuation) {
-	p.Cont = append([]Continuation{c}, p.Cont...)
+	if !p.ownsCont {
+		cont := make([]Continuation, len(p.Cont)+1)
+		copy(cont[1:], p.Cont)
+		cont[0] = c
+		p.Cont = cont
+		p.ownsCont = true
+		return
+	}
+	p.Cont = append(p.Cont, Continuation{})
+	copy(p.Cont[1:], p.Cont)
+	p.Cont[0] = c
 }
 
 // PopContinuation removes and returns the first continuation; ok is false
@@ -99,6 +140,14 @@ const (
 // Encode appends the wire form of p to dst. It panics if p exceeds the
 // wire format limits (see MaxString, MaxContinuations, MaxArgs).
 func (p *Parcel) Encode(dst []byte) []byte {
+	return p.encode(dst, false, nil)
+}
+
+// encode is the shared body of Encode and EncodeInterned: the two wire
+// forms are identical except for how an action reference is written —
+// a plain length-prefixed string, or a table position with per-reference
+// string fallback.
+func (p *Parcel) encode(dst []byte, interned bool, t Table) []byte {
 	if len(p.Cont) > MaxContinuations {
 		panic(fmt.Sprintf("parcel: %d continuations exceed wire limit %d", len(p.Cont), MaxContinuations))
 	}
@@ -107,13 +156,13 @@ func (p *Parcel) Encode(dst []byte) []byte {
 	}
 	dst = binary.LittleEndian.AppendUint64(dst, p.ID)
 	dst = p.Dest.Encode(dst)
-	dst = appendString(dst, p.Action)
+	dst = appendRef(dst, p.Action, interned, t)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(p.Args)))
 	dst = append(dst, p.Args...)
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(p.Cont)))
 	for _, c := range p.Cont {
 		dst = c.Target.Encode(dst)
-		dst = appendString(dst, c.Action)
+		dst = appendRef(dst, c.Action, interned, t)
 	}
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(p.Src))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(p.Hops))
@@ -121,57 +170,118 @@ func (p *Parcel) Encode(dst []byte) []byte {
 }
 
 // Decode parses a parcel from the front of src, returning the remainder.
+// The parcel is freshly allocated and never recycled; the runtime's hot
+// path uses DecodePooled instead.
 func Decode(src []byte) (*Parcel, []byte, error) {
 	p := &Parcel{}
+	rest, err := DecodeInto(p, src)
+	if err != nil {
+		return nil, rest, err
+	}
+	return p, rest, nil
+}
+
+// DecodePooled parses a parcel from the front of src into a pooled parcel.
+// The parcel owns its argument bytes (src may be a transport read buffer
+// that is reused the moment the caller returns) and must be handed to
+// Release exactly once when dispatch completes.
+func DecodePooled(src []byte) (*Parcel, []byte, error) {
+	p := blank()
+	rest, err := DecodeInto(p, src)
+	if err != nil {
+		Release(p)
+		return nil, rest, err
+	}
+	return p, rest, nil
+}
+
+// DecodeInto parses a parcel from the front of src into p, overwriting
+// every field and returning the remainder. Argument bytes are copied into
+// p's own backing store (reused across pool recycles), so src may be
+// recycled by the caller immediately; the continuation stack likewise
+// reuses p's capacity. On error p is partially filled and must be
+// discarded or released, not dispatched.
+func DecodeInto(p *Parcel, src []byte) ([]byte, error) {
+	return decodeInto(p, src, false, nil)
+}
+
+// decodeInto is the shared body of DecodeInto and DecodeIntoInterned;
+// see encode for the single point of difference between the wire forms.
+func decodeInto(p *Parcel, src []byte, interned bool, t Table) ([]byte, error) {
 	if len(src) < 8 {
-		return nil, src, fmt.Errorf("parcel: short ID")
+		return src, fmt.Errorf("parcel: short ID")
 	}
 	p.ID = binary.LittleEndian.Uint64(src)
 	src = src[8:]
 	var err error
 	p.Dest, src, err = agas.DecodeGID(src)
 	if err != nil {
-		return nil, src, fmt.Errorf("parcel: dest: %w", err)
+		return src, fmt.Errorf("parcel: dest: %w", err)
 	}
-	p.Action, src, err = readString(src)
+	p.Action, p.AID, src, err = readRef(src, interned, t)
 	if err != nil {
-		return nil, src, fmt.Errorf("parcel: action: %w", err)
+		return src, fmt.Errorf("parcel: action: %w", err)
 	}
 	if len(src) < 4 {
-		return nil, src, fmt.Errorf("parcel: short args length")
+		return src, fmt.Errorf("parcel: short args length")
 	}
 	argLen := int(binary.LittleEndian.Uint32(src))
 	src = src[4:]
 	if len(src) < argLen {
-		return nil, src, fmt.Errorf("parcel: args truncated: want %d have %d", argLen, len(src))
+		return src, fmt.Errorf("parcel: args truncated: want %d have %d", argLen, len(src))
 	}
 	if argLen > 0 {
-		p.Args = append([]byte(nil), src[:argLen]...)
+		p.argsBuf = append(p.argsBuf[:0], src[:argLen]...)
+		p.Args = p.argsBuf
+	} else {
+		p.Args = nil
 	}
 	src = src[argLen:]
 	if len(src) < 2 {
-		return nil, src, fmt.Errorf("parcel: short continuation count")
+		return src, fmt.Errorf("parcel: short continuation count")
 	}
 	ncont := int(binary.LittleEndian.Uint16(src))
 	src = src[2:]
+	p.Cont = p.Cont[:0]
+	p.ownsCont = true // decoded stacks live in parcel-owned (or fresh) backing
 	for i := 0; i < ncont; i++ {
 		var c Continuation
 		c.Target, src, err = agas.DecodeGID(src)
 		if err != nil {
-			return nil, src, fmt.Errorf("parcel: cont %d target: %w", i, err)
+			return src, fmt.Errorf("parcel: cont %d target: %w", i, err)
 		}
-		c.Action, src, err = readString(src)
+		c.Action, _, src, err = readRef(src, interned, t)
 		if err != nil {
-			return nil, src, fmt.Errorf("parcel: cont %d action: %w", i, err)
+			return src, fmt.Errorf("parcel: cont %d action: %w", i, err)
 		}
 		p.Cont = append(p.Cont, c)
 	}
 	if len(src) < 8 {
-		return nil, src, fmt.Errorf("parcel: short trailer")
+		return src, fmt.Errorf("parcel: short trailer")
 	}
 	p.Src = int(binary.LittleEndian.Uint32(src))
 	p.Hops = int(binary.LittleEndian.Uint32(src[4:]))
-	return p, src[8:], nil
+	return src[8:], nil
+}
+
+// appendRef writes one action reference in the selected wire form.
+func appendRef(dst []byte, s string, interned bool, t Table) []byte {
+	if interned {
+		return appendActionRef(dst, s, t)
+	}
+	return appendString(dst, s)
+}
+
+// readRef parses one action reference in the selected wire form. The
+// plain form never resolves a dispatch ID (and, unlike the interned
+// form, admits action names up to the full MaxString — including length
+// 0xFFFF, which the interned form reserves as its sentinel).
+func readRef(src []byte, interned bool, t Table) (name string, aid uint32, rest []byte, err error) {
+	if interned {
+		return readActionRef(src, t)
+	}
+	name, rest, err = readString(src)
+	return name, NoAID, rest, err
 }
 
 func appendString(dst []byte, s string) []byte {

@@ -1,0 +1,161 @@
+package parcel
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/agas"
+)
+
+// Pooling. The steady-state parcel path recycles Parcel values and encode
+// buffers instead of allocating per message. Ownership is explicit and
+// linear: a pooled parcel has exactly one holder at a time — the holder
+// either passes it on (enqueue, park, re-route) or calls Release exactly
+// once when dispatch completes. Encode buffers follow the same rule: the
+// encoder releases after the frame has been flushed to the transport or
+// decoded by the in-process delivery.
+//
+// Parcels built by New (the public constructor) are not pooled: Release
+// ignores them, so application code that retains a parcel after sending
+// it — tests, traces — keeps today's safe semantics. Only the runtime's
+// internal parcels (decoded arrivals, continuations, split-phase calls)
+// opt into recycling via Acquire and DecodeInto.
+
+var parcelPool = sync.Pool{New: func() any { return &Parcel{} }}
+
+// Acquire returns a pooled parcel initialized like New. The continuation
+// stack is copied into the parcel's own storage (reused across recycles),
+// so the caller's slice is not retained. args is referenced, not copied:
+// the caller must not mutate it until the parcel is released. Pass the
+// parcel to Release when dispatch completes.
+func Acquire(dest agas.GID, action string, args []byte, cont ...Continuation) *Parcel {
+	p := parcelPool.Get().(*Parcel)
+	p.pooled = true
+	p.released = false
+	p.ID = NextID()
+	p.Dest = dest
+	p.Action = action
+	p.AID = NoAID
+	p.Args = args
+	p.Cont = append(p.Cont[:0], cont...)
+	p.ownsCont = true
+	p.Src = 0
+	p.Hops = 0
+	return p
+}
+
+// blank returns a pooled zero parcel for DecodeInto to fill.
+func blank() *Parcel {
+	p := parcelPool.Get().(*Parcel)
+	p.pooled = true
+	p.released = false
+	p.ID = 0
+	p.Dest = agas.Nil
+	p.Action = ""
+	p.AID = NoAID
+	p.Args = nil
+	p.Cont = p.Cont[:0]
+	p.ownsCont = true
+	p.Src = 0
+	p.Hops = 0
+	return p
+}
+
+// Release returns a pooled parcel for reuse. It is a no-op for parcels
+// built with New, so callers may release unconditionally at the end of a
+// dispatch. The parcel (and any Args slice it decoded) must not be touched
+// afterwards. With pool debugging enabled (SetPoolDebug, or the debugpool
+// build tag) a double release panics and released parcels are poisoned so
+// use-after-release fails loudly instead of corrupting a later parcel.
+func Release(p *Parcel) {
+	if p == nil || !p.pooled {
+		return
+	}
+	if cap(p.argsBuf) > maxPooledCapacity {
+		// A jumbo payload must not pin megabytes of backing array on a
+		// pool entry serving ~100-byte steady-state parcels (the same
+		// guard the TCP read buffer applies).
+		p.argsBuf = nil
+	}
+	if poolDebug.Load() {
+		if p.released {
+			panic("parcel: double release of " + p.String())
+		}
+		p.released = true
+		poison(p)
+		parcelPool.Put(p)
+		return
+	}
+	p.Args = nil // never retain a caller's args slice across recycles
+	parcelPool.Put(p)
+}
+
+// maxPooledCapacity bounds the backing arrays recycled through the
+// parcel and wire-buffer pools: anything grown past it by a jumbo
+// payload is dropped to the garbage collector on release instead of
+// being pinned at high-water size forever.
+const maxPooledCapacity = 64 << 10
+
+// poolDebug enables poison-on-put and double-release checks; the race
+// stress tests and the debugpool build tag turn it on.
+var poolDebug atomic.Bool
+
+// SetPoolDebug toggles pool poisoning. Intended for tests; flipping it
+// while parcels are in flight only affects parcels released afterwards.
+func SetPoolDebug(on bool) { poolDebug.Store(on) }
+
+// poison overwrites a released parcel so any later observation misfires
+// deterministically: the nil Dest makes a reused send panic, the action
+// name shows up in any error, and args bytes are shredded.
+func poison(p *Parcel) {
+	p.ID = 0xdddddddddddddddd
+	p.Dest = agas.Nil
+	p.Action = "px.poisoned.use-after-release"
+	p.AID = NoAID
+	p.Args = nil
+	// Shred only the parcel-owned backing store: an Acquire'd parcel merely
+	// references its caller's args slice, which is not ours to scribble on.
+	buf := p.argsBuf[:cap(p.argsBuf)]
+	for i := range buf {
+		buf[i] = 0xdd
+	}
+	p.argsBuf = p.argsBuf[:0]
+	for i := range p.Cont {
+		p.Cont[i] = Continuation{Action: "px.poisoned.use-after-release"}
+	}
+	p.Cont = p.Cont[:0]
+}
+
+// WireBuf is a pooled encode buffer. B is the live byte slice; callers
+// append to B (reassigning it, since appends may grow it) and hand the
+// whole WireBuf back to PutWire when the frame has been flushed or
+// decoded.
+type WireBuf struct{ B []byte }
+
+var wirePool = sync.Pool{New: func() any { return &WireBuf{B: make([]byte, 0, 512)} }}
+
+// GetWire returns a pooled encode buffer with length 0 and retained
+// capacity.
+func GetWire() *WireBuf {
+	w := wirePool.Get().(*WireBuf)
+	w.B = w.B[:0]
+	return w
+}
+
+// PutWire recycles an encode buffer. The slice must not be referenced
+// afterwards; with pool debugging enabled its contents are shredded first.
+func PutWire(w *WireBuf) {
+	if w == nil {
+		return
+	}
+	if cap(w.B) > maxPooledCapacity {
+		w.B = make([]byte, 0, 512) // shed the jumbo backing array
+	}
+	if poolDebug.Load() {
+		b := w.B[:cap(w.B)]
+		for i := range b {
+			b[i] = 0xdd
+		}
+	}
+	wirePool.Put(w)
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package parcel
+
+// raceEnabled reports that the race detector is active: it deliberately
+// randomizes sync.Pool reuse, so exact allocation-count assertions are
+// skipped under -race (the -race runs verify the ownership discipline
+// instead).
+const raceEnabled = true

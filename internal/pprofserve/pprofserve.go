@@ -1,0 +1,24 @@
+// Package pprofserve starts the net/http/pprof debug endpoint for the
+// repo's command-line binaries (the -pprof flag of pxnode and pxbench),
+// so the profiling plumbing lives in one place.
+package pprofserve
+
+import (
+	"net/http"
+	_ "net/http/pprof" // installs the /debug/pprof handlers on the default mux
+)
+
+// Start serves net/http/pprof on addr in a background goroutine and
+// returns immediately; an empty addr is a no-op. Lifecycle messages (the
+// endpoint banner, a failed bind) are reported through logf.
+func Start(addr string, logf func(format string, args ...any)) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			logf("pprof server: %v", err)
+		}
+	}()
+	logf("pprof at http://%s/debug/pprof/", addr)
+}

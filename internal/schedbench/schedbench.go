@@ -14,10 +14,12 @@ package schedbench
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	parallex "repro"
 	"repro/internal/locality"
+	"repro/internal/parcel"
 )
 
 // MutexQueue is the retired single-lock locality scheduler, kept verbatim
@@ -117,6 +119,7 @@ func postDispatch(b *testing.B, producers int, post func(func())) {
 	var wg sync.WaitGroup
 	wg.Add(b.N)
 	task := func() { wg.Done() }
+	b.ReportAllocs()
 	b.ResetTimer()
 	var pwg sync.WaitGroup
 	base, rem := b.N/producers, b.N%producers
@@ -184,6 +187,7 @@ func PingPong(b *testing.B) {
 			close(done)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	hop(2*b.N, 1) // b.N round trips
 	<-done
@@ -206,6 +210,7 @@ func StealImbalance(b *testing.B, thieves int) {
 	var wg sync.WaitGroup
 	wg.Add(b.N)
 	task := func() { wg.Done() }
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := all[0].Post(task); err != nil {
@@ -231,6 +236,7 @@ func StealImbalance(b *testing.B, thieves int) {
 func FanOutFanIn(b *testing.B, width int) {
 	rt := parallex.New(parallex.Config{Localities: 4, WorkersPerLocality: 2})
 	defer rt.Shutdown()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g := parallex.NewAndGate(width)
@@ -275,6 +281,7 @@ func Migrate(b *testing.B, chasers int) {
 			}
 		}(c % 2)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := rt.Migrate(obj, 1-i%2); err != nil {
@@ -289,6 +296,127 @@ func Migrate(b *testing.B, chasers int) {
 		b.ReportMetric(float64(b.N)/sec, "moves/s")
 	}
 	b.ReportMetric(float64(rt.SLOW().Parked.Value())/float64(b.N), "parked/move")
+}
+
+// ParcelFlood drives b.N nop parcels from locality 0 to an object on
+// locality 1 through the full steady-state path — post, AGAS resolve,
+// wire encode, decode, dispatch — on one two-locality runtime with
+// serialization forced. Its allocs/op figure is the hot path's allocation
+// budget per parcel and is gated in CI (cmd/benchdiff -allocdrop).
+func ParcelFlood(b *testing.B, producers int) {
+	rt := parallex.New(parallex.Config{Localities: 2, WorkersPerLocality: 4})
+	defer rt.Shutdown()
+	obj := rt.NewDataAt(1, struct{}{})
+	// Warm the translation cache so the timed region measures steady state.
+	rt.SendFrom(0, parcel.Acquire(obj, parallex.ActionNop, nil))
+	rt.Wait()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var pwg sync.WaitGroup
+	base, rem := b.N/producers, b.N%producers
+	for p := 0; p < producers; p++ {
+		n := base
+		if p < rem {
+			n++
+		}
+		pwg.Add(1)
+		go func(n int) {
+			defer pwg.Done()
+			for i := 0; i < n; i++ {
+				rt.SendFrom(0, parcel.Acquire(obj, parallex.ActionNop, nil))
+			}
+		}(n)
+	}
+	pwg.Wait()
+	rt.Wait()
+	b.StopTimer()
+	reportTaskRate(b, b.N)
+}
+
+// ParcelPingPong bounces one parcel rally between objects on two
+// localities: each action send is a full post→route→encode→decode→dispatch
+// leg with no batching or parallelism to hide behind — per-parcel latency
+// and allocation, measured end to end.
+func ParcelPingPong(b *testing.B) {
+	rt := parallex.New(parallex.Config{Localities: 2, WorkersPerLocality: 1})
+	defer rt.Shutdown()
+	var objs [2]parallex.GID
+	var remaining atomic.Int64
+	done := make(chan struct{})
+	rt.MustRegisterAction("schedbench.pong", func(ctx *parallex.Context, target any, args *parallex.ArgsReader) (any, error) {
+		at := target.(int)
+		if remaining.Add(-1) <= 0 {
+			close(done)
+			return nil, nil
+		}
+		ctx.Send(parcel.Acquire(objs[1-at], "schedbench.pong", nil))
+		return nil, nil
+	})
+	objs[0] = rt.NewDataAt(0, 0)
+	objs[1] = rt.NewDataAt(1, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	remaining.Store(int64(2 * b.N)) // b.N round trips
+	rt.SendFrom(0, parcel.Acquire(objs[1], "schedbench.pong", nil))
+	<-done
+	b.StopTimer()
+	rt.Wait()
+}
+
+// internTable is a minimal parcel.Table for the codec benchmark: wire
+// position = index into names.
+type internTable struct {
+	names []string
+	ids   map[string]uint32
+}
+
+func newInternTable(names ...string) *internTable {
+	t := &internTable{names: names, ids: make(map[string]uint32, len(names))}
+	for i, n := range names {
+		t.ids[n] = uint32(i)
+	}
+	return t
+}
+
+// IDOf reports the wire position of a known action name.
+func (t *internTable) IDOf(n string) (uint32, bool) { id, ok := t.ids[n]; return id, ok }
+
+// ActionOf resolves a wire position back to its name.
+func (t *internTable) ActionOf(id uint32) (string, uint32, bool) {
+	if int(id) >= len(t.names) {
+		return "", parcel.NoAID, false
+	}
+	return t.names[id], parcel.NoAID, true
+}
+
+// WireRoundTrip isolates the pooled parcel wire codec as the runtime
+// drives it: acquire from the pool, encode interned into a recycled
+// buffer, decode back into a pooled parcel, release everything. One small
+// argument record and one continuation per parcel; the steady state is
+// allocation-free.
+func WireRoundTrip(b *testing.B) {
+	tbl := newInternTable("schedbench.touch", parallex.ActionLCOSet)
+	args := parallex.NewArgs().Int64(7).Float64(3.14).Encode()
+	dest := parallex.GID{Home: 1, Kind: parallex.KindData, Seq: 42}
+	cgid := parallex.GID{Home: 0, Kind: parallex.KindLCO, Seq: 9}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := parcel.Acquire(dest, "schedbench.touch", args,
+			parcel.Continuation{Target: cgid, Action: parallex.ActionLCOSet})
+		w := parcel.GetWire()
+		w.B = p.EncodeInterned(w.B, tbl)
+		parcel.Release(p)
+		q, rest, err := parcel.DecodePooledInterned(w.B, tbl)
+		parcel.PutWire(w)
+		if err != nil || len(rest) != 0 {
+			b.Fatalf("decode: %v (%d trailing)", err, len(rest))
+		}
+		if q.Dest != dest {
+			b.Fatal("roundtrip mismatch")
+		}
+		parcel.Release(q)
+	}
 }
 
 // TCPRing3 drives one continuation-chain lap around a three-node TCP
@@ -340,6 +468,7 @@ func TCPRing3(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fgid, fut := rts[0].NewFutureAt(0)

@@ -7,6 +7,7 @@ package thread
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
@@ -106,6 +107,11 @@ type Registry struct {
 	peak        atomic.Int64
 	suspensions atomic.Uint64
 	terminated  atomic.Uint64
+
+	// pool recycles Thread records: identities stay unique (every New
+	// mints a fresh ID) but the allocation is reused, keeping thread spawn
+	// off the per-parcel allocation budget.
+	pool sync.Pool
 }
 
 // NewRegistry returns an empty registry.
@@ -113,7 +119,24 @@ func NewRegistry() *Registry { return &Registry{} }
 
 // New mints a Pending thread homed at the given locality.
 func (r *Registry) New(home int) *Thread {
+	if t, ok := r.pool.Get().(*Thread); ok {
+		t.id = r.counter.Add(1)
+		t.home = home
+		t.state.Store(int32(Pending))
+		return t
+	}
 	return &Thread{id: r.counter.Add(1), home: home, reg: r}
+}
+
+// Recycle returns a Terminated thread's record for reuse. The caller must
+// hold the only reference; the identity (ID) is retired with it and the
+// next New mints a fresh one. Recycling a non-terminated thread is a
+// state-machine violation and is ignored, keeping the statistics honest.
+func (r *Registry) Recycle(t *Thread) {
+	if t == nil || t.State() != Terminated {
+		return
+	}
+	r.pool.Put(t)
 }
 
 func (r *Registry) notePeak() {

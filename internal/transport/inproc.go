@@ -37,6 +37,7 @@ func (f *Fabric) Node(i int) Transport {
 type inprocFrame struct {
 	from  int
 	frame []byte
+	hello bool // a peer hello payload, delivered to the hello handler
 }
 
 type inprocEndpoint struct {
@@ -46,6 +47,8 @@ type inprocEndpoint struct {
 	mu      sync.Mutex
 	queue   []inprocFrame
 	handler Handler
+	hello   []byte
+	onHello func(node int, payload []byte)
 	started bool
 	closed  bool
 
@@ -65,21 +68,86 @@ func (e *inprocEndpoint) SetHandler(h Handler) {
 	e.handler = h
 }
 
-func (e *inprocEndpoint) Start() error {
+// SetHello installs the payload announced to peers (HelloTransport).
+func (e *inprocEndpoint) SetHello(payload []byte) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.started {
+		panic("transport: SetHello after Start")
+	}
+	e.hello = payload
+}
+
+// SetHelloHandler installs the receiver for peer hellos (HelloTransport).
+func (e *inprocEndpoint) SetHelloHandler(h func(node int, payload []byte)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		panic("transport: SetHelloHandler after Start")
+	}
+	e.onHello = h
+}
+
+func (e *inprocEndpoint) Start() error {
+	e.mu.Lock()
 	if e.handler == nil {
+		e.mu.Unlock()
 		return fmt.Errorf("transport: node %d started without a handler", e.self)
 	}
 	if e.closed {
+		e.mu.Unlock()
 		return ErrClosed
 	}
 	if e.started {
+		e.mu.Unlock()
 		return nil
 	}
 	e.started = true
+	hello := e.hello
+	e.mu.Unlock()
 	go e.deliver()
+	// Exchange hellos with peers that already started (endpoints starting
+	// later push both directions themselves). Queued like frames, a hello
+	// is delivered before any frame this endpoint sends afterwards —
+	// mirroring the TCP handshake ordering. Both queues are appended
+	// under both endpoints' locks (taken in index order, so concurrent
+	// Starts cannot deadlock): the moment one side can observe the
+	// other's hello — and start sending frames that depend on it, such as
+	// interned parcels — its own hello is already queued ahead of them at
+	// the peer. When two endpoints start concurrently both may push the
+	// exchange; hello handlers are idempotent by contract, so the
+	// duplicate is harmless.
+	for _, o := range e.fab.eps {
+		if o == e {
+			continue
+		}
+		first, second := e, o
+		if o.self < e.self {
+			first, second = o, e
+		}
+		first.mu.Lock()
+		second.mu.Lock()
+		exchanged := o.started
+		if exchanged {
+			o.queue = append(o.queue, inprocFrame{from: e.self, frame: hello, hello: true})
+			e.queue = append(e.queue, inprocFrame{from: o.self, frame: o.hello, hello: true})
+		}
+		second.mu.Unlock()
+		first.mu.Unlock()
+		if exchanged {
+			o.poke()
+			e.poke()
+		}
+	}
 	return nil
+}
+
+// poke nudges the delivery goroutine.
+func (e *inprocEndpoint) poke() {
+	select {
+	case e.notify <- struct{}{}:
+	default:
+	}
 }
 
 func (e *inprocEndpoint) Send(node int, frame []byte) error {
@@ -100,10 +168,7 @@ func (e *inprocEndpoint) Send(node int, frame []byte) error {
 	}
 	dst.queue = append(dst.queue, inprocFrame{from: e.self, frame: cp})
 	dst.mu.Unlock()
-	select {
-	case dst.notify <- struct{}{}:
-	default:
-	}
+	dst.poke()
 	return nil
 }
 
@@ -123,7 +188,14 @@ func (e *inprocEndpoint) deliver() {
 		it := e.queue[0]
 		e.queue = e.queue[1:]
 		h := e.handler
+		oh := e.onHello
 		e.mu.Unlock()
+		if it.hello {
+			if oh != nil {
+				oh(it.from, it.frame)
+			}
+			continue
+		}
 		h(it.from, it.frame)
 	}
 }

@@ -78,6 +78,8 @@ type TCP struct {
 
 	mu      sync.Mutex
 	handler Handler
+	hello   []byte
+	onHello func(node int, payload []byte)
 	started bool
 	closed  bool
 	inbound map[net.Conn]struct{}
@@ -183,6 +185,42 @@ func (t *TCP) SetHandler(h Handler) {
 	t.handler = h
 }
 
+// SetHello installs the payload exchanged inside every connection
+// handshake (HelloTransport).
+func (t *TCP) SetHello(payload []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.started {
+		panic("transport: SetHello after Start")
+	}
+	if len(payload) > MaxHello {
+		panic(fmt.Sprintf("transport: hello payload of %d bytes exceeds limit %d", len(payload), MaxHello))
+	}
+	t.hello = payload
+}
+
+// SetHelloHandler installs the receiver for peer hello payloads
+// (HelloTransport). It runs on connection goroutines, once per completed
+// handshake, before any frame from that connection.
+func (t *TCP) SetHelloHandler(h func(node int, payload []byte)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.started {
+		panic("transport: SetHelloHandler after Start")
+	}
+	t.onHello = h
+}
+
+// deliverHello hands a peer's handshake payload to the hello handler.
+func (t *TCP) deliverHello(node int, payload []byte) {
+	t.mu.Lock()
+	h := t.onHello
+	t.mu.Unlock()
+	if h != nil {
+		h(node, payload)
+	}
+}
+
 // Start begins accepting peer connections.
 func (t *TCP) Start() error {
 	t.mu.Lock()
@@ -205,54 +243,98 @@ func (t *TCP) Start() error {
 	return nil
 }
 
-// Handshake wire form: magic | version | node ID | locality range lo, hi.
+// Handshake wire form: magic | version | node ID | locality range lo, hi |
+// u32 hello length | hello payload. Version 2 added the hello payload
+// (carrying, e.g., the runtime's action-interning table); because the
+// payload travels inside the handshake it precedes every frame on the
+// connection and is re-announced automatically on reconnect.
+//
+// A version-1 header (no hello field) is still accepted — the peer is
+// treated as having announced an empty hello, i.e. string-form-only.
+// The compatibility is necessarily one-directional: a v1 binary's own
+// strict version check rejects our v2 header, so in a rolling upgrade
+// old nodes can dial new ones but not the reverse.
 const (
-	hsMagic   = 0x50585450 // "PXTP"
-	hsVersion = 1
-	hsSize    = 4 + 2 + 4 + 4 + 4
+	hsMagic      = 0x50585450 // "PXTP"
+	hsVersion    = 2
+	hsMinVersion = 1
+	hsHeadSize   = 4 + 2 + 4 + 4 + 4 // magic..range; v2 adds u32 len + hello
+	hsSize       = hsHeadSize + 4
 )
 
-func (t *TCP) handshakeBytes() []byte {
+func (t *TCP) handshakeBytes() []byte { return t.handshakeBytesV(hsVersion) }
+
+// handshakeBytesV encodes this node's header in the given handshake
+// version — v1 when answering a v1 peer, whose own reader rejects any
+// other version.
+func (t *TCP) handshakeBytesV(version uint16) []byte {
 	var lo, hi uint32
 	if t.cfg.Ranges != nil {
 		lo = uint32(t.cfg.Ranges[t.cfg.Self][0])
 		hi = uint32(t.cfg.Ranges[t.cfg.Self][1])
 	}
-	buf := make([]byte, 0, hsSize)
+	t.mu.Lock()
+	hello := t.hello
+	t.mu.Unlock()
+	buf := make([]byte, 0, hsSize+len(hello))
 	buf = binary.LittleEndian.AppendUint32(buf, hsMagic)
-	buf = binary.LittleEndian.AppendUint16(buf, hsVersion)
+	buf = binary.LittleEndian.AppendUint16(buf, version)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.cfg.Self))
 	buf = binary.LittleEndian.AppendUint32(buf, lo)
 	buf = binary.LittleEndian.AppendUint32(buf, hi)
+	if version >= 2 {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(hello)))
+		buf = append(buf, hello...)
+	}
 	return buf
 }
 
 // readHandshake parses and validates a peer header, returning the peer's
-// node ID.
-func (t *TCP) readHandshake(r io.Reader) (int, error) {
-	var buf [hsSize]byte
+// node ID, hello payload (nil for a v1 peer, which has none), and the
+// handshake version the peer spoke.
+func (t *TCP) readHandshake(r io.Reader) (int, []byte, uint16, error) {
+	var buf [hsHeadSize]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
-		return 0, fmt.Errorf("transport: handshake read: %w", err)
+		return 0, nil, 0, fmt.Errorf("transport: handshake read: %w", err)
 	}
 	if m := binary.LittleEndian.Uint32(buf[0:4]); m != hsMagic {
-		return 0, fmt.Errorf("transport: bad handshake magic %#x", m)
+		return 0, nil, 0, fmt.Errorf("transport: bad handshake magic %#x", m)
 	}
-	if v := binary.LittleEndian.Uint16(buf[4:6]); v != hsVersion {
-		return 0, fmt.Errorf("transport: handshake version %d, want %d", v, hsVersion)
+	v := binary.LittleEndian.Uint16(buf[4:6])
+	if v < hsMinVersion || v > hsVersion {
+		return 0, nil, 0, fmt.Errorf("transport: handshake version %d, want %d..%d", v, hsMinVersion, hsVersion)
 	}
 	node := int(binary.LittleEndian.Uint32(buf[6:10]))
 	if node < 0 || node >= len(t.peers) || node == t.cfg.Self {
-		return 0, fmt.Errorf("transport: handshake from invalid node %d", node)
+		return 0, nil, 0, fmt.Errorf("transport: handshake from invalid node %d", node)
 	}
 	if t.cfg.Ranges != nil {
 		lo := int(binary.LittleEndian.Uint32(buf[10:14]))
 		hi := int(binary.LittleEndian.Uint32(buf[14:18]))
 		if want := t.cfg.Ranges[node]; lo != want[0] || hi != want[1] {
-			return 0, fmt.Errorf("transport: node %d announced localities [%d,%d), want [%d,%d)",
+			return 0, nil, 0, fmt.Errorf("transport: node %d announced localities [%d,%d), want [%d,%d)",
 				node, lo, hi, want[0], want[1])
 		}
 	}
-	return node, nil
+	if v < 2 {
+		return node, nil, v, nil // v1 carries no hello: a string-only peer
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, nil, 0, fmt.Errorf("transport: handshake hello length read: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n > MaxHello {
+		return 0, nil, 0, fmt.Errorf("transport: node %d announced a %d-byte hello, limit %d", node, n, MaxHello)
+	}
+	var hello []byte
+	if n > 0 {
+		hello = make([]byte, n)
+		if _, err := io.ReadFull(r, hello); err != nil {
+			return 0, nil, 0, fmt.Errorf("transport: handshake hello read: %w", err)
+		}
+	}
+	return node, hello, v, nil
 }
 
 func (t *TCP) acceptLoop() {
@@ -295,15 +377,24 @@ func (t *TCP) serveConn(conn net.Conn) {
 	deadline := time.Now().Add(t.cfg.HandshakeTimeout)
 	conn.SetDeadline(deadline)
 	br := bufio.NewReaderSize(conn, 64<<10)
-	from, err := t.readHandshake(br)
+	from, hello, peerVer, err := t.readHandshake(br)
 	if err != nil {
 		return
 	}
-	if _, err := conn.Write(t.handshakeBytes()); err != nil {
+	// Reply in the peer's own version: a v1 binary's reader strictly
+	// rejects anything else, and the v1 reply it expects has no hello.
+	if _, err := conn.Write(t.handshakeBytesV(peerVer)); err != nil {
 		return
 	}
 	conn.SetDeadline(time.Time{})
+	// The hello is delivered before any frame from this connection: frames
+	// that depend on it (interned parcels) decode against it in order.
+	t.deliverHello(from, hello)
 	var lenBuf [4]byte
+	// One read buffer per connection, grown to the largest frame seen: the
+	// steady-state receive path performs zero allocations. The handler
+	// contract (copy what you retain) makes the reuse safe.
+	var frame []byte
 	for {
 		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
 			return
@@ -312,7 +403,10 @@ func (t *TCP) serveConn(conn net.Conn) {
 		if n > MaxFrame {
 			return // corrupt stream; drop the connection
 		}
-		frame := make([]byte, n)
+		if uint32(cap(frame)) < n {
+			frame = make([]byte, n)
+		}
+		frame = frame[:n]
 		if _, err := io.ReadFull(br, frame); err != nil {
 			return
 		}
@@ -323,6 +417,12 @@ func (t *TCP) serveConn(conn net.Conn) {
 			return
 		}
 		h(from, frame)
+		// Don't let one jumbo frame (a migration payload can reach
+		// MaxFrame = 16MB) pin its buffer for the connection's lifetime;
+		// steady-state parcels are a few hundred bytes.
+		if cap(frame) > 64<<10 {
+			frame = nil
+		}
 	}
 }
 
@@ -472,20 +572,24 @@ func (t *TCP) dial(node int, addr string, reconnect bool) (net.Conn, error) {
 }
 
 // completeDial runs the client half of the handshake and verifies the
-// answering node is the one we meant to reach.
+// answering node is the one we meant to reach. The peer's hello payload
+// (read from its handshake response) is delivered before the dial is
+// declared complete, so a sender learns the peer's capabilities before
+// its first frame on the new connection.
 func (t *TCP) completeDial(conn net.Conn, node int) error {
 	conn.SetDeadline(time.Now().Add(t.cfg.HandshakeTimeout))
 	defer conn.SetDeadline(time.Time{})
 	if _, err := conn.Write(t.handshakeBytes()); err != nil {
 		return err
 	}
-	got, err := t.readHandshake(conn)
+	got, hello, _, err := t.readHandshake(conn)
 	if err != nil {
 		return err
 	}
 	if got != node {
 		return fmt.Errorf("transport: dialed node %d but node %d answered", node, got)
 	}
+	t.deliverHello(got, hello)
 	return nil
 }
 

@@ -19,7 +19,8 @@ import (
 )
 
 // Handler consumes one received frame. from is the sending node's ID. The
-// frame slice is owned by the handler; transports never reuse it.
+// frame slice is valid only until the handler returns — transports reuse
+// their read buffers — so a handler must copy any bytes it retains.
 // Handlers run on transport goroutines and must not block indefinitely.
 type Handler func(from int, frame []byte)
 
@@ -46,6 +47,29 @@ type Transport interface {
 	// Close is idempotent; after it returns no handler calls are made.
 	Close() error
 }
+
+// HelloTransport is optionally implemented by transports that carry an
+// application hello payload exchanged when two nodes connect. The runtime
+// uses it to announce its action-interning table: because the payload
+// rides the connection handshake, it reaches the peer before any frame
+// sent over that connection, re-announcing automatically on reconnect.
+// Transports without hello support simply leave peers un-announced — the
+// runtime then speaks the universally understood string wire form.
+type HelloTransport interface {
+	Transport
+	// SetHello installs the opaque payload announced to peers. It must be
+	// called before Start; nil announces an empty payload.
+	SetHello(payload []byte)
+	// SetHelloHandler installs the receiver for peers' hello payloads. The
+	// handler runs before any frame from that peer's connection is
+	// delivered, may run again on reconnection, and may be called
+	// concurrently for different peers. It must be set before Start.
+	SetHelloHandler(h func(node int, payload []byte))
+}
+
+// MaxHello bounds a handshake hello payload; a peer announcing a larger
+// one is treated as corrupt and disconnected.
+const MaxHello = 1 << 20
 
 // ErrClosed is returned by Send on a closed transport.
 var ErrClosed = errors.New("transport: closed")

@@ -1,7 +1,9 @@
 package transport
 
 import (
+	"encoding/binary"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"testing"
@@ -333,5 +335,74 @@ func TestTCPHandshakeRejectsWrongRanges(t *testing.T) {
 	}
 	if err := ta.Send(1, []byte("mismatched")); err == nil {
 		t.Fatal("send across mismatched partitions succeeded")
+	}
+}
+
+// TestTCPAcceptsV1Handshake: a peer speaking the version-1 header (no
+// hello field) still connects and delivers frames; it is treated as a
+// string-only node (nil hello). Rolling upgrades keep old dialers working
+// against new listeners.
+func TestTCPAcceptsV1Handshake(t *testing.T) {
+	tt, err := NewTCP(TCPConfig{Self: 0, Listen: "127.0.0.1:0", Peers: make([]string, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tt.Close()
+	col := &collector{}
+	tt.SetHandler(col.handle)
+	var helloMu sync.Mutex
+	var hellos [][]byte
+	tt.SetHelloHandler(func(node int, payload []byte) {
+		helloMu.Lock()
+		hellos = append(hellos, payload)
+		helloMu.Unlock()
+	})
+	tt.SetPeers([]string{tt.Addr().String(), "127.0.0.1:1"})
+	if err := tt.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := net.Dial("tcp", tt.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Version-1 header: magic | u16 1 | node 1 | lo 0 | hi 0 — and then
+	// immediately a frame, with no hello field in between.
+	hs := binary.LittleEndian.AppendUint32(nil, hsMagic)
+	hs = binary.LittleEndian.AppendUint16(hs, 1)
+	hs = binary.LittleEndian.AppendUint32(hs, 1)
+	hs = binary.LittleEndian.AppendUint32(hs, 0)
+	hs = binary.LittleEndian.AppendUint32(hs, 0)
+	if _, err := conn.Write(hs); err != nil {
+		t.Fatal(err)
+	}
+	// The listener must answer in v1 format — fixed 18-byte header,
+	// version 1, no hello field — or a real v1 binary's strict version
+	// check would drop the connection.
+	reply := make([]byte, 18)
+	if _, err := io.ReadFull(conn, reply); err != nil {
+		t.Fatalf("v1 reply read: %v", err)
+	}
+	if m := binary.LittleEndian.Uint32(reply[0:4]); m != hsMagic {
+		t.Fatalf("v1 reply magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint16(reply[4:6]); v != 1 {
+		t.Fatalf("v1 peer answered with handshake version %d, want 1", v)
+	}
+	payload := []byte("from-the-past")
+	frame := binary.LittleEndian.AppendUint32(nil, uint32(len(payload)))
+	frame = append(frame, payload...)
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	got := col.wait(t, 1)
+	if got[0].from != 1 || got[0].data != "from-the-past" {
+		t.Fatalf("frame from v1 peer: from=%d data=%q", got[0].from, got[0].data)
+	}
+	helloMu.Lock()
+	defer helloMu.Unlock()
+	if len(hellos) != 1 || hellos[0] != nil {
+		t.Fatalf("v1 peer hello: got %v, want one nil payload", hellos)
 	}
 }
