@@ -91,6 +91,14 @@ func BenchmarkSchedMigrate(b *testing.B) {
 	schedbench.Migrate(b, 4)
 }
 
+// BenchmarkDistFutureRoundTrip measures one distributed-future
+// synchronization across a two-node machine: create, remote set over an
+// fLCOSet frame, acknowledgement, and the waiter fire back. CI gates its
+// regression against BENCH_baseline.json.
+func BenchmarkDistFutureRoundTrip(b *testing.B) {
+	schedbench.DistFutureRoundTrip(b)
+}
+
 // BenchmarkE1Figure1Architecture regenerates Figure 1 from the model.
 func BenchmarkE1Figure1Architecture(b *testing.B) {
 	var fig string

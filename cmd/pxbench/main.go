@@ -43,6 +43,7 @@ func runSched(jsonPath string) {
 		{"SchedParcelPingPong", schedbench.ParcelPingPong},
 		{"WireRoundTrip", schedbench.WireRoundTrip},
 		{"TCPRing3", schedbench.TCPRing3},
+		{"DistFutureRoundTrip", schedbench.DistFutureRoundTrip},
 	}
 	fmt.Printf("%-28s %12s %14s  extras\n", "benchmark", "iters", "ns/op")
 	for _, bm := range benches {

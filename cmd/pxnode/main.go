@@ -9,7 +9,11 @@
 // locality before resolving a future back home; reduce fans a rank query
 // out and funnels the answers into one Reduce LCO; migrate rebalances a
 // ring of vector objects skewed onto node 0 by live-migrating them
-// across the machine, comparing the burst latency before and after.
+// across the machine, comparing the burst latency before and after;
+// reduce-lco runs the same all-to-one collective through the distributed
+// LCO gate tree (per-node leaf reductions feeding an AGAS-homed root);
+// barrier runs machine-wide barrier rounds over distributed gate trees,
+// every locality arriving and awaiting the release.
 //
 // The -localities flag gives the locality count per node in node order
 // ("2,2,2" = three nodes hosting localities [0,2), [2,4), [4,6)).
@@ -30,6 +34,7 @@ import (
 	"time"
 
 	parallex "repro"
+	"repro/internal/lco/collect"
 	"repro/internal/pprofserve"
 )
 
@@ -38,7 +43,7 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated host:port of every node, in node order")
 	locs := flag.String("localities", "", "locality count per node in node order, e.g. 2,2,2 = nodes hosting [0,2) [2,4) [4,6)")
 	listen := flag.String("listen", "", "listen address (default: the -peers entry for this node)")
-	workload := flag.String("workload", "", "ping | ring | reduce | migrate (node 0 only; empty = serve until halt)")
+	workload := flag.String("workload", "", "ping | ring | reduce | reduce-lco | barrier | migrate (node 0 only; empty = serve until halt)")
 	iters := flag.Int("n", 100, "workload iterations")
 	workers := flag.Int("workers", 4, "workers per locality")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = off")
@@ -107,6 +112,10 @@ func main() {
 		runRing(rt, home, *iters)
 	case "reduce":
 		runReduce(rt, home, *iters)
+	case "reduce-lco":
+		runReduceLCO(rt, home, *iters)
+	case "barrier":
+		runBarrier(rt, home, *iters)
 	case "migrate":
 		runMigrate(rt, home, *iters)
 	case "":
@@ -157,6 +166,37 @@ func parseLocalities(spec string, nodes int) ([]parallex.LocalityRange, error) {
 // node registers everything: action names travel in parcels and any
 // locality may be asked to execute one.
 func registerDistActions(rt *parallex.Runtime) {
+	collect.RegisterActions(rt)
+	// pxnode.contrib-rank contributes the executing locality's index into
+	// the named reduce-lco collective's local leaf.
+	rt.MustRegisterAction("pxnode.contrib-rank", func(ctx *parallex.Context, target any, args *parallex.ArgsReader) (any, error) {
+		id := args.String()
+		if err := args.Err(); err != nil {
+			return nil, err
+		}
+		red, err := collect.AttachReduce(ctx.Runtime(), id)
+		if err != nil {
+			return nil, err
+		}
+		return nil, red.Contribute(ctx.Locality(), int64(ctx.Locality()))
+	})
+	// pxnode.arrive arrives at the named barrier and suspends until the
+	// machine-wide release — the action's own completion witnesses the
+	// barrier round.
+	rt.MustRegisterAction("pxnode.arrive", func(ctx *parallex.Context, target any, args *parallex.ArgsReader) (any, error) {
+		id := args.String()
+		if err := args.Err(); err != nil {
+			return nil, err
+		}
+		bar, err := collect.AttachBarrier(ctx.Runtime(), id)
+		if err != nil {
+			return nil, err
+		}
+		rel := bar.Released(ctx.Locality())
+		bar.Arrive(ctx.Locality())
+		_, err = ctx.Await(rel)
+		return nil, err
+	})
 	// pxnode.rank answers with the executing locality's index.
 	rt.MustRegisterAction("pxnode.rank", func(ctx *parallex.Context, target any, args *parallex.ArgsReader) (any, error) {
 		return int64(ctx.Locality()), nil
@@ -294,6 +334,84 @@ func runMigrate(rt *parallex.Runtime, home, iters int) {
 	fmt.Printf("pxnode: rebalanced %d objects across %d localities in %v\n",
 		n, n, time.Since(migStart))
 	burst("balanced")
+}
+
+// runReduceLCO runs the distributed-LCO flavor of the all-to-one
+// collective: each locality contributes its rank into its node's leaf
+// reduction, the leaves feed the AGAS-homed root, and the driver awaits
+// the root — one cross-node frame per node per round instead of one per
+// locality.
+func runReduceLCO(rt *parallex.Runtime, home, iters int) {
+	n := rt.Localities()
+	want := int64(n * (n - 1) / 2)
+	counts := make([]int, rt.Nodes())
+	for node := range counts {
+		counts[node] = rt.NodeRange(node).Count()
+	}
+	for i := 0; i < iters; i++ {
+		id := fmt.Sprintf("pxnode-reduce-%d", i)
+		red, err := collect.NewReduce(rt, home, id, counts, parallex.ReduceSum, int64(0))
+		if err != nil {
+			die(rt, "pxnode: reduce-lco round %d: %v", i, err)
+		}
+		res := red.Result(home)
+		args := parallex.NewArgs().String(id).Encode()
+		for loc := 0; loc < n; loc++ {
+			rt.SendFrom(home, parallex.NewParcel(rt.LocalityGID(loc), "pxnode.contrib-rank", args))
+		}
+		v, err := res.Get()
+		if err != nil {
+			die(rt, "pxnode: reduce-lco round %d: %v", i, err)
+		}
+		if got := v.(int64); got != want {
+			die(rt, "pxnode: reduce-lco round %d = %d, want %d", i, got, want)
+		}
+		if err := red.Free(home); err != nil {
+			die(rt, "pxnode: reduce-lco round %d teardown: %v", i, err)
+		}
+	}
+	fmt.Printf("pxnode: reduce-lco %d rounds over a %d-leaf gate tree (rank sum %d)\n",
+		iters, rt.Nodes(), want)
+}
+
+// runBarrier runs machine-wide barrier rounds over distributed gate
+// trees: every locality arrives and suspends until the release fans back
+// out; the round is complete when every arrive action has resumed.
+func runBarrier(rt *parallex.Runtime, home, iters int) {
+	n := rt.Localities()
+	counts := make([]int, rt.Nodes())
+	for node := range counts {
+		counts[node] = rt.NodeRange(node).Count()
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		id := fmt.Sprintf("pxnode-barrier-%d", i)
+		bar, err := collect.NewBarrier(rt, home, id, counts)
+		if err != nil {
+			die(rt, "pxnode: barrier round %d: %v", i, err)
+		}
+		rel := bar.Released(home)
+		args := parallex.NewArgs().String(id).Encode()
+		futs := make([]*parallex.Future, n)
+		for loc := 0; loc < n; loc++ {
+			futs[loc] = rt.CallFrom(home, rt.LocalityGID(loc), "pxnode.arrive", args)
+		}
+		// Every arrive action resumes only after the machine-wide release,
+		// so resolved calls witness the whole round.
+		for loc, fut := range futs {
+			if _, err := fut.Get(); err != nil {
+				die(rt, "pxnode: barrier round %d locality %d: %v", i, loc, err)
+			}
+		}
+		if _, err := rel.Get(); err != nil {
+			die(rt, "pxnode: barrier round %d release: %v", i, err)
+		}
+		if err := bar.Free(home); err != nil {
+			die(rt, "pxnode: barrier round %d teardown: %v", i, err)
+		}
+	}
+	fmt.Printf("pxnode: barrier %d rounds over %d localities, %.1fµs mean round\n",
+		iters, n, float64(time.Since(start).Microseconds())/float64(iters))
 }
 
 // runReduce fans a rank query out to every locality, funnelling the

@@ -89,6 +89,13 @@ func (c *cowEntries) mutate(fn func(m map[GID]entry)) {
 	c.m.Store(&next)
 }
 
+// ErrUnknown reports a resolution of a name this node's authoritative
+// structures have never seen — or have already freed. Callers running
+// idempotent protocols (duplicated LCO triggers racing a consumed
+// one-shot future) test for it with errors.Is and treat the access as
+// benignly late rather than as a fault.
+var ErrUnknown = errors.New("agas: unknown name")
+
 // ErrMoved reports that an object is no longer where the resolver last
 // knew it: a forwarding pointer, left by a departed migration, answered
 // instead of an authoritative directory. Resolutions wrapping ErrMoved
@@ -300,7 +307,7 @@ func (s *Service) OwnerGen(g GID) (int, uint64, error) {
 	}
 	e, ok := s.dirs[home].load(g)
 	if !ok {
-		return 0, 0, fmt.Errorf("agas: unknown name %v", g)
+		return 0, 0, fmt.Errorf("%w: %v", ErrUnknown, g)
 	}
 	return e.owner, e.gen, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -150,6 +151,13 @@ const (
 	ActionLCOSignal = "px.lco.signal"
 	// ActionLCOContribute contributes the parcel's value to a Reduce target.
 	ActionLCOContribute = "px.lco.contribute"
+	// ActionLCOTrigger applies one identified, idempotent trigger to a
+	// distributed LCO target: args carry the trigger ID, operation, slot,
+	// and value record (see Runtime.SetLCO and friends). It is the local
+	// leg of the distributed LCO protocol; cross-node hops ride
+	// fLCOSet/fLCOFire frames that re-enter this action on the owning
+	// node.
+	ActionLCOTrigger = "px.lco.trigger"
 	// ActionNop does nothing; useful for measuring pure parcel overhead.
 	ActionNop = "px.nop"
 )
@@ -161,33 +169,48 @@ func registerBuiltins(a *actionRegistry) {
 		}
 	}
 	mustReg(ActionLCOSet, func(ctx *Context, target any, args *parcel.Reader) (any, error) {
-		f, ok := target.(*lco.Future)
-		if !ok {
-			return nil, fmt.Errorf("core: %s on %T", ActionLCOSet, target)
+		switch f := target.(type) {
+		case *lco.Future:
+			v, err := decodeValueArg(args)
+			if err != nil {
+				return nil, err
+			}
+			if err := f.Set(v); err != nil {
+				return nil, err
+			}
+			return v, nil
+		case *DistLCO:
+			// A continuation-borne trigger: the dedup ID derives from the
+			// carrying parcel, so a fault-duplicated delivery applies once.
+			raw := args.Bytes()
+			if err := args.Err(); err != nil {
+				return nil, err
+			}
+			v, err := parcel.DecodeAny(raw)
+			if err != nil {
+				return nil, err
+			}
+			return v, ctx.rt.applyDistTrigger(ctx.loc, f, ctx.tid, TrigSet, 0, raw)
 		}
-		v, err := decodeValueArg(args)
-		if err != nil {
-			return nil, err
-		}
-		if err := f.Set(v); err != nil {
-			return nil, err
-		}
-		return v, nil
+		return nil, fmt.Errorf("core: %s on %T", ActionLCOSet, target)
 	})
 	mustReg(ActionLCOFail, func(ctx *Context, target any, args *parcel.Reader) (any, error) {
-		f, ok := target.(*lco.Future)
-		if !ok {
-			return nil, fmt.Errorf("core: %s on %T", ActionLCOFail, target)
-		}
 		msg := args.String()
 		if err := args.Err(); err != nil {
 			return nil, err
 		}
-		failErr := fmt.Errorf("remote action failed: %s", msg)
-		if err := f.Fail(failErr); err != nil {
-			return nil, err
+		switch f := target.(type) {
+		case *lco.Future:
+			failErr := fmt.Errorf("remote action failed: %s", msg)
+			if err := f.Fail(failErr); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		case *DistLCO:
+			raw, _ := parcel.EncodeAny(msg)
+			return nil, ctx.rt.applyDistTrigger(ctx.loc, f, ctx.tid, TrigFail, 0, raw)
 		}
-		return nil, nil
+		return nil, fmt.Errorf("core: %s on %T", ActionLCOFail, target)
 	})
 	mustReg(ActionLCOSignal, func(ctx *Context, target any, args *parcel.Reader) (any, error) {
 		switch g := target.(type) {
@@ -195,28 +218,104 @@ func registerBuiltins(a *actionRegistry) {
 			g.Signal()
 		case *lco.Metathread:
 			g.Signal()
+		case *DistLCO:
+			return nil, ctx.rt.applyDistTrigger(ctx.loc, g, ctx.tid, TrigSignal, 0, nil)
 		default:
 			return nil, fmt.Errorf("core: %s on %T", ActionLCOSignal, target)
 		}
 		return nil, nil
 	})
 	mustReg(ActionLCOContribute, func(ctx *Context, target any, args *parcel.Reader) (any, error) {
-		red, ok := target.(*lco.Reduce)
-		if !ok {
-			return nil, fmt.Errorf("core: %s on %T", ActionLCOContribute, target)
+		switch red := target.(type) {
+		case *lco.Reduce:
+			v, err := decodeValueArg(args)
+			if err != nil {
+				return nil, err
+			}
+			if err := red.Contribute(v); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		case *DistLCO:
+			raw := args.Bytes()
+			if err := args.Err(); err != nil {
+				return nil, err
+			}
+			return nil, ctx.rt.applyDistTrigger(ctx.loc, red, ctx.tid, TrigContribute, 0, raw)
 		}
-		v, err := decodeValueArg(args)
-		if err != nil {
+		return nil, fmt.Errorf("core: %s on %T", ActionLCOContribute, target)
+	})
+	mustReg(ActionLCOTrigger, func(ctx *Context, target any, args *parcel.Reader) (any, error) {
+		tid := args.Uint64()
+		op := TrigOp(args.Uint64())
+		slot := uint32(args.Uint64())
+		raw := args.Bytes()
+		if err := args.Err(); err != nil {
 			return nil, err
 		}
-		if err := red.Contribute(v); err != nil {
-			return nil, err
+		switch t := target.(type) {
+		case *DistLCO:
+			return nil, ctx.rt.applyDistTrigger(ctx.loc, t, tid, op, slot, raw)
+		default:
+			return nil, applyPlainTrigger(t, op, raw)
 		}
-		return nil, nil
 	})
 	mustReg(ActionNop, func(ctx *Context, target any, args *parcel.Reader) (any, error) {
 		return nil, nil
 	})
+}
+
+// applyPlainTrigger maps a distributed trigger onto a process-local LCO —
+// the waiter futures of WaitLCO, or any plain LCO a trigger names. Plain
+// LCOs carry no dedup set, so idempotence here is what the type itself
+// offers: single-assignment targets (set/fail — the whole WaitLCO fire
+// path) absorb a duplicated delivery silently because the first copy
+// carried this exact value, but a plain AndGate signal or Reduce
+// contribution is counted as delivered. Synchronization that must
+// survive duplication faults targets a DistLCO, whose trigger IDs dedup
+// every operation.
+func applyPlainTrigger(target any, op TrigOp, raw []byte) error {
+	switch t := target.(type) {
+	case *lco.Future:
+		switch op {
+		case TrigSet:
+			v, err := parcel.DecodeAny(raw)
+			if err != nil {
+				return err
+			}
+			if err := t.Set(v); err != nil && !errors.Is(err, lco.ErrAlreadySet) {
+				return err
+			}
+			return nil
+		case TrigFail:
+			v, err := parcel.DecodeAny(raw)
+			if err != nil {
+				return err
+			}
+			msg, _ := v.(string)
+			if err := t.Fail(fmt.Errorf("remote LCO failed: %s", msg)); err != nil && !errors.Is(err, lco.ErrAlreadySet) {
+				return err
+			}
+			return nil
+		}
+	case *lco.AndGate:
+		if op == TrigSignal {
+			t.Signal()
+			return nil
+		}
+	case *lco.Reduce:
+		if op == TrigContribute {
+			v, err := parcel.DecodeAny(raw)
+			if err != nil {
+				return err
+			}
+			if err := t.Contribute(v); err != nil && !errors.Is(err, lco.ErrAlreadySet) {
+				return err
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("core: %s trigger on %T", op, target)
 }
 
 // decodeValueArg reads a single EncodeAny-encoded value from args.
@@ -245,6 +344,10 @@ type Context struct {
 	rt  *Runtime
 	loc int
 	th  interface{ Suspend() error }
+	// tid is the parcel-derived trigger ID for the dispatch in flight
+	// (see parcelTriggerID): it makes continuation-borne DistLCO triggers
+	// idempotent under duplicated delivery. Zero for non-parcel threads.
+	tid uint64
 }
 
 // Locality reports the executing locality.

@@ -31,6 +31,9 @@ const (
 	fDirUpdate  = byte(10) // home-directory commit request: u64 xid | gid | u32 owner | u64 gen
 	fDirOK      = byte(11) // commit outcome: u64 xid | u8 ok | str error
 	fParcelI    = byte(12) // parcel in the interned-action wire form (see intern.go)
+	fLCOSet     = byte(13) // LCO trigger: u64 tid | u8 op | gid | u32 slot | u32 vlen | value
+	fLCOFire    = byte(14) // LCO resolution delivery to a waiter; same body as fLCOSet
+	fLCOAck     = byte(15) // LCO trigger receipt: u64 tid; stops retransmission
 )
 
 // distState is the runtime's view of the multi-node machine: the frame
@@ -73,6 +76,10 @@ type distState struct {
 	rpcMu  sync.Mutex
 	rpcSeq uint64
 	rpc    map[uint64]chan rpcReply
+
+	// lco is the sender/receiver state of the acknowledging LCO trigger
+	// protocol (see lcoframes.go).
+	lco lcoSendState
 
 	haltOnce sync.Once
 	halt     chan struct{}
@@ -134,6 +141,10 @@ func (d *distState) onFrame(from int, frame []byte) {
 		d.onRPCReply(frame[1:])
 	case fDirUpdate:
 		d.onDirUpdate(from, frame[1:])
+	case fLCOSet, fLCOFire:
+		d.onLCOTrigger(from, frame[1:])
+	case fLCOAck:
+		d.onLCOAck(frame[1:])
 	case fDrain:
 		if len(frame) < 9 {
 			return

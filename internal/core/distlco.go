@@ -1,0 +1,631 @@
+package core
+
+// Distributed LCOs: globally addressable futures, gates, reductions, and
+// dataflow templates. A DistLCO is an ordinary AGAS object (KindLCO) whose
+// whole state — counters, accumulator, subscribed waiters, and the set of
+// trigger IDs already applied — is wire-encodable, so the object can
+// live-migrate between nodes like any other and in-flight triggers chase
+// the forwarding pointer like any parcel.
+//
+// Triggers are identified and idempotent: every logical trigger carries a
+// machine-unique trigger ID, and every physical copy of it (a fault-
+// injected duplicate, or a retransmission of an unacknowledged frame)
+// carries the same ID, which the target's dedup set absorbs. Cross-node
+// triggers ride dedicated fLCOSet/fLCOFire frames (see lcoframes.go) that
+// are retried until acknowledged — the "acknowledging LCO protocol" the
+// at-most-once parcel layer defers reliability to. Same-node triggers ride
+// ordinary parcels (action px.lco.trigger), which passes them through the
+// migration fence: a trigger arriving mid-migration parks and re-routes
+// exactly like any parcel.
+//
+// Resolution fires the LCO's subscribed waiters: each waiter names another
+// LCO (by GID) and the trigger operation to apply there, so fan-in trees
+// (lco/collect) and remote waits compose out of the same mechanism.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/agas"
+	"repro/internal/lco"
+	"repro/internal/parcel"
+	"repro/internal/trace"
+)
+
+// TrigOp identifies one distributed LCO trigger operation. The values are
+// wire-visible (they travel in fLCOSet/fLCOFire frames and px.lco.trigger
+// parcels) and must not be renumbered.
+type TrigOp uint8
+
+// Trigger operations.
+const (
+	// TrigSet resolves a future (or a broadcast leaf) with the value.
+	TrigSet TrigOp = 1 + iota
+	// TrigFail resolves the target with an error message.
+	TrigFail
+	// TrigSignal delivers one gate arrival.
+	TrigSignal
+	// TrigContribute folds the value into a reduction.
+	TrigContribute
+	// TrigSupply fills one dataflow input slot (Waiter.Slot / the frame's
+	// slot field names the slot).
+	TrigSupply
+	// TrigWait subscribes a waiter: the value encodes the waiter record.
+	TrigWait
+)
+
+func (op TrigOp) String() string {
+	switch op {
+	case TrigSet:
+		return "set"
+	case TrigFail:
+		return "fail"
+	case TrigSignal:
+		return "signal"
+	case TrigContribute:
+		return "contribute"
+	case TrigSupply:
+		return "supply"
+	case TrigWait:
+		return "wait"
+	}
+	return fmt.Sprintf("op%d", uint8(op))
+}
+
+// Waiter names what a distributed LCO triggers when it resolves: the
+// target LCO's global name, the trigger operation to apply there, and —
+// for TrigSupply — the dataflow slot to fill. Waiters are plain data, so
+// they migrate with the LCO and cross the wire in subscription triggers.
+type Waiter struct {
+	Target agas.GID
+	Op     TrigOp
+	Slot   uint32
+}
+
+// lcoKind discriminates the DistLCO state machines. Wire-visible.
+type lcoKind uint8
+
+const (
+	lcoFuture lcoKind = 1 + iota
+	lcoGate
+	lcoReduce
+	lcoDataflow
+)
+
+// DistLCO is one globally addressable LCO. All state is guarded by mu and
+// wire-encodable (see the px.distlco value codec below); concurrency-
+// unfriendly pieces of the process-local LCOs — callbacks, channels — are
+// deliberately absent. Local observation goes through Runtime.WaitLCO,
+// which subscribes a plain future exactly as a remote node would.
+type DistLCO struct {
+	mu       sync.Mutex
+	kind     lcoKind
+	need     int    // remaining triggers until resolution
+	opName   string // registered reducer folding contributions / dataflow slots
+	val      any    // reduce running accumulator, then the resolved value
+	failMsg  string // non-empty once failed
+	resolved bool
+	slots    []any // dataflow inputs
+	filled   []bool
+	dedup    lco.Dedup
+	waiters  []Waiter
+}
+
+// Pending reports how many triggers remain until resolution (0 once
+// resolved).
+func (l *DistLCO) Pending() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.need
+}
+
+// Resolved reports the resolution snapshot: ok is false while unresolved;
+// failMsg is non-empty for a failed LCO.
+func (l *DistLCO) Resolved() (v any, failMsg string, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.val, l.failMsg, l.resolved
+}
+
+// WaiterCount reports how many waiters are subscribed and unfired.
+func (l *DistLCO) WaiterCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.waiters)
+}
+
+// TriggersSeen reports how many distinct identified triggers have been
+// applied — the dedup set's size, for tests asserting duplicate absorption.
+func (l *DistLCO) TriggersSeen() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dedup.Len()
+}
+
+// ReduceFn folds one contribution into a reduction accumulator. Reducers
+// are registered by name on every node (like actions: in Config.Register,
+// before the transport starts), because a migrated reduction must find its
+// operator wherever it lands.
+type ReduceFn func(acc, v any) any
+
+// reducerRegistry maps reducer names to bodies. Registration is a
+// startup-time operation; apply-time lookups take a read lock.
+type reducerRegistry struct {
+	mu sync.RWMutex
+	m  map[string]ReduceFn
+}
+
+func newReducerRegistry() *reducerRegistry {
+	r := &reducerRegistry{m: make(map[string]ReduceFn)}
+	registerBuiltinReducers(r)
+	return r
+}
+
+func (rr *reducerRegistry) register(name string, fn ReduceFn) error {
+	if name == "" || fn == nil {
+		return fmt.Errorf("core: reducer needs a name and a body")
+	}
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	if _, dup := rr.m[name]; dup {
+		return fmt.Errorf("core: reducer %q already registered", name)
+	}
+	rr.m[name] = fn
+	return nil
+}
+
+func (rr *reducerRegistry) lookup(name string) (ReduceFn, bool) {
+	rr.mu.RLock()
+	defer rr.mu.RUnlock()
+	fn, ok := rr.m[name]
+	return fn, ok
+}
+
+// Built-in reducer names, registered on every runtime.
+const (
+	// ReduceSum adds int64 or float64 contributions.
+	ReduceSum = "px.red.sum"
+	// ReduceMin keeps the smallest int64 or float64 contribution.
+	ReduceMin = "px.red.min"
+	// ReduceMax keeps the largest int64 or float64 contribution.
+	ReduceMax = "px.red.max"
+	// ReduceCount counts contributions, ignoring their values.
+	ReduceCount = "px.red.count"
+)
+
+func registerBuiltinReducers(rr *reducerRegistry) {
+	must := func(name string, fn ReduceFn) {
+		if err := rr.register(name, fn); err != nil {
+			panic(err)
+		}
+	}
+	must(ReduceSum, func(acc, v any) any {
+		switch a := acc.(type) {
+		case int64:
+			return a + v.(int64)
+		case float64:
+			return a + v.(float64)
+		}
+		return v
+	})
+	must(ReduceMin, func(acc, v any) any {
+		switch a := acc.(type) {
+		case int64:
+			if b := v.(int64); b < a {
+				return b
+			}
+			return a
+		case float64:
+			if b := v.(float64); b < a {
+				return b
+			}
+			return a
+		}
+		return v
+	})
+	must(ReduceMax, func(acc, v any) any {
+		switch a := acc.(type) {
+		case int64:
+			if b := v.(int64); b > a {
+				return b
+			}
+			return a
+		case float64:
+			if b := v.(float64); b > a {
+				return b
+			}
+			return a
+		}
+		return v
+	})
+	must(ReduceCount, func(acc, v any) any {
+		if a, ok := acc.(int64); ok {
+			return a + 1
+		}
+		return int64(1)
+	})
+}
+
+// RegisterReducer installs a named reduction operator for distributed
+// reductions and dataflow templates. On a multi-node machine register in
+// Config.Register so every node — including future migration hosts —
+// resolves the name.
+func (r *Runtime) RegisterReducer(name string, fn ReduceFn) error {
+	return r.reducers.register(name, fn)
+}
+
+// MustRegisterReducer is RegisterReducer that panics on error.
+func (r *Runtime) MustRegisterReducer(name string, fn ReduceFn) {
+	if err := r.RegisterReducer(name, fn); err != nil {
+		panic(err)
+	}
+}
+
+// checkReducer panics on an unregistered reducer name: LCO construction is
+// a program-structure operation, and a typo'd operator should fail at the
+// construction site, not when the n-th contribution arrives.
+func (r *Runtime) checkReducer(name string) {
+	if _, ok := r.reducers.lookup(name); !ok {
+		panic(fmt.Sprintf("core: reducer %q not registered", name))
+	}
+}
+
+// NewDistFutureAt creates a globally addressable single-assignment future
+// at resident locality loc, optionally pre-subscribed to waiters. Any node
+// may resolve it with SetLCO/FailLCO (or a parcel continuation naming its
+// GID) and observe it with WaitLCO.
+func (r *Runtime) NewDistFutureAt(loc int, waiters ...Waiter) agas.GID {
+	l := &DistLCO{kind: lcoFuture, need: 1, waiters: append([]Waiter(nil), waiters...)}
+	return r.NewObjectAt(loc, agas.KindLCO, l)
+}
+
+// NewDistGateAt creates a globally addressable and-gate at loc expecting
+// n >= 1 signals. Duplicated signals with the same trigger ID count once.
+func (r *Runtime) NewDistGateAt(loc, n int, waiters ...Waiter) agas.GID {
+	if n < 1 {
+		panic(fmt.Sprintf("core: distributed gate needs at least 1 signal, got %d", n))
+	}
+	l := &DistLCO{kind: lcoGate, need: n, waiters: append([]Waiter(nil), waiters...)}
+	return r.NewObjectAt(loc, agas.KindLCO, l)
+}
+
+// NewDistReduceAt creates a globally addressable reduction at loc
+// expecting n >= 1 contributions folded by the registered reducer op,
+// starting from init (which must be wire-encodable for the object to
+// migrate).
+func (r *Runtime) NewDistReduceAt(loc, n int, op string, init any, waiters ...Waiter) agas.GID {
+	if n < 1 {
+		panic(fmt.Sprintf("core: distributed reduce needs at least 1 contribution, got %d", n))
+	}
+	r.checkReducer(op)
+	l := &DistLCO{kind: lcoReduce, need: n, opName: op, val: init, waiters: append([]Waiter(nil), waiters...)}
+	return r.NewObjectAt(loc, agas.KindLCO, l)
+}
+
+// NewDistDataflowAt creates a globally addressable dataflow template at
+// loc with n >= 1 input slots. When every slot has been supplied
+// (TrigSupply with the slot index) the registered reducer op folds the
+// slots in index order and the result resolves the template.
+func (r *Runtime) NewDistDataflowAt(loc, n int, op string, waiters ...Waiter) agas.GID {
+	if n < 1 {
+		panic(fmt.Sprintf("core: distributed dataflow needs at least 1 slot, got %d", n))
+	}
+	r.checkReducer(op)
+	l := &DistLCO{
+		kind: lcoDataflow, need: n, opName: op,
+		slots: make([]any, n), filled: make([]bool, n),
+		waiters: append([]Waiter(nil), waiters...),
+	}
+	return r.NewObjectAt(loc, agas.KindLCO, l)
+}
+
+// nextTID mints a machine-unique trigger ID: the node index salts the top
+// bits so IDs minted by different processes never collide in a dedup set.
+func (r *Runtime) nextTID() uint64 {
+	return uint64(r.NodeID()+1)<<48 | (r.tidSeq.Add(1) & (1<<48 - 1))
+}
+
+// parcelTriggerID derives the trigger ID for triggers borne by an
+// ordinary parcel — a continuation naming a DistLCO through the px.lco.*
+// builtins. Continuations inherit their chain's parcel ID (see execute),
+// so a fault-duplicated parcel and the continuations it spawns all
+// derive the same ID as the original's and the duplicates are absorbed.
+// Distinctness holds because equal source localities imply one process:
+// parcel IDs are process-unique, and the remaining continuation-stack
+// depth separates the steps of one chain (a chain may legally trigger
+// the same LCO at two steps). Bit 63 separates parcel-derived IDs from
+// node-minted ones. IDs truncate to 40 bits here; a collision needs two
+// same-source parcels exactly 2^40 mintings apart hitting one LCO at
+// equal depth.
+func parcelTriggerID(p *parcel.Parcel) uint64 {
+	return 1<<63 |
+		(uint64(p.Src)&0x7fff)<<48 |
+		(uint64(len(p.Cont))&0xff)<<40 |
+		(p.ID & (1<<40 - 1))
+}
+
+// SetLCO resolves the LCO named g with v, from resident locality src. The
+// trigger is identified and idempotent: a duplicated delivery applies
+// once. v must be wire-encodable.
+func (r *Runtime) SetLCO(src int, g agas.GID, v any) error {
+	raw, err := parcel.EncodeAny(v)
+	if err != nil {
+		return err
+	}
+	r.triggerLCO(src, r.nextTID(), TrigSet, 0, g, raw, false)
+	return nil
+}
+
+// FailLCO resolves the LCO named g with an error.
+func (r *Runtime) FailLCO(src int, g agas.GID, msg string) {
+	raw, _ := parcel.EncodeAny(msg)
+	r.triggerLCO(src, r.nextTID(), TrigFail, 0, g, raw, false)
+}
+
+// SignalLCO delivers one identified gate arrival to g.
+func (r *Runtime) SignalLCO(src int, g agas.GID) {
+	r.triggerLCO(src, r.nextTID(), TrigSignal, 0, g, nil, false)
+}
+
+// ContributeLCO folds v into the reduction named g.
+func (r *Runtime) ContributeLCO(src int, g agas.GID, v any) error {
+	raw, err := parcel.EncodeAny(v)
+	if err != nil {
+		return err
+	}
+	r.triggerLCO(src, r.nextTID(), TrigContribute, 0, g, raw, false)
+	return nil
+}
+
+// SupplyLCO fills dataflow slot of the template named g with v.
+func (r *Runtime) SupplyLCO(src int, g agas.GID, slot uint32, v any) error {
+	raw, err := parcel.EncodeAny(v)
+	if err != nil {
+		return err
+	}
+	r.triggerLCO(src, r.nextTID(), TrigSupply, slot, g, raw, false)
+	return nil
+}
+
+// SubscribeLCO registers waiter w on the LCO named g, wherever in the
+// machine it lives: when g resolves, w.Op is applied to w.Target with the
+// resolved value (TrigFail with the error message on failure). Subscribing
+// to an already-resolved LCO fires immediately.
+func (r *Runtime) SubscribeLCO(src int, g agas.GID, w Waiter) {
+	if w.Target.IsNil() {
+		panic("core: subscribe with nil waiter target")
+	}
+	raw := parcel.NewArgs().GID(w.Target).Uint64(uint64(w.Op)).Uint64(uint64(w.Slot)).Encode()
+	r.triggerLCO(src, r.nextTID(), TrigWait, 0, g, raw, false)
+}
+
+// WaitLCO returns a plain local future (homed at resident locality src)
+// that resolves when the LCO named g does — the remote-wait primitive:
+// the future's name subscribes to g exactly as any waiter would, so it
+// keeps working while g migrates between nodes. The future's global name
+// is freed once it fires; use Context.Await (or Future.Get off-thread) to
+// block on it. Subscribing to a name that was already freed leaves the
+// future unresolved forever (the straggler-tolerant trigger protocol
+// cannot distinguish a wrong name from a late duplicate), so wait before
+// freeing, not after.
+func (r *Runtime) WaitLCO(src int, g agas.GID) *lco.Future {
+	fgid, fut := r.NewFutureAt(src)
+	fut.OnReady(func(any, error) { r.FreeObject(fgid) })
+	r.SubscribeLCO(src, g, Waiter{Target: fgid, Op: TrigSet})
+	return fut
+}
+
+// decodeWaiter parses the value record built by SubscribeLCO.
+func decodeWaiter(raw []byte) (Waiter, error) {
+	rd := parcel.NewReader(raw)
+	w := Waiter{Target: rd.GID()}
+	w.Op = TrigOp(rd.Uint64())
+	w.Slot = uint32(rd.Uint64())
+	if err := rd.Err(); err != nil {
+		return Waiter{}, fmt.Errorf("core: bad waiter record: %w", err)
+	}
+	if w.Target.IsNil() {
+		return Waiter{}, errors.New("core: waiter with nil target")
+	}
+	return w, nil
+}
+
+// encodeTriggerArgs builds the px.lco.trigger argument record. value is
+// copied into the record, so transport read buffers may be reused.
+func encodeTriggerArgs(tid uint64, op TrigOp, slot uint32, value []byte) []byte {
+	return parcel.NewArgs().Uint64(tid).Uint64(uint64(op)).Uint64(uint64(slot)).Bytes(value).Encode()
+}
+
+// triggerLCO routes one identified trigger toward the LCO named g. A
+// target owned by another node rides a dedicated fLCOSet/fLCOFire frame —
+// retried until acknowledged, so a dropped frame is retransmitted and the
+// target's dedup set absorbs the duplicates. A locally owned target rides
+// an ordinary parcel, which passes it through the migration fence and the
+// forwarding chase like any other access. fired marks resolution
+// deliveries (waiter fires) for the frame type and trace.
+func (r *Runtime) triggerLCO(src int, tid uint64, op TrigOp, slot uint32, g agas.GID, value []byte, fired bool) {
+	r.checkResident(src)
+	if g.IsNil() {
+		panic("core: trigger to nil GID")
+	}
+	if r.ring != nil {
+		r.ring.Emitf(trace.KindLCOTrigger, src, "%s -> %v tid %d", op, g, tid)
+	}
+	if r.dist != nil {
+		if owner, err := r.agas.ResolveCached(src, g); err == nil {
+			if node := r.dist.lmap.NodeOf(owner); node != r.dist.node {
+				r.dist.sendLCOTrigger(node, tid, op, slot, g, value, fired)
+				return
+			}
+		}
+		// A resolution error falls through to the parcel path, which
+		// delivers the failure through the standard accounting.
+	}
+	p := parcel.Acquire(g, ActionLCOTrigger, encodeTriggerArgs(tid, op, slot, value))
+	r.SendFrom(src, p)
+}
+
+// fireWaiter delivers one resolution to a subscribed waiter: the waiter's
+// operation with the resolved value, or TrigFail with the error message.
+func (r *Runtime) fireWaiter(src int, w Waiter, val any, failMsg string) {
+	if failMsg != "" {
+		raw, _ := parcel.EncodeAny(failMsg)
+		r.triggerLCO(src, r.nextTID(), TrigFail, 0, w.Target, raw, true)
+		return
+	}
+	raw, err := parcel.EncodeAny(val)
+	if err != nil {
+		raw, _ = parcel.EncodeAny(fmt.Sprintf("resolved value not wire-encodable: %v", err))
+		r.triggerLCO(src, r.nextTID(), TrigFail, 0, w.Target, raw, true)
+		return
+	}
+	r.triggerLCO(src, r.nextTID(), w.Op, w.Slot, w.Target, raw, true)
+}
+
+// applyDistTrigger applies one identified trigger to a locally hosted
+// DistLCO, firing waiters on resolution. It runs inside a parcel action
+// (a work unit is charged), so waiter fires charge their own legs through
+// the normal send path.
+func (r *Runtime) applyDistTrigger(loc int, l *DistLCO, tid uint64, op TrigOp, slot uint32, raw []byte) error {
+	var v any
+	var err error
+	switch op {
+	case TrigSet, TrigContribute, TrigSupply, TrigFail:
+		if v, err = parcel.DecodeAny(raw); err != nil {
+			return fmt.Errorf("core: %s trigger value: %w", op, err)
+		}
+	case TrigWait:
+		w, werr := decodeWaiter(raw)
+		if werr != nil {
+			return werr
+		}
+		l.mu.Lock()
+		if l.dedup.Seen(tid) {
+			l.mu.Unlock()
+			return nil
+		}
+		if l.resolved {
+			val, failMsg := l.val, l.failMsg
+			l.mu.Unlock()
+			r.fireWaiter(loc, w, val, failMsg)
+			return nil
+		}
+		l.waiters = append(l.waiters, w)
+		l.mu.Unlock()
+		return nil
+	case TrigSignal:
+		// no value
+	default:
+		return fmt.Errorf("core: unknown trigger op %d", op)
+	}
+
+	l.mu.Lock()
+	if l.dedup.Seen(tid) {
+		l.mu.Unlock()
+		return nil
+	}
+	if l.resolved {
+		// One-shot: late or unidentified-duplicate triggers are ignored.
+		l.mu.Unlock()
+		return nil
+	}
+	if op == TrigFail {
+		msg, _ := v.(string)
+		if msg == "" {
+			msg = "LCO failed"
+		}
+		l.failMsg = msg
+		waiters := l.resolveLocked()
+		l.mu.Unlock()
+		for _, w := range waiters {
+			r.fireWaiter(loc, w, nil, msg)
+		}
+		return nil
+	}
+	if aerr := l.applyValueLocked(r, op, slot, v); aerr != nil {
+		l.mu.Unlock()
+		return aerr
+	}
+	if l.need > 0 {
+		l.mu.Unlock()
+		return nil
+	}
+	waiters := l.resolveLocked()
+	val, failMsg := l.val, l.failMsg
+	l.mu.Unlock()
+	for _, w := range waiters {
+		r.fireWaiter(loc, w, val, failMsg)
+	}
+	return nil
+}
+
+// applyValueLocked advances the state machine by one value-carrying
+// trigger; the caller holds l.mu and has already handled dedup,
+// resolution, and TrigFail.
+func (l *DistLCO) applyValueLocked(r *Runtime, op TrigOp, slot uint32, v any) error {
+	switch {
+	case op == TrigSet && l.kind == lcoFuture:
+		l.val = v
+		l.need = 0
+	case op == TrigSignal && l.kind == lcoGate:
+		l.need--
+	case op == TrigContribute && l.kind == lcoReduce:
+		fn, ok := r.reducers.lookup(l.opName)
+		if !ok {
+			return fmt.Errorf("core: reducer %q not registered on this node", l.opName)
+		}
+		l.val = fn(l.val, v)
+		l.need--
+	case op == TrigSupply && l.kind == lcoDataflow:
+		if int(slot) >= len(l.slots) {
+			return fmt.Errorf("core: dataflow slot %d out of range [0,%d)", slot, len(l.slots))
+		}
+		if l.filled[slot] {
+			// A distinct trigger refilling a slot is a program bug; a
+			// duplicated one was already absorbed by dedup.
+			return fmt.Errorf("core: dataflow slot %d already supplied", slot)
+		}
+		l.filled[slot] = true
+		l.slots[slot] = v
+		l.need--
+		if l.need == 0 {
+			fn, ok := r.reducers.lookup(l.opName)
+			if !ok {
+				return fmt.Errorf("core: reducer %q not registered on this node", l.opName)
+			}
+			acc := l.slots[0]
+			for i := 1; i < len(l.slots); i++ {
+				acc = fn(acc, l.slots[i])
+			}
+			l.val = acc
+		}
+	default:
+		return fmt.Errorf("core: %s trigger on %s LCO", op, l.kindName())
+	}
+	return nil
+}
+
+// resolveLocked marks the LCO resolved and detaches its waiters; the
+// caller holds l.mu and fires the returned waiters after unlocking.
+func (l *DistLCO) resolveLocked() []Waiter {
+	l.resolved = true
+	l.need = 0
+	waiters := l.waiters
+	l.waiters = nil
+	return waiters
+}
+
+func (l *DistLCO) kindName() string {
+	switch l.kind {
+	case lcoFuture:
+		return "future"
+	case lcoGate:
+		return "gate"
+	case lcoReduce:
+		return "reduce"
+	case lcoDataflow:
+		return "dataflow"
+	}
+	return fmt.Sprintf("kind%d", uint8(l.kind))
+}

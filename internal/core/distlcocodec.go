@@ -1,0 +1,213 @@
+package core
+
+// Wire codec for DistLCO state, registered with the parcel value codec
+// registry so Runtime.Migrate can push a live distributed LCO to another
+// node exactly like any data object: counters, accumulator, subscribed
+// waiters, and the dedup set all travel, so a duplicate of a trigger
+// applied before the move is still absorbed after it.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/agas"
+	"repro/internal/parcel"
+)
+
+// DistLCOCodecName is the wire name of the DistLCO value codec. Every
+// node of a machine registers it (at package init), so migrated LCOs
+// decode anywhere.
+const DistLCOCodecName = "px.distlco"
+
+const distLCOCodecVersion = 1
+
+func init() {
+	parcel.RegisterValueCodec(DistLCOCodecName, parcel.ValueCodec{
+		Encode: encodeDistLCO,
+		Decode: decodeDistLCO,
+	})
+}
+
+// appendValueRecord writes u8 present | u32 len | EncodeAny record.
+func appendValueRecord(buf []byte, v any, present bool) ([]byte, error) {
+	if !present {
+		return append(buf, 0), nil
+	}
+	raw, err := parcel.EncodeAny(v)
+	if err != nil {
+		return nil, err
+	}
+	buf = append(buf, 1)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(raw)))
+	return append(buf, raw...), nil
+}
+
+func readValueRecord(buf []byte) (v any, present bool, rest []byte, err error) {
+	if len(buf) < 1 {
+		return nil, false, buf, fmt.Errorf("short value flag")
+	}
+	if buf[0] == 0 {
+		return nil, false, buf[1:], nil
+	}
+	buf = buf[1:]
+	if len(buf) < 4 {
+		return nil, false, buf, fmt.Errorf("short value length")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	if len(buf) < n {
+		return nil, false, buf, fmt.Errorf("value truncated")
+	}
+	v, err = parcel.DecodeAny(buf[:n])
+	if err != nil {
+		return nil, false, buf, err
+	}
+	return v, true, buf[n:], nil
+}
+
+func appendString16(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func readString16(buf []byte) (string, []byte, error) {
+	if len(buf) < 2 {
+		return "", buf, fmt.Errorf("short string length")
+	}
+	n := int(binary.LittleEndian.Uint16(buf))
+	buf = buf[2:]
+	if len(buf) < n {
+		return "", buf, fmt.Errorf("string truncated")
+	}
+	return string(buf[:n]), buf[n:], nil
+}
+
+func encodeDistLCO(v any) ([]byte, bool, error) {
+	l, ok := v.(*DistLCO)
+	if !ok {
+		return nil, false, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	buf := make([]byte, 0, 64+16*len(l.waiters)+8*l.dedup.Len())
+	buf = append(buf, distLCOCodecVersion, byte(l.kind))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(l.need))
+	buf = appendString16(buf, l.opName)
+	resolved := byte(0)
+	if l.resolved {
+		resolved = 1
+	}
+	buf = append(buf, resolved)
+	buf = appendString16(buf, l.failMsg)
+	var err error
+	// The accumulator/value is encoded when meaningful: reductions carry
+	// a live accumulator from creation; futures and dataflows only hold a
+	// value once resolved; gates never do.
+	hasVal := l.kind == lcoReduce || (l.resolved && l.failMsg == "" && l.val != nil)
+	if buf, err = appendValueRecord(buf, l.val, hasVal); err != nil {
+		return nil, true, fmt.Errorf("accumulator: %w", err)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(l.slots)))
+	for i := range l.slots {
+		if buf, err = appendValueRecord(buf, l.slots[i], l.filled[i]); err != nil {
+			return nil, true, fmt.Errorf("slot %d: %w", i, err)
+		}
+	}
+	ids := l.dedup.IDs()
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ids)))
+	for _, id := range ids {
+		buf = binary.LittleEndian.AppendUint64(buf, id)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(l.waiters)))
+	for _, w := range l.waiters {
+		buf = w.Target.Encode(buf)
+		buf = append(buf, byte(w.Op))
+		buf = binary.LittleEndian.AppendUint32(buf, w.Slot)
+	}
+	return buf, true, nil
+}
+
+func decodeDistLCO(buf []byte) (any, error) {
+	fail := func(err error) (any, error) {
+		return nil, fmt.Errorf("core: distlco decode: %w", err)
+	}
+	if len(buf) < 2 {
+		return fail(fmt.Errorf("short header"))
+	}
+	if buf[0] != distLCOCodecVersion {
+		return fail(fmt.Errorf("version %d, want %d", buf[0], distLCOCodecVersion))
+	}
+	l := &DistLCO{kind: lcoKind(buf[1])}
+	buf = buf[2:]
+	if len(buf) < 4 {
+		return fail(fmt.Errorf("short need"))
+	}
+	l.need = int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	var err error
+	if l.opName, buf, err = readString16(buf); err != nil {
+		return fail(err)
+	}
+	if len(buf) < 1 {
+		return fail(fmt.Errorf("short resolved flag"))
+	}
+	l.resolved = buf[0] == 1
+	buf = buf[1:]
+	if l.failMsg, buf, err = readString16(buf); err != nil {
+		return fail(err)
+	}
+	if l.val, _, buf, err = readValueRecord(buf); err != nil {
+		return fail(fmt.Errorf("accumulator: %w", err))
+	}
+	if len(buf) < 4 {
+		return fail(fmt.Errorf("short slot count"))
+	}
+	nslots := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	if nslots > 0 {
+		if nslots > len(buf) {
+			return fail(fmt.Errorf("slot count %d exceeds payload", nslots))
+		}
+		l.slots = make([]any, nslots)
+		l.filled = make([]bool, nslots)
+		for i := 0; i < nslots; i++ {
+			if l.slots[i], l.filled[i], buf, err = readValueRecord(buf); err != nil {
+				return fail(fmt.Errorf("slot %d: %w", i, err))
+			}
+		}
+	}
+	if len(buf) < 4 {
+		return fail(fmt.Errorf("short dedup count"))
+	}
+	ndedup := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	if len(buf) < 8*ndedup {
+		return fail(fmt.Errorf("dedup set truncated"))
+	}
+	for i := 0; i < ndedup; i++ {
+		l.dedup.Add(binary.LittleEndian.Uint64(buf))
+		buf = buf[8:]
+	}
+	if len(buf) < 4 {
+		return fail(fmt.Errorf("short waiter count"))
+	}
+	nwait := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	for i := 0; i < nwait; i++ {
+		var w Waiter
+		if w.Target, buf, err = agas.DecodeGID(buf); err != nil {
+			return fail(fmt.Errorf("waiter %d: %w", i, err))
+		}
+		if len(buf) < 5 {
+			return fail(fmt.Errorf("waiter %d truncated", i))
+		}
+		w.Op = TrigOp(buf[0])
+		w.Slot = binary.LittleEndian.Uint32(buf[1:5])
+		buf = buf[5:]
+		l.waiters = append(l.waiters, w)
+	}
+	if len(buf) != 0 {
+		return fail(fmt.Errorf("%d trailing bytes", len(buf)))
+	}
+	return l, nil
+}

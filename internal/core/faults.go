@@ -34,11 +34,16 @@ func newFaultState(cfg Faults) *faultState {
 	return &faultState{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg}
 }
 
-// verdict decides one parcel's fate: deliver 0, 1, or 2 copies.
-func (f *faultState) verdict() (copies int) {
+// verdict decides one message's fate: deliver 0, 1, or 2 copies.
+// dropAllowed is false for messages the runtime guarantees delivery of —
+// local LCO trigger parcels, whose leg has no retransmission to recover a
+// loss — which stay subject to duplication but never to drops. Cross-node
+// LCO trigger frames pass true: the acknowledging protocol retransmits
+// them, so a drop exercises recovery instead of losing the trigger.
+func (f *faultState) verdict(dropAllowed bool) (copies int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if f.cfg.DropOneIn > 0 && f.rng.Intn(f.cfg.DropOneIn) == 0 {
+	if f.cfg.DropOneIn > 0 && f.rng.Intn(f.cfg.DropOneIn) == 0 && dropAllowed {
 		f.dropped++
 		return 0
 	}

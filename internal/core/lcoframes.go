@@ -1,0 +1,272 @@
+package core
+
+// Cross-node LCO trigger frames. Triggers whose target lives on another
+// node ride dedicated fLCOSet/fLCOFire frames through the transport's
+// group-commit batching. Unlike parcels — at-most-once by design — LCO
+// triggers are an acknowledging protocol: the sender holds each frame in a
+// pending table and retransmits it until the matching fLCOAck arrives, so
+// a frame lost to fault injection is recovered, and the target's
+// idempotent trigger IDs absorb the duplicates retransmission (or
+// duplication faults) creates.
+//
+// Accounting follows the parcel invariant: the sender's work unit for a
+// trigger stays charged until the peer acknowledges it, and the receiver
+// charges its own unit before acknowledging, so an in-flight trigger is
+// counted by at least one node at every instant and Wait cannot declare
+// quiescence across a trigger in flight.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/agas"
+	"repro/internal/parcel"
+)
+
+// lcoRetryTick is the pending-table scan interval; lcoRetryAfter is how
+// long a frame may stay unacknowledged before it is retransmitted.
+const (
+	lcoRetryTick  = 10 * time.Millisecond
+	lcoRetryAfter = 25 * time.Millisecond
+	// lcoGiveUpAttempts bounds retransmission (~10s at the tick rate):
+	// past it the peer is declared unreachable, the work unit released,
+	// and the loss recorded — the same stance migration RPCs take.
+	lcoGiveUpAttempts = 1000
+)
+
+// encodeLCOTrigger renders one trigger frame:
+// kind | u64 tid | u8 op | gid target | u32 slot | u32 vlen | value.
+func encodeLCOTrigger(kind byte, tid uint64, op TrigOp, slot uint32, g agas.GID, value []byte) []byte {
+	frame := make([]byte, 0, 1+8+1+agas.GIDSize+4+4+len(value))
+	frame = append(frame, kind)
+	frame = binary.LittleEndian.AppendUint64(frame, tid)
+	frame = append(frame, byte(op))
+	frame = g.Encode(frame)
+	frame = binary.LittleEndian.AppendUint32(frame, slot)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(value)))
+	return append(frame, value...)
+}
+
+// decodeLCOTrigger parses the body of an fLCOSet/fLCOFire frame (the kind
+// byte already consumed). value aliases body — callers that retain it
+// past the transport handler must copy.
+func decodeLCOTrigger(body []byte) (tid uint64, op TrigOp, g agas.GID, slot uint32, value []byte, ok bool) {
+	if len(body) < 9 {
+		return 0, 0, agas.Nil, 0, nil, false
+	}
+	tid = binary.LittleEndian.Uint64(body[0:8])
+	op = TrigOp(body[8])
+	g, rest, err := agas.DecodeGID(body[9:])
+	if err != nil || len(rest) < 8 {
+		return 0, 0, agas.Nil, 0, nil, false
+	}
+	slot = binary.LittleEndian.Uint32(rest[0:4])
+	n := int(binary.LittleEndian.Uint32(rest[4:8]))
+	rest = rest[8:]
+	if n < 0 || len(rest) != n {
+		return 0, 0, agas.Nil, 0, nil, false
+	}
+	return tid, op, g, slot, rest, true
+}
+
+// encodeLCOAck renders an acknowledgement frame: fLCOAck | u64 tid.
+func encodeLCOAck(tid uint64) []byte {
+	frame := make([]byte, 0, 9)
+	frame = append(frame, fLCOAck)
+	return binary.LittleEndian.AppendUint64(frame, tid)
+}
+
+// decodeLCOAck parses the body of an fLCOAck frame.
+func decodeLCOAck(body []byte) (tid uint64, ok bool) {
+	if len(body) < 8 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(body[0:8]), true
+}
+
+// lcoPending is one unacknowledged outbound trigger frame.
+type lcoPending struct {
+	node     int
+	frame    []byte
+	lastSend time.Time
+	attempts int
+}
+
+// lcoSendState is the sender half of the acknowledging trigger protocol.
+type lcoSendState struct {
+	mu      sync.Mutex
+	pend    map[uint64]*lcoPending
+	started bool
+	stop    chan struct{}
+	done    chan struct{}
+
+	sent    atomic.Uint64 // logical triggers shipped (first transmissions)
+	recv    atomic.Uint64 // trigger frames received (duplicates included)
+	retried atomic.Uint64 // retransmissions of unacknowledged frames
+}
+
+// LCOTriggerStats reports the cross-node trigger counters: logical
+// triggers sent, trigger frames received (fault-injected duplicates
+// included), and retransmissions of unacknowledged frames. Soak tests
+// assert retried > 0 to prove drop injection engaged the recovery path.
+func (r *Runtime) LCOTriggerStats() (sent, recv, retried uint64) {
+	if r.dist == nil {
+		return 0, 0, 0
+	}
+	s := &r.dist.lco
+	return s.sent.Load(), s.recv.Load(), s.retried.Load()
+}
+
+// sendLCOTrigger ships one identified trigger to the node owning its
+// target, holding the caller's work unit until the peer acknowledges.
+// fired selects the fLCOFire frame type (a resolution delivery) over
+// fLCOSet (an inbound trigger); the receive path treats both identically.
+func (d *distState) sendLCOTrigger(node int, tid uint64, op TrigOp, slot uint32, g agas.GID, value []byte, fired bool) {
+	kind := fLCOSet
+	if fired {
+		kind = fLCOFire
+	}
+	frame := encodeLCOTrigger(kind, tid, op, slot, g, value)
+	pe := &lcoPending{node: node, frame: frame, lastSend: time.Now()}
+	d.rt.addWork()
+	s := &d.lco
+	s.mu.Lock()
+	if s.pend == nil {
+		s.pend = make(map[uint64]*lcoPending)
+	}
+	s.pend[tid] = pe
+	if !s.started {
+		s.started = true
+		s.stop = make(chan struct{})
+		s.done = make(chan struct{})
+		go d.lcoRetryLoop(s.stop, s.done)
+	}
+	s.mu.Unlock()
+	s.sent.Add(1)
+	d.xmitLCO(pe)
+}
+
+// xmitLCO transmits (or retransmits) a pending trigger frame, applying
+// the fault injector's verdict: a dropped frame is simply not sent — the
+// retry loop recovers it — and a duplicated one is sent twice, exercising
+// the receiver's dedup. Transport errors are left to the retry loop too.
+func (d *distState) xmitLCO(pe *lcoPending) {
+	copies := 1
+	if d.rt.faults != nil {
+		copies = d.rt.faults.verdict(true)
+	}
+	for i := 0; i < copies; i++ {
+		if err := d.sendRetry(pe.node, pe.frame); err != nil {
+			return
+		}
+	}
+}
+
+// lcoRetryLoop retransmits unacknowledged trigger frames until stopped.
+// One loop serves the whole runtime; it starts with the first cross-node
+// trigger and stops at Shutdown.
+func (d *distState) lcoRetryLoop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(lcoRetryTick)
+	defer t.Stop()
+	s := &d.lco
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		var resend []*lcoPending
+		var expired []uint64
+		s.mu.Lock()
+		for tid, pe := range s.pend {
+			if now.Sub(pe.lastSend) < lcoRetryAfter {
+				continue
+			}
+			pe.attempts++
+			if pe.attempts > lcoGiveUpAttempts {
+				expired = append(expired, tid)
+				continue
+			}
+			pe.lastSend = now
+			resend = append(resend, pe)
+		}
+		for _, tid := range expired {
+			delete(s.pend, tid)
+		}
+		s.mu.Unlock()
+		for _, pe := range resend {
+			s.retried.Add(1)
+			d.xmitLCO(pe)
+		}
+		for _, tid := range expired {
+			d.rt.recordError(fmt.Errorf("core: LCO trigger %d unacknowledged after %d attempts", tid, lcoGiveUpAttempts))
+			d.rt.doneWork()
+		}
+	}
+}
+
+// stopLCO shuts the retry loop down; pending entries (there are none
+// after a clean Wait) are abandoned.
+func (d *distState) stopLCO() {
+	s := &d.lco
+	s.mu.Lock()
+	started := s.started
+	stop, done := s.stop, s.done
+	s.started = false
+	s.mu.Unlock()
+	if started {
+		close(stop)
+		<-done
+	}
+}
+
+// onLCOTrigger handles one received fLCOSet/fLCOFire frame: charge a work
+// unit, acknowledge, and hand the trigger to the standard parcel delivery
+// path — which parks it at a migration fence or chases a forwarding
+// pointer exactly as it would any parcel. Duplicate deliveries reach the
+// target and are absorbed by its dedup set, so the acknowledgement needs
+// no receive-side dedup of its own.
+func (d *distState) onLCOTrigger(from int, body []byte) {
+	tid, op, g, slot, value, ok := decodeLCOTrigger(body)
+	if !ok {
+		d.rt.recordError(fmt.Errorf("core: bad LCO trigger frame from node %d", from))
+		return
+	}
+	d.lco.recv.Add(1)
+	d.rt.addWork()
+	if err := d.sendRetry(from, encodeLCOAck(tid)); err != nil {
+		// The sender keeps retrying the trigger; we will re-ack the
+		// duplicate. Record for diagnosis only.
+		d.rt.recordError(fmt.Errorf("core: LCO ack to node %d: %w", from, err))
+	}
+	// encodeTriggerArgs copies value out of the transport's read buffer.
+	p := parcel.Acquire(g, ActionLCOTrigger, encodeTriggerArgs(tid, op, slot, value))
+	owner, _, rerr := d.resolveHere(g)
+	d.deliver(p, owner, rerr)
+}
+
+// onLCOAck resolves the pending entry for an acknowledged trigger,
+// releasing the work unit held since sendLCOTrigger. Duplicate acks (the
+// receiver re-acks every duplicate delivery) find no entry and are
+// ignored.
+func (d *distState) onLCOAck(body []byte) {
+	tid, ok := decodeLCOAck(body)
+	if !ok {
+		return
+	}
+	s := &d.lco
+	s.mu.Lock()
+	pe := s.pend[tid]
+	if pe != nil {
+		delete(s.pend, tid)
+	}
+	s.mu.Unlock()
+	if pe != nil {
+		d.rt.doneWork()
+	}
+}

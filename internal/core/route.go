@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -82,7 +83,7 @@ func (r *Runtime) route(src int, p *parcel.Parcel) {
 	}
 	copies := 1
 	if r.faults != nil {
-		copies = r.faults.verdict()
+		copies = r.faults.verdict(p.Action != ActionLCOTrigger)
 	}
 	if copies == 0 {
 		// Lost in the network. Parcels are at-most-once; reliability, if
@@ -326,7 +327,7 @@ func (r *Runtime) execute(loc int, p *parcel.Parcel, rd *parcel.Reader, ctx *Con
 	th := r.reg.New(loc)
 	r.slow.ThreadsSpawned.Inc()
 	th.Start()
-	ctx.rt, ctx.loc, ctx.th = r, loc, th
+	ctx.rt, ctx.loc, ctx.th, ctx.tid = r, loc, th, parcelTriggerID(p)
 	rd.Reset(p.Args)
 	res, err := fn(ctx, target, rd)
 	th.Terminate()
@@ -346,6 +347,12 @@ func (r *Runtime) execute(loc int, p *parcel.Parcel, rd *parcel.Reader, ctx *Con
 			return
 		}
 		np := parcel.Acquire(cont.Target, cont.Action, args, p.Cont...)
+		// The continuation inherits the chain's parcel ID: a fault-
+		// duplicated parcel then spawns continuations with identical
+		// identity, so a DistLCO target deduplicates them (the remaining
+		// stack depth distinguishes the steps of one chain — see
+		// parcelTriggerID).
+		np.ID = p.ID
 		parcel.Release(p) // after Acquire copied the continuation tail
 		r.SendFrom(loc, np)
 		return
@@ -375,6 +382,16 @@ func (r *Runtime) forward(loc int, p *parcel.Parcel) {
 // failParcel delivers an action failure to the parcel's continuation, or
 // records it on the runtime when no continuation exists. It consumes p.
 func (r *Runtime) failParcel(loc int, p *parcel.Parcel, err error) {
+	if p.Action == ActionLCOTrigger && errors.Is(err, agas.ErrUnknown) {
+		// A duplicated or retransmitted trigger chasing an LCO that was
+		// already consumed and freed (one-shot waiter futures): the first
+		// copy did the work, so the straggler is benignly late, not lost.
+		if r.ring != nil {
+			r.ring.Emitf(trace.KindLCOTrigger, loc, "late trigger to freed target %s", p)
+		}
+		parcel.Release(p)
+		return
+	}
 	cont, ok := p.PopContinuation()
 	if !ok {
 		r.recordError(fmt.Errorf("parcel %s at L%d: %w", p, loc, err))
@@ -383,6 +400,7 @@ func (r *Runtime) failParcel(loc int, p *parcel.Parcel, err error) {
 	}
 	args := parcel.NewArgs().String(err.Error()).Encode()
 	np := parcel.Acquire(cont.Target, ActionLCOFail, args)
+	np.ID = p.ID // failure deliveries share the chain identity too
 	parcel.Release(p)
 	r.SendFrom(loc, np)
 }

@@ -42,8 +42,13 @@ type Config struct {
 	MaxHops int
 	// TraceCapacity sizes the event ring; 0 disables tracing.
 	TraceCapacity int
-	// Faults optionally injects parcel loss/duplication (tests only; the
-	// modelled network path — cross-node parcels are not subject to it).
+	// Faults optionally injects parcel loss/duplication (tests only). It
+	// applies to the modelled network path (cross-node parcels are not
+	// subject to it) and to cross-node LCO trigger frames — which survive
+	// it: triggers are an acknowledging protocol, so a dropped frame is
+	// retransmitted and a duplicated one absorbed by idempotent trigger
+	// IDs. Local trigger parcels are exempt from drops (the local leg has
+	// no retransmission) but still subject to duplication.
 	Faults Faults
 
 	// Transport, when set, makes this runtime one node of a multi-process
@@ -102,6 +107,11 @@ type Runtime struct {
 	dist   *distState // nil for a single-process machine
 	fences *fenceTable
 
+	// reducers names the fold operators distributed reductions and
+	// dataflow templates apply; tidSeq mints this node's trigger IDs.
+	reducers *reducerRegistry
+	tidSeq   atomic.Uint64
+
 	// migrations serializes moves per object: each GID has at most one
 	// migration in flight from this node (the fence's single-closer
 	// invariant), while moves of different objects proceed concurrently —
@@ -152,6 +162,7 @@ func New(cfg Config) *Runtime {
 		acts:       newActionRegistry(),
 		faults:     newFaultState(cfg.Faults),
 		fences:     newFenceTable(),
+		reducers:   newReducerRegistry(),
 		migrations: make(map[agas.GID]chan struct{}),
 	}
 	resident := agas.Range{Lo: 0, Hi: cfg.Localities}
@@ -231,6 +242,27 @@ func (r *Runtime) NodeID() int {
 		return 0
 	}
 	return r.dist.node
+}
+
+// Nodes reports the machine's process count (1 for a single-process
+// machine).
+func (r *Runtime) Nodes() int {
+	if r.dist == nil {
+		return 1
+	}
+	return r.dist.lmap.Nodes()
+}
+
+// NodeRange reports the contiguous locality range hosted by node n (the
+// whole machine on a single-process runtime).
+func (r *Runtime) NodeRange(n int) agas.Range {
+	if r.dist == nil {
+		if n != 0 {
+			panic(fmt.Sprintf("core: node %d on a single-process machine", n))
+		}
+		return agas.Range{Lo: 0, Hi: r.cfg.Localities}
+	}
+	return r.dist.lmap.NodeRange(n)
 }
 
 // Resident reports whether locality loc executes in this process.
@@ -338,6 +370,7 @@ func (r *Runtime) Shutdown() {
 	r.Wait()
 	if r.dist != nil {
 		r.dist.goodbye()
+		r.dist.stopLCO()
 		r.dist.tr.Close()
 	}
 	for _, l := range r.locs {

@@ -1,0 +1,58 @@
+package lco
+
+// Dedup tracks the trigger IDs already applied to an idempotent LCO, so a
+// duplicated delivery (a retransmitted or fault-duplicated trigger) is
+// recognized and ignored instead of double-counting. The distributed LCO
+// protocol mints one ID per logical trigger; every physical copy of that
+// trigger carries the same ID.
+//
+// The zero value is ready to use. Dedup is not safe for concurrent use on
+// its own — the owning LCO's lock guards it, exactly like the counters it
+// protects. ID 0 is reserved for unidentified triggers and is never
+// recorded: callers using 0 opt out of deduplication.
+type Dedup struct {
+	seen map[uint64]struct{}
+}
+
+// Seen records id and reports whether it had been recorded before. ID 0
+// always reports false and is not recorded.
+func (d *Dedup) Seen(id uint64) bool {
+	if id == 0 {
+		return false
+	}
+	if _, ok := d.seen[id]; ok {
+		return true
+	}
+	if d.seen == nil {
+		d.seen = make(map[uint64]struct{})
+	}
+	d.seen[id] = struct{}{}
+	return false
+}
+
+// Add records id without consulting it, for restoring a snapshot.
+func (d *Dedup) Add(id uint64) {
+	if id == 0 {
+		return
+	}
+	if d.seen == nil {
+		d.seen = make(map[uint64]struct{})
+	}
+	d.seen[id] = struct{}{}
+}
+
+// Len reports how many IDs are recorded.
+func (d *Dedup) Len() int { return len(d.seen) }
+
+// IDs returns the recorded IDs in unspecified order, for wire encoding
+// when the owning LCO migrates.
+func (d *Dedup) IDs() []uint64 {
+	if len(d.seen) == 0 {
+		return nil
+	}
+	out := make([]uint64, 0, len(d.seen))
+	for id := range d.seen {
+		out = append(out, id)
+	}
+	return out
+}

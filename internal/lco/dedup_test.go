@@ -1,0 +1,39 @@
+package lco
+
+import "testing"
+
+func TestDedupSeenAndRestore(t *testing.T) {
+	var d Dedup
+	if d.Seen(0) {
+		t.Fatal("ID 0 must never be recorded")
+	}
+	if d.Seen(7) {
+		t.Fatal("fresh ID reported seen")
+	}
+	if !d.Seen(7) {
+		t.Fatal("recorded ID not reported seen")
+	}
+	if d.Seen(0) || d.Len() != 1 {
+		t.Fatalf("len = %d after {7}", d.Len())
+	}
+	d.Add(9)
+	d.Add(0) // ignored
+	if d.Len() != 2 || !d.Seen(9) {
+		t.Fatal("Add did not record")
+	}
+	ids := d.IDs()
+	if len(ids) != 2 {
+		t.Fatalf("IDs() = %v", ids)
+	}
+	var r Dedup
+	for _, id := range ids {
+		r.Add(id)
+	}
+	if !r.Seen(7) || !r.Seen(9) {
+		t.Fatal("restored set lost IDs")
+	}
+	var empty Dedup
+	if empty.IDs() != nil {
+		t.Fatal("empty set allocated an ID slice")
+	}
+}

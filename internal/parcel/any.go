@@ -1,10 +1,87 @@
 package parcel
 
 import (
+	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"repro/internal/agas"
 )
+
+// ValueCodec extends EncodeAny/DecodeAny with one application value type.
+// Encode reports ok=false when v is not its type (the next codec is
+// tried); Decode reconstructs a value from the bytes Encode produced.
+// Codecs travel by name, so a codec must be registered under the same name
+// on every node that may host the value — the same contract actions obey.
+type ValueCodec struct {
+	Encode func(v any) (payload []byte, ok bool, err error)
+	Decode func(payload []byte) (any, error)
+}
+
+// valueCodecs is the registry of application codecs. Registration is an
+// init-time operation; reads take the lock but the map is tiny.
+var (
+	valueCodecMu    sync.RWMutex
+	valueCodecs     = map[string]ValueCodec{}
+	valueCodecOrder []string
+)
+
+// RegisterValueCodec installs a named application codec consulted by
+// EncodeAny for values outside the built-in set and by DecodeAny for
+// records the codec produced. Registering a duplicate name panics:
+// codec names are wire-visible constants, so a collision is a program bug.
+func RegisterValueCodec(name string, c ValueCodec) {
+	if name == "" || c.Encode == nil || c.Decode == nil {
+		panic("parcel: value codec needs a name, an encoder, and a decoder")
+	}
+	valueCodecMu.Lock()
+	defer valueCodecMu.Unlock()
+	if _, dup := valueCodecs[name]; dup {
+		panic(fmt.Sprintf("parcel: value codec %q already registered", name))
+	}
+	valueCodecs[name] = c
+	valueCodecOrder = append(valueCodecOrder, name)
+}
+
+// encodeCustom renders a tagCustom record: tag | u16 name | u32 payload.
+func encodeCustom(name string, payload []byte) []byte {
+	buf := make([]byte, 0, 1+2+len(name)+4+len(payload))
+	buf = append(buf, tagCustom)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
+	buf = append(buf, name...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	return append(buf, payload...)
+}
+
+// decodeCustom parses a tagCustom record and dispatches to its codec.
+func decodeCustom(buf []byte) (any, error) {
+	buf = buf[1:] // tag, checked by the caller
+	if len(buf) < 2 {
+		return nil, fmt.Errorf("parcel: custom value: short name length")
+	}
+	n := int(binary.LittleEndian.Uint16(buf))
+	buf = buf[2:]
+	if len(buf) < n {
+		return nil, fmt.Errorf("parcel: custom value: name truncated")
+	}
+	name := string(buf[:n])
+	buf = buf[n:]
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("parcel: custom value %q: short payload length", name)
+	}
+	pn := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	if len(buf) < pn {
+		return nil, fmt.Errorf("parcel: custom value %q: payload truncated", name)
+	}
+	valueCodecMu.RLock()
+	c, ok := valueCodecs[name]
+	valueCodecMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("parcel: no value codec %q registered on this node", name)
+	}
+	return c.Decode(buf[:pn])
+}
 
 // EncodeAny encodes a single dynamically-typed value using the argument
 // codec. It supports the codec's value set: nil, bool, int/int64, uint64,
@@ -36,6 +113,21 @@ func EncodeAny(v any) ([]byte, error) {
 	case agas.GID:
 		return a.GID(x).Encode(), nil
 	default:
+		valueCodecMu.RLock()
+		names := valueCodecOrder
+		valueCodecMu.RUnlock()
+		for _, name := range names {
+			valueCodecMu.RLock()
+			c := valueCodecs[name]
+			valueCodecMu.RUnlock()
+			payload, ok, err := c.Encode(v)
+			if err != nil {
+				return nil, fmt.Errorf("parcel: value codec %q: %w", name, err)
+			}
+			if ok {
+				return encodeCustom(name, payload), nil
+			}
+		}
 		return nil, fmt.Errorf("parcel: cannot encode %T as parcel value", v)
 	}
 }
@@ -46,6 +138,9 @@ func EncodeAny(v any) ([]byte, error) {
 func DecodeAny(buf []byte) (any, error) {
 	if len(buf) == 0 {
 		return nil, fmt.Errorf("parcel: empty value record")
+	}
+	if buf[0] == tagCustom {
+		return decodeCustom(buf)
 	}
 	r := NewReader(buf)
 	var v any

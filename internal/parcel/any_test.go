@@ -1,0 +1,94 @@
+package parcel
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testPoint exercises the custom value codec registry.
+type testPoint struct{ X, Y int64 }
+
+func init() {
+	RegisterValueCodec("test.point", ValueCodec{
+		Encode: func(v any) ([]byte, bool, error) {
+			p, ok := v.(testPoint)
+			if !ok {
+				return nil, false, nil
+			}
+			return NewArgs().Int64(p.X).Int64(p.Y).Encode(), true, nil
+		},
+		Decode: func(payload []byte) (any, error) {
+			r := NewReader(payload)
+			p := testPoint{X: r.Int64(), Y: r.Int64()}
+			return p, r.Err()
+		},
+	})
+}
+
+func TestCustomValueCodecRoundTrip(t *testing.T) {
+	raw, err := EncodeAny(testPoint{X: 3, Y: -9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := DecodeAny(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := v.(testPoint); p.X != 3 || p.Y != -9 {
+		t.Fatalf("roundtrip = %+v", p)
+	}
+	// Built-in types must still bypass the custom path.
+	raw, err = EncodeAny(int64(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := DecodeAny(raw); err != nil || v.(int64) != 5 {
+		t.Fatalf("builtin roundtrip = %v, %v", v, err)
+	}
+}
+
+func TestCustomValueCodecUnknownAndCorrupt(t *testing.T) {
+	if _, err := EncodeAny(struct{ q int }{}); err == nil {
+		t.Fatal("unencodable type accepted")
+	}
+	// A record naming an unregistered codec must error, not panic.
+	raw := encodeCustom("test.nope", []byte{1, 2, 3})
+	if _, err := DecodeAny(raw); err == nil {
+		t.Fatal("unregistered codec decoded")
+	}
+	// Truncations at every boundary.
+	good, err := EncodeAny(testPoint{X: 1, Y: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(good); cut++ {
+		if _, err := DecodeAny(good[:cut]); err == nil {
+			t.Fatalf("truncated custom record at %d decoded", cut)
+		}
+	}
+}
+
+func TestRegisterValueCodecValidation(t *testing.T) {
+	for name, c := range map[string]ValueCodec{
+		"":         {Encode: func(any) ([]byte, bool, error) { return nil, false, nil }, Decode: func([]byte) (any, error) { return nil, nil }},
+		"test.nil": {},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("invalid codec %q accepted", name)
+				}
+			}()
+			RegisterValueCodec(name, c)
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate codec name accepted")
+		}
+	}()
+	RegisterValueCodec("test.point", ValueCodec{
+		Encode: func(any) ([]byte, bool, error) { return nil, false, nil },
+		Decode: func([]byte) (any, error) { return nil, fmt.Errorf("no") },
+	})
+}

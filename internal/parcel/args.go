@@ -26,6 +26,9 @@ const (
 	tagGID
 	tagFloat64s
 	tagInt64s
+	// tagCustom marks a value encoded by a registered application codec
+	// (see RegisterValueCodec): name and payload, both length-prefixed.
+	tagCustom
 )
 
 // NewArgs returns an empty argument record builder.

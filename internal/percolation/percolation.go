@@ -83,6 +83,19 @@ type Percolator struct {
 	// Depth is the prestage pipeline depth (number of fetches allowed to
 	// run ahead of the computation). Depth 0 degenerates to demand fetch.
 	Depth int
+	// Done optionally names a distributed LCO (typically a gate minted
+	// with Runtime.NewDistGateAt) signalled when a run completes its task
+	// stream, so observers anywhere in the machine — including on other
+	// nodes — synchronize on the prestaged burst without polling. Nil
+	// disables the completion signal.
+	Done agas.GID
+}
+
+// signalDone fires the completion gate, if one is configured.
+func (p *Percolator) signalDone() {
+	if !p.Done.IsNil() {
+		p.rt.SignalLCO(p.Resource, p.Done)
+	}
 }
 
 // New returns a percolator for the resource locality.
@@ -127,6 +140,7 @@ func (p *Percolator) RunDemandFetch(tasks []Task) (Stats, error) {
 		st.Tasks++
 	}
 	st.Elapsed = time.Since(start)
+	p.signalDone()
 	return st, nil
 }
 
@@ -187,6 +201,7 @@ func (p *Percolator) RunMigrated(tasks []Task) (Stats, error) {
 		st.Tasks++
 	}
 	st.Elapsed = time.Since(start)
+	p.signalDone()
 	return st, nil
 }
 
@@ -220,5 +235,6 @@ func (p *Percolator) Run(tasks []Task) (Stats, error) {
 		st.Tasks++
 	}
 	st.Elapsed = time.Since(start)
+	p.signalDone()
 	return st, nil
 }

@@ -184,3 +184,27 @@ func TestUtilizationBounds(t *testing.T) {
 		t.Fatal("empty String")
 	}
 }
+
+func TestRunMigratedCompletesIntoDistributedGate(t *testing.T) {
+	rt, tasks := testMachine(t, 100*time.Microsecond, 6)
+	// The completion gate is a distributed LCO: any locality (or node, on
+	// a multi-process machine) can await the prestaged burst.
+	gate := rt.NewDistGateAt(2, 1)
+	done := rt.WaitLCO(3, gate)
+	p := New(rt, 0, 2)
+	p.Done = gate
+	st, err := p.RunMigrated(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tasks != 6 {
+		t.Fatalf("completed %d tasks", st.Tasks)
+	}
+	if _, err := done.Get(); err != nil {
+		t.Fatalf("completion gate: %v", err)
+	}
+	rt.Wait()
+	if errs := rt.Errors(); len(errs) != 0 {
+		t.Fatalf("runtime errors: %v", errs)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	parallex "repro"
 	"repro/internal/locality"
 	"repro/internal/parcel"
+	"repro/internal/transport"
 )
 
 // MutexQueue is the retired single-lock locality scheduler, kept verbatim
@@ -361,6 +362,45 @@ func ParcelPingPong(b *testing.B) {
 	<-done
 	b.StopTimer()
 	rt.Wait()
+}
+
+// DistFutureRoundTrip measures the distributed LCO trigger path end to
+// end on a two-node loopback-fabric machine: per iteration, node 0 mints
+// a distributed future and subscribes a local waiter, node 1 resolves it
+// with an fLCOSet frame, and the resolution fires back through the waiter
+// — create, subscribe, cross-node trigger, ack, fire. This is the
+// latency of one split-phase synchronization through the acknowledging
+// LCO protocol, and its regression gate protects the trigger hot path.
+func DistFutureRoundTrip(b *testing.B) {
+	fabric := transport.NewFabric(2)
+	ranges := []parallex.LocalityRange{{Lo: 0, Hi: 1}, {Lo: 1, Hi: 2}}
+	rts := make([]*parallex.Runtime, 2)
+	for i := range rts {
+		rts[i] = parallex.New(parallex.Config{
+			Transport:          fabric.Node(i),
+			NodeID:             i,
+			NodeLocalities:     ranges,
+			WorkersPerLocality: 2,
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fut := rts[0].NewDistFutureAt(0)
+		wait := rts[0].WaitLCO(0, fut)
+		if err := rts[1].SetLCO(1, fut, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+		if v, err := wait.Get(); err != nil || v.(int64) != int64(i) {
+			b.Fatalf("round trip %d = %v, %v", i, v, err)
+		}
+		rts[0].FreeObject(fut)
+	}
+	b.StopTimer()
+	rts[0].Wait()
+	for _, rt := range rts {
+		rt.Shutdown()
+	}
 }
 
 // internTable is a minimal parcel.Table for the codec benchmark: wire

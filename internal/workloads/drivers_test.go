@@ -181,3 +181,52 @@ func TestJacobiParalleXSingleBlock(t *testing.T) {
 		}
 	}
 }
+
+func TestJacobiDistGatesMatchesSequential(t *testing.T) {
+	initial := JacobiInitial(97)
+	for _, steps := range []int{1, 2, 7, 20} {
+		want := JacobiRun(initial, steps)
+		rt := newRT(t, 4, false)
+		got := JacobiDistGates(rt, initial, steps, 8)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("steps=%d cell %d: distgates %g, sequential %g",
+					steps, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestJacobiDistGatesUnderDuplicationFaults(t *testing.T) {
+	// The distributed-gate halo exchange must stay exact when every gate
+	// signal may be delivered twice: identified triggers count once.
+	initial := JacobiInitial(65)
+	want := JacobiRun(initial, 12)
+	rt := core.New(core.Config{
+		Localities:         4,
+		WorkersPerLocality: 2,
+		Faults:             core.Faults{DupOneIn: 2, Seed: 17},
+	})
+	t.Cleanup(rt.Shutdown)
+	got := JacobiDistGates(rt, initial, 12, 8)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("cell %d: distgates %g, sequential %g under duplication", i, got[i], want[i])
+		}
+	}
+	rt.Wait()
+	if errs := rt.Errors(); len(errs) != 0 {
+		t.Fatalf("runtime errors under duplication: %v", errs)
+	}
+}
+
+func TestJacobiDistGatesZeroSteps(t *testing.T) {
+	initial := JacobiInitial(17)
+	rt := newRT(t, 2, false)
+	got := JacobiDistGates(rt, initial, 0, 4)
+	for i := range initial {
+		if got[i] != initial[i] {
+			t.Fatalf("zero steps mutated field at %d", i)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package workloads
 import (
 	"sync"
 
+	"repro/internal/agas"
 	"repro/internal/core"
 	"repro/internal/csp"
 	"repro/internal/lco"
@@ -15,7 +16,10 @@ import (
 // bulk-synchronous stencil codes. The ParalleX driver replaces the
 // exchange with per-block dataflow gates: block i's step-s task fires when
 // blocks {i-1, i, i+1} finish step s-1, the same neighborhood dependence
-// with no rank-wide coupling. Both are verified against JacobiRun.
+// with no rank-wide coupling. JacobiDistGates lifts those gates into
+// globally addressable distributed LCOs triggered by identified parcels,
+// so the synchronization tolerates duplicated delivery and lives in AGAS.
+// All are verified against JacobiRun.
 
 // JacobiCSP relaxes the field for steps sweeps over w.Size() ranks.
 func JacobiCSP(w *csp.World, initial []float64, steps int) []float64 {
@@ -161,4 +165,92 @@ func neighborBlocks(b, blocks int) []int {
 		out = append(out, b+1)
 	}
 	return out
+}
+
+// JacobiDistGates is the halo exchange on distributed gates: the same
+// per-block neighborhood dependence as JacobiParalleX, but every gate is
+// a globally addressable LCO (Runtime.NewDistGateAt) signalled through
+// identified parcel triggers instead of an in-memory callback object.
+// The gates are therefore first-class AGAS citizens — they can be
+// observed, triggered, or migrated from anywhere in the machine, and a
+// duplicated signal (Faults.DupOneIn) counts once — which makes this the
+// driver whose synchronization survives the failure and distribution
+// modes the in-memory variant cannot express.
+func JacobiDistGates(rt *core.Runtime, initial []float64, steps, blocks int) []float64 {
+	n := len(initial)
+	if blocks < 1 {
+		blocks = 1
+	}
+	P := rt.Localities()
+	bufA := append([]float64(nil), initial...)
+	if steps == 0 {
+		return bufA
+	}
+	bufB := make([]float64, n)
+	copy(bufB, initial)
+
+	// gates[s][b] opens block b's step s; each is an AGAS-named gate homed
+	// on the locality that will run the block.
+	gates := make([][]agas.GID, steps)
+	for s := 1; s < steps; s++ {
+		gates[s] = make([]agas.GID, blocks)
+		for b := 0; b < blocks; b++ {
+			deps := 1
+			if b > 0 {
+				deps++
+			}
+			if b < blocks-1 {
+				deps++
+			}
+			gates[s][b] = rt.NewDistGateAt(b%P, deps)
+		}
+	}
+	doneGID := rt.NewDistGateAt(0, blocks)
+	done := rt.WaitLCO(0, doneGID)
+
+	var run func(s, b int)
+	run = func(s, b int) {
+		rt.Spawn(b%P, func(ctx *core.Context) {
+			src, dst := bufA, bufB
+			if s%2 == 1 {
+				src, dst = bufB, bufA
+			}
+			lo := b * n / blocks
+			hi := (b + 1) * n / blocks
+			for i := lo; i < hi; i++ {
+				if i == 0 || i == n-1 {
+					dst[i] = src[i]
+					continue
+				}
+				dst[i] = 0.5 * (src[i-1] + src[i+1])
+			}
+			if s == steps-1 {
+				rt.SignalLCO(ctx.Locality(), doneGID)
+				return
+			}
+			for _, nb := range neighborBlocks(b, blocks) {
+				rt.SignalLCO(ctx.Locality(), gates[s+1][nb])
+			}
+		})
+	}
+	for s := 1; s < steps; s++ {
+		for b := 0; b < blocks; b++ {
+			s, b := s, b
+			rt.WaitLCO(b%P, gates[s][b]).OnReady(func(any, error) { run(s, b) })
+		}
+	}
+	for b := 0; b < blocks; b++ {
+		run(0, b)
+	}
+	done.Get()
+	for s := 1; s < steps; s++ {
+		for b := 0; b < blocks; b++ {
+			rt.FreeObject(gates[s][b])
+		}
+	}
+	rt.FreeObject(doneGID)
+	if steps%2 == 1 {
+		return bufB
+	}
+	return bufA
 }

@@ -33,6 +33,17 @@ type (
 	// went; it wraps ErrMoved. See Runtime.Migrate.
 	MovedError = agas.MovedError
 
+	// DistLCO is a globally addressable LCO: any node may trigger it by
+	// GID, it migrates live, and duplicated trigger delivery is absorbed
+	// by idempotent trigger IDs. See Runtime.NewDistFutureAt and friends.
+	DistLCO = core.DistLCO
+	// TrigOp identifies one distributed LCO trigger operation.
+	TrigOp = core.TrigOp
+	// Waiter names what a distributed LCO triggers when it resolves.
+	Waiter = core.Waiter
+	// ReduceFn folds one contribution into a distributed reduction.
+	ReduceFn = core.ReduceFn
+
 	// Parcel is the message-driven unit of work movement.
 	Parcel = parcel.Parcel
 	// Continuation names what happens after a parcel's action completes.
@@ -103,7 +114,28 @@ const (
 	ActionLCOFail       = core.ActionLCOFail
 	ActionLCOSignal     = core.ActionLCOSignal
 	ActionLCOContribute = core.ActionLCOContribute
+	ActionLCOTrigger    = core.ActionLCOTrigger
 	ActionNop           = core.ActionNop
+)
+
+// Distributed LCO trigger operations (see Runtime.SubscribeLCO).
+const (
+	TrigSet        = core.TrigSet
+	TrigFail       = core.TrigFail
+	TrigSignal     = core.TrigSignal
+	TrigContribute = core.TrigContribute
+	TrigSupply     = core.TrigSupply
+	TrigWait       = core.TrigWait
+)
+
+// Built-in reducer names for distributed reductions (Runtime.
+// NewDistReduceAt) and dataflow templates; register application reducers
+// with Runtime.RegisterReducer.
+const (
+	ReduceSum   = core.ReduceSum
+	ReduceMin   = core.ReduceMin
+	ReduceMax   = core.ReduceMax
+	ReduceCount = core.ReduceCount
 )
 
 // ErrMoved is the sentinel wrapped by MovedError: an object is no longer
