@@ -31,7 +31,7 @@ const (
 	fDirUpdate  = byte(10) // home-directory commit request: u64 xid | gid | u32 owner | u64 gen
 	fDirOK      = byte(11) // commit outcome: u64 xid | u8 ok | str error
 	fParcelI    = byte(12) // parcel in the interned-action wire form (see intern.go)
-	fLCOSet     = byte(13) // LCO trigger: u64 tid | u8 op | gid | u32 slot | u32 vlen | value
+	fLCOSet     = byte(13) // LCO trigger: u64 tid | u8 op | gid | u32 slot | u32 hops | u32 vlen | value
 	fLCOFire    = byte(14) // LCO resolution delivery to a waiter; same body as fLCOSet
 	fLCOAck     = byte(15) // LCO trigger receipt: u64 tid; stops retransmission
 )

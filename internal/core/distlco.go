@@ -331,16 +331,19 @@ func (r *Runtime) nextTID() uint64 {
 // builtins. Continuations inherit their chain's parcel ID (see execute),
 // so a fault-duplicated parcel and the continuations it spawns all
 // derive the same ID as the original's and the duplicates are absorbed.
-// Distinctness holds because equal source localities imply one process:
-// parcel IDs are process-unique, and the remaining continuation-stack
-// depth separates the steps of one chain (a chain may legally trigger
-// the same LCO at two steps). Bit 63 separates parcel-derived IDs from
-// node-minted ones. IDs truncate to 40 bits here; a collision needs two
-// same-source parcels exactly 2^40 mintings apart hitting one LCO at
-// equal depth.
+// Distinctness holds because parcel IDs are machine-unique: the minting
+// process stamps its origin salt into the ID's top 16 bits (see
+// parcel.SetIDOrigin) and inheritance carries that salt across nodes
+// unchanged — a chain minted on node A keeps A's identity however many
+// localities its continuations fire from — while the remaining
+// continuation-stack depth separates the steps of one chain (a chain may
+// legally trigger the same LCO at two steps). Bit 63 separates
+// parcel-derived IDs from node-minted ones. The sequence truncates to 40
+// bits here; a collision needs two same-origin parcels exactly 2^40
+// mintings apart hitting one LCO at equal depth.
 func parcelTriggerID(p *parcel.Parcel) uint64 {
 	return 1<<63 |
-		(uint64(p.Src)&0x7fff)<<48 |
+		(p.ID>>48&0x7fff)<<48 |
 		(uint64(len(p.Cont))&0xff)<<40 |
 		(p.ID & (1<<40 - 1))
 }
@@ -455,7 +458,7 @@ func (r *Runtime) triggerLCO(src int, tid uint64, op TrigOp, slot uint32, g agas
 	if r.dist != nil {
 		if owner, err := r.agas.ResolveCached(src, g); err == nil {
 			if node := r.dist.lmap.NodeOf(owner); node != r.dist.node {
-				r.dist.sendLCOTrigger(node, tid, op, slot, g, value, fired)
+				r.dist.sendLCOTrigger(node, tid, op, slot, 0, g, value, fired)
 				return
 			}
 		}
@@ -501,10 +504,11 @@ func (r *Runtime) applyDistTrigger(loc int, l *DistLCO, tid uint64, op TrigOp, s
 			return werr
 		}
 		l.mu.Lock()
-		if l.dedup.Seen(tid) {
+		if l.dedup.Contains(tid) {
 			l.mu.Unlock()
 			return nil
 		}
+		l.dedup.Add(tid)
 		if l.resolved {
 			val, failMsg := l.val, l.failMsg
 			l.mu.Unlock()
@@ -521,7 +525,7 @@ func (r *Runtime) applyDistTrigger(loc int, l *DistLCO, tid uint64, op TrigOp, s
 	}
 
 	l.mu.Lock()
-	if l.dedup.Seen(tid) {
+	if l.dedup.Contains(tid) {
 		l.mu.Unlock()
 		return nil
 	}
@@ -535,6 +539,7 @@ func (r *Runtime) applyDistTrigger(loc int, l *DistLCO, tid uint64, op TrigOp, s
 		if msg == "" {
 			msg = "LCO failed"
 		}
+		l.dedup.Add(tid)
 		l.failMsg = msg
 		waiters := l.resolveLocked()
 		l.mu.Unlock()
@@ -544,9 +549,17 @@ func (r *Runtime) applyDistTrigger(loc int, l *DistLCO, tid uint64, op TrigOp, s
 		return nil
 	}
 	if aerr := l.applyValueLocked(r, op, slot, v); aerr != nil {
+		// Deliberately not recorded in the dedup set: the trigger took no
+		// effect, so it must not be counted as applied — a duplicate that
+		// is still in flight stays free to retry, and every failing copy
+		// surfaces through the action error path instead of being
+		// silently absorbed as a duplicate of a phantom success. (Cross-
+		// node frames are acked on receipt, so a frame whose apply fails
+		// is not retransmitted; the recorded error is the signal.)
 		l.mu.Unlock()
 		return aerr
 	}
+	l.dedup.Add(tid)
 	if l.need > 0 {
 		l.mu.Unlock()
 		return nil

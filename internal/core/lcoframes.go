@@ -31,21 +31,27 @@ import (
 const (
 	lcoRetryTick  = 10 * time.Millisecond
 	lcoRetryAfter = 25 * time.Millisecond
-	// lcoGiveUpAttempts bounds retransmission (~10s at the tick rate):
-	// past it the peer is declared unreachable, the work unit released,
-	// and the loss recorded — the same stance migration RPCs take.
+	// lcoGiveUpAttempts bounds retransmission (~30s: attempts only count
+	// when a frame has sat unacknowledged for lcoRetryAfter, and the tick
+	// aligns retransmits ~30ms apart): past it the peer is declared
+	// unreachable, the work unit released, and the loss recorded — the
+	// same stance migration RPCs take.
 	lcoGiveUpAttempts = 1000
 )
 
 // encodeLCOTrigger renders one trigger frame:
-// kind | u64 tid | u8 op | gid target | u32 slot | u32 vlen | value.
-func encodeLCOTrigger(kind byte, tid uint64, op TrigOp, slot uint32, g agas.GID, value []byte) []byte {
-	frame := make([]byte, 0, 1+8+1+agas.GIDSize+4+4+len(value))
+// kind | u64 tid | u8 op | gid target | u32 slot | u32 hops | u32 vlen | value.
+// hops carries the forwarding-hop count a trigger has already spent, so
+// the MaxHops bound survives a trigger being re-shipped node to node
+// while it chases a migrating target.
+func encodeLCOTrigger(kind byte, tid uint64, op TrigOp, slot uint32, hops int, g agas.GID, value []byte) []byte {
+	frame := make([]byte, 0, 1+8+1+agas.GIDSize+4+4+4+len(value))
 	frame = append(frame, kind)
 	frame = binary.LittleEndian.AppendUint64(frame, tid)
 	frame = append(frame, byte(op))
 	frame = g.Encode(frame)
 	frame = binary.LittleEndian.AppendUint32(frame, slot)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(hops))
 	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(value)))
 	return append(frame, value...)
 }
@@ -53,23 +59,24 @@ func encodeLCOTrigger(kind byte, tid uint64, op TrigOp, slot uint32, g agas.GID,
 // decodeLCOTrigger parses the body of an fLCOSet/fLCOFire frame (the kind
 // byte already consumed). value aliases body — callers that retain it
 // past the transport handler must copy.
-func decodeLCOTrigger(body []byte) (tid uint64, op TrigOp, g agas.GID, slot uint32, value []byte, ok bool) {
+func decodeLCOTrigger(body []byte) (tid uint64, op TrigOp, g agas.GID, slot uint32, hops int, value []byte, ok bool) {
 	if len(body) < 9 {
-		return 0, 0, agas.Nil, 0, nil, false
+		return 0, 0, agas.Nil, 0, 0, nil, false
 	}
 	tid = binary.LittleEndian.Uint64(body[0:8])
 	op = TrigOp(body[8])
 	g, rest, err := agas.DecodeGID(body[9:])
-	if err != nil || len(rest) < 8 {
-		return 0, 0, agas.Nil, 0, nil, false
+	if err != nil || len(rest) < 12 {
+		return 0, 0, agas.Nil, 0, 0, nil, false
 	}
 	slot = binary.LittleEndian.Uint32(rest[0:4])
-	n := int(binary.LittleEndian.Uint32(rest[4:8]))
-	rest = rest[8:]
+	hops = int(binary.LittleEndian.Uint32(rest[4:8]))
+	n := int(binary.LittleEndian.Uint32(rest[8:12]))
+	rest = rest[12:]
 	if n < 0 || len(rest) != n {
-		return 0, 0, agas.Nil, 0, nil, false
+		return 0, 0, agas.Nil, 0, 0, nil, false
 	}
-	return tid, op, g, slot, rest, true
+	return tid, op, g, slot, hops, rest, true
 }
 
 // encodeLCOAck renders an acknowledgement frame: fLCOAck | u64 tid.
@@ -100,6 +107,7 @@ type lcoSendState struct {
 	mu      sync.Mutex
 	pend    map[uint64]*lcoPending
 	started bool
+	stopped bool // Shutdown ran: no new pending entries, no loop restart
 	stop    chan struct{}
 	done    chan struct{}
 
@@ -124,19 +132,37 @@ func (r *Runtime) LCOTriggerStats() (sent, recv, retried uint64) {
 // target, holding the caller's work unit until the peer acknowledges.
 // fired selects the fLCOFire frame type (a resolution delivery) over
 // fLCOSet (an inbound trigger); the receive path treats both identically.
-func (d *distState) sendLCOTrigger(node int, tid uint64, op TrigOp, slot uint32, g agas.GID, value []byte, fired bool) {
+// hops is the forwarding budget already spent (0 for a fresh trigger).
+func (d *distState) sendLCOTrigger(node int, tid uint64, op TrigOp, slot uint32, hops int, g agas.GID, value []byte, fired bool) {
 	kind := fLCOSet
 	if fired {
 		kind = fLCOFire
 	}
-	frame := encodeLCOTrigger(kind, tid, op, slot, g, value)
+	frame := encodeLCOTrigger(kind, tid, op, slot, hops, g, value)
 	pe := &lcoPending{node: node, frame: frame, lastSend: time.Now()}
-	d.rt.addWork()
 	s := &d.lco
 	s.mu.Lock()
+	if s.stopped {
+		// A trigger racing with (or arriving after) Shutdown: restarting
+		// the retry loop here would leak a goroutine nothing will ever
+		// stop, retransmitting into a closed transport. Reject instead.
+		s.mu.Unlock()
+		d.rt.recordError(fmt.Errorf("core: LCO trigger %d to node %d after shutdown", tid, node))
+		return
+	}
 	if s.pend == nil {
 		s.pend = make(map[uint64]*lcoPending)
 	}
+	if _, dup := s.pend[tid]; dup {
+		// The same logical trigger is already in flight from this node —
+		// a fault-duplicated or retransmitted frame being re-forwarded.
+		// The existing entry guarantees delivery and holds the one work
+		// unit its ack releases; a second entry under the same tid would
+		// charge a unit the single ack can never release.
+		s.mu.Unlock()
+		return
+	}
+	d.rt.addWork()
 	s.pend[tid] = pe
 	if !s.started {
 		s.started = true
@@ -210,14 +236,17 @@ func (d *distState) lcoRetryLoop(stop <-chan struct{}, done chan<- struct{}) {
 	}
 }
 
-// stopLCO shuts the retry loop down; pending entries (there are none
-// after a clean Wait) are abandoned.
+// stopLCO shuts the retry loop down for good: stopped rejects any
+// trigger still racing in, so the loop can never restart with channels
+// nothing would close. Pending entries (there are none after a clean
+// Wait) are abandoned.
 func (d *distState) stopLCO() {
 	s := &d.lco
 	s.mu.Lock()
 	started := s.started
 	stop, done := s.stop, s.done
 	s.started = false
+	s.stopped = true
 	s.mu.Unlock()
 	if started {
 		close(stop)
@@ -225,14 +254,41 @@ func (d *distState) stopLCO() {
 	}
 }
 
+// sendTriggerParcel re-ships a remote-destined px.lco.trigger parcel as
+// an acknowledged fLCOSet frame: a trigger that discovers mid-route that
+// its target lives on — or migrated to — another node keeps the
+// acknowledging protocol's reliability on every hop, instead of degrading
+// to at-most-once parcel delivery past the first one. Each forward leg is
+// retransmitted until the next node acks, and the target's dedup set
+// absorbs whatever duplicates the hops create. Consumes p, releasing its
+// routing leg's work unit after the frame's own unit is charged.
+func (d *distState) sendTriggerParcel(node, src int, p *parcel.Parcel) {
+	rd := parcel.NewReader(p.Args)
+	tid := rd.Uint64()
+	op := TrigOp(rd.Uint64())
+	slot := uint32(rd.Uint64())
+	value := rd.Bytes()
+	if err := rd.Err(); err != nil {
+		d.rt.deliverFailure(src, p, fmt.Errorf("core: malformed trigger args: %w", err))
+		return
+	}
+	d.sendLCOTrigger(node, tid, op, slot, p.Hops, p.Dest, value, false)
+	parcel.Release(p)
+	d.rt.doneWork()
+}
+
 // onLCOTrigger handles one received fLCOSet/fLCOFire frame: charge a work
 // unit, acknowledge, and hand the trigger to the standard parcel delivery
 // path — which parks it at a migration fence or chases a forwarding
-// pointer exactly as it would any parcel. Duplicate deliveries reach the
-// target and are absorbed by its dedup set, so the acknowledgement needs
-// no receive-side dedup of its own.
+// pointer exactly as it would any parcel. The acknowledgement covers only
+// this hop: a target that turns out to live on another node re-enters the
+// acknowledging protocol as a fresh frame on the next leg (route hands
+// remote-destined trigger parcels to sendTriggerParcel), so reliability
+// is preserved hop by hop rather than ending at the first ack. Duplicate
+// deliveries reach the target and are absorbed by its dedup set, so the
+// acknowledgement needs no receive-side dedup of its own.
 func (d *distState) onLCOTrigger(from int, body []byte) {
-	tid, op, g, slot, value, ok := decodeLCOTrigger(body)
+	tid, op, g, slot, hops, value, ok := decodeLCOTrigger(body)
 	if !ok {
 		d.rt.recordError(fmt.Errorf("core: bad LCO trigger frame from node %d", from))
 		return
@@ -246,6 +302,7 @@ func (d *distState) onLCOTrigger(from int, body []byte) {
 	}
 	// encodeTriggerArgs copies value out of the transport's read buffer.
 	p := parcel.Acquire(g, ActionLCOTrigger, encodeTriggerArgs(tid, op, slot, value))
+	p.Hops = hops // the frame carries the chain's spent forwarding budget
 	owner, _, rerr := d.resolveHere(g)
 	d.deliver(p, owner, rerr)
 }

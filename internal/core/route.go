@@ -54,6 +54,17 @@ func (r *Runtime) route(src int, p *parcel.Parcel) {
 			if r.ring != nil {
 				r.ring.Emitf(trace.KindParcelSend, src, "to node %d %s", node, p)
 			}
+			if p.Action == ActionLCOTrigger && len(p.Cont) == 0 {
+				// Identified triggers never ride at-most-once parcels over
+				// the wire: re-ship as an acknowledged LCO frame so the
+				// retransmit-until-acked guarantee survives forwarding hops
+				// (a trigger chasing its target across a migration). Frames
+				// carry no continuation stack, so the rare user-built
+				// trigger parcel with continuations keeps ordinary parcel
+				// semantics instead of silently losing its chain.
+				r.dist.sendTriggerParcel(node, src, p)
+				return
+			}
 			r.dist.sendParcel(node, src, p)
 			return
 		}

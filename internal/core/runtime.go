@@ -15,6 +15,7 @@ import (
 	"repro/internal/locality"
 	"repro/internal/metrics"
 	"repro/internal/network"
+	"repro/internal/parcel"
 	"repro/internal/thread"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -208,6 +209,10 @@ func New(cfg Config) *Runtime {
 	// starts delivering afterwards, so registrations cannot race arriving
 	// parcels.
 	if cfg.Transport != nil {
+		// Parcel IDs minted by this process carry the node's origin salt,
+		// so trigger IDs derived from inherited parcel IDs stay unique
+		// machine-wide (see parcelTriggerID).
+		parcel.SetIDOrigin(uint16(cfg.NodeID) + 1)
 		r.dist = newDistState(r, cfg.Transport, cfg.NodeID, lmap)
 		cfg.Transport.SetHandler(r.dist.onFrame)
 	}

@@ -30,6 +30,15 @@ func (d *Dedup) Seen(id uint64) bool {
 	return false
 }
 
+// Contains reports whether id has been recorded, without recording it —
+// the check half of a check-then-Add sequence whose Add runs only after
+// the guarded operation succeeds, so a failed application stays
+// retryable by a redelivery of the same trigger.
+func (d *Dedup) Contains(id uint64) bool {
+	_, ok := d.seen[id]
+	return ok
+}
+
 // Add records id without consulting it, for restoring a snapshot.
 func (d *Dedup) Add(id uint64) {
 	if id == 0 {

@@ -66,10 +66,26 @@ type Parcel struct {
 	ownsCont bool
 }
 
-var idCounter atomic.Uint64
+var (
+	idCounter atomic.Uint64
+	idOrigin  atomic.Uint64
+)
 
-// NextID mints a process-unique parcel ID.
-func NextID() uint64 { return idCounter.Add(1) }
+// SetIDOrigin salts every subsequently minted parcel ID with origin in the
+// ID's top 16 bits, making IDs unique machine-wide rather than merely
+// process-wide: each process of a multi-node machine installs a distinct
+// origin (the core runtime passes its node index + 1) before application
+// parcels are minted. Continuations and fault-injected duplicates inherit
+// their chain's ID verbatim, so the origin survives cross-node hops — the
+// distributed LCO layer derives idempotence keys from it. A process
+// hosting several runtimes (in-process multi-node tests) overwrites the
+// salt as each starts; uniqueness still holds there because every runtime
+// in the process draws from the one shared sequence.
+func SetIDOrigin(origin uint16) { idOrigin.Store(uint64(origin) << 48) }
+
+// NextID mints a machine-unique parcel ID: the current origin salt over a
+// 48-bit process-wide sequence.
+func NextID() uint64 { return idOrigin.Load() | (idCounter.Add(1) & (1<<48 - 1)) }
 
 // New builds a parcel with a fresh ID.
 func New(dest agas.GID, action string, args []byte, cont ...Continuation) *Parcel {
