@@ -21,6 +21,8 @@ import (
 
 	"repro/internal/benchio"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/parcel"
 	"repro/internal/pprofserve"
 	"repro/internal/schedbench"
 )
@@ -95,9 +97,23 @@ func main() {
 	sched := flag.Bool("sched", false, "run the scheduler/wire microbenchmark suite instead of the experiments")
 	jsonOut := flag.String("json", "", "with -sched: also write results to this path (default BENCH_<date>.json)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = off")
+	metricsAddr := flag.String("metrics", "", "serve process-wide px.pool.* metrics as JSON on this address; empty = off")
 	flag.Parse()
 
 	pprofserve.Start(*pprofAddr, log.Printf)
+	if *metricsAddr != "" {
+		// Experiment runtimes are ephemeral, so pxbench exports the
+		// process-global pool counters — the part an operator can watch
+		// across experiment boundaries.
+		reg := metrics.NewRegistry()
+		reg.RegisterFunc("px.pool.parcel.hits", func() int64 { h, _, _, _ := parcel.PoolStats(); return int64(h) })
+		reg.RegisterFunc("px.pool.parcel.misses", func() int64 { _, m, _, _ := parcel.PoolStats(); return int64(m) })
+		reg.RegisterFunc("px.pool.wire.hits", func() int64 { _, _, h, _ := parcel.PoolStats(); return int64(h) })
+		reg.RegisterFunc("px.pool.wire.misses", func() int64 { _, _, _, m := parcel.PoolStats(); return int64(m) })
+		if _, err := pprofserve.ServeMetrics(*metricsAddr, reg, nil, log.Printf); err != nil {
+			log.Fatalf("pxbench: %v", err)
+		}
+	}
 
 	if *sched {
 		path := *jsonOut

@@ -47,6 +47,8 @@ func main() {
 	iters := flag.Int("n", 100, "workload iterations")
 	workers := flag.Int("workers", 4, "workers per locality")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = off")
+	metricsAddr := flag.String("metrics", "", "serve the px.* metrics registry and sampled trace spans as JSON on this address (e.g. localhost:7070); empty = off")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of root parcels that start a sampled distributed trace, 0..1")
 	flag.Parse()
 
 	pprofserve.Start(*pprofAddr, log.Printf)
@@ -86,10 +88,14 @@ func main() {
 		NodeID:             *node,
 		NodeLocalities:     ranges,
 		WorkersPerLocality: *workers,
+		TraceSampleRate:    *traceSample,
 		// Actions must exist before the transport starts delivering: a
 		// peer's parcel can name them the instant the node is reachable.
 		Register: registerDistActions,
 	})
+	if _, err := pprofserve.ServeMetrics(*metricsAddr, rt.Metrics(), rt.Spans(), log.Printf); err != nil {
+		log.Fatalf("pxnode: %v", err)
+	}
 	home := ranges[*node].Lo
 	fmt.Printf("pxnode: node %d up, localities %v of %d, listening on %s\n",
 		*node, ranges[*node], rt.Localities(), addr)

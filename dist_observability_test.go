@@ -1,0 +1,314 @@
+package parallex_test
+
+// Observability over a real multi-node machine: three TCP nodes on
+// loopback run cross-node work while the operator endpoints serve metrics
+// and sampled trace spans. The tests assert the two tentpole contracts
+// end to end — HTTP-served metric values match the runtime's own
+// counters, and one sampled trace ID stitches post, wire, and trigger
+// hops across node boundaries — plus the mixed-capability downgrade and
+// the soak-with-faults counters CI gates on.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	parallex "repro"
+	"repro/internal/pprofserve"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// startObsMachine mirrors startTCPMachine but lets the caller adjust each
+// node's Config before New — the observability knobs (TraceSampleRate,
+// DisableTraceContext) are per-node, which is the whole point of the
+// mixed-capability test.
+func startObsMachine(t testing.TB, configure func(node int, cfg *parallex.Config)) []*parallex.Runtime {
+	t.Helper()
+	ranges := make([][2]int, len(distRanges))
+	for i, rg := range distRanges {
+		ranges[i] = [2]int{rg.Lo, rg.Hi}
+	}
+	tcps := make([]*transport.TCP, 3)
+	addrs := make([]string, 3)
+	for i := range tcps {
+		tr, err := parallex.NewTCPTransport(parallex.TCPTransportConfig{
+			Self:   i,
+			Listen: "127.0.0.1:0",
+			Peers:  make([]string, 3),
+			Ranges: ranges,
+		})
+		if err != nil {
+			t.Fatalf("tcp node %d: %v", i, err)
+		}
+		tcps[i] = tr
+		addrs[i] = tr.Addr().String()
+	}
+	rts := make([]*parallex.Runtime, 3)
+	for i, tr := range tcps {
+		tr.SetPeers(addrs)
+		cfg := parallex.Config{
+			Transport:          tr,
+			NodeID:             i,
+			NodeLocalities:     distRanges,
+			WorkersPerLocality: 2,
+		}
+		if configure != nil {
+			configure(i, &cfg)
+		}
+		rts[i] = parallex.New(cfg)
+	}
+	return rts
+}
+
+// getJSON fetches one operator endpoint and decodes its JSON body.
+func getJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
+
+// spanRow mirrors the /trace JSON wire form.
+type spanRow struct {
+	Trace  string `json:"trace"`
+	ID     string `json:"id"`
+	Parent string `json:"parent"`
+	Kind   string `json:"kind"`
+	Node   int32  `json:"node"`
+	Loc    int32  `json:"loc"`
+	Action string `json:"action"`
+}
+
+// TestDistObservabilityTCP is the tentpole acceptance scenario: a 3-node
+// TCP machine runs cross-node calls with full sampling, and node 0's
+// operator endpoint must (a) serve metric values that match the runtime's
+// own counters and (b) serve sampled spans in which one trace ID covers
+// the post on node 0, the wire hops on both sides, and the continuation's
+// LCO trigger — proof the trace context survived the wire trailer.
+func TestDistObservabilityTCP(t *testing.T) {
+	// No goroutine-baseline check here: ServeMetrics intentionally serves
+	// for the life of the process.
+	defer http.DefaultClient.CloseIdleConnections()
+	rts := startObsMachine(t, func(node int, cfg *parallex.Config) {
+		cfg.TraceSampleRate = 1
+	})
+	obj := rts[1].NewDataAt(2, int64(7)) // first locality of node 1
+	for i := 0; i < 10; i++ {
+		if _, err := rts[0].CallFrom(0, obj, parallex.ActionNop, nil).Get(); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	rts[0].Wait()
+
+	addr, err := pprofserve.ServeMetrics("127.0.0.1:0", rts[0].Metrics(), rts[0].Spans(), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// (a) Served metrics equal the runtime's counters (the machine is
+	// quiescent, so the two reads must agree exactly).
+	var served map[string]float64
+	getJSON(t, "http://"+addr+"/metrics", &served)
+	local := rts[0].Metrics().Snapshot()
+	for _, key := range []string{
+		"px.parcels.sent", "px.wire.sent", "px.wire.recv",
+		"px.threads.spawned", "px.trace.sampled", "px.trace.spans",
+	} {
+		if served[key] != local[key] {
+			t.Errorf("%s: endpoint %v, runtime %v", key, served[key], local[key])
+		}
+		if served[key] == 0 {
+			t.Errorf("%s stayed 0 after 10 cross-node calls", key)
+		}
+	}
+
+	// (b) One trace ID spans post -> wire.send on node 0, wire.recv on
+	// node 1, and the continuation trigger hop. Spans live where they were
+	// recorded, so the cross-node view merges all three buffers.
+	type hop struct {
+		kind trace.SpanKind
+		node int32
+	}
+	byTrace := map[uint64]map[hop]bool{}
+	for _, rt := range rts {
+		for _, sp := range rt.Spans().Snapshot() {
+			if sp.Trace == 0 {
+				continue
+			}
+			if byTrace[sp.Trace] == nil {
+				byTrace[sp.Trace] = map[hop]bool{}
+			}
+			byTrace[sp.Trace][hop{sp.Kind, sp.Node}] = true
+		}
+	}
+	var crossTrace uint64
+	for id, hops := range byTrace {
+		if hops[hop{trace.SpanPost, 0}] && hops[hop{trace.SpanWireSend, 0}] &&
+			hops[hop{trace.SpanWireRecv, 1}] && hops[hop{trace.SpanTrigger, 0}] {
+			crossTrace = id
+			break
+		}
+	}
+	if crossTrace == 0 {
+		t.Fatalf("no trace ID covers post/wire.send@0 + wire.recv@1 + trigger@0 across %d traces", len(byTrace))
+	}
+
+	// The same trace is retrievable over HTTP from node 0, with its local
+	// hops rendered as greppable hex.
+	var rows []spanRow
+	getJSON(t, "http://"+addr+"/trace", &rows)
+	want := fmt.Sprintf("%016x", crossTrace)
+	kinds := map[string]bool{}
+	for _, row := range rows {
+		if row.Trace == want {
+			kinds[row.Kind] = true
+		}
+	}
+	if !kinds["post"] || !kinds["wire.send"] {
+		t.Fatalf("served trace %s lacks node 0's hops: %v", want, kinds)
+	}
+
+	stopMachine(t, rts, true)
+}
+
+// TestDistTraceMixedCapability: one node opts out of the trace capability
+// in its hello. Parcels toward it must carry no trailer (its decoder would
+// reject trailing bytes), so the machine keeps working with zero decode
+// errors and tracing degrades to local-only spans on the traced side —
+// while a capable third node still records arriving hops even with its
+// own sampling off.
+func TestDistTraceMixedCapability(t *testing.T) {
+	rts := startObsMachine(t, func(node int, cfg *parallex.Config) {
+		switch node {
+		case 0:
+			cfg.TraceSampleRate = 1
+		case 1:
+			cfg.DisableTraceContext = true
+		}
+	})
+	legacy := rts[1].NewDataAt(2, int64(3)) // hosted by the opted-out node
+	capable := rts[2].NewDataAt(4, int64(4))
+	for i := 0; i < 8; i++ {
+		if _, err := rts[0].CallFrom(0, legacy, parallex.ActionNop, nil).Get(); err != nil {
+			t.Fatalf("call to legacy node: %v", err)
+		}
+		if _, err := rts[0].CallFrom(0, capable, parallex.ActionNop, nil).Get(); err != nil {
+			t.Fatalf("call to capable node: %v", err)
+		}
+	}
+	rts[0].Wait()
+
+	// The opted-out node never sees a trace context: no trailer arrives,
+	// it mints nothing, so its span buffer stays empty.
+	if n := rts[1].Spans().Total(); n != 0 {
+		t.Errorf("opted-out node recorded %d spans", n)
+	}
+	// The traced node still records its local hops toward the legacy peer.
+	var toLegacy bool
+	for _, sp := range rts[0].Spans().Snapshot() {
+		if sp.Trace != 0 && sp.Kind == trace.SpanWireSend {
+			toLegacy = true
+		}
+	}
+	if !toLegacy {
+		t.Error("traced node recorded no wire.send spans (local-only degradation lost)")
+	}
+	// The capable peer records arriving hops despite its own sampling
+	// being off — the decision travels with the parcel.
+	var atCapable bool
+	for _, sp := range rts[2].Spans().Snapshot() {
+		if sp.Trace != 0 && sp.Kind == trace.SpanWireRecv {
+			atCapable = true
+		}
+	}
+	if !atCapable {
+		t.Error("capable peer recorded no wire.recv spans for sampled arrivals")
+	}
+	// wantClean: a trailer sent to the opted-out node would surface here
+	// as a recorded decode error.
+	stopMachine(t, rts, true)
+}
+
+// TestMetricsEndpointSoak is the CI multinode assertion: under combined
+// drop+duplication injection and a work storm, every node's metrics
+// endpoint must show the machine's self-healing — retransmitted LCO
+// triggers — and scheduler activity (steals) as nonzero counters.
+func TestMetricsEndpointSoak(t *testing.T) {
+	rts := startObsMachine(t, func(node int, cfg *parallex.Config) {
+		cfg.Faults = parallex.Faults{DropOneIn: 6, DupOneIn: 5, Seed: 47}
+	})
+	const perNode = 12
+	for it := 0; it < 3; it++ {
+		owner := it % 3
+		ownerLoc := rts[owner].NodeRange(owner).Lo
+		gate := rts[owner].NewDistGateAt(ownerLoc, 3*perNode)
+		waits := make([]*parallex.Future, 3)
+		for node := 0; node < 3; node++ {
+			waits[node] = rts[node].WaitLCO(rts[node].NodeRange(node).Lo, gate)
+		}
+		done := make(chan struct{}, 3)
+		for node := 0; node < 3; node++ {
+			go func(node int) {
+				rg := rts[node].NodeRange(node)
+				for i := 0; i < perNode; i++ {
+					rts[node].SignalLCO(rg.Lo+i%rg.Count(), gate)
+				}
+				done <- struct{}{}
+			}(node)
+		}
+		for i := 0; i < 3; i++ {
+			<-done
+		}
+		for node := 0; node < 3; node++ {
+			if _, err := waits[node].Get(); err != nil {
+				t.Fatalf("iter %d node %d: %v", it, node, err)
+			}
+		}
+		rts[0].Wait()
+	}
+	// A burst of same-destination posts all lands on one worker's deque
+	// (destination-affine placement), so the sibling worker must steal.
+	obj := rts[0].NewDataAt(0, int64(1))
+	for i := 0; i < 400; i++ {
+		rts[0].SendFrom(0, parallex.NewParcel(obj, parallex.ActionNop, nil))
+	}
+	rts[0].Wait()
+
+	var retried, steals, dropped float64
+	for i, rt := range rts {
+		addr, err := pprofserve.ServeMetrics("127.0.0.1:0", rt.Metrics(), rt.Spans(), t.Logf)
+		if err != nil {
+			t.Fatalf("node %d endpoint: %v", i, err)
+		}
+		var m map[string]float64
+		getJSON(t, "http://"+addr+"/metrics", &m)
+		retried += m["px.lco.trigger.retried"]
+		steals += m["px.sched.steals"] + m["px.sched.steals_local"]
+		dropped += m["px.faults.dropped"]
+		// The storm rides LCO trigger frames, not parcel frames, so the
+		// per-node traffic proof is the trigger counter.
+		if m["px.lco.trigger.sent"] == 0 {
+			t.Errorf("node %d endpoint reports no trigger traffic", i)
+		}
+	}
+	if dropped == 0 {
+		t.Error("soak injected no drops at 1-in-6")
+	}
+	if retried == 0 {
+		t.Error("endpoints report zero trigger retransmissions despite injected drops")
+	}
+	if steals == 0 {
+		t.Error("endpoints report zero steals after a same-destination burst")
+	}
+	stopMachine(t, rts, true)
+}

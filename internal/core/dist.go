@@ -64,6 +64,11 @@ type distState struct {
 	internedSent atomic.Uint64
 	internedRecv atomic.Uint64
 
+	// traced records, per peer, whether its hello announced the
+	// trace-context capability; trailers are appended only toward peers
+	// that did (see intern.go for the negotiation precedent).
+	traced []atomic.Bool
+
 	drainMu  sync.Mutex
 	drainSeq uint64
 	drains   map[uint64]chan drainReply
@@ -110,6 +115,7 @@ func newDistState(r *Runtime, tr transport.Transport, node int, lmap *agas.Local
 		lmap:     lmap,
 		home:     lmap.NodeRange(node).Lo,
 		intern:   newInternState(tr.Nodes()),
+		traced:   make([]atomic.Bool, tr.Nodes()),
 		drains:   make(map[uint64]chan drainReply),
 		departed: make(map[int]drainReply),
 		rpc:      make(map[uint64]chan rpcReply),
@@ -190,6 +196,12 @@ func (d *distState) onParcel(from int, body []byte, interned bool) {
 	} else {
 		p, rest, err = parcel.DecodePooled(body)
 	}
+	if err == nil && len(rest) == parcel.TraceWireSize {
+		// A trace-capable peer appended the fixed-size trace trailer (we
+		// announced the capability, or it would not have). The length is
+		// unambiguous: the base wire form never leaves trailing bytes.
+		p.Trace, rest, err = parcel.DecodeTrace(rest)
+	}
 	if err == nil && len(rest) != 0 {
 		err = fmt.Errorf("core: %d trailing bytes after parcel", len(rest))
 	}
@@ -211,6 +223,7 @@ func (d *distState) onParcel(from int, body []byte, interned bool) {
 	if d.rt.ring != nil {
 		d.rt.ring.Emitf(trace.KindParcelRecv, d.home, "from N%d %s", from, p)
 	}
+	d.rt.emitSpan(trace.SpanWireRecv, d.home, &p.Trace, p.Action)
 	d.deliver(p, owner, rerr)
 }
 
@@ -242,6 +255,17 @@ func (d *distState) deliver(p *parcel.Parcel, owner int, err error) {
 		return
 	}
 	r.enqueue(owner, p)
+}
+
+// tracedPeer reports whether node's hello announced the trace-context
+// capability (false until its hello arrives — the first frames of a
+// connection race the handshake only on transports without hello support,
+// where the capability never engages at all).
+func (d *distState) tracedPeer(node int) bool {
+	if node < 0 || node >= len(d.traced) {
+		return false
+	}
+	return d.traced[node].Load()
 }
 
 // sendRetry delivers a frame, retrying once: a Send error means
@@ -312,6 +336,9 @@ func (d *distState) onMovedVerdict(body []byte) {
 // returns to its pool once the transport has taken the bytes, and the
 // parcel itself is released unless it was recycled into the failure path.
 func (d *distState) sendParcel(node, src int, p *parcel.Parcel) {
+	// The wire.send span is emitted before encoding so the trailer names
+	// it as the receiving hop's parent.
+	d.rt.emitSpan(trace.SpanWireSend, src, &p.Trace, p.Action)
 	w := parcel.GetWire()
 	// A name too long for the interned form (necessarily unregistered —
 	// the peer will fail the parcel gracefully) rides the plain format,
@@ -323,6 +350,9 @@ func (d *distState) sendParcel(node, src int, p *parcel.Parcel) {
 	} else {
 		w.B = append(w.B, fParcel)
 		w.B = p.Encode(w.B)
+	}
+	if !p.Trace.Zero() && d.tracedPeer(node) {
+		w.B = p.Trace.Append(w.B)
 	}
 	d.sent.Add(1)
 	err := d.sendRetry(node, w.B)

@@ -16,8 +16,8 @@ func FuzzDistControlDecoders(f *testing.F) {
 	g := agas.GID{Home: 3, Kind: agas.KindData, Seq: 99}
 	f.Add(encodeMigHeader(fMigrate, 7, g, 2, 5, 0))
 	f.Add(append(encodeMigHeader(fDirUpdate, 1, g, 0, 1, 4), 0xde, 0xad, 0xbe, 0xef))
-	f.Add(internHello([]string{"px.lco.set", "app.frob"}))
-	f.Add(internHello(nil))
+	f.Add(encodeHello([]string{"px.lco.set", "app.frob"}, true, true))
+	f.Add(encodeHello(nil, false, true))
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
 	f.Add(bytes.Repeat([]byte{0x00}, 40))
@@ -36,10 +36,16 @@ func FuzzDistControlDecoders(f *testing.F) {
 			t.Fatalf("outcome %d message longer than input", xid)
 		}
 		decodeDrainReply(1, data)
-		if names, can, err := parseHello(data); err == nil && can {
-			// Accepted hellos re-encode canonically.
-			names2, can2, err2 := parseHello(internHello(names))
-			if err2 != nil || !can2 || len(names2) != len(names) {
+		if names, canIntern, canTrace, err := parseHello(data); err == nil && (canIntern || canTrace) {
+			// Accepted hellos re-encode canonically, capability bits intact.
+			// Names only travel under the interning bit: a hello may carry
+			// both, but receivers ignore (and re-encoders drop) the table
+			// without it, so the canonical form has none.
+			if !canIntern {
+				names = nil
+			}
+			names2, ci2, ct2, err2 := parseHello(encodeHello(names, canIntern, canTrace))
+			if err2 != nil || ci2 != canIntern || ct2 != canTrace || len(names2) != len(names) {
 				t.Fatalf("hello did not round trip: %v vs %v (%v)", names, names2, err2)
 			}
 		}

@@ -458,7 +458,7 @@ func (r *Runtime) triggerLCO(src int, tid uint64, op TrigOp, slot uint32, g agas
 	if r.dist != nil {
 		if owner, err := r.agas.ResolveCached(src, g); err == nil {
 			if node := r.dist.lmap.NodeOf(owner); node != r.dist.node {
-				r.dist.sendLCOTrigger(node, tid, op, slot, 0, g, value, fired)
+				r.dist.sendLCOTrigger(node, tid, op, slot, 0, g, value, fired, parcel.TraceCtx{})
 				return
 			}
 		}

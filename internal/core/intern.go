@@ -32,6 +32,14 @@ import (
 const (
 	helloVersion    = 1
 	helloFlagIntern = 1 << 0
+	// helloFlagTrace announces the distributed-trace capability: a peer
+	// that sets it accepts (and may send) the fixed-size trace-context
+	// trailer after parcel and LCO trigger frames (see parcel.TraceCtx).
+	// Negotiated exactly like interning: senders append the trailer only
+	// toward peers that announced it, so a node without the capability —
+	// an older build, or Config.DisableTraceContext — keeps receiving the
+	// plain frames it expects and traces degrade to local-only around it.
+	helloFlagTrace = 1 << 1
 
 	// maxInternActions bounds the announced table by entry count, and
 	// helloPrefix additionally bounds it by encoded bytes (the transport
@@ -61,16 +69,26 @@ func helloPrefix(names []string) int {
 	return n
 }
 
-// internHello encodes this node's announcement of the given action names
-// (in dense ID order), truncated to the helloPrefix budgets.
-func internHello(names []string) []byte {
+// encodeHello encodes this node's capability announcement: the interning
+// action table (names in dense ID order, truncated to the helloPrefix
+// budgets; empty unless intern) and the trace-context capability bit.
+func encodeHello(names []string, intern, traced bool) []byte {
+	var flags byte
+	if intern {
+		flags |= helloFlagIntern
+	} else {
+		names = nil
+	}
+	if traced {
+		flags |= helloFlagTrace
+	}
 	names = names[:helloPrefix(names)]
 	size := 6
 	for _, n := range names {
 		size += 2 + len(n)
 	}
 	buf := make([]byte, 0, size)
-	buf = append(buf, helloVersion, helloFlagIntern)
+	buf = append(buf, helloVersion, flags)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(names)))
 	for _, n := range names {
 		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(n)))
@@ -84,45 +102,45 @@ func internHello(names []string) []byte {
 // means "strings only". Unknown future versions are tolerated the same
 // way rather than rejected: the capability is an optimization, not a
 // correctness requirement.
-func parseHello(payload []byte) (names []string, canIntern bool, err error) {
+func parseHello(payload []byte) (names []string, canIntern, canTrace bool, err error) {
 	if len(payload) == 0 {
-		return nil, false, nil
+		return nil, false, false, nil
 	}
 	if len(payload) > transport.MaxHello {
 		// Defense in depth: transports already cap handshake payloads, so
 		// anything larger is corrupt. Bounding here also keeps accepted
-		// hellos inside the same byte budget internHello encodes to.
-		return nil, false, fmt.Errorf("core: %d-byte hello exceeds limit %d", len(payload), transport.MaxHello)
+		// hellos inside the same byte budget encodeHello encodes to.
+		return nil, false, false, fmt.Errorf("core: %d-byte hello exceeds limit %d", len(payload), transport.MaxHello)
 	}
 	if payload[0] != helloVersion {
-		return nil, false, nil
+		return nil, false, false, nil
 	}
 	if len(payload) < 6 {
-		return nil, false, fmt.Errorf("core: short hello payload (%d bytes)", len(payload))
+		return nil, false, false, fmt.Errorf("core: short hello payload (%d bytes)", len(payload))
 	}
 	flags := payload[1]
 	count := int(binary.LittleEndian.Uint32(payload[2:6]))
 	src := payload[6:]
 	if count > maxInternActions {
-		return nil, false, fmt.Errorf("core: hello announces %d actions, limit %d", count, maxInternActions)
+		return nil, false, false, fmt.Errorf("core: hello announces %d actions, limit %d", count, maxInternActions)
 	}
 	names = make([]string, 0, count)
 	for i := 0; i < count; i++ {
 		if len(src) < 2 {
-			return nil, false, fmt.Errorf("core: hello truncated at action %d", i)
+			return nil, false, false, fmt.Errorf("core: hello truncated at action %d", i)
 		}
 		n := int(binary.LittleEndian.Uint16(src))
 		src = src[2:]
 		if len(src) < n {
-			return nil, false, fmt.Errorf("core: hello action %d truncated", i)
+			return nil, false, false, fmt.Errorf("core: hello action %d truncated", i)
 		}
 		names = append(names, string(src[:n]))
 		src = src[n:]
 	}
 	if len(src) != 0 {
-		return nil, false, fmt.Errorf("core: %d trailing hello bytes", len(src))
+		return nil, false, false, fmt.Errorf("core: %d trailing hello bytes", len(src))
 	}
-	return names, flags&helloFlagIntern != 0, nil
+	return names, flags&helloFlagIntern != 0, flags&helloFlagTrace != 0, nil
 }
 
 // senderTable is the parcel.Table used when encoding toward a peer: it
@@ -195,11 +213,12 @@ func (d *distState) onHello(from int, payload []byte) {
 	if from < 0 || from >= len(d.intern.peers) {
 		return
 	}
-	names, can, err := parseHello(payload)
+	names, can, canTrace, err := parseHello(payload)
 	if err != nil {
 		d.rt.recordError(fmt.Errorf("core: bad hello from node %d: %w", from, err))
 		return
 	}
+	d.traced[from].Store(canTrace)
 	if !can {
 		d.intern.peers[from].Store(nil)
 		return

@@ -11,9 +11,9 @@ import (
 
 func TestHelloRoundTrip(t *testing.T) {
 	names := []string{"px.lco.set", "app.frob", "", "x"}
-	got, can, err := parseHello(internHello(names))
-	if err != nil || !can {
-		t.Fatalf("parseHello: can=%v err=%v", can, err)
+	got, can, traced, err := parseHello(encodeHello(names, true, true))
+	if err != nil || !can || !traced {
+		t.Fatalf("parseHello: can=%v traced=%v err=%v", can, traced, err)
 	}
 	if len(got) != len(names) {
 		t.Fatalf("got %d names, want %d", len(got), len(names))
@@ -23,15 +23,23 @@ func TestHelloRoundTrip(t *testing.T) {
 			t.Fatalf("name %d: %q != %q", i, got[i], names[i])
 		}
 	}
-	// Empty and unknown-version payloads mean "strings only", not an error.
-	if _, can, err := parseHello(nil); can || err != nil {
-		t.Fatalf("empty hello: can=%v err=%v", can, err)
+	// The capability bits are independent: a trace-only hello announces no
+	// table, an intern-only hello no trace bit.
+	if got, can, traced, err := parseHello(encodeHello(names, false, true)); err != nil || can || !traced || len(got) != 0 {
+		t.Fatalf("trace-only hello: %d names can=%v traced=%v err=%v", len(got), can, traced, err)
 	}
-	if _, can, err := parseHello([]byte{99, 0, 0, 0, 0, 0}); can || err != nil {
-		t.Fatalf("future-version hello: can=%v err=%v", can, err)
+	if _, can, traced, err := parseHello(encodeHello(names, true, false)); err != nil || !can || traced {
+		t.Fatalf("intern-only hello: can=%v traced=%v err=%v", can, traced, err)
+	}
+	// Empty and unknown-version payloads mean "strings only", not an error.
+	if _, can, traced, err := parseHello(nil); can || traced || err != nil {
+		t.Fatalf("empty hello: can=%v traced=%v err=%v", can, traced, err)
+	}
+	if _, can, traced, err := parseHello([]byte{99, 0, 0, 0, 0, 0}); can || traced || err != nil {
+		t.Fatalf("future-version hello: can=%v traced=%v err=%v", can, traced, err)
 	}
 	// Truncated payloads are rejected.
-	if _, _, err := parseHello(internHello(names)[:8]); err == nil {
+	if _, _, _, err := parseHello(encodeHello(names, true, true)[:8]); err == nil {
 		t.Fatal("truncated hello accepted")
 	}
 }
@@ -52,11 +60,11 @@ func TestHelloPrefixBudgets(t *testing.T) {
 	if n >= len(big) || n == 0 {
 		t.Fatalf("helloPrefix(big) = %d, want a proper nonzero prefix of %d", n, len(big))
 	}
-	payload := internHello(big)
+	payload := encodeHello(big, true, false)
 	if len(payload) > transport.MaxHello {
-		t.Fatalf("internHello encoded %d bytes, over the %d transport budget", len(payload), transport.MaxHello)
+		t.Fatalf("encodeHello encoded %d bytes, over the %d transport budget", len(payload), transport.MaxHello)
 	}
-	names, can, err := parseHello(payload)
+	names, can, _, err := parseHello(payload)
 	if err != nil || !can || len(names) != n {
 		t.Fatalf("truncated hello: %d names can=%v err=%v, want %d", len(names), can, err, n)
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/agas"
+	"repro/internal/parcel"
 )
 
 // FuzzLCOFrameDecode drives the pure fLCOSet/fLCOFire/fLCOAck decoders
@@ -12,21 +13,29 @@ import (
 // longer than the frame, and round-trip every frame the encoders emit.
 func FuzzLCOFrameDecode(f *testing.F) {
 	g := agas.GID{Home: 3, Kind: agas.KindLCO, Seq: 77}
-	f.Add(encodeLCOTrigger(fLCOSet, 42, TrigSet, 0, 0, g, []byte{9, 9})[1:])
-	f.Add(encodeLCOTrigger(fLCOFire, 7, TrigContribute, 3, 2, g, nil)[1:])
+	f.Add(encodeLCOTrigger(fLCOSet, 42, TrigSet, 0, 0, g, []byte{9, 9}, parcel.TraceCtx{})[1:])
+	f.Add(encodeLCOTrigger(fLCOFire, 7, TrigContribute, 3, 2, g, nil, parcel.TraceCtx{})[1:])
+	f.Add(encodeLCOTrigger(fLCOSet, 8, TrigSet, 0, 1, g, []byte{1},
+		parcel.TraceCtx{ID: 0xfeed, Span: 0xbeef, Flags: parcel.TraceSampled})[1:])
 	f.Add(encodeLCOAck(99)[1:])
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, 40))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		if tid, op, gid, slot, hops, value, ok := decodeLCOTrigger(data); ok {
+		if tid, op, gid, slot, hops, value, tc, ok := decodeLCOTrigger(data); ok {
 			if len(value) > len(data) {
 				t.Fatalf("value longer than frame: %d > %d", len(value), len(data))
 			}
-			re := encodeLCOTrigger(fLCOSet, tid, op, slot, hops, gid, value)
-			tid2, op2, gid2, slot2, hops2, value2, ok2 := decodeLCOTrigger(re[1:])
+			re := encodeLCOTrigger(fLCOSet, tid, op, slot, hops, gid, value, tc)
+			tid2, op2, gid2, slot2, hops2, value2, tc2, ok2 := decodeLCOTrigger(re[1:])
 			if !ok2 || tid2 != tid || op2 != op || gid2 != gid || slot2 != slot || hops2 != hops || !bytes.Equal(value2, value) {
 				t.Fatalf("re-encode mismatch: %v %v %v %v %v vs %v %v %v %v %v",
 					tid, op, gid, slot, hops, tid2, op2, gid2, slot2, hops2)
+			}
+			// A zero context must not re-encode as a trailer, and a nonzero
+			// one must survive the round trip — unless the decoded value
+			// absorbed trailer-shaped bytes, which re-encoding disambiguates.
+			if tc2 != tc {
+				t.Fatalf("trace context mismatch: %+v vs %+v", tc, tc2)
 			}
 		}
 		if tid, ok := decodeLCOAck(data); ok {
@@ -41,16 +50,25 @@ func FuzzLCOFrameDecode(f *testing.F) {
 // TestLCOFrameRoundTrip pins the frame layout against the encoder.
 func TestLCOFrameRoundTrip(t *testing.T) {
 	g := agas.GID{Home: 1, Kind: agas.KindLCO, Seq: 12345}
-	frame := encodeLCOTrigger(fLCOSet, 0xABCD, TrigSupply, 6, 4, g, []byte("hello"))
+	frame := encodeLCOTrigger(fLCOSet, 0xABCD, TrigSupply, 6, 4, g, []byte("hello"), parcel.TraceCtx{})
 	if frame[0] != fLCOSet {
 		t.Fatalf("frame kind %d", frame[0])
 	}
-	tid, op, gid, slot, hops, value, ok := decodeLCOTrigger(frame[1:])
-	if !ok || tid != 0xABCD || op != TrigSupply || gid != g || slot != 6 || hops != 4 || string(value) != "hello" {
-		t.Fatalf("roundtrip lost fields: %v %v %v %v %v %q %v", tid, op, gid, slot, hops, value, ok)
+	tid, op, gid, slot, hops, value, tc, ok := decodeLCOTrigger(frame[1:])
+	if !ok || tid != 0xABCD || op != TrigSupply || gid != g || slot != 6 || hops != 4 || string(value) != "hello" || !tc.Zero() {
+		t.Fatalf("roundtrip lost fields: %v %v %v %v %v %q %v %v", tid, op, gid, slot, hops, value, tc, ok)
 	}
-	if _, _, _, _, _, _, ok := decodeLCOTrigger(frame[1 : len(frame)-1]); ok {
+	if _, _, _, _, _, _, _, ok := decodeLCOTrigger(frame[1 : len(frame)-1]); ok {
 		t.Fatal("truncated frame decoded")
+	}
+	// With a trace context the trailer rides after the value and survives.
+	want := parcel.TraceCtx{ID: 0x1111, Span: 0x2222, Flags: parcel.TraceSampled}
+	traced := encodeLCOTrigger(fLCOFire, 1, TrigSet, 0, 0, g, []byte("v"), want)
+	if len(traced) != len(frame[:len(frame)-4])+parcel.TraceWireSize {
+		t.Fatalf("traced frame length %d", len(traced))
+	}
+	if _, _, _, _, _, v2, tc2, ok := decodeLCOTrigger(traced[1:]); !ok || string(v2) != "v" || tc2 != want {
+		t.Fatalf("traced roundtrip: %q %+v %v", v2, tc2, ok)
 	}
 	ack := encodeLCOAck(7)
 	if tid, ok := decodeLCOAck(ack[1:]); !ok || tid != 7 {

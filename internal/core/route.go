@@ -23,6 +23,7 @@ func (r *Runtime) SendFrom(src int, p *parcel.Parcel) {
 		panic("core: send to nil GID")
 	}
 	p.Src = src
+	r.traceParcel(src, p)
 	r.addWork()
 	start := now()
 	r.route(src, p)
@@ -142,7 +143,7 @@ func (r *Runtime) route(src int, p *parcel.Parcel) {
 		dups[i] = &parcel.Parcel{ID: p.ID, Dest: p.Dest, Action: p.Action, AID: p.AID,
 			Args: append([]byte(nil), p.Args...),
 			Cont: append([]parcel.Continuation(nil), p.Cont...),
-			Src:  p.Src, Hops: p.Hops}
+			Src:  p.Src, Hops: p.Hops, Trace: p.Trace}
 	}
 	for c := 0; c < copies; c++ {
 		dp := p
@@ -173,6 +174,9 @@ func (r *Runtime) deliverWire(src, owner int, p *parcel.Parcel, w *parcel.WireBu
 		r.deliverFailure(src, p, fmt.Errorf("core: wire corruption: %w", derr))
 		return
 	}
+	// The in-process wire form carries no trailer; the trace context
+	// crosses by field copy (both ends are this runtime).
+	dp.Trace = p.Trace
 	parcel.Release(p)
 	r.deliverDirect(owner, dp)
 }
@@ -222,6 +226,7 @@ func (d *wireDelivery) deliverOne() {
 		mustPost(d.r.locs[d.src].Post(func() { d.r.doneWork() }))
 		return
 	}
+	dp.Trace = d.p.Trace
 	if last {
 		parcel.Release(d.p)
 	}
@@ -301,6 +306,7 @@ func (r *Runtime) execute(loc int, p *parcel.Parcel, rd *parcel.Reader, ctx *Con
 			// before this delivery's unit is released by our caller.
 			r.addWork()
 			r.slow.Parked.Inc()
+			r.emitSpan(trace.SpanPark, loc, &p.Trace, p.Action)
 			if r.ring != nil {
 				r.ring.Emitf(trace.KindMigration, loc, "parked %s", p)
 			}
@@ -335,6 +341,9 @@ func (r *Runtime) execute(loc int, p *parcel.Parcel, rd *parcel.Reader, ctx *Con
 		r.failParcel(loc, p, fmt.Errorf("core: unknown action %q", p.Action))
 		return
 	}
+	if p.Trace.Sampled() && isTriggerAction(p.Action) {
+		r.emitSpan(trace.SpanTrigger, loc, &p.Trace, p.Action)
+	}
 	th := r.reg.New(loc)
 	r.slow.ThreadsSpawned.Inc()
 	th.Start()
@@ -362,8 +371,10 @@ func (r *Runtime) execute(loc int, p *parcel.Parcel, rd *parcel.Reader, ctx *Con
 		// duplicated parcel then spawns continuations with identical
 		// identity, so a DistLCO target deduplicates them (the remaining
 		// stack depth distinguishes the steps of one chain — see
-		// parcelTriggerID).
+		// parcelTriggerID). The trace context is inherited the same way,
+		// so one trace ID spans the whole continuation chain.
 		np.ID = p.ID
+		np.Trace = p.Trace
 		parcel.Release(p) // after Acquire copied the continuation tail
 		r.SendFrom(loc, np)
 		return
@@ -381,6 +392,7 @@ func (r *Runtime) forward(loc int, p *parcel.Parcel) {
 		return
 	}
 	r.agas.Invalidate(loc, p.Dest)
+	r.emitSpan(trace.SpanMigrate, loc, &p.Trace, p.Action)
 	if r.ring != nil {
 		r.ring.Emitf(trace.KindMigration, loc, "forward hop %d %s", p.Hops, p)
 	}
@@ -412,6 +424,7 @@ func (r *Runtime) failParcel(loc int, p *parcel.Parcel, err error) {
 	args := parcel.NewArgs().String(err.Error()).Encode()
 	np := parcel.Acquire(cont.Target, ActionLCOFail, args)
 	np.ID = p.ID // failure deliveries share the chain identity too
+	np.Trace = p.Trace
 	parcel.Release(p)
 	r.SendFrom(loc, np)
 }

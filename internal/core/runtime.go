@@ -76,6 +76,21 @@ type Config struct {
 	// (interning on, when the transport supports handshake hellos) removes
 	// the per-parcel action-string allocation from the receive path.
 	DisableActionInterning bool
+
+	// TraceSampleRate is the fraction of root parcels that start a sampled
+	// distributed trace, in [0,1]. Sampling is deterministic every-Nth
+	// (N = 1/rate), decided once at the root send; continuations and wire
+	// hops inherit the decision, so a sampled trace is recorded end to end.
+	// 0 (the default) mints no local traces, though spans for sampled
+	// parcels arriving from peers are still recorded.
+	TraceSampleRate float64
+	// TraceSpanCapacity bounds the in-memory span buffer (default 4096);
+	// when full, new spans are dropped and counted.
+	TraceSpanCapacity int
+	// DisableTraceContext keeps this node's wire frames free of the trace
+	// trailer: it announces no trace capability and receives none. Peers
+	// still interoperate; traces passing through degrade to local-only.
+	DisableTraceContext bool
 }
 
 func (c *Config) fill() {
@@ -107,6 +122,17 @@ type Runtime struct {
 	faults *faultState
 	dist   *distState // nil for a single-process machine
 	fences *fenceTable
+
+	// Observability: the named-metric registry served over HTTP, the
+	// distributed-trace span buffer, and the root-sampling state (every
+	// sampleEvery-th root parcel starts a sampled trace; 0 disables
+	// local minting).
+	mreg         *metrics.Registry
+	spans        *trace.Spans
+	sampleEvery  uint64
+	sampleSeq    atomic.Uint64
+	opSeq        atomic.Uint64 // paces operational (steal) spans separately
+	sampledRoots atomic.Uint64 // traces minted locally (px.trace.sampled)
 
 	// reducers names the fold operators distributed reductions and
 	// dataflow templates apply; tidSeq mints this node's trigger IDs.
@@ -179,10 +205,12 @@ func New(cfg Config) *Runtime {
 	// localities hosted by other nodes stay nil and are reached by parcel.
 	r.locs = make([]*locality.Locality, cfg.Localities)
 	for i := resident.Lo; i < resident.Hi; i++ {
+		loc := i
 		r.locs[i] = locality.New(i, locality.Config{
 			Workers:  cfg.WorkersPerLocality,
 			Policy:   cfg.Policy,
 			Stealing: cfg.Stealing,
+			OnSteal:  func(remote bool) { r.onSteal(loc, remote) },
 		})
 	}
 	if cfg.Stealing {
@@ -216,20 +244,27 @@ func New(cfg Config) *Runtime {
 		r.dist = newDistState(r, cfg.Transport, cfg.NodeID, lmap)
 		cfg.Transport.SetHandler(r.dist.onFrame)
 	}
+	r.initObservability()
 	if cfg.Register != nil {
 		cfg.Register(r)
 	}
 	if cfg.Transport != nil {
-		// Announce the action-interning table after Register has run (the
+		// Announce capabilities after Register has run (the interning
 		// snapshot must cover the application's actions) and before Start
 		// (the hello rides every connection handshake). Transports without
-		// hello support, and nodes that disabled interning, announce
-		// nothing and speak plain strings.
-		if ht, ok := cfg.Transport.(transport.HelloTransport); ok && !cfg.DisableActionInterning {
-			set := r.acts.snapshot()
-			r.dist.intern.announce(set)
-			ht.SetHello(internHello(set.names))
-			ht.SetHelloHandler(r.dist.onHello)
+		// hello support announce nothing: peers speak plain, trailer-free
+		// frames toward them.
+		if ht, ok := cfg.Transport.(transport.HelloTransport); ok {
+			intern := !cfg.DisableActionInterning
+			traced := !cfg.DisableTraceContext
+			if intern || traced {
+				set := r.acts.snapshot()
+				if intern {
+					r.dist.intern.announce(set)
+				}
+				ht.SetHello(encodeHello(set.names, intern, traced))
+				ht.SetHelloHandler(r.dist.onHello)
+			}
 		}
 		if err := cfg.Transport.Start(); err != nil {
 			panic(fmt.Sprintf("core: transport start: %v", err))
@@ -305,6 +340,13 @@ func (r *Runtime) Threads() *thread.Registry { return r.reg }
 
 // Trace returns the event ring, or nil if tracing is disabled.
 func (r *Runtime) Trace() *trace.Ring { return r.ring }
+
+// Metrics exposes the named-metric registry (px.* names), suitable for
+// serving with pprofserve.ServeMetrics.
+func (r *Runtime) Metrics() *metrics.Registry { return r.mreg }
+
+// Spans exposes the distributed-trace span buffer.
+func (r *Runtime) Spans() *trace.Spans { return r.spans }
 
 // Network returns the installed network model.
 func (r *Runtime) Network() network.Model { return r.net }

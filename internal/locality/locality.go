@@ -65,6 +65,11 @@ type Config struct {
 	// DequeSize bounds each worker's private deque; a full deque overflows
 	// to the shared inject queue. Default 256.
 	DequeSize int
+	// OnSteal, when set, is invoked after each successful steal by this
+	// locality (remote reports a cross-locality theft, false an intra-
+	// locality sibling steal). It runs on the stealing worker's goroutine
+	// and must be cheap and non-blocking.
+	OnSteal func(remote bool)
 }
 
 // ErrClosed is returned by Post and PostTo on a closed locality. The
@@ -319,6 +324,9 @@ func (w *worker) find() (func(), bool) {
 			if fn, ok = v.dq.popTop(); ok {
 				l.stolenLocal.Add(1)
 				l.queued.Add(-1)
+				if l.cfg.OnSteal != nil {
+					l.cfg.OnSteal(false)
+				}
 				return fn, true
 			}
 		}
@@ -344,6 +352,9 @@ func (l *Locality) stealRemote(rng *uint64) (func(), bool) {
 		}
 		if fn, ok := v.stealOne(rng); ok {
 			l.stolen.Add(1)
+			if l.cfg.OnSteal != nil {
+				l.cfg.OnSteal(true)
+			}
 			return fn, true
 		}
 	}

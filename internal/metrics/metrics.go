@@ -38,8 +38,8 @@ func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
-// Histogram accumulates duration samples with fixed log-spaced buckets and
-// retains exact samples up to a cap for quantile estimation.
+// Histogram accumulates samples, retaining a uniform reservoir of at most
+// cap exact samples for quantile estimation.
 type Histogram struct {
 	mu      sync.Mutex
 	count   int64
@@ -48,16 +48,23 @@ type Histogram struct {
 	max     float64
 	samples []float64
 	cap     int
+	rng     uint64
 }
 
 // NewHistogram returns a histogram retaining at most maxSamples exact
-// samples (older samples are dropped reservoir-free: the first maxSamples
-// are kept, which is adequate for the steady-state benchmarks here).
+// samples. Retention is reservoir sampling (algorithm R): after the
+// reservoir fills, sample n replaces a random slot with probability
+// cap/n, so the retained set stays a uniform sample of the whole stream
+// and quantiles track steady state instead of freezing on the first
+// maxSamples observations.
 func NewHistogram(maxSamples int) *Histogram {
 	if maxSamples <= 0 {
 		maxSamples = 4096
 	}
-	return &Histogram{min: math.Inf(1), max: math.Inf(-1), cap: maxSamples}
+	return &Histogram{
+		min: math.Inf(1), max: math.Inf(-1), cap: maxSamples,
+		rng: 0x9e3779b97f4a7c15,
+	}
 }
 
 // Observe records one sample.
@@ -73,6 +80,15 @@ func (h *Histogram) Observe(v float64) {
 	}
 	if len(h.samples) < h.cap {
 		h.samples = append(h.samples, v)
+	} else {
+		// xorshift64*: cheap, and private to this histogram so reservoir
+		// maintenance never contends on a global PRNG lock.
+		h.rng ^= h.rng >> 12
+		h.rng ^= h.rng << 25
+		h.rng ^= h.rng >> 27
+		if j := (h.rng * 0x2545f4914f6cdd1d) % uint64(h.count); j < uint64(h.cap) {
+			h.samples[j] = v
+		}
 	}
 	h.mu.Unlock()
 }

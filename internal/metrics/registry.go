@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Registry is a named-metric directory: counters, gauges, histograms, and
+// read-only func gauges under a flat, dot-separated naming scheme (the
+// runtime uses a "px." prefix throughout). Registration is get-or-create,
+// so independent subsystems may ask for the same counter; a name may only
+// ever hold one metric kind. Snapshot flattens everything to name → value
+// for JSON export and test assertions.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	funcs    map[string]func() int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		funcs:    make(map[string]func() int64),
+	}
+}
+
+// taken panics when name is already registered as a different metric kind;
+// callers hold r.mu and have already excluded their own map.
+func (r *Registry) taken(name, kind string) {
+	for other, m := range map[string]bool{
+		"counter":   r.counters[name] != nil,
+		"gauge":     r.gauges[name] != nil,
+		"histogram": r.hists[name] != nil,
+		"func":      r.funcs[name] != nil,
+	} {
+		if m && other != kind {
+			panic(fmt.Sprintf("metrics: %q already registered as a %s", name, other))
+		}
+	}
+}
+
+// Counter returns the counter registered under name, creating it if new.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.taken(name, "counter")
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if new.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.taken(name, "gauge")
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given reservoir size if new (0 means the NewHistogram default).
+func (r *Registry) Histogram(name string, maxSamples int) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	r.taken(name, "histogram")
+	h := NewHistogram(maxSamples)
+	r.hists[name] = h
+	return h
+}
+
+// RegisterFunc installs a read-only gauge computed at snapshot time — the
+// bridge for counters that already live elsewhere (locality atomics, AGAS
+// statistics, pool counters). Re-registering a name replaces the function.
+func (r *Registry) RegisterFunc(name string, fn func() int64) {
+	if fn == nil {
+		panic("metrics: nil func gauge for " + name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.taken(name, "func")
+	r.funcs[name] = fn
+}
+
+// Snapshot flattens every registered metric to name → value. Histograms
+// expand to <name>.count/.mean/.min/.max/.p50/.p99. Func gauges are
+// evaluated inline, so a snapshot is a consistent-enough view for
+// operator polling (individual metrics are atomic; the set is not).
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.counters)+len(r.gauges)+len(r.funcs)+6*len(r.hists))
+	for name, c := range r.counters {
+		out[name] = float64(c.Value())
+	}
+	for name, g := range r.gauges {
+		out[name] = float64(g.Value())
+	}
+	for name, fn := range r.funcs {
+		out[name] = float64(fn())
+	}
+	for name, h := range r.hists {
+		out[name+".count"] = float64(h.Count())
+		out[name+".mean"] = h.Mean()
+		out[name+".min"] = h.Min()
+		out[name+".max"] = h.Max()
+		out[name+".p50"] = h.Quantile(0.5)
+		out[name+".p99"] = h.Quantile(0.99)
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"testing"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("px.a")
+	c.Add(3)
+	if r.Counter("px.a") != c {
+		t.Fatal("second Counter returned a different instance")
+	}
+	g := r.Gauge("px.g")
+	g.Set(-5)
+	h := r.Histogram("px.h", 16)
+	h.Observe(1)
+	h.Observe(3)
+	r.RegisterFunc("px.f", func() int64 { return 11 })
+
+	snap := r.Snapshot()
+	if snap["px.a"] != 3 || snap["px.g"] != -5 || snap["px.f"] != 11 {
+		t.Fatalf("snapshot values: %v", snap)
+	}
+	if snap["px.h.count"] != 2 || snap["px.h.mean"] != 2 || snap["px.h.min"] != 1 || snap["px.h.max"] != 3 {
+		t.Fatalf("histogram expansion: %v", snap)
+	}
+	if _, ok := snap["px.h"]; ok {
+		t.Fatal("histogram exported under its bare name")
+	}
+}
+
+func TestRegistryKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("px.x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-kind reuse did not panic")
+		}
+	}()
+	r.Gauge("px.x")
+}
+
+func TestRegisterFuncReplaces(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterFunc("px.f", func() int64 { return 1 })
+	r.RegisterFunc("px.f", func() int64 { return 2 })
+	if got := r.Snapshot()["px.f"]; got != 2 {
+		t.Fatalf("replaced func gauge reads %v, want 2", got)
+	}
+}
+
+// TestHistogramReservoirTracksLateSamples: after the reservoir fills,
+// later samples must still be able to move the quantile estimate — the
+// point of reservoir sampling over keep-first-N.
+func TestHistogramReservoirTracksLateSamples(t *testing.T) {
+	h := NewHistogram(64)
+	// Fill the reservoir with a low regime, then shift the stream to a
+	// high regime for 100x as many samples. Keep-first-N would freeze the
+	// median at 1; algorithm R converges toward the stream's composition.
+	for i := 0; i < 64; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 6400; i++ {
+		h.Observe(100)
+	}
+	if got := h.Quantile(0.5); got != 100 {
+		t.Fatalf("median %v after regime shift, want 100 (late samples ignored?)", got)
+	}
+	if h.Count() != 6464 || h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("count/min/max: %d %v %v", h.Count(), h.Min(), h.Max())
+	}
+	// The PRNG is per-histogram and fixed-seed, so the test is deterministic.
+	h2 := NewHistogram(64)
+	for i := 0; i < 64; i++ {
+		h2.Observe(1)
+	}
+	for i := 0; i < 6400; i++ {
+		h2.Observe(100)
+	}
+	if h.Quantile(0.9) != h2.Quantile(0.9) {
+		t.Fatal("identical streams produced different reservoirs")
+	}
+}

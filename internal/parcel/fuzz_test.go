@@ -29,6 +29,9 @@ func fuzzSeeds() []*Parcel {
 func FuzzParcelDecode(f *testing.F) {
 	for _, p := range fuzzSeeds() {
 		f.Add(p.Encode(nil))
+		// The base encoding followed by the capability-gated trace trailer:
+		// decoders must hand the trailer back as the remainder, untouched.
+		f.Add(TraceCtx{ID: 0xabcd, Span: 0x1234, Flags: TraceSampled}.Append(p.Encode(nil)))
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0x01})
@@ -41,6 +44,9 @@ func FuzzParcelDecode(f *testing.F) {
 		if len(rest) > len(data) {
 			t.Fatalf("remainder grew: %d bytes from %d input", len(rest), len(data))
 		}
+		if p.Trace != (TraceCtx{}) {
+			t.Fatalf("base decode populated the trace context: %+v", p.Trace)
+		}
 		re := p.Encode(nil)
 		q, tail, err := Decode(re)
 		if err != nil {
@@ -51,6 +57,23 @@ func FuzzParcelDecode(f *testing.F) {
 		}
 		if !parcelEqual(p, q) {
 			t.Fatalf("round trip mismatch:\n first %+v\nsecond %+v", p, q)
+		}
+		if len(rest) == TraceWireSize {
+			// A trailer-sized remainder must parse and round-trip through
+			// Append exactly (the receive path in core depends on this).
+			tc, tcRest, terr := DecodeTrace(rest)
+			if terr != nil || len(tcRest) != 0 {
+				t.Fatalf("trailer decode: %v, %d left", terr, len(tcRest))
+			}
+			combined := tc.Append(p.Encode(nil))
+			q2, rest2, err := Decode(combined)
+			if err != nil {
+				t.Fatalf("combined re-decode: %v", err)
+			}
+			tc2, _, terr := DecodeTrace(rest2)
+			if terr != nil || tc2 != tc || !parcelEqual(p, q2) {
+				t.Fatalf("combined round trip: %+v vs %+v (%v)", tc, tc2, terr)
+			}
 		}
 	})
 }
@@ -64,6 +87,7 @@ func FuzzParcelDecodeInterned(f *testing.F) {
 	for _, p := range fuzzSeeds() {
 		f.Add(p.EncodeInterned(nil, tbl))
 		f.Add(p.EncodeInterned(nil, nil))
+		f.Add(TraceCtx{ID: 1, Span: 2, Flags: TraceSampled}.Append(p.EncodeInterned(nil, tbl)))
 	}
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
@@ -138,7 +162,8 @@ func mustPanic(t *testing.T, what string, fn func()) {
 
 func parcelEqual(a, b *Parcel) bool {
 	if a.ID != b.ID || a.Dest != b.Dest || a.Action != b.Action ||
-		a.Src != b.Src || a.Hops != b.Hops || len(a.Cont) != len(b.Cont) {
+		a.Src != b.Src || a.Hops != b.Hops || a.Trace != b.Trace ||
+		len(a.Cont) != len(b.Cont) {
 		return false
 	}
 	if !bytes.Equal(a.Args, b.Args) {

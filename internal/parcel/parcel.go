@@ -50,6 +50,11 @@ type Parcel struct {
 	Src int
 	// Hops counts owner-forwarding retries (stale AGAS caches).
 	Hops int
+	// Trace is the distributed trace context (zero when untraced). It is
+	// NOT written by Encode: the capability-gated trailer is appended by
+	// TraceCtx.Append and parsed by DecodeTrace, so the base wire form
+	// stays understood by every peer (see trace.go).
+	Trace TraceCtx
 
 	// argsBuf is the parcel-owned backing store DecodeInto copies argument
 	// bytes into; it survives pool recycles so steady-state decodes do not
@@ -224,6 +229,7 @@ func DecodeInto(p *Parcel, src []byte) ([]byte, error) {
 // decodeInto is the shared body of DecodeInto and DecodeIntoInterned;
 // see encode for the single point of difference between the wire forms.
 func decodeInto(p *Parcel, src []byte, interned bool, t Table) ([]byte, error) {
+	p.Trace = TraceCtx{} // the trailer, if any, is parsed by the caller
 	if len(src) < 8 {
 		return src, fmt.Errorf("parcel: short ID")
 	}

@@ -21,7 +21,32 @@ import (
 // internal parcels (decoded arrivals, continuations, split-phase calls)
 // opt into recycling via Acquire and DecodeInto.
 
-var parcelPool = sync.Pool{New: func() any { return &Parcel{} }}
+var parcelPool = sync.Pool{New: func() any {
+	parcelPoolMisses.Add(1)
+	return &Parcel{}
+}}
+
+// Pool hit/miss accounting. A miss is a pool Get that had to allocate (the
+// sync.Pool New func ran); everything else is a hit — the zero-allocation
+// steady state. The counters are process-global, like the pools they
+// observe, and are exported to the runtime's metric registry.
+var (
+	parcelPoolGets   atomic.Uint64
+	parcelPoolMisses atomic.Uint64
+	wirePoolGets     atomic.Uint64
+	wirePoolMisses   atomic.Uint64
+)
+
+// PoolStats reports the parcel and WireBuf pools' hit/miss counters since
+// process start. Misses never exceed gets: the get is counted before the
+// pool can run its allocating New func.
+func PoolStats() (parcelHits, parcelMisses, wireHits, wireMisses uint64) {
+	parcelMisses = parcelPoolMisses.Load()
+	parcelHits = parcelPoolGets.Load() - parcelMisses
+	wireMisses = wirePoolMisses.Load()
+	wireHits = wirePoolGets.Load() - wireMisses
+	return
+}
 
 // Acquire returns a pooled parcel initialized like New. The continuation
 // stack is copied into the parcel's own storage (reused across recycles),
@@ -29,6 +54,7 @@ var parcelPool = sync.Pool{New: func() any { return &Parcel{} }}
 // the caller must not mutate it until the parcel is released. Pass the
 // parcel to Release when dispatch completes.
 func Acquire(dest agas.GID, action string, args []byte, cont ...Continuation) *Parcel {
+	parcelPoolGets.Add(1)
 	p := parcelPool.Get().(*Parcel)
 	p.pooled = true
 	p.released = false
@@ -41,11 +67,13 @@ func Acquire(dest agas.GID, action string, args []byte, cont ...Continuation) *P
 	p.ownsCont = true
 	p.Src = 0
 	p.Hops = 0
+	p.Trace = TraceCtx{}
 	return p
 }
 
 // blank returns a pooled zero parcel for DecodeInto to fill.
 func blank() *Parcel {
+	parcelPoolGets.Add(1)
 	p := parcelPool.Get().(*Parcel)
 	p.pooled = true
 	p.released = false
@@ -58,6 +86,7 @@ func blank() *Parcel {
 	p.ownsCont = true
 	p.Src = 0
 	p.Hops = 0
+	p.Trace = TraceCtx{}
 	return p
 }
 
@@ -113,6 +142,7 @@ func poison(p *Parcel) {
 	p.Action = "px.poisoned.use-after-release"
 	p.AID = NoAID
 	p.Args = nil
+	p.Trace = TraceCtx{}
 	// Shred only the parcel-owned backing store: an Acquire'd parcel merely
 	// references its caller's args slice, which is not ours to scribble on.
 	buf := p.argsBuf[:cap(p.argsBuf)]
@@ -132,11 +162,15 @@ func poison(p *Parcel) {
 // decoded.
 type WireBuf struct{ B []byte }
 
-var wirePool = sync.Pool{New: func() any { return &WireBuf{B: make([]byte, 0, 512)} }}
+var wirePool = sync.Pool{New: func() any {
+	wirePoolMisses.Add(1)
+	return &WireBuf{B: make([]byte, 0, 512)}
+}}
 
 // GetWire returns a pooled encode buffer with length 0 and retained
 // capacity.
 func GetWire() *WireBuf {
+	wirePoolGets.Add(1)
 	w := wirePool.Get().(*WireBuf)
 	w.B = w.B[:0]
 	return w

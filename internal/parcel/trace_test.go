@@ -1,0 +1,84 @@
+package parcel
+
+import (
+	"testing"
+
+	"repro/internal/agas"
+)
+
+func TestTraceCtxRoundTrip(t *testing.T) {
+	cases := []TraceCtx{
+		{},
+		{ID: 1},
+		{ID: ^uint64(0), Span: 0x0123456789abcdef, Flags: TraceSampled},
+		{Span: 7, Flags: 0x80},
+	}
+	for _, tc := range cases {
+		wire := tc.Append(nil)
+		if len(wire) != TraceWireSize {
+			t.Fatalf("%+v encoded to %d bytes, want %d", tc, len(wire), TraceWireSize)
+		}
+		got, rest, err := DecodeTrace(append(wire, 0xAA))
+		if err != nil || got != tc {
+			t.Fatalf("round trip %+v -> %+v (%v)", tc, got, err)
+		}
+		if len(rest) != 1 || rest[0] != 0xAA {
+			t.Fatalf("remainder lost: %v", rest)
+		}
+	}
+	if _, _, err := DecodeTrace(make([]byte, TraceWireSize-1)); err == nil {
+		t.Fatal("short trailer decoded")
+	}
+}
+
+func TestTraceCtxPredicates(t *testing.T) {
+	if !(TraceCtx{}).Zero() || (TraceCtx{ID: 1}).Zero() {
+		t.Fatal("Zero misclassified")
+	}
+	// Sampled requires both a trace ID and the sampled bit: a context with
+	// only the flag (or only an ID) records nothing.
+	if (TraceCtx{Flags: TraceSampled}).Sampled() || (TraceCtx{ID: 1}).Sampled() {
+		t.Fatal("Sampled without both parts")
+	}
+	if !(TraceCtx{ID: 1, Flags: TraceSampled}).Sampled() {
+		t.Fatal("Sampled context not sampled")
+	}
+}
+
+// TestPooledParcelTraceReset: a recycled parcel must never leak the
+// previous occupant's trace context into an untraced send.
+func TestPooledParcelTraceReset(t *testing.T) {
+	g := agas.GID{Home: 0, Kind: agas.KindData, Seq: 5}
+	p := Acquire(g, "nop", nil)
+	p.Trace = TraceCtx{ID: 9, Span: 9, Flags: TraceSampled}
+	Release(p)
+	q := Acquire(g, "nop", nil)
+	if !q.Trace.Zero() {
+		t.Fatalf("recycled parcel kept trace %+v", q.Trace)
+	}
+	Release(q)
+}
+
+// TestPoolStats: the hit/miss counters stay coherent — misses never
+// exceed gets, and a get-after-release cycle counts as activity.
+func TestPoolStats(t *testing.T) {
+	ph0, pm0, wh0, wm0 := PoolStats()
+	g := agas.GID{Home: 0, Kind: agas.KindData, Seq: 1}
+	for i := 0; i < 8; i++ {
+		p := Acquire(g, "nop", nil)
+		Release(p)
+		w := GetWire()
+		PutWire(w)
+	}
+	ph1, pm1, wh1, wm1 := PoolStats()
+	if ph1+pm1 < ph0+pm0+8 {
+		t.Fatalf("parcel gets did not advance: %d+%d -> %d+%d", ph0, pm0, ph1, pm1)
+	}
+	if wh1+wm1 < wh0+wm0+8 {
+		t.Fatalf("wire gets did not advance: %d+%d -> %d+%d", wh0, wm0, wh1, wm1)
+	}
+	// Releasing between acquisitions makes at least some gets hits.
+	if ph1 == 0 && wh1 == 0 {
+		t.Fatal("no pool hits after release/acquire cycles")
+	}
+}

@@ -1,11 +1,18 @@
-// Package pprofserve starts the net/http/pprof debug endpoint for the
-// repo's command-line binaries (the -pprof flag of pxnode and pxbench),
-// so the profiling plumbing lives in one place.
+// Package pprofserve starts the operator HTTP endpoints for the repo's
+// command-line binaries: the net/http/pprof debug mux (the -pprof flag of
+// pxnode and pxbench) and the metrics/trace export (-metrics), so the
+// serving plumbing lives in one place.
 package pprofserve
 
 import (
+	"encoding/json"
+	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // installs the /debug/pprof handlers on the default mux
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Start serves net/http/pprof on addr in a background goroutine and
@@ -21,4 +28,70 @@ func Start(addr string, logf func(format string, args ...any)) {
 		}
 	}()
 	logf("pprof at http://%s/debug/pprof/", addr)
+}
+
+// spanJSON is the /trace wire form of one span; IDs render as fixed-width
+// hex so operators can grep one trace across nodes.
+type spanJSON struct {
+	Trace  string `json:"trace"`
+	ID     string `json:"id"`
+	Parent string `json:"parent"`
+	Kind   string `json:"kind"`
+	Node   int32  `json:"node"`
+	Loc    int32  `json:"loc"`
+	When   int64  `json:"when"`
+	Action string `json:"action,omitempty"`
+}
+
+// ServeMetrics serves the registry snapshot as JSON at /metrics and the
+// retained trace spans at /trace, on its own listener (addr may be
+// "127.0.0.1:0"; the bound address is returned). An empty addr is a
+// no-op. The server runs for the life of the process.
+func ServeMetrics(addr string, reg *metrics.Registry, spans *trace.Spans, logf func(format string, args ...any)) (string, error) {
+	if addr == "" {
+		return "", nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		snap := map[string]float64{}
+		if reg != nil {
+			snap = reg.Snapshot()
+		}
+		if err := json.NewEncoder(w).Encode(snap); err != nil {
+			logf("metrics encode: %v", err)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		out := []spanJSON{}
+		if spans != nil {
+			for _, sp := range spans.Snapshot() {
+				out = append(out, spanJSON{
+					Trace:  fmt.Sprintf("%016x", sp.Trace),
+					ID:     fmt.Sprintf("%016x", sp.ID),
+					Parent: fmt.Sprintf("%016x", sp.Parent),
+					Kind:   sp.Kind.String(),
+					Node:   sp.Node,
+					Loc:    sp.Loc,
+					When:   sp.When,
+					Action: sp.Action,
+				})
+			}
+		}
+		if err := json.NewEncoder(w).Encode(out); err != nil {
+			logf("trace encode: %v", err)
+		}
+	})
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			logf("metrics server: %v", err)
+		}
+	}()
+	logf("metrics at http://%s/metrics", ln.Addr())
+	return ln.Addr().String(), nil
 }

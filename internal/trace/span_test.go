@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSpanKindNames(t *testing.T) {
+	want := map[SpanKind]string{
+		SpanPost: "post", SpanSteal: "steal", SpanWireSend: "wire.send",
+		SpanWireRecv: "wire.recv", SpanPark: "park", SpanMigrate: "migrate",
+		SpanTrigger: "trigger",
+	}
+	for k, name := range want {
+		if k.String() != name {
+			t.Fatalf("%d: %q != %q", k, k.String(), name)
+		}
+	}
+}
+
+func TestSpansSnapshotOrdered(t *testing.T) {
+	s := NewSpans(64)
+	for i := 10; i > 0; i-- {
+		s.Add(Span{Trace: 1, ID: uint64(i), When: int64(i), Loc: int32(i)})
+	}
+	snap := s.Snapshot()
+	if len(snap) != 10 || s.Len() != 10 || s.Total() != 10 {
+		t.Fatalf("retained %d/%d/%d spans, want 10", len(snap), s.Len(), s.Total())
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i].When < snap[i-1].When {
+			t.Fatalf("snapshot out of order at %d", i)
+		}
+	}
+}
+
+func TestSpansRingDropsOldest(t *testing.T) {
+	s := NewSpans(spanShards) // one slot per shard
+	for i := 0; i < 3*spanShards; i++ {
+		s.Add(Span{ID: uint64(i), Loc: int32(i % spanShards), When: int64(i)})
+	}
+	if s.Len() != spanShards {
+		t.Fatalf("retained %d spans, want %d", s.Len(), spanShards)
+	}
+	if s.Dropped() != 2*spanShards {
+		t.Fatalf("dropped %d, want %d", s.Dropped(), 2*spanShards)
+	}
+	for _, sp := range s.Snapshot() {
+		if sp.ID < uint64(2*spanShards) {
+			t.Fatalf("old span %d survived the ring", sp.ID)
+		}
+	}
+}
+
+func TestSpansConcurrentAdd(t *testing.T) {
+	s := NewSpans(1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s.Add(Span{Trace: uint64(g), ID: uint64(i), Loc: int32(g), When: int64(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Total() != 4000 {
+		t.Fatalf("total %d, want 4000", s.Total())
+	}
+	if n := s.Len(); n == 0 || n > 1024 {
+		t.Fatalf("retained %d spans, want (0,1024]", n)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -59,7 +60,10 @@ type Ring struct {
 	next    int
 	wrapped bool
 	dropped uint64
-	enabled bool
+	// enabled is read lock-free on every emit: a disabled ring costs one
+	// atomic load (and, in Emitf, skips the fmt.Sprintf entirely) instead
+	// of a mutex round trip.
+	enabled atomic.Bool
 }
 
 // NewRing returns a ring holding up to capacity events, enabled.
@@ -67,23 +71,22 @@ func NewRing(capacity int) *Ring {
 	if capacity <= 0 {
 		capacity = 1024
 	}
-	return &Ring{buf: make([]Event, capacity), enabled: true}
+	r := &Ring{buf: make([]Event, capacity)}
+	r.enabled.Store(true)
+	return r
 }
 
 // SetEnabled turns recording on or off.
 func (r *Ring) SetEnabled(on bool) {
-	r.mu.Lock()
-	r.enabled = on
-	r.mu.Unlock()
+	r.enabled.Store(on)
 }
 
 // Emit records an event if tracing is enabled.
 func (r *Ring) Emit(kind Kind, locality int, detail string) {
-	r.mu.Lock()
-	if !r.enabled {
-		r.mu.Unlock()
+	if !r.enabled.Load() {
 		return
 	}
+	r.mu.Lock()
 	if r.wrapped {
 		r.dropped++
 	}
@@ -98,10 +101,7 @@ func (r *Ring) Emit(kind Kind, locality int, detail string) {
 
 // Emitf records a formatted event if tracing is enabled.
 func (r *Ring) Emitf(kind Kind, locality int, format string, args ...any) {
-	r.mu.Lock()
-	on := r.enabled
-	r.mu.Unlock()
-	if !on {
+	if !r.enabled.Load() {
 		return
 	}
 	r.Emit(kind, locality, fmt.Sprintf(format, args...))
