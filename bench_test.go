@@ -99,6 +99,42 @@ func BenchmarkDistFutureRoundTrip(b *testing.B) {
 	schedbench.DistFutureRoundTrip(b)
 }
 
+// BenchmarkServeOpenLoop drives the sharded KV service with the
+// open-loop generator on an in-process 4-locality machine and reports the
+// serving latency profile as p50-ns/p99-ns/p999-ns custom units — the
+// px-bench/v1 latency fields CI's benchdiff gate pins against
+// BENCH_baseline.json (p99 may not regress >25%).
+func BenchmarkServeOpenLoop(b *testing.B) {
+	rt := parallex.New(parallex.Config{
+		Localities:         4,
+		WorkersPerLocality: 2,
+		Register:           workloads.RegisterKVService,
+	})
+	defer rt.Shutdown()
+	workloads.InstallKVShards(rt)
+	// Warm the parcel pools and worker queues before measuring: the cold
+	// first requests otherwise dominate the tail and triple the p99's
+	// run-to-run spread.
+	workloads.RunOpenLoop(rt, workloads.OpenLoopConfig{Rate: 5000, Requests: 200})
+	b.ResetTimer()
+	// The arrival rate sits well under even a single-core machine's
+	// service capacity: the profile then measures dispatch latency, not
+	// queueing noise, which keeps the CI gate's variance low.
+	res := workloads.RunOpenLoop(rt, workloads.OpenLoopConfig{
+		Rate:     5000,
+		Requests: b.N,
+		Timeout:  10 * time.Second,
+	})
+	b.StopTimer()
+	if res.Lost != 0 || res.Failed != 0 || res.Completed != res.Issued {
+		b.Fatalf("lost=%d failed=%d completed=%d/%d", res.Lost, res.Failed, res.Completed, res.Issued)
+	}
+	rec := res.Record("serve")
+	b.ReportMetric(rec.P50Ns, "p50-ns")
+	b.ReportMetric(rec.P99Ns, "p99-ns")
+	b.ReportMetric(rec.P999Ns, "p999-ns")
+}
+
 // BenchmarkE1Figure1Architecture regenerates Figure 1 from the model.
 func BenchmarkE1Figure1Architecture(b *testing.B) {
 	var fig string

@@ -98,6 +98,19 @@ func main() {
 		default:
 			fmt.Printf("benchdiff: no regressions beyond %+.0f%% vs %s\n", *threshold*100, *baseline)
 		}
+		// Tail-latency gate: p99 is wall-clock like ns/op, so it rides the
+		// same machine-class guard and the same -threshold fraction.
+		if benchio.SameMachineClass(base, suite) {
+			if lregs := benchio.CompareLatency(base, suite, *threshold); len(lregs) > 0 {
+				for _, r := range lregs {
+					fmt.Printf("benchdiff: LATENCY REGRESSION %-28s %10.1f -> %10.1f p99-ns (%.2fx, limit %.2fx)\n",
+						r.Name, r.Baseline, r.Current, r.Ratio, 1+*threshold)
+					failed = true
+				}
+			} else {
+				fmt.Printf("benchdiff: no p99 latency regressions beyond %+.0f%% vs %s\n", *threshold*100, *baseline)
+			}
+		}
 	}
 
 	if *speedup != "" {

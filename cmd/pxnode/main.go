@@ -13,7 +13,11 @@
 // reduce-lco runs the same all-to-one collective through the distributed
 // LCO gate tree (per-node leaf reductions feeding an AGAS-homed root);
 // barrier runs machine-wide barrier rounds over distributed gate trees,
-// every locality arriving and awaiting the release.
+// every locality arriving and awaiting the release; serve turns the
+// machine into the sharded key-value service (one shard per locality at
+// well-known names) and holds it up until a pxload client broadcasts the
+// halt — pair it with -admit to bound each locality's queue and shed
+// overload with typed verdicts.
 //
 // The -localities flag gives the locality count per node in node order
 // ("2,2,2" = three nodes hosting localities [0,2), [2,4), [4,6)).
@@ -23,6 +27,11 @@
 //	pxnode -node 0 -peers 127.0.0.1:9400,127.0.0.1:9401,127.0.0.1:9402 -localities 2,2,2 -workload ring &
 //	pxnode -node 1 -peers 127.0.0.1:9400,127.0.0.1:9401,127.0.0.1:9402 -localities 2,2,2 &
 //	pxnode -node 2 -peers 127.0.0.1:9400,127.0.0.1:9401,127.0.0.1:9402 -localities 2,2,2
+//
+// Serving tier (see docs/OPERATIONS.md for the full operator walkthrough):
+//
+//	pxnode -node 0 -peers 127.0.0.1:9400,127.0.0.1:9401 -localities 2,2 -workload serve -admit 256 &
+//	pxload -node 1 -peers 127.0.0.1:9400,127.0.0.1:9401 -localities 2,2 -rate 20000 -n 100000
 package main
 
 import (
@@ -36,6 +45,7 @@ import (
 	parallex "repro"
 	"repro/internal/lco/collect"
 	"repro/internal/pprofserve"
+	"repro/internal/workloads"
 )
 
 func main() {
@@ -43,9 +53,10 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated host:port of every node, in node order")
 	locs := flag.String("localities", "", "locality count per node in node order, e.g. 2,2,2 = nodes hosting [0,2) [2,4) [4,6)")
 	listen := flag.String("listen", "", "listen address (default: the -peers entry for this node)")
-	workload := flag.String("workload", "", "ping | ring | reduce | reduce-lco | barrier | migrate (node 0 only; empty = serve until halt)")
+	workload := flag.String("workload", "", "ping | ring | reduce | reduce-lco | barrier | migrate | serve (node 0 only; empty = serve parcels until halt)")
 	iters := flag.Int("n", 100, "workload iterations")
 	workers := flag.Int("workers", 4, "workers per locality")
+	admit := flag.Int("admit", 0, "admission limit: max queued tasks per locality before sheddable requests get ErrOverloaded; 0 = unbounded")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = off")
 	metricsAddr := flag.String("metrics", "", "serve the px.* metrics registry and sampled trace spans as JSON on this address (e.g. localhost:7070); empty = off")
 	traceSample := flag.Float64("trace-sample", 0, "fraction of root parcels that start a sampled distributed trace, 0..1")
@@ -88,11 +99,16 @@ func main() {
 		NodeID:             *node,
 		NodeLocalities:     ranges,
 		WorkersPerLocality: *workers,
+		AdmitLimit:         *admit,
 		TraceSampleRate:    *traceSample,
 		// Actions must exist before the transport starts delivering: a
 		// peer's parcel can name them the instant the node is reachable.
 		Register: registerDistActions,
 	})
+	// Every node hosts its localities' KV shards at their well-known
+	// names; they serve nothing unless a client (pxload, or the serve
+	// workload's own smoke traffic) addresses them.
+	workloads.InstallKVShards(rt)
 	if _, err := pprofserve.ServeMetrics(*metricsAddr, rt.Metrics(), rt.Spans(), log.Printf); err != nil {
 		log.Fatalf("pxnode: %v", err)
 	}
@@ -106,6 +122,17 @@ func main() {
 		}
 		<-rt.HaltRequested()
 		fmt.Printf("pxnode: node %d halt received, draining\n", *node)
+		rt.Shutdown()
+		return
+	}
+
+	if *workload == "serve" {
+		// The serving tier: shards are installed, actions registered —
+		// hold the machine up for pxload clients until one broadcasts
+		// the halt.
+		fmt.Printf("pxnode: node 0 serving (admit limit %d); waiting for a pxload halt\n", *admit)
+		<-rt.HaltRequested()
+		fmt.Printf("pxnode: node 0 halt received, draining\n")
 		rt.Shutdown()
 		return
 	}
@@ -173,6 +200,7 @@ func parseLocalities(spec string, nodes int) ([]parallex.LocalityRange, error) {
 // locality may be asked to execute one.
 func registerDistActions(rt *parallex.Runtime) {
 	collect.RegisterActions(rt)
+	workloads.RegisterKVService(rt)
 	// pxnode.contrib-rank contributes the executing locality's index into
 	// the named reduce-lco collective's local leaf.
 	rt.MustRegisterAction("pxnode.contrib-rank", func(ctx *parallex.Context, target any, args *parallex.ArgsReader) (any, error) {

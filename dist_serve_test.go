@@ -1,0 +1,104 @@
+package parallex_test
+
+// The serving tier over a real 3-node TCP machine: pxload's open-loop
+// generator library drives the sharded KV service end to end. Two
+// scenarios gate in CI's multinode job — forced overload must shed with
+// typed verdicts and lose nothing, and modelled-path fault injection must
+// be absorbed by the generator's timeout/retry loop with every request
+// still reaching a verdict.
+
+import (
+	"testing"
+	"time"
+
+	parallex "repro"
+	"repro/internal/workloads"
+)
+
+// startServeMachine builds the 3-node TCP serving machine: KV actions
+// registered on every node (sheddable, behind admission control when
+// admit > 0), one shard per locality at its well-known name.
+func startServeMachine(t testing.TB, admit int, faults parallex.Faults) []*parallex.Runtime {
+	t.Helper()
+	rts := startObsMachine(t, func(node int, cfg *parallex.Config) {
+		cfg.AdmitLimit = admit
+		cfg.Faults = faults
+		cfg.Register = workloads.RegisterKVService
+	})
+	for _, rt := range rts {
+		workloads.InstallKVShards(rt)
+	}
+	return rts
+}
+
+// TestDistServeOverloadTCP is the forced-overload smoke CI gates on: an
+// instantaneous burst against one-deep admission queues must shed, every
+// shed must come back as a typed overload verdict (never a hang), and
+// every request must end in a verdict — completed or explicitly rejected,
+// zero lost.
+func TestDistServeOverloadTCP(t *testing.T) {
+	rts := startServeMachine(t, 1, parallex.Faults{})
+	// Drive from node 2's first locality: most keys hash to shards on
+	// nodes 0 and 1, so both the requests and their shed verdicts cross
+	// the wire.
+	res := workloads.RunOpenLoop(rts[2], workloads.OpenLoopConfig{
+		Rate:         1e7, // effectively one burst
+		Requests:     300,
+		SrcLoc:       rts[2].NodeRange(2).Lo,
+		Retries:      2,
+		RetryBackoff: 100 * time.Microsecond,
+		Timeout:      10 * time.Second,
+	})
+	if res.Shed == 0 {
+		t.Fatal("overload burst shed nothing")
+	}
+	if res.Lost != 0 || res.TimedOut != 0 || res.Failed != 0 {
+		t.Fatalf("lost=%d timedout=%d failed=%d, want all 0", res.Lost, res.TimedOut, res.Failed)
+	}
+	if res.Completed+res.Rejected != res.Issued {
+		t.Fatalf("completed %d + rejected %d != issued %d", res.Completed, res.Rejected, res.Issued)
+	}
+	var sheds uint64
+	for _, rt := range rts {
+		sheds += rt.Sheds()
+	}
+	if sheds == 0 {
+		t.Fatal("no runtime recorded a shed")
+	}
+	stopMachine(t, rts, true)
+}
+
+// TestDistServeFaultRecoveryTCP is the zero-loss acceptance scenario:
+// requests ride at-most-once parcels, so with drop injection on every
+// node's modelled path the generator's timeout/retry loop is the only
+// thing standing between a dropped frame and a lost request. Every
+// request must complete, and the run must report a full px-bench/v1
+// latency profile.
+func TestDistServeFaultRecoveryTCP(t *testing.T) {
+	rts := startServeMachine(t, 0, parallex.Faults{DropOneIn: 6, Seed: 53})
+	res := workloads.RunOpenLoop(rts[2], workloads.OpenLoopConfig{
+		Rate:     3000,
+		Requests: 240,
+		SrcLoc:   rts[2].NodeRange(2).Lo,
+		Timeout:  300 * time.Millisecond,
+		Retries:  8,
+	})
+	if res.Lost != 0 || res.Failed != 0 || res.Rejected != 0 {
+		t.Fatalf("lost=%d failed=%d rejected=%d, want all 0", res.Lost, res.Failed, res.Rejected)
+	}
+	if res.Completed != res.Issued {
+		t.Fatalf("completed %d of %d issued", res.Completed, res.Issued)
+	}
+	var dropped float64
+	for _, rt := range rts {
+		dropped += rt.Metrics().Snapshot()["px.faults.dropped"]
+	}
+	if dropped == 0 {
+		t.Fatal("fault injector dropped nothing at 1-in-6")
+	}
+	rec := res.Record("dist-serve")
+	if rec.P50Ns <= 0 || rec.P99Ns < rec.P50Ns || rec.P999Ns < rec.P99Ns {
+		t.Fatalf("latency profile p50=%v p99=%v p999=%v", rec.P50Ns, rec.P99Ns, rec.P999Ns)
+	}
+	stopMachine(t, rts, true)
+}

@@ -69,6 +69,53 @@ func TestAllocDistinct(t *testing.T) {
 	}
 }
 
+func TestWellKnownGIDDeterministic(t *testing.T) {
+	// The whole point: any node computes the same name without a
+	// directory consult, and the name never collides with Alloc output.
+	a := WellKnownGID(3, KindData, 7)
+	b := WellKnownGID(3, KindData, 7)
+	if a != b {
+		t.Fatalf("well-known GID not deterministic: %v vs %v", a, b)
+	}
+	if a == WellKnownGID(3, KindData, 8) || a == WellKnownGID(2, KindData, 7) {
+		t.Fatal("distinct slots/localities collide")
+	}
+	if a == HardwareGID(3) {
+		t.Fatal("well-known band collides with the hardware name")
+	}
+	s := NewService(4)
+	for i := 0; i < 1000; i++ {
+		if g := s.Alloc(3, KindData); g == a {
+			t.Fatal("Alloc minted a reserved well-known sequence number")
+		}
+	}
+}
+
+func TestAllocWellKnownIdempotent(t *testing.T) {
+	s := NewService(4)
+	g := s.AllocWellKnown(2, KindData, 0)
+	if owner, err := s.Owner(g); err != nil || owner != 2 {
+		t.Fatalf("owner = %d, %v; want 2", owner, err)
+	}
+	gen1, _ := func() (uint64, error) { _, gen, err := s.OwnerGen(g); return gen, err }()
+	if g2 := s.AllocWellKnown(2, KindData, 0); g2 != g {
+		t.Fatalf("re-registration changed the name: %v vs %v", g2, g)
+	}
+	_, gen2, err := s.OwnerGen(g)
+	if err != nil || gen2 != gen1 {
+		t.Fatalf("re-registration disturbed the live entry: gen %d -> %d, %v", gen1, gen2, err)
+	}
+}
+
+func TestWellKnownSlotBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-band slot did not panic")
+		}
+	}()
+	WellKnownGID(0, KindData, 1<<16)
+}
+
 func TestOwnerAfterAlloc(t *testing.T) {
 	s := NewService(4)
 	g := s.Alloc(2, KindData)

@@ -257,6 +257,43 @@ func (s *Service) AllocHardware(home int) GID {
 	return g
 }
 
+// wellKnownBase is the bottom of the reserved well-known sequence band:
+// [wellKnownBase, hardwareSeq). Like hardwareSeq itself, the band sits at
+// the top of the sequence space, unreachable by Alloc, so deterministic
+// service names (KV shards, directory roots) can be computed on any node
+// without a directory consult.
+const wellKnownBase = hardwareSeq - 1<<16
+
+// WellKnownGID returns the deterministic typed name of well-known slot
+// (0 <= slot < 65535) at locality loc. The name does not consume a
+// sequence number and is identical on every node, so clients of a named
+// service address its per-locality objects directly — no directory
+// round-trip, exactly like HardwareGID.
+func WellKnownGID(loc int, kind Kind, slot int) GID {
+	if slot < 0 || uint64(slot) >= hardwareSeq-wellKnownBase {
+		panic(fmt.Sprintf("agas: well-known slot %d outside the reserved band", slot))
+	}
+	return GID{Home: uint32(loc), Kind: kind, Seq: wellKnownBase + uint64(slot)}
+}
+
+// AllocWellKnown registers the well-known name of slot at resident
+// locality home in its directory and returns it. Registration is
+// idempotent: re-registering a live slot keeps the existing entry (and
+// its generation), so a service may install its names on every startup
+// path without racing itself.
+func (s *Service) AllocWellKnown(home int, kind Kind, slot int) GID {
+	s.checkLoc(home)
+	if kind == KindInvalid {
+		panic("agas: cannot allocate invalid kind")
+	}
+	if !s.resident(home) {
+		panic(fmt.Sprintf("agas: well-known name for locality %d registered off its node", home))
+	}
+	g := WellKnownGID(home, kind, slot)
+	s.dirs[home].entries.LoadOrStore(g, &entry{owner: home, gen: 1})
+	return g
+}
+
 // Owner returns the best current owner of g known to this node. It prefers,
 // in order: the import table (the object lives here), the authoritative
 // home directory (when the home locality is hosted here), a forwarding

@@ -32,6 +32,15 @@ type Record struct {
 	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
 	Extra       map[string]float64 `json:"extra,omitempty"`
 
+	// Latency percentiles in nanoseconds, for serving benchmarks measured
+	// under open-loop load (zero when the benchmark is throughput-only).
+	// Producers: cmd/pxload writes them directly from its per-request
+	// samples; ParseGoBench lifts the p50-ns/p99-ns/p999-ns custom units
+	// emitted via b.ReportMetric. cmd/benchdiff gates on P99Ns.
+	P50Ns  float64 `json:"p50_ns,omitempty"`
+	P99Ns  float64 `json:"p99_ns,omitempty"`
+	P999Ns float64 `json:"p999_ns,omitempty"`
+
 	// AllocsMeasured records whether an allocs/op figure was present at
 	// all (the JSON field omits zeros, so AllocsPerOp==0 alone cannot
 	// distinguish "zero allocations" from "not run with -benchmem").
@@ -136,6 +145,12 @@ func ParseGoBench(r io.Reader) (*Suite, error) {
 			case "allocs/op":
 				rec.AllocsPerOp = v
 				rec.AllocsMeasured = true
+			case "p50-ns":
+				rec.P50Ns = v
+			case "p99-ns":
+				rec.P99Ns = v
+			case "p999-ns":
+				rec.P999Ns = v
 			default:
 				if rec.Extra == nil {
 					rec.Extra = map[string]float64{}
@@ -188,6 +203,66 @@ func Compare(baseline, current *Suite, threshold float64) (regs []Regression, mi
 		}
 	}
 	return regs, missing
+}
+
+// CompareLatency reports benchmarks present in both suites whose current
+// p99 latency exceeds baseline by more than threshold. Only records with
+// a p99 on both sides participate: throughput-only benchmarks and fresh
+// latency entries (no baseline yet) pass — absence is already covered by
+// Compare's missing-benchmark check.
+func CompareLatency(baseline, current *Suite, threshold float64) (regs []Regression) {
+	for _, cur := range current.Benchmarks {
+		base, ok := baseline.Find(cur.Name)
+		if !ok || base.P99Ns == 0 || cur.P99Ns == 0 {
+			continue
+		}
+		ratio := cur.P99Ns / base.P99Ns
+		if ratio > 1+threshold {
+			regs = append(regs, Regression{Name: cur.Name, Baseline: base.P99Ns, Current: cur.P99Ns, Ratio: ratio})
+		}
+	}
+	return regs
+}
+
+// Quantiles returns the q-quantiles of the full sample set, one per
+// element of qs, sorting a copy once. Unlike a reservoir histogram this
+// is exact: samples is the complete population (per-request latencies of
+// one run), the empirical quantile interpolates linearly between order
+// statistics (position q*(n-1)), and q<=0 / q>=1 are the exact extremes.
+// An empty sample set yields all zeros.
+func Quantiles(samples []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(samples) == 0 {
+		return out
+	}
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	for i, q := range qs {
+		switch {
+		case q <= 0:
+			out[i] = s[0]
+		case q >= 1:
+			out[i] = s[len(s)-1]
+		default:
+			idx := q * float64(len(s)-1)
+			lo := int(idx)
+			frac := idx - float64(lo)
+			if lo+1 >= len(s) {
+				out[i] = s[len(s)-1]
+			} else {
+				out[i] = s[lo]*(1-frac) + s[lo+1]*frac
+			}
+		}
+	}
+	return out
+}
+
+// SetLatencies fills the record's latency-percentile fields from the
+// complete per-request sample set (nanoseconds).
+func (r *Record) SetLatencies(samplesNs []float64) {
+	ps := Quantiles(samplesNs, 0.5, 0.99, 0.999)
+	r.P50Ns, r.P99Ns, r.P999Ns = ps[0], ps[1], ps[2]
 }
 
 // SameMachineClass reports whether two suites' absolute ns/op numbers are

@@ -1,6 +1,7 @@
 package benchio
 
 import (
+	"math"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -77,6 +78,123 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	short.Benchmarks = short.Benchmarks[:1]
 	if _, miss := Compare(base, short, 0.25); len(miss) != 2 {
 		t.Fatalf("missing = %v, want 2 names", miss)
+	}
+}
+
+// Exact quantiles of known distributions: the full-population empirical
+// quantile must hit the analytically known order statistics exactly —
+// these numbers feed the p99 CI gate, so "close" is not good enough.
+func TestQuantilesKnownDistributions(t *testing.T) {
+	// 1..101 uniform: position q*100 lands on integer indices for round
+	// percentiles, so every answer is exact with zero interpolation error.
+	uniform := make([]float64, 101)
+	for i := range uniform {
+		uniform[i] = float64(i + 1)
+	}
+	// Shuffle-free reversal: Quantiles must sort internally.
+	for i, j := 0, len(uniform)-1; i < j; i, j = i+1, j-1 {
+		uniform[i], uniform[j] = uniform[j], uniform[i]
+	}
+	got := Quantiles(uniform, 0, 0.25, 0.5, 0.99, 1)
+	for i, want := range []float64{1, 26, 51, 100, 101} {
+		if got[i] != want {
+			t.Errorf("uniform quantile %d = %v, want %v", i, got[i], want)
+		}
+	}
+
+	// Interpolation between order statistics: {10, 20}, q=0.75 → 17.5.
+	if got := Quantiles([]float64{20, 10}, 0.75); got[0] != 17.5 {
+		t.Errorf("two-point q0.75 = %v, want 17.5", got[0])
+	}
+
+	// Bimodal: 99 fast requests at 1ms, one outlier at 1s. p50 stays in
+	// the fast mode; p999 lands on the interpolated tail toward the
+	// outlier (position 0.999*99 = 98.901 between s[98]=1e6 and s[99]=1e9).
+	bimodal := make([]float64, 100)
+	for i := range bimodal {
+		bimodal[i] = 1e6
+	}
+	bimodal[42] = 1e9
+	got = Quantiles(bimodal, 0.5, 0.999)
+	if got[0] != 1e6 {
+		t.Errorf("bimodal p50 = %v, want 1e6", got[0])
+	}
+	want := 1e6 + 0.901*(1e9-1e6)
+	if math.Abs(got[1]-want) > 1 {
+		t.Errorf("bimodal p999 = %v, want %v", got[1], want)
+	}
+
+	// Degenerate inputs.
+	if got := Quantiles(nil, 0.5); got[0] != 0 {
+		t.Errorf("empty p50 = %v, want 0", got[0])
+	}
+	if got := Quantiles([]float64{7}, 0, 0.5, 0.999, 1); got[0] != 7 || got[1] != 7 || got[2] != 7 || got[3] != 7 {
+		t.Errorf("singleton quantiles = %v, want all 7", got)
+	}
+}
+
+func TestSetLatencies(t *testing.T) {
+	samples := make([]float64, 1000)
+	for i := range samples {
+		samples[i] = float64(i + 1)
+	}
+	var r Record
+	r.SetLatencies(samples)
+	if r.P50Ns != 500.5 {
+		t.Errorf("p50 = %v, want 500.5", r.P50Ns)
+	}
+	if math.Abs(r.P99Ns-990.01) > 1e-9 {
+		t.Errorf("p99 = %v, want 990.01", r.P99Ns)
+	}
+	if math.Abs(r.P999Ns-999.001) > 1e-9 {
+		t.Errorf("p999 = %v, want 999.001", r.P999Ns)
+	}
+}
+
+// Latency percentiles survive the go-bench text round trip (ReportMetric
+// custom units) and the JSON round trip, and CompareLatency gates on p99.
+func TestLatencyParseAndCompare(t *testing.T) {
+	text := "BenchmarkServeKV-8   1000   52000 ns/op   48000 p50-ns   91000 p99-ns   140000 p999-ns\n"
+	s, err := ParseGoBench(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := s.Find("ServeKV")
+	if !ok || r.P50Ns != 48000 || r.P99Ns != 91000 || r.P999Ns != 140000 {
+		t.Fatalf("latency fields = %+v, %v", r, ok)
+	}
+	if len(r.Extra) != 0 {
+		t.Fatalf("latency units leaked into Extra: %v", r.Extra)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_lat.json")
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	base, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := base.Find("ServeKV"); r.P99Ns != 91000 {
+		t.Fatalf("round-tripped p99 = %v", r.P99Ns)
+	}
+
+	// +10% p99 passes a 25% gate; +50% fails it; throughput-only entries
+	// and entries missing from the baseline are ignored.
+	cur, _ := ParseGoBench(strings.NewReader(
+		"BenchmarkServeKV-8   1000   52000 ns/op   48000 p50-ns   136500 p99-ns   140000 p999-ns\n" +
+			"BenchmarkOther-8   1000   100 ns/op   999999 p99-ns\n"))
+	regs := CompareLatency(base, cur, 0.25)
+	if len(regs) != 1 || regs[0].Name != "ServeKV" {
+		t.Fatalf("latency regressions = %+v", regs)
+	}
+	if regs[0].Ratio < 1.49 || regs[0].Ratio > 1.51 {
+		t.Fatalf("latency ratio = %v", regs[0].Ratio)
+	}
+	ok10, _ := ParseGoBench(strings.NewReader(
+		"BenchmarkServeKV-8   1000   52000 ns/op   100100 p99-ns\n"))
+	if regs := CompareLatency(base, ok10, 0.25); len(regs) != 0 {
+		t.Fatalf("+10%% p99 flagged: %+v", regs)
 	}
 }
 

@@ -25,6 +25,19 @@ func (r *Runtime) NewDataAt(loc int, v any) agas.GID {
 	return r.NewObjectAt(loc, agas.KindData, v)
 }
 
+// NewObjectAtWellKnown installs v under the deterministic well-known name
+// (loc, kind, slot) — see agas.WellKnownGID — and returns it. Every node
+// computes the same GID from the same coordinates, so services installed
+// this way (one shard per locality, say) need no directory exchange or
+// GID distribution step before clients can address them. loc must be
+// resident on this node; each node installs the shards it hosts.
+func (r *Runtime) NewObjectAtWellKnown(loc int, kind agas.Kind, slot int, v any) agas.GID {
+	r.checkResident(loc)
+	g := r.agas.AllocWellKnown(loc, kind, slot)
+	r.locs[loc].Store().Put(g, v)
+	return g
+}
+
 // NewFutureAt creates a future LCO homed at loc with a global name, so
 // remote parcels can target it as a continuation.
 func (r *Runtime) NewFutureAt(loc int) (agas.GID, *lco.Future) {

@@ -134,6 +134,7 @@ func (r *Runtime) buildMetricsRegistry() *metrics.Registry {
 	reg.RegisterFunc("px.sched.steals_local", sumLocs((*locality.Locality).StolenLocal))
 	reg.RegisterFunc("px.sched.suspensions", sumLocs((*locality.Locality).Suspensions))
 	reg.RegisterFunc("px.sched.dropped_posts", sumLocs((*locality.Locality).Dropped))
+	reg.RegisterFunc("px.sched.sheds", sumLocs((*locality.Locality).Sheds))
 	reg.RegisterFunc("px.sched.queue_depth", sumLocs(func(l *locality.Locality) uint64 {
 		return uint64(l.QueueLen())
 	}))
@@ -177,6 +178,15 @@ func (r *Runtime) buildMetricsRegistry() *metrics.Registry {
 		reg.RegisterFunc("px.lco.trigger.sent", func() int64 { return int64(d.lco.sent.Load()) })
 		reg.RegisterFunc("px.lco.trigger.recv", func() int64 { return int64(d.lco.recv.Load()) })
 		reg.RegisterFunc("px.lco.trigger.retried", func() int64 { return int64(d.lco.retried.Load()) })
+		// Group-commit batcher activity, when the transport reports it
+		// (the TCP transport does).
+		if bt, ok := d.tr.(interface {
+			BatchStats() (batches, handoffs, backpressured uint64)
+		}); ok {
+			reg.RegisterFunc("px.wire.batches", func() int64 { n, _, _ := bt.BatchStats(); return int64(n) })
+			reg.RegisterFunc("px.wire.batch_handoffs", func() int64 { _, n, _ := bt.BatchStats(); return int64(n) })
+			reg.RegisterFunc("px.wire.backpressured", func() int64 { _, _, n := bt.BatchStats(); return int64(n) })
+		}
 	}
 	return reg
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/agas"
+	"repro/internal/locality"
 	"repro/internal/parcel"
 	"repro/internal/trace"
 )
@@ -274,6 +275,19 @@ func (t *execTask) fire() {
 func (r *Runtime) enqueue(loc int, p *parcel.Parcel) {
 	t := execTaskPool.Get().(*execTask)
 	t.r, t.loc, t.p = r, loc, p
+	if r.sheddable != nil {
+		if _, shed := r.sheddable[p.Action]; shed {
+			if err := r.locs[loc].PostAdmitted(int(p.Dest.Seq), t.run); err != nil {
+				t.r, t.p = nil, nil
+				execTaskPool.Put(t)
+				if !errors.Is(err, locality.ErrOverloaded) {
+					mustPost(err)
+				}
+				r.shedParcel(loc, p)
+			}
+			return
+		}
+	}
 	mustPost(r.locs[loc].PostTo(int(p.Dest.Seq), t.run))
 }
 
@@ -301,14 +315,21 @@ func mustPost(err error) {
 func (r *Runtime) execute(loc int, p *parcel.Parcel, rd *parcel.Reader, ctx *Context) {
 	fenced := p.Dest.Kind != agas.KindHardware
 	if fenced {
+		// Snapshot the fields the park branch reports before enter: a
+		// false return means the fence owns the parcel, and a concurrent
+		// migration commit may re-route and release it immediately —
+		// touching p after that is a use-after-handoff. The park span
+		// therefore records a copy of the trace context (a leaf hop; the
+		// unparked re-route chains from the pre-park span).
+		tc, action := p.Trace, p.Action
 		if !r.fences.enter(p.Dest, loc, p) {
 			// Parked. The fence holds the parcel; charge the parked leg
 			// before this delivery's unit is released by our caller.
 			r.addWork()
 			r.slow.Parked.Inc()
-			r.emitSpan(trace.SpanPark, loc, &p.Trace, p.Action)
+			r.emitSpan(trace.SpanPark, loc, &tc, action)
 			if r.ring != nil {
-				r.ring.Emitf(trace.KindMigration, loc, "parked %s", p)
+				r.ring.Emitf(trace.KindMigration, loc, "parked %s", action)
 			}
 			return
 		}

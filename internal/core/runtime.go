@@ -41,6 +41,13 @@ type Config struct {
 	DisableSerialization bool
 	// MaxHops bounds forwarding retries for migrating objects. Default 64.
 	MaxHops int
+	// AdmitLimit bounds each resident locality's queue depth as seen by
+	// sheddable parcels (actions declared with Runtime.MarkSheddable): a
+	// delivery that finds the destination locality holding this many
+	// queued tasks is rejected with a typed ErrOverloaded verdict to its
+	// continuation instead of queueing without bound. Zero (the default)
+	// disables admission control. Runtime-internal work is never shed.
+	AdmitLimit int
 	// TraceCapacity sizes the event ring; 0 disables tracing.
 	TraceCapacity int
 	// Faults optionally injects parcel loss/duplication (tests only). It
@@ -120,8 +127,13 @@ type Runtime struct {
 	acts   *actionRegistry
 	hwGID  []agas.GID // per-locality hardware names
 	faults *faultState
-	dist   *distState // nil for a single-process machine
-	fences *fenceTable
+
+	// sheddable names the externally driven actions whose deliveries pass
+	// through admission control. Written only before the transport starts
+	// (MarkSheddable), read lock-free on the delivery path.
+	sheddable map[string]struct{}
+	dist      *distState // nil for a single-process machine
+	fences    *fenceTable
 
 	// Observability: the named-metric registry served over HTTP, the
 	// distributed-trace span buffer, and the root-sampling state (every
@@ -207,10 +219,11 @@ func New(cfg Config) *Runtime {
 	for i := resident.Lo; i < resident.Hi; i++ {
 		loc := i
 		r.locs[i] = locality.New(i, locality.Config{
-			Workers:  cfg.WorkersPerLocality,
-			Policy:   cfg.Policy,
-			Stealing: cfg.Stealing,
-			OnSteal:  func(remote bool) { r.onSteal(loc, remote) },
+			Workers:    cfg.WorkersPerLocality,
+			Policy:     cfg.Policy,
+			Stealing:   cfg.Stealing,
+			OnSteal:    func(remote bool) { r.onSteal(loc, remote) },
+			AdmitLimit: cfg.AdmitLimit,
 		})
 	}
 	if cfg.Stealing {

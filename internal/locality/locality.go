@@ -70,6 +70,14 @@ type Config struct {
 	// locality sibling steal). It runs on the stealing worker's goroutine
 	// and must be cheap and non-blocking.
 	OnSteal func(remote bool)
+	// AdmitLimit bounds the queue depth seen by PostAdmitted: when the
+	// locality already holds this many queued tasks, an admission-checked
+	// post is shed with ErrOverloaded instead of queueing without bound.
+	// Zero disables admission control (PostAdmitted behaves like PostTo).
+	// Plain Post/PostTo always bypass the limit — runtime-internal work
+	// (continuations, forwards, fence replays) must never be shed, or
+	// already-admitted requests would be lost halfway through.
+	AdmitLimit int
 }
 
 // ErrClosed is returned by Post and PostTo on a closed locality. The
@@ -77,6 +85,13 @@ type Config struct {
 // still a bug — but the locality records and reports it instead of
 // dropping the task on the floor.
 var ErrClosed = errors.New("locality: closed")
+
+// ErrOverloaded is the typed load-shed verdict: PostAdmitted found the
+// locality at its AdmitLimit and rejected the task instead of queueing
+// it. The caller still owns the work — nothing was enqueued — and should
+// surface the verdict to whoever can retry with backoff (the load
+// generator, a remote client), not spin on resubmission.
+var ErrOverloaded = errors.New("locality: overloaded")
 
 // stealPoll bounds how stale an idle stealer's view of its victims (and a
 // spare's view of the reclaim channel) may get: victims gain work without
@@ -124,6 +139,7 @@ type Locality struct {
 	stolenLocal atomic.Uint64
 	suspends    atomic.Uint64
 	dropped     atomic.Uint64
+	sheds       atomic.Uint64
 }
 
 // worker is one execution slot: a goroutine, its private deque, its parker
@@ -209,7 +225,44 @@ func (l *Locality) PostTo(hint int, fn func()) error {
 	// empty queues while a racing post is between count and push: workers
 	// exit only at closed && queued == 0, and this post already holds the
 	// count up.
+	return l.postReserved(hint, l.queued.Add(1), fn)
+}
+
+// PostAdmitted is PostTo behind admission control: when the locality
+// already holds Config.AdmitLimit queued tasks the post is shed — the
+// task is NOT enqueued, the shed counter rises, and the caller gets
+// ErrOverloaded to propagate as a load-shed verdict. With AdmitLimit 0
+// it is exactly PostTo. Use it for externally driven work (incoming
+// service requests); runtime-internal continuations must keep using
+// Post/PostTo so admitted work always runs to completion.
+func (l *Locality) PostAdmitted(hint int, fn func()) error {
+	limit := l.cfg.AdmitLimit
+	if limit <= 0 {
+		return l.PostTo(hint, fn)
+	}
+	if fn == nil {
+		panic("locality: post of nil task")
+	}
+	if l.closed.Load() {
+		l.dropped.Add(1)
+		return fmt.Errorf("locality %d: %w", l.id, ErrClosed)
+	}
+	// Reserve the queue slot first: Add-then-check is exact under
+	// concurrent admission, where a load-then-Add race would admit
+	// arbitrarily far past the limit.
 	n := l.queued.Add(1)
+	if n > int64(limit) {
+		l.queued.Add(-1)
+		l.sheds.Add(1)
+		return fmt.Errorf("locality %d: %w", l.id, ErrOverloaded)
+	}
+	return l.postReserved(hint, n, fn)
+}
+
+// postReserved is the shared tail of PostTo and PostAdmitted: the caller
+// already raised the queued count to n, so from here the task must land
+// in a queue (or be drained inline when Close races the push).
+func (l *Locality) postReserved(hint int, n int64, fn func()) error {
 	w := l.workers[uint(hint)%uint(len(l.workers))]
 	if !w.dq.pushBottom(fn) {
 		l.inject.push(fn)
@@ -539,6 +592,9 @@ func (l *Locality) StolenLocal() uint64 { return l.stolenLocal.Load() }
 
 // Dropped reports posts rejected because the locality was closed.
 func (l *Locality) Dropped() uint64 { return l.dropped.Load() }
+
+// Sheds reports admission-checked posts rejected with ErrOverloaded.
+func (l *Locality) Sheds() uint64 { return l.sheds.Load() }
 
 // Suspensions reports slot releases by suspending threads.
 func (l *Locality) Suspensions() uint64 { return l.suspends.Load() }

@@ -143,6 +143,104 @@ func TestFIFOOrdering(t *testing.T) {
 	}
 }
 
+// TestAdmissionControlSheds is the admission-control contract: a
+// saturated locality sheds PostAdmitted with ErrOverloaded (counting
+// every shed), runs every admitted task exactly once, and accepts again
+// after the backlog drains.
+func TestAdmissionControlSheds(t *testing.T) {
+	const limit = 8
+	l := New(0, Config{Workers: 1, AdmitLimit: limit})
+	gate := make(chan struct{})
+	var ran atomic.Int32
+	task := func() { <-gate; ran.Add(1) }
+
+	// Block the single worker on the gate first, then fill the queue to
+	// the limit: with the only worker blocked and nothing draining, the
+	// limit-th+1 admission sheds deterministically.
+	started := make(chan struct{})
+	if err := l.PostAdmitted(0, func() { close(started); <-gate; ran.Add(1) }); err != nil {
+		t.Fatalf("first post: %v", err)
+	}
+	<-started
+	admitted := 1
+	for i := 0; i < limit; i++ {
+		if err := l.PostAdmitted(i, task); err != nil {
+			t.Fatalf("post %d before saturation: %v", i, err)
+		}
+		admitted++
+	}
+	if err := l.PostAdmitted(0, task); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("post at limit: %v, want ErrOverloaded", err)
+	}
+	if l.Sheds() == 0 {
+		t.Fatal("saturated locality recorded no sheds")
+	}
+	shedsAtSaturation := l.Sheds()
+
+	// Every further admission-checked post sheds while saturated.
+	for i := 0; i < 5; i++ {
+		if err := l.PostAdmitted(i, func() {}); !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("post %d under saturation: %v, want ErrOverloaded", i, err)
+		}
+	}
+	if got := l.Sheds(); got != shedsAtSaturation+5 {
+		t.Fatalf("Sheds = %d, want %d", got, shedsAtSaturation+5)
+	}
+	// Plain PostTo bypasses admission even under saturation.
+	if err := l.PostTo(0, task); err != nil {
+		t.Fatalf("internal post was shed: %v", err)
+	}
+	admitted++
+
+	// Drain; the locality must accept admission-checked work again.
+	close(gate)
+	deadline := time.Now().Add(5 * time.Second)
+	for l.QueueLen() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue failed to drain: len %d", l.QueueLen())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	done := make(chan struct{})
+	if err := l.PostAdmitted(0, func() { close(done) }); err != nil {
+		t.Fatalf("post after drain: %v", err)
+	}
+	<-done
+	l.Close()
+	if int(ran.Load()) != admitted {
+		t.Fatalf("ran %d admitted tasks, want %d (sheds must not lose admitted work)", ran.Load(), admitted)
+	}
+}
+
+// Admission control off (AdmitLimit 0): PostAdmitted never sheds.
+func TestAdmissionControlDisabled(t *testing.T) {
+	l := New(0, Config{Workers: 1})
+	var wg sync.WaitGroup
+	for i := 0; i < 2000; i++ {
+		wg.Add(1)
+		if err := l.PostAdmitted(i, func() { wg.Done() }); err != nil {
+			t.Fatalf("post %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	l.Close()
+	if l.Sheds() != 0 {
+		t.Fatalf("Sheds = %d with admission disabled", l.Sheds())
+	}
+}
+
+// A closed locality reports ErrClosed from PostAdmitted, not a shed.
+func TestPostAdmittedAfterClose(t *testing.T) {
+	l := New(0, Config{Workers: 1, AdmitLimit: 4})
+	l.Close()
+	if err := l.PostAdmitted(0, func() {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post after close: %v, want ErrClosed", err)
+	}
+	if l.Sheds() != 0 {
+		t.Fatalf("close counted as shed: %d", l.Sheds())
+	}
+}
+
 func TestStealingBalancesLoad(t *testing.T) {
 	victim := New(0, Config{Workers: 1})
 	thief := New(1, Config{Workers: 1, Stealing: true})

@@ -133,30 +133,45 @@ func (h *Histogram) Max() float64 {
 	return h.max
 }
 
-// Quantile returns the q-quantile (0<=q<=1) estimated from retained samples.
+// Quantile returns the q-quantile (0<=q<=1) estimated from the retained
+// reservoir, anchored at the exact tracked stream extremes. Interior
+// quantiles use midpoint (Hazen) positions — sorted sample i estimates
+// the (i+0.5)/n quantile — and tail quantiles beyond the outermost
+// midpoints interpolate toward the exact min/max rather than clamping to
+// the reservoir endpoints: once eviction starts, the reservoir's own
+// first/last samples need not be the true extremes, and a clamped p999
+// of a small reservoir would silently under-report the tail.
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if len(h.samples) == 0 {
 		return 0
 	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
 	s := make([]float64, len(h.samples))
 	copy(s, h.samples)
 	sort.Float64s(s)
-	if q <= 0 {
-		return s[0]
+	n := float64(len(s))
+	idx := q*n - 0.5
+	switch {
+	case idx <= 0:
+		// Between the exact min (q=0) and the first midpoint (q=0.5/n).
+		return h.min + (q*n/0.5)*(s[0]-h.min)
+	case idx >= n-1:
+		// Between the last midpoint (q=(n-0.5)/n) and the exact max (q=1).
+		lastQ := (n - 0.5) / n
+		last := s[len(s)-1]
+		return last + (q-lastQ)/(1-lastQ)*(h.max-last)
+	default:
+		lo := int(math.Floor(idx))
+		frac := idx - float64(lo)
+		return s[lo]*(1-frac) + s[lo+1]*frac
 	}
-	if q >= 1 {
-		return s[len(s)-1]
-	}
-	idx := q * float64(len(s)-1)
-	lo := int(math.Floor(idx))
-	hi := int(math.Ceil(idx))
-	if lo == hi {
-		return s[lo]
-	}
-	frac := idx - float64(lo)
-	return s[lo]*(1-frac) + s[hi]*frac
 }
 
 // SLOW aggregates the paper's four degradation sources for one run.

@@ -103,6 +103,52 @@ func TestHistogramSampleCap(t *testing.T) {
 	}
 }
 
+// Midpoint-position quantiles over a small exact sample set: with n=4
+// samples {1,2,3,4}, sample i anchors the (i+0.5)/4 quantile, interior
+// quantiles interpolate between midpoints, and q=0/q=1 report the exact
+// extremes.
+func TestHistogramQuantileMidpoints(t *testing.T) {
+	h := NewHistogram(0)
+	for i := 1; i <= 4; i++ {
+		h.Observe(float64(i))
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.125, 1}, {0.25, 1.5}, {0.375, 2}, {0.5, 2.5},
+		{0.625, 3}, {0.75, 3.5}, {0.875, 4}, {1, 4},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("q%g = %f, want %f", c.q, got, c.want)
+		}
+	}
+}
+
+// Tail quantiles must anchor to the exact tracked stream extremes, not to
+// whatever the reservoir happened to retain: once eviction starts the
+// reservoir's own first/last samples can sit well inside the true range,
+// and the old clamp made p999 of a small reservoir under-report the tail.
+func TestHistogramTailQuantilesAnchorToTrackedExtremes(t *testing.T) {
+	h := NewHistogram(8)
+	for i := 1; i <= 10000; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.Quantile(1); got != 10000 {
+		t.Fatalf("q1 = %f, want the exact tracked max 10000", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("q0 = %f, want the exact tracked min 1", got)
+	}
+	// p999 sits past the last reservoir midpoint (7.5/8 = 0.9375), so it
+	// interpolates toward the true max: >= 0.984 of the way there no
+	// matter which 8 samples survived eviction.
+	if got := h.Quantile(0.999); got < 9840 || got > 10000 {
+		t.Fatalf("p999 = %f, want within [9840, 10000]", got)
+	}
+	if p99, p999 := h.Quantile(0.99), h.Quantile(0.999); p999 < p99 {
+		t.Fatalf("p999 %f < p99 %f", p999, p99)
+	}
+}
+
 func TestHistogramObserveDuration(t *testing.T) {
 	h := NewHistogram(0)
 	h.ObserveDuration(time.Microsecond)

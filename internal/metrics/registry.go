@@ -98,13 +98,13 @@ func (r *Registry) RegisterFunc(name string, fn func() int64) {
 }
 
 // Snapshot flattens every registered metric to name → value. Histograms
-// expand to <name>.count/.mean/.min/.max/.p50/.p99. Func gauges are
+// expand to <name>.count/.mean/.min/.max/.p50/.p99/.p999. Func gauges are
 // evaluated inline, so a snapshot is a consistent-enough view for
 // operator polling (individual metrics are atomic; the set is not).
 func (r *Registry) Snapshot() map[string]float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]float64, len(r.counters)+len(r.gauges)+len(r.funcs)+6*len(r.hists))
+	out := make(map[string]float64, len(r.counters)+len(r.gauges)+len(r.funcs)+7*len(r.hists))
 	for name, c := range r.counters {
 		out[name] = float64(c.Value())
 	}
@@ -121,6 +121,7 @@ func (r *Registry) Snapshot() map[string]float64 {
 		out[name+".max"] = h.Max()
 		out[name+".p50"] = h.Quantile(0.5)
 		out[name+".p99"] = h.Quantile(0.99)
+		out[name+".p999"] = h.Quantile(0.999)
 	}
 	return out
 }

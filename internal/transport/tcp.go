@@ -43,6 +43,16 @@ type TCPConfig struct {
 	// flush stops waiting and writes immediately. Default 64KB. Ignored
 	// when BatchWindow is zero.
 	BatchBytes int
+	// MaxPending bounds each peer's pending (buffered, unwritten) bytes.
+	// A sender that finds the buffer full blocks — woken in FIFO order as
+	// flush rounds free space — instead of growing the batch without
+	// bound, so one hot sender cannot stretch every other sender's
+	// group-commit latency arbitrarily: a round is at most MaxPending
+	// bytes plus what arrives during its write. The bound is soft by one
+	// frame, which also lets frames larger than MaxPending through once
+	// the buffer drains below it. Default 4MB; negative disables the
+	// bound.
+	MaxPending int
 }
 
 func (c *TCPConfig) fill() {
@@ -58,6 +68,9 @@ func (c *TCPConfig) fill() {
 	if c.BatchBytes <= 0 {
 		c.BatchBytes = 64 << 10
 	}
+	if c.MaxPending == 0 {
+		c.MaxPending = 4 << 20
+	}
 }
 
 // TCP carries frames between nodes as length-prefixed records on TCP
@@ -72,6 +85,15 @@ func (c *TCPConfig) fill() {
 // result, so concurrent parcel streams coalesce into a fraction of the
 // syscalls with no added latency when traffic is sparse. BatchWindow adds
 // an optional time budget for throughput-biased deployments.
+//
+// The batcher is fair per peer: a leader writes exactly one round — the
+// batch containing its own frame — and hands any backlog that accumulated
+// during the write to a detached drainer goroutine, so no sender is held
+// captive flushing other senders' traffic. MaxPending bounds the pending
+// buffer with FIFO blocking admission, so a hot sender saturating one
+// peer backs itself off while everyone else's frames keep riding bounded
+// rounds. BatchStats exposes the batcher's activity for the px.wire.*
+// metric bridge.
 type TCP struct {
 	cfg TCPConfig
 	ln  net.Listener
@@ -90,12 +112,18 @@ type TCP struct {
 
 type tcpPeer struct {
 	mu        sync.Mutex
+	room      *sync.Cond // signals space in buf to backpressure-blocked senders
 	conn      net.Conn
 	buf       []byte      // frames accumulated for the next write
 	spare     []byte      // recycled batch buffer
 	waiters   []tcpWaiter // senders whose frames sit in buf
-	flushing  bool        // a leader is running flush rounds
+	flushing  bool        // a leader or drainer is running flush rounds
 	connected bool        // a connection has succeeded at least once
+
+	// Batcher activity, guarded by mu (see TCP.BatchStats).
+	batches       uint64 // flush rounds written
+	handoffs      uint64 // backlogs handed from a leader to a drainer
+	backpressured uint64 // sends that blocked on the MaxPending bound
 }
 
 // tcpWaiter is one follower's claim on a batch: the byte offset its frame
@@ -147,7 +175,9 @@ func NewTCP(cfg TCPConfig) (*TCP, error) {
 func (t *TCP) setPeerCount(n int) {
 	t.peers = make([]*tcpPeer, n)
 	for i := range t.peers {
-		t.peers[i] = &tcpPeer{}
+		p := &tcpPeer{}
+		p.room = sync.NewCond(&p.mu)
+		t.peers[i] = p
 	}
 }
 
@@ -429,8 +459,10 @@ func (t *TCP) serveConn(conn net.Conn) {
 // Send delivers frame to node, dialing (with bounded retries) on first use
 // or after a connection failure. Concurrent sends to one peer batch: the
 // frame is appended to the peer's pending buffer, and either this call
-// becomes the flush leader — writing batches until the buffer drains — or
-// it waits for the leader to report its batch's fate.
+// becomes the flush leader — writing the one round that carries its own
+// frame, then handing any backlog to a drainer goroutine — or it waits for
+// the leader to report its batch's fate. With MaxPending set, a sender that
+// finds the pending buffer full blocks until a flush round frees space.
 func (t *TCP) Send(node int, frame []byte) error {
 	if err := checkNode(t, node); err != nil {
 		return err
@@ -454,6 +486,26 @@ func (t *TCP) Send(node int, frame []byte) error {
 	}
 
 	p.mu.Lock()
+	if max := t.cfg.MaxPending; max > 0 {
+		// Admission: while a flush is active and the pending buffer is at
+		// the bound, wait for a round to free space. Wakeups are FIFO
+		// (sync.Cond queues waiters in order), so a hot sender cannot
+		// perpetually cut the line. The bound is soft by one frame: the
+		// sender admitted at len(buf) == max-1 may push the buffer past
+		// max, which also lets frames larger than MaxPending through.
+		blocked := false
+		for p.flushing && len(p.buf) >= max {
+			if t.isClosed() {
+				p.mu.Unlock()
+				return ErrClosed
+			}
+			if !blocked {
+				blocked = true
+				p.backpressured++
+			}
+			p.room.Wait()
+		}
+	}
 	var lenBuf [4]byte
 	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(frame)))
 	p.buf = append(p.buf, lenBuf[:]...)
@@ -468,68 +520,121 @@ func (t *TCP) Send(node int, frame []byte) error {
 		return <-ch
 	}
 	p.flushing = true
-	myErr := error(nil)
-	for round := 0; len(p.buf) > 0; round++ {
-		if t.cfg.BatchWindow > 0 && p.conn != nil && len(p.buf) < t.cfg.BatchBytes {
-			// Throughput bias: linger once per batch so more frames join.
-			p.mu.Unlock()
-			time.Sleep(t.cfg.BatchWindow)
-			p.mu.Lock()
-		}
-		batch := p.buf
-		waiters := p.waiters
-		conn := p.conn
-		reconnect := p.connected
-		p.buf = p.spare[:0]
-		p.spare = nil
-		p.waiters = nil
+	res := t.flushRound(p, node, addr)
+	myErr := res.verdict(myEnd, node)
+	if len(p.buf) > 0 {
+		// Frames arrived while our round's write was in flight. Hand the
+		// backlog to a drainer goroutine instead of flushing it here: the
+		// leader already paid for the round carrying its own frame, and
+		// holding it captive writing other senders' traffic would let one
+		// hot stream tax whichever caller happened to lead.
+		p.handoffs++
 		p.mu.Unlock()
+		go t.drainPeer(p, node, addr)
+		return myErr
+	}
+	p.flushing = false
+	p.room.Broadcast()
+	p.mu.Unlock()
+	return myErr
+}
 
-		var res flushResult
-		if t.isClosed() {
-			res.err = ErrClosed
-		} else if conn == nil {
-			c, err := t.dial(node, addr, reconnect)
-			if err != nil {
-				res.err = err
-			} else {
-				conn = c
-			}
-		}
-		if res.err == nil {
-			n, err := conn.Write(batch)
-			res.okBytes = n
-			if err != nil {
-				res.err = err
-				// Drop the stream mid-frame so the peer discards every
-				// frame past the accepted prefix.
-				conn.Close()
-				conn = nil
-			}
-		}
-		for _, w := range waiters {
-			w.ch <- res.verdict(w.end, node)
-		}
-		if round == 0 {
-			myErr = res.verdict(myEnd, node)
-		}
+// drainPeer runs flush rounds for one peer until its pending buffer
+// empties, then releases flush leadership. It runs detached from any
+// sender; after Close it terminates promptly because every round fails
+// fast with ErrClosed verdicts.
+func (t *TCP) drainPeer(p *tcpPeer, node int, addr string) {
+	p.mu.Lock()
+	for len(p.buf) > 0 {
+		t.flushRound(p, node, addr)
+	}
+	p.flushing = false
+	p.room.Broadcast()
+	p.mu.Unlock()
+}
 
-		if conn != nil && t.isClosed() {
-			// Close swept the peers while our write was in flight; don't
-			// re-install a connection nobody will close again.
+// flushRound writes one batch — everything pending for the peer — and
+// delivers per-frame verdicts to the senders waiting on it. Called with
+// p.mu held and flushing set; returns with p.mu re-held. The result lets
+// a leader derive the verdict for its own frame (followers of this round
+// get theirs on their channels).
+func (t *TCP) flushRound(p *tcpPeer, node int, addr string) flushResult {
+	if t.cfg.BatchWindow > 0 && p.conn != nil && len(p.buf) < t.cfg.BatchBytes {
+		// Throughput bias: linger once per batch so more frames join.
+		p.mu.Unlock()
+		time.Sleep(t.cfg.BatchWindow)
+		p.mu.Lock()
+	}
+	batch := p.buf
+	waiters := p.waiters
+	conn := p.conn
+	reconnect := p.connected
+	p.buf = p.spare[:0]
+	p.spare = nil
+	p.waiters = nil
+	p.batches++
+	// The pending buffer just emptied: backpressured senders may append
+	// to the next batch while this round's write is in flight.
+	p.room.Broadcast()
+	p.mu.Unlock()
+
+	var res flushResult
+	if t.isClosed() {
+		res.err = ErrClosed
+	} else if conn == nil {
+		c, err := t.dial(node, addr, reconnect)
+		if err != nil {
+			res.err = err
+		} else {
+			conn = c
+		}
+	}
+	if res.err == nil {
+		n, err := conn.Write(batch)
+		res.okBytes = n
+		if err != nil {
+			res.err = err
+			// Drop the stream mid-frame so the peer discards every
+			// frame past the accepted prefix.
 			conn.Close()
 			conn = nil
 		}
-		p.mu.Lock()
-		p.conn = conn
-		if conn != nil {
-			p.connected = true
-		}
-		p.spare = batch[:0]
 	}
-	p.flushing = false
-	p.mu.Unlock()
-	return myErr
+	for _, w := range waiters {
+		w.ch <- res.verdict(w.end, node)
+	}
+
+	if conn != nil && t.isClosed() {
+		// Close swept the peers while our write was in flight; don't
+		// re-install a connection nobody will close again.
+		conn.Close()
+		conn = nil
+	}
+	p.mu.Lock()
+	p.conn = conn
+	if conn != nil {
+		p.connected = true
+	}
+	p.spare = batch[:0]
+	return res
+}
+
+// BatchStats reports the group-commit batcher's cumulative activity summed
+// across peers: flush rounds written, backlogs handed from a leader to a
+// drainer goroutine, and sends that blocked on the MaxPending admission
+// bound. The distributed runtime bridges these into px.wire.* metrics.
+func (t *TCP) BatchStats() (batches, handoffs, backpressured uint64) {
+	t.mu.Lock()
+	peers := t.peers
+	t.mu.Unlock()
+	for _, p := range peers {
+		p.mu.Lock()
+		batches += p.batches
+		handoffs += p.handoffs
+		backpressured += p.backpressured
+		p.mu.Unlock()
+	}
+	return batches, handoffs, backpressured
 }
 
 func (t *TCP) isClosed() bool {
@@ -621,6 +726,9 @@ func (t *TCP) Close() error {
 			p.conn.Close()
 			p.conn = nil
 		}
+		// Senders blocked on the MaxPending bound re-check and observe the
+		// closed transport.
+		p.room.Broadcast()
 		p.mu.Unlock()
 	}
 	t.wg.Wait()

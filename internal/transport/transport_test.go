@@ -406,3 +406,150 @@ func TestTCPAcceptsV1Handshake(t *testing.T) {
 		t.Fatalf("v1 peer hello: got %v, want one nil payload", hellos)
 	}
 }
+
+// TestTCPMaxPendingFlood floods a peer through a tiny pending-byte bound:
+// backpressure must throttle senders without losing, tearing, or
+// reordering frames.
+func TestTCPMaxPendingFlood(t *testing.T) {
+	nodes, cols := newTCPPair(t, func(c *TCPConfig) {
+		c.MaxPending = 256
+	})
+	checkBatchedFlood(t, nodes, cols)
+	if batches, _, _ := nodes[0].(*TCP).BatchStats(); batches == 0 {
+		t.Fatal("flood wrote no batches")
+	}
+	for _, n := range nodes {
+		n.Close()
+	}
+}
+
+// TestTCPMaxPendingBackpressure pins the admission mechanics directly: a
+// sender that finds the pending buffer at the bound while a flush is
+// active blocks, is counted, and proceeds once a round frees space.
+func TestTCPMaxPendingBackpressure(t *testing.T) {
+	nodes, cols := newTCPPair(t, func(c *TCPConfig) {
+		c.MaxPending = 64
+	})
+	tt := nodes[0].(*TCP)
+	p := tt.peers[1]
+
+	// Simulate a flush in progress with the buffer already at the bound.
+	p.mu.Lock()
+	p.flushing = true
+	p.buf = append(p.buf, make([]byte, 128)...)
+	p.mu.Unlock()
+
+	done := make(chan error, 1)
+	go func() { done <- tt.Send(1, []byte("held")) }()
+	select {
+	case err := <-done:
+		t.Fatalf("send returned %v despite a full pending buffer", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Free the buffer the way a finished flush round would.
+	p.mu.Lock()
+	p.buf = p.buf[:0]
+	p.flushing = false
+	p.room.Broadcast()
+	p.mu.Unlock()
+
+	if err := <-done; err != nil {
+		t.Fatalf("send after space freed: %v", err)
+	}
+	if got := cols[1].wait(t, 1); got[0].data != "held" {
+		t.Fatalf("got %q, want %q", got[0].data, "held")
+	}
+	if _, _, backpressured := tt.BatchStats(); backpressured != 1 {
+		t.Fatalf("backpressured = %d, want 1", backpressured)
+	}
+	for _, n := range nodes {
+		n.Close()
+	}
+}
+
+// TestTCPLeaderHandsOffBacklog verifies flush-leader fairness: a leader
+// whose write completes with new frames already buffered returns after its
+// own round and leaves the backlog to a drainer goroutine, so the leader
+// is never held captive flushing other senders' traffic.
+func TestTCPLeaderHandsOffBacklog(t *testing.T) {
+	tt, err := NewTCP(TCPConfig{Self: 0, Listen: "127.0.0.1:0", Peers: make([]string, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt.SetPeers([]string{tt.Addr().String(), "127.0.0.1:9"})
+	defer tt.Close()
+
+	// Install a synchronous pipe as the established connection: a write
+	// stays in flight until this test reads it, which lets us park the
+	// leader's round deterministically while a follower queues behind it.
+	cli, srv := net.Pipe()
+	defer srv.Close()
+	p := tt.peers[1]
+	p.mu.Lock()
+	p.conn = cli
+	p.connected = true
+	p.mu.Unlock()
+
+	leaderDone := make(chan error, 1)
+	go func() { leaderDone <- tt.Send(1, []byte("lead")) }()
+	waitPeer(t, p, func() bool { return p.flushing && p.batches == 1 })
+
+	followerDone := make(chan error, 1)
+	go func() { followerDone <- tt.Send(1, []byte("tail")) }()
+	waitPeer(t, p, func() bool { return len(p.buf) > 0 })
+
+	// Drain the leader's round; its Send must return even though the
+	// follower's frame is still pending.
+	readFrame(t, srv, "lead")
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader send: %v", err)
+	}
+
+	// The detached drainer flushes the backlog.
+	readFrame(t, srv, "tail")
+	if err := <-followerDone; err != nil {
+		t.Fatalf("follower send: %v", err)
+	}
+	batches, handoffs, _ := tt.BatchStats()
+	if batches != 2 || handoffs != 1 {
+		t.Fatalf("batches=%d handoffs=%d, want 2 and 1", batches, handoffs)
+	}
+}
+
+// waitPeer polls cond under the peer's lock until it holds or the deadline
+// lapses.
+func waitPeer(t *testing.T, p *tcpPeer, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		p.mu.Lock()
+		ok := cond()
+		p.mu.Unlock()
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for peer state")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// readFrame consumes one length-prefixed frame from c and checks its
+// payload.
+func readFrame(t *testing.T, c net.Conn, want string) {
+	t.Helper()
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(c, lenBuf[:]); err != nil {
+		t.Fatalf("read frame length: %v", err)
+	}
+	payload := make([]byte, binary.LittleEndian.Uint32(lenBuf[:]))
+	if _, err := io.ReadFull(c, payload); err != nil {
+		t.Fatalf("read frame payload: %v", err)
+	}
+	if string(payload) != want {
+		t.Fatalf("frame %q, want %q", payload, want)
+	}
+}

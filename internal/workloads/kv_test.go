@@ -1,0 +1,126 @@
+package workloads
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/parcel"
+)
+
+func newKVRuntime(t *testing.T, locs, admitLimit int) *core.Runtime {
+	t.Helper()
+	rt := core.New(core.Config{
+		Localities:         locs,
+		WorkersPerLocality: 2,
+		AdmitLimit:         admitLimit,
+		Register:           RegisterKVService,
+	})
+	t.Cleanup(rt.Shutdown)
+	InstallKVShards(rt)
+	return rt
+}
+
+func TestKVPutGetRoundTrip(t *testing.T) {
+	rt := newKVRuntime(t, 4, 0)
+	key := "kv.roundtrip"
+	dest := KVShardGID(KVKeyLocality(key, rt.Localities()))
+
+	put := parcel.NewArgs().String(key).Bytes([]byte("hello")).Encode()
+	if v, err := rt.CallFrom(0, dest, ActionKVPut, put).Get(); err != nil {
+		t.Fatalf("put: %v", err)
+	} else if n, ok := v.(int64); !ok || n != 5 {
+		t.Fatalf("put result %v (%T), want int64 5", v, v)
+	}
+
+	get := parcel.NewArgs().String(key).Encode()
+	v, err := rt.CallFrom(0, dest, ActionKVGet, get).Get()
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if got, ok := v.([]byte); !ok || !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("get result %q (%T), want %q", v, v, "hello")
+	}
+
+	// A miss returns an empty value, not an error, and counts as a miss.
+	miss := parcel.NewArgs().String("kv.absent").Encode()
+	destMiss := KVShardGID(KVKeyLocality("kv.absent", rt.Localities()))
+	if v, err := rt.CallFrom(0, destMiss, ActionKVGet, miss).Get(); err != nil {
+		t.Fatalf("miss get: %v", err)
+	} else if got, ok := v.([]byte); !ok && v != nil || len(got) != 0 {
+		t.Fatalf("miss result %v, want empty", v)
+	}
+
+	snap := rt.Metrics().Snapshot()
+	if snap["px.serve.gets"] != 2 || snap["px.serve.puts"] != 1 {
+		t.Fatalf("gets=%v puts=%v, want 2 and 1", snap["px.serve.gets"], snap["px.serve.puts"])
+	}
+	if snap["px.serve.hits"] != 1 || snap["px.serve.misses"] != 1 {
+		t.Fatalf("hits=%v misses=%v, want 1 and 1", snap["px.serve.hits"], snap["px.serve.misses"])
+	}
+}
+
+func TestOpenLoopServeHealthy(t *testing.T) {
+	rt := newKVRuntime(t, 4, 0)
+	res := RunOpenLoop(rt, OpenLoopConfig{
+		Rate:     20000,
+		Requests: 400,
+		Timeout:  5 * time.Second,
+	})
+	if res.Lost != 0 || res.Failed != 0 || res.Rejected != 0 {
+		t.Fatalf("lost=%d failed=%d rejected=%d, want all 0", res.Lost, res.Failed, res.Rejected)
+	}
+	if res.Completed != res.Issued {
+		t.Fatalf("completed %d of %d issued", res.Completed, res.Issued)
+	}
+	if len(res.LatenciesNs) != res.Completed {
+		t.Fatalf("%d latency samples for %d completions", len(res.LatenciesNs), res.Completed)
+	}
+	rec := res.Record("serve")
+	if rec.P50Ns <= 0 || rec.P99Ns < rec.P50Ns || rec.P999Ns < rec.P99Ns {
+		t.Fatalf("percentiles p50=%v p99=%v p999=%v", rec.P50Ns, rec.P99Ns, rec.P999Ns)
+	}
+	if rec.Extra["completed"] != float64(res.Completed) {
+		t.Fatalf("extra completed %v, want %d", rec.Extra["completed"], res.Completed)
+	}
+}
+
+func TestOpenLoopShedsUnderOverload(t *testing.T) {
+	// One worker per locality, an admission limit of 1, and an arrival
+	// burst far faster than the service can drain: admission control must
+	// shed, every shed must surface as a typed verdict (never a timeout),
+	// and every request must end in a verdict — completed or rejected,
+	// none lost.
+	rt := core.New(core.Config{
+		Localities:         2,
+		WorkersPerLocality: 1,
+		AdmitLimit:         1,
+		Register:           RegisterKVService,
+	})
+	t.Cleanup(rt.Shutdown)
+	InstallKVShards(rt)
+
+	res := RunOpenLoop(rt, OpenLoopConfig{
+		Rate:         1e7, // effectively an instantaneous burst
+		Requests:     600,
+		Retries:      2,
+		RetryBackoff: 100 * time.Microsecond,
+		Timeout:      5 * time.Second,
+	})
+	if res.Shed == 0 {
+		t.Fatal("overload run shed nothing")
+	}
+	if res.Lost != 0 || res.TimedOut != 0 || res.Failed != 0 {
+		t.Fatalf("lost=%d timedout=%d failed=%d, want all 0", res.Lost, res.TimedOut, res.Failed)
+	}
+	if res.Completed+res.Rejected != res.Issued {
+		t.Fatalf("completed %d + rejected %d != issued %d", res.Completed, res.Rejected, res.Issued)
+	}
+	if sheds := rt.Sheds(); sheds == 0 {
+		t.Fatalf("runtime sheds = %d, want > 0", sheds)
+	}
+	if snap := rt.Metrics().Snapshot(); snap["px.sched.sheds"] == 0 {
+		t.Fatal("px.sched.sheds not bridged")
+	}
+}

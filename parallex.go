@@ -144,6 +144,26 @@ const (
 // only to code inspecting AGAS resolution directly (Service.OwnerGen).
 var ErrMoved = agas.ErrMoved
 
+// ErrOverloaded is the typed load-shed verdict: a locality at its
+// admission limit (Config.AdmitLimit) rejected a sheddable parcel (see
+// Runtime.MarkSheddable) instead of queueing it. It reaches the request's
+// continuation like any action failure; test with IsOverloaded, which
+// also recognizes the verdict's flattened wire form.
+var ErrOverloaded = core.ErrOverloaded
+
+// IsOverloaded reports whether err is a load-shed verdict — the typed
+// ErrOverloaded from this process, or the flattened string form of one
+// delivered across a node boundary through a failure continuation.
+func IsOverloaded(err error) bool { return core.IsOverloaded(err) }
+
+// WellKnownGID computes the deterministic global name for slot at
+// locality loc — the same on every node, with no allocation or directory
+// traffic, so services can agree on their objects' names by convention
+// (see Runtime.NewObjectAtWellKnown).
+func WellKnownGID(loc int, kind Kind, slot int) GID {
+	return agas.WellKnownGID(loc, kind, slot)
+}
+
 // New builds and starts a runtime. Callers must Shutdown when done.
 //
 // The returned Runtime exposes the full execution model: registering
