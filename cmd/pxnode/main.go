@@ -57,6 +57,9 @@ func main() {
 	iters := flag.Int("n", 100, "workload iterations")
 	workers := flag.Int("workers", 4, "workers per locality")
 	admit := flag.Int("admit", 0, "admission limit: max queued tasks per locality before sheddable requests get ErrOverloaded; 0 = unbounded")
+	join := flag.Int("join", 0, "join a RUNNING machine as a new node hosting this many fresh localities; -peers/-localities describe the existing machine and -listen is required (ignore -node)")
+	beat := flag.Duration("beat", 0, "membership heartbeat interval (0 = default 250ms)")
+	deadAfter := flag.Duration("dead-after", 0, "hard silence floor before a suspect peer is declared dead (0 = default 3s)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = off")
 	metricsAddr := flag.String("metrics", "", "serve the px.* metrics registry and sampled trace spans as JSON on this address (e.g. localhost:7070); empty = off")
 	traceSample := flag.Float64("trace-sample", 0, "fraction of root parcels that start a sampled distributed trace, 0..1")
@@ -71,6 +74,20 @@ func main() {
 	ranges, err := parseLocalities(*locs, len(peerList))
 	if err != nil {
 		log.Fatalf("pxnode: %v", err)
+	}
+	if *join > 0 {
+		// A joiner is the machine's next node: its ID is the current node
+		// count, its range continues the existing partition, and its
+		// address is appended to the dial table. The running peers learn
+		// all three from the membership section of the joiner's handshake
+		// hello — no restart, no reconfiguration on their side.
+		if *listen == "" {
+			log.Fatal("pxnode: -join requires -listen (peers dial the joiner back at this address)")
+		}
+		*node = len(peerList)
+		peerList = append(peerList, *listen)
+		hi := ranges[len(ranges)-1].Hi
+		ranges = append(ranges, parallex.LocalityRange{Lo: hi, Hi: hi + *join})
 	}
 	if *node < 0 || *node >= len(peerList) {
 		log.Fatalf("pxnode: -node %d outside machine [0,%d)", *node, len(peerList))
@@ -101,9 +118,22 @@ func main() {
 		WorkersPerLocality: *workers,
 		AdmitLimit:         *admit,
 		TraceSampleRate:    *traceSample,
+		Membership: parallex.MembershipConfig{
+			HeartbeatInterval: *beat,
+			DeadAfter:         *deadAfter,
+		},
 		// Actions must exist before the transport starts delivering: a
 		// peer's parcel can name them the instant the node is reachable.
 		Register: registerDistActions,
+	})
+	rt.SubscribeMembership(func(ev parallex.MemberEvent) {
+		switch ev.Kind {
+		case parallex.MemberJoined:
+			log.Printf("pxnode: node %d joined with localities %v (membership v%d)", ev.Node, ev.Range, ev.Version)
+		case parallex.MemberDied:
+			log.Printf("pxnode: node %d declared DEAD; localities %v re-homed onto node %d (membership v%d)",
+				ev.Node, ev.Moved, ev.Adopter, ev.Version)
+		}
 	})
 	// Every node hosts its localities' KV shards at their well-known
 	// names; they serve nothing unless a client (pxload, or the serve

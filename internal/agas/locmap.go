@@ -1,6 +1,10 @@
 package agas
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
 // Range is a half-open contiguous span of locality indices [Lo, Hi).
 type Range struct {
@@ -16,18 +20,92 @@ func (r Range) Count() int { return r.Hi - r.Lo }
 // String renders the range for logs and flags.
 func (r Range) String() string { return fmt.Sprintf("[%d,%d)", r.Lo, r.Hi) }
 
+// MemberEventKind classifies one membership change.
+type MemberEventKind int
+
+// Membership change kinds delivered to Subscribe callbacks.
+const (
+	// MemberJoined: a new node announced a locality range and entered the
+	// machine.
+	MemberJoined MemberEventKind = iota + 1
+	// MemberDied: a node was declared dead and its localities were
+	// re-homed onto the adopter.
+	MemberDied
+)
+
+// MemberEvent describes one membership change: a node joining with a new
+// locality range, or a node declared dead with its localities re-homed
+// onto a surviving adopter.
+type MemberEvent struct {
+	// Version is the map version after the change (monotonic from 1).
+	Version uint64
+	// Kind says what happened.
+	Kind MemberEventKind
+	// Node is the joining or dying node.
+	Node int
+	// Range is the announced locality range (joins only).
+	Range Range
+	// Adopter is the surviving node now hosting the dead node's
+	// localities (deaths only; -1 when no live node remained).
+	Adopter int
+	// Moved lists the localities re-homed by a death, in ascending order.
+	Moved []int
+}
+
+// mapView is one immutable membership snapshot; lookups load it with a
+// single atomic pointer read, so the per-parcel resolve path stays
+// lock-free exactly as it was when the map was immutable.
+type mapView struct {
+	version uint64
+	fp      uint64  // fingerprint of (ranges, alive), cached at publish
+	ranges  []Range // node -> announced locality range
+	node    []int   // locality -> current hosting node (adoption-adjusted)
+	alive   []bool  // node -> not declared dead
+	lost    []bool  // locality -> adopted off a dead node (directory state lost)
+}
+
+// fingerprint hashes the membership composition — announced ranges plus
+// alive bits — with FNV-1a. Unlike the version counter, which counts the
+// events a node happened to witness (a joiner starts at 1 while grown
+// peers are at 2), equal fingerprints mean two nodes agree on exactly who
+// is in the machine, so quiescence waves compare fingerprints.
+func (v *mapView) fingerprint() uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	for i, rg := range v.ranges {
+		mix(uint64(rg.Lo))
+		mix(uint64(rg.Hi))
+		if v.alive[i] {
+			mix(1)
+		} else {
+			mix(0)
+		}
+	}
+	return h
+}
+
 // LocalityMap records which node of a multi-process machine hosts each
-// locality. Node i hosts the contiguous range ranges[i]; together the
-// ranges partition [0, Localities()). The map is immutable after
-// construction — localities do not migrate between nodes — so lookups are
-// lock-free.
+// locality. Node i announces the contiguous range ranges[i]; together the
+// ranges partition [0, Localities()). The map is a versioned,
+// subscription-backed view: nodes join (AddNode) and die (MarkDead) at
+// runtime, each mutation publishing a new immutable snapshot and firing
+// the subscribed callbacks, while lookups stay lock-free snapshot reads.
 type LocalityMap struct {
-	ranges []Range
-	node   []int // locality -> node, precomputed
+	mu   sync.Mutex
+	view atomic.Pointer[mapView]
+	subs []func(MemberEvent)
 }
 
 // NewLocalityMap validates that ranges is a contiguous partition starting
-// at locality 0 and builds the map. Node i owns ranges[i].
+// at locality 0 and builds the map at version 1 with every node alive.
+// Node i owns ranges[i].
 func NewLocalityMap(ranges []Range) (*LocalityMap, error) {
 	if len(ranges) == 0 {
 		return nil, fmt.Errorf("agas: locality map needs at least one node")
@@ -41,12 +119,22 @@ func NewLocalityMap(ranges []Range) (*LocalityMap, error) {
 		next = rg.Hi
 		total = rg.Hi
 	}
-	m := &LocalityMap{ranges: append([]Range(nil), ranges...), node: make([]int, total)}
+	v := &mapView{
+		version: 1,
+		ranges:  append([]Range(nil), ranges...),
+		node:    make([]int, total),
+		alive:   make([]bool, len(ranges)),
+		lost:    make([]bool, total),
+	}
 	for i, rg := range ranges {
+		v.alive[i] = true
 		for loc := rg.Lo; loc < rg.Hi; loc++ {
-			m.node[loc] = i
+			v.node[loc] = i
 		}
 	}
+	v.fp = v.fingerprint()
+	m := &LocalityMap{}
+	m.view.Store(v)
 	return m, nil
 }
 
@@ -59,24 +147,158 @@ func MustLocalityMap(ranges []Range) *LocalityMap {
 	return m
 }
 
-// Nodes reports the number of nodes.
-func (m *LocalityMap) Nodes() int { return len(m.ranges) }
+// Nodes reports the number of nodes ever admitted (dead nodes keep their
+// slot; node IDs are never reused).
+func (m *LocalityMap) Nodes() int { return len(m.view.Load().ranges) }
 
 // Localities reports the global locality count.
-func (m *LocalityMap) Localities() int { return len(m.node) }
+func (m *LocalityMap) Localities() int { return len(m.view.Load().node) }
 
-// NodeOf reports the node hosting locality loc.
-func (m *LocalityMap) NodeOf(loc int) int {
-	if loc < 0 || loc >= len(m.node) {
-		panic(fmt.Sprintf("agas: locality %d outside map [0,%d)", loc, len(m.node)))
+// Version reports the membership version: 1 at construction, +1 per
+// join or death. Two nodes with equal versions have seen the same number
+// of membership changes.
+func (m *LocalityMap) Version() uint64 { return m.view.Load().version }
+
+// Fingerprint reports a hash of the membership composition (announced
+// ranges and alive bits). Two nodes with equal fingerprints agree on the
+// machine's membership even if they witnessed different event counts.
+func (m *LocalityMap) Fingerprint() uint64 { return m.view.Load().fp }
+
+// NodeOf reports the node currently hosting locality loc. ok is false
+// when loc is outside the map — a racing membership change surfaces as a
+// routable miss, never a panic.
+func (m *LocalityMap) NodeOf(loc int) (int, bool) {
+	v := m.view.Load()
+	if loc < 0 || loc >= len(v.node) {
+		return 0, false
 	}
-	return m.node[loc]
+	return v.node[loc], true
 }
 
-// NodeRange reports the locality range hosted by node n.
-func (m *LocalityMap) NodeRange(n int) Range {
-	if n < 0 || n >= len(m.ranges) {
-		panic(fmt.Sprintf("agas: node %d outside map [0,%d)", n, len(m.ranges)))
+// NodeRange reports the locality range node n announced when it entered
+// the machine (deaths re-home localities but do not rewrite announced
+// ranges). ok is false when n is outside the map.
+func (m *LocalityMap) NodeRange(n int) (Range, bool) {
+	v := m.view.Load()
+	if n < 0 || n >= len(v.ranges) {
+		return Range{}, false
 	}
-	return m.ranges[n]
+	return v.ranges[n], true
+}
+
+// Alive reports whether node n has not been declared dead. Unknown nodes
+// are not alive.
+func (m *LocalityMap) Alive(n int) bool {
+	v := m.view.Load()
+	return n >= 0 && n < len(v.alive) && v.alive[n]
+}
+
+// Lost reports whether locality loc was adopted off a dead node: its
+// authoritative directory state died with the original host, so a
+// resolution miss there means "node lost", not "never existed".
+func (m *LocalityMap) Lost(loc int) bool {
+	v := m.view.Load()
+	return loc >= 0 && loc < len(v.lost) && v.lost[loc]
+}
+
+// LiveNodes returns the node IDs not declared dead, ascending.
+func (m *LocalityMap) LiveNodes() []int {
+	v := m.view.Load()
+	live := make([]int, 0, len(v.alive))
+	for n, a := range v.alive {
+		if a {
+			live = append(live, n)
+		}
+	}
+	return live
+}
+
+// Subscribe registers fn to run on every subsequent membership change.
+// Callbacks fire synchronously, in registration order, after the new
+// snapshot is published; they must not call back into the map's mutating
+// methods.
+func (m *LocalityMap) Subscribe(fn func(MemberEvent)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.subs = append(m.subs, fn)
+}
+
+// clone copies the current view for mutation.
+func (v *mapView) clone() *mapView {
+	return &mapView{
+		version: v.version,
+		ranges:  append([]Range(nil), v.ranges...),
+		node:    append([]int(nil), v.node...),
+		alive:   append([]bool(nil), v.alive...),
+		lost:    append([]bool(nil), v.lost...),
+	}
+}
+
+// publish stores the bumped view and fires subscribers. Callers hold mu.
+func (m *LocalityMap) publish(v *mapView, ev MemberEvent) MemberEvent {
+	v.version++
+	v.fp = v.fingerprint()
+	ev.Version = v.version
+	m.view.Store(v)
+	for _, fn := range m.subs {
+		fn(ev)
+	}
+	return ev
+}
+
+// AddNode admits a joining node announcing range r, which must continue
+// the partition exactly where the map ends. It returns the new node's ID.
+func (m *LocalityMap) AddNode(r Range) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v := m.view.Load()
+	if r.Lo != len(v.node) || r.Hi <= r.Lo {
+		return 0, fmt.Errorf("agas: joining range %v does not continue partition at %d", r, len(v.node))
+	}
+	next := v.clone()
+	n := len(next.ranges)
+	next.ranges = append(next.ranges, r)
+	next.alive = append(next.alive, true)
+	for loc := r.Lo; loc < r.Hi; loc++ {
+		next.node = append(next.node, n)
+		next.lost = append(next.lost, false)
+	}
+	m.publish(next, MemberEvent{Kind: MemberJoined, Node: n, Range: r, Adopter: -1})
+	return n, nil
+}
+
+// MarkDead declares node n dead and re-homes every locality it currently
+// hosts (including ones it previously adopted) onto the lowest-numbered
+// surviving node, marking them lost. It reports the event and whether the
+// call changed anything — marking an unknown or already-dead node is a
+// no-op.
+func (m *LocalityMap) MarkDead(n int) (MemberEvent, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v := m.view.Load()
+	if n < 0 || n >= len(v.alive) || !v.alive[n] {
+		return MemberEvent{}, false
+	}
+	next := v.clone()
+	next.alive[n] = false
+	adopter := -1
+	for i, a := range next.alive {
+		if a {
+			adopter = i
+			break
+		}
+	}
+	var moved []int
+	for loc, host := range next.node {
+		if host != n {
+			continue
+		}
+		moved = append(moved, loc)
+		next.lost[loc] = true
+		if adopter >= 0 {
+			next.node[loc] = adopter
+		}
+	}
+	ev := m.publish(next, MemberEvent{Kind: MemberDied, Node: n, Adopter: adopter, Moved: moved})
+	return ev, true
 }

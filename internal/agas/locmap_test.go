@@ -15,12 +15,15 @@ func TestLocalityMapPartition(t *testing.T) {
 	}
 	wantNode := []int{0, 0, 1, 1, 1, 2}
 	for loc, want := range wantNode {
-		if got := m.NodeOf(loc); got != want {
-			t.Errorf("NodeOf(%d) = %d, want %d", loc, got, want)
+		if got, ok := m.NodeOf(loc); !ok || got != want {
+			t.Errorf("NodeOf(%d) = %d, %v, want %d", loc, got, ok, want)
 		}
 	}
-	if rg := m.NodeRange(1); rg != (Range{2, 5}) {
-		t.Errorf("NodeRange(1) = %v", rg)
+	if rg, ok := m.NodeRange(1); !ok || rg != (Range{2, 5}) {
+		t.Errorf("NodeRange(1) = %v, %v", rg, ok)
+	}
+	if m.Version() != 1 {
+		t.Errorf("fresh map version = %d, want 1", m.Version())
 	}
 
 	for _, bad := range [][]Range{
@@ -51,17 +54,91 @@ func mustPanic(t *testing.T, what string, fn func()) {
 
 func TestLocalityMapOutOfRangeLookups(t *testing.T) {
 	m := MustLocalityMap([]Range{{0, 2}, {2, 4}})
-	// A locality not in any node range is a hard error, not node 0: a
-	// silent default would route parcels to the wrong process.
-	mustPanic(t, "NodeOf(-1)", func() { m.NodeOf(-1) })
-	mustPanic(t, "NodeOf(4)", func() { m.NodeOf(4) })
-	mustPanic(t, "NodeRange(-1)", func() { m.NodeRange(-1) })
-	mustPanic(t, "NodeRange(2)", func() { m.NodeRange(2) })
+	// A locality not in any node range is a routable miss, not node 0 and
+	// not a panic: a racing membership change must surface as an error the
+	// caller can turn into a typed failure, never a process crash.
+	if _, ok := m.NodeOf(-1); ok {
+		t.Error("NodeOf(-1) ok")
+	}
+	if _, ok := m.NodeOf(4); ok {
+		t.Error("NodeOf(4) ok")
+	}
+	if _, ok := m.NodeRange(-1); ok {
+		t.Error("NodeRange(-1) ok")
+	}
+	if _, ok := m.NodeRange(2); ok {
+		t.Error("NodeRange(2) ok")
+	}
 	if !((Range{0, 2}).Contains(1)) || (Range{0, 2}).Contains(2) {
 		t.Error("Range.Contains is not half-open")
 	}
 	if (Range{3, 7}).Count() != 4 {
 		t.Error("Range.Count wrong")
+	}
+}
+
+func TestLocalityMapJoinAndDeath(t *testing.T) {
+	m := MustLocalityMap([]Range{{0, 2}, {2, 4}})
+	var events []MemberEvent
+	m.Subscribe(func(ev MemberEvent) { events = append(events, ev) })
+
+	// A join must continue the partition exactly where the map ends.
+	if _, err := m.AddNode(Range{5, 7}); err == nil {
+		t.Error("gapped join accepted")
+	}
+	if _, err := m.AddNode(Range{4, 4}); err == nil {
+		t.Error("empty join accepted")
+	}
+	n, err := m.AddNode(Range{4, 6})
+	if err != nil || n != 2 {
+		t.Fatalf("AddNode = %d, %v", n, err)
+	}
+	if m.Nodes() != 3 || m.Localities() != 6 || m.Version() != 2 {
+		t.Fatalf("after join: %d nodes, %d localities, version %d",
+			m.Nodes(), m.Localities(), m.Version())
+	}
+	if host, ok := m.NodeOf(5); !ok || host != 2 {
+		t.Fatalf("NodeOf(5) = %d, %v", host, ok)
+	}
+
+	// Death re-homes the corpse's localities onto the lowest live node and
+	// marks them lost; announced ranges are preserved.
+	ev, changed := m.MarkDead(1)
+	if !changed || ev.Adopter != 0 || len(ev.Moved) != 2 || ev.Moved[0] != 2 || ev.Moved[1] != 3 {
+		t.Fatalf("MarkDead(1) = %+v, %v", ev, changed)
+	}
+	if m.Alive(1) || !m.Alive(0) || !m.Alive(2) {
+		t.Fatal("liveness after death wrong")
+	}
+	if host, ok := m.NodeOf(2); !ok || host != 0 {
+		t.Fatalf("adopted NodeOf(2) = %d, %v", host, ok)
+	}
+	if !m.Lost(2) || !m.Lost(3) || m.Lost(0) || m.Lost(4) {
+		t.Fatal("lost flags wrong")
+	}
+	if rg, ok := m.NodeRange(1); !ok || rg != (Range{2, 4}) {
+		t.Fatalf("announced range rewritten: %v, %v", rg, ok)
+	}
+	// Marking a dead node again is a no-op.
+	if _, changed := m.MarkDead(1); changed {
+		t.Fatal("double MarkDead changed the map")
+	}
+	if got := m.LiveNodes(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("LiveNodes = %v", got)
+	}
+	if len(events) != 2 || events[0].Kind != MemberJoined || events[1].Kind != MemberDied {
+		t.Fatalf("events = %+v", events)
+	}
+
+	// A second death cascades the already-adopted localities onward.
+	ev, changed = m.MarkDead(0)
+	if !changed || ev.Adopter != 2 || len(ev.Moved) != 4 {
+		t.Fatalf("MarkDead(0) = %+v, %v", ev, changed)
+	}
+	for loc := 0; loc < 4; loc++ {
+		if host, ok := m.NodeOf(loc); !ok || host != 2 {
+			t.Fatalf("NodeOf(%d) = %d, %v after cascade", loc, host, ok)
+		}
 	}
 }
 

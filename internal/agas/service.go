@@ -96,6 +96,14 @@ func (c *cowEntries) mutate(fn func(m map[GID]entry)) {
 // benignly late rather than as a fault.
 var ErrUnknown = errors.New("agas: unknown name")
 
+// ErrNodeLost reports a resolution against a locality that was re-homed
+// off a dead node: the authoritative directory shard died with its host,
+// so the name is not merely unknown — whatever it named is gone. The
+// message doubles as the wire marker (see core.IsNodeLost) because
+// failure continuations flatten errors to strings across node
+// boundaries.
+var ErrNodeLost = errors.New("px: node lost")
+
 // ErrMoved reports that an object is no longer where the resolver last
 // knew it: a forwarding pointer, left by a departed migration, answered
 // instead of an authoritative directory. Resolutions wrapping ErrMoved
@@ -137,11 +145,14 @@ func (e *MovedError) Unwrap() error { return ErrMoved }
 //     node, so in-flight parcels chase at most one hop instead of
 //     bouncing through the home directory.
 type Service struct {
-	n      int
-	seq    atomic.Uint64
-	dirs   []*directory
-	caches []*translationCache
-	ns     *Namespace
+	seq atomic.Uint64
+	ns  *Namespace
+
+	// shards holds the per-locality directories and translation caches
+	// behind one atomic snapshot, so the per-parcel resolve path stays a
+	// lock-free load while Grow (a membership join) appends localities.
+	shards atomic.Pointer[svcShards]
+	growMu sync.Mutex
 
 	// imports: objects hosted by this node whose home locality is on
 	// another node (installed by an inbound migration). Copy-on-write:
@@ -170,32 +181,60 @@ type Service struct {
 	Forwards    atomic.Uint64
 }
 
+// svcShards is one immutable snapshot of the per-locality structures.
+type svcShards struct {
+	n      int
+	dirs   []*directory
+	caches []*translationCache
+}
+
 // NewService creates an AGAS over n localities.
 func NewService(n int) *Service {
 	if n <= 0 {
 		panic("agas: locality count must be positive")
 	}
 	s := &Service{
-		n:        n,
 		ns:       NewNamespace(),
 		imports:  newCOWEntries(),
 		forwards: newCOWEntries(),
 	}
-	s.dirs = make([]*directory, n)
-	s.caches = make([]*translationCache, n)
+	sh := &svcShards{n: n, dirs: make([]*directory, n), caches: make([]*translationCache, n)}
 	for i := 0; i < n; i++ {
-		s.dirs[i] = &directory{}
-		s.caches[i] = &translationCache{}
+		sh.dirs[i] = &directory{}
+		sh.caches[i] = &translationCache{}
 	}
+	s.shards.Store(sh)
 	return s
+}
+
+// Grow extends the service to n localities (a membership join announced
+// new ones). Existing directories and caches are shared by the new
+// snapshot; growth to a smaller or equal count is a no-op.
+func (s *Service) Grow(n int) {
+	s.growMu.Lock()
+	defer s.growMu.Unlock()
+	old := s.shards.Load()
+	if n <= old.n {
+		return
+	}
+	sh := &svcShards{
+		n:      n,
+		dirs:   append(append(make([]*directory, 0, n), old.dirs...), make([]*directory, n-old.n)...),
+		caches: append(append(make([]*translationCache, 0, n), old.caches...), make([]*translationCache, n-old.n)...),
+	}
+	for i := old.n; i < n; i++ {
+		sh.dirs[i] = &directory{}
+		sh.caches[i] = &translationCache{}
+	}
+	s.shards.Store(sh)
 }
 
 // SetDistribution marks this service as node selfNode of a multi-process
 // machine partitioned by m. It must be called before any allocation and m
 // must span exactly the service's locality count.
 func (s *Service) SetDistribution(m *LocalityMap, selfNode int) {
-	if m.Localities() != s.n {
-		panic(fmt.Sprintf("agas: locality map spans %d localities, service %d", m.Localities(), s.n))
+	if m.Localities() != s.shards.Load().n {
+		panic(fmt.Sprintf("agas: locality map spans %d localities, service %d", m.Localities(), s.shards.Load().n))
 	}
 	if selfNode < 0 || selfNode >= m.Nodes() {
 		panic(fmt.Sprintf("agas: node %d outside map of %d nodes", selfNode, m.Nodes()))
@@ -207,11 +246,28 @@ func (s *Service) SetDistribution(m *LocalityMap, selfNode int) {
 // resident reports whether locality loc is hosted by this node (always
 // true for a single-process machine).
 func (s *Service) resident(loc int) bool {
-	return s.lmap == nil || s.lmap.NodeOf(loc) == s.selfNode
+	if s.lmap == nil {
+		return true
+	}
+	n, ok := s.lmap.NodeOf(loc)
+	return ok && n == s.selfNode
+}
+
+// hostOf names the node hosting locality loc for error messages (-1 when
+// the locality is outside the map).
+func (s *Service) hostOf(loc int) int {
+	if s.lmap == nil {
+		return s.selfNode
+	}
+	n, ok := s.lmap.NodeOf(loc)
+	if !ok {
+		return -1
+	}
+	return n
 }
 
 // Localities reports the number of localities the service spans.
-func (s *Service) Localities() int { return s.n }
+func (s *Service) Localities() int { return s.shards.Load().n }
 
 // Namespace returns the symbolic hierarchical namespace.
 func (s *Service) Namespace() *Namespace { return s.ns }
@@ -225,10 +281,10 @@ func (s *Service) Alloc(home int, kind Kind) GID {
 	}
 	if !s.resident(home) {
 		panic(fmt.Sprintf("agas: alloc homed at locality %d, hosted by node %d not node %d",
-			home, s.lmap.NodeOf(home), s.selfNode))
+			home, s.hostOf(home), s.selfNode))
 	}
 	g := GID{Home: uint32(home), Kind: kind, Seq: s.seq.Add(1)}
-	s.dirs[home].entries.Store(g, &entry{owner: home, gen: 1})
+	s.shards.Load().dirs[home].entries.Store(g, &entry{owner: home, gen: 1})
 	return g
 }
 
@@ -253,7 +309,7 @@ func (s *Service) AllocHardware(home int) GID {
 		panic(fmt.Sprintf("agas: hardware name for locality %d registered off its node", home))
 	}
 	g := HardwareGID(home)
-	s.dirs[home].entries.Store(g, &entry{owner: home, gen: 1})
+	s.shards.Load().dirs[home].entries.Store(g, &entry{owner: home, gen: 1})
 	return g
 }
 
@@ -290,7 +346,7 @@ func (s *Service) AllocWellKnown(home int, kind Kind, slot int) GID {
 		panic(fmt.Sprintf("agas: well-known name for locality %d registered off its node", home))
 	}
 	g := WellKnownGID(home, kind, slot)
-	s.dirs[home].entries.LoadOrStore(g, &entry{owner: home, gen: 1})
+	s.shards.Load().dirs[home].entries.LoadOrStore(g, &entry{owner: home, gen: 1})
 	return g
 }
 
@@ -330,8 +386,9 @@ func (s *Service) OwnerGen(g GID) (int, uint64, error) {
 		return 0, 0, fmt.Errorf("agas: resolve of nil GID")
 	}
 	home := int(g.Home)
-	if home >= s.n {
-		return 0, 0, fmt.Errorf("agas: %v homed beyond machine (%d localities)", g, s.n)
+	sh := s.shards.Load()
+	if home >= sh.n {
+		return 0, 0, fmt.Errorf("agas: %v homed beyond machine (%d localities)", g, sh.n)
 	}
 	if e, ok := s.imports.get(g); ok {
 		return e.owner, e.gen, nil
@@ -342,8 +399,15 @@ func (s *Service) OwnerGen(g GID) (int, uint64, error) {
 		}
 		return home, 0, nil
 	}
-	e, ok := s.dirs[home].load(g)
+	e, ok := sh.dirs[home].load(g)
 	if !ok {
+		// A miss in an adopted directory shard is not "never existed":
+		// the authoritative entries died with the locality's original
+		// host. Surface the typed verdict so LCO waiters and serving
+		// clients see a node loss, not a benign unknown name.
+		if s.lmap != nil && s.lmap.Lost(home) {
+			return 0, 0, fmt.Errorf("%w: %v (locality %d re-homed off a dead node)", ErrNodeLost, g, home)
+		}
 		return 0, 0, fmt.Errorf("%w: %v", ErrUnknown, g)
 	}
 	return e.owner, e.gen, nil
@@ -359,7 +423,7 @@ func (s *Service) OwnerGen(g GID) (int, uint64, error) {
 // send — is one lock-free load of an immutable line.
 func (s *Service) ResolveCached(from int, g GID) (int, error) {
 	s.checkLoc(from)
-	c := s.caches[from]
+	c := s.shards.Load().caches[from]
 	if v, ok := c.m.Load(g); ok {
 		s.CacheHits.Add(1)
 		return v.(*cacheLine).owner, nil
@@ -406,7 +470,7 @@ func (s *Service) ResolveAuthoritative(from int, g GID) (int, uint64, error) {
 		return 0, 0, err
 	}
 	s.Resolutions.Add(1)
-	s.caches[from].store(g, owner, gen)
+	s.shards.Load().caches[from].store(g, owner, gen)
 	return owner, gen, nil
 }
 
@@ -414,7 +478,7 @@ func (s *Service) ResolveAuthoritative(from int, g GID) (int, uint64, error) {
 // next ResolveCached to consult the home directory. It records a forward.
 func (s *Service) Invalidate(from int, g GID) {
 	s.checkLoc(from)
-	s.caches[from].m.Delete(g)
+	s.shards.Load().caches[from].m.Delete(g)
 	s.Forwards.Add(1)
 }
 
@@ -424,7 +488,7 @@ func (s *Service) Invalidate(from int, g GID) {
 // older than what a cache already knows is ignored, so racing verdicts
 // from interleaved migrations converge on the newest generation.
 func (s *Service) Repoint(g GID, owner int, gen uint64) {
-	for _, c := range s.caches {
+	for _, c := range s.shards.Load().caches {
 		for {
 			old, ok := c.m.Load(g)
 			if !ok || old.(*cacheLine).gen >= gen {
@@ -446,13 +510,14 @@ func (s *Service) Repoint(g GID, owner int, gen uint64) {
 func (s *Service) Migrate(g GID, to int) error {
 	s.checkLoc(to)
 	home := int(g.Home)
-	if home >= s.n {
+	sh := s.shards.Load()
+	if home >= sh.n {
 		return fmt.Errorf("agas: %v homed beyond machine", g)
 	}
 	if !s.resident(home) {
-		return fmt.Errorf("agas: directory for %v is on node %d; commit the migration there", g, s.lmap.NodeOf(home))
+		return fmt.Errorf("agas: directory for %v is on node %d; commit the migration there", g, s.hostOf(home))
 	}
-	d := s.dirs[home]
+	d := sh.dirs[home]
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	e, ok := d.load(g)
@@ -471,13 +536,14 @@ func (s *Service) Migrate(g GID, to int) error {
 func (s *Service) CommitMigration(g GID, to int, gen uint64) error {
 	s.checkLoc(to)
 	home := int(g.Home)
-	if home >= s.n {
+	sh := s.shards.Load()
+	if home >= sh.n {
 		return fmt.Errorf("agas: %v homed beyond machine", g)
 	}
 	if !s.resident(home) {
-		return fmt.Errorf("agas: directory for %v is on node %d; commit the migration there", g, s.lmap.NodeOf(home))
+		return fmt.Errorf("agas: directory for %v is on node %d; commit the migration there", g, s.hostOf(home))
 	}
-	d := s.dirs[home]
+	d := sh.dirs[home]
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	e, ok := d.load(g)
@@ -551,14 +617,15 @@ func (s *Service) Free(g GID) {
 	s.DropImport(g)
 	s.DropForward(g)
 	home := int(g.Home)
-	if home >= s.n || !s.resident(home) {
+	sh := s.shards.Load()
+	if home >= sh.n || !s.resident(home) {
 		return
 	}
 	// The delete serializes with Migrate/CommitMigration's read-modify-
 	// write on the same mutex: otherwise a concurrent migration that
 	// loaded the entry before this free could re-publish it afterwards,
 	// resurrecting the freed name in the directory.
-	d := s.dirs[home]
+	d := sh.dirs[home]
 	d.mu.Lock()
 	d.entries.Delete(g)
 	d.mu.Unlock()
@@ -570,7 +637,8 @@ func (s *Service) Free(g GID) {
 // hosted object.
 func (s *Service) Generation(g GID) (uint64, error) {
 	home := int(g.Home)
-	if home >= s.n {
+	sh := s.shards.Load()
+	if home >= sh.n {
 		return 0, fmt.Errorf("agas: %v homed beyond machine", g)
 	}
 	if !s.resident(home) {
@@ -579,7 +647,7 @@ func (s *Service) Generation(g GID) (uint64, error) {
 		}
 		return 0, fmt.Errorf("agas: generation of %v only known to its home node", g)
 	}
-	e, ok := s.dirs[home].load(g)
+	e, ok := sh.dirs[home].load(g)
 	if !ok {
 		return 0, fmt.Errorf("agas: unknown name %v", g)
 	}
@@ -587,7 +655,7 @@ func (s *Service) Generation(g GID) (uint64, error) {
 }
 
 func (s *Service) checkLoc(i int) {
-	if i < 0 || i >= s.n {
-		panic(fmt.Sprintf("agas: locality %d out of range [0,%d)", i, s.n))
+	if n := s.shards.Load().n; i < 0 || i >= n {
+		panic(fmt.Sprintf("agas: locality %d out of range [0,%d)", i, n))
 	}
 }

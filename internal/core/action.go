@@ -386,7 +386,7 @@ func (c *Context) Await(f *lco.Future) (any, error) {
 	var v any
 	var err error
 	start := now()
-	c.rt.locs[c.loc].Suspend(func() { v, err = f.Get() })
+	c.rt.loc(c.loc).Suspend(func() { v, err = f.Get() })
 	c.rt.slow.Waiting.ObserveDuration(now().Sub(start))
 	if t, ok := c.th.(interface{ Resume() error }); ok {
 		t.Resume()

@@ -68,8 +68,8 @@ func (r *Runtime) MarkSheddable(names ...string) {
 // rejected with ErrOverloaded.
 func (r *Runtime) Sheds() uint64 {
 	var n uint64
-	for _, l := range r.locs {
-		if l != nil {
+	for i := range r.locs {
+		if l := r.locs[i].Load(); l != nil {
 			n += l.Sheds()
 		}
 	}

@@ -21,9 +21,9 @@ func (r *Runtime) residentAnchorOwner(anchor agas.GID) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("core: affinity anchor: %w", err)
 	}
-	if r.locs[owner] == nil {
+	if r.loc(owner) == nil {
 		return 0, fmt.Errorf("core: affinity anchor %v is owned by node %d, not this node %d",
-			anchor, r.dist.lmap.NodeOf(owner), r.dist.node)
+			anchor, r.nodeOf(owner), r.dist.node)
 	}
 	return owner, nil
 }
@@ -92,7 +92,7 @@ func (r *Runtime) Colocated(gids ...agas.GID) (bool, error) {
 		if err != nil {
 			return 0, err
 		}
-		if home := int(g.Home); home < len(r.locs) && r.locs[home] == nil {
+		if home := int(g.Home); home < len(r.locs) && r.loc(home) == nil {
 			return 0, fmt.Errorf("core: current owner of %v is only known to its home node", g)
 		}
 		return owner, nil

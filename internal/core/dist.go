@@ -34,6 +34,8 @@ const (
 	fLCOSet     = byte(13) // LCO trigger: u64 tid | u8 op | gid | u32 slot | u32 hops | u32 vlen | value
 	fLCOFire    = byte(14) // LCO resolution delivery to a waiter; same body as fLCOSet
 	fLCOAck     = byte(15) // LCO trigger receipt: u64 tid; stops retransmission
+	fBeat       = byte(16) // membership heartbeat: u64 locality-map fingerprint
+	fDead       = byte(17) // authoritative death verdict: u16 node
 )
 
 // distState is the runtime's view of the multi-node machine: the frame
@@ -57,17 +59,23 @@ type distState struct {
 	sent atomic.Int64 // parcel frames sent (successfully handed to the transport)
 	recv atomic.Int64 // parcel frames received
 
+	// peerTab is the per-peer lane state: parcel counters, the
+	// sent-but-unacked count whose work units a death must release,
+	// capability bits from the peer's hello, liveness, and the phi
+	// detector. It grows copy-on-write as nodes join.
+	peerTab atomic.Pointer[[]*peerState]
+	growMu  sync.Mutex
+
+	// mb is the membership protocol state; nil when membership is off
+	// (fixed machine, or the transport cannot grow).
+	mb *memberState
+
 	// intern carries the per-peer action tables; internedSent/internedRecv
 	// count fParcelI traffic (observability, and the mixed-mode tests'
 	// assertion that interning actually engaged).
 	intern       *internState
 	internedSent atomic.Uint64
 	internedRecv atomic.Uint64
-
-	// traced records, per peer, whether its hello announced the
-	// trace-context capability; trailers are appended only toward peers
-	// that did (see intern.go for the negotiation precedent).
-	traced []atomic.Bool
 
 	drainMu  sync.Mutex
 	drainSeq uint64
@@ -105,22 +113,29 @@ type drainReply struct {
 	node       int
 	pending    int64
 	sent, recv uint64
+	fp         uint64 // replier's membership fingerprint
 }
 
 func newDistState(r *Runtime, tr transport.Transport, node int, lmap *agas.LocalityMap) *distState {
-	return &distState{
+	hr, _ := lmap.NodeRange(node)
+	d := &distState{
 		rt:       r,
 		tr:       tr,
 		node:     node,
 		lmap:     lmap,
-		home:     lmap.NodeRange(node).Lo,
+		home:     hr.Lo,
 		intern:   newInternState(tr.Nodes()),
-		traced:   make([]atomic.Bool, tr.Nodes()),
 		drains:   make(map[uint64]chan drainReply),
 		departed: make(map[int]drainReply),
 		rpc:      make(map[uint64]chan rpcReply),
 		halt:     make(chan struct{}),
 	}
+	tab := make([]*peerState, tr.Nodes())
+	for i := range tab {
+		tab[i] = &peerState{}
+	}
+	d.peerTab.Store(&tab)
+	return d
 }
 
 // onFrame is the transport receive handler. It runs on transport
@@ -130,6 +145,16 @@ func (d *distState) onFrame(from int, frame []byte) {
 		d.rt.recordError(fmt.Errorf("core: empty frame from node %d", from))
 		return
 	}
+	// An armed crash or partition destroys the frame before the runtime
+	// sees it — the node is mute, not misbehaving.
+	if f := d.rt.faults; f != nil && f.silence(d.node, from) {
+		return
+	}
+	// A death verdict is final: frames from the declared-dead are dropped,
+	// so a zombie (or a healed partition) cannot re-enter the accounting.
+	if d.peerDead(from) {
+		return
+	}
 	switch frame[0] {
 	case fParcel:
 		d.onParcel(from, frame[1:], false)
@@ -137,9 +162,9 @@ func (d *distState) onFrame(from int, frame []byte) {
 		d.internedRecv.Add(1)
 		d.onParcel(from, frame[1:], true)
 	case fAck:
-		d.rt.doneWork()
+		d.onAck(from)
 	case fAckMoved:
-		d.rt.doneWork()
+		d.onAck(from)
 		d.onMovedVerdict(frame[1:])
 	case fMigrate:
 		d.onMigrate(from, frame[1:])
@@ -169,10 +194,40 @@ func (d *distState) onFrame(from int, frame []byte) {
 			recv: binary.LittleEndian.Uint64(frame[9:17]),
 		}
 		d.drainMu.Unlock()
+		// A clean departure ends monitoring: the peer's coming silence must
+		// not read as a death (see memberState.check and declareDead).
+		if ps := d.ensurePeer(from); ps != nil {
+			ps.departed.Store(true)
+		}
 	case fHalt:
 		d.haltOnce.Do(func() { close(d.halt) })
+	case fBeat:
+		d.onBeat(from, frame[1:])
+	case fDead:
+		d.onDead(from, frame[1:])
 	default:
 		d.rt.recordError(fmt.Errorf("core: unknown frame type %d from node %d", frame[0], from))
+	}
+}
+
+// onAck releases the work unit held by one acknowledged parcel. If the
+// peer was declared dead in the window between our send and its ack, the
+// death cleanup already released every unit charged to that lane, so a
+// straggler ack must not release a second time.
+func (d *distState) onAck(from int) {
+	ps := d.peer(from)
+	if ps == nil {
+		d.rt.doneWork()
+		return
+	}
+	ps.mu.Lock()
+	live := !ps.dead.Load() && ps.outstanding > 0
+	if live {
+		ps.outstanding--
+	}
+	ps.mu.Unlock()
+	if live {
+		d.rt.doneWork()
 	}
 }
 
@@ -188,6 +243,9 @@ func (d *distState) onFrame(from int, frame []byte) {
 // path, which releases it when dispatch completes.
 func (d *distState) onParcel(from int, body []byte, interned bool) {
 	d.recv.Add(1)
+	if ps := d.ensurePeer(from); ps != nil {
+		ps.recv.Add(1)
+	}
 	var p *parcel.Parcel
 	var rest []byte
 	var err error
@@ -249,7 +307,12 @@ func (d *distState) deliver(p *parcel.Parcel, owner int, err error) {
 		r.deliverFailure(d.home, p, err)
 		return
 	}
-	if node := d.lmap.NodeOf(owner); node != d.node {
+	node, known := d.lmap.NodeOf(owner)
+	if !known {
+		r.deliverFailure(d.home, p, fmt.Errorf("core: owner locality %d outside machine: %w", owner, agas.ErrUnknown))
+		return
+	}
+	if node != d.node {
 		r.forward(d.home, p) // charges the new routing leg...
 		r.doneWork()         // ...so this one is released here
 		return
@@ -262,17 +325,20 @@ func (d *distState) deliver(p *parcel.Parcel, owner int, err error) {
 // connection race the handshake only on transports without hello support,
 // where the capability never engages at all).
 func (d *distState) tracedPeer(node int) bool {
-	if node < 0 || node >= len(d.traced) {
-		return false
-	}
-	return d.traced[node].Load()
+	ps := d.peer(node)
+	return ps != nil && ps.traced.Load()
 }
 
 // sendRetry delivers a frame, retrying once: a Send error means
 // non-delivery, and the second attempt redials a connection that went
 // stale since its last use, so a single transient break cannot lose a
-// frame between two healthy nodes.
+// frame between two healthy nodes. An armed crash or partition destroys
+// the frame here and reports success — from this node's perspective the
+// bytes left; the network ate them.
 func (d *distState) sendRetry(node int, frame []byte) error {
+	if f := d.rt.faults; f != nil && f.silence(d.node, node) {
+		return nil
+	}
 	err := d.tr.Send(node, frame)
 	if err != nil {
 		err = d.tr.Send(node, frame)
@@ -292,7 +358,7 @@ func (d *distState) ackParcel(node int, resolved bool, g agas.GID, owner int, ge
 	frame := ackFrame
 	// gen 0 is an unversioned route-toward-home guess, not knowledge
 	// worth teaching the sender.
-	if resolved && err == nil && gen > 0 && d.lmap.NodeOf(owner) != d.node {
+	if n, known := d.lmap.NodeOf(owner); resolved && err == nil && gen > 0 && known && n != d.node {
 		frame = make([]byte, 0, 1+agas.GIDSize+12)
 		frame = append(frame, fAckMoved)
 		frame = g.Encode(frame)
@@ -336,6 +402,23 @@ func (d *distState) onMovedVerdict(body []byte) {
 // returns to its pool once the transport has taken the bytes, and the
 // parcel itself is released unless it was recycled into the failure path.
 func (d *distState) sendParcel(node, src int, p *parcel.Parcel) {
+	ps := d.ensurePeer(node)
+	if ps == nil {
+		d.rt.deliverFailure(src, p, fmt.Errorf("core: node %d outside machine: %w", node, agas.ErrUnknown))
+		return
+	}
+	// A parcel toward the declared-dead fails fast with the typed loss
+	// error instead of dialing a corpse. The outstanding count is taken
+	// under the lane lock so a racing death declaration either sees this
+	// parcel's unit and releases it, or never sees it at all.
+	ps.mu.Lock()
+	if ps.dead.Load() {
+		ps.mu.Unlock()
+		d.rt.deliverFailure(src, p, fmt.Errorf("core: node %d: %w", node, agas.ErrNodeLost))
+		return
+	}
+	ps.outstanding++
+	ps.mu.Unlock()
 	// The wire.send span is emitted before encoding so the trailer names
 	// it as the receiving hop's parent.
 	d.rt.emitSpan(trace.SpanWireSend, src, &p.Trace, p.Action)
@@ -355,10 +438,25 @@ func (d *distState) sendParcel(node, src int, p *parcel.Parcel) {
 		w.B = p.Trace.Append(w.B)
 	}
 	d.sent.Add(1)
+	ps.sent.Add(1)
 	err := d.sendRetry(node, w.B)
 	parcel.PutWire(w) // Send has copied the bytes (batch buffer or socket)
 	if err != nil {
 		d.sent.Add(-1)
+		ps.sent.Add(-1)
+		// Undo the outstanding charge — unless a death raced in and
+		// already released this unit, in which case re-charge it so the
+		// failure delivery below releases a unit that exists.
+		ps.mu.Lock()
+		if ps.dead.Load() {
+			ps.mu.Unlock()
+			d.rt.addWork()
+		} else {
+			if ps.outstanding > 0 {
+				ps.outstanding--
+			}
+			ps.mu.Unlock()
+		}
 		d.rt.deliverFailure(src, p, fmt.Errorf("core: transport to node %d: %w", node, err))
 		return
 	}
@@ -496,7 +594,7 @@ func (d *distState) onMigrate(from int, body []byte) {
 		if err != nil {
 			return fmt.Errorf("payload: %w", err)
 		}
-		d.rt.locs[to].Store().Put(g, v)
+		d.rt.loc(to).Store().Put(g, v)
 		d.rt.agas.DropForward(g)
 		d.rt.agas.SetImport(g, to, gen)
 		d.rt.agas.Repoint(g, to, gen)
@@ -564,24 +662,44 @@ func (d *distState) onRPCReply(body []byte) {
 	}
 }
 
+// liveTotals sums this node's parcel counters over lanes to peers not
+// declared dead. Traffic exchanged with a corpse can never balance — its
+// side of the ledger died with it — so quiescence sums live lanes only;
+// both ends of a dead lane exclude it symmetrically because the death
+// verdict is gossiped machine-wide.
+func (d *distState) liveTotals() (sent, recv uint64) {
+	tab := *d.peerTab.Load()
+	for n, ps := range tab {
+		if n == d.node || ps == nil || ps.dead.Load() {
+			continue
+		}
+		sent += uint64(ps.sent.Load())
+		recv += uint64(ps.recv.Load())
+	}
+	return sent, recv
+}
+
 // replyDrain answers a quiescence probe with this node's instantaneous
-// accounting snapshot.
+// accounting snapshot over live lanes, stamped with its membership
+// fingerprint so a prober on a divergent view invalidates the wave.
 func (d *distState) replyDrain(to int, seq uint64) {
-	buf := make([]byte, 0, 33)
+	sent, recv := d.liveTotals()
+	buf := make([]byte, 0, 41)
 	buf = append(buf, fDrainReply)
 	buf = binary.LittleEndian.AppendUint64(buf, seq)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(d.rt.pending.Load()))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(d.sent.Load()))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(d.recv.Load()))
+	buf = binary.LittleEndian.AppendUint64(buf, sent)
+	buf = binary.LittleEndian.AppendUint64(buf, recv)
+	buf = binary.LittleEndian.AppendUint64(buf, d.lmap.Fingerprint())
 	if err := d.sendRetry(to, buf); err != nil {
 		d.rt.recordError(fmt.Errorf("core: drain reply to node %d: %w", to, err))
 	}
 }
 
 // decodeDrainReply parses the body of an fDrainReply frame:
-// u64 seq | i64 pending | u64 sent | u64 recv.
+// u64 seq | i64 pending | u64 sent | u64 recv | u64 fingerprint.
 func decodeDrainReply(from int, body []byte) (seq uint64, rep drainReply, ok bool) {
-	if len(body) < 32 {
+	if len(body) < 40 {
 		return 0, drainReply{}, false
 	}
 	return binary.LittleEndian.Uint64(body[0:8]), drainReply{
@@ -589,6 +707,7 @@ func decodeDrainReply(from int, body []byte) (seq uint64, rep drainReply, ok boo
 		pending: int64(binary.LittleEndian.Uint64(body[8:16])),
 		sent:    binary.LittleEndian.Uint64(body[16:24]),
 		recv:    binary.LittleEndian.Uint64(body[24:32]),
+		fp:      binary.LittleEndian.Uint64(body[32:40]),
 	}, true
 }
 
@@ -609,13 +728,15 @@ func (d *distState) onDrainReply(from int, body []byte) {
 }
 
 // probe runs one drain wave: ask every live peer for its snapshot and
-// combine with our own. ok is false when a peer could not be reached or
-// did not answer in time (the wave is then retried).
+// combine with our own. ok is false when a peer could not be reached, did
+// not answer in time, answered from a divergent membership view, or the
+// membership changed mid-wave (the wave is then retried).
 func (d *distState) probe() (allZero bool, sent, recv uint64, ok bool) {
+	fp := d.lmap.Fingerprint()
 	d.drainMu.Lock()
 	d.drainSeq++
 	seq := d.drainSeq
-	ch := make(chan drainReply, d.tr.Nodes())
+	ch := make(chan drainReply, d.lmap.Nodes())
 	d.drains[seq] = ch
 	gone := make(map[int]drainReply, len(d.departed))
 	for n, rep := range d.departed {
@@ -633,14 +754,18 @@ func (d *distState) probe() (allZero bool, sent, recv uint64, ok bool) {
 	probeFrame = binary.LittleEndian.AppendUint64(probeFrame, seq)
 
 	allZero = d.rt.pending.Load() == 0
-	sent, recv = uint64(d.sent.Load()), uint64(d.recv.Load())
+	sent, recv = d.liveTotals()
 	need := make(map[int]bool)
 	ok = true
-	for n := 0; n < d.tr.Nodes(); n++ {
-		if n == d.node {
+	for n := 0; n < d.lmap.Nodes(); n++ {
+		if n == d.node || d.peerDead(n) {
 			continue
 		}
 		if rep, departed := gone[n]; departed {
+			// A clean departure's stored totals predate any later death,
+			// so they may still count a since-dead lane; the machine-wide
+			// sums then never rebalance. Accepted: a crash after a clean
+			// shutdown has begun is outside the supported envelope.
 			sent += rep.sent
 			recv += rep.recv
 			continue
@@ -652,7 +777,9 @@ func (d *distState) probe() (allZero bool, sent, recv uint64, ok bool) {
 		need[n] = true
 	}
 	// Collect one answer per probed peer. A peer that departs mid-probe
-	// never answers; its goodbye record stands in for the reply.
+	// never answers; its goodbye record stands in for the reply. A peer
+	// declared dead mid-probe invalidates the wave — the next wave skips
+	// its lane on both sides.
 	timeout := time.After(500 * time.Millisecond)
 	tick := time.NewTicker(5 * time.Millisecond)
 	defer tick.Stop()
@@ -661,6 +788,9 @@ func (d *distState) probe() (allZero bool, sent, recv uint64, ok bool) {
 		case rep := <-ch:
 			if !need[rep.node] {
 				continue // duplicate or stale
+			}
+			if rep.fp != fp {
+				return false, 0, 0, false // divergent membership view
 			}
 			delete(need, rep.node)
 			if rep.pending != 0 {
@@ -678,9 +808,17 @@ func (d *distState) probe() (allZero bool, sent, recv uint64, ok bool) {
 				}
 			}
 			d.drainMu.Unlock()
+			for n := range need {
+				if d.peerDead(n) {
+					return false, 0, 0, false
+				}
+			}
 		case <-timeout:
 			return false, 0, 0, false
 		}
+	}
+	if d.lmap.Fingerprint() != fp {
+		return false, 0, 0, false // membership changed under the wave
 	}
 	return allZero, sent, recv, ok
 }
@@ -716,18 +854,19 @@ func (d *distState) waitGlobal() {
 // goodbye themselves are skipped — retrying into their closed listeners
 // would burn the whole dial budget for nothing.
 func (d *distState) goodbye() {
+	sent, recv := d.liveTotals()
 	buf := make([]byte, 0, 17)
 	buf = append(buf, fGoodbye)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(d.sent.Load()))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(d.recv.Load()))
+	buf = binary.LittleEndian.AppendUint64(buf, sent)
+	buf = binary.LittleEndian.AppendUint64(buf, recv)
 	d.drainMu.Lock()
 	gone := make(map[int]bool, len(d.departed))
 	for n := range d.departed {
 		gone[n] = true
 	}
 	d.drainMu.Unlock()
-	for n := 0; n < d.tr.Nodes(); n++ {
-		if n != d.node && !gone[n] {
+	for n := 0; n < d.lmap.Nodes(); n++ {
+		if n != d.node && !gone[n] && !d.peerDead(n) {
 			d.sendRetry(n, buf) // best effort: the peer may be gone anyway
 		}
 	}
@@ -737,8 +876,8 @@ func (d *distState) goodbye() {
 // channel. A halt that cannot be delivered leaves that peer running — it
 // is recorded, but only the operator can free an unreachable node.
 func (d *distState) requestHalt() {
-	for n := 0; n < d.tr.Nodes(); n++ {
-		if n != d.node {
+	for n := 0; n < d.lmap.Nodes(); n++ {
+		if n != d.node && !d.peerDead(n) {
 			if err := d.sendRetry(n, []byte{fHalt}); err != nil {
 				d.rt.recordError(fmt.Errorf("core: halt to node %d: %w", n, err))
 			}

@@ -16,8 +16,12 @@ func FuzzDistControlDecoders(f *testing.F) {
 	g := agas.GID{Home: 3, Kind: agas.KindData, Seq: 99}
 	f.Add(encodeMigHeader(fMigrate, 7, g, 2, 5, 0))
 	f.Add(append(encodeMigHeader(fDirUpdate, 1, g, 0, 1, 4), 0xde, 0xad, 0xbe, 0xef))
-	f.Add(encodeHello([]string{"px.lco.set", "app.frob"}, true, true))
-	f.Add(encodeHello(nil, false, true))
+	f.Add(encodeHello([]string{"px.lco.set", "app.frob"}, true, true, nil))
+	f.Add(encodeHello(nil, false, true, nil))
+	f.Add(encodeHello([]string{"px.lco.set"}, true, true, &memberHello{node: 3, lo: 12, hi: 16, addr: "127.0.0.1:9999"}))
+	f.Add(encodeHello(nil, false, false, &memberHello{node: 1, lo: 4, hi: 8, addr: "[::1]:70000"}))
+	f.Add(encodeBeat(0xdeadbeefcafef00d))
+	f.Add(encodeDead(7))
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
 	f.Add(bytes.Repeat([]byte{0x00}, 40))
@@ -36,7 +40,9 @@ func FuzzDistControlDecoders(f *testing.F) {
 			t.Fatalf("outcome %d message longer than input", xid)
 		}
 		decodeDrainReply(1, data)
-		if names, canIntern, canTrace, err := parseHello(data); err == nil && (canIntern || canTrace) {
+		decodeBeat(data)
+		decodeDead(data)
+		if names, canIntern, canTrace, mh, err := parseHello(data); err == nil && (canIntern || canTrace || mh != nil) {
 			// Accepted hellos re-encode canonically, capability bits intact.
 			// Names only travel under the interning bit: a hello may carry
 			// both, but receivers ignore (and re-encoders drop) the table
@@ -44,9 +50,15 @@ func FuzzDistControlDecoders(f *testing.F) {
 			if !canIntern {
 				names = nil
 			}
-			names2, ci2, ct2, err2 := parseHello(encodeHello(names, canIntern, canTrace))
+			names2, ci2, ct2, mh2, err2 := parseHello(encodeHello(names, canIntern, canTrace, mh))
 			if err2 != nil || ci2 != canIntern || ct2 != canTrace || len(names2) != len(names) {
 				t.Fatalf("hello did not round trip: %v vs %v (%v)", names, names2, err2)
+			}
+			if (mh == nil) != (mh2 == nil) {
+				t.Fatalf("member section did not round trip: %v vs %v", mh, mh2)
+			}
+			if mh != nil && *mh != *mh2 {
+				t.Fatalf("member section changed in round trip: %+v vs %+v", *mh, *mh2)
 			}
 		}
 	})

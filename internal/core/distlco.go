@@ -415,6 +415,7 @@ func (r *Runtime) SubscribeLCO(src int, g agas.GID, w Waiter) {
 func (r *Runtime) WaitLCO(src int, g agas.GID) *lco.Future {
 	fgid, fut := r.NewFutureAt(src)
 	fut.OnReady(func(any, error) { r.FreeObject(fgid) })
+	r.trackRemoteFuture(fgid, fut.OnReady, g)
 	r.SubscribeLCO(src, g, Waiter{Target: fgid, Op: TrigSet})
 	return fut
 }
@@ -457,7 +458,7 @@ func (r *Runtime) triggerLCO(src int, tid uint64, op TrigOp, slot uint32, g agas
 	}
 	if r.dist != nil {
 		if owner, err := r.agas.ResolveCached(src, g); err == nil {
-			if node := r.dist.lmap.NodeOf(owner); node != r.dist.node {
+			if node, known := r.dist.lmap.NodeOf(owner); known && node != r.dist.node {
 				r.dist.sendLCOTrigger(node, tid, op, slot, 0, g, value, fired, parcel.TraceCtx{})
 				return
 			}

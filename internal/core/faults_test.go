@@ -107,3 +107,47 @@ func TestNoFaultsByDefault(t *testing.T) {
 		t.Fatal("fault counters nonzero without injection")
 	}
 }
+
+// TestCrashAndPartitionFaultsAreDeterministic: the kill and partition
+// knobs count wire frames and flip at an exact count, so two injectors
+// with the same config silence exactly the same frame sequence — the
+// property that makes a failing chaos run replayable from its seed.
+func TestCrashAndPartitionFaultsAreDeterministic(t *testing.T) {
+	cfg := Faults{Seed: 99}.KillPeerAfter(2, 5).PartitionPeersAfter(0, 1, 3)
+	run := func() []bool {
+		f := newFaultState(cfg)
+		// A fixed interleaving of frames as seen by node 2 (the victim)
+		// and across the 0<->1 link.
+		var verdicts []bool
+		for i := 0; i < 20; i++ {
+			verdicts = append(verdicts, f.silence(2, i%2)) // node 2's boundary
+			verdicts = append(verdicts, f.silence(0, 1))   // the partitioned link
+			verdicts = append(verdicts, f.silence(1, 0))   // reverse direction
+			verdicts = append(verdicts, f.silence(1, 2))   // unrelated link: never muted
+		}
+		return verdicts
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("verdict %d diverged between identical configs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// The exact thresholds: frame KillAfter passes, frame KillAfter+1 mutes.
+	f := newFaultState(Faults{}.KillPeerAfter(0, 2))
+	got := []bool{f.silence(0, 1), f.silence(0, 1), f.silence(0, 1), f.silence(0, 1)}
+	want := []bool{false, false, true, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kill threshold off at frame %d: got %v want %v", i+1, got, want)
+		}
+	}
+	// Frames not involving the victim or the cut link are never silenced.
+	if f.silence(1, 2) {
+		t.Fatal("silenced a frame on an unrelated link")
+	}
+	// Zero knobs build no injector at all.
+	if newFaultState(Faults{DropOneIn: 0}) != nil {
+		t.Fatal("fault state built with nothing configured")
+	}
+}

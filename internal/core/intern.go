@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/parcel"
@@ -28,9 +29,16 @@ import (
 // see parcel.EncodeInterned).
 
 // Hello payload wire form: u8 version | u8 flags | u32 count |
-// count × (u16 len | name bytes).
+// count × (u16 len | name bytes) | [member section].
+//
+// Version 1 is the original form. Version 2 appends, when helloFlagMember
+// is set, the membership announcement after the action table:
+// u16 node | u32 lo | u32 hi | u16 addrlen | addr bytes. A hello without
+// the member section is still encoded as version 1, byte-identical to
+// older builds, so membership-off nodes interoperate untouched.
 const (
 	helloVersion    = 1
+	helloVersionV2  = 2
 	helloFlagIntern = 1 << 0
 	// helloFlagTrace announces the distributed-trace capability: a peer
 	// that sets it accepts (and may send) the fixed-size trace-context
@@ -40,6 +48,12 @@ const (
 	// an older build, or Config.DisableTraceContext — keeps receiving the
 	// plain frames it expects and traces degrade to local-only around it.
 	helloFlagTrace = 1 << 1
+	// helloFlagMember announces elastic-membership support: the sender
+	// beats, expects beats, and honors death verdicts. The member section
+	// carries its node ID, announced locality range, and dial address —
+	// which is how a joining node tells an established machine where to
+	// dial back.
+	helloFlagMember = 1 << 2
 
 	// maxInternActions bounds the announced table by entry count, and
 	// helloPrefix additionally bounds it by encoded bytes (the transport
@@ -69,10 +83,19 @@ func helloPrefix(names []string) int {
 	return n
 }
 
+// memberHello is the parsed membership section of a v2 hello.
+type memberHello struct {
+	node   int
+	lo, hi int
+	addr   string
+}
+
 // encodeHello encodes this node's capability announcement: the interning
 // action table (names in dense ID order, truncated to the helloPrefix
-// budgets; empty unless intern) and the trace-context capability bit.
-func encodeHello(names []string, intern, traced bool) []byte {
+// budgets; empty unless intern), the trace-context capability bit, and —
+// when mh is non-nil — the membership section. Without a member section
+// the encoding stays version 1, byte-identical to pre-membership builds.
+func encodeHello(names []string, intern, traced bool, mh *memberHello) []byte {
 	var flags byte
 	if intern {
 		flags |= helloFlagIntern
@@ -82,17 +105,32 @@ func encodeHello(names []string, intern, traced bool) []byte {
 	if traced {
 		flags |= helloFlagTrace
 	}
+	version := byte(helloVersion)
+	if mh != nil {
+		flags |= helloFlagMember
+		version = helloVersionV2
+	}
 	names = names[:helloPrefix(names)]
 	size := 6
 	for _, n := range names {
 		size += 2 + len(n)
 	}
+	if mh != nil {
+		size += 12 + len(mh.addr)
+	}
 	buf := make([]byte, 0, size)
-	buf = append(buf, helloVersion, flags)
+	buf = append(buf, version, flags)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(names)))
 	for _, n := range names {
 		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(n)))
 		buf = append(buf, n...)
+	}
+	if mh != nil {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(mh.node))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(mh.lo))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(mh.hi))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(mh.addr)))
+		buf = append(buf, mh.addr...)
 	}
 	return buf
 }
@@ -102,45 +140,64 @@ func encodeHello(names []string, intern, traced bool) []byte {
 // means "strings only". Unknown future versions are tolerated the same
 // way rather than rejected: the capability is an optimization, not a
 // correctness requirement.
-func parseHello(payload []byte) (names []string, canIntern, canTrace bool, err error) {
+func parseHello(payload []byte) (names []string, canIntern, canTrace bool, mh *memberHello, err error) {
 	if len(payload) == 0 {
-		return nil, false, false, nil
+		return nil, false, false, nil, nil
 	}
 	if len(payload) > transport.MaxHello {
 		// Defense in depth: transports already cap handshake payloads, so
 		// anything larger is corrupt. Bounding here also keeps accepted
 		// hellos inside the same byte budget encodeHello encodes to.
-		return nil, false, false, fmt.Errorf("core: %d-byte hello exceeds limit %d", len(payload), transport.MaxHello)
+		return nil, false, false, nil, fmt.Errorf("core: %d-byte hello exceeds limit %d", len(payload), transport.MaxHello)
 	}
-	if payload[0] != helloVersion {
-		return nil, false, false, nil
+	version := payload[0]
+	if version != helloVersion && version != helloVersionV2 {
+		return nil, false, false, nil, nil
 	}
 	if len(payload) < 6 {
-		return nil, false, false, fmt.Errorf("core: short hello payload (%d bytes)", len(payload))
+		return nil, false, false, nil, fmt.Errorf("core: short hello payload (%d bytes)", len(payload))
 	}
 	flags := payload[1]
 	count := int(binary.LittleEndian.Uint32(payload[2:6]))
 	src := payload[6:]
 	if count > maxInternActions {
-		return nil, false, false, fmt.Errorf("core: hello announces %d actions, limit %d", count, maxInternActions)
+		return nil, false, false, nil, fmt.Errorf("core: hello announces %d actions, limit %d", count, maxInternActions)
 	}
 	names = make([]string, 0, count)
 	for i := 0; i < count; i++ {
 		if len(src) < 2 {
-			return nil, false, false, fmt.Errorf("core: hello truncated at action %d", i)
+			return nil, false, false, nil, fmt.Errorf("core: hello truncated at action %d", i)
 		}
 		n := int(binary.LittleEndian.Uint16(src))
 		src = src[2:]
 		if len(src) < n {
-			return nil, false, false, fmt.Errorf("core: hello action %d truncated", i)
+			return nil, false, false, nil, fmt.Errorf("core: hello action %d truncated", i)
 		}
 		names = append(names, string(src[:n]))
 		src = src[n:]
 	}
-	if len(src) != 0 {
-		return nil, false, false, fmt.Errorf("core: %d trailing hello bytes", len(src))
+	if version >= helloVersionV2 && flags&helloFlagMember != 0 {
+		if len(src) < 12 {
+			return nil, false, false, nil, fmt.Errorf("core: hello member section truncated (%d bytes)", len(src))
+		}
+		m := &memberHello{
+			node: int(binary.LittleEndian.Uint16(src[0:2])),
+			lo:   int(binary.LittleEndian.Uint32(src[2:6])),
+			hi:   int(binary.LittleEndian.Uint32(src[6:10])),
+		}
+		alen := int(binary.LittleEndian.Uint16(src[10:12]))
+		src = src[12:]
+		if len(src) < alen {
+			return nil, false, false, nil, fmt.Errorf("core: hello member address truncated")
+		}
+		m.addr = string(src[:alen])
+		src = src[alen:]
+		mh = m
 	}
-	return names, flags&helloFlagIntern != 0, flags&helloFlagTrace != 0, nil
+	if len(src) != 0 {
+		return nil, false, false, nil, fmt.Errorf("core: %d trailing hello bytes", len(src))
+	}
+	return names, flags&helloFlagIntern != 0, flags&helloFlagTrace != 0, mh, nil
 }
 
 // senderTable is the parcel.Table used when encoding toward a peer: it
@@ -186,14 +243,48 @@ func (t *recvTable) ActionOf(id uint32) (string, uint32, bool) {
 }
 
 // internState is the distributed layer's interning view: the table we
-// announced and, per peer, the table they announced to us.
+// announced and, per peer, the table they announced to us. The peer
+// slice is an immutable snapshot grown copy-on-write as nodes join, so
+// per-parcel table lookups stay single atomic loads.
 type internState struct {
 	our   atomic.Pointer[senderTable]
-	peers []atomic.Pointer[recvTable]
+	mu    sync.Mutex // serializes peer-table growth/replacement
+	peers atomic.Pointer[[]*recvTable]
 }
 
 func newInternState(nodes int) *internState {
-	return &internState{peers: make([]atomic.Pointer[recvTable], nodes)}
+	s := &internState{}
+	tabs := make([]*recvTable, nodes)
+	s.peers.Store(&tabs)
+	return s
+}
+
+// peerTable returns node's announced decode table (nil if none).
+func (s *internState) peerTable(node int) *recvTable {
+	tabs := *s.peers.Load()
+	if node < 0 || node >= len(tabs) {
+		return nil
+	}
+	return tabs[node]
+}
+
+// setPeerTable installs (or clears) node's decode table, growing the
+// snapshot as needed.
+func (s *internState) setPeerTable(node int, t *recvTable) {
+	if node < 0 || node >= transport.MaxJoinNodes {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := *s.peers.Load()
+	size := len(old)
+	if node >= size {
+		size = node + 1
+	}
+	tabs := make([]*recvTable, size)
+	copy(tabs, old)
+	tabs[node] = t
+	s.peers.Store(&tabs)
 }
 
 // announce freezes the prefix of the registry snapshot this node tells
@@ -208,19 +299,27 @@ func (s *internState) announce(set *actionSet) {
 // against the local registry once so per-parcel decodes are pure slice
 // reads. Handshakes repeat on reconnection; the last table wins, which is
 // correct because a peer's announcement never changes within one process
-// lifetime.
+// lifetime. A membership section from an unknown node is a join: it is
+// admitted (transport, membership map, AGAS growth) before the intern
+// table is stored, so by the time the joiner's first frame arrives the
+// machine routes to it.
 func (d *distState) onHello(from int, payload []byte) {
-	if from < 0 || from >= len(d.intern.peers) {
+	if from < 0 || from >= transport.MaxJoinNodes {
 		return
 	}
-	names, can, canTrace, err := parseHello(payload)
+	names, can, canTrace, mh, err := parseHello(payload)
 	if err != nil {
 		d.rt.recordError(fmt.Errorf("core: bad hello from node %d: %w", from, err))
 		return
 	}
-	d.traced[from].Store(canTrace)
+	if mh != nil && mh.node == from {
+		d.onMemberHello(from, mh)
+	}
+	if ps := d.ensurePeer(from); ps != nil {
+		ps.traced.Store(canTrace)
+	}
 	if !can {
-		d.intern.peers[from].Store(nil)
+		d.intern.setPeerTable(from, nil)
 		return
 	}
 	t := &recvTable{names: names, aids: make([]uint32, len(names))}
@@ -231,17 +330,14 @@ func (d *distState) onHello(from int, payload []byte) {
 			t.aids[i] = parcel.NoAID
 		}
 	}
-	d.intern.peers[from].Store(t)
+	d.intern.setPeerTable(from, t)
 }
 
 // encodeTableFor returns the table to encode with when sending to node:
 // our announced table if the peer declared the interning capability, nil
 // (plain string frames) otherwise.
 func (d *distState) encodeTableFor(node int) parcel.Table {
-	if node < 0 || node >= len(d.intern.peers) {
-		return nil
-	}
-	if d.intern.peers[node].Load() == nil {
+	if d.intern.peerTable(node) == nil {
 		return nil
 	}
 	if t := d.intern.our.Load(); t != nil {
@@ -254,10 +350,7 @@ func (d *distState) encodeTableFor(node int) parcel.Table {
 // against, or nil when the peer never announced one (a protocol
 // violation for fParcelI frames, handled by the caller).
 func (d *distState) decodeTableFor(node int) parcel.Table {
-	if node < 0 || node >= len(d.intern.peers) {
-		return nil
-	}
-	if t := d.intern.peers[node].Load(); t != nil {
+	if t := d.intern.peerTable(node); t != nil {
 		return t
 	}
 	return nil

@@ -11,9 +11,9 @@ import (
 
 func TestHelloRoundTrip(t *testing.T) {
 	names := []string{"px.lco.set", "app.frob", "", "x"}
-	got, can, traced, err := parseHello(encodeHello(names, true, true))
-	if err != nil || !can || !traced {
-		t.Fatalf("parseHello: can=%v traced=%v err=%v", can, traced, err)
+	got, can, traced, mh, err := parseHello(encodeHello(names, true, true, nil))
+	if err != nil || !can || !traced || mh != nil {
+		t.Fatalf("parseHello: can=%v traced=%v mh=%v err=%v", can, traced, mh, err)
 	}
 	if len(got) != len(names) {
 		t.Fatalf("got %d names, want %d", len(got), len(names))
@@ -25,22 +25,55 @@ func TestHelloRoundTrip(t *testing.T) {
 	}
 	// The capability bits are independent: a trace-only hello announces no
 	// table, an intern-only hello no trace bit.
-	if got, can, traced, err := parseHello(encodeHello(names, false, true)); err != nil || can || !traced || len(got) != 0 {
+	if got, can, traced, _, err := parseHello(encodeHello(names, false, true, nil)); err != nil || can || !traced || len(got) != 0 {
 		t.Fatalf("trace-only hello: %d names can=%v traced=%v err=%v", len(got), can, traced, err)
 	}
-	if _, can, traced, err := parseHello(encodeHello(names, true, false)); err != nil || !can || traced {
+	if _, can, traced, _, err := parseHello(encodeHello(names, true, false, nil)); err != nil || !can || traced {
 		t.Fatalf("intern-only hello: can=%v traced=%v err=%v", can, traced, err)
 	}
 	// Empty and unknown-version payloads mean "strings only", not an error.
-	if _, can, traced, err := parseHello(nil); can || traced || err != nil {
+	if _, can, traced, _, err := parseHello(nil); can || traced || err != nil {
 		t.Fatalf("empty hello: can=%v traced=%v err=%v", can, traced, err)
 	}
-	if _, can, traced, err := parseHello([]byte{99, 0, 0, 0, 0, 0}); can || traced || err != nil {
+	if _, can, traced, _, err := parseHello([]byte{99, 0, 0, 0, 0, 0}); can || traced || err != nil {
 		t.Fatalf("future-version hello: can=%v traced=%v err=%v", can, traced, err)
 	}
 	// Truncated payloads are rejected.
-	if _, _, _, err := parseHello(encodeHello(names, true, true)[:8]); err == nil {
+	if _, _, _, _, err := parseHello(encodeHello(names, true, true, nil)[:8]); err == nil {
 		t.Fatal("truncated hello accepted")
+	}
+}
+
+// TestHelloMemberSection: a hello carrying a membership announcement uses
+// the v2 form and round-trips the joiner's identity; one without stays
+// byte-identical to the v1 encoding, so grown peers interoperate with
+// pre-membership builds.
+func TestHelloMemberSection(t *testing.T) {
+	names := []string{"px.lco.set", "app.frob"}
+	in := &memberHello{node: 3, lo: 12, hi: 16, addr: "127.0.0.1:4242"}
+	got, can, traced, mh, err := parseHello(encodeHello(names, true, true, in))
+	if err != nil || !can || !traced || mh == nil {
+		t.Fatalf("member hello: can=%v traced=%v mh=%v err=%v", can, traced, mh, err)
+	}
+	if *mh != *in {
+		t.Fatalf("member section round trip: got %+v want %+v", *mh, *in)
+	}
+	if len(got) != len(names) {
+		t.Fatalf("member hello lost the action table: %d names, want %d", len(got), len(names))
+	}
+	// No member section → the legacy v1 bytes, exactly.
+	v1 := encodeHello(names, true, true, nil)
+	if len(v1) == 0 || v1[0] != helloVersion {
+		t.Fatalf("memberless hello not version %d: %v", helloVersion, v1[:1])
+	}
+	// A member section without any action table still parses.
+	if _, can, traced, mh, err := parseHello(encodeHello(nil, false, false, in)); err != nil || can || traced || mh == nil || *mh != *in {
+		t.Fatalf("bare member hello: can=%v traced=%v mh=%v err=%v", can, traced, mh, err)
+	}
+	// Truncated member sections are rejected, not mis-parsed.
+	full := encodeHello(nil, false, false, in)
+	if _, _, _, _, err := parseHello(full[:len(full)-3]); err == nil {
+		t.Fatal("truncated member section accepted")
 	}
 }
 
@@ -60,11 +93,11 @@ func TestHelloPrefixBudgets(t *testing.T) {
 	if n >= len(big) || n == 0 {
 		t.Fatalf("helloPrefix(big) = %d, want a proper nonzero prefix of %d", n, len(big))
 	}
-	payload := encodeHello(big, true, false)
+	payload := encodeHello(big, true, false, nil)
 	if len(payload) > transport.MaxHello {
 		t.Fatalf("encodeHello encoded %d bytes, over the %d transport budget", len(payload), transport.MaxHello)
 	}
-	names, can, _, err := parseHello(payload)
+	names, can, _, _, err := parseHello(payload)
 	if err != nil || !can || len(names) != n {
 		t.Fatalf("truncated hello: %d names can=%v err=%v, want %d", len(names), can, err, n)
 	}

@@ -158,6 +158,12 @@ func (d *distState) sendLCOTrigger(node int, tid uint64, op TrigOp, slot uint32,
 	if fired {
 		kind = fLCOFire
 	}
+	if d.peerDead(node) {
+		// The target's node is already declared dead: retransmitting into
+		// the void would pin a work unit until the give-up bound. Fail now.
+		d.rt.recordError(fmt.Errorf("core: LCO trigger %d to node %d: %w", tid, node, agas.ErrNodeLost))
+		return
+	}
 	if !d.tracedPeer(node) {
 		tc = parcel.TraceCtx{}
 	}
@@ -258,6 +264,24 @@ func (d *distState) lcoRetryLoop(stop <-chan struct{}, done chan<- struct{}) {
 			d.rt.doneWork()
 		}
 	}
+}
+
+// dropPendTo abandons every pending trigger addressed to a node declared
+// dead and returns how many were dropped. Each entry holds one work unit
+// whose ack can no longer arrive; the caller (declareDead) releases them,
+// else Wait would hang until the give-up bound (~30s per frame).
+func (d *distState) dropPendTo(node int) int {
+	s := &d.lco
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for tid, pe := range s.pend {
+		if pe.node == node {
+			delete(s.pend, tid)
+			n++
+		}
+	}
+	return n
 }
 
 // stopLCO shuts the retry loop down for good: stopped rejects any

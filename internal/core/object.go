@@ -16,7 +16,7 @@ import (
 func (r *Runtime) NewObjectAt(loc int, kind agas.Kind, v any) agas.GID {
 	r.checkResident(loc)
 	g := r.agas.Alloc(loc, kind)
-	r.locs[loc].Store().Put(g, v)
+	r.loc(loc).Store().Put(g, v)
 	return g
 }
 
@@ -34,7 +34,7 @@ func (r *Runtime) NewDataAt(loc int, v any) agas.GID {
 func (r *Runtime) NewObjectAtWellKnown(loc int, kind agas.Kind, slot int, v any) agas.GID {
 	r.checkResident(loc)
 	g := r.agas.AllocWellKnown(loc, kind, slot)
-	r.locs[loc].Store().Put(g, v)
+	r.loc(loc).Store().Put(g, v)
 	return g
 }
 
@@ -61,10 +61,11 @@ func (r *Runtime) NewReduceAt(loc, n int, init any, op func(acc, v any) any) (ag
 // an instrumentation/test hook, not a model operation.
 func (r *Runtime) LocalObject(loc int, g agas.GID) (any, bool) {
 	r.checkLoc(loc)
-	if r.locs[loc] == nil {
+	l := r.loc(loc)
+	if l == nil {
 		return nil, false
 	}
-	return r.locs[loc].Store().Get(g)
+	return l.Store().Get(g)
 }
 
 // FreeObject removes g from the machine entirely. Names homed on other
@@ -74,10 +75,11 @@ func (r *Runtime) FreeObject(g agas.GID) {
 	if err != nil {
 		return
 	}
-	if r.locs[owner] == nil {
+	l := r.loc(owner)
+	if l == nil {
 		return
 	}
-	r.locs[owner].Store().Delete(g)
+	l.Store().Delete(g)
 	r.agas.Free(g)
 }
 
@@ -118,7 +120,7 @@ func (r *Runtime) Migrate(g agas.GID, to int) error {
 	}
 	if !r.Resident(from) {
 		return fmt.Errorf("core: migrate of %v: owned by node %d; migration is initiated on the owning node",
-			g, r.dist.lmap.NodeOf(from))
+			g, r.nodeOf(from))
 	}
 
 	// Quiesce: running actions on g drain, later arrivals park until the
@@ -142,7 +144,7 @@ func (r *Runtime) Migrate(g agas.GID, to int) error {
 // directory commit, then local routing state (imports, forwarding
 // pointer, cache repoint).
 func (r *Runtime) migrateLocked(g agas.GID, from, to int, newGen uint64) error {
-	v, ok := r.locs[from].Store().Take(g)
+	v, ok := r.loc(from).Store().Take(g)
 	if !ok {
 		return fmt.Errorf("core: migrate of %v: not resident at L%d", g, from)
 	}
@@ -152,17 +154,17 @@ func (r *Runtime) migrateLocked(g agas.GID, from, to int, newGen uint64) error {
 		if lat := r.net.Latency(from, to, approxSize(v)); lat > 0 {
 			time.Sleep(lat)
 		}
-		r.locs[to].Store().Put(g, v)
+		r.loc(to).Store().Put(g, v)
 	} else {
 		payload, err := parcel.EncodeAny(v)
 		if err != nil {
-			r.locs[from].Store().Put(g, v)
+			r.loc(from).Store().Put(g, v)
 			return fmt.Errorf("core: migrate of %v: payload not wire-encodable: %w", g, err)
 		}
 		delivered, err := r.dist.migrateTo(destNode, g, to, newGen, payload)
 		if err != nil && !delivered {
 			// The peer provably does not have the object: reinstall.
-			r.locs[from].Store().Put(g, v)
+			r.loc(from).Store().Put(g, v)
 			return err
 		}
 		if err != nil {
@@ -200,12 +202,15 @@ func (r *Runtime) migrateLocked(g agas.GID, from, to int, newGen uint64) error {
 }
 
 // nodeOf reports which node hosts locality loc (0 on a single-process
-// machine).
+// machine, -1 when the locality is beyond the known map).
 func (r *Runtime) nodeOf(loc int) int {
 	if r.dist == nil {
 		return 0
 	}
-	return r.dist.lmap.NodeOf(loc)
+	if n, known := r.dist.lmap.NodeOf(loc); known {
+		return n
+	}
+	return -1
 }
 
 // lockMigration claims the per-object migration slot for g, waiting for
@@ -261,6 +266,7 @@ func (r *Runtime) CallFrom(src int, dest agas.GID, action string, args []byte) *
 		// One-shot future: release its name once consumed.
 		r.FreeObject(fgid)
 	})
+	r.trackRemoteFuture(fgid, fut.OnReady, dest)
 	p := parcel.Acquire(dest, action, args, parcel.Continuation{Target: fgid, Action: ActionLCOSet})
 	r.SendFrom(src, p)
 	return fut
@@ -272,7 +278,7 @@ func (r *Runtime) Broadcast(src int, action string, args []byte) *lco.AndGate {
 	n := r.Localities()
 	ggid, gate := r.NewAndGateAt(src, n)
 	for i := 0; i < n; i++ {
-		p := parcel.Acquire(r.hwGID[i], action, args, parcel.Continuation{Target: ggid, Action: ActionLCOSignal})
+		p := parcel.Acquire(r.LocalityGID(i), action, args, parcel.Continuation{Target: ggid, Action: ActionLCOSignal})
 		r.SendFrom(src, p)
 	}
 	return gate

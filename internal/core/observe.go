@@ -121,8 +121,8 @@ func (r *Runtime) buildMetricsRegistry() *metrics.Registry {
 	sumLocs := func(f func(l *locality.Locality) uint64) func() int64 {
 		return func() int64 {
 			var n uint64
-			for _, l := range r.locs {
-				if l != nil {
+			for i := range r.locs {
+				if l := r.locs[i].Load(); l != nil {
 					n += f(l)
 				}
 			}
@@ -187,6 +187,26 @@ func (r *Runtime) buildMetricsRegistry() *metrics.Registry {
 			reg.RegisterFunc("px.wire.batch_handoffs", func() int64 { _, n, _ := bt.BatchStats(); return int64(n) })
 			reg.RegisterFunc("px.wire.backpressured", func() int64 { _, _, n := bt.BatchStats(); return int64(n) })
 		}
+
+		// Membership and failure detection. Gauges read d.mb at poll time:
+		// the member state is wired later in New than this registry, and is
+		// nil on machines without membership support.
+		mbCounter := func(f func(m *memberState) uint64) func() int64 {
+			return func() int64 {
+				if m := d.mb; m != nil {
+					return int64(f(m))
+				}
+				return 0
+			}
+		}
+		reg.RegisterFunc("px.membership.version", func() int64 { return int64(d.lmap.Version()) })
+		reg.RegisterFunc("px.membership.live", func() int64 { return int64(len(d.lmap.LiveNodes())) })
+		reg.RegisterFunc("px.membership.deaths", mbCounter(func(m *memberState) uint64 { return m.deaths.Load() }))
+		reg.RegisterFunc("px.membership.joins", mbCounter(func(m *memberState) uint64 { return m.joins.Load() }))
+		reg.RegisterFunc("px.membership.rehomes", mbCounter(func(m *memberState) uint64 { return m.rehomes.Load() }))
+		reg.RegisterFunc("px.membership.released", mbCounter(func(m *memberState) uint64 { return m.released.Load() }))
+		reg.RegisterFunc("px.membership.beats_sent", mbCounter(func(m *memberState) uint64 { return m.beatsSent.Load() }))
+		reg.RegisterFunc("px.membership.beats_recv", mbCounter(func(m *memberState) uint64 { return m.beatsRecv.Load() }))
 	}
 	return reg
 }

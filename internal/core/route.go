@@ -49,7 +49,12 @@ func (r *Runtime) route(src int, p *parcel.Parcel) {
 		return
 	}
 	if r.dist != nil {
-		if node := r.dist.lmap.NodeOf(owner); node != r.dist.node {
+		node, known := r.dist.lmap.NodeOf(owner)
+		if !known {
+			r.deliverFailure(src, p, fmt.Errorf("core: owner locality %d outside machine: %w", owner, agas.ErrUnknown))
+			return
+		}
+		if node != r.dist.node {
 			// The owner lives in another process: the parcel crosses the
 			// real network in wire form. The work unit charged by SendFrom
 			// stays held until the peer acknowledges the frame.
@@ -105,7 +110,7 @@ func (r *Runtime) route(src int, p *parcel.Parcel) {
 			parcel.PutWire(w)
 		}
 		parcel.Release(p)
-		mustPost(r.locs[src].Post(func() { r.doneWork() }))
+		r.mustPost(r.loc(src).Post(func() { r.doneWork() }))
 		return
 	}
 	if copies == 2 {
@@ -224,7 +229,7 @@ func (d *wireDelivery) deliverOne() {
 			d.r.deliverFailure(d.src, d.p, fmt.Errorf("core: wire corruption: %w", derr))
 			return
 		}
-		mustPost(d.r.locs[d.src].Post(func() { d.r.doneWork() }))
+		d.r.mustPost(d.r.loc(d.src).Post(func() { d.r.doneWork() }))
 		return
 	}
 	dp.Trace = d.p.Trace
@@ -277,27 +282,30 @@ func (r *Runtime) enqueue(loc int, p *parcel.Parcel) {
 	t.r, t.loc, t.p = r, loc, p
 	if r.sheddable != nil {
 		if _, shed := r.sheddable[p.Action]; shed {
-			if err := r.locs[loc].PostAdmitted(int(p.Dest.Seq), t.run); err != nil {
+			if err := r.loc(loc).PostAdmitted(int(p.Dest.Seq), t.run); err != nil {
 				t.r, t.p = nil, nil
 				execTaskPool.Put(t)
 				if !errors.Is(err, locality.ErrOverloaded) {
-					mustPost(err)
+					r.mustPost(err)
 				}
 				r.shedParcel(loc, p)
 			}
 			return
 		}
 	}
-	mustPost(r.locs[loc].PostTo(int(p.Dest.Seq), t.run))
+	r.mustPost(r.loc(loc).PostTo(int(p.Dest.Seq), t.run))
 }
 
 // mustPost converts a locality post failure into a panic: the runtime
 // quiesces before closing its localities, so a rejected post means work
-// was injected after Shutdown — always a caller bug.
-func mustPost(err error) {
-	if err != nil {
-		panic(fmt.Sprintf("core: %v (work injected after shutdown)", err))
+// was injected after Shutdown — always a caller bug. The one exception is
+// an abrupt Terminate (the crash model), where dropping queued work is
+// the whole point.
+func (r *Runtime) mustPost(err error) {
+	if err == nil || r.terminating.Load() {
+		return
 	}
+	panic(fmt.Sprintf("core: %v (work injected after shutdown)", err))
 }
 
 // execute runs the parcel's action as a fresh ephemeral thread on loc.
@@ -334,7 +342,7 @@ func (r *Runtime) execute(loc int, p *parcel.Parcel, rd *parcel.Reader, ctx *Con
 			return
 		}
 	}
-	target, ok := r.locs[loc].Store().Get(p.Dest)
+	target, ok := r.loc(loc).Store().Get(p.Dest)
 	if !ok {
 		if fenced {
 			r.fences.exit(p.Dest)
@@ -426,10 +434,13 @@ func (r *Runtime) forward(loc int, p *parcel.Parcel) {
 // failParcel delivers an action failure to the parcel's continuation, or
 // records it on the runtime when no continuation exists. It consumes p.
 func (r *Runtime) failParcel(loc int, p *parcel.Parcel, err error) {
-	if p.Action == ActionLCOTrigger && errors.Is(err, agas.ErrUnknown) {
+	if p.Action == ActionLCOTrigger && (errors.Is(err, agas.ErrUnknown) || IsNodeLost(err)) {
 		// A duplicated or retransmitted trigger chasing an LCO that was
 		// already consumed and freed (one-shot waiter futures): the first
 		// copy did the work, so the straggler is benignly late, not lost.
+		// A trigger toward an LCO that died with its node is equally
+		// terminal: the waiters registered against that node are failed by
+		// the membership layer, so the trigger itself has no one to tell.
 		if r.ring != nil {
 			r.ring.Emitf(trace.KindLCOTrigger, loc, "late trigger to freed target %s", p)
 		}
@@ -454,7 +465,7 @@ func (r *Runtime) failParcel(loc int, p *parcel.Parcel, err error) {
 // charged but which cannot reach any locality.
 func (r *Runtime) deliverFailure(src int, p *parcel.Parcel, err error) {
 	// Release via a task so accounting stays uniform.
-	mustPost(r.locs[src].Post(func() {
+	r.mustPost(r.loc(src).Post(func() {
 		defer r.doneWork()
 		r.failParcel(src, p, err)
 	}))

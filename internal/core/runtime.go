@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -76,6 +77,11 @@ type Config struct {
 	// transport starts, and an action registered after New returns races
 	// that delivery.
 	Register func(*Runtime)
+	// Membership tunes elastic membership and phi-accrual failure
+	// detection. The subsystem engages automatically when the transport
+	// can grow (it implements transport.MemberTransport) and carries
+	// handshake hellos; set Membership.Disable to opt out.
+	Membership MembershipConfig
 	// DisableActionInterning keeps this node on the plain string wire form:
 	// it announces no action table and ignores the ones peers announce.
 	// Peers fall back to spelling action names out toward it, so a machine
@@ -117,8 +123,14 @@ func (c *Config) fill() {
 
 // Runtime is one ParalleX machine instance.
 type Runtime struct {
-	cfg    Config
-	locs   []*locality.Locality
+	cfg Config
+	// locs holds the execution machinery per locality. Entries are
+	// atomic because a node death can re-home a dead peer's localities
+	// onto this node at runtime (adoption installs a fresh locality into
+	// a formerly nil slot while parcels race the swap). The slice itself
+	// is fixed at startup width; localities announced by later joiners
+	// are reached only by parcel and can never be adopted here.
+	locs   []atomic.Pointer[locality.Locality]
 	agas   *agas.Service
 	net    network.Model
 	ring   *trace.Ring
@@ -159,12 +171,19 @@ type Runtime struct {
 	migMu      sync.Mutex
 	migrations map[agas.GID]chan struct{}
 
+	// deps registers local futures awaiting remote state, so a node
+	// death fails exactly the futures it strands (see membership.go).
+	deps depRegistry
+
 	pending  atomic.Int64
 	quiet    sync.Mutex
 	quietC   *sync.Cond
 	errMu    sync.Mutex
 	errs     []error
 	shutdown atomic.Bool
+	// terminating marks an abrupt (crash-model) teardown: work dropped
+	// by closed localities is expected, not a programming error.
+	terminating atomic.Bool
 }
 
 // New builds and starts a runtime. Callers must Shutdown when done.
@@ -207,27 +226,24 @@ func New(cfg Config) *Runtime {
 	resident := agas.Range{Lo: 0, Hi: cfg.Localities}
 	if lmap != nil {
 		r.agas.SetDistribution(lmap, cfg.NodeID)
-		resident = lmap.NodeRange(cfg.NodeID)
+		resident, _ = lmap.NodeRange(cfg.NodeID)
 	}
 	r.quietC = sync.NewCond(&r.quiet)
 	if cfg.TraceCapacity > 0 {
 		r.ring = trace.NewRing(cfg.TraceCapacity)
 	}
 	// Only resident localities get execution machinery; entries for
-	// localities hosted by other nodes stay nil and are reached by parcel.
-	r.locs = make([]*locality.Locality, cfg.Localities)
+	// localities hosted by other nodes stay nil and are reached by parcel
+	// (until a death re-homes them here — see adoptLocalities).
+	r.locs = make([]atomic.Pointer[locality.Locality], cfg.Localities)
 	for i := resident.Lo; i < resident.Hi; i++ {
-		loc := i
-		r.locs[i] = locality.New(i, locality.Config{
-			Workers:    cfg.WorkersPerLocality,
-			Policy:     cfg.Policy,
-			Stealing:   cfg.Stealing,
-			OnSteal:    func(remote bool) { r.onSteal(loc, remote) },
-			AdmitLimit: cfg.AdmitLimit,
-		})
+		r.locs[i].Store(r.newLocality(i, cfg.Stealing))
 	}
 	if cfg.Stealing {
-		victims := r.locs[resident.Lo:resident.Hi]
+		victims := make([]*locality.Locality, 0, resident.Count())
+		for i := resident.Lo; i < resident.Hi; i++ {
+			victims = append(victims, r.locs[i].Load())
+		}
 		for _, l := range victims {
 			l.SetVictims(victims)
 		}
@@ -238,9 +254,9 @@ func New(cfg Config) *Runtime {
 	r.hwGID = make([]agas.GID, cfg.Localities)
 	for i := range r.hwGID {
 		r.hwGID[i] = agas.HardwareGID(i)
-		if r.locs[i] != nil {
+		if l := r.loc(i); l != nil {
 			r.agas.AllocHardware(i)
-			r.locs[i].Store().Put(r.hwGID[i], r.locs[i])
+			l.Store().Put(r.hwGID[i], l)
 		}
 		r.agas.Namespace().Bind(fmt.Sprintf("/hw/locality/%d", i), r.hwGID[i])
 	}
@@ -255,6 +271,27 @@ func New(cfg Config) *Runtime {
 		// machine-wide (see parcelTriggerID).
 		parcel.SetIDOrigin(uint16(cfg.NodeID) + 1)
 		r.dist = newDistState(r, cfg.Transport, cfg.NodeID, lmap)
+		// Membership engages when the transport can both grow (AddPeer)
+		// and carry the handshake hello that announces it.
+		_, canGrow := cfg.Transport.(transport.MemberTransport)
+		_, canHello := cfg.Transport.(transport.HelloTransport)
+		if canGrow && canHello && !cfg.Membership.Disable {
+			// The announced dial-back address: what a grown machine's
+			// peers use to reach a joiner.
+			addr := ""
+			switch a := cfg.Transport.(type) {
+			case interface{ Addr() string }:
+				addr = a.Addr()
+			case interface{ Addr() net.Addr }:
+				if la := a.Addr(); la != nil {
+					addr = la.String()
+				}
+			}
+			r.dist.mb = newMemberState(r.dist, cfg.Membership, addr)
+		}
+		// The runtime's own subscriber runs before any application one
+		// (registration order), so adoption precedes workload rehoming.
+		lmap.Subscribe(r.onMemberEvent)
 		cfg.Transport.SetHandler(r.dist.onFrame)
 	}
 	r.initObservability()
@@ -270,24 +307,98 @@ func New(cfg Config) *Runtime {
 		if ht, ok := cfg.Transport.(transport.HelloTransport); ok {
 			intern := !cfg.DisableActionInterning
 			traced := !cfg.DisableTraceContext
-			if intern || traced {
+			var mh *memberHello
+			if r.dist.mb != nil {
+				mh = &memberHello{node: cfg.NodeID, lo: resident.Lo, hi: resident.Hi, addr: r.dist.mb.selfAddr}
+			}
+			if intern || traced || mh != nil {
 				set := r.acts.snapshot()
 				if intern {
 					r.dist.intern.announce(set)
 				}
-				ht.SetHello(encodeHello(set.names, intern, traced))
+				ht.SetHello(encodeHello(set.names, intern, traced, mh))
 				ht.SetHelloHandler(r.dist.onHello)
 			}
 		}
 		if err := cfg.Transport.Start(); err != nil {
 			panic(fmt.Sprintf("core: transport start: %v", err))
 		}
+		if r.dist.mb != nil {
+			go r.dist.mb.run()
+		}
 	}
 	return r
 }
 
-// Localities reports the machine width (global, across all nodes).
-func (r *Runtime) Localities() int { return r.cfg.Localities }
+// newLocality builds the execution machinery for resident locality i.
+func (r *Runtime) newLocality(i int, stealing bool) *locality.Locality {
+	loc := i
+	return locality.New(i, locality.Config{
+		Workers:    r.cfg.WorkersPerLocality,
+		Policy:     r.cfg.Policy,
+		Stealing:   stealing,
+		OnSteal:    func(remote bool) { r.onSteal(loc, remote) },
+		AdmitLimit: r.cfg.AdmitLimit,
+	})
+}
+
+// loc returns locality i's execution machinery, or nil when i is hosted
+// elsewhere (or outside this node's fixed locality table).
+func (r *Runtime) loc(i int) *locality.Locality {
+	if i < 0 || i >= len(r.locs) {
+		return nil
+	}
+	return r.locs[i].Load()
+}
+
+// onMemberEvent is the runtime's own membership subscriber, registered
+// before any application subscriber so that by the time a workload's
+// rehome callback runs, adopted localities already execute.
+func (r *Runtime) onMemberEvent(ev agas.MemberEvent) {
+	if ev.Kind != agas.MemberDied || r.dist == nil || ev.Adopter != r.dist.node {
+		return
+	}
+	r.adoptLocalities(ev.Moved)
+}
+
+// adoptLocalities spins up execution machinery for localities re-homed
+// onto this node by a peer's death: a fresh locality (no stealing —
+// adopted domains are emergency capacity, not part of the tuned resident
+// set), its hardware object, and its directory entry, so parcels
+// addressed to the dead node's localities execute here. Directory state
+// of ordinary objects that lived there died with the node — resolutions
+// against an adopted locality miss with the typed node-lost error — but
+// well-known objects (workload shards) are reinstalled by membership
+// subscribers registered downstream of this one.
+func (r *Runtime) adoptLocalities(moved []int) {
+	for _, i := range moved {
+		if i < 0 || i >= len(r.locs) {
+			// Announced by a node that joined after this one started:
+			// outside the fixed locality table, unreachable as adopter.
+			r.recordError(fmt.Errorf("core: cannot adopt locality %d beyond startup width %d", i, len(r.locs)))
+			continue
+		}
+		if r.locs[i].Load() != nil {
+			continue
+		}
+		l := r.newLocality(i, false)
+		if !r.locs[i].CompareAndSwap(nil, l) {
+			l.Close()
+			continue
+		}
+		r.agas.AllocHardware(i)
+		l.Store().Put(r.LocalityGID(i), l)
+	}
+}
+
+// Localities reports the machine width (global, across all nodes). It
+// grows when nodes join an elastic machine.
+func (r *Runtime) Localities() int {
+	if r.dist != nil {
+		return r.dist.lmap.Localities()
+	}
+	return r.cfg.Localities
+}
 
 // NodeID reports this process's node index (0 on a single-process machine).
 func (r *Runtime) NodeID() int {
@@ -307,7 +418,8 @@ func (r *Runtime) Nodes() int {
 }
 
 // NodeRange reports the contiguous locality range hosted by node n (the
-// whole machine on a single-process runtime).
+// whole machine on a single-process runtime). Unknown nodes report the
+// zero Range.
 func (r *Runtime) NodeRange(n int) agas.Range {
 	if r.dist == nil {
 		if n != 0 {
@@ -315,13 +427,15 @@ func (r *Runtime) NodeRange(n int) agas.Range {
 		}
 		return agas.Range{Lo: 0, Hi: r.cfg.Localities}
 	}
-	return r.dist.lmap.NodeRange(n)
+	rg, _ := r.dist.lmap.NodeRange(n)
+	return rg
 }
 
-// Resident reports whether locality loc executes in this process.
+// Resident reports whether locality loc executes in this process
+// (including localities adopted after a peer's death).
 func (r *Runtime) Resident(loc int) bool {
 	r.checkLoc(loc)
-	return r.locs[loc] != nil
+	return r.loc(loc) != nil
 }
 
 // RequestHalt asks every node of the machine (including this one) to stop
@@ -364,20 +478,27 @@ func (r *Runtime) Spans() *trace.Spans { return r.spans }
 // Network returns the installed network model.
 func (r *Runtime) Network() network.Model { return r.net }
 
-// LocalityGID returns the typed hardware name of locality i.
-func (r *Runtime) LocalityGID(i int) agas.GID { return r.hwGID[i] }
+// LocalityGID returns the typed hardware name of locality i. Hardware
+// names are deterministic, so localities announced by nodes that joined
+// after this one started still resolve.
+func (r *Runtime) LocalityGID(i int) agas.GID {
+	if i >= 0 && i < len(r.hwGID) {
+		return r.hwGID[i]
+	}
+	return agas.HardwareGID(i)
+}
 
 // Locality returns the i-th locality (for instrumentation; applications
 // interact through parcels and actions). It is nil for localities hosted
 // by other nodes.
-func (r *Runtime) Locality(i int) *locality.Locality { return r.locs[i] }
+func (r *Runtime) Locality(i int) *locality.Locality { return r.loc(i) }
 
 // IdleFractions reports each resident locality's starvation fraction
 // (zero for localities hosted by other nodes).
 func (r *Runtime) IdleFractions() []float64 {
 	out := make([]float64, len(r.locs))
-	for i, l := range r.locs {
-		if l != nil {
+	for i := range r.locs {
+		if l := r.locs[i].Load(); l != nil {
 			out[i] = l.IdleFraction()
 		}
 	}
@@ -429,12 +550,41 @@ func (r *Runtime) Shutdown() {
 	}
 	r.Wait()
 	if r.dist != nil {
+		// The membership loop stops only after Wait: detection must stay
+		// live while waiting, or a peer's death could block it forever.
+		if r.dist.mb != nil {
+			r.dist.mb.stopLoop()
+		}
 		r.dist.goodbye()
 		r.dist.stopLCO()
 		r.dist.tr.Close()
 	}
-	for _, l := range r.locs {
-		if l != nil {
+	for i := range r.locs {
+		if l := r.locs[i].Load(); l != nil {
+			l.Close()
+		}
+	}
+}
+
+// Terminate abruptly stops this node: no Wait, no goodbye, queued work
+// dropped. It models a crash for fault tests — from the rest of the
+// machine it looks exactly like the process vanishing, and the peers'
+// failure detectors (not this call) tell them about it. The runtime is
+// unusable afterwards.
+func (r *Runtime) Terminate() {
+	if !r.shutdown.CompareAndSwap(false, true) {
+		return
+	}
+	r.terminating.Store(true)
+	if r.dist != nil {
+		if r.dist.mb != nil {
+			r.dist.mb.stopLoop()
+		}
+		r.dist.stopLCO()
+		r.dist.tr.Close()
+	}
+	for i := range r.locs {
+		if l := r.locs[i].Load(); l != nil {
 			l.Close()
 		}
 	}
@@ -462,7 +612,7 @@ func (r *Runtime) Spawn(loc int, fn func(*Context)) {
 	r.addWork()
 	th := r.reg.New(loc)
 	r.slow.ThreadsSpawned.Inc()
-	mustPost(r.locs[loc].Post(func() {
+	r.mustPost(r.loc(loc).Post(func() {
 		defer r.doneWork()
 		th.Start()
 		fn(&Context{rt: r, loc: loc, th: th})
@@ -473,8 +623,8 @@ func (r *Runtime) Spawn(loc int, fn func(*Context)) {
 }
 
 func (r *Runtime) checkLoc(i int) {
-	if i < 0 || i >= len(r.locs) {
-		panic(fmt.Sprintf("core: locality %d out of range [0,%d)", i, len(r.locs)))
+	if i < 0 || i >= r.Localities() {
+		panic(fmt.Sprintf("core: locality %d out of range [0,%d)", i, r.Localities()))
 	}
 }
 
@@ -483,9 +633,9 @@ func (r *Runtime) checkLoc(i int) {
 // remote localities are reached only by parcel.
 func (r *Runtime) checkResident(i int) {
 	r.checkLoc(i)
-	if r.locs[i] == nil {
+	if r.loc(i) == nil {
 		panic(fmt.Sprintf("core: locality %d is hosted by node %d, not this node %d",
-			i, r.dist.lmap.NodeOf(i), r.dist.node))
+			i, r.nodeOf(i), r.dist.node))
 	}
 }
 

@@ -1,0 +1,131 @@
+package transport
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// PhiDetector is a phi-accrual failure detector over one peer's heartbeat
+// arrivals (Hayashibara et al., "The φ accrual failure detector", SRDS
+// 2004 — the design Cassandra and Akka ship). Instead of a boolean
+// timeout it accrues suspicion continuously: Phi reports
+// -log10(P(silence this long | the observed arrival distribution)), so
+// phi 1 means a one-in-ten chance the peer is still alive, phi 8
+// one-in-10^8. Callers compare Phi against a threshold and add a hard
+// time floor to ride out scheduler stalls on loaded CI machines.
+//
+// The detector is a pure data structure: the membership layer feeds it
+// Heartbeat on every arrival and polls Phi from its own clock. All
+// methods are safe for concurrent use.
+type PhiDetector struct {
+	mu      sync.Mutex
+	last    time.Time // most recent heartbeat arrival
+	window  []float64 // ring of inter-arrival intervals, seconds
+	next    int       // ring write cursor
+	filled  bool      // ring has wrapped at least once
+	samples int       // arrivals observed (including the first)
+}
+
+// phiWindow is the inter-arrival history size. Large enough to smooth
+// jitter, small enough to adapt when the beat rate changes.
+const phiWindow = 64
+
+// minPhiStddev floors the interval standard deviation at 10% of the mean
+// (and an absolute 1ms) so metronomic beats on an idle machine do not
+// make the detector hair-triggered.
+const minPhiStddev = 0.10
+
+// NewPhiDetector creates a detector with no arrival history. Phi is 0
+// until the first heartbeat: an unheard-from peer is given the benefit
+// of the doubt while the connection is still coming up.
+func NewPhiDetector() *PhiDetector {
+	return &PhiDetector{window: make([]float64, phiWindow)}
+}
+
+// Heartbeat records one arrival at time now. Out-of-order or duplicate
+// timestamps (now before the previous arrival) only refresh liveness.
+func (d *PhiDetector) Heartbeat(now time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.samples > 0 {
+		if dt := now.Sub(d.last).Seconds(); dt > 0 {
+			d.window[d.next] = dt
+			d.next = (d.next + 1) % len(d.window)
+			if d.next == 0 {
+				d.filled = true
+			}
+		}
+	}
+	if now.After(d.last) {
+		d.last = now
+	}
+	d.samples++
+}
+
+// stats reports the mean and floored standard deviation of the recorded
+// inter-arrival intervals. Callers hold mu.
+func (d *PhiDetector) stats() (mean, stddev float64, n int) {
+	n = d.next
+	if d.filled {
+		n = len(d.window)
+	}
+	if n == 0 {
+		return 0, 0, 0
+	}
+	for i := 0; i < n; i++ {
+		mean += d.window[i]
+	}
+	mean /= float64(n)
+	for i := 0; i < n; i++ {
+		dv := d.window[i] - mean
+		stddev += dv * dv
+	}
+	stddev = math.Sqrt(stddev / float64(n))
+	if floor := mean * minPhiStddev; stddev < floor {
+		stddev = floor
+	}
+	if stddev < 0.001 {
+		stddev = 0.001
+	}
+	return mean, stddev, n
+}
+
+// Phi reports the accrued suspicion at time now: 0 while fewer than two
+// arrivals have been observed (no interval history), otherwise
+// -log10 of the normal-tail probability that a live peer would stay
+// silent for now-last given the observed inter-arrival distribution.
+func (d *PhiDetector) Phi(now time.Time) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	mean, stddev, n := d.stats()
+	if n == 0 {
+		return 0
+	}
+	silence := now.Sub(d.last).Seconds()
+	if silence <= 0 {
+		return 0
+	}
+	// P(X > silence) under N(mean, stddev), via the complementary error
+	// function; clamp the tail away from zero so phi stays finite.
+	z := (silence - mean) / (stddev * math.Sqrt2)
+	tail := 0.5 * math.Erfc(z)
+	if tail < 1e-300 {
+		tail = 1e-300
+	}
+	return -math.Log10(tail)
+}
+
+// LastHeartbeat reports the most recent arrival (zero time if none).
+func (d *PhiDetector) LastHeartbeat() time.Time {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.last
+}
+
+// Samples reports how many heartbeats the detector has observed.
+func (d *PhiDetector) Samples() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.samples
+}

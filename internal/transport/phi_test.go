@@ -1,0 +1,61 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPhiDetectorAccrual(t *testing.T) {
+	d := NewPhiDetector()
+	base := time.Unix(1000, 0)
+
+	// No history: benefit of the doubt.
+	if phi := d.Phi(base.Add(time.Hour)); phi != 0 {
+		t.Fatalf("phi with no samples = %v, want 0", phi)
+	}
+	d.Heartbeat(base)
+	if phi := d.Phi(base.Add(time.Hour)); phi != 0 {
+		t.Fatalf("phi with one sample = %v, want 0", phi)
+	}
+
+	// Steady 50ms beats: suspicion right after an arrival is negligible,
+	// and grows without bound as silence stretches.
+	now := base
+	for i := 0; i < 40; i++ {
+		now = now.Add(50 * time.Millisecond)
+		d.Heartbeat(now)
+	}
+	if phi := d.Phi(now.Add(50 * time.Millisecond)); phi > 1 {
+		t.Fatalf("phi one interval after last beat = %v, want <= 1", phi)
+	}
+	short := d.Phi(now.Add(200 * time.Millisecond))
+	long := d.Phi(now.Add(2 * time.Second))
+	if short >= long {
+		t.Fatalf("phi not monotonic in silence: %v then %v", short, long)
+	}
+	if long < 8 {
+		t.Fatalf("phi after 40x the beat interval = %v, want >= 8", long)
+	}
+
+	// Jittered beats keep the detector tolerant: with intervals between
+	// 30ms and 120ms, a 150ms silence is not yet damning.
+	j := NewPhiDetector()
+	jnow := base
+	for i := 0; i < 40; i++ {
+		jnow = jnow.Add(time.Duration(30+(i*13)%90) * time.Millisecond)
+		j.Heartbeat(jnow)
+	}
+	if phi := j.Phi(jnow.Add(150 * time.Millisecond)); phi > 8 {
+		t.Fatalf("phi under jitter = %v, want < 8", phi)
+	}
+
+	// A late/duplicate timestamp must not poison the window.
+	j.Heartbeat(jnow.Add(-time.Second))
+	if got := j.LastHeartbeat(); got != jnow {
+		t.Fatalf("out-of-order heartbeat moved last arrival to %v", got)
+	}
+
+	if d.Samples() != 41 {
+		t.Fatalf("samples = %d, want 41", d.Samples())
+	}
+}

@@ -98,6 +98,11 @@ type TCP struct {
 	cfg TCPConfig
 	ln  net.Listener
 
+	// selfRange is this node's announced locality range, captured at
+	// construction so the handshake encoder never races peer-table growth.
+	selfRange [2]int
+	hasRange  bool
+
 	mu      sync.Mutex
 	handler Handler
 	hello   []byte
@@ -168,6 +173,10 @@ func NewTCP(cfg TCPConfig) (*TCP, error) {
 		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Listen, err)
 	}
 	t := &TCP{cfg: cfg, ln: ln, inbound: make(map[net.Conn]struct{})}
+	if cfg.Ranges != nil && cfg.Self < len(cfg.Ranges) {
+		t.selfRange = cfg.Ranges[cfg.Self]
+		t.hasRange = true
+	}
 	t.setPeerCount(n)
 	return t, nil
 }
@@ -179,6 +188,53 @@ func (t *TCP) setPeerCount(n int) {
 		p.room = sync.NewCond(&p.mu)
 		t.peers[i] = p
 	}
+}
+
+// growPeers extends the peer table to hold node, copying the slice headers
+// so concurrent readers of the old snapshot stay consistent. Callers hold
+// t.mu.
+func (t *TCP) growPeers(node int) {
+	if node < len(t.peers) {
+		return
+	}
+	peers := make([]*tcpPeer, node+1)
+	copy(peers, t.peers)
+	for i := len(t.peers); i <= node; i++ {
+		p := &tcpPeer{}
+		p.room = sync.NewCond(&p.mu)
+		peers[i] = p
+	}
+	t.peers = peers
+	for len(t.cfg.Peers) <= node {
+		t.cfg.Peers = append(t.cfg.Peers, "")
+	}
+	if t.cfg.Ranges != nil {
+		for len(t.cfg.Ranges) <= node {
+			t.cfg.Ranges = append(t.cfg.Ranges, [2]int{})
+		}
+	}
+}
+
+// AddPeer records node's dial address and announced locality range,
+// growing the peer table when the node is new (MemberTransport). The
+// joining peer becomes sendable immediately; the first Send dials it.
+func (t *TCP) AddPeer(node int, addr string, lo, hi int) error {
+	if node < 0 || node >= MaxJoinNodes {
+		return fmt.Errorf("transport: joining node %d outside [0,%d)", node, MaxJoinNodes)
+	}
+	if node == t.cfg.Self {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.growPeers(node)
+	if addr != "" {
+		t.cfg.Peers[node] = addr
+	}
+	if t.cfg.Ranges != nil && hi > lo {
+		t.cfg.Ranges[node] = [2]int{lo, hi}
+	}
+	return nil
 }
 
 // Addr reports the bound listen address (useful with "127.0.0.1:0").
@@ -299,9 +355,9 @@ func (t *TCP) handshakeBytes() []byte { return t.handshakeBytesV(hsVersion) }
 // other version.
 func (t *TCP) handshakeBytesV(version uint16) []byte {
 	var lo, hi uint32
-	if t.cfg.Ranges != nil {
-		lo = uint32(t.cfg.Ranges[t.cfg.Self][0])
-		hi = uint32(t.cfg.Ranges[t.cfg.Self][1])
+	if t.hasRange {
+		lo = uint32(t.selfRange[0])
+		hi = uint32(t.selfRange[1])
 	}
 	t.mu.Lock()
 	hello := t.hello
@@ -335,16 +391,33 @@ func (t *TCP) readHandshake(r io.Reader) (int, []byte, uint16, error) {
 		return 0, nil, 0, fmt.Errorf("transport: handshake version %d, want %d..%d", v, hsMinVersion, hsVersion)
 	}
 	node := int(binary.LittleEndian.Uint32(buf[6:10]))
-	if node < 0 || node >= len(t.peers) || node == t.cfg.Self {
+	if node < 0 || node >= MaxJoinNodes || node == t.cfg.Self {
 		return 0, nil, 0, fmt.Errorf("transport: handshake from invalid node %d", node)
 	}
-	if t.cfg.Ranges != nil {
-		lo := int(binary.LittleEndian.Uint32(buf[10:14]))
-		hi := int(binary.LittleEndian.Uint32(buf[14:18]))
-		if want := t.cfg.Ranges[node]; lo != want[0] || hi != want[1] {
-			return 0, nil, 0, fmt.Errorf("transport: node %d announced localities [%d,%d), want [%d,%d)",
-				node, lo, hi, want[0], want[1])
+	lo := int(binary.LittleEndian.Uint32(buf[10:14]))
+	hi := int(binary.LittleEndian.Uint32(buf[14:18]))
+	t.mu.Lock()
+	known := node < len(t.peers)
+	if !known {
+		// A node beyond the configured table is a joiner: admit it and
+		// record its announced range. Its dial address arrives in the
+		// hello's membership section (AddPeer).
+		t.growPeers(node)
+		if t.cfg.Ranges != nil && hi > lo {
+			t.cfg.Ranges[node] = [2]int{lo, hi}
 		}
+	}
+	var want [2]int
+	checkRange := known && t.cfg.Ranges != nil && node < len(t.cfg.Ranges)
+	if checkRange {
+		want = t.cfg.Ranges[node]
+	}
+	t.mu.Unlock()
+	// Cross-check only ranges we were configured with (hi > lo): a slot
+	// grown by an earlier join holds the joiner's own announcement.
+	if checkRange && want[1] > want[0] && (lo != want[0] || hi != want[1]) {
+		return 0, nil, 0, fmt.Errorf("transport: node %d announced localities [%d,%d), want [%d,%d)",
+			node, lo, hi, want[0], want[1])
 	}
 	if v < 2 {
 		return node, nil, v, nil // v1 carries no hello: a string-only peer
@@ -712,12 +785,13 @@ func (t *TCP) Close() error {
 	for c := range t.inbound {
 		conns = append(conns, c)
 	}
+	peers := t.peers
 	t.mu.Unlock()
 	t.ln.Close()
 	for _, c := range conns {
 		c.Close()
 	}
-	for _, p := range t.peers {
+	for _, p := range peers {
 		p.mu.Lock()
 		if p.conn != nil {
 			// Pending batches are abandoned: the leader's next round sees

@@ -67,6 +67,24 @@ type HelloTransport interface {
 	SetHelloHandler(h func(node int, payload []byte))
 }
 
+// MemberTransport is optionally implemented by transports whose machine
+// can grow after Start: a joining node's handshake is accepted even when
+// its ID is beyond the configured peer table, and the membership layer
+// completes the admission by teaching the transport the joiner's dial
+// address with AddPeer. Transports without membership support keep their
+// fixed machine size.
+type MemberTransport interface {
+	Transport
+	// AddPeer records (or updates) the dial address and announced
+	// locality range of node, growing the peer table as needed. Safe to
+	// call after Start; concurrent with sends.
+	AddPeer(node int, addr string, lo, hi int) error
+}
+
+// MaxJoinNodes bounds the node ID a joining peer may announce — a sanity
+// cap so a corrupt handshake cannot force a giant peer-table allocation.
+const MaxJoinNodes = 4096
+
 // MaxHello bounds a handshake hello payload; a peer announcing a larger
 // one is treated as corrupt and disconnected.
 const MaxHello = 1 << 20

@@ -126,6 +126,13 @@ func RegisterKVService(rt *core.Runtime) {
 // client indexes by KVKeyLocality). On a distributed machine every node
 // calls this once after construction; the non-resident entries are served
 // by the nodes hosting them.
+//
+// The installation is membership-aware: when a node dies and this node
+// adopts its localities, fresh (empty) shards are installed at the same
+// well-known names, so the key space stays fully served. The dead node's
+// data is gone — the workload models a cache tier, not a replicated
+// store — but requests to the re-homed shards complete instead of
+// failing forever.
 func InstallKVShards(rt *core.Runtime) []agas.GID {
 	shards := make([]agas.GID, rt.Localities())
 	for loc := range shards {
@@ -135,5 +142,15 @@ func InstallKVShards(rt *core.Runtime) []agas.GID {
 			shards[loc] = KVShardGID(loc)
 		}
 	}
+	rt.SubscribeMembership(func(ev agas.MemberEvent) {
+		if ev.Kind != agas.MemberDied {
+			return
+		}
+		for _, loc := range ev.Moved {
+			if rt.Resident(loc) {
+				rt.NewObjectAtWellKnown(loc, agas.KindData, KVSlot, NewKVShard())
+			}
+		}
+	})
 	return shards
 }

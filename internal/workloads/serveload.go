@@ -97,15 +97,21 @@ type OpenLoopResult struct {
 	Shed int
 	// TimedOut counts attempts that produced no verdict within Timeout.
 	TimedOut int
-	// Retried counts re-issues (each after a shed or a timeout).
+	// Retried counts re-issues (each after a shed, a node-lost verdict, or
+	// a timeout).
 	Retried int
+	// NodeLost counts attempts that resolved with the typed node-lost
+	// verdict: the shard's node died mid-request. The request is retried —
+	// once the survivors re-home the dead node's localities the retry
+	// lands on the adopted shard.
+	NodeLost int
 	// Failed is the number of requests that resolved with a non-overload
 	// error.
 	Failed int
-	// Rejected is the number of requests whose retry budget ended in an
-	// overload verdict: the service refused them, explicitly. Under
-	// sustained forced overload this is the expected outcome for the
-	// excess arrivals.
+	// Rejected is the number of requests whose retry budget ended in a
+	// typed verdict (overload or node-lost): the service refused them,
+	// explicitly. Under sustained forced overload this is the expected
+	// outcome for the excess arrivals.
 	Rejected int
 	// Lost is the number of requests whose retry budget ended with NO
 	// verdict at all (a timeout) — zero on a healthy machine, because
@@ -136,6 +142,7 @@ func (r *OpenLoopResult) Record(name string) benchio.Record {
 		"timedout":  float64(r.TimedOut),
 		"failed":    float64(r.Failed),
 		"rejected":  float64(r.Rejected),
+		"nodelost":  float64(r.NodeLost),
 		"lost":      float64(r.Lost),
 	}
 	return rec
@@ -170,7 +177,7 @@ func RunOpenLoop(rt *core.Runtime, cfg OpenLoopConfig) *OpenLoopResult {
 		latencies []float64
 		wg        sync.WaitGroup
 
-		completed, shed, timedOut, retried, failed, rejected, lost atomic.Int64
+		completed, shed, timedOut, retried, failed, rejected, nodeLost, lost atomic.Int64
 	)
 	start := time.Now()
 	for i := 0; i < cfg.Requests; i++ {
@@ -200,7 +207,9 @@ func RunOpenLoop(rt *core.Runtime, cfg OpenLoopConfig) *OpenLoopResult {
 			backoff := cfg.RetryBackoff
 			for attempt := 0; ; attempt++ {
 				fut := rt.CallFrom(cfg.SrcLoc, dest, action, args)
-				lastShed := false
+				// lastVerdict: this attempt ended with a typed retryable
+				// verdict (shed or node-lost), not a silent timeout.
+				lastVerdict := false
 				select {
 				case <-fut.Done():
 					_, err := fut.Get()
@@ -214,7 +223,13 @@ func RunOpenLoop(rt *core.Runtime, cfg OpenLoopConfig) *OpenLoopResult {
 						return
 					case core.IsOverloaded(err):
 						shed.Add(1)
-						lastShed = true
+						lastVerdict = true
+					case core.IsNodeLost(err):
+						// The shard's node died. Retry: the survivors
+						// re-home its localities, and the retry routes to
+						// the adopted shard once membership converges.
+						nodeLost.Add(1)
+						lastVerdict = true
 					default:
 						failed.Add(1)
 						return
@@ -223,7 +238,7 @@ func RunOpenLoop(rt *core.Runtime, cfg OpenLoopConfig) *OpenLoopResult {
 					timedOut.Add(1)
 				}
 				if attempt >= cfg.Retries {
-					if lastShed {
+					if lastVerdict {
 						rejected.Add(1)
 					} else {
 						lost.Add(1)
@@ -245,6 +260,7 @@ func RunOpenLoop(rt *core.Runtime, cfg OpenLoopConfig) *OpenLoopResult {
 		Retried:     int(retried.Load()),
 		Failed:      int(failed.Load()),
 		Rejected:    int(rejected.Load()),
+		NodeLost:    int(nodeLost.Load()),
 		Lost:        int(lost.Load()),
 		LatenciesNs: latencies,
 		Elapsed:     time.Since(start),

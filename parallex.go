@@ -24,6 +24,14 @@ type (
 	ActionFunc = core.ActionFunc
 	// Faults configures parcel-level fault injection for tests.
 	Faults = core.Faults
+	// MembershipConfig tunes the failure detector and heartbeat cadence of
+	// an elastic multi-node machine (see Config.Membership).
+	MembershipConfig = core.MembershipConfig
+	// MemberEvent is one membership change: a node joining the machine or
+	// being declared dead (with its localities re-homed onto an adopter).
+	MemberEvent = agas.MemberEvent
+	// MemberInfo is one row of a Runtime.Members snapshot.
+	MemberInfo = core.MemberInfo
 
 	// GID is a global identifier in the ParalleX name space.
 	GID = agas.GID
@@ -108,6 +116,12 @@ const (
 	LIFO = locality.LIFO
 )
 
+// Membership event kinds (see Runtime.SubscribeMembership).
+const (
+	MemberJoined = agas.MemberJoined
+	MemberDied   = agas.MemberDied
+)
+
 // Built-in actions usable as continuation targets.
 const (
 	ActionLCOSet        = core.ActionLCOSet
@@ -155,6 +169,18 @@ var ErrOverloaded = core.ErrOverloaded
 // ErrOverloaded from this process, or the flattened string form of one
 // delivered across a node boundary through a failure continuation.
 func IsOverloaded(err error) bool { return core.IsOverloaded(err) }
+
+// ErrNodeLost is the typed node-death verdict: the node hosting a
+// request's target (or a future's home) was declared dead by the failure
+// detector, and the operation can never complete there. It reaches
+// pending futures and failure continuations like any action failure;
+// test with IsNodeLost, which also recognizes the flattened wire form.
+var ErrNodeLost = agas.ErrNodeLost
+
+// IsNodeLost reports whether err is a node-death verdict — the typed
+// ErrNodeLost from this process, or the flattened string form of one
+// delivered across a node boundary.
+func IsNodeLost(err error) bool { return core.IsNodeLost(err) }
 
 // WellKnownGID computes the deterministic global name for slot at
 // locality loc — the same on every node, with no allocation or directory
