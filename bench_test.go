@@ -84,6 +84,34 @@ func BenchmarkTCPRing3(b *testing.B) {
 	schedbench.TCPRing3(b)
 }
 
+// BenchmarkWireWritevBatch floods large frames through the transport's
+// vectored write path (group-commit batches leave as one writev over the
+// callers' frame slices). CI requires it to beat WireCoalesceBatch by
+// >= 1.2x ns/op (cmd/benchdiff -speedup), making the gate
+// machine-independent.
+func BenchmarkWireWritevBatch(b *testing.B) {
+	schedbench.WireWritevBatch(b)
+}
+
+// BenchmarkWireCoalesceBatch is the identical flood through the retained
+// copy-and-coalesce write path: the in-run baseline for the writev gate.
+func BenchmarkWireCoalesceBatch(b *testing.B) {
+	schedbench.WireCoalesceBatch(b)
+}
+
+// BenchmarkWireShardedFanout runs the flood across four lanes per peer —
+// the sharded-connection configuration the runtime drives with
+// destination-GID affinity hashing.
+func BenchmarkWireShardedFanout(b *testing.B) {
+	schedbench.WireShardedFanout(b)
+}
+
+// BenchmarkWireSameHost runs the flood over the same-host Unix-domain
+// fabric the transport auto-selects for colocated processes.
+func BenchmarkWireSameHost(b *testing.B) {
+	schedbench.WireSameHost(b)
+}
+
 // BenchmarkSchedMigrate bounces one object between two localities with
 // four chasing call streams: the cost of a live migration under fire
 // (fence quiesce, parking, directory commit, cache repoint).

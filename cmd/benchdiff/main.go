@@ -10,7 +10,14 @@
 //	go run ./cmd/benchdiff -parse bench.txt -out BENCH_$(date -u +%F).json \
 //	    -baseline BENCH_baseline.json -threshold 0.25 \
 //	    -speedup base=SchedPostDispatchMutex,opt=SchedPostDispatchDeques,min=2 \
-//	    -allocdrop SchedParcelFlood=0.5,SchedParcelPingPong=0.5
+//	    -speedup base=WireCoalesceBatch,opt=WireWritevBatch,min=1.2 \
+//	    -allocdrop SchedParcelFlood=0.5,SchedParcelPingPong=0.5 \
+//	    -require WireWritevBatch,WireShardedFanout,WireSameHost
+//
+// -speedup is repeatable; each instance is an independent in-run gate.
+// -require fails the run when a named benchmark is absent from it (or
+// from the baseline, when one is given): a misspelled -bench regex or a
+// silently skipped benchmark otherwise passes every gate vacuously.
 //
 // Absolute ns/op baselines are machine-class dependent: refresh
 // BENCH_baseline.json (commit the -out file) whenever the CI runner class
@@ -35,8 +42,10 @@ func main() {
 	out := flag.String("out", "", "write the parsed suite as BENCH json to this path")
 	baseline := flag.String("baseline", "", "baseline BENCH json to compare against")
 	threshold := flag.Float64("threshold", 0.25, "allowed ns/op regression fraction vs baseline")
-	speedup := flag.String("speedup", "", "required ratio, e.g. base=NameA,opt=NameB,min=2: ns/op(A) >= min*ns/op(B)")
+	var speedups multiFlag
+	flag.Var(&speedups, "speedup", "required ratio, e.g. base=NameA,opt=NameB,min=2: ns/op(A) >= min*ns/op(B); repeatable")
 	allocdrop := flag.String("allocdrop", "", "required allocs/op drops vs baseline, e.g. NameA=0.5,NameB=0.5: allocs(NameA) <= 0.5*baseline")
+	require := flag.String("require", "", "comma-separated benchmark names that must be present in this run (and in -baseline when given)")
 	flag.Parse()
 
 	if *parse == "" {
@@ -113,8 +122,41 @@ func main() {
 		}
 	}
 
-	if *speedup != "" {
-		baseName, optName, min, err := parseSpeedup(*speedup)
+	if *require != "" {
+		// Presence gate: a new benchmark CI depends on must actually run —
+		// a misspelled -bench regex or a silently skipped benchmark
+		// otherwise passes every other gate vacuously. When a baseline is
+		// given the name must appear there too, forcing the deliberate
+		// baseline refresh that admits the benchmark to the absolute
+		// regression check.
+		var base *benchio.Suite
+		if *baseline != "" {
+			b, err := benchio.ReadFile(*baseline)
+			if err != nil {
+				fatal("benchdiff: baseline: %v", err)
+			}
+			base = b
+		}
+		for _, name := range strings.Split(*require, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if _, ok := suite.Find(name); !ok {
+				fmt.Printf("benchdiff: REQUIRED %s missing from this run\n", name)
+				failed = true
+			}
+			if base != nil {
+				if _, ok := base.Find(name); !ok {
+					fmt.Printf("benchdiff: REQUIRED %s missing from %s — refresh the baseline\n", name, *baseline)
+					failed = true
+				}
+			}
+		}
+	}
+
+	for _, spec := range speedups {
+		baseName, optName, min, err := parseSpeedup(spec)
 		if err != nil {
 			fatal("benchdiff: %v", err)
 		}
@@ -189,6 +231,16 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, "; ") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
 }
 
 // allocGate is one -allocdrop requirement: the named benchmark's current

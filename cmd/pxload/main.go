@@ -48,6 +48,7 @@ func main() {
 	locs := flag.String("localities", "", "locality count per node in node order, e.g. 2,2,2 = nodes hosting [0,2) [2,4) [4,6)")
 	listen := flag.String("listen", "", "listen address (default: the -peers entry for this node)")
 	workers := flag.Int("workers", 4, "workers per locality")
+	lanes := flag.Int("lanes", 0, "TCP connections per peer pair, matching the serving nodes' -lanes (0 = single lane)")
 	rate := flag.Float64("rate", 1000, "arrival rate in requests per second")
 	n := flag.Int("n", 1000, "total requests to schedule")
 	keys := flag.Int("keys", 1024, "key-space size (keys drawn uniformly)")
@@ -88,6 +89,7 @@ func main() {
 		Listen: addr,
 		Peers:  peerList,
 		Ranges: hsRanges,
+		Lanes:  *lanes,
 	})
 	if err != nil {
 		log.Fatalf("pxload: %v", err)

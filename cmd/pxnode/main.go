@@ -22,6 +22,22 @@
 // The -localities flag gives the locality count per node in node order
 // ("2,2,2" = three nodes hosting localities [0,2), [2,4), [4,6)).
 //
+// Membership: a node started with -join N attaches to a RUNNING machine
+// as its next node, hosting N fresh localities — -peers/-localities
+// describe the existing machine, -listen is where the running peers dial
+// the joiner back, and -node is ignored. Failure detection is tuned with
+// -beat (heartbeat interval, default 250ms) and -dead-after (the hard
+// silence floor before a suspect peer is declared dead, default 3s);
+// when a peer dies its localities are adopted by a surviving node and
+// its stranded futures fail with the typed node-lost verdict.
+//
+// Wire tuning: -lanes shards each peer pair across that many TCP
+// connections, with parcels affinity-hashed on their destination GID —
+// per-object ordering is preserved while independent streams ride
+// independent sockets. Nodes that share a host discover each other at
+// dial time and ride a Unix-domain same-host fabric automatically; see
+// docs/OPERATIONS.md for when to turn either knob.
+//
 // A three-node machine on one host:
 //
 //	pxnode -node 0 -peers 127.0.0.1:9400,127.0.0.1:9401,127.0.0.1:9402 -localities 2,2,2 -workload ring &
@@ -60,6 +76,7 @@ func main() {
 	join := flag.Int("join", 0, "join a RUNNING machine as a new node hosting this many fresh localities; -peers/-localities describe the existing machine and -listen is required (ignore -node)")
 	beat := flag.Duration("beat", 0, "membership heartbeat interval (0 = default 250ms)")
 	deadAfter := flag.Duration("dead-after", 0, "hard silence floor before a suspect peer is declared dead (0 = default 3s)")
+	lanes := flag.Int("lanes", 0, "TCP connections per peer pair, parcels affinity-hashed on destination GID across them (0 = single lane)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = off")
 	metricsAddr := flag.String("metrics", "", "serve the px.* metrics registry and sampled trace spans as JSON on this address (e.g. localhost:7070); empty = off")
 	traceSample := flag.Float64("trace-sample", 0, "fraction of root parcels that start a sampled distributed trace, 0..1")
@@ -106,6 +123,7 @@ func main() {
 		Listen: addr,
 		Peers:  peerList,
 		Ranges: hsRanges,
+		Lanes:  *lanes,
 	})
 	if err != nil {
 		log.Fatalf("pxnode: %v", err)

@@ -189,7 +189,7 @@ func TestDistributedMachineTCP(t *testing.T) {
 	tcps := make([]*transport.TCP, 3)
 	addrs := make([]string, 3)
 	for i := range tcps {
-		tr, err := parallex.NewTCPTransport(parallex.TCPTransportConfig{
+		tr, err := newWireTCP(parallex.TCPTransportConfig{
 			Self:   i,
 			Listen: "127.0.0.1:0",
 			Peers:  make([]string, 3),

@@ -30,7 +30,7 @@ func startTCPMachine(t testing.TB, faults parallex.Faults, register func(*parall
 	tcps := make([]*transport.TCP, 3)
 	addrs := make([]string, 3)
 	for i := range tcps {
-		tr, err := parallex.NewTCPTransport(parallex.TCPTransportConfig{
+		tr, err := newWireTCP(parallex.TCPTransportConfig{
 			Self:   i,
 			Listen: "127.0.0.1:0",
 			Peers:  make([]string, 3),

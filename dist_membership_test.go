@@ -44,7 +44,7 @@ func startMemberMachine(t testing.TB, faults [3]parallex.Faults, register func(*
 	tcps := make([]*transport.TCP, 3)
 	addrs := make([]string, 3)
 	for i := range tcps {
-		tr, err := parallex.NewTCPTransport(parallex.TCPTransportConfig{
+		tr, err := newWireTCP(parallex.TCPTransportConfig{
 			Self:   i,
 			Listen: "127.0.0.1:0",
 			Peers:  make([]string, 3),
@@ -195,7 +195,7 @@ func TestDistMembershipJoin(t *testing.T) {
 	}
 	peers := make([]string, 4)
 	copy(peers, addrs)
-	jtr, err := parallex.NewTCPTransport(parallex.TCPTransportConfig{
+	jtr, err := newWireTCP(parallex.TCPTransportConfig{
 		Self:   3,
 		Listen: "127.0.0.1:0",
 		Peers:  peers,
@@ -271,7 +271,7 @@ func TestDistMembershipMixedCapability(t *testing.T) {
 	tcps := make([]*transport.TCP, 3)
 	addrs := make([]string, 3)
 	for i := range tcps {
-		tr, err := parallex.NewTCPTransport(parallex.TCPTransportConfig{
+		tr, err := newWireTCP(parallex.TCPTransportConfig{
 			Self: i, Listen: "127.0.0.1:0", Peers: make([]string, 3), Ranges: ranges,
 		})
 		if err != nil {

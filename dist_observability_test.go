@@ -33,7 +33,7 @@ func startObsMachine(t testing.TB, configure func(node int, cfg *parallex.Config
 	tcps := make([]*transport.TCP, 3)
 	addrs := make([]string, 3)
 	for i := range tcps {
-		tr, err := parallex.NewTCPTransport(parallex.TCPTransportConfig{
+		tr, err := newWireTCP(parallex.TCPTransportConfig{
 			Self:   i,
 			Listen: "127.0.0.1:0",
 			Peers:  make([]string, 3),

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/locality"
 	"repro/internal/parcel"
@@ -76,13 +77,61 @@ func (r *Runtime) Sheds() uint64 {
 	return n
 }
 
+// retryAfterMark prefixes the backoff hint inside a shed verdict's
+// message. Like overloadedMsg, it must survive wire flattening to text,
+// so RetryAfter parses it back out of any error string.
+const retryAfterMark = "retry-after="
+
+// defaultRetryAfterHint is the backoff suggestion used when
+// Config.RetryAfterHint is zero: roughly a few admission-queue drain
+// times at serving-tier rates — long enough to let the queue breathe,
+// short enough that a shed request's end-to-end latency stays bounded
+// by a handful of retries.
+const defaultRetryAfterHint = 2 * time.Millisecond
+
+// RetryAfter extracts the suggested backoff from a load-shed verdict, in
+// whatever form it arrived — the typed local error or the flattened wire
+// text of a remote one. ok is false when err carries no hint (it is not a
+// shed verdict, or the shedding node disabled hints); the caller then
+// falls back to its own backoff policy.
+func RetryAfter(err error) (d time.Duration, ok bool) {
+	if err == nil {
+		return 0, false
+	}
+	s := err.Error()
+	i := strings.Index(s, retryAfterMark)
+	if i < 0 {
+		return 0, false
+	}
+	s = s[i+len(retryAfterMark):]
+	if j := strings.IndexByte(s, ')'); j >= 0 {
+		s = s[:j]
+	}
+	d, perr := time.ParseDuration(s)
+	if perr != nil || d <= 0 {
+		return 0, false
+	}
+	return d, true
+}
+
 // shedParcel consumes a parcel rejected by admission control: the typed
 // verdict is delivered to the parcel's continuation (reaching the
 // requester's future, across the wire if need be) and the delivery's
 // work unit is released. It runs on the rejecting caller's goroutine —
 // posting the verdict delivery to the very queue that just reported
 // saturation would double queue pressure exactly when shedding it.
+// The verdict carries the node's retry-after hint (Config.RetryAfterHint)
+// so clients back off by the server's suggestion, not a guess.
 func (r *Runtime) shedParcel(loc int, p *parcel.Parcel) {
-	r.failParcel(loc, p, fmt.Errorf("%s: locality %d at admission limit", overloadedMsg, loc))
+	hint := r.cfg.RetryAfterHint
+	if hint == 0 {
+		hint = defaultRetryAfterHint
+	}
+	if hint > 0 {
+		r.failParcel(loc, p, fmt.Errorf("%s: locality %d at admission limit (%s%s)",
+			overloadedMsg, loc, retryAfterMark, hint))
+	} else {
+		r.failParcel(loc, p, fmt.Errorf("%s: locality %d at admission limit", overloadedMsg, loc))
+	}
 	r.doneWork()
 }

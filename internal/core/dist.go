@@ -94,13 +94,22 @@ type distState struct {
 	// protocol (see lcoframes.go).
 	lco lcoSendState
 
+	// laneTr is non-nil when the transport shards peer pairs across
+	// several connections (transport.LaneTransport); lanes caches its lane
+	// count. Parcel and LCO-trigger traffic is spread across lanes by
+	// destination-GID affinity (laneOf); control frames ride lane 0.
+	laneTr transport.LaneTransport
+	lanes  int
+
 	haltOnce sync.Once
 	halt     chan struct{}
 }
 
-// ackFrame is the plain per-parcel receipt, shared across sends — both
-// transports copy frames before Send returns, so the receive path acks
-// without allocating.
+// ackFrame is the plain per-parcel receipt, shared across sends, so the
+// receive path acks without allocating. Sharing is safe even on the TCP
+// transport's zero-copy path: Send references the frame until the write
+// covering it returns (blocking the caller that long), but never mutates
+// it, and this frame is never written to by anyone.
 var ackFrame = []byte{fAck}
 
 // rpcReply is the outcome of one migration frame exchange.
@@ -130,6 +139,11 @@ func newDistState(r *Runtime, tr transport.Transport, node int, lmap *agas.Local
 		rpc:      make(map[uint64]chan rpcReply),
 		halt:     make(chan struct{}),
 	}
+	d.lanes = 1
+	if lt, ok := tr.(transport.LaneTransport); ok {
+		d.laneTr = lt
+		d.lanes = lt.Lanes()
+	}
 	tab := make([]*peerState, tr.Nodes())
 	for i := range tab {
 		tab[i] = &peerState{}
@@ -154,6 +168,12 @@ func (d *distState) onFrame(from int, frame []byte) {
 	// so a zombie (or a healed partition) cannot re-enter the accounting.
 	if d.peerDead(from) {
 		return
+	}
+	// Stamp liveness before dispatch: the death check counts silence
+	// across ALL lanes of a peer, so any frame kind on any lane vetoes a
+	// pending verdict (see memberState.check).
+	if ps := d.peer(from); ps != nil {
+		ps.lastFrame.Store(time.Now().UnixNano())
 	}
 	switch frame[0] {
 	case fParcel:
@@ -346,6 +366,38 @@ func (d *distState) sendRetry(node int, frame []byte) error {
 	return err
 }
 
+// laneOf affinity-hashes a destination GID onto a transport lane. All
+// parcels for one object ride one lane, so the transport's per-lane FIFO
+// preserves per-object ordering while independent objects spread across
+// lanes and stop queueing behind one stream's head-of-line. The mix is a
+// Fibonacci multiply over the GID's distinguishing words — Seq alone would
+// stripe consecutively-allocated objects onto consecutive lanes, which is
+// fine, but Home must participate so two nodes' object zero don't collide
+// systematically.
+func (d *distState) laneOf(g agas.GID) int {
+	if d.lanes <= 1 {
+		return 0
+	}
+	h := (g.Seq ^ uint64(g.Home)<<32 ^ uint64(g.Kind)) * 0x9e3779b97f4a7c15
+	return int((h >> 32) % uint64(d.lanes))
+}
+
+// sendRetryLane is sendRetry over a specific transport lane. Lane 0 (and
+// any lane on a laneless transport) degrades to plain sendRetry.
+func (d *distState) sendRetryLane(node, lane int, frame []byte) error {
+	if lane == 0 || d.laneTr == nil {
+		return d.sendRetry(node, frame)
+	}
+	if f := d.rt.faults; f != nil && f.silence(d.node, node) {
+		return nil
+	}
+	err := d.laneTr.SendLane(node, lane, frame)
+	if err != nil {
+		err = d.laneTr.SendLane(node, lane, frame)
+	}
+	return err
+}
+
 // ackParcel acknowledges one parcel frame, piggybacking a "moved" verdict
 // when this node's authoritative knowledge (directory, import table, or
 // forwarding pointer) places the destination on another node — the sender
@@ -439,8 +491,13 @@ func (d *distState) sendParcel(node, src int, p *parcel.Parcel) {
 	}
 	d.sent.Add(1)
 	ps.sent.Add(1)
-	err := d.sendRetry(node, w.B)
-	parcel.PutWire(w) // Send has copied the bytes (batch buffer or socket)
+	// Parcels ride the lane their destination hashes to; per-object order
+	// is the per-lane FIFO.
+	err := d.sendRetryLane(node, d.laneOf(p.Dest), w.B)
+	// Safe even on the zero-copy transport: Send does not return until
+	// the write covering w.B has completed, so nothing references the
+	// buffer once we're here.
+	parcel.PutWire(w)
 	if err != nil {
 		d.sent.Add(-1)
 		ps.sent.Add(-1)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"repro/internal/agas"
@@ -12,6 +13,15 @@ import (
 // outcomes, drain replies, and handshake hellos — arbitrary bytes. They
 // consume untrusted socket data, so they must never panic, and any
 // accepted input must re-encode to a form that decodes identically.
+// manyActionNames builds n distinct action names for hello-table seeds.
+func manyActionNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("app.action.%03d", i)
+	}
+	return names
+}
+
 func FuzzDistControlDecoders(f *testing.F) {
 	g := agas.GID{Home: 3, Kind: agas.KindData, Seq: 99}
 	f.Add(encodeMigHeader(fMigrate, 7, g, 2, 5, 0))
@@ -25,6 +35,14 @@ func FuzzDistControlDecoders(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
 	f.Add(bytes.Repeat([]byte{0x00}, 40))
+	// Truncation and padding around each decoder's exact frame size, plus
+	// a hello carrying a large interning table — the shapes the sharded
+	// transport's per-lane hello re-delivery makes more frequent.
+	f.Add(encodeBeat(1)[:4])
+	f.Add(append(encodeDead(3), 0x00))
+	f.Add(append(encodeMigHeader(fMigrate, ^uint64(0), g, -1, ^uint64(0), 0), 0xff))
+	f.Add(encodeHello(manyActionNames(64), true, false, nil))
+	f.Add(encodeHello([]string{""}, true, true, &memberHello{node: 0, lo: 0, hi: 0, addr: ""}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Migration header: accepted inputs must survive a re-encode.
 		if xid, g, loc, gen, rest, ok := decodeMigHeader(data); ok {

@@ -114,6 +114,7 @@ func decodeLCOAck(body []byte) (tid uint64, ok bool) {
 // lcoPending is one unacknowledged outbound trigger frame.
 type lcoPending struct {
 	node     int
+	lane     int // transport lane (destination-GID affinity, like parcels)
 	frame    []byte
 	lastSend time.Time
 	attempts int
@@ -169,7 +170,9 @@ func (d *distState) sendLCOTrigger(node int, tid uint64, op TrigOp, slot uint32,
 	}
 	d.rt.emitSpan(trace.SpanWireSend, d.home, &tc, ActionLCOTrigger)
 	frame := encodeLCOTrigger(kind, tid, op, slot, hops, g, value, tc)
-	pe := &lcoPending{node: node, frame: frame, lastSend: time.Now()}
+	// Triggers ride the same lane the target object's parcels do, so a
+	// parcel and the trigger it races stay mutually ordered.
+	pe := &lcoPending{node: node, lane: d.laneOf(g), frame: frame, lastSend: time.Now()}
 	s := &d.lco
 	s.mu.Lock()
 	if s.stopped {
@@ -215,7 +218,7 @@ func (d *distState) xmitLCO(pe *lcoPending) {
 		copies = d.rt.faults.verdict(true)
 	}
 	for i := 0; i < copies; i++ {
-		if err := d.sendRetry(pe.node, pe.frame); err != nil {
+		if err := d.sendRetryLane(pe.node, pe.lane, pe.frame); err != nil {
 			return
 		}
 	}

@@ -82,6 +82,14 @@ type peerState struct {
 	traced   atomic.Bool  // peer accepts trace-context trailers
 	det      atomic.Pointer[transport.PhiDetector]
 
+	// lastFrame is the wall-clock nanosecond of the last frame of ANY kind
+	// received from this peer, across every transport lane. The death check
+	// consults it alongside the beat detector: on a sharded transport the
+	// beat rides lane 0, and a peer whose lane-0 stream is wedged behind a
+	// reconnect is not dead while its parcel lanes are demonstrably alive —
+	// any-lane traffic vetoes the silence verdict.
+	lastFrame atomic.Int64
+
 	mu          sync.Mutex
 	outstanding int // parcels sent, not yet acked: work units held open
 }
@@ -242,6 +250,12 @@ func (m *memberState) check(now time.Time) {
 		}
 		silence := now.Sub(det.LastHeartbeat())
 		if silence < m.cfg.DeadAfter {
+			continue
+		}
+		// Silence must hold across every lane, not just the beat stream:
+		// a peer whose heartbeats are stuck behind a lane-0 reconnect but
+		// whose parcel lanes still deliver is alive.
+		if last := ps.lastFrame.Load(); last != 0 && now.Sub(time.Unix(0, last)) < m.cfg.DeadAfter {
 			continue
 		}
 		if det.Phi(now) < m.cfg.SuspectThreshold {

@@ -187,6 +187,14 @@ func (r *Runtime) buildMetricsRegistry() *metrics.Registry {
 			reg.RegisterFunc("px.wire.batch_handoffs", func() int64 { _, n, _ := bt.BatchStats(); return int64(n) })
 			reg.RegisterFunc("px.wire.backpressured", func() int64 { _, _, n := bt.BatchStats(); return int64(n) })
 		}
+		// Lane sharding and the same-host fabric, when the transport has
+		// them (the TCP transport does).
+		if d.laneTr != nil {
+			reg.RegisterFunc("px.wire.lanes", func() int64 { return int64(d.lanes) })
+		}
+		if sh, ok := d.tr.(interface{ SameHostConns() uint64 }); ok {
+			reg.RegisterFunc("px.wire.samehost_conns", func() int64 { return int64(sh.SameHostConns()) })
+		}
 
 		// Membership and failure detection. Gauges read d.mb at poll time:
 		// the member state is wired later in New than this registry, and is

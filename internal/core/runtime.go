@@ -49,6 +49,13 @@ type Config struct {
 	// continuation instead of queueing without bound. Zero (the default)
 	// disables admission control. Runtime-internal work is never shed.
 	AdmitLimit int
+	// RetryAfterHint is the backoff suggestion carried inside every
+	// load-shed verdict (see RetryAfter): a client that observes
+	// ErrOverloaded can sleep exactly what the server suggests instead of
+	// guessing with blind exponential backoff. The hint survives wire
+	// flattening — it rides as text inside the verdict message. Zero
+	// defaults to 2ms; negative omits the hint.
+	RetryAfterHint time.Duration
 	// TraceCapacity sizes the event ring; 0 disables tracing.
 	TraceCapacity int
 	// Faults optionally injects parcel loss/duplication (tests only). It

@@ -20,7 +20,28 @@ func fuzzSeeds() []*Parcel {
 			Continuation{Target: agas.GID{Home: 0, Kind: agas.KindLCO, Seq: 11}, Action: "px.lco.set"}),
 		{ID: 123, Dest: agas.GID{Home: 5, Kind: agas.KindHardware, Seq: ^uint64(0)},
 			Action: "hw.ping", Src: 4, Hops: 3},
+		// Boundary shapes for the alias-decode path: args big enough to
+		// dominate the frame, a continuation stack at the wire limit, and
+		// an empty-args parcel (Args must come back nil, not empty-aliased).
+		New(agas.GID{Home: 2, Kind: agas.KindData, Seq: 77}, "bulk",
+			bytes.Repeat([]byte{0xa5}, 4096)),
+		maxContParcel(),
+		New(agas.GID{Home: 6, Kind: agas.KindProcess, Seq: 8}, "spawn", nil,
+			Continuation{Target: agas.GID{Home: 6, Kind: agas.KindLCO, Seq: 9}, Action: "join"}),
 	}
+}
+
+// maxContParcel builds a parcel with a continuation stack at the wire
+// limit, every entry distinct.
+func maxContParcel() *Parcel {
+	p := New(agas.GID{Home: 1, Kind: agas.KindData, Seq: 2}, "fanout", []byte{1})
+	for i := 0; i < MaxContinuations; i++ {
+		p.Cont = append(p.Cont, Continuation{
+			Target: agas.GID{Home: uint32(i), Kind: agas.KindLCO, Seq: uint64(i)},
+			Action: "collect",
+		})
+	}
+	return p
 }
 
 // FuzzParcelDecode feeds Decode arbitrary bytes: it must never panic, and
@@ -57,6 +78,27 @@ func FuzzParcelDecode(f *testing.F) {
 		}
 		if !parcelEqual(p, q) {
 			t.Fatalf("round trip mismatch:\n first %+v\nsecond %+v", p, q)
+		}
+		// DecodeAliased is the same parse with aliased Args: it must
+		// accept exactly the same inputs and produce the same parcel,
+		// with Args windowing the input rather than copied out of it.
+		pa, restA, errA := DecodeAliased(data)
+		if errA != nil {
+			t.Fatalf("Decode accepted but DecodeAliased rejected: %v", errA)
+		}
+		if len(restA) != len(rest) || !parcelEqual(p, pa) {
+			t.Fatalf("aliased decode diverged:\n copy  %+v\n alias %+v", p, pa)
+		}
+		if len(pa.Args) > 0 {
+			// Prove the alias: flipping the input bytes must show through
+			// pa.Args (a copy would keep the original values). p.Args is
+			// already a private copy, unaffected.
+			for i := range data {
+				data[i] = ^data[i]
+			}
+			if bytes.Equal(pa.Args, p.Args) {
+				t.Fatal("DecodeAliased copied Args instead of aliasing the input")
+			}
 		}
 		if len(rest) == TraceWireSize {
 			// A trailer-sized remainder must parse and round-trip through

@@ -95,7 +95,7 @@ func DecodePooledInterned(src []byte, t Table) (*Parcel, []byte, error) {
 // parcel's AID is set for interned references resolved by t, so dispatch
 // can index the action table directly.
 func DecodeIntoInterned(p *Parcel, src []byte, t Table) ([]byte, error) {
-	return decodeInto(p, src, true, t)
+	return decodeInto(p, src, true, t, false)
 }
 
 // appendActionRef writes one action reference: interned position when the

@@ -223,12 +223,35 @@ func DecodePooled(src []byte) (*Parcel, []byte, error) {
 // reuses p's capacity. On error p is partially filled and must be
 // discarded or released, not dispatched.
 func DecodeInto(p *Parcel, src []byte) ([]byte, error) {
-	return decodeInto(p, src, false, nil)
+	return decodeInto(p, src, false, nil, false)
 }
 
-// decodeInto is the shared body of DecodeInto and DecodeIntoInterned;
-// see encode for the single point of difference between the wire forms.
-func decodeInto(p *Parcel, src []byte, interned bool, t Table) ([]byte, error) {
+// DecodeAliased parses a parcel from the front of src like Decode, except
+// the parcel's Args field ALIASES src instead of being copied out of it —
+// the read-side analogue of the transport's zero-copy send. The parcel is
+// therefore only valid while src is: a consumer must finish with the
+// parcel (or copy Args) before the buffer holding src is reused, which is
+// exactly the transport Handler contract. The parcel is freshly
+// allocated, never pooled — handing it to Release would recycle argsBuf
+// capacity it does not own.
+//
+// Use it for strictly synchronous consumers (decode, inspect, drop within
+// the handler); anything that enqueues or retains the parcel must use
+// DecodePooled, which copies.
+func DecodeAliased(src []byte) (*Parcel, []byte, error) {
+	p := &Parcel{}
+	rest, err := decodeInto(p, src, false, nil, true)
+	if err != nil {
+		return nil, rest, err
+	}
+	return p, rest, nil
+}
+
+// decodeInto is the shared body of DecodeInto, DecodeIntoInterned, and
+// DecodeAliased; see encode for the single point of difference between
+// the wire forms. With aliasArgs set, p.Args aliases src rather than
+// being copied into p's backing store.
+func decodeInto(p *Parcel, src []byte, interned bool, t Table, aliasArgs bool) ([]byte, error) {
 	p.Trace = TraceCtx{} // the trailer, if any, is parsed by the caller
 	if len(src) < 8 {
 		return src, fmt.Errorf("parcel: short ID")
@@ -252,11 +275,14 @@ func decodeInto(p *Parcel, src []byte, interned bool, t Table) ([]byte, error) {
 	if len(src) < argLen {
 		return src, fmt.Errorf("parcel: args truncated: want %d have %d", argLen, len(src))
 	}
-	if argLen > 0 {
+	switch {
+	case argLen == 0:
+		p.Args = nil
+	case aliasArgs:
+		p.Args = src[:argLen:argLen]
+	default:
 		p.argsBuf = append(p.argsBuf[:0], src[:argLen]...)
 		p.Args = p.argsBuf
-	} else {
-		p.Args = nil
 	}
 	src = src[argLen:]
 	if len(src) < 2 {

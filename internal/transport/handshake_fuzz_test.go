@@ -1,0 +1,93 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzLaneHandshake drives readHandshake — the v1/v2/v3 header parser,
+// including the v3 lane + capability-flags section — with arbitrary
+// bytes. The invariants under attack: no panic, no giant allocation from
+// a corrupt hello length, and, on accepted headers, a node and lane
+// within bounds — a malformed lane announcement must be rejected, never
+// clamped or passed through, or it could cross-wire two peers' ordered
+// streams.
+func FuzzLaneHandshake(f *testing.F) {
+	seed := func(version uint16, node, lo, hi uint32, hello []byte, lane uint16, flags uint32) []byte {
+		b := binary.LittleEndian.AppendUint32(nil, hsMagic)
+		b = binary.LittleEndian.AppendUint16(b, version)
+		b = binary.LittleEndian.AppendUint32(b, node)
+		b = binary.LittleEndian.AppendUint32(b, lo)
+		b = binary.LittleEndian.AppendUint32(b, hi)
+		if version >= 2 {
+			b = binary.LittleEndian.AppendUint32(b, uint32(len(hello)))
+			b = append(b, hello...)
+		}
+		if version >= 3 {
+			b = binary.LittleEndian.AppendUint16(b, lane)
+			b = binary.LittleEndian.AppendUint32(b, flags)
+		}
+		return b
+	}
+	f.Add(seed(1, 1, 0, 2, nil, 0, 0))
+	f.Add(seed(2, 1, 0, 2, []byte("hello"), 0, 0))
+	f.Add(seed(3, 1, 0, 2, []byte("hello"), 3, hsFlagAliasRead|hsFlagSameHost))
+	f.Add(seed(3, 1, 0, 2, nil, MaxLanes, 0))       // lane out of bounds
+	f.Add(seed(3, 0, 0, 2, nil, 0, 0))              // self node
+	f.Add(seed(3, MaxJoinNodes, 0, 2, nil, 0, 0))   // node out of bounds
+	f.Add(seed(4, 1, 0, 2, nil, 0, 0))              // future version
+	f.Add(seed(3, 2, 5, 3, nil, 1, 0xffffffff))     // inverted range, junk flags
+	f.Add([]byte{0x50, 0x58, 0x54, 0x50})           // magic only, truncated
+	f.Add(binary.LittleEndian.AppendUint32(nil, 0)) // wrong magic
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Fresh state per input keeps crashers self-contained: growPeers
+		// from one accepted joiner must not change the next input's
+		// verdict. Ranges stay unconfigured so acceptance depends on the
+		// bytes alone (the range cross-check has its own unit test).
+		tt, err := NewTCP(TCPConfig{Self: 0, Listen: "127.0.0.1:0",
+			Peers: make([]string, 3), DisableSameHost: true})
+		if err != nil {
+			t.Skip("listen unavailable")
+		}
+		defer tt.Close()
+		node, hello, lane, v, err := tt.readHandshake(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if node <= 0 || node >= MaxJoinNodes {
+			t.Fatalf("accepted node %d outside (0,%d)", node, MaxJoinNodes)
+		}
+		if lane < 0 || lane >= MaxLanes {
+			t.Fatalf("accepted lane %d outside [0,%d)", lane, MaxLanes)
+		}
+		if v < hsMinVersion || v > hsVersion {
+			t.Fatalf("accepted version %d outside %d..%d", v, hsMinVersion, hsVersion)
+		}
+		if v < 3 && lane != 0 {
+			t.Fatalf("pre-lane version %d yielded lane %d", v, lane)
+		}
+		if len(hello) > MaxHello {
+			t.Fatalf("accepted %d-byte hello beyond limit %d", len(hello), MaxHello)
+		}
+		// An accepted header must round-trip through the encoder the
+		// same structural way: our own header in the accepted version
+		// must parse back cleanly.
+		echo := tt.handshakeBytesV(v, lane, false)
+		if _, _, lane2, v2, err := tt.readHandshake(bytes.NewReader(mutateSelf(echo))); err != nil {
+			t.Fatalf("own v%d header rejected: %v", v, err)
+		} else if v2 != v || (v >= 3 && lane2 != lane) {
+			t.Fatalf("own header round-trip: v=%d lane=%d, want v=%d lane=%d", v2, lane2, v, lane)
+		}
+	})
+}
+
+// mutateSelf rewrites the node field of an encoded handshake from 0
+// (self, which readHandshake rejects) to 1, so the round-trip check
+// exercises the parse rather than the self-connection guard.
+func mutateSelf(b []byte) []byte {
+	out := append([]byte(nil), b...)
+	binary.LittleEndian.PutUint32(out[6:10], 1)
+	return out
+}

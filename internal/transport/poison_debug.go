@@ -1,0 +1,10 @@
+//go:build debugpool
+
+package transport
+
+// poisonAliasDefault arms alias-read poisoning by default under the
+// debugpool build tag: every aliased frame is scribbled with 0xdd after
+// its handler returns, so a handler that illegally retained the slice
+// observes garbage (and a -race report) instead of silently reading
+// recycled connection-buffer bytes.
+const poisonAliasDefault = true

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -25,6 +27,12 @@ type TCPConfig struct {
 	// {lo, hi} (half-open). When set, the handshake cross-checks each
 	// peer's announced range and rejects mismatched machines.
 	Ranges [][2]int
+	// Lanes is the number of independent connections maintained to each
+	// peer. Frames sent on different lanes ride different TCP streams, so
+	// independent traffic stops queueing behind one stream's head-of-line;
+	// ordering is preserved within a lane only. Control traffic (plain
+	// Send) rides lane 0. Default 1; capped at MaxLanes.
+	Lanes int
 	// DialAttempts bounds connection attempts per Send; peers commonly
 	// start in arbitrary order, so dialing retries. Default 40.
 	DialAttempts int
@@ -34,16 +42,18 @@ type TCPConfig struct {
 	// HandshakeTimeout bounds the handshake exchange. Default 5s.
 	HandshakeTimeout time.Duration
 	// BatchWindow, when positive, lets a flush linger up to this long so
-	// more frames coalesce into one write. Zero (the default) still
-	// batches by group commit: frames posted while a write syscall is in
-	// flight are coalesced into the next one, so batching costs idle
-	// senders no latency at all.
+	// more frames coalesce into one write. The linger is adaptive: the
+	// flusher yields the processor and writes as soon as the pending
+	// batch stops growing, so the window is a bound, not a fixed delay.
+	// Zero (the default) still batches by group commit: frames posted
+	// while a write syscall is in flight are coalesced into the next one,
+	// so batching costs idle senders no latency at all.
 	BatchWindow time.Duration
 	// BatchBytes is the buffered-byte level at which a window-delayed
 	// flush stops waiting and writes immediately. Default 64KB. Ignored
 	// when BatchWindow is zero.
 	BatchBytes int
-	// MaxPending bounds each peer's pending (buffered, unwritten) bytes.
+	// MaxPending bounds each lane's pending (buffered, unwritten) bytes.
 	// A sender that finds the buffer full blocks — woken in FIFO order as
 	// flush rounds free space — instead of growing the batch without
 	// bound, so one hot sender cannot stretch every other sender's
@@ -53,9 +63,51 @@ type TCPConfig struct {
 	// the buffer drains below it. Default 4MB; negative disables the
 	// bound.
 	MaxPending int
+	// CoalesceWrites selects the v1 batching strategy: frames are copied
+	// into one contiguous per-lane buffer and written with a single
+	// Write. The default (false) is the v2 vectored path: pending frames
+	// are gathered into a net.Buffers iovec and handed to writev, so a
+	// sender's encode buffer hits the socket without an intermediate
+	// copy. The copy path survives as the benchmark baseline
+	// (BenchmarkWireCoalesceBatch) and as an escape hatch.
+	CoalesceWrites bool
+	// DisableSameHost turns off the same-host fabric: peers are always
+	// dialed over TCP even when a Unix-domain listener advertises that
+	// they share this host. See shm.go.
+	DisableSameHost bool
+	// ReadBufferBytes sizes each inbound connection's read buffer. Frames
+	// that fit it are delivered as aliased sub-slices of it (zero receive
+	// copies); larger frames take the copy path. It also bounds the alias
+	// path's hidden cost: a frame that straddles the buffer's end is slid
+	// to the front before it can be peeked contiguously, so the buffer
+	// should be a healthy multiple of the common frame size. Default
+	// 256KB.
+	ReadBufferBytes int
+	// DisableAliasRead forces the receive path to copy every frame into a
+	// private buffer before invoking the handler, instead of handing the
+	// handler a sub-slice of the connection read buffer. The aliased path
+	// is safe under the Handler contract (copy what you retain); the copy
+	// path exists for the mixed-capability tests and as an escape hatch.
+	DisableAliasRead bool
+	// PoisonAliasedReads scribbles 0xdd over every aliased frame after
+	// its handler returns, so a handler that illegally retained the slice
+	// observes garbage (and, under -race, a write/read race) instead of
+	// silently reading recycled bytes. Defaults to true under the
+	// debugpool build tag.
+	PoisonAliasedReads bool
 }
 
+// MaxLanes caps TCPConfig.Lanes (and the lane index a handshake may
+// announce — a corrupt hello must not imply an absurd connection count).
+const MaxLanes = 16
+
 func (c *TCPConfig) fill() {
+	if c.Lanes <= 0 {
+		c.Lanes = 1
+	}
+	if c.Lanes > MaxLanes {
+		c.Lanes = MaxLanes
+	}
 	if c.DialAttempts <= 0 {
 		c.DialAttempts = 40
 	}
@@ -71,32 +123,52 @@ func (c *TCPConfig) fill() {
 	if c.MaxPending == 0 {
 		c.MaxPending = 4 << 20
 	}
+	if c.ReadBufferBytes <= 0 {
+		c.ReadBufferBytes = 256 << 10
+	}
+	if c.ReadBufferBytes < 4<<10 {
+		c.ReadBufferBytes = 4 << 10
+	}
+	if !c.PoisonAliasedReads {
+		c.PoisonAliasedReads = poisonAliasDefault
+	}
 }
 
 // TCP carries frames between nodes as length-prefixed records on TCP
-// streams. Each node listens for its peers and lazily dials one outbound
-// (send-only) connection per peer, so connection establishment order never
-// matters; a failed dial retries with exponential backoff a bounded number
-// of times.
+// streams (or Unix-domain streams when peers share a host — see shm.go).
+// Each node listens for its peers and lazily dials Lanes outbound
+// (send-only) connections per peer, so connection establishment order
+// never matters; a failed dial retries with exponential backoff a bounded
+// number of times.
 //
-// Sends batch by group commit: the first sender to a peer becomes the
-// flush leader and writes whatever is buffered; senders arriving while the
-// leader's syscall is in flight append to the next batch and wait for its
-// result, so concurrent parcel streams coalesce into a fraction of the
-// syscalls with no added latency when traffic is sparse. BatchWindow adds
-// an optional time budget for throughput-biased deployments.
+// Sends batch by group commit: the first sender to a (peer, lane) becomes
+// the flush leader and writes whatever is pending; senders arriving while
+// the leader's syscall is in flight append to the next batch and wait for
+// its result, so concurrent parcel streams coalesce into a fraction of
+// the syscalls with no added latency when traffic is sparse. The batch is
+// a gather vector handed to writev (net.Buffers): a pending frame is the
+// caller's own slice, referenced — not copied — until the write covering
+// it returns, which is safe because Send does not return before that
+// write's verdict. Frame length headers are carved from pooled chunks and
+// recycled with the round. BatchWindow adds an optional time budget for
+// throughput-biased deployments.
 //
-// The batcher is fair per peer: a leader writes exactly one round — the
+// The batcher is fair per lane: a leader writes exactly one round — the
 // batch containing its own frame — and hands any backlog that accumulated
 // during the write to a detached drainer goroutine, so no sender is held
 // captive flushing other senders' traffic. MaxPending bounds the pending
-// buffer with FIFO blocking admission, so a hot sender saturating one
-// peer backs itself off while everyone else's frames keep riding bounded
-// rounds. BatchStats exposes the batcher's activity for the px.wire.*
-// metric bridge.
+// bytes with FIFO blocking admission, so a hot sender saturating one lane
+// backs itself off while everyone else's frames keep riding bounded
+// rounds. BatchStats exposes the batcher's aggregated activity for the
+// px.wire.* metric bridge; LaneBatchStats exposes one lane's.
 type TCP struct {
 	cfg TCPConfig
 	ln  net.Listener
+	// shm is the same-host Unix-domain listener (nil when disabled or
+	// unavailable); shmConns counts outbound connections that took the
+	// same-host path instead of TCP.
+	shm      net.Listener
+	shmConns atomic.Uint64
 
 	// selfRange is this node's announced locality range, captured at
 	// construction so the handshake encoder never races peer-table growth.
@@ -115,15 +187,36 @@ type TCP struct {
 	wg    sync.WaitGroup
 }
 
+// tcpPeer is one remote node: its lane set. Lane 0 carries control
+// traffic (plain Send); the runtime spreads parcel traffic across the
+// rest by destination-GID affinity.
 type tcpPeer struct {
+	lanes []*tcpLane
+}
+
+// tcpLane is one (peer, lane) connection with its own group-commit
+// batcher, backpressure bound, and stats.
+type tcpLane struct {
 	mu        sync.Mutex
-	room      *sync.Cond // signals space in buf to backpressure-blocked senders
+	room      *sync.Cond // signals space in the pending batch to blocked senders
 	conn      net.Conn
-	buf       []byte      // frames accumulated for the next write
-	spare     []byte      // recycled batch buffer
-	waiters   []tcpWaiter // senders whose frames sit in buf
-	flushing  bool        // a leader or drainer is running flush rounds
-	connected bool        // a connection has succeeded at least once
+	connected bool // a connection has succeeded at least once
+	flushing  bool // a leader or drainer is running flush rounds
+
+	// Vectored (writev) pending state: vec alternates 4-byte header
+	// slices (carved from hdr chunks) and caller frame slices; pendBytes
+	// is their total length. spareVec recycles the round's backing array.
+	vec       net.Buffers
+	spareVec  net.Buffers
+	hdrChunks []*[]byte // header chunks feeding vec; recycled per round
+	pendBytes int
+
+	// Coalescing (CoalesceWrites) pending state: frames copied into one
+	// contiguous buffer.
+	buf   []byte
+	spare []byte
+
+	waiters []tcpWaiter // senders whose frames sit in the pending batch
 
 	// Batcher activity, guarded by mu (see TCP.BatchStats).
 	batches       uint64 // flush rounds written
@@ -137,6 +230,18 @@ type tcpWaiter struct {
 	end int
 	ch  chan error
 }
+
+// hdrChunkSize is the capacity of one pooled header chunk: 4-byte frame
+// length headers are carved from it sequentially, so one chunk covers 128
+// frames of a batch before the next is pulled from the pool. Chunks are
+// fixed-capacity by construction — a header sub-slice already gathered
+// into the iovec must never be invalidated by a growing append.
+const hdrChunkSize = 512
+
+var hdrChunkPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, hdrChunkSize)
+	return &b
+}}
 
 // flushResult is the outcome of one batch write: the error, if any, and
 // how many bytes the kernel accepted before it. Frames wholly inside the
@@ -158,7 +263,9 @@ func (r flushResult) verdict(end, node int) error {
 }
 
 // NewTCP binds the node's listen address and returns the transport.
-// Receiving begins at Start.
+// Receiving begins at Start. Unless DisableSameHost is set, a companion
+// Unix-domain listener is bound at a path derived from the TCP port, so
+// colocated peers can reach this node without the loopback TCP tax.
 func NewTCP(cfg TCPConfig) (*TCP, error) {
 	cfg.fill()
 	n := len(cfg.Peers)
@@ -173,6 +280,11 @@ func NewTCP(cfg TCPConfig) (*TCP, error) {
 		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Listen, err)
 	}
 	t := &TCP{cfg: cfg, ln: ln, inbound: make(map[net.Conn]struct{})}
+	if !cfg.DisableSameHost {
+		// Best effort: a host where the socket path cannot be bound (odd
+		// TempDir permissions, path collisions) simply stays TCP-only.
+		t.shm, _ = listenSameHost(ln.Addr())
+	}
 	if cfg.Ranges != nil && cfg.Self < len(cfg.Ranges) {
 		t.selfRange = cfg.Ranges[cfg.Self]
 		t.hasRange = true
@@ -181,12 +293,20 @@ func NewTCP(cfg TCPConfig) (*TCP, error) {
 	return t, nil
 }
 
+func newTCPPeer(lanes int) *tcpPeer {
+	p := &tcpPeer{lanes: make([]*tcpLane, lanes)}
+	for i := range p.lanes {
+		l := &tcpLane{}
+		l.room = sync.NewCond(&l.mu)
+		p.lanes[i] = l
+	}
+	return p
+}
+
 func (t *TCP) setPeerCount(n int) {
 	t.peers = make([]*tcpPeer, n)
 	for i := range t.peers {
-		p := &tcpPeer{}
-		p.room = sync.NewCond(&p.mu)
-		t.peers[i] = p
+		t.peers[i] = newTCPPeer(t.cfg.Lanes)
 	}
 }
 
@@ -200,9 +320,7 @@ func (t *TCP) growPeers(node int) {
 	peers := make([]*tcpPeer, node+1)
 	copy(peers, t.peers)
 	for i := len(t.peers); i <= node; i++ {
-		p := &tcpPeer{}
-		p.room = sync.NewCond(&p.mu)
-		peers[i] = p
+		peers[i] = newTCPPeer(t.cfg.Lanes)
 	}
 	t.peers = peers
 	for len(t.cfg.Peers) <= node {
@@ -261,6 +379,9 @@ func (t *TCP) Nodes() int {
 	defer t.mu.Unlock()
 	return len(t.peers)
 }
+
+// Lanes reports the configured lane count (LaneTransport).
+func (t *TCP) Lanes() int { return t.cfg.Lanes }
 
 func (t *TCP) SetHandler(h Handler) {
 	t.mu.Lock()
@@ -325,35 +446,59 @@ func (t *TCP) Start() error {
 	}
 	t.started = true
 	t.wg.Add(1)
-	go t.acceptLoop()
+	go t.acceptLoop(t.ln)
+	if t.shm != nil {
+		t.wg.Add(1)
+		go t.acceptLoop(t.shm)
+	}
 	return nil
 }
 
 // Handshake wire form: magic | version | node ID | locality range lo, hi |
-// u32 hello length | hello payload. Version 2 added the hello payload
-// (carrying, e.g., the runtime's action-interning table); because the
-// payload travels inside the handshake it precedes every frame on the
-// connection and is re-announced automatically on reconnect.
+// u32 hello length | hello payload | [v3: u16 lane | u32 flags]. Version
+// 2 added the hello payload (carrying, e.g., the runtime's
+// action-interning table); because the payload travels inside the
+// handshake it precedes every frame on the connection and is re-announced
+// automatically on reconnect. Version 3 added the lane header: the lane
+// index this connection carries plus a capability word, so a sharded
+// dialer's streams stay distinguishable and a malformed lane announcement
+// is rejected before it can cross-wire two peers.
 //
 // A version-1 header (no hello field) is still accepted — the peer is
-// treated as having announced an empty hello, i.e. string-form-only.
-// The compatibility is necessarily one-directional: a v1 binary's own
-// strict version check rejects our v2 header, so in a rolling upgrade
+// treated as having announced an empty hello, i.e. string-form-only —
+// and so is a v2 header, treated as lane 0 with no capabilities. The
+// compatibility is necessarily one-directional: an old binary's own
+// strict version check rejects our v3 header, so in a rolling upgrade
 // old nodes can dial new ones but not the reverse.
 const (
 	hsMagic      = 0x50585450 // "PXTP"
-	hsVersion    = 2
+	hsVersion    = 3
 	hsMinVersion = 1
 	hsHeadSize   = 4 + 2 + 4 + 4 + 4 // magic..range; v2 adds u32 len + hello
 	hsSize       = hsHeadSize + 4
+	hsLaneSize   = 2 + 4 // v3 lane header: u16 lane | u32 flags
 )
 
-func (t *TCP) handshakeBytes() []byte { return t.handshakeBytesV(hsVersion) }
+// Handshake capability flags (the v3 flags word). Unknown bits are
+// ignored for forward compatibility.
+const (
+	// hsFlagAliasRead announces that this node's receive path may hand
+	// handlers aliased read-buffer sub-slices (informational; the
+	// contract is the same either way).
+	hsFlagAliasRead = 1 << 0
+	// hsFlagSameHost announces that this connection arrived over the
+	// same-host fabric.
+	hsFlagSameHost = 1 << 1
+)
+
+func (t *TCP) handshakeBytes(lane int, sameHost bool) []byte {
+	return t.handshakeBytesV(hsVersion, lane, sameHost)
+}
 
 // handshakeBytesV encodes this node's header in the given handshake
-// version — v1 when answering a v1 peer, whose own reader rejects any
-// other version.
-func (t *TCP) handshakeBytesV(version uint16) []byte {
+// version — a lower version when answering an older peer, whose own
+// reader rejects any other version.
+func (t *TCP) handshakeBytesV(version uint16, lane int, sameHost bool) []byte {
 	var lo, hi uint32
 	if t.hasRange {
 		lo = uint32(t.selfRange[0])
@@ -362,7 +507,7 @@ func (t *TCP) handshakeBytesV(version uint16) []byte {
 	t.mu.Lock()
 	hello := t.hello
 	t.mu.Unlock()
-	buf := make([]byte, 0, hsSize+len(hello))
+	buf := make([]byte, 0, hsSize+hsLaneSize+len(hello))
 	buf = binary.LittleEndian.AppendUint32(buf, hsMagic)
 	buf = binary.LittleEndian.AppendUint16(buf, version)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.cfg.Self))
@@ -372,27 +517,39 @@ func (t *TCP) handshakeBytesV(version uint16) []byte {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(hello)))
 		buf = append(buf, hello...)
 	}
+	if version >= 3 {
+		var flags uint32
+		if !t.cfg.DisableAliasRead {
+			flags |= hsFlagAliasRead
+		}
+		if sameHost {
+			flags |= hsFlagSameHost
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(lane))
+		buf = binary.LittleEndian.AppendUint32(buf, flags)
+	}
 	return buf
 }
 
 // readHandshake parses and validates a peer header, returning the peer's
-// node ID, hello payload (nil for a v1 peer, which has none), and the
-// handshake version the peer spoke.
-func (t *TCP) readHandshake(r io.Reader) (int, []byte, uint16, error) {
+// node ID, hello payload (nil for a v1 peer, which has none), the lane
+// this connection carries (0 for pre-v3 peers), and the handshake version
+// the peer spoke.
+func (t *TCP) readHandshake(r io.Reader) (node int, hello []byte, lane int, v uint16, err error) {
 	var buf [hsHeadSize]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
-		return 0, nil, 0, fmt.Errorf("transport: handshake read: %w", err)
+		return 0, nil, 0, 0, fmt.Errorf("transport: handshake read: %w", err)
 	}
 	if m := binary.LittleEndian.Uint32(buf[0:4]); m != hsMagic {
-		return 0, nil, 0, fmt.Errorf("transport: bad handshake magic %#x", m)
+		return 0, nil, 0, 0, fmt.Errorf("transport: bad handshake magic %#x", m)
 	}
-	v := binary.LittleEndian.Uint16(buf[4:6])
+	v = binary.LittleEndian.Uint16(buf[4:6])
 	if v < hsMinVersion || v > hsVersion {
-		return 0, nil, 0, fmt.Errorf("transport: handshake version %d, want %d..%d", v, hsMinVersion, hsVersion)
+		return 0, nil, 0, 0, fmt.Errorf("transport: handshake version %d, want %d..%d", v, hsMinVersion, hsVersion)
 	}
-	node := int(binary.LittleEndian.Uint32(buf[6:10]))
+	node = int(binary.LittleEndian.Uint32(buf[6:10]))
 	if node < 0 || node >= MaxJoinNodes || node == t.cfg.Self {
-		return 0, nil, 0, fmt.Errorf("transport: handshake from invalid node %d", node)
+		return 0, nil, 0, 0, fmt.Errorf("transport: handshake from invalid node %d", node)
 	}
 	lo := int(binary.LittleEndian.Uint32(buf[10:14]))
 	hi := int(binary.LittleEndian.Uint32(buf[14:18]))
@@ -416,34 +573,49 @@ func (t *TCP) readHandshake(r io.Reader) (int, []byte, uint16, error) {
 	// Cross-check only ranges we were configured with (hi > lo): a slot
 	// grown by an earlier join holds the joiner's own announcement.
 	if checkRange && want[1] > want[0] && (lo != want[0] || hi != want[1]) {
-		return 0, nil, 0, fmt.Errorf("transport: node %d announced localities [%d,%d), want [%d,%d)",
+		return 0, nil, 0, 0, fmt.Errorf("transport: node %d announced localities [%d,%d), want [%d,%d)",
 			node, lo, hi, want[0], want[1])
 	}
 	if v < 2 {
-		return node, nil, v, nil // v1 carries no hello: a string-only peer
+		return node, nil, 0, v, nil // v1 carries no hello: a string-only peer
 	}
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return 0, nil, 0, fmt.Errorf("transport: handshake hello length read: %w", err)
+		return 0, nil, 0, 0, fmt.Errorf("transport: handshake hello length read: %w", err)
 	}
 	n := binary.LittleEndian.Uint32(lenBuf[:])
 	if n > MaxHello {
-		return 0, nil, 0, fmt.Errorf("transport: node %d announced a %d-byte hello, limit %d", node, n, MaxHello)
+		return 0, nil, 0, 0, fmt.Errorf("transport: node %d announced a %d-byte hello, limit %d", node, n, MaxHello)
 	}
-	var hello []byte
 	if n > 0 {
 		hello = make([]byte, n)
 		if _, err := io.ReadFull(r, hello); err != nil {
-			return 0, nil, 0, fmt.Errorf("transport: handshake hello read: %w", err)
+			return 0, nil, 0, 0, fmt.Errorf("transport: handshake hello read: %w", err)
 		}
 	}
-	return node, hello, v, nil
+	if v < 3 {
+		return node, hello, 0, v, nil // pre-lane peer: everything is lane 0
+	}
+	var laneBuf [hsLaneSize]byte
+	if _, err := io.ReadFull(r, laneBuf[:]); err != nil {
+		return 0, nil, 0, 0, fmt.Errorf("transport: handshake lane read: %w", err)
+	}
+	lane = int(binary.LittleEndian.Uint16(laneBuf[0:2]))
+	if lane >= MaxLanes {
+		// A corrupt lane announcement is rejected outright rather than
+		// clamped: accepting it could cross-wire two peers' orderings.
+		return 0, nil, 0, 0, fmt.Errorf("transport: node %d announced lane %d, limit %d", node, lane, MaxLanes)
+	}
+	// laneBuf[2:6] is the capability flags word; unknown bits are ignored
+	// for forward compatibility and no current bit changes receive-side
+	// behavior.
+	return node, hello, lane, v, nil
 }
 
-func (t *TCP) acceptLoop() {
+func (t *TCP) acceptLoop(ln net.Listener) {
 	defer t.wg.Done()
 	for {
-		conn, err := t.ln.Accept()
+		conn, err := ln.Accept()
 		if err != nil {
 			t.mu.Lock()
 			closed := t.closed
@@ -468,7 +640,11 @@ func (t *TCP) acceptLoop() {
 }
 
 // serveConn handles one inbound (receive-only) connection: handshake
-// exchange, then a frame-read loop feeding the handler.
+// exchange, then a frame-read loop feeding the handler. By default frames
+// that fit the connection read buffer are delivered as aliased sub-slices
+// of it — zero copies between the socket and the handler, legal under the
+// Handler copy-what-you-retain contract; DisableAliasRead restores the
+// copying loop, and frames larger than the buffer always take it.
 func (t *TCP) serveConn(conn net.Conn) {
 	defer t.wg.Done()
 	defer func() {
@@ -479,14 +655,16 @@ func (t *TCP) serveConn(conn net.Conn) {
 	}()
 	deadline := time.Now().Add(t.cfg.HandshakeTimeout)
 	conn.SetDeadline(deadline)
-	br := bufio.NewReaderSize(conn, 64<<10)
-	from, hello, peerVer, err := t.readHandshake(br)
+	br := bufio.NewReaderSize(conn, t.cfg.ReadBufferBytes)
+	from, hello, _, peerVer, err := t.readHandshake(br)
 	if err != nil {
 		return
 	}
-	// Reply in the peer's own version: a v1 binary's reader strictly
-	// rejects anything else, and the v1 reply it expects has no hello.
-	if _, err := conn.Write(t.handshakeBytesV(peerVer)); err != nil {
+	// Reply in the peer's own version: an old binary's reader strictly
+	// rejects anything else, and the reply it expects has no lane header
+	// (nor, for v1, a hello).
+	_, sameHost := conn.(*net.UnixConn)
+	if _, err := conn.Write(t.handshakeBytesV(peerVer, 0, sameHost)); err != nil {
 		return
 	}
 	conn.SetDeadline(time.Time{})
@@ -494,24 +672,37 @@ func (t *TCP) serveConn(conn net.Conn) {
 	// that depend on it (interned parcels) decode against it in order.
 	t.deliverHello(from, hello)
 	var lenBuf [4]byte
-	// One read buffer per connection, grown to the largest frame seen: the
-	// steady-state receive path performs zero allocations. The handler
-	// contract (copy what you retain) makes the reuse safe.
+	// The copy-path read buffer, grown to the largest copied frame seen.
 	var frame []byte
+	alias := !t.cfg.DisableAliasRead
+	poison := t.cfg.PoisonAliasedReads
 	for {
-		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+		n, err := readFrameLen(br, &lenBuf)
+		if err != nil {
 			return
 		}
-		n := binary.LittleEndian.Uint32(lenBuf[:])
 		if n > MaxFrame {
 			return // corrupt stream; drop the connection
 		}
-		if uint32(cap(frame)) < n {
-			frame = make([]byte, n)
-		}
-		frame = frame[:n]
-		if _, err := io.ReadFull(br, frame); err != nil {
-			return
+		var body []byte
+		aliased := alias && int(n) <= br.Size()
+		if aliased {
+			// Alias decode: the frame is a window into the bufio buffer.
+			// Peek fills the buffer without copying out of it; Discard
+			// after the handler returns releases the window.
+			body, err = br.Peek(int(n))
+			if err != nil {
+				return
+			}
+		} else {
+			if uint32(cap(frame)) < n {
+				frame = make([]byte, n)
+			}
+			frame = frame[:n]
+			if _, err := io.ReadFull(br, frame); err != nil {
+				return
+			}
+			body = frame
 		}
 		t.mu.Lock()
 		h, closed := t.handler, t.closed
@@ -519,33 +710,63 @@ func (t *TCP) serveConn(conn net.Conn) {
 		if closed {
 			return
 		}
-		h(from, frame)
-		// Don't let one jumbo frame (a migration payload can reach
-		// MaxFrame = 16MB) pin its buffer for the connection's lifetime;
-		// steady-state parcels are a few hundred bytes.
-		if cap(frame) > 64<<10 {
+		h(from, body)
+		if aliased {
+			if poison {
+				// A handler that retained the slice now reads 0xdd — and
+				// under -race, the scribble itself flags the violator.
+				for i := range body {
+					body[i] = 0xdd
+				}
+			}
+			br.Discard(int(n))
+		} else if cap(frame) > 64<<10 {
+			// Don't let one jumbo frame (a migration payload can reach
+			// MaxFrame = 16MB) pin its buffer for the connection's
+			// lifetime; steady-state parcels are a few hundred bytes.
 			frame = nil
 		}
 	}
 }
 
-// Send delivers frame to node, dialing (with bounded retries) on first use
-// or after a connection failure. Concurrent sends to one peer batch: the
-// frame is appended to the peer's pending buffer, and either this call
-// becomes the flush leader — writing the one round that carries its own
-// frame, then handing any backlog to a drainer goroutine — or it waits for
-// the leader to report its batch's fate. With MaxPending set, a sender that
-// finds the pending buffer full blocks until a flush round frees space.
+// readFrameLen reads one 4-byte frame length header.
+func readFrameLen(br *bufio.Reader, lenBuf *[4]byte) (uint32, error) {
+	if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(lenBuf[:]), nil
+}
+
+// Send delivers frame to node on lane 0, dialing (with bounded retries) on
+// first use or after a connection failure. See SendLane for the batching
+// and ownership contract.
 func (t *TCP) Send(node int, frame []byte) error {
+	return t.SendLane(node, 0, frame)
+}
+
+// SendLane delivers frame to node on the given lane (LaneTransport).
+// Concurrent sends to one lane batch: the frame joins the lane's pending
+// gather vector, and either this call becomes the flush leader — writing
+// the one round that carries its own frame, then handing any backlog to a
+// drainer goroutine — or it waits for the leader to report its batch's
+// fate. Either way SendLane does not return until the write covering its
+// frame has completed, so the caller may recycle frame's backing buffer
+// the moment SendLane returns even on the zero-copy path. With MaxPending
+// set, a sender that finds the pending batch full blocks until a flush
+// round frees space.
+func (t *TCP) SendLane(node, lane int, frame []byte) error {
 	if err := checkNode(t, node); err != nil {
 		return err
+	}
+	if lane < 0 || lane >= t.cfg.Lanes {
+		return fmt.Errorf("transport: lane %d outside [0,%d)", lane, t.cfg.Lanes)
 	}
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return ErrClosed
 	}
-	p := t.peers[node]
+	l := t.peers[node].lanes[lane]
 	addr := ""
 	if node < len(t.cfg.Peers) {
 		addr = t.cfg.Peers[node]
@@ -558,104 +779,183 @@ func (t *TCP) Send(node int, frame []byte) error {
 		return fmt.Errorf("transport: frame of %d bytes exceeds limit %d", len(frame), MaxFrame)
 	}
 
-	p.mu.Lock()
+	l.mu.Lock()
 	if max := t.cfg.MaxPending; max > 0 {
-		// Admission: while a flush is active and the pending buffer is at
+		// Admission: while a flush is active and the pending batch is at
 		// the bound, wait for a round to free space. Wakeups are FIFO
 		// (sync.Cond queues waiters in order), so a hot sender cannot
 		// perpetually cut the line. The bound is soft by one frame: the
-		// sender admitted at len(buf) == max-1 may push the buffer past
+		// sender admitted at pendBytes == max-1 may push the batch past
 		// max, which also lets frames larger than MaxPending through.
 		blocked := false
-		for p.flushing && len(p.buf) >= max {
+		for l.flushing && l.pending() >= max {
 			if t.isClosed() {
-				p.mu.Unlock()
+				l.mu.Unlock()
 				return ErrClosed
 			}
 			if !blocked {
 				blocked = true
-				p.backpressured++
+				l.backpressured++
 			}
-			p.room.Wait()
+			l.room.Wait()
 		}
 	}
-	var lenBuf [4]byte
-	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(frame)))
-	p.buf = append(p.buf, lenBuf[:]...)
-	p.buf = append(p.buf, frame...)
-	myEnd := len(p.buf)
-	if p.flushing {
+	l.append(frame, t.cfg.CoalesceWrites)
+	myEnd := l.pending()
+	if l.flushing {
 		// Follower: a leader's write is in flight; our frame rides the
-		// next batch. Wait for that batch's verdict.
+		// next batch. Wait for that batch's verdict — which also keeps
+		// frame's bytes alive until the writev covering them returns.
 		ch := make(chan error, 1)
-		p.waiters = append(p.waiters, tcpWaiter{end: myEnd, ch: ch})
-		p.mu.Unlock()
+		l.waiters = append(l.waiters, tcpWaiter{end: myEnd, ch: ch})
+		l.mu.Unlock()
 		return <-ch
 	}
-	p.flushing = true
-	res := t.flushRound(p, node, addr)
+	l.flushing = true
+	res := t.flushRound(l, node, lane, addr)
 	myErr := res.verdict(myEnd, node)
-	if len(p.buf) > 0 {
+	if l.pending() > 0 {
 		// Frames arrived while our round's write was in flight. Hand the
 		// backlog to a drainer goroutine instead of flushing it here: the
 		// leader already paid for the round carrying its own frame, and
 		// holding it captive writing other senders' traffic would let one
 		// hot stream tax whichever caller happened to lead.
-		p.handoffs++
-		p.mu.Unlock()
-		go t.drainPeer(p, node, addr)
+		l.handoffs++
+		l.mu.Unlock()
+		go t.drainLane(l, node, lane, addr)
 		return myErr
 	}
-	p.flushing = false
-	p.room.Broadcast()
-	p.mu.Unlock()
+	l.flushing = false
+	l.room.Broadcast()
+	l.mu.Unlock()
 	return myErr
 }
 
-// drainPeer runs flush rounds for one peer until its pending buffer
+// pending reports the lane's buffered-unwritten byte count, whichever
+// batching strategy is active. Callers hold l.mu.
+func (l *tcpLane) pending() int {
+	if l.buf != nil {
+		return len(l.buf)
+	}
+	return l.pendBytes
+}
+
+// append adds one frame to the lane's pending batch. On the vectored path
+// the frame slice itself is referenced — the caller's Send blocks until
+// the covering write returns, which is what makes the zero-copy safe; the
+// 4-byte length header is carved from a pooled fixed-capacity chunk so
+// the sub-slice can never be invalidated by a growing append. Callers
+// hold l.mu.
+func (l *tcpLane) append(frame []byte, coalesce bool) {
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(frame)))
+	if coalesce {
+		if l.buf == nil {
+			l.buf = l.spare[:0]
+			l.spare = nil
+			if l.buf == nil {
+				l.buf = make([]byte, 0, 4+len(frame))
+			}
+		}
+		l.buf = append(l.buf, lenBuf[:]...)
+		l.buf = append(l.buf, frame...)
+		return
+	}
+	chunk := l.hdrChunk()
+	start := len(*chunk)
+	*chunk = append(*chunk, lenBuf[:]...)
+	l.vec = append(l.vec, (*chunk)[start:start+4], frame)
+	l.pendBytes += 4 + len(frame)
+}
+
+// hdrChunk returns a header chunk with room for one more header, pulling
+// a fresh one from the pool when the current chunk is full. Callers hold
+// l.mu.
+func (l *tcpLane) hdrChunk() *[]byte {
+	if n := len(l.hdrChunks); n > 0 {
+		if c := l.hdrChunks[n-1]; cap(*c)-len(*c) >= 4 {
+			return c
+		}
+	}
+	c := hdrChunkPool.Get().(*[]byte)
+	*c = (*c)[:0]
+	l.hdrChunks = append(l.hdrChunks, c)
+	return c
+}
+
+// drainLane runs flush rounds for one lane until its pending batch
 // empties, then releases flush leadership. It runs detached from any
 // sender; after Close it terminates promptly because every round fails
 // fast with ErrClosed verdicts.
-func (t *TCP) drainPeer(p *tcpPeer, node int, addr string) {
-	p.mu.Lock()
-	for len(p.buf) > 0 {
-		t.flushRound(p, node, addr)
+func (t *TCP) drainLane(l *tcpLane, node, lane int, addr string) {
+	l.mu.Lock()
+	for l.pending() > 0 {
+		t.flushRound(l, node, lane, addr)
 	}
-	p.flushing = false
-	p.room.Broadcast()
-	p.mu.Unlock()
+	l.flushing = false
+	l.room.Broadcast()
+	l.mu.Unlock()
 }
 
-// flushRound writes one batch — everything pending for the peer — and
+// flushRound writes one batch — everything pending for the lane — and
 // delivers per-frame verdicts to the senders waiting on it. Called with
-// p.mu held and flushing set; returns with p.mu re-held. The result lets
+// l.mu held and flushing set; returns with l.mu re-held. The result lets
 // a leader derive the verdict for its own frame (followers of this round
 // get theirs on their channels).
-func (t *TCP) flushRound(p *tcpPeer, node int, addr string) flushResult {
-	if t.cfg.BatchWindow > 0 && p.conn != nil && len(p.buf) < t.cfg.BatchBytes {
-		// Throughput bias: linger once per batch so more frames join.
-		p.mu.Unlock()
-		time.Sleep(t.cfg.BatchWindow)
-		p.mu.Lock()
+//
+// On the vectored path the batch is a net.Buffers handed to writev: the
+// pooled encode buffers referenced by it are owned by their (blocked)
+// senders until the verdicts go out, and the header chunks return to
+// their pool here. net.Buffers.WriteTo reports the bytes the kernel
+// accepted before any error, which is what the per-frame verdict offsets
+// compare against.
+func (t *TCP) flushRound(l *tcpLane, node, lane int, addr string) flushResult {
+	if t.cfg.BatchWindow > 0 && l.conn != nil && l.pending() < t.cfg.BatchBytes {
+		// Throughput bias: linger once per batch so more frames join —
+		// adaptively, by yielding the processor and flushing as soon as a
+		// pass finds the batch stopped growing, with BatchWindow as the
+		// hard bound. A fixed sleep can't express a µs-scale window (timer
+		// granularity rounds it up to milliseconds) and would tax sparse
+		// traffic with the full window on every flush; the yield loop
+		// costs one scheduler pass when nobody else is sending.
+		deadline := time.Now().Add(t.cfg.BatchWindow)
+		for {
+			last := l.pending()
+			l.mu.Unlock()
+			runtime.Gosched()
+			l.mu.Lock()
+			if l.pending() == last || l.pending() >= t.cfg.BatchBytes ||
+				!time.Now().Before(deadline) {
+				break
+			}
+		}
 	}
-	batch := p.buf
-	waiters := p.waiters
-	conn := p.conn
-	reconnect := p.connected
-	p.buf = p.spare[:0]
-	p.spare = nil
-	p.waiters = nil
-	p.batches++
-	// The pending buffer just emptied: backpressured senders may append
+	vec := l.vec
+	chunks := l.hdrChunks
+	buf := l.buf
+	waiters := l.waiters
+	conn := l.conn
+	reconnect := l.connected
+	l.vec = l.spareVec[:0]
+	l.spareVec = nil
+	l.hdrChunks = nil
+	l.pendBytes = 0
+	if buf != nil {
+		l.buf = l.spare[:0]
+		l.spare = nil
+	}
+	l.waiters = nil
+	l.batches++
+	// The pending batch just emptied: backpressured senders may append
 	// to the next batch while this round's write is in flight.
-	p.room.Broadcast()
-	p.mu.Unlock()
+	l.room.Broadcast()
+	l.mu.Unlock()
 
 	var res flushResult
 	if t.isClosed() {
 		res.err = ErrClosed
 	} else if conn == nil {
-		c, err := t.dial(node, addr, reconnect)
+		c, err := t.dial(node, lane, addr, reconnect)
 		if err != nil {
 			res.err = err
 		} else {
@@ -663,8 +963,21 @@ func (t *TCP) flushRound(p *tcpPeer, node int, addr string) flushResult {
 		}
 	}
 	if res.err == nil {
-		n, err := conn.Write(batch)
-		res.okBytes = n
+		var n int64
+		var err error
+		if buf != nil {
+			var nn int
+			nn, err = conn.Write(buf)
+			n = int64(nn)
+		} else {
+			// WriteTo advances its receiver as buffers complete; vecOrig
+			// keeps the original headers so the backing array can be
+			// recycled afterwards.
+			vecOrig := vec
+			n, err = vec.WriteTo(conn)
+			vec = vecOrig
+		}
+		res.okBytes = int(n)
 		if err != nil {
 			res.err = err
 			// Drop the stream mid-frame so the peer discards every
@@ -677,38 +990,76 @@ func (t *TCP) flushRound(p *tcpPeer, node int, addr string) flushResult {
 		w.ch <- res.verdict(w.end, node)
 	}
 
+	// The round is settled: recycle the header chunks and drop the frame
+	// references so callers' pooled buffers are no longer pinned.
+	for _, c := range chunks {
+		hdrChunkPool.Put(c)
+	}
+	for i := range vec {
+		vec[i] = nil
+	}
+
 	if conn != nil && t.isClosed() {
 		// Close swept the peers while our write was in flight; don't
 		// re-install a connection nobody will close again.
 		conn.Close()
 		conn = nil
 	}
-	p.mu.Lock()
-	p.conn = conn
+	l.mu.Lock()
+	l.conn = conn
 	if conn != nil {
-		p.connected = true
+		l.connected = true
 	}
-	p.spare = batch[:0]
+	l.spareVec = vec[:0]
+	if buf != nil {
+		l.spare = buf[:0]
+	}
 	return res
 }
 
 // BatchStats reports the group-commit batcher's cumulative activity summed
-// across peers: flush rounds written, backlogs handed from a leader to a
-// drainer goroutine, and sends that blocked on the MaxPending admission
-// bound. The distributed runtime bridges these into px.wire.* metrics.
+// across every peer and lane: flush rounds written, backlogs handed from a
+// leader to a drainer goroutine, and sends that blocked on the MaxPending
+// admission bound. The distributed runtime bridges these into px.wire.*
+// metrics; LaneBatchStats exposes the per-lane view.
 func (t *TCP) BatchStats() (batches, handoffs, backpressured uint64) {
 	t.mu.Lock()
 	peers := t.peers
 	t.mu.Unlock()
 	for _, p := range peers {
-		p.mu.Lock()
-		batches += p.batches
-		handoffs += p.handoffs
-		backpressured += p.backpressured
-		p.mu.Unlock()
+		for _, l := range p.lanes {
+			l.mu.Lock()
+			batches += l.batches
+			handoffs += l.handoffs
+			backpressured += l.backpressured
+			l.mu.Unlock()
+		}
 	}
 	return batches, handoffs, backpressured
 }
+
+// LaneBatchStats reports one lane's batcher activity summed across peers.
+func (t *TCP) LaneBatchStats(lane int) (batches, handoffs, backpressured uint64) {
+	if lane < 0 || lane >= t.cfg.Lanes {
+		return 0, 0, 0
+	}
+	t.mu.Lock()
+	peers := t.peers
+	t.mu.Unlock()
+	for _, p := range peers {
+		l := p.lanes[lane]
+		l.mu.Lock()
+		batches += l.batches
+		handoffs += l.handoffs
+		backpressured += l.backpressured
+		l.mu.Unlock()
+	}
+	return batches, handoffs, backpressured
+}
+
+// SameHostConns reports how many outbound connections took the same-host
+// Unix-domain fabric instead of TCP.
+func (t *TCP) SameHostConns() uint64 { return t.shmConns.Load() }
 
 func (t *TCP) isClosed() bool {
 	t.mu.Lock()
@@ -717,12 +1068,14 @@ func (t *TCP) isClosed() bool {
 }
 
 // dial establishes an outbound connection to node at addr, retrying with
-// exponential backoff so peers may start in any order. The full retry
-// budget is startup grace for a first connection; reconnects after a break
-// get only a couple of attempts, because Send is called from
-// latency-sensitive paths (acks, drain probes on transport goroutines)
-// that must not stall for minutes on a dead peer.
-func (t *TCP) dial(node int, addr string, reconnect bool) (net.Conn, error) {
+// exponential backoff so peers may start in any order. When the peer
+// shares this host and advertises a same-host listener, the Unix-domain
+// path is tried before TCP (see shm.go). The full retry budget is startup
+// grace for a first connection; reconnects after a break get only a
+// couple of attempts, because Send is called from latency-sensitive paths
+// (acks, drain probes on transport goroutines) that must not stall for
+// minutes on a dead peer.
+func (t *TCP) dial(node, lane int, addr string, reconnect bool) (net.Conn, error) {
 	attempts := t.cfg.DialAttempts
 	if reconnect && attempts > 2 {
 		attempts = 2
@@ -733,9 +1086,9 @@ func (t *TCP) dial(node int, addr string, reconnect bool) (net.Conn, error) {
 		if t.isClosed() {
 			return nil, ErrClosed
 		}
-		conn, err := net.DialTimeout("tcp", addr, t.cfg.HandshakeTimeout)
+		conn, err := t.dialOnce(addr)
 		if err == nil {
-			if err = t.completeDial(conn, node); err == nil {
+			if err = t.completeDial(conn, node, lane); err == nil {
 				return conn, nil
 			}
 			conn.Close()
@@ -749,18 +1102,31 @@ func (t *TCP) dial(node int, addr string, reconnect bool) (net.Conn, error) {
 	return nil, fmt.Errorf("transport: dial node %d at %s: %w", node, addr, lastErr)
 }
 
+// dialOnce makes one connection attempt, preferring the same-host fabric
+// when it applies.
+func (t *TCP) dialOnce(addr string) (net.Conn, error) {
+	if !t.cfg.DisableSameHost {
+		if conn, ok := dialSameHost(addr, t.cfg.HandshakeTimeout); ok {
+			t.shmConns.Add(1)
+			return conn, nil
+		}
+	}
+	return net.DialTimeout("tcp", addr, t.cfg.HandshakeTimeout)
+}
+
 // completeDial runs the client half of the handshake and verifies the
 // answering node is the one we meant to reach. The peer's hello payload
 // (read from its handshake response) is delivered before the dial is
 // declared complete, so a sender learns the peer's capabilities before
 // its first frame on the new connection.
-func (t *TCP) completeDial(conn net.Conn, node int) error {
+func (t *TCP) completeDial(conn net.Conn, node, lane int) error {
 	conn.SetDeadline(time.Now().Add(t.cfg.HandshakeTimeout))
 	defer conn.SetDeadline(time.Time{})
-	if _, err := conn.Write(t.handshakeBytes()); err != nil {
+	_, sameHost := conn.(*net.UnixConn)
+	if _, err := conn.Write(t.handshakeBytes(lane, sameHost)); err != nil {
 		return err
 	}
-	got, hello, _, err := t.readHandshake(conn)
+	got, hello, _, _, err := t.readHandshake(conn)
 	if err != nil {
 		return err
 	}
@@ -771,8 +1137,8 @@ func (t *TCP) completeDial(conn net.Conn, node int) error {
 	return nil
 }
 
-// Close shuts the listener and every connection, then waits for the accept
-// and read goroutines to drain.
+// Close shuts the listeners and every connection, then waits for the
+// accept and read goroutines to drain.
 func (t *TCP) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -788,22 +1154,28 @@ func (t *TCP) Close() error {
 	peers := t.peers
 	t.mu.Unlock()
 	t.ln.Close()
+	if t.shm != nil {
+		t.shm.Close()
+		removeSameHost(t.ln.Addr())
+	}
 	for _, c := range conns {
 		c.Close()
 	}
 	for _, p := range peers {
-		p.mu.Lock()
-		if p.conn != nil {
-			// Pending batches are abandoned: the leader's next round sees
-			// the closed transport and fails its waiters, upholding
-			// Close's "in-flight frames may be dropped".
-			p.conn.Close()
-			p.conn = nil
+		for _, l := range p.lanes {
+			l.mu.Lock()
+			if l.conn != nil {
+				// Pending batches are abandoned: the leader's next round
+				// sees the closed transport and fails its waiters,
+				// upholding Close's "in-flight frames may be dropped".
+				l.conn.Close()
+				l.conn = nil
+			}
+			// Senders blocked on the MaxPending bound re-check and observe
+			// the closed transport.
+			l.room.Broadcast()
+			l.mu.Unlock()
 		}
-		// Senders blocked on the MaxPending bound re-check and observe the
-		// closed transport.
-		p.room.Broadcast()
-		p.mu.Unlock()
 	}
 	t.wg.Wait()
 	return nil

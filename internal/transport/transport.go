@@ -20,8 +20,13 @@ import (
 
 // Handler consumes one received frame. from is the sending node's ID. The
 // frame slice is valid only until the handler returns — transports reuse
-// their read buffers — so a handler must copy any bytes it retains.
-// Handlers run on transport goroutines and must not block indefinitely.
+// their read buffers, and the TCP transport's alias-decode path hands the
+// handler a sub-slice of the connection read buffer itself — so a handler
+// must copy any bytes it retains. Violations can be caught with the TCP
+// transport's poison mode (TCPConfig.PoisonAliasedReads, default on under
+// the debugpool build tag), which scribbles over the frame after the
+// handler returns. Handlers run on transport goroutines and must not
+// block indefinitely.
 type Handler func(from int, frame []byte)
 
 // Transport is the frame service joining the nodes of one machine.
@@ -65,6 +70,26 @@ type HelloTransport interface {
 	// delivered, may run again on reconnection, and may be called
 	// concurrently for different peers. It must be set before Start.
 	SetHelloHandler(h func(node int, payload []byte))
+}
+
+// LaneTransport is optionally implemented by transports that shard each
+// peer pair across several independent connections ("lanes"). Lanes
+// preserve ordering only within a lane: two frames sent on the same
+// (node, lane) arrive in send order, frames on different lanes may not.
+// The runtime exploits this by affinity-hashing parcels on their
+// destination GID — per-object ordering is preserved while independent
+// objects stop queueing behind each other — and by keeping control
+// traffic (acks, hellos, membership beats, drain probes) on lane 0, so a
+// transport without lane support behaves identically via plain Send.
+type LaneTransport interface {
+	Transport
+	// Lanes reports how many lanes connect this node to each peer; always
+	// >= 1. Plain Send is equivalent to SendLane on lane 0.
+	Lanes() int
+	// SendLane delivers frame to node on the given lane, under the same
+	// at-most-once, error-means-non-delivery contract as Send. lane must
+	// be in [0, Lanes()).
+	SendLane(node, lane int, frame []byte) error
 }
 
 // MemberTransport is optionally implemented by transports whose machine

@@ -431,13 +431,14 @@ func TestTCPMaxPendingBackpressure(t *testing.T) {
 		c.MaxPending = 64
 	})
 	tt := nodes[0].(*TCP)
-	p := tt.peers[1]
+	l := tt.peers[1].lanes[0]
 
-	// Simulate a flush in progress with the buffer already at the bound.
-	p.mu.Lock()
-	p.flushing = true
-	p.buf = append(p.buf, make([]byte, 128)...)
-	p.mu.Unlock()
+	// Simulate a flush in progress with the pending batch already at the
+	// bound.
+	l.mu.Lock()
+	l.flushing = true
+	l.pendBytes = 128
+	l.mu.Unlock()
 
 	done := make(chan error, 1)
 	go func() { done <- tt.Send(1, []byte("held")) }()
@@ -447,12 +448,12 @@ func TestTCPMaxPendingBackpressure(t *testing.T) {
 	case <-time.After(50 * time.Millisecond):
 	}
 
-	// Free the buffer the way a finished flush round would.
-	p.mu.Lock()
-	p.buf = p.buf[:0]
-	p.flushing = false
-	p.room.Broadcast()
-	p.mu.Unlock()
+	// Free the batch the way a finished flush round would.
+	l.mu.Lock()
+	l.pendBytes = 0
+	l.flushing = false
+	l.room.Broadcast()
+	l.mu.Unlock()
 
 	if err := <-done; err != nil {
 		t.Fatalf("send after space freed: %v", err)
@@ -485,19 +486,19 @@ func TestTCPLeaderHandsOffBacklog(t *testing.T) {
 	// leader's round deterministically while a follower queues behind it.
 	cli, srv := net.Pipe()
 	defer srv.Close()
-	p := tt.peers[1]
-	p.mu.Lock()
-	p.conn = cli
-	p.connected = true
-	p.mu.Unlock()
+	l := tt.peers[1].lanes[0]
+	l.mu.Lock()
+	l.conn = cli
+	l.connected = true
+	l.mu.Unlock()
 
 	leaderDone := make(chan error, 1)
 	go func() { leaderDone <- tt.Send(1, []byte("lead")) }()
-	waitPeer(t, p, func() bool { return p.flushing && p.batches == 1 })
+	waitLane(t, l, func() bool { return l.flushing && l.batches == 1 })
 
 	followerDone := make(chan error, 1)
 	go func() { followerDone <- tt.Send(1, []byte("tail")) }()
-	waitPeer(t, p, func() bool { return len(p.buf) > 0 })
+	waitLane(t, l, func() bool { return l.pending() > 0 })
 
 	// Drain the leader's round; its Send must return even though the
 	// follower's frame is still pending.
@@ -517,15 +518,15 @@ func TestTCPLeaderHandsOffBacklog(t *testing.T) {
 	}
 }
 
-// waitPeer polls cond under the peer's lock until it holds or the deadline
+// waitLane polls cond under the lane's lock until it holds or the deadline
 // lapses.
-func waitPeer(t *testing.T, p *tcpPeer, cond func() bool) {
+func waitLane(t *testing.T, l *tcpLane, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		p.mu.Lock()
+		l.mu.Lock()
 		ok := cond()
-		p.mu.Unlock()
+		l.mu.Unlock()
 		if ok {
 			return
 		}

@@ -105,6 +105,10 @@ type OpenLoopResult struct {
 	// once the survivors re-home the dead node's localities the retry
 	// lands on the adopted shard.
 	NodeLost int
+	// HintsHonored counts retries whose backoff came from the server's
+	// retry-after hint (carried inside the shed verdict) instead of the
+	// generator's own exponential schedule.
+	HintsHonored int
 	// Failed is the number of requests that resolved with a non-overload
 	// error.
 	Failed int
@@ -144,6 +148,7 @@ func (r *OpenLoopResult) Record(name string) benchio.Record {
 		"rejected":  float64(r.Rejected),
 		"nodelost":  float64(r.NodeLost),
 		"lost":      float64(r.Lost),
+		"hints":     float64(r.HintsHonored),
 	}
 	return rec
 }
@@ -177,8 +182,11 @@ func RunOpenLoop(rt *core.Runtime, cfg OpenLoopConfig) *OpenLoopResult {
 		latencies []float64
 		wg        sync.WaitGroup
 
-		completed, shed, timedOut, retried, failed, rejected, nodeLost, lost atomic.Int64
+		completed, shed, timedOut, retried, failed, rejected, nodeLost, lost, hinted atomic.Int64
 	)
+	// Honored hints feed the serving metrics too, so an operator watching
+	// px.serve.* sees whether clients are pacing off server suggestions.
+	hintCounter := rt.Metrics().Counter("px.serve.retry_hints")
 	start := time.Now()
 	for i := 0; i < cfg.Requests; i++ {
 		sched := start.Add(time.Duration(i) * interval)
@@ -210,6 +218,9 @@ func RunOpenLoop(rt *core.Runtime, cfg OpenLoopConfig) *OpenLoopResult {
 				// lastVerdict: this attempt ended with a typed retryable
 				// verdict (shed or node-lost), not a silent timeout.
 				lastVerdict := false
+				// hint: the server's suggested backoff, when the verdict
+				// carried one.
+				var hint time.Duration
 				select {
 				case <-fut.Done():
 					_, err := fut.Get()
@@ -224,6 +235,7 @@ func RunOpenLoop(rt *core.Runtime, cfg OpenLoopConfig) *OpenLoopResult {
 					case core.IsOverloaded(err):
 						shed.Add(1)
 						lastVerdict = true
+						hint, _ = core.RetryAfter(err)
 					case core.IsNodeLost(err):
 						// The shard's node died. Retry: the survivors
 						// re-home its localities, and the retry routes to
@@ -246,24 +258,37 @@ func RunOpenLoop(rt *core.Runtime, cfg OpenLoopConfig) *OpenLoopResult {
 					return
 				}
 				retried.Add(1)
-				time.Sleep(backoff)
+				if hint > 0 {
+					// The shedding node told us when to come back; honor it
+					// exactly instead of the blind exponential schedule. The
+					// schedule's own clock keeps doubling regardless, so a
+					// request whose NEXT verdict carries no hint (a timeout,
+					// a node loss) resumes where the schedule would have
+					// been, not back at the start.
+					hinted.Add(1)
+					hintCounter.Inc()
+					time.Sleep(hint)
+				} else {
+					time.Sleep(backoff)
+				}
 				backoff *= 2
 			}
 		}(sched)
 	}
 	wg.Wait()
 	return &OpenLoopResult{
-		Issued:      cfg.Requests,
-		Completed:   int(completed.Load()),
-		Shed:        int(shed.Load()),
-		TimedOut:    int(timedOut.Load()),
-		Retried:     int(retried.Load()),
-		Failed:      int(failed.Load()),
-		Rejected:    int(rejected.Load()),
-		NodeLost:    int(nodeLost.Load()),
-		Lost:        int(lost.Load()),
-		LatenciesNs: latencies,
-		Elapsed:     time.Since(start),
+		Issued:       cfg.Requests,
+		Completed:    int(completed.Load()),
+		Shed:         int(shed.Load()),
+		TimedOut:     int(timedOut.Load()),
+		Retried:      int(retried.Load()),
+		Failed:       int(failed.Load()),
+		Rejected:     int(rejected.Load()),
+		NodeLost:     int(nodeLost.Load()),
+		Lost:         int(lost.Load()),
+		HintsHonored: int(hinted.Load()),
+		LatenciesNs:  latencies,
+		Elapsed:      time.Since(start),
 	}
 }
 

@@ -1,0 +1,29 @@
+package parallex_test
+
+import (
+	"os"
+	"strconv"
+
+	parallex "repro"
+)
+
+// newWireTCP builds the TCP transport for a distributed test after
+// applying the wire-environment overrides, so CI can re-run the whole
+// multinode tier under alternate transport configurations without
+// forking the tests:
+//
+//	PX_WIRE_LANES=<n>   shard each peer pair across n connections
+//	PX_WIRE_TCPONLY=1   disable the same-host fabric (loopback TCP only)
+//
+// Both default to the transport's own defaults when unset.
+func newWireTCP(cfg parallex.TCPTransportConfig) (*parallex.TCPTransport, error) {
+	if v := os.Getenv("PX_WIRE_LANES"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			cfg.Lanes = n
+		}
+	}
+	if os.Getenv("PX_WIRE_TCPONLY") == "1" {
+		cfg.DisableSameHost = true
+	}
+	return parallex.NewTCPTransport(cfg)
+}
