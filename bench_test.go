@@ -64,6 +64,15 @@ func BenchmarkSchedParcelFlood(b *testing.B) {
 	schedbench.ParcelFlood(b, 4)
 }
 
+// BenchmarkSchedBalancerOff is the parcel flood with every adaptive-
+// balancer knob set but BalanceInterval zero — balancing staged, not
+// enabled. CI pins it at 0 allocs/op (cmd/benchdiff -allocdrop against
+// the committed zero-alloc baseline): the balancer's sampling branch on
+// the delivery path must cost nothing while dormant.
+func BenchmarkSchedBalancerOff(b *testing.B) {
+	schedbench.BalancerOff(b, 4)
+}
+
 // BenchmarkSchedParcelPingPong bounces one parcel rally between two
 // localities: per-parcel latency and allocation with nothing to hide it.
 // Also allocs/op-gated in CI.
@@ -322,6 +331,27 @@ func BenchmarkA3SchedulerAblation(b *testing.B) {
 			b.ReportMetric(float64(r.PxTime.Milliseconds()), "steal-ms")
 		}
 	}
+}
+
+// BenchmarkA4SelfBalancingAblation reports how close policy-chosen
+// placement comes to hand-tuned placement on the skewed ring, and the
+// gap it closes over leaving the skew alone.
+func BenchmarkA4SelfBalancingAblation(b *testing.B) {
+	var rs []experiments.A4Result
+	for i := 0; i < b.N; i++ {
+		rs = experiments.RunA4(4, 4, 3, 8)
+	}
+	byMode := map[string]experiments.A4Result{}
+	for _, r := range rs {
+		byMode[r.Mode] = r
+	}
+	if m := byMode["manual"].CallsPerSec; m > 0 {
+		b.ReportMetric(byMode["balancer"].CallsPerSec/m, "bal/manual")
+	}
+	if off := byMode["off"].CallsPerSec; off > 0 {
+		b.ReportMetric(byMode["balancer"].CallsPerSec/off, "bal/off")
+	}
+	b.ReportMetric(float64(byMode["balancer"].Moves), "moves")
 }
 
 // --- micro-benchmarks of the public API, for -benchmem numbers ---

@@ -1,10 +1,13 @@
 // Command linkcheck validates intra-repository links in markdown files.
 // It extracts inline links and images ([text](target)), resolves every
 // non-external target relative to the containing file, and fails if any
-// points at a file that does not exist. External schemes (http, https,
-// mailto) and pure in-page fragments (#section) are skipped — the CI
-// docs job is about the repo's own documents never dangling, not about
-// the internet being up.
+// points at a file that does not exist. Fragments are checked too: both
+// in-page links (#section) and cross-file fragments (file.md#section)
+// must name a real heading anchor, computed the way GitHub renders
+// them (lowercased, punctuation stripped, spaces to hyphens, duplicate
+// headings suffixed -1, -2, ...). External schemes (http, https,
+// mailto) are skipped — the CI docs job is about the repo's own
+// documents never dangling, not about the internet being up.
 //
 // Usage:
 //
@@ -19,12 +22,20 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+	"unicode"
 )
 
 // linkRe matches inline markdown links and images: [text](target) and
 // ![alt](target). Nested brackets and multi-line targets are out of
 // scope — the repo's docs do not use them.
 var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// headingRe matches ATX headings; the anchor comes from the text.
+var headingRe = regexp.MustCompile(`^#{1,6}\s+(.*?)\s*#*\s*$`)
+
+// headingLinkRe strips inline link syntax inside a heading, keeping the
+// visible text ([text](url) renders — and slugs — as just "text").
+var headingLinkRe = regexp.MustCompile(`\[([^\]]*)\]\([^)]*\)`)
 
 // external reports whether target leaves the repository.
 func external(target string) bool {
@@ -34,6 +45,76 @@ func external(target string) bool {
 		}
 	}
 	return false
+}
+
+// slugify turns one heading's text into its GitHub anchor ID: markdown
+// decoration dropped, lowercased, everything except letters, digits,
+// hyphens and underscores removed, spaces becoming hyphens.
+func slugify(heading string) string {
+	s := headingLinkRe.ReplaceAllString(heading, "$1")
+	s = strings.NewReplacer("`", "", "*", "", "~~", "").Replace(s)
+	s = strings.ToLower(strings.TrimSpace(s))
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// anchorCache holds each file's heading anchors; files are parsed once
+// no matter how many links point into them.
+var anchorCache = map[string]map[string]bool{}
+
+// anchorsOf returns the set of valid fragment anchors in a markdown
+// file: one slug per heading outside fenced code blocks, with GitHub's
+// -1/-2 suffixes for repeated headings.
+func anchorsOf(path string) (map[string]bool, error) {
+	if set, ok := anchorCache[path]; ok {
+		return set, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	set := map[string]bool{}
+	seen := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := headingRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		slug := slugify(m[1])
+		if n := seen[slug]; n > 0 {
+			set[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			set[slug] = true
+		}
+		seen[slug]++
+	}
+	anchorCache[path] = set
+	return set, nil
+}
+
+// checkAnchor reports whether fragment names a heading in file.
+func checkAnchor(file, fragment string) (bool, error) {
+	set, err := anchorsOf(file)
+	if err != nil {
+		return false, err
+	}
+	return set[strings.ToLower(fragment)], nil
 }
 
 // checkFile returns one message per broken intra-repo link in path.
@@ -46,19 +127,34 @@ func checkFile(path string) ([]string, error) {
 	for lineNo, line := range strings.Split(string(data), "\n") {
 		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
 			target := m[1]
-			if external(target) || strings.HasPrefix(target, "#") {
+			if external(target) {
 				continue
 			}
-			// Drop a trailing fragment; the file half must still exist.
+			// Split the optional fragment off the file half.
+			fragment := ""
 			if i := strings.IndexByte(target, '#'); i >= 0 {
-				target = target[:i]
+				target, fragment = target[:i], target[i+1:]
 			}
-			if target == "" {
+			resolved := path // in-page fragment: the containing file
+			if target != "" {
+				resolved = filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+				if _, err := os.Stat(resolved); err != nil {
+					broken = append(broken, fmt.Sprintf("%s:%d: broken link %q (%s)", path, lineNo+1, m[1], resolved))
+					continue
+				}
+			}
+			// The fragment half must name a real heading anchor — but only
+			// markdown renders headings, so only .md targets are checked.
+			if fragment == "" || !strings.HasSuffix(resolved, ".md") {
 				continue
 			}
-			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
-			if _, err := os.Stat(resolved); err != nil {
-				broken = append(broken, fmt.Sprintf("%s:%d: broken link %q (%s)", path, lineNo+1, m[1], resolved))
+			ok, err := checkAnchor(resolved, fragment)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				broken = append(broken, fmt.Sprintf("%s:%d: broken anchor %q (no heading %q in %s)",
+					path, lineNo+1, m[1], fragment, resolved))
 			}
 		}
 	}
@@ -67,7 +163,7 @@ func checkFile(path string) ([]string, error) {
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: linkcheck [file.md ...]\nChecks intra-repo markdown links; defaults to *.md in the current directory.\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: linkcheck [file.md ...]\nChecks intra-repo markdown links, including #heading anchors; defaults to *.md in the current directory.\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"Top Title":                   "top-title",
+		"A `code` & Heading!":         "a-code--heading",
+		"px.balance.* metrics":        "pxbalance-metrics",
+		"Hot paths (and their costs)": "hot-paths-and-their-costs",
+		"under_score stays":           "under_score-stays",
+		"[linked](x.md) heading":      "linked-heading",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestAnchorsOfDedupAndFences(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.md")
+	md := "# Title\n## Dup\n## Dup\n```\n# not a heading\n```\n## Tail\n"
+	if err := os.WriteFile(path, []byte(md), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	set, err := anchorsOf(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"title", "dup", "dup-1", "tail"} {
+		if !set[want] {
+			t.Errorf("anchor %q missing from %v", want, set)
+		}
+	}
+	if set["not-a-heading"] {
+		t.Error("heading inside a code fence produced an anchor")
+	}
+}
+
+func TestCheckFileAnchors(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.md")
+	b := filepath.Join(dir, "b.md")
+	md := "# One\nsee [in](#one), [cross](b.md#two), [bad](#zzz), [badcross](b.md#zzz)\n"
+	if err := os.WriteFile(a, []byte(md), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, []byte("## Two\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	broken, err := checkFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broken) != 2 {
+		t.Fatalf("want 2 broken anchors, got %v", broken)
+	}
+}

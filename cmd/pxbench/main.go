@@ -197,6 +197,9 @@ func main() {
 	if want("a3") {
 		fmt.Println(experiments.TableA3(experiments.RunA3(2000, 4)))
 	}
+	if want("a4") {
+		fmt.Println(experiments.TableA4(experiments.RunA4(4, 4, 12/scale, 8)))
+	}
 	if want("x1") {
 		ratios := []float64{0.1, 0.5, 1, 2, 5, 10}
 		fmt.Println(experiments.TableX1(experiments.RunX1(ratios, 16, 256, 8, 30)))

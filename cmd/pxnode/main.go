@@ -10,6 +10,10 @@
 // out and funnels the answers into one Reduce LCO; migrate rebalances a
 // ring of vector objects skewed onto node 0 by live-migrating them
 // across the machine, comparing the burst latency before and after;
+// migrate-auto runs the same skewed ring but never calls Migrate — it
+// sustains load until the adaptive balancers (enable with -balance on
+// EVERY node) spread the ring on their own, then measures the balanced
+// burst against the placement the policy chose;
 // reduce-lco runs the same all-to-one collective through the distributed
 // LCO gate tree (per-node leaf reductions feeding an AGAS-homed root);
 // barrier runs machine-wide barrier rounds over distributed gate trees,
@@ -30,6 +34,14 @@
 // silence floor before a suspect peer is declared dead, default 3s);
 // when a peer dies its localities are adopted by a surviving node and
 // its stranded futures fail with the typed node-lost verdict.
+//
+// Adaptive self-balancing: -balance enables the per-node balancer at
+// the given tick interval (it must be set on every node — each node
+// plans moves for the objects it hosts). The policy knobs
+// -balance-sample, -balance-hot, -balance-imbalance, -balance-moves and
+// -balance-cooldown map one-to-one onto the Balance* runtime config;
+// docs/OPERATIONS.md has the tuning guide and the px.balance.* metrics
+// to watch.
 //
 // Wire tuning: -lanes shards each peer pair across that many TCP
 // connections, with parcels affinity-hashed on their destination GID —
@@ -69,7 +81,7 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated host:port of every node, in node order")
 	locs := flag.String("localities", "", "locality count per node in node order, e.g. 2,2,2 = nodes hosting [0,2) [2,4) [4,6)")
 	listen := flag.String("listen", "", "listen address (default: the -peers entry for this node)")
-	workload := flag.String("workload", "", "ping | ring | reduce | reduce-lco | barrier | migrate | serve (node 0 only; empty = serve parcels until halt)")
+	workload := flag.String("workload", "", "ping | ring | reduce | reduce-lco | barrier | migrate | migrate-auto | serve (node 0 only; empty = serve parcels until halt)")
 	iters := flag.Int("n", 100, "workload iterations")
 	workers := flag.Int("workers", 4, "workers per locality")
 	admit := flag.Int("admit", 0, "admission limit: max queued tasks per locality before sheddable requests get ErrOverloaded; 0 = unbounded")
@@ -77,6 +89,12 @@ func main() {
 	beat := flag.Duration("beat", 0, "membership heartbeat interval (0 = default 250ms)")
 	deadAfter := flag.Duration("dead-after", 0, "hard silence floor before a suspect peer is declared dead (0 = default 3s)")
 	lanes := flag.Int("lanes", 0, "TCP connections per peer pair, parcels affinity-hashed on destination GID across them (0 = single lane)")
+	balance := flag.Duration("balance", 0, "adaptive balancer tick interval on every node (0 = balancing disabled)")
+	balanceSample := flag.Int("balance-sample", 0, "sample every Nth parcel arrival for per-object heat (0 = default 8)")
+	balanceHot := flag.Int("balance-hot", 0, "min sampled arrivals per tick before an object is migration-eligible (0 = default 8)")
+	balanceImbalance := flag.Float64("balance-imbalance", 0, "hysteresis ratio: move only when source load >= ratio*coldest + the object's own contribution (0 = default 2)")
+	balanceMoves := flag.Int("balance-moves", 0, "max migrations planned per tick per node (0 = default 4)")
+	balanceCooldown := flag.Int("balance-cooldown", 0, "ticks a just-moved object is immune from another move (0 = default 5)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = off")
 	metricsAddr := flag.String("metrics", "", "serve the px.* metrics registry and sampled trace spans as JSON on this address (e.g. localhost:7070); empty = off")
 	traceSample := flag.Float64("trace-sample", 0, "fraction of root parcels that start a sampled distributed trace, 0..1")
@@ -130,12 +148,18 @@ func main() {
 	}
 
 	rt := parallex.New(parallex.Config{
-		Transport:          tr,
-		NodeID:             *node,
-		NodeLocalities:     ranges,
-		WorkersPerLocality: *workers,
-		AdmitLimit:         *admit,
-		TraceSampleRate:    *traceSample,
+		Transport:           tr,
+		NodeID:              *node,
+		NodeLocalities:      ranges,
+		WorkersPerLocality:  *workers,
+		AdmitLimit:          *admit,
+		TraceSampleRate:     *traceSample,
+		BalanceInterval:     *balance,
+		BalanceSampleEvery:  *balanceSample,
+		BalanceHotThreshold: *balanceHot,
+		BalanceImbalance:    *balanceImbalance,
+		BalanceMaxMoves:     *balanceMoves,
+		BalanceCooldown:     *balanceCooldown,
 		Membership: parallex.MembershipConfig{
 			HeartbeatInterval: *beat,
 			DeadAfter:         *deadAfter,
@@ -199,6 +223,11 @@ func main() {
 		runBarrier(rt, home, *iters)
 	case "migrate":
 		runMigrate(rt, home, *iters)
+	case "migrate-auto":
+		if *balance <= 0 {
+			die(rt, "pxnode: migrate-auto needs the balancer: start every node with -balance (e.g. -balance 50ms)")
+		}
+		runMigrateAuto(rt, home, *iters)
 	case "":
 		// Serve-only driver: useful when another process injects work.
 	default:
@@ -363,13 +392,10 @@ func runRing(rt *parallex.Runtime, home, iters int) {
 	fmt.Printf("pxnode: ring %d laps of %d hops each\n", iters, rt.Localities())
 }
 
-// runMigrate rebalances a skewed ring with live migration: one vector
-// object per locality, all initially crammed onto the driver's home
-// locality, hammered by concurrent split-phase sum calls. After measuring
-// the skewed burst the driver migrates each object to its own locality —
-// crossing nodes, with parcels in flight — and measures the same burst
-// against the balanced placement.
-func runMigrate(rt *parallex.Runtime, home, iters int) {
+// newSkewedRing builds the migrate workloads' object set: one 16K-float
+// vector object per locality, every one of them crammed onto the
+// driver's home locality. Returns the objects and the expected sum.
+func newSkewedRing(rt *parallex.Runtime, home int) ([]parallex.GID, float64) {
 	n := rt.Localities()
 	objs := make([]parallex.GID, n)
 	var want float64
@@ -385,28 +411,65 @@ func runMigrate(rt *parallex.Runtime, home, iters int) {
 		}
 		objs[i] = rt.NewDataAt(home, vec) // skew: everything on one locality
 	}
-	burst := func(tag string) {
-		start := time.Now()
-		for it := 0; it < iters; it++ {
-			futs := make([]*parallex.Future, n)
-			for k, obj := range objs {
-				futs[k] = rt.CallFrom(home, obj, "pxnode.sum", nil)
+	return objs, want
+}
+
+// sumBurst hammers every object with iters rounds of concurrent
+// split-phase sum calls, verifying each result, and returns the mean
+// call latency in microseconds.
+func sumBurst(rt *parallex.Runtime, home int, objs []parallex.GID, iters int, want float64, tag string) float64 {
+	start := time.Now()
+	for it := 0; it < iters; it++ {
+		futs := make([]*parallex.Future, len(objs))
+		for k, obj := range objs {
+			futs[k] = rt.CallFrom(home, obj, "pxnode.sum", nil)
+		}
+		for k, fut := range futs {
+			v, err := fut.Get()
+			if err != nil {
+				die(rt, "pxnode: migrate burst %s call %d: %v", tag, k, err)
 			}
-			for k, fut := range futs {
-				v, err := fut.Get()
-				if err != nil {
-					die(rt, "pxnode: migrate burst %s call %d: %v", tag, k, err)
-				}
-				if got := v.(float64); got != want {
-					die(rt, "pxnode: migrate burst %s object %d sum %v, want %v", tag, k, got, want)
-				}
+			if got := v.(float64); got != want {
+				die(rt, "pxnode: migrate burst %s object %d sum %v, want %v", tag, k, got, want)
 			}
 		}
-		calls := iters * n
-		fmt.Printf("pxnode: migrate burst %-9s %d calls, %.1fµs mean\n",
-			tag, calls, float64(time.Since(start).Microseconds())/float64(calls))
 	}
-	burst("skewed")
+	calls := iters * len(objs)
+	mean := float64(time.Since(start).Microseconds()) / float64(calls)
+	fmt.Printf("pxnode: migrate burst %-9s %d calls, %.1fµs mean\n", tag, calls, mean)
+	return mean
+}
+
+// ringPlacement resolves where every object currently lives and renders
+// a locality→count histogram.
+func ringPlacement(rt *parallex.Runtime, objs []parallex.GID) (map[int]int, string) {
+	where := make(map[int]int)
+	for _, obj := range objs {
+		loc, _, err := rt.AGAS().Locate(obj)
+		if err != nil {
+			die(rt, "pxnode: locate %v: %v", obj, err)
+		}
+		where[loc]++
+	}
+	var sb strings.Builder
+	for loc := 0; loc < rt.Localities(); loc++ {
+		if n := where[loc]; n > 0 {
+			fmt.Fprintf(&sb, " L%d:%d", loc, n)
+		}
+	}
+	return where, strings.TrimSpace(sb.String())
+}
+
+// runMigrate rebalances a skewed ring with live migration: the objects
+// from newSkewedRing are hammered by concurrent split-phase sum calls.
+// After measuring the skewed burst the driver migrates each object to
+// its own locality — crossing nodes, with parcels in flight — and
+// measures the same burst against the balanced placement. This is the
+// manual-placement baseline that migrate-auto must approach without any
+// explicit Migrate call.
+func runMigrate(rt *parallex.Runtime, home, iters int) {
+	objs, want := newSkewedRing(rt, home)
+	sumBurst(rt, home, objs, iters, want, "skewed")
 	migStart := time.Now()
 	for k, obj := range objs {
 		if err := rt.Migrate(obj, k); err != nil {
@@ -414,8 +477,69 @@ func runMigrate(rt *parallex.Runtime, home, iters int) {
 		}
 	}
 	fmt.Printf("pxnode: rebalanced %d objects across %d localities in %v\n",
-		n, n, time.Since(migStart))
-	burst("balanced")
+		len(objs), rt.Localities(), time.Since(migStart))
+	sumBurst(rt, home, objs, iters, want, "balanced")
+}
+
+// runMigrateAuto is the self-balancing twin of runMigrate: same skewed
+// ring, same bursts, but the driver never calls Migrate. Between the
+// bursts it only keeps uniform load flowing and polls the placement
+// until the per-node balancers — fed by their own arrival sampling and
+// cross-node load reports — have spread the ring, then measures the
+// balanced burst against the placement the policy chose.
+func runMigrateAuto(rt *parallex.Runtime, home, iters int) {
+	objs, want := newSkewedRing(rt, home)
+	n := len(objs)
+	skewed := sumBurst(rt, home, objs, iters, want, "skewed")
+
+	// Sustain load until the balancer breaks the skew: converged once the
+	// objects occupy at least minSpread distinct localities and the home
+	// locality has shed at least half of them. The driver never names a
+	// placement — only the sampled arrivals do.
+	minSpread := rt.Localities()
+	if n < minSpread {
+		minSpread = n
+	}
+	if minSpread > 3 {
+		minSpread = 3
+	}
+	waitStart := time.Now()
+	deadline := waitStart.Add(60 * time.Second)
+	rounds := 0
+	for {
+		futs := make([]*parallex.Future, 0, n*8)
+		for _, obj := range objs {
+			for k := 0; k < 8; k++ {
+				futs = append(futs, rt.CallFrom(home, obj, "pxnode.sum", nil))
+			}
+		}
+		for _, fut := range futs {
+			if _, err := fut.Get(); err != nil {
+				die(rt, "pxnode: migrate-auto sustain: %v", err)
+			}
+		}
+		rounds++
+		where, hist := ringPlacement(rt, objs)
+		if len(where) >= minSpread && where[home] <= n/2 {
+			snap := rt.Metrics().Snapshot()
+			fmt.Printf("pxnode: balancer spread %d objects in %v (%d sustain rounds): %s\n",
+				n, time.Since(waitStart).Round(time.Millisecond), rounds, hist)
+			fmt.Printf("pxnode: node 0 balance telemetry: ticks %.0f moves %.0f planned %.0f skipped(hyst %.0f rate %.0f cool %.0f)\n",
+				snap["px.balance.ticks"], snap["px.balance.moves"], snap["px.balance.planned"],
+				snap["px.balance.skipped_hysteresis"], snap["px.balance.skipped_ratelimit"],
+				snap["px.balance.skipped_cooldown"])
+			break
+		}
+		if time.Now().After(deadline) {
+			die(rt, "pxnode: balancer never broke the skew: placement %s after %d rounds (is -balance set on EVERY node?)", hist, rounds)
+		}
+	}
+
+	balanced := sumBurst(rt, home, objs, iters, want, "balanced")
+	if balanced > 0 {
+		fmt.Printf("pxnode: migrate-auto speedup %.2fx (skewed %.1fµs -> balanced %.1fµs per call)\n",
+			skewed/balanced, skewed, balanced)
+	}
 }
 
 // runReduceLCO runs the distributed-LCO flavor of the all-to-one

@@ -1,0 +1,37 @@
+package agas
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLiveLocalities(t *testing.T) {
+	m := MustLocalityMap([]Range{{0, 2}, {2, 4}, {4, 6}})
+	if got := m.LiveLocalities(); !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4, 5}) {
+		t.Fatalf("all-alive LiveLocalities = %v", got)
+	}
+
+	// A death re-homes the corpse's localities onto a live adopter, so
+	// they stay live placement targets — lost directory state, but a
+	// running execution domain.
+	m.MarkDead(1)
+	if got := m.LiveLocalities(); !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4, 5}) {
+		t.Fatalf("post-adoption LiveLocalities = %v", got)
+	}
+
+	// A joiner's localities appear as targets the moment the map grows.
+	if _, err := m.AddNode(Range{6, 8}); err != nil {
+		t.Fatalf("AddNode: %v", err)
+	}
+	if got := m.LiveLocalities(); !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4, 5, 6, 7}) {
+		t.Fatalf("post-join LiveLocalities = %v", got)
+	}
+
+	// When every node dies there is no adopter and no live locality.
+	m.MarkDead(0)
+	m.MarkDead(2)
+	m.MarkDead(3)
+	if got := m.LiveLocalities(); len(got) != 0 {
+		t.Fatalf("all-dead LiveLocalities = %v", got)
+	}
+}

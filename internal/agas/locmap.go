@@ -213,6 +213,21 @@ func (m *LocalityMap) LiveNodes() []int {
 	return live
 }
 
+// LiveLocalities returns the localities currently hosted by live nodes,
+// ascending — the legal placement targets for a membership-aware
+// balancer or workload. Localities whose hosting node has been declared
+// dead (and that no adopter has re-homed) are excluded.
+func (m *LocalityMap) LiveLocalities() []int {
+	v := m.view.Load()
+	out := make([]int, 0, len(v.node))
+	for loc, n := range v.node {
+		if n >= 0 && n < len(v.alive) && v.alive[n] {
+			out = append(out, loc)
+		}
+	}
+	return out
+}
+
 // Subscribe registers fn to run on every subsequent membership change.
 // Callbacks fire synchronously, in registration order, after the new
 // snapshot is published; they must not call back into the map's mutating

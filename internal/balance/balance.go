@@ -1,0 +1,95 @@
+// Package balance closes ParalleX's introspection loop: it turns the
+// runtime's cheap load counters (deque depths, steal rates, per-GID
+// parcel arrival samples) into automatic migration decisions, the way
+// HPX's performance-counter + APEX line feeds policy from telemetry.
+//
+// The package is deliberately mechanism-free: it never touches a
+// locality, a transport, or an object. The runtime feeds it observations
+// — per-locality load scores and a drained sample of hot destination
+// GIDs — and it answers with a bounded, hysteresis-guarded move plan
+// that the runtime executes with rt.Migrate. That split keeps the math
+// unit-testable (no goroutines, no clocks) and keeps this package free
+// of import cycles with internal/core.
+//
+// Three pieces:
+//
+//   - EWMA: an exponentially weighted moving average whose value is
+//     atomically readable, so metric gauges can sample it while the
+//     policy loop writes.
+//   - Sampler: a sharded every-Nth arrival sampler that attributes load
+//     to individual GIDs. Disabled it costs nothing; enabled it costs
+//     one atomic add per arrival and a mutex only on the sampled
+//     minority.
+//   - Engine: the per-tick planner. It ranks the hot objects, finds the
+//     coldest eligible locality for each, and refuses to act at all
+//     unless the imbalance exceeds a configured ratio — hysteresis —
+//     and caps moves per tick and per object — rate limiting and
+//     cooldown — so the balancer converges instead of thrashing.
+package balance
+
+import "time"
+
+// Config tunes the balancer. The zero value is "disabled"; call
+// WithDefaults to fill unset knobs when Interval > 0.
+type Config struct {
+	// Interval is the policy tick period. <= 0 disables balancing
+	// entirely (no sampling, no loop).
+	Interval time.Duration
+	// SampleEvery paces arrival sampling: every Nth parcel arrival is
+	// attributed to its destination GID. Higher is cheaper and noisier.
+	// Default 8.
+	SampleEvery int
+	// HotThreshold is the minimum sampled arrivals per tick for an
+	// object to be considered a migration candidate. Objects below it
+	// are background noise. Default 8.
+	HotThreshold int
+	// Imbalance is the hysteresis ratio: a move is planned only when the
+	// source locality's load exceeds Imbalance times the candidate
+	// target's load plus the object's own contribution. At 1.0 the
+	// balancer chases every fluctuation; the default 2.0 means "act only
+	// on a 2x skew", which leaves a wide dead band where placement is
+	// considered good enough.
+	Imbalance float64
+	// MaxMoves bounds migrations planned per tick. Default 4.
+	MaxMoves int
+	// Cooldown is the number of ticks a just-moved object is immune from
+	// further moves, counted independently by every engine that learns
+	// of the move (the mover plans it; the receiver is told via Cool).
+	// Default 5.
+	Cooldown int
+	// Alpha is the EWMA smoothing factor in (0, 1]: the weight of the
+	// newest observation. Default 0.5.
+	Alpha float64
+	// MaxTracked bounds the GIDs tracked per sampler shard; arrivals for
+	// new GIDs beyond it are dropped and counted. Default 512.
+	MaxTracked int
+}
+
+// WithDefaults returns c with unset knobs at their defaults.
+func (c Config) WithDefaults() Config {
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 8
+	}
+	if c.HotThreshold <= 0 {
+		c.HotThreshold = 8
+	}
+	if c.Imbalance <= 1 {
+		c.Imbalance = 2
+	}
+	if c.MaxMoves <= 0 {
+		c.MaxMoves = 4
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.5
+	}
+	if c.MaxTracked <= 0 {
+		c.MaxTracked = 512
+	}
+	return c
+}
+
+// Enabled reports whether the configuration asks for balancing at all.
+func (c Config) Enabled() bool { return c.Interval > 0 }

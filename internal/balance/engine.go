@@ -1,0 +1,204 @@
+package balance
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/agas"
+)
+
+// Load is one locality's standing in the machine-wide load picture fed
+// to Plan. Scores must share one unit across all entries — the runtime
+// uses "sampled arrivals per tick plus queue depth", but the engine only
+// ever compares them.
+type Load struct {
+	// Loc is the locality index.
+	Loc int
+	// Score is the locality's smoothed load.
+	Score float64
+	// Eligible marks the locality as a legal migration target: hosted by
+	// a live, non-suspect, non-departed node. Ineligible entries still
+	// participate as sources (their load is real), they just never
+	// receive objects.
+	Eligible bool
+}
+
+// Move is one planned migration: object GID from its current locality to
+// an under-loaded eligible one.
+type Move struct {
+	// GID names the object to migrate.
+	GID agas.GID
+	// From is the object's current locality.
+	From int
+	// To is the chosen target locality.
+	To int
+}
+
+// Engine turns per-tick load snapshots into bounded move plans. It holds
+// the smoothing state (per-locality EWMAs) and the anti-thrash state
+// (per-object cooldowns); all planning happens synchronously inside
+// Plan, so the engine needs no goroutine of its own.
+type Engine struct {
+	cfg  Config
+	ewma map[int]*EWMA
+
+	// cool is guarded: Plan decrements it from the policy loop while
+	// Cool is called from transport goroutines when a migrated object
+	// lands here (the receiver must not immediately re-judge an object
+	// the sender just placed).
+	mu   sync.Mutex
+	cool map[agas.GID]int
+
+	ticks    atomic.Uint64
+	planned  atomic.Uint64
+	skipHyst atomic.Uint64
+	skipRate atomic.Uint64
+	skipCool atomic.Uint64
+}
+
+// NewEngine returns an engine for cfg (defaults applied).
+func NewEngine(cfg Config) *Engine {
+	return &Engine{
+		cfg:  cfg.WithDefaults(),
+		ewma: make(map[int]*EWMA),
+		cool: make(map[agas.GID]int),
+	}
+}
+
+// Observe folds one raw load observation for a locality this node hosts
+// into its EWMA and returns the smoothed score. Policy-loop only.
+func (e *Engine) Observe(loc int, raw float64) float64 {
+	w := e.ewma[loc]
+	if w == nil {
+		w = NewEWMA(e.cfg.Alpha)
+		e.ewma[loc] = w
+	}
+	w.Observe(raw)
+	return w.Value()
+}
+
+// Score returns the locality's current smoothed score (0 if never
+// observed). Safe for concurrent metric readers.
+func (e *Engine) Score(loc int) float64 {
+	if w := e.ewma[loc]; w != nil {
+		return w.Value()
+	}
+	return 0
+}
+
+// Cool grants g a full cooldown, as if this engine had just moved it.
+// The runtime calls it when a migration lands an object here, so the
+// receiving node's balancer cannot bounce a fresh arrival straight back
+// out — the sender's placement decision gets Cooldown ticks to prove
+// itself before this node may overrule it.
+func (e *Engine) Cool(g agas.GID) {
+	e.mu.Lock()
+	e.cool[g] = e.cfg.Cooldown
+	e.mu.Unlock()
+}
+
+// Plan produces this tick's migrations: at most MaxMoves, hottest
+// objects first, each toward the currently coldest eligible locality,
+// and only when the hysteresis condition holds —
+//
+//	source score >= Imbalance × target score + object's own load
+//
+// The object's own contribution on the right-hand side is what makes
+// the plan self-terminating: once load is spread to within the
+// Imbalance band, no candidate passes, and a move that would merely
+// swap the hot spot to the target is never planned. Planned moves
+// update the working scores, so one tick does not dump every hot
+// object onto the same cold locality.
+//
+// hot must be sorted by descending count (Sampler.Drain's order).
+func (e *Engine) Plan(loads []Load, hot []Hot) []Move {
+	e.ticks.Add(1)
+
+	// Age the cooldown table once per tick; snapshot what remains cool.
+	cooled := make(map[agas.GID]bool)
+	e.mu.Lock()
+	for g, n := range e.cool {
+		if n <= 0 {
+			delete(e.cool, g)
+			continue
+		}
+		e.cool[g] = n - 1
+		cooled[g] = true
+	}
+	e.mu.Unlock()
+
+	score := make(map[int]float64, len(loads))
+	eligible := make([]int, 0, len(loads))
+	for _, l := range loads {
+		score[l.Loc] = l.Score
+		if l.Eligible {
+			eligible = append(eligible, l.Loc)
+		}
+	}
+
+	var moves []Move
+	for i, h := range hot {
+		if h.Count < uint64(e.cfg.HotThreshold) {
+			break // sorted descending: everything after is colder
+		}
+		if len(moves) >= e.cfg.MaxMoves {
+			// Count the qualifying candidates the rate limit deferred to
+			// a later tick, then stop planning.
+			for _, rest := range hot[i:] {
+				if rest.Count >= uint64(e.cfg.HotThreshold) {
+					e.skipRate.Add(1)
+				}
+			}
+			break
+		}
+		if cooled[h.GID] {
+			e.skipCool.Add(1)
+			continue
+		}
+		src, known := score[h.Loc]
+		if !known {
+			continue // placement raced a membership change; skip quietly
+		}
+		// Coldest eligible target that isn't the source.
+		to, coldest, found := 0, 0.0, false
+		for _, loc := range eligible {
+			if loc == h.Loc {
+				continue
+			}
+			if s := score[loc]; !found || s < coldest {
+				to, coldest, found = loc, s, true
+			}
+		}
+		if !found {
+			continue
+		}
+		contribution := float64(h.Count)
+		if src < e.cfg.Imbalance*coldest+contribution {
+			e.skipHyst.Add(1)
+			continue
+		}
+		moves = append(moves, Move{GID: h.GID, From: h.Loc, To: to})
+		score[h.Loc] = src - contribution
+		score[to] = coldest + contribution
+		e.mu.Lock()
+		e.cool[h.GID] = e.cfg.Cooldown
+		e.mu.Unlock()
+		e.planned.Add(1)
+	}
+	return moves
+}
+
+// Ticks reports Plan invocations.
+func (e *Engine) Ticks() uint64 { return e.ticks.Load() }
+
+// Planned reports moves planned across all ticks.
+func (e *Engine) Planned() uint64 { return e.planned.Load() }
+
+// SkippedHysteresis reports candidates rejected by the imbalance guard.
+func (e *Engine) SkippedHysteresis() uint64 { return e.skipHyst.Load() }
+
+// SkippedRateLimit reports qualifying candidates deferred by MaxMoves.
+func (e *Engine) SkippedRateLimit() uint64 { return e.skipRate.Load() }
+
+// SkippedCooldown reports candidates still inside their cooldown.
+func (e *Engine) SkippedCooldown() uint64 { return e.skipCool.Load() }

@@ -1,0 +1,230 @@
+package balance
+
+import (
+	"testing"
+
+	"repro/internal/agas"
+)
+
+func gid(seq uint64) agas.GID { return agas.GID{Home: 0, Kind: agas.KindData, Seq: seq} }
+
+func testCfg() Config {
+	return Config{
+		Interval:     1, // enabled; the engine never reads it
+		SampleEvery:  1,
+		HotThreshold: 8,
+		Imbalance:    2,
+		MaxMoves:     4,
+		Cooldown:     3,
+		Alpha:        1,
+	}
+}
+
+// evenLoads builds an n-locality machine where every locality is an
+// eligible target with the given scores.
+func evenLoads(scores ...float64) []Load {
+	out := make([]Load, len(scores))
+	for i, s := range scores {
+		out[i] = Load{Loc: i, Score: s, Eligible: true}
+	}
+	return out
+}
+
+func TestPlanMovesHotObjectToColdestLocality(t *testing.T) {
+	e := NewEngine(testCfg())
+	moves := e.Plan(
+		evenLoads(100, 40, 5),
+		[]Hot{{GID: gid(1), Loc: 0, Count: 50}},
+	)
+	if len(moves) != 1 {
+		t.Fatalf("got %d moves, want 1", len(moves))
+	}
+	if moves[0].From != 0 || moves[0].To != 2 {
+		t.Fatalf("move %+v, want From 0 To 2 (the coldest)", moves[0])
+	}
+}
+
+func TestPlanHysteresisDeadBand(t *testing.T) {
+	e := NewEngine(testCfg())
+	// 60 vs 25 with a 20-count object: 60 < 2*25 + 20, inside the dead
+	// band — a balanced-enough machine must stay untouched.
+	moves := e.Plan(
+		evenLoads(60, 25),
+		[]Hot{{GID: gid(1), Loc: 0, Count: 20}},
+	)
+	if len(moves) != 0 {
+		t.Fatalf("got %d moves inside the dead band, want 0", len(moves))
+	}
+	if e.SkippedHysteresis() != 1 {
+		t.Fatalf("SkippedHysteresis = %d, want 1", e.SkippedHysteresis())
+	}
+	// Widen the skew past the band and the same object moves.
+	moves = e.Plan(
+		evenLoads(120, 25),
+		[]Hot{{GID: gid(1), Loc: 0, Count: 20}},
+	)
+	if len(moves) != 1 {
+		t.Fatalf("got %d moves outside the dead band, want 1", len(moves))
+	}
+}
+
+func TestPlanSelfTerminates(t *testing.T) {
+	// 6 objects of equal heat skewed onto locality 0 of 6; replaying
+	// Plan with scores updated to the plan's own working model must
+	// reach a spread that stops producing moves — the no-thrash fixed
+	// point — and never un-spread it.
+	cfg := testCfg()
+	e := NewEngine(cfg)
+	const heat = 62
+	place := map[uint64]int{1: 0, 2: 0, 3: 0, 4: 0, 5: 0, 6: 0}
+	total := 0
+	for tick := 0; tick < 20; tick++ {
+		perLoc := make([]float64, 6)
+		var hot []Hot
+		for seq, loc := range place {
+			perLoc[loc] += heat
+			hot = append(hot, Hot{GID: gid(seq), Loc: loc, Count: heat})
+		}
+		// Drain order: descending count (ties broken by seq in the real
+		// sampler; order among equals doesn't matter here).
+		moves := e.Plan(evenLoads(perLoc...), hot)
+		for _, m := range moves {
+			if place[m.GID.Seq] != m.From {
+				t.Fatalf("tick %d: move %+v but object is at %d", tick, m, place[m.GID.Seq])
+			}
+			place[m.GID.Seq] = m.To
+		}
+		total += len(moves)
+	}
+	// Converged: each locality holds exactly one object...
+	seen := make(map[int]int)
+	for _, loc := range place {
+		seen[loc]++
+	}
+	for loc, n := range seen {
+		if n != 1 {
+			t.Fatalf("locality %d holds %d objects after convergence, want 1 (placement %v)", loc, n, place)
+		}
+	}
+	// ...and the move count is bounded: the minimum is 5 (six objects,
+	// one stays home); anything near the tick budget means thrash.
+	if total < 5 || total > 8 {
+		t.Fatalf("balancer took %d moves to spread 6 objects, want 5..8 (no thrash)", total)
+	}
+}
+
+func TestPlanRateLimit(t *testing.T) {
+	e := NewEngine(testCfg())
+	hot := make([]Hot, 10)
+	for i := range hot {
+		hot[i] = Hot{GID: gid(uint64(i + 1)), Loc: 0, Count: 100}
+	}
+	moves := e.Plan(evenLoads(1000, 0, 0, 0, 0, 0), hot)
+	if len(moves) != 4 {
+		t.Fatalf("got %d moves, want MaxMoves=4", len(moves))
+	}
+	if e.SkippedRateLimit() == 0 {
+		t.Fatal("rate limit skipped no candidates despite 10 hot objects")
+	}
+}
+
+func TestPlanCooldownBlocksRepeatMoves(t *testing.T) {
+	e := NewEngine(testCfg())
+	loads := evenLoads(1000, 0)
+	hot := []Hot{{GID: gid(1), Loc: 0, Count: 100}}
+	if got := len(e.Plan(loads, hot)); got != 1 {
+		t.Fatalf("first plan: %d moves, want 1", got)
+	}
+	// The object keeps looking hot (e.g. it landed and heats its new
+	// home) — Cooldown=3 must hold it still for the next ticks.
+	hot[0].Loc = 1
+	loads = evenLoads(0, 1000)
+	for tick := 0; tick < 3; tick++ {
+		if got := len(e.Plan(loads, hot)); got != 0 {
+			t.Fatalf("tick %d: cooled object moved again", tick)
+		}
+	}
+	if e.SkippedCooldown() == 0 {
+		t.Fatal("cooldown skipped nothing")
+	}
+	// Cooldown expired: movable again.
+	if got := len(e.Plan(loads, hot)); got != 1 {
+		t.Fatalf("post-cooldown plan: %d moves, want 1", got)
+	}
+}
+
+func TestPlanCoolFromReceiver(t *testing.T) {
+	// Cool() models "this object just migrated IN": the local engine
+	// must refuse to bounce it even though it never planned the move.
+	e := NewEngine(testCfg())
+	e.Cool(gid(7))
+	moves := e.Plan(
+		evenLoads(1000, 0),
+		[]Hot{{GID: gid(7), Loc: 0, Count: 500}},
+	)
+	if len(moves) != 0 {
+		t.Fatalf("freshly arrived object bounced: %+v", moves)
+	}
+}
+
+func TestPlanIgnoresIneligibleTargets(t *testing.T) {
+	e := NewEngine(testCfg())
+	loads := []Load{
+		{Loc: 0, Score: 1000, Eligible: true},
+		{Loc: 1, Score: 0, Eligible: false}, // suspect node: never a target
+		{Loc: 2, Score: 50, Eligible: true},
+	}
+	moves := e.Plan(loads, []Hot{{GID: gid(1), Loc: 0, Count: 100}})
+	if len(moves) != 1 || moves[0].To != 2 {
+		t.Fatalf("moves %+v, want one move to the eligible locality 2", moves)
+	}
+	// With no eligible target at all, nothing moves.
+	loads[2].Eligible = false
+	if got := len(e.Plan(loads, []Hot{{GID: gid(2), Loc: 0, Count: 100}})); got != 0 {
+		t.Fatalf("moved toward an ineligible machine: %d moves", got)
+	}
+}
+
+func TestPlanBelowThresholdIsNoise(t *testing.T) {
+	e := NewEngine(testCfg())
+	moves := e.Plan(
+		evenLoads(1000, 0),
+		[]Hot{{GID: gid(1), Loc: 0, Count: 7}}, // HotThreshold is 8
+	)
+	if len(moves) != 0 {
+		t.Fatalf("sub-threshold object moved: %+v", moves)
+	}
+}
+
+func TestPlanSpreadsAcrossTargetsWithinOneTick(t *testing.T) {
+	// Working scores must update as moves are planned: two equally hot
+	// objects in one tick go to two different cold localities, not both
+	// to the same one.
+	cfg := testCfg()
+	cfg.MaxMoves = 8
+	e := NewEngine(cfg)
+	moves := e.Plan(
+		evenLoads(1000, 0, 0),
+		[]Hot{
+			{GID: gid(1), Loc: 0, Count: 200},
+			{GID: gid(2), Loc: 0, Count: 200},
+		},
+	)
+	if len(moves) != 2 {
+		t.Fatalf("got %d moves, want 2", len(moves))
+	}
+	if moves[0].To == moves[1].To {
+		t.Fatalf("both objects dumped on locality %d", moves[0].To)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{Interval: 1}.WithDefaults()
+	if c.SampleEvery != 8 || c.HotThreshold != 8 || c.Imbalance != 2 ||
+		c.MaxMoves != 4 || c.Cooldown != 5 || c.Alpha != 0.5 || c.MaxTracked != 512 {
+		t.Fatalf("unexpected defaults: %+v", c)
+	}
+	if !c.Enabled() || (Config{}).Enabled() {
+		t.Fatal("Enabled must follow Interval > 0")
+	}
+}

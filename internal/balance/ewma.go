@@ -1,0 +1,43 @@
+package balance
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// EWMA is an exponentially weighted moving average with a single writer
+// (the policy loop) and any number of concurrent readers (metric
+// gauges): the current value is published as atomic float64 bits. The
+// first observation seeds the average directly, so a balancer does not
+// spend its first ticks climbing from zero toward the true load.
+type EWMA struct {
+	alpha  float64
+	bits   atomic.Uint64
+	primed bool // written only by the Observe caller
+}
+
+// NewEWMA returns an average weighting each new observation by alpha in
+// (0, 1]. Out-of-range alphas are clamped to the package default.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		alpha = Config{}.WithDefaults().Alpha
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds one observation into the average. Single writer only.
+func (e *EWMA) Observe(v float64) {
+	if !e.primed {
+		e.primed = true
+		e.bits.Store(math.Float64bits(v))
+		return
+	}
+	cur := math.Float64frombits(e.bits.Load())
+	e.bits.Store(math.Float64bits(cur + e.alpha*(v-cur)))
+}
+
+// Value returns the current average; safe to call concurrently with
+// Observe.
+func (e *EWMA) Value() float64 {
+	return math.Float64frombits(e.bits.Load())
+}

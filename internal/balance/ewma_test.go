@@ -1,0 +1,86 @@
+package balance
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestEWMASeedsOnFirstObservation(t *testing.T) {
+	e := NewEWMA(0.5)
+	if got := e.Value(); got != 0 {
+		t.Fatalf("unobserved EWMA = %v, want 0", got)
+	}
+	e.Observe(100)
+	if got := e.Value(); got != 100 {
+		t.Fatalf("first observation should seed directly: got %v, want 100", got)
+	}
+}
+
+func TestEWMAConvergesGeometrically(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Observe(0)
+	want := 0.0
+	for i := 0; i < 10; i++ {
+		e.Observe(100)
+		want += 0.5 * (100 - want)
+		if got := e.Value(); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("step %d: got %v, want %v", i, got, want)
+		}
+	}
+	// After 10 half-steps the average is within 0.1% of the input.
+	if got := e.Value(); got < 99.9 {
+		t.Fatalf("after 10 steps at alpha 0.5: got %v, want > 99.9", got)
+	}
+}
+
+func TestEWMAAlphaOneTracksExactly(t *testing.T) {
+	e := NewEWMA(1)
+	for _, v := range []float64{3, 700, 0.25} {
+		e.Observe(v)
+		if got := e.Value(); got != v {
+			t.Fatalf("alpha=1 should track exactly: got %v, want %v", got, v)
+		}
+	}
+}
+
+func TestEWMAClampsBadAlpha(t *testing.T) {
+	for _, alpha := range []float64{-1, 0, 1.5} {
+		e := NewEWMA(alpha)
+		e.Observe(0)
+		e.Observe(100)
+		got := e.Value()
+		if got <= 0 || got > 100 {
+			t.Fatalf("alpha=%v: value %v escaped the observation range", alpha, got)
+		}
+	}
+}
+
+// Readers racing the single writer must always see a valid published
+// value, never a torn word. Run with -race.
+func TestEWMAConcurrentReaders(t *testing.T) {
+	e := NewEWMA(0.3)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if v := e.Value(); v < 0 || v > 1000 {
+					panic("torn or out-of-range EWMA read")
+				}
+			}
+		}()
+	}
+	for i := 0; i < 10000; i++ {
+		e.Observe(float64(i % 1000))
+	}
+	close(done)
+	wg.Wait()
+}

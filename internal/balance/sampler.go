@@ -1,0 +1,129 @@
+package balance
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/agas"
+)
+
+// samplerShards is the fixed shard count; a power of two so the shard
+// pick is a mask, sized so that even a machine flooding from dozens of
+// workers rarely collides two sampled arrivals on one mutex.
+const samplerShards = 16
+
+// Hot is one object's sampled arrival count for the interval that ended
+// with the Drain that returned it.
+type Hot struct {
+	// GID is the destination object.
+	GID agas.GID
+	// Loc is the locality the object's parcels were delivered to — its
+	// current placement as seen by the sampling node.
+	Loc int
+	// Count is the number of sampled arrivals (multiply by the sampling
+	// pace for an arrival estimate; the engine compares counts, so the
+	// scale never matters as long as it is uniform).
+	Count uint64
+}
+
+// Sampler attributes parcel arrivals to destination GIDs by sampling
+// every Nth arrival. The common (unsampled) case costs one atomic add;
+// a sampled arrival takes one shard mutex. Each shard's table is
+// bounded: once full, arrivals for untracked GIDs are dropped and
+// counted, so a pathological workload touching millions of objects
+// degrades the balancer's vision, never the node's memory.
+type Sampler struct {
+	every uint64
+	max   int
+	seq   atomic.Uint64
+
+	sampled atomic.Uint64 // arrivals recorded into a shard
+	dropped atomic.Uint64 // sampled arrivals lost to a full shard
+
+	shards [samplerShards]samplerShard
+}
+
+type samplerShard struct {
+	mu     sync.Mutex
+	counts map[agas.GID]hotEntry
+}
+
+type hotEntry struct {
+	loc   int
+	count uint64
+}
+
+// NewSampler returns a sampler recording every `every`-th arrival with
+// at most maxTracked distinct GIDs per shard.
+func NewSampler(every, maxTracked int) *Sampler {
+	if every <= 0 {
+		every = 1
+	}
+	if maxTracked <= 0 {
+		maxTracked = Config{}.WithDefaults().MaxTracked
+	}
+	s := &Sampler{every: uint64(every), max: maxTracked}
+	for i := range s.shards {
+		s.shards[i].counts = make(map[agas.GID]hotEntry, maxTracked/4)
+	}
+	return s
+}
+
+// Record notes one parcel arrival for g at locality loc. Cheap enough
+// for the delivery hot path: a single atomic add decides whether this
+// arrival is in the sampled minority at all.
+func (s *Sampler) Record(g agas.GID, loc int) {
+	if s.seq.Add(1)%s.every != 0 {
+		return
+	}
+	sh := &s.shards[shardOf(g)]
+	sh.mu.Lock()
+	e, ok := sh.counts[g]
+	if !ok && len(sh.counts) >= s.max {
+		sh.mu.Unlock()
+		s.dropped.Add(1)
+		return
+	}
+	e.count++
+	e.loc = loc
+	sh.counts[g] = e
+	sh.mu.Unlock()
+	s.sampled.Add(1)
+}
+
+// shardOf mixes the GID's distinguishing words into a shard index.
+func shardOf(g agas.GID) int {
+	x := g.Seq*0x9e3779b97f4a7c15 + uint64(g.Home)*0xbf58476d1ce4e5b9
+	return int((x >> 32) & (samplerShards - 1))
+}
+
+// Drain snapshots and resets every shard, returning the interval's hot
+// list sorted by descending count. Called once per policy tick.
+func (s *Sampler) Drain() []Hot {
+	var out []Hot
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if len(sh.counts) > 0 {
+			for g, e := range sh.counts {
+				out = append(out, Hot{GID: g, Loc: e.loc, Count: e.count})
+			}
+			sh.counts = make(map[agas.GID]hotEntry, s.max/4)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].GID.Seq < out[j].GID.Seq // deterministic tie-break
+	})
+	return out
+}
+
+// Sampled reports arrivals recorded since construction.
+func (s *Sampler) Sampled() uint64 { return s.sampled.Load() }
+
+// Dropped reports sampled arrivals lost to full shards.
+func (s *Sampler) Dropped() uint64 { return s.dropped.Load() }

@@ -1,0 +1,94 @@
+package balance
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/agas"
+)
+
+func TestSamplerPacesAndAttributes(t *testing.T) {
+	s := NewSampler(4, 0)
+	g := gid(1)
+	for i := 0; i < 400; i++ {
+		s.Record(g, 2)
+	}
+	hot := s.Drain()
+	if len(hot) != 1 {
+		t.Fatalf("got %d hot entries, want 1", len(hot))
+	}
+	if hot[0].GID != g || hot[0].Loc != 2 {
+		t.Fatalf("hot entry %+v, want gid %v at loc 2", hot[0], g)
+	}
+	if hot[0].Count != 100 {
+		t.Fatalf("400 arrivals at pace 4 sampled %d times, want 100", hot[0].Count)
+	}
+	if s.Sampled() != 100 {
+		t.Fatalf("Sampled() = %d, want 100", s.Sampled())
+	}
+}
+
+func TestSamplerDrainSortsAndResets(t *testing.T) {
+	s := NewSampler(1, 0)
+	for i := 0; i < 30; i++ {
+		s.Record(gid(1), 0)
+	}
+	for i := 0; i < 10; i++ {
+		s.Record(gid(2), 1)
+	}
+	hot := s.Drain()
+	if len(hot) != 2 || hot[0].GID != gid(1) || hot[1].GID != gid(2) {
+		t.Fatalf("drain not sorted by descending count: %+v", hot)
+	}
+	if got := s.Drain(); len(got) != 0 {
+		t.Fatalf("second drain returned stale entries: %+v", got)
+	}
+}
+
+func TestSamplerBoundsTrackedGIDs(t *testing.T) {
+	s := NewSampler(1, 2) // at most 2 tracked GIDs per shard
+	for seq := uint64(1); seq <= 1000; seq++ {
+		s.Record(gid(seq), 0)
+	}
+	if s.Dropped() == 0 {
+		t.Fatal("1000 distinct GIDs with capacity 2/shard dropped nothing")
+	}
+	hot := s.Drain()
+	if len(hot) > 2*samplerShards {
+		t.Fatalf("drained %d entries, capacity bound is %d", len(hot), 2*samplerShards)
+	}
+}
+
+func TestSamplerConcurrentRecord(t *testing.T) {
+	s := NewSampler(2, 0)
+	var wg sync.WaitGroup
+	const workers, per = 8, 10000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := gid(uint64(w%4) + 1)
+			for i := 0; i < per; i++ {
+				s.Record(g, w%4)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	for _, h := range s.Drain() {
+		total += h.Count
+	}
+	if want := uint64(workers * per / 2); total != want {
+		t.Fatalf("sampled %d arrivals across shards, want exactly %d", total, want)
+	}
+}
+
+func TestShardOfSpreads(t *testing.T) {
+	seen := make(map[int]bool)
+	for seq := uint64(0); seq < 256; seq++ {
+		seen[shardOf(agas.GID{Home: 3, Kind: agas.KindData, Seq: seq})] = true
+	}
+	if len(seen) < samplerShards/2 {
+		t.Fatalf("256 sequential GIDs hit only %d/%d shards", len(seen), samplerShards)
+	}
+}

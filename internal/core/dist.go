@@ -36,6 +36,7 @@ const (
 	fLCOAck     = byte(15) // LCO trigger receipt: u64 tid; stops retransmission
 	fBeat       = byte(16) // membership heartbeat: u64 locality-map fingerprint
 	fDead       = byte(17) // authoritative death verdict: u16 node
+	fLoad       = byte(18) // balancer load report: u16 n | n x (u32 locality, f64 score bits)
 )
 
 // distState is the runtime's view of the multi-node machine: the frame
@@ -225,6 +226,8 @@ func (d *distState) onFrame(from int, frame []byte) {
 		d.onBeat(from, frame[1:])
 	case fDead:
 		d.onDead(from, frame[1:])
+	case fLoad:
+		d.onLoad(from, frame[1:])
 	default:
 		d.rt.recordError(fmt.Errorf("core: unknown frame type %d from node %d", frame[0], from))
 	}
@@ -655,6 +658,9 @@ func (d *distState) onMigrate(from int, body []byte) {
 		d.rt.agas.DropForward(g)
 		d.rt.agas.SetImport(g, to, gen)
 		d.rt.agas.Repoint(g, to, gen)
+		// The sender just placed this object here: the local balancer
+		// defers to that decision for a cooldown before re-judging it.
+		d.rt.coolBalance(g)
 		if d.rt.ring != nil {
 			d.rt.ring.Emitf(trace.KindMigration, to, "installed %v gen %d from N%d", g, gen, from)
 		}

@@ -198,6 +198,13 @@ func (r *Runtime) migrateLocked(g agas.GID, from, to int, newGen uint64) error {
 		r.ring.Emitf(trace.KindMigration, from, "%v -> L%d gen %d", g, to, newGen)
 	}
 	r.slow.Migrations.Inc()
+	// A move that stayed on this node lands under a local balancer
+	// cooldown, exactly as a cross-node arrival does on its receiver:
+	// whoever placed the object — policy or application — gets a few
+	// ticks of deference before the balancer may overrule it.
+	if destNode == r.NodeID() {
+		r.coolBalance(g)
+	}
 	return commitErr
 }
 

@@ -164,6 +164,23 @@ func (r *Runtime) buildMetricsRegistry() *metrics.Registry {
 	reg.RegisterFunc("px.faults.dropped", func() int64 { return int64(r.Dropped()) })
 	reg.RegisterFunc("px.faults.duplicated", func() int64 { return int64(r.Duplicated()) })
 
+	// Adaptive self-balancing (only when BalanceInterval enables it, so
+	// a disabled balancer is invisible in the metric namespace too —
+	// "is balancing on?" is answerable by probing for px.balance.ticks).
+	if b := r.bal; b != nil {
+		u := func(f func() uint64) func() int64 { return func() int64 { return int64(f()) } }
+		reg.RegisterFunc("px.balance.ticks", u(b.eng.Ticks))
+		reg.RegisterFunc("px.balance.moves", u(b.moves.Load))
+		reg.RegisterFunc("px.balance.move_errors", u(b.moveErrs.Load))
+		reg.RegisterFunc("px.balance.planned", u(b.eng.Planned))
+		reg.RegisterFunc("px.balance.sampled", u(b.sampler.Sampled))
+		reg.RegisterFunc("px.balance.sample_drops", u(b.sampler.Dropped))
+		reg.RegisterFunc("px.balance.skipped_hysteresis", u(b.eng.SkippedHysteresis))
+		reg.RegisterFunc("px.balance.skipped_ratelimit", u(b.eng.SkippedRateLimit))
+		reg.RegisterFunc("px.balance.skipped_cooldown", u(b.eng.SkippedCooldown))
+		reg.RegisterFunc("px.balance.load_reports", u(b.reports.Load))
+	}
+
 	// Tracing.
 	reg.RegisterFunc("px.trace.spans", func() int64 { return int64(r.spans.Total()) })
 	reg.RegisterFunc("px.trace.span_drops", func() int64 { return int64(r.spans.Dropped()) })

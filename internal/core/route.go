@@ -278,6 +278,13 @@ func (t *execTask) fire() {
 // for one object land on one worker's deque, preserving its cache affinity
 // and keeping the deque lock uncontended for hot objects.
 func (r *Runtime) enqueue(loc int, p *parcel.Parcel) {
+	// The balancer's arrival sampling: one nil check when balancing is
+	// off (the zero-alloc contract), one atomic add when on, a shard
+	// mutex only on the sampled minority. Hardware names never migrate,
+	// so their arrivals are not attributed.
+	if b := r.bal; b != nil && p.Dest.Kind != agas.KindHardware {
+		b.sampler.Record(p.Dest, loc)
+	}
 	t := execTaskPool.Get().(*execTask)
 	t.r, t.loc, t.p = r, loc, p
 	if r.sheddable != nil {

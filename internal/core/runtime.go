@@ -97,6 +97,30 @@ type Config struct {
 	// the per-parcel action-string allocation from the receive path.
 	DisableActionInterning bool
 
+	// BalanceInterval enables the adaptive self-balancer and sets its
+	// policy tick period: each tick the runtime drains the per-GID
+	// arrival sample, refreshes per-locality load scores, exchanges them
+	// with peers, and migrates at most BalanceMaxMoves hot objects
+	// toward under-loaded live localities. 0 (the default) disables
+	// balancing entirely — no sampling, no loop, no allocation on the
+	// delivery path beyond one nil check.
+	BalanceInterval time.Duration
+	// BalanceSampleEvery paces arrival sampling: every Nth delivered
+	// parcel is attributed to its destination GID. Default 8.
+	BalanceSampleEvery int
+	// BalanceHotThreshold is the minimum sampled arrivals per tick
+	// before an object is considered for migration. Default 8.
+	BalanceHotThreshold int
+	// BalanceImbalance is the hysteresis ratio: an object moves only
+	// when its locality's load exceeds this multiple of the candidate
+	// target's load (plus the object's own contribution). Default 2.
+	BalanceImbalance float64
+	// BalanceMaxMoves bounds migrations per policy tick. Default 4.
+	BalanceMaxMoves int
+	// BalanceCooldown is how many ticks a just-migrated object is immune
+	// from further moves, on the mover and the receiver. Default 5.
+	BalanceCooldown int
+
 	// TraceSampleRate is the fraction of root parcels that start a sampled
 	// distributed trace, in [0,1]. Sampling is deterministic every-Nth
 	// (N = 1/rate), decided once at the root send; continuations and wire
@@ -153,6 +177,9 @@ type Runtime struct {
 	sheddable map[string]struct{}
 	dist      *distState // nil for a single-process machine
 	fences    *fenceTable
+	// bal is the adaptive self-balancer; nil unless BalanceInterval > 0.
+	// The delivery hot path reads it with one nil check (see enqueue).
+	bal *balancerState
 
 	// Observability: the named-metric registry served over HTTP, the
 	// distributed-trace span buffer, and the root-sampling state (every
@@ -301,6 +328,12 @@ func New(cfg Config) *Runtime {
 		lmap.Subscribe(r.onMemberEvent)
 		cfg.Transport.SetHandler(r.dist.onFrame)
 	}
+	// The balancer state must exist before initObservability binds the
+	// px.balance.* gauges; its policy loop starts last, once the
+	// transport delivers (startBalancer below).
+	if cfg.BalanceInterval > 0 {
+		r.bal = newBalancerState(r)
+	}
 	r.initObservability()
 	if cfg.Register != nil {
 		cfg.Register(r)
@@ -334,6 +367,7 @@ func New(cfg Config) *Runtime {
 			go r.dist.mb.run()
 		}
 	}
+	r.startBalancer()
 	return r
 }
 
@@ -555,6 +589,9 @@ func (r *Runtime) Shutdown() {
 	if !r.shutdown.CompareAndSwap(false, true) {
 		return
 	}
+	// The balancer stops before quiescence: its migrations inject work,
+	// and a plan issued mid-Wait would chase a machine trying to drain.
+	r.stopBalancer(true)
 	r.Wait()
 	if r.dist != nil {
 		// The membership loop stops only after Wait: detection must stay
@@ -583,6 +620,9 @@ func (r *Runtime) Terminate() {
 		return
 	}
 	r.terminating.Store(true)
+	// Signal only — a crash model does not wait for a policy tick (an
+	// in-flight migrate RPC is bounded by its own timeout).
+	r.stopBalancer(false)
 	if r.dist != nil {
 		if r.dist.mb != nil {
 			r.dist.mb.stopLoop()

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/agas"
 	"repro/internal/core"
+	"repro/internal/lco"
 	"repro/internal/locality"
 	"repro/internal/network"
 	"repro/internal/parcel"
@@ -192,6 +193,159 @@ func TableA3(results []A3Result) Table {
 	}
 	for _, r := range results {
 		t.Rows = append(t.Rows, []string{r.Scheduler, fdur(r.PxTime)})
+	}
+	return t
+}
+
+// A4 — self-balancing ablation: the migrate workload's skewed ring (hot
+// objects all packed onto locality 0) under three placement regimes.
+// "off" leaves the skew alone: every call funnels into one locality's
+// workers. "manual" is the upper baseline — the driver migrates each
+// object to its own locality by hand before measuring. "balancer" never
+// names a placement: the adaptive policy engine must discover the skew
+// from arrival sampling and spread the ring itself, and the measured
+// throughput shows how close policy-chosen placement comes to the
+// hand-tuned one (ROADMAP item 4's acceptance bar).
+type A4Result struct {
+	Mode        string  // off | balancer | manual
+	CallsPerSec float64 // sustained sum-call throughput after any rebalancing
+	Moves       int64   // live migrations executed (0 for off)
+	Spread      int     // distinct localities hosting objects at the end
+}
+
+// ActionA4Sum is the ring's compute kernel: sum a float vector.
+const ActionA4Sum = "exp.a4sum"
+
+// RegisterA4Actions installs the sum kernel.
+func RegisterA4Actions(rt *core.Runtime) {
+	rt.MustRegisterAction(ActionA4Sum, func(ctx *core.Context, target any, args *parcel.Reader) (any, error) {
+		vec := target.([]float64)
+		s := 0.0
+		for _, v := range vec {
+			s += v
+		}
+		return s, nil
+	})
+}
+
+// RunA4 measures the skewed ring under each regime: objects hot vector
+// objects on a locs-locality runtime, rounds measured rounds of perRound
+// concurrent sum calls per object.
+func RunA4(objects, locs, rounds, perRound int) []A4Result {
+	var out []A4Result
+	for _, mode := range []string{"off", "balancer", "manual"} {
+		cfg := core.Config{Localities: locs, WorkersPerLocality: 4}
+		if mode == "balancer" {
+			cfg.BalanceInterval = 5 * time.Millisecond
+			cfg.BalanceSampleEvery = 1
+			cfg.BalanceHotThreshold = 4
+			cfg.BalanceMaxMoves = 4
+		}
+		rt := core.New(cfg)
+		RegisterA4Actions(rt)
+
+		objs := make([]agas.GID, objects)
+		for i := range objs {
+			vec := make([]float64, 1<<12)
+			for j := range vec {
+				vec[j] = float64(j % 5)
+			}
+			objs[i] = rt.NewDataAt(0, vec) // the skew
+		}
+		burst := func(n int) {
+			futs := make([]*lco.Future, 0, objects*n)
+			for _, g := range objs {
+				for k := 0; k < n; k++ {
+					futs = append(futs, rt.CallFrom(0, g, ActionA4Sum, nil))
+				}
+			}
+			for _, f := range futs {
+				if _, err := f.Get(); err != nil {
+					panic(err)
+				}
+			}
+		}
+		spread := func() (int, int) {
+			where := make(map[int]int)
+			for _, g := range objs {
+				loc, _, err := rt.AGAS().Locate(g)
+				if err != nil {
+					panic(err)
+				}
+				where[loc]++
+			}
+			return len(where), where[0]
+		}
+
+		switch mode {
+		case "manual":
+			for i, g := range objs {
+				if err := rt.Migrate(g, i%locs); err != nil {
+					panic(err)
+				}
+			}
+		case "balancer":
+			// Sustain load until the policy breaks the skew (or a generous
+			// deadline passes — the measured numbers then show the failure).
+			minSpread := locs
+			if objects < minSpread {
+				minSpread = objects
+			}
+			if minSpread > 3 {
+				minSpread = 3
+			}
+			deadline := time.Now().Add(20 * time.Second)
+			for {
+				burst(perRound)
+				if distinct, atHome := spread(); distinct >= minSpread && atHome <= objects/2 {
+					break
+				}
+				if time.Now().After(deadline) {
+					break
+				}
+			}
+		}
+
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			burst(perRound)
+		}
+		elapsed := time.Since(start)
+		calls := rounds * perRound * objects
+		distinct, _ := spread()
+		out = append(out, A4Result{
+			Mode:        mode,
+			CallsPerSec: float64(calls) / elapsed.Seconds(),
+			Moves:       rt.SLOW().Migrations.Value(),
+			Spread:      distinct,
+		})
+		rt.Shutdown()
+	}
+	return out
+}
+
+// TableA4 renders the results, with each regime's throughput as a
+// fraction of the hand-tuned manual placement.
+func TableA4(results []A4Result) Table {
+	var manual float64
+	for _, r := range results {
+		if r.Mode == "manual" {
+			manual = r.CallsPerSec
+		}
+	}
+	t := Table{
+		Title:   "A4 self-balancing ablation: skewed ring off vs balancer vs manual placement",
+		Columns: []string{"placement", "calls/s", "moves", "spread", "vs manual"},
+	}
+	for _, r := range results {
+		frac := "-"
+		if manual > 0 {
+			frac = fmtFrac(r.CallsPerSec / manual)
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Mode, fmt.Sprintf("%.0f", r.CallsPerSec),
+			fmt.Sprintf("%d", r.Moves), fmt.Sprintf("%d", r.Spread), frac,
+		})
 	}
 	return t
 }

@@ -197,6 +197,29 @@ func TestA3StealingHelpsSkewedLoad(t *testing.T) {
 	}
 }
 
+func TestA4BalancerBreaksSkew(t *testing.T) {
+	rs := RunA4(4, 4, 3, 5)
+	byMode := map[string]A4Result{}
+	for _, r := range rs {
+		byMode[r.Mode] = r
+	}
+	if r := byMode["off"]; r.Spread != 1 || r.Moves != 0 {
+		t.Fatalf("balancing off must leave the skew: spread %d moves %d", r.Spread, r.Moves)
+	}
+	if r := byMode["manual"]; r.Spread != 4 {
+		t.Fatalf("manual placement spread %d, want 4", r.Spread)
+	}
+	r := byMode["balancer"]
+	if r.Spread < 3 {
+		t.Fatalf("balancer never broke the skew: spread %d, moves %d", r.Spread, r.Moves)
+	}
+	// Convergence, not thrash: reaching a 3-way spread needs at least 2
+	// moves; the hysteresis/cooldown guards must keep the total bounded.
+	if r.Moves < 2 || r.Moves > 12 {
+		t.Fatalf("balancer made %d moves for 4 objects, want 2..12", r.Moves)
+	}
+}
+
 func TestTablesRender(t *testing.T) {
 	tab := TableE3([]E3Result{{Latency: time.Millisecond, ParalleX: time.Second, CSP: 2 * time.Second, PxApplied: 10, CSPApplied: 10}})
 	s := tab.String()
@@ -207,7 +230,8 @@ func TestTablesRender(t *testing.T) {
 		TableE6(nil).String() == "" || TableE7(nil).String() == "" ||
 		TableE8(nil).String() == "" || TableE9(nil).String() == "" ||
 		TableE10(nil).String() == "" || TableA1(nil).String() == "" ||
-		TableA2(nil).String() == "" || TableA3(nil).String() == "" {
+		TableA2(nil).String() == "" || TableA3(nil).String() == "" ||
+		TableA4(nil).String() == "" {
 		t.Fatal("empty table rendering")
 	}
 }

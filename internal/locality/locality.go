@@ -599,6 +599,18 @@ func (l *Locality) Sheds() uint64 { return l.sheds.Load() }
 // Suspensions reports slot releases by suspending threads.
 func (l *Locality) Suspensions() uint64 { return l.suspends.Load() }
 
+// DequeDepths reports each worker's current private deque depth. It
+// reads the deques' atomic size mirrors — no locks — so a balancer can
+// poll it at introspection frequency without perturbing the workers. The
+// shared inject queue's depth is QueueLen minus the sum reported here.
+func (l *Locality) DequeDepths() []int {
+	out := make([]int, len(l.workers))
+	for i, w := range l.workers {
+		out[i] = int(w.dq.size.Load())
+	}
+	return out
+}
+
 // IdleFraction reports the mean starvation fraction across workers so far.
 func (l *Locality) IdleFraction() float64 {
 	var s float64

@@ -305,7 +305,28 @@ func Migrate(b *testing.B, chasers int) {
 // serialization forced. Its allocs/op figure is the hot path's allocation
 // budget per parcel and is gated in CI (cmd/benchdiff -allocdrop).
 func ParcelFlood(b *testing.B, producers int) {
-	rt := parallex.New(parallex.Config{Localities: 2, WorkersPerLocality: 4})
+	parcelFlood(b, producers, parallex.Config{Localities: 2, WorkersPerLocality: 4})
+}
+
+// BalancerOff is the identical flood with every adaptive-balancer knob
+// tuned but the enable switch (BalanceInterval) off: the configuration a
+// production node ships with when balancing is staged but not yet turned
+// on. Its allocs/op is CI-gated at zero — the sampling branch compiled
+// into the delivery path must cost nothing while dormant.
+func BalancerOff(b *testing.B, producers int) {
+	parcelFlood(b, producers, parallex.Config{
+		Localities:          2,
+		WorkersPerLocality:  4,
+		BalanceSampleEvery:  1,
+		BalanceHotThreshold: 1,
+		BalanceImbalance:    1.5,
+		BalanceMaxMoves:     8,
+		BalanceCooldown:     1,
+	})
+}
+
+func parcelFlood(b *testing.B, producers int, cfg parallex.Config) {
+	rt := parallex.New(cfg)
 	defer rt.Shutdown()
 	obj := rt.NewDataAt(1, struct{}{})
 	// Warm the translation cache so the timed region measures steady state.
